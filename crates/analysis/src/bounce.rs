@@ -1,0 +1,142 @@
+//! Bounce tracking without UID transfer (§8's comparison with Koop et al.).
+//!
+//! "We found that bounce tracking that did not also involve UID smuggling
+//! was present on 2.7% of the navigation paths we studied (UID smuggling
+//! was present on 8.1%)" — totaling 10.8%, consistent with Koop et al.'s
+//! 11.6%. A bounce path modifies the navigation with redirector hops but
+//! transfers no UID.
+
+use std::collections::BTreeSet;
+
+use cc_core::pipeline::PipelineOutput;
+use cc_util::stats::Proportion;
+use serde::{Deserialize, Serialize};
+
+use crate::path_key;
+
+/// Bounce-vs-smuggling accounting over unique URL paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BounceStats {
+    /// All unique URL paths.
+    pub unique_url_paths: u64,
+    /// Unique URL paths with UID smuggling.
+    pub smuggling_paths: u64,
+    /// Unique URL paths with redirectors but no UID transfer.
+    pub bounce_only_paths: u64,
+}
+
+impl BounceStats {
+    /// Fraction of paths with bounce tracking only (paper: 2.7%).
+    pub fn bounce_rate(&self) -> Proportion {
+        Proportion::new(self.bounce_only_paths, self.unique_url_paths)
+    }
+
+    /// Fraction with either navigational-tracking flavor (paper: 10.8%).
+    pub fn navigational_tracking_rate(&self) -> Proportion {
+        Proportion::new(
+            self.bounce_only_paths + self.smuggling_paths,
+            self.unique_url_paths,
+        )
+    }
+}
+
+/// Classify every observed path as smuggling / bounce-only / benign.
+pub fn bounce_stats(output: &PipelineOutput) -> BounceStats {
+    let smuggling: BTreeSet<String> = output
+        .findings
+        .iter()
+        .map(|f| path_key(&f.url_path))
+        .collect();
+
+    let mut all: BTreeSet<String> = BTreeSet::new();
+    let mut bounce_only: BTreeSet<String> = BTreeSet::new();
+
+    for p in &output.paths {
+        let key = path_key(&p.url_path());
+        all.insert(key.clone());
+        if smuggling.contains(&key) {
+            continue;
+        }
+        // A bounce path has at least one intermediate redirector domain.
+        if !p.redirectors().is_empty() {
+            bounce_only.insert(key);
+        }
+    }
+
+    BounceStats {
+        unique_url_paths: all.len() as u64,
+        smuggling_paths: smuggling.len() as u64,
+        bounce_only_paths: bounce_only.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_core::observe::PathView;
+    use cc_core::pipeline::UidFinding;
+    use cc_core::ComboClass;
+    use cc_crawler::CrawlerName;
+    use cc_url::Url;
+
+    fn path(origin: &str, hops: &[&str]) -> PathView {
+        PathView {
+            walk: 0,
+            step: 0,
+            crawler: CrawlerName::Safari1,
+            origin: Url::parse(&format!("https://www.{origin}/")).unwrap(),
+            hops: hops
+                .iter()
+                .map(|h| Url::parse(&format!("https://{h}/")).unwrap())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bounce_vs_smuggling_vs_benign() {
+        // Path 1: smuggling (has a finding). Path 2: bounce only.
+        // Path 3: direct navigation, benign.
+        let smuggling_path = path("a.com", &["r.trk.net", "www.x.com"]);
+        let finding = UidFinding {
+            walk: 0,
+            step: 0,
+            name: "gclid".into(),
+            values: Default::default(),
+            combo: ComboClass::OneProfileOnly,
+            origin: "a.com".into(),
+            destination: Some("x.com".into()),
+            redirectors: vec!["trk.net".into()],
+            domain_path: vec!["a.com".into(), "trk.net".into(), "x.com".into()],
+            url_path: smuggling_path.url_path(),
+            at_origin: true,
+            at_destination: true,
+            cookie_lifetime_days: None,
+        };
+        let out = PipelineOutput {
+            findings: vec![finding],
+            paths: vec![
+                smuggling_path,
+                path("b.com", &["r.bounce.net", "www.y.com"]),
+                path("c.com", &["www.z.com"]),
+            ],
+            ..Default::default()
+        };
+        let s = bounce_stats(&out);
+        assert_eq!(s.unique_url_paths, 3);
+        assert_eq!(s.smuggling_paths, 1);
+        assert_eq!(s.bounce_only_paths, 1);
+        assert!((s.bounce_rate().fraction() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.navigational_tracking_rate().fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_site_hop_is_not_a_redirector() {
+        // origin -> www.origin subpage -> dest: no third-party bounce.
+        let out = PipelineOutput {
+            paths: vec![path("a.com", &["shop.a.com", "www.b.com"])],
+            ..Default::default()
+        };
+        let s = bounce_stats(&out);
+        assert_eq!(s.bounce_only_paths, 0);
+    }
+}

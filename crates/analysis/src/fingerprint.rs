@@ -1,0 +1,181 @@
+//! The fingerprinting experiment (§3.5).
+//!
+//! CrumbCruncher discards tokens whose value is identical across crawlers —
+//! exactly what fingerprint-derived UIDs look like, since all four crawlers
+//! run on one machine. The paper bounds the damage: split smuggling cases
+//! by whether the originator is on a known fingerprinter list (Iqbal et
+//! al.), then compare the single-crawler vs multi-crawler proportions with
+//! a two-proportion Z test. Paper numbers: 13% of smuggling originates on
+//! fingerprinting sites; 44% of that group is multi-crawler vs 52% in the
+//! rest; significant but small (~13 missed cases).
+
+use cc_core::pipeline::PipelineOutput;
+use cc_util::stats::{two_proportion_z_test, Proportion, ZTestResult};
+use cc_web::SimWeb;
+use serde::{Deserialize, Serialize};
+
+/// Results of the §3.5 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FingerprintExperiment {
+    /// Smuggling cases originating on fingerprinting sites.
+    pub fp_cases: u64,
+    /// Of those, cases observed on multiple crawlers.
+    pub fp_multi: u64,
+    /// Cases originating elsewhere.
+    pub non_fp_cases: u64,
+    /// Of those, multi-crawler cases.
+    pub non_fp_multi: u64,
+    /// Two-proportion Z test over the multi-crawler proportions.
+    pub z_test: Option<ZTestResult>,
+    /// Estimated missed cases: the multi-crawler shortfall applied to the
+    /// fingerprinting group (the paper's "on the order of 13 cases").
+    pub estimated_missed: f64,
+}
+
+impl FingerprintExperiment {
+    /// Share of smuggling originating on fingerprinting sites (paper: 13%).
+    pub fn fp_share(&self) -> Proportion {
+        Proportion::new(self.fp_cases, self.fp_cases + self.non_fp_cases)
+    }
+
+    /// Multi-crawler proportion among fingerprinting-site cases.
+    pub fn fp_multi_rate(&self) -> f64 {
+        if self.fp_cases == 0 {
+            0.0
+        } else {
+            self.fp_multi as f64 / self.fp_cases as f64
+        }
+    }
+
+    /// Multi-crawler proportion among the rest.
+    pub fn non_fp_multi_rate(&self) -> f64 {
+        if self.non_fp_cases == 0 {
+            0.0
+        } else {
+            self.non_fp_multi as f64 / self.non_fp_cases as f64
+        }
+    }
+}
+
+/// Whether a registered domain hosts fingerprinting scripts (the
+/// simulator's stand-in for Iqbal et al.'s fingerprinter list).
+pub fn is_fingerprinting_site(web: &SimWeb, domain: &str) -> bool {
+    web.sites
+        .iter()
+        .find(|s| s.domain == domain)
+        .map(|s| s.fingerprints)
+        .unwrap_or(false)
+}
+
+/// Run the experiment over pipeline findings.
+pub fn fingerprint_experiment(web: &SimWeb, output: &PipelineOutput) -> FingerprintExperiment {
+    let mut fp_cases = 0;
+    let mut fp_multi = 0;
+    let mut non_fp_cases = 0;
+    let mut non_fp_multi = 0;
+
+    for f in &output.findings {
+        let multi = f.values.len() >= 2;
+        if is_fingerprinting_site(web, &f.origin) {
+            fp_cases += 1;
+            if multi {
+                fp_multi += 1;
+            }
+        } else {
+            non_fp_cases += 1;
+            if multi {
+                non_fp_multi += 1;
+            }
+        }
+    }
+
+    let z_test = two_proportion_z_test(fp_multi, fp_cases, non_fp_multi, non_fp_cases);
+    let shortfall = if fp_cases > 0 && non_fp_cases > 0 {
+        let expected = non_fp_multi as f64 / non_fp_cases as f64;
+        let actual = fp_multi as f64 / fp_cases as f64;
+        ((expected - actual) * fp_cases as f64).max(0.0)
+    } else {
+        0.0
+    };
+
+    FingerprintExperiment {
+        fp_cases,
+        fp_multi,
+        non_fp_cases,
+        non_fp_multi,
+        z_test,
+        estimated_missed: shortfall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_core::pipeline::UidFinding;
+    use cc_core::ComboClass;
+    use cc_crawler::CrawlerName;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn finding(origin: &str, crawlers: &[CrawlerName]) -> UidFinding {
+        let mut values: BTreeMap<CrawlerName, BTreeSet<String>> = BTreeMap::new();
+        for (i, c) in crawlers.iter().enumerate() {
+            values.entry(*c).or_default().insert(format!("v{i}"));
+        }
+        UidFinding {
+            walk: 0,
+            step: 0,
+            name: "x".into(),
+            values,
+            combo: ComboClass::OneProfileOnly,
+            origin: origin.into(),
+            destination: Some("d.com".into()),
+            redirectors: vec![],
+            domain_path: vec![origin.into(), "d.com".into()],
+            url_path: vec![format!("www.{origin}/"), "www.d.com/".into()],
+            at_origin: true,
+            at_destination: true,
+            cookie_lifetime_days: None,
+        }
+    }
+
+    fn fp_web() -> SimWeb {
+        let mut web = cc_web::generate(&cc_web::WebConfig::small());
+        // Force site 0 to fingerprint for a deterministic test.
+        web.sites[0].fingerprints = true;
+        web.sites[1].fingerprints = false;
+        web
+    }
+
+    #[test]
+    fn experiment_counts_and_shortfall() {
+        let web = fp_web();
+        let fp_domain = web.sites[0].domain.clone();
+        let other = web.sites[1].domain.clone();
+        let out = PipelineOutput {
+            findings: vec![
+                finding(&fp_domain, &[CrawlerName::Safari1]),
+                finding(&fp_domain, &[CrawlerName::Safari1, CrawlerName::Safari2]),
+                finding(&other, &[CrawlerName::Safari1, CrawlerName::Chrome3]),
+                finding(&other, &[CrawlerName::Safari1, CrawlerName::Safari2]),
+                finding(&other, &[CrawlerName::Safari2]),
+            ],
+            ..Default::default()
+        };
+        let e = fingerprint_experiment(&web, &out);
+        assert_eq!(e.fp_cases, 2);
+        assert_eq!(e.fp_multi, 1);
+        assert_eq!(e.non_fp_cases, 3);
+        assert_eq!(e.non_fp_multi, 2);
+        assert!((e.fp_share().fraction() - 0.4).abs() < 1e-12);
+        assert!((e.fp_multi_rate() - 0.5).abs() < 1e-12);
+        // Shortfall: (2/3 - 1/2) * 2 = 1/3.
+        assert!((e.estimated_missed - 1.0 / 3.0).abs() < 1e-9);
+        assert!(e.z_test.is_some());
+    }
+
+    #[test]
+    fn unknown_domains_are_not_fingerprinters() {
+        let web = fp_web();
+        assert!(!is_fingerprinting_site(&web, "never-generated.example"));
+    }
+}

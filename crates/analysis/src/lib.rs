@@ -1,0 +1,49 @@
+//! # cc-analysis
+//!
+//! The §5 analyses: from pipeline findings to every table and figure in the
+//! paper's evaluation.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`summary`] | Table 2 (path/participant counts) + the 8.11% headline |
+//! | [`redirectors`] | §5.1 dedicated/multi-purpose classification + Table 3 |
+//! | [`orgs`] | Figure 4 (top originator/destination organizations) |
+//! | [`categories`] | Figure 5 (site categories) |
+//! | [`third_party`] | Figure 6 (third parties receiving leaked UIDs) |
+//! | [`paths`] | Figure 7 (redirector counts) + Figure 8 (path portions) |
+//! | [`bounce`] | §8's bounce-tracking comparison with Koop et al. |
+//! | [`fingerprint`] | §3.5's fingerprinting experiment (two-proportion Z) |
+//! | [`failures`] | §3.3's failure-independence-across-steps expectation |
+//! | [`cname`] | §8.3 extension: CNAME-cloaking detection |
+//! | [`cookie_sync`] | §8.2 related work: cookie-sync detection and the partitioning limit |
+//! | [`report`] | Rendering everything as paper-style text tables |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounce;
+pub mod categories;
+pub mod cname;
+pub mod cookie_sync;
+pub mod failures;
+pub mod fingerprint;
+pub mod orgs;
+pub mod paths;
+pub mod redirectors;
+pub mod report;
+pub mod summary;
+pub mod third_party;
+
+pub use redirectors::{classify_redirectors, RedirectorClass, RedirectorProfile};
+pub use report::AnalysisReport;
+pub use summary::{summarize, Summary};
+
+/// Extract the FQDN from a `host/path` string (the `url_path` unit).
+pub(crate) fn fqdn_of(host_and_path: &str) -> &str {
+    host_and_path.split('/').next().unwrap_or(host_and_path)
+}
+
+/// Join a path into a canonical string key for uniqueness counting.
+pub(crate) fn path_key(parts: &[String]) -> String {
+    parts.join(" -> ")
+}

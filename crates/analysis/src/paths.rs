@@ -1,0 +1,247 @@
+//! Figures 7 and 8: navigation-path shapes (§5.3).
+//!
+//! Figure 7: "the higher the number of redirectors in a path, the greater
+//! the proportion of those paths that contain dedicated smugglers."
+//! Figure 8: which portion of the path UIDs traverse, split by whether a
+//! dedicated smuggler was involved — "partial transfer cases involve a
+//! higher proportion of dedicated smugglers."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cc_core::pipeline::{PathPortion, PipelineOutput};
+use serde::{Deserialize, Serialize};
+
+use crate::fqdn_of;
+use crate::path_key;
+use crate::redirectors::{classify_redirectors, RedirectorClass};
+
+/// One Figure 7 bar: paths with a given redirector count, stacked by
+/// dedicated-smuggler involvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Fig7Bar {
+    /// Number of redirectors in the path.
+    pub redirectors: usize,
+    /// Unique smuggling URL paths with ≥2 dedicated smugglers.
+    pub two_plus_dedicated: u64,
+    /// Paths with exactly one dedicated smuggler.
+    pub one_dedicated: u64,
+    /// Paths with no dedicated smuggler.
+    pub no_dedicated: u64,
+}
+
+impl Fig7Bar {
+    /// Total paths in the bar.
+    pub fn total(&self) -> u64 {
+        self.two_plus_dedicated + self.one_dedicated + self.no_dedicated
+    }
+}
+
+/// Compute Figure 7 over unique smuggling URL paths.
+pub fn figure7(output: &PipelineOutput) -> Vec<Fig7Bar> {
+    let dedicated: BTreeSet<String> = classify_redirectors(output)
+        .into_iter()
+        .filter(|r| r.class == RedirectorClass::Dedicated)
+        .map(|r| r.fqdn)
+        .collect();
+
+    let mut seen_paths: BTreeSet<String> = BTreeSet::new();
+    let mut bars: BTreeMap<usize, Fig7Bar> = BTreeMap::new();
+
+    for f in &output.findings {
+        let key = path_key(&f.url_path);
+        if !seen_paths.insert(key) {
+            continue;
+        }
+        // Redirector hops are everything between origin and destination.
+        let hop_count = f.url_path.len().saturating_sub(2);
+        let dedicated_hops = f.url_path[1..f.url_path.len().saturating_sub(1)]
+            .iter()
+            .filter(|h| dedicated.contains(fqdn_of(h)))
+            .count();
+        let bar = bars.entry(hop_count).or_insert_with(|| Fig7Bar {
+            redirectors: hop_count,
+            ..Default::default()
+        });
+        match dedicated_hops {
+            0 => bar.no_dedicated += 1,
+            1 => bar.one_dedicated += 1,
+            _ => bar.two_plus_dedicated += 1,
+        }
+    }
+    bars.into_values().collect()
+}
+
+/// One Figure 8 bar: UIDs traversing a path portion, split by dedicated
+/// involvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig8Bar {
+    /// The portion.
+    pub portion: PathPortion,
+    /// UIDs whose path included a dedicated smuggler.
+    pub with_dedicated: u64,
+    /// UIDs without any dedicated smuggler in the path.
+    pub without_dedicated: u64,
+}
+
+impl Fig8Bar {
+    /// Total UIDs in the bar.
+    pub fn total(&self) -> u64 {
+        self.with_dedicated + self.without_dedicated
+    }
+}
+
+/// Compute Figure 8 over all UID findings.
+pub fn figure8(output: &PipelineOutput) -> Vec<Fig8Bar> {
+    let dedicated: BTreeSet<String> = classify_redirectors(output)
+        .into_iter()
+        .filter(|r| r.class == RedirectorClass::Dedicated)
+        .map(|r| r.fqdn)
+        .collect();
+
+    let portions = [
+        PathPortion::OriginatorToRedirectorToDestination,
+        PathPortion::OriginatorToDestination,
+        PathPortion::RedirectorToDestination,
+        PathPortion::OriginatorToRedirector,
+        PathPortion::RedirectorToRedirector,
+    ];
+    let mut bars: BTreeMap<PathPortion, Fig8Bar> = portions
+        .iter()
+        .map(|p| {
+            (
+                *p,
+                Fig8Bar {
+                    portion: *p,
+                    with_dedicated: 0,
+                    without_dedicated: 0,
+                },
+            )
+        })
+        .collect();
+
+    for f in &output.findings {
+        let has_dedicated = f.url_path[1..f.url_path.len().saturating_sub(1)]
+            .iter()
+            .any(|h| dedicated.contains(fqdn_of(h)));
+        let bar = bars.get_mut(&f.portion()).expect("all portions present");
+        if has_dedicated {
+            bar.with_dedicated += 1;
+        } else {
+            bar.without_dedicated += 1;
+        }
+    }
+    portions.iter().map(|p| bars[p]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_core::pipeline::UidFinding;
+    use cc_core::ComboClass;
+
+    /// Build a finding with `n` redirector hops through the given FQDNs.
+    fn finding(
+        origin: &str,
+        hops: &[&str],
+        dest: &str,
+        at_origin: bool,
+        at_dest: bool,
+    ) -> UidFinding {
+        let mut url_path = vec![format!("www.{origin}/")];
+        let mut domain_path = vec![origin.to_string()];
+        for h in hops {
+            url_path.push(format!("{h}/r"));
+            domain_path.push(cc_url::registered_domain(h));
+        }
+        url_path.push(format!("www.{dest}/"));
+        domain_path.push(dest.to_string());
+        UidFinding {
+            walk: 0,
+            step: 0,
+            name: "gclid".into(),
+            values: Default::default(),
+            combo: ComboClass::OneProfileOnly,
+            origin: origin.into(),
+            destination: Some(dest.into()),
+            redirectors: hops.iter().map(|h| cc_url::registered_domain(h)).collect(),
+            domain_path,
+            url_path,
+            at_origin,
+            at_destination: at_dest,
+            cookie_lifetime_days: None,
+        }
+    }
+
+    fn multi_path_findings() -> Vec<UidFinding> {
+        vec![
+            // r.ded.net qualifies as dedicated (2 origins, 2 dests).
+            finding("a.com", &["r.ded.net"], "x.com", true, true),
+            finding("b.com", &["r.ded.net"], "y.com", true, true),
+            // No redirectors.
+            finding("c.com", &[], "z.com", true, true),
+            // Two hops, one dedicated.
+            finding("d.com", &["r.ded.net", "r.rare.net"], "w.com", true, false),
+        ]
+    }
+
+    #[test]
+    fn figure7_bars() {
+        let out = PipelineOutput {
+            findings: multi_path_findings(),
+            ..Default::default()
+        };
+        let bars = figure7(&out);
+        let by_n: BTreeMap<usize, &Fig7Bar> = bars.iter().map(|b| (b.redirectors, b)).collect();
+        assert_eq!(by_n[&0].total(), 1);
+        assert_eq!(by_n[&0].no_dedicated, 1);
+        assert_eq!(by_n[&1].total(), 2);
+        assert_eq!(by_n[&1].one_dedicated, 2);
+        assert_eq!(by_n[&2].one_dedicated, 1);
+    }
+
+    #[test]
+    fn figure7_dedupes_paths() {
+        let mut findings = multi_path_findings();
+        findings.push(finding("a.com", &["r.ded.net"], "x.com", true, true));
+        let out = PipelineOutput {
+            findings,
+            ..Default::default()
+        };
+        let total: u64 = figure7(&out).iter().map(Fig7Bar::total).sum();
+        assert_eq!(total, 4, "duplicate path must count once");
+    }
+
+    #[test]
+    fn figure8_bars() {
+        let out = PipelineOutput {
+            findings: multi_path_findings(),
+            ..Default::default()
+        };
+        let bars = figure8(&out);
+        let full = bars
+            .iter()
+            .find(|b| b.portion == PathPortion::OriginatorToRedirectorToDestination)
+            .unwrap();
+        assert_eq!(full.total(), 2);
+        assert_eq!(full.with_dedicated, 2);
+        let od = bars
+            .iter()
+            .find(|b| b.portion == PathPortion::OriginatorToDestination)
+            .unwrap();
+        assert_eq!(od.total(), 1);
+        assert_eq!(od.without_dedicated, 1);
+        let or = bars
+            .iter()
+            .find(|b| b.portion == PathPortion::OriginatorToRedirector)
+            .unwrap();
+        assert_eq!(or.total(), 1);
+        assert_eq!(or.with_dedicated, 1);
+    }
+
+    #[test]
+    fn empty_output_yields_empty_fig7_and_zero_fig8() {
+        let out = PipelineOutput::default();
+        assert!(figure7(&out).is_empty());
+        assert!(figure8(&out).iter().all(|b| b.total() == 0));
+    }
+}

@@ -1,0 +1,285 @@
+//! Redirector classification and Table 3 (§5.1).
+//!
+//! "We consider a redirector a dedicated smuggler if it meets three
+//! requirements: [it] appears in navigation paths whose originators have
+//! multiple different registered domains; … end in destinations with
+//! multiple registered domain names; [and its] FQDN is never observed as an
+//! originator or destination." Everything else is a multi-purpose smuggler.
+//! The heuristic is deliberately conservative: rarely-seen dedicated
+//! smugglers fail the multiplicity tests and land in the multi-purpose
+//! bucket.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cc_core::pipeline::PipelineOutput;
+use serde::{Deserialize, Serialize};
+
+use crate::{fqdn_of, path_key};
+
+/// Measured classification of a redirector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RedirectorClass {
+    /// No purpose in the path besides UID smuggling.
+    Dedicated,
+    /// Also observed as an originator/destination, or seen too rarely to
+    /// pass the multiplicity tests.
+    MultiPurpose,
+}
+
+/// Everything measured about one redirector FQDN.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedirectorProfile {
+    /// The redirector's FQDN.
+    pub fqdn: String,
+    /// Unique smuggling *domain paths* it appeared in (Table 3's count
+    /// unit).
+    pub domain_path_count: u64,
+    /// Distinct originator registered domains across its paths.
+    pub originators: BTreeSet<String>,
+    /// Distinct destination registered domains across its paths.
+    pub destinations: BTreeSet<String>,
+    /// Whether the FQDN was ever observed as an originator or destination
+    /// anywhere in the crawl.
+    pub seen_as_endpoint: bool,
+    /// Resulting class.
+    pub class: RedirectorClass,
+}
+
+/// Classify every redirector observed in UID-smuggling paths.
+///
+/// `output` supplies both the smuggling findings and the full set of
+/// observed paths (for the endpoint check).
+pub fn classify_redirectors(output: &PipelineOutput) -> Vec<RedirectorProfile> {
+    // FQDNs observed as path endpoints anywhere in the crawl.
+    let mut endpoint_fqdns: BTreeSet<&str> = BTreeSet::new();
+    for p in &output.paths {
+        endpoint_fqdns.insert(p.origin.host.as_str());
+        if let Some(last) = p.hops.last() {
+            endpoint_fqdns.insert(last.host.as_str());
+        }
+    }
+
+    // Walk unique smuggling domain paths.
+    struct Acc {
+        domain_paths: BTreeSet<String>,
+        originators: BTreeSet<String>,
+        destinations: BTreeSet<String>,
+    }
+    let mut acc: BTreeMap<String, Acc> = BTreeMap::new();
+
+    for f in &output.findings {
+        let dpath = path_key(&f.domain_path);
+        // Redirector FQDNs: all hops except origin and final destination.
+        let hop_fqdns: Vec<&str> = f.url_path[1..f.url_path.len().saturating_sub(1)]
+            .iter()
+            .map(|h| fqdn_of(h))
+            .collect();
+        for fq in hop_fqdns {
+            let e = acc.entry(fq.to_string()).or_insert_with(|| Acc {
+                domain_paths: BTreeSet::new(),
+                originators: BTreeSet::new(),
+                destinations: BTreeSet::new(),
+            });
+            e.domain_paths.insert(dpath.clone());
+            e.originators.insert(f.origin.clone());
+            if let Some(d) = &f.destination {
+                e.destinations.insert(d.clone());
+            }
+        }
+    }
+
+    let mut out: Vec<RedirectorProfile> = acc
+        .into_iter()
+        .map(|(fqdn, a)| {
+            let seen_as_endpoint = endpoint_fqdns.contains(fqdn.as_str());
+            let class =
+                if a.originators.len() >= 2 && a.destinations.len() >= 2 && !seen_as_endpoint {
+                    RedirectorClass::Dedicated
+                } else {
+                    RedirectorClass::MultiPurpose
+                };
+            RedirectorProfile {
+                fqdn,
+                domain_path_count: a.domain_paths.len() as u64,
+                originators: a.originators,
+                destinations: a.destinations,
+                seen_as_endpoint,
+                class,
+            }
+        })
+        .collect();
+    // Table order: most domain paths first, FQDN ties alphabetical.
+    out.sort_by(|a, b| {
+        b.domain_path_count
+            .cmp(&a.domain_path_count)
+            .then_with(|| a.fqdn.cmp(&b.fqdn))
+    });
+    out
+}
+
+/// One Table 3 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Redirector FQDN.
+    pub redirector: String,
+    /// Unique domain paths containing it.
+    pub count: u64,
+    /// Percentage of all unique smuggling domain paths.
+    pub pct_domain_paths: f64,
+    /// Whether the redirector is multi-purpose (starred in the paper).
+    pub multi_purpose: bool,
+}
+
+/// Build Table 3: the top-`k` redirectors.
+pub fn table3(output: &PipelineOutput, k: usize) -> Vec<Table3Row> {
+    let profiles = classify_redirectors(output);
+    let total_domain_paths: BTreeSet<String> = output
+        .findings
+        .iter()
+        .map(|f| path_key(&f.domain_path))
+        .collect();
+    let denom = total_domain_paths.len().max(1) as f64;
+    profiles
+        .into_iter()
+        .take(k)
+        .map(|p| Table3Row {
+            redirector: p.fqdn.clone(),
+            count: p.domain_path_count,
+            pct_domain_paths: 100.0 * p.domain_path_count as f64 / denom,
+            multi_purpose: p.class == RedirectorClass::MultiPurpose,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_core::observe::PathView;
+    use cc_core::pipeline::UidFinding;
+    use cc_core::ComboClass;
+    use cc_crawler::CrawlerName;
+    use cc_url::Url;
+
+    fn finding(origin: &str, redirector: &str, dest: &str) -> UidFinding {
+        UidFinding {
+            walk: 0,
+            step: 0,
+            name: "gclid".into(),
+            values: Default::default(),
+            combo: ComboClass::OneProfileOnly,
+            origin: origin.into(),
+            destination: Some(dest.into()),
+            redirectors: vec![cc_url::registered_domain(redirector)],
+            domain_path: vec![
+                origin.into(),
+                cc_url::registered_domain(redirector),
+                dest.into(),
+            ],
+            url_path: vec![
+                format!("www.{origin}/"),
+                format!("{redirector}/r"),
+                format!("www.{dest}/"),
+            ],
+            at_origin: true,
+            at_destination: true,
+            cookie_lifetime_days: None,
+        }
+    }
+
+    fn path(origin: &str, dest: &str) -> PathView {
+        PathView {
+            walk: 0,
+            step: 0,
+            crawler: CrawlerName::Safari1,
+            origin: Url::parse(&format!("https://www.{origin}/")).unwrap(),
+            hops: vec![Url::parse(&format!("https://www.{dest}/")).unwrap()],
+        }
+    }
+
+    fn output(findings: Vec<UidFinding>, paths: Vec<PathView>) -> PipelineOutput {
+        PipelineOutput {
+            findings,
+            paths,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dedicated_requires_multiplicity() {
+        let out = output(
+            vec![
+                finding("a.com", "r.trk.net", "x.com"),
+                finding("b.com", "r.trk.net", "y.com"),
+                finding("a.com", "r.solo.net", "x.com"),
+            ],
+            vec![],
+        );
+        let profiles = classify_redirectors(&out);
+        let trk = profiles.iter().find(|p| p.fqdn == "r.trk.net").unwrap();
+        assert_eq!(trk.class, RedirectorClass::Dedicated);
+        assert_eq!(trk.domain_path_count, 2);
+        // Single originator/destination: conservative multi-purpose.
+        let solo = profiles.iter().find(|p| p.fqdn == "r.solo.net").unwrap();
+        assert_eq!(solo.class, RedirectorClass::MultiPurpose);
+    }
+
+    #[test]
+    fn endpoint_fqdn_is_multi_purpose() {
+        // www.facebook.com-style: the FQDN also appears as a destination.
+        let out = output(
+            vec![
+                finding("a.com", "www.social.com", "x.com"),
+                finding("b.com", "www.social.com", "y.com"),
+            ],
+            vec![path("z.com", "social.com")],
+        );
+        let profiles = classify_redirectors(&out);
+        let social = profiles
+            .iter()
+            .find(|p| p.fqdn == "www.social.com")
+            .unwrap();
+        assert!(social.seen_as_endpoint);
+        assert_eq!(social.class, RedirectorClass::MultiPurpose);
+    }
+
+    #[test]
+    fn table3_percentages() {
+        let out = output(
+            vec![
+                finding("a.com", "r.big.net", "x.com"),
+                finding("b.com", "r.big.net", "y.com"),
+                finding("c.com", "r.small.net", "z.com"),
+            ],
+            vec![],
+        );
+        let rows = table3(&out, 30);
+        assert_eq!(rows[0].redirector, "r.big.net");
+        assert_eq!(rows[0].count, 2);
+        // 3 unique domain paths total.
+        assert!((rows[0].pct_domain_paths - 66.66).abs() < 0.1);
+        assert!(!rows[0].multi_purpose);
+        assert!(rows[1].multi_purpose);
+    }
+
+    #[test]
+    fn duplicate_paths_counted_once() {
+        let out = output(
+            vec![
+                finding("a.com", "r.trk.net", "x.com"),
+                finding("a.com", "r.trk.net", "x.com"),
+            ],
+            vec![],
+        );
+        let profiles = classify_redirectors(&out);
+        assert_eq!(profiles[0].domain_path_count, 1);
+    }
+
+    #[test]
+    fn zero_redirector_findings_yield_no_profiles() {
+        let mut f = finding("a.com", "r.trk.net", "x.com");
+        f.url_path = vec!["www.a.com/".into(), "www.x.com/".into()];
+        f.redirectors.clear();
+        let out = output(vec![f], vec![]);
+        assert!(classify_redirectors(&out).is_empty());
+    }
+}

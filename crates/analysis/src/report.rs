@@ -1,0 +1,393 @@
+//! The full analysis report: every table and figure in one structure, with
+//! paper-style text rendering.
+
+use cc_core::pipeline::PipelineOutput;
+use cc_core::ComboClass;
+use cc_crawler::{CrawlDataset, FailureStats};
+use cc_util::Counter;
+use cc_web::SimWeb;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+use crate::bounce::{bounce_stats, BounceStats};
+use crate::cookie_sync::{detect_cookie_sync, CookieSyncReport};
+use crate::failures::{failures_by_step, StepFailureReport};
+use crate::categories::{figure5, CategoryBreakdown};
+use crate::cname::{detect_cloaking, CloakedHost};
+use crate::fingerprint::{fingerprint_experiment, FingerprintExperiment};
+use crate::orgs::{figure4, OrgAppearances};
+use crate::paths::{figure7, figure8, Fig7Bar, Fig8Bar};
+use crate::redirectors::{table3, Table3Row};
+use crate::summary::{summarize, Summary};
+use crate::third_party::{figure6, ThirdPartyRow};
+
+/// Table 1: UID counts per crawler-profile combination.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Rows in the paper's order: (combo, token count).
+    pub rows: Vec<(ComboClass, u64)>,
+}
+
+/// Build Table 1 from pipeline findings.
+pub fn table1(output: &PipelineOutput) -> Table1 {
+    let counts: Counter<ComboClass> = output.findings.iter().map(|f| f.combo).collect();
+    let order = [
+        ComboClass::TwoIdenticalPlusDifferent,
+        ComboClass::TwoOrMoreDifferentOnly,
+        ComboClass::TwoIdenticalOnly,
+        ComboClass::OneProfileOnly,
+    ];
+    Table1 {
+        rows: order.iter().map(|c| (*c, counts.get(c))).collect(),
+    }
+}
+
+/// Everything the evaluation section reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Table 1.
+    pub table1: Table1,
+    /// Table 2 (plus the 8.11% headline via `summary.smuggling_rate()`).
+    pub summary: Summary,
+    /// Table 3 (top-30 redirectors).
+    pub table3: Vec<Table3Row>,
+    /// Figure 4.
+    pub orgs: OrgAppearances,
+    /// Figure 5.
+    pub categories: CategoryBreakdown,
+    /// Figure 6.
+    pub third_parties: Vec<ThirdPartyRow>,
+    /// Figure 7.
+    pub fig7: Vec<Fig7Bar>,
+    /// Figure 8.
+    pub fig8: Vec<Fig8Bar>,
+    /// Bounce-tracking comparison (§8).
+    pub bounce: BounceStats,
+    /// Fingerprinting experiment (§3.5).
+    pub fingerprint: FingerprintExperiment,
+    /// §3.3 crawl failure accounting.
+    pub failures: FailureStats,
+    /// CNAME-cloaking findings (§8.3 extension).
+    pub cloaked: Vec<CloakedHost>,
+    /// Manual-stage counts (§3.7.2: 577 of 1,581 in the paper).
+    pub manual_entered: u64,
+    /// Tokens removed by the manual stage.
+    pub manual_removed: u64,
+    /// Cookie-sync analysis (§8.2 related work).
+    pub cookie_sync: CookieSyncReport,
+    /// Failure independence across walk steps (§3.3's expectation).
+    pub step_failures: StepFailureReport,
+}
+
+/// Build the complete report.
+pub fn full_report(
+    web: &SimWeb,
+    dataset: &CrawlDataset,
+    output: &PipelineOutput,
+) -> AnalysisReport {
+    AnalysisReport {
+        table1: table1(output),
+        summary: summarize(output),
+        table3: table3(output, 30),
+        orgs: figure4(web, output, 20),
+        categories: figure5(web, output),
+        third_parties: figure6(dataset, output, 20),
+        fig7: figure7(output),
+        fig8: figure8(output),
+        bounce: bounce_stats(output),
+        fingerprint: fingerprint_experiment(web, output),
+        failures: dataset.failures,
+        cloaked: detect_cloaking(web, dataset, output),
+        manual_entered: output.stats.entered_manual,
+        manual_removed: output.stats.manual_removed,
+        cookie_sync: detect_cookie_sync(dataset),
+        step_failures: failures_by_step(
+            dataset,
+            dataset
+                .walks
+                .iter()
+                .flat_map(|w| w.steps.iter().map(|s| s.index + 1))
+                .max()
+                .unwrap_or(0),
+        ),
+    }
+}
+
+impl AnalysisReport {
+    /// Render the report as paper-style text tables.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== Table 1: crawler combinations of identified UIDs ==");
+        for (combo, count) in &self.table1.rows {
+            let _ = writeln!(s, "  {:<48} {:>6}", combo.label(), count);
+        }
+
+        let sm = &self.summary;
+        let _ = writeln!(s, "\n== Table 2: summary ==");
+        let _ = writeln!(
+            s,
+            "  Unique URL Paths                    {:>8}",
+            sm.unique_url_paths
+        );
+        let _ = writeln!(
+            s,
+            "  Unique URL Paths w/ UID Smuggling   {:>8}",
+            sm.unique_url_paths_smuggling
+        );
+        let _ = writeln!(
+            s,
+            "  Unique Domain Paths w/ UID Smuggling{:>8}",
+            sm.unique_domain_paths_smuggling
+        );
+        let _ = writeln!(
+            s,
+            "  Unique Redirectors                  {:>8}",
+            sm.unique_redirectors
+        );
+        let _ = writeln!(
+            s,
+            "  Dedicated Smugglers                 {:>8}",
+            sm.dedicated_smugglers
+        );
+        let _ = writeln!(
+            s,
+            "  Multi-Purpose Smugglers             {:>8}",
+            sm.multi_purpose_smugglers
+        );
+        let _ = writeln!(
+            s,
+            "  Unique Originators                  {:>8}",
+            sm.unique_originators
+        );
+        let _ = writeln!(
+            s,
+            "  Unique Destinations                 {:>8}",
+            sm.unique_destinations
+        );
+        let _ = writeln!(
+            s,
+            "  >> UID smuggling on {} of unique URL paths",
+            sm.smuggling_rate()
+        );
+
+        let _ = writeln!(s, "\n== Table 3: top redirectors (* = multi-purpose) ==");
+        for r in &self.table3 {
+            let _ = writeln!(
+                s,
+                "  {:<44}{} {:>5}  {:>5.1}%",
+                r.redirector,
+                if r.multi_purpose { "*" } else { " " },
+                r.count,
+                r.pct_domain_paths
+            );
+        }
+
+        let _ = writeln!(s, "\n== Figure 4: top organizations ==");
+        let _ = writeln!(s, "  Originators:");
+        for (org, n) in &self.orgs.originators {
+            let _ = writeln!(s, "    {org:<40} {n:>5}");
+        }
+        let _ = writeln!(s, "  Destinations:");
+        for (org, n) in &self.orgs.destinations {
+            let _ = writeln!(s, "    {org:<40} {n:>5}");
+        }
+
+        let _ = writeln!(
+            s,
+            "\n== Figure 5: categories (originators / destinations) =="
+        );
+        for (cat, n) in &self.categories.originators {
+            let dest = self
+                .categories
+                .destinations
+                .iter()
+                .find(|(c, _)| c == cat)
+                .map(|(_, n)| *n)
+                .unwrap_or(0);
+            let _ = writeln!(s, "  {:<32} {:>4} / {:>4}", cat.label(), n, dest);
+        }
+
+        let _ = writeln!(s, "\n== Figure 6: third parties receiving UIDs ==");
+        for r in &self.third_parties {
+            let _ = writeln!(
+                s,
+                "  {:<36} {:>5} requests ({} via full-URL leak only)",
+                r.domain, r.requests, r.via_full_url_only
+            );
+        }
+
+        let _ = writeln!(s, "\n== Figure 7: redirectors per smuggling URL path ==");
+        for b in &self.fig7 {
+            let _ = writeln!(
+                s,
+                "  {:>2} redirectors: {:>4} paths  (2+ dedicated: {}, 1: {}, none: {})",
+                b.redirectors,
+                b.total(),
+                b.two_plus_dedicated,
+                b.one_dedicated,
+                b.no_dedicated
+            );
+        }
+
+        let _ = writeln!(s, "\n== Figure 8: UIDs per path portion ==");
+        for b in &self.fig8 {
+            let _ = writeln!(
+                s,
+                "  {:<44} {:>4}  (dedicated in path: {}, none: {})",
+                b.portion.label(),
+                b.total(),
+                b.with_dedicated,
+                b.without_dedicated
+            );
+        }
+
+        let _ = writeln!(s, "\n== Bounce tracking (§8) ==");
+        let _ = writeln!(s, "  Bounce-only paths: {}", self.bounce.bounce_rate());
+        let _ = writeln!(
+            s,
+            "  Navigational tracking total: {}",
+            self.bounce.navigational_tracking_rate()
+        );
+
+        let fp = &self.fingerprint;
+        let _ = writeln!(s, "\n== Fingerprinting experiment (§3.5) ==");
+        let _ = writeln!(
+            s,
+            "  Smuggling from fingerprinting sites: {}",
+            fp.fp_share()
+        );
+        let _ = writeln!(
+            s,
+            "  Multi-crawler: {:.0}% (fingerprinting) vs {:.0}% (rest)",
+            fp.fp_multi_rate() * 100.0,
+            fp.non_fp_multi_rate() * 100.0
+        );
+        if let Some(z) = fp.z_test {
+            let _ = writeln!(s, "  Two-proportion Z = {:.2}, p = {:.4}", z.z, z.p_value);
+        }
+        let _ = writeln!(s, "  Estimated missed cases: {:.1}", fp.estimated_missed);
+
+        let f = &self.failures;
+        let _ = writeln!(s, "\n== Crawl failures (§3.3) ==");
+        let _ = writeln!(
+            s,
+            "  Sync failures:    {:.1}%",
+            f.sync_failure_rate() * 100.0
+        );
+        let _ = writeln!(s, "  Divergences:      {:.1}%", f.divergence_rate() * 100.0);
+        let _ = writeln!(
+            s,
+            "  Connect failures: {:.1}%",
+            f.connect_failure_rate() * 100.0
+        );
+
+        let _ = writeln!(s, "\n== Manual stage (§3.7.2) ==");
+        let _ = writeln!(
+            s,
+            "  {} of {} candidate tokens removed by hand",
+            self.manual_removed, self.manual_entered
+        );
+
+        let _ = writeln!(s, "\n== Cookie syncing (§8.2) ==");
+        let _ = writeln!(
+            s,
+            "  {} synced values across {} tracker pairs ({} crossed top-level sites)",
+            self.cookie_sync.synced_values,
+            self.cookie_sync.pairs.len(),
+            self.cookie_sync.cross_site_values
+        );
+
+        let _ = writeln!(s, "\n== Failure independence across steps (§3.3) ==");
+        for row in &self.step_failures.rows {
+            let _ = writeln!(
+                s,
+                "  step {:>2}: {:>5} attempts, {:>4} failures ({:.1}%)",
+                row.step,
+                row.attempts,
+                row.failures,
+                row.rate() * 100.0
+            );
+        }
+        let _ = writeln!(s, "  chi-square vs pooled rate: {:.1}", self.step_failures.chi_square);
+
+        if !self.cloaked.is_empty() {
+            let _ = writeln!(s, "\n== CNAME cloaking (§8.3 extension) ==");
+            for c in &self.cloaked {
+                let _ = writeln!(s, "  {} -> {}", c.host, c.canonical);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_crawler::{CrawlConfig, Walker};
+    use cc_web::{generate, WebConfig};
+
+    fn report() -> AnalysisReport {
+        let web = generate(&WebConfig::small());
+        let ds = Walker::new(
+            &web,
+            CrawlConfig {
+                seed: 5,
+                steps_per_walk: 5,
+                max_walks: Some(15),
+                connect_failure_rate: 0.0,
+                ..CrawlConfig::default()
+            },
+        )
+        .crawl();
+        let out = cc_core::run_pipeline(&ds);
+        full_report(&web, &ds, &out)
+    }
+
+    #[test]
+    fn full_report_is_coherent() {
+        let r = report();
+        // Table 1 total equals findings count via summary linkage.
+        let t1_total: u64 = r.table1.rows.iter().map(|(_, n)| n).sum();
+        assert!(t1_total > 0, "no UIDs found");
+        assert!(r.summary.unique_url_paths > 0);
+        assert!(r.summary.unique_url_paths_smuggling <= r.summary.unique_url_paths);
+        assert_eq!(
+            r.summary.dedicated_smugglers + r.summary.multi_purpose_smugglers,
+            r.summary.unique_redirectors
+        );
+        // Figure 8 totals equal the UID count.
+        let f8: u64 = r.fig8.iter().map(|b| b.total()).sum();
+        assert_eq!(f8, t1_total);
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let text = report().render();
+        for section in [
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Bounce tracking",
+            "Fingerprinting experiment",
+            "Crawl failures",
+            "Manual stage",
+            "Cookie syncing",
+            "Failure independence",
+        ] {
+            assert!(text.contains(section), "missing section {section}");
+        }
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AnalysisReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.summary, r.summary);
+    }
+}

@@ -1,0 +1,175 @@
+//! Table 2 and the headline number (§5).
+//!
+//! "In total, we observed 10,814 unique URL paths … we found UID smuggling
+//! on 8.11% of the unique URL paths taken by CrumbCruncher." Uniqueness is
+//! computed over host+path sequences so duplicate traversals of the same
+//! route count once — "this metric gives a better estimate of how many
+//! websites participate in UID smuggling."
+
+use std::collections::BTreeSet;
+
+use cc_core::pipeline::PipelineOutput;
+use cc_util::stats::Proportion;
+use serde::{Deserialize, Serialize};
+
+use crate::path_key;
+use crate::redirectors::{classify_redirectors, RedirectorClass};
+
+/// Table 2: summary of navigation paths and their participants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Unique URL paths observed across the crawl.
+    pub unique_url_paths: u64,
+    /// Unique URL paths that contained UID smuggling.
+    pub unique_url_paths_smuggling: u64,
+    /// Unique domain paths with UID smuggling.
+    pub unique_domain_paths_smuggling: u64,
+    /// Unique redirector FQDNs in smuggling paths.
+    pub unique_redirectors: u64,
+    /// Redirectors classified as dedicated smugglers.
+    pub dedicated_smugglers: u64,
+    /// Redirectors classified as multi-purpose smugglers.
+    pub multi_purpose_smugglers: u64,
+    /// Unique originator registered domains.
+    pub unique_originators: u64,
+    /// Unique destination registered domains.
+    pub unique_destinations: u64,
+}
+
+impl Summary {
+    /// The headline: fraction of unique URL paths with UID smuggling
+    /// (8.11% in the paper).
+    pub fn smuggling_rate(&self) -> Proportion {
+        Proportion::new(self.unique_url_paths_smuggling, self.unique_url_paths)
+    }
+}
+
+/// Compute Table 2 from a pipeline run.
+pub fn summarize(output: &PipelineOutput) -> Summary {
+    let all_paths: BTreeSet<String> = output
+        .paths
+        .iter()
+        .map(|p| path_key(&p.url_path()))
+        .collect();
+    let smuggling_paths: BTreeSet<String> = output
+        .findings
+        .iter()
+        .map(|f| path_key(&f.url_path))
+        .collect();
+    let smuggling_domain_paths: BTreeSet<String> = output
+        .findings
+        .iter()
+        .map(|f| path_key(&f.domain_path))
+        .collect();
+    let originators: BTreeSet<&str> = output.findings.iter().map(|f| f.origin.as_str()).collect();
+    let destinations: BTreeSet<&str> = output
+        .findings
+        .iter()
+        .filter_map(|f| f.destination.as_deref())
+        .collect();
+
+    let redirectors = classify_redirectors(output);
+    let dedicated = redirectors
+        .iter()
+        .filter(|r| r.class == RedirectorClass::Dedicated)
+        .count() as u64;
+
+    Summary {
+        unique_url_paths: all_paths.len() as u64,
+        unique_url_paths_smuggling: smuggling_paths.len() as u64,
+        unique_domain_paths_smuggling: smuggling_domain_paths.len() as u64,
+        unique_redirectors: redirectors.len() as u64,
+        dedicated_smugglers: dedicated,
+        multi_purpose_smugglers: redirectors.len() as u64 - dedicated,
+        unique_originators: originators.len() as u64,
+        unique_destinations: destinations.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_core::observe::PathView;
+    use cc_core::pipeline::UidFinding;
+    use cc_core::ComboClass;
+    use cc_crawler::CrawlerName;
+    use cc_url::Url;
+
+    fn path(origin: &str, hops: &[&str]) -> PathView {
+        PathView {
+            walk: 0,
+            step: 0,
+            crawler: CrawlerName::Safari1,
+            origin: Url::parse(&format!("https://www.{origin}/")).unwrap(),
+            hops: hops
+                .iter()
+                .map(|h| Url::parse(&format!("https://{h}/")).unwrap())
+                .collect(),
+        }
+    }
+
+    fn finding(origin: &str, redirector: Option<&str>, dest: &str) -> UidFinding {
+        let mut url_path = vec![format!("www.{origin}/")];
+        let mut domain_path = vec![origin.to_string()];
+        let mut redirectors = Vec::new();
+        if let Some(r) = redirector {
+            url_path.push(format!("{r}/r"));
+            domain_path.push(cc_url::registered_domain(r));
+            redirectors.push(cc_url::registered_domain(r));
+        }
+        url_path.push(format!("www.{dest}/"));
+        domain_path.push(dest.to_string());
+        UidFinding {
+            walk: 0,
+            step: 0,
+            name: "gclid".into(),
+            values: Default::default(),
+            combo: ComboClass::OneProfileOnly,
+            origin: origin.into(),
+            destination: Some(dest.into()),
+            redirectors,
+            domain_path,
+            url_path,
+            at_origin: true,
+            at_destination: true,
+            cookie_lifetime_days: None,
+        }
+    }
+
+    #[test]
+    fn summary_counts() {
+        let output = PipelineOutput {
+            findings: vec![
+                finding("a.com", Some("r.trk.net"), "x.com"),
+                finding("b.com", Some("r.trk.net"), "y.com"),
+                finding("a.com", None, "x.com"),
+            ],
+            paths: vec![
+                path("a.com", &["r.trk.net", "www.x.com"]),
+                path("b.com", &["r.trk.net", "www.y.com"]),
+                path("a.com", &["www.x.com"]),
+                path("c.com", &["www.d.com"]),
+                // A duplicate traversal: counted once.
+                path("c.com", &["www.d.com"]),
+            ],
+            ..Default::default()
+        };
+        let s = summarize(&output);
+        assert_eq!(s.unique_url_paths, 4);
+        assert_eq!(s.unique_url_paths_smuggling, 3);
+        assert_eq!(s.unique_domain_paths_smuggling, 3);
+        assert_eq!(s.unique_redirectors, 1);
+        assert_eq!(s.dedicated_smugglers, 1);
+        assert_eq!(s.multi_purpose_smugglers, 0);
+        assert_eq!(s.unique_originators, 2);
+        assert_eq!(s.unique_destinations, 2);
+        assert!((s.smuggling_rate().percent() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_output() {
+        let s = summarize(&PipelineOutput::default());
+        assert_eq!(s.unique_url_paths, 0);
+        assert_eq!(s.smuggling_rate().fraction(), 0.0);
+    }
+}

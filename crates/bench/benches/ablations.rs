@@ -1,0 +1,91 @@
+//! Ablation benches: the prior-work baselines of §8.1 against
+//! CrumbCruncher's methodology (DESIGN.md experiments H4, A1, A2).
+
+use cc_bench::fixture;
+use cc_core::baselines::{fuzzy_ablation, lifetime_ablation, two_crawler_ablation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// H4: lifetime-threshold session filtering (90-day / 30-day variants).
+fn bench_lifetime(c: &mut Criterion) {
+    let fx = fixture();
+    let mut group = c.benchmark_group("ablation/lifetime");
+    for days in [30u64, 90] {
+        group.bench_function(format!("{days}d"), |b| {
+            b.iter(|| {
+                let a = lifetime_ablation(black_box(&fx.output.findings), days);
+                black_box(a.missed_fraction())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A2: Ratcliff/Obershelp fuzzy matching at prior work's 33% and 45%
+/// tolerances (the paper requires exact equality).
+fn bench_fuzzy(c: &mut Criterion) {
+    let fx = fixture();
+    let mut group = c.benchmark_group("ablation/fuzzy_matching");
+    group.sample_size(10);
+    for (label, threshold) in [("33pct", 0.67), ("45pct", 0.55)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let a = fuzzy_ablation(black_box(&fx.output.findings), threshold);
+                black_box(a.wrongly_merged)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A1: the two-crawler methodology of prior work.
+fn bench_two_crawler(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("ablation/two_crawler", |b| {
+        b.iter(|| {
+            let a = two_crawler_ablation(black_box(&fx.output.findings));
+            black_box(a.missed_fraction())
+        })
+    });
+}
+
+/// The classification stage alone (H6's manual workload included).
+fn bench_classify(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("ablation/classify_only", |b| {
+        b.iter(|| {
+            let (groups, stats) =
+                cc_core::classify::classify(black_box(&fx.output.candidates), black_box(&[]));
+            black_box((groups.len(), stats.uids))
+        })
+    });
+}
+
+/// E2: training the §7.2 learned token classifier on the manual-stage
+/// workload.
+fn bench_ml_train(c: &mut Criterion) {
+    let fx = fixture();
+    let truth = fx.web.truth_snapshot();
+    let values: Vec<String> = fx
+        .output
+        .groups
+        .iter()
+        .filter(|g| g.entered_manual)
+        .flat_map(|g| g.values.values().flatten().cloned())
+        .collect();
+    let labeled = cc_core::ml::training_set(&truth, &values);
+    let refs: Vec<(&str, bool)> = labeled.iter().map(|(s, b)| (s.as_str(), *b)).collect();
+    c.bench_function("ablation/ml_train_200_epochs", |b| {
+        b.iter(|| {
+            let model = cc_core::ml::TokenClassifier::train(black_box(&refs), 200, 1.0, 1e-5);
+            black_box(model.probability("f3a9c17e2b4d5a60"))
+        })
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lifetime, bench_fuzzy, bench_two_crawler, bench_classify, bench_ml_train
+}
+criterion_main!(ablations);

@@ -1,0 +1,112 @@
+//! Defense benches (experiments H7–H9, D1): blocklist coverage, query
+//! stripping, debouncing, the ITP classifier, and the breakage model.
+
+use cc_bench::fixture;
+use cc_defense::breakage::run_experiment;
+use cc_defense::debounce::debounce;
+use cc_defense::eval::evaluate_defenses;
+use cc_defense::itp::ItpClassifier;
+use cc_defense::lists::ParamBlocklist;
+use cc_defense::strip::strip_url;
+use cc_url::Url;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// D1/H7/H8: the full defense evaluation.
+fn bench_evaluate(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("defense/evaluate_all", |b| {
+        b.iter(|| {
+            let e = evaluate_defenses(black_box(&fx.web), black_box(&fx.output));
+            black_box(e.debounce_prevented.fraction())
+        })
+    });
+}
+
+/// Query stripping throughput over a decorated URL.
+fn bench_strip(c: &mut Criterion) {
+    let url = Url::parse(
+        "https://www.shop.com/deal?gclid=abc123def456&fbclid=xyz789qrs&page=2&q=shoes&utm_campaign=sweet_deal",
+    )
+    .unwrap();
+    let list = ParamBlocklist::well_known();
+    c.bench_function("defense/strip_url", |b| {
+        b.iter(|| black_box(strip_url(black_box(&url), &list)).removed.len())
+    });
+}
+
+/// Debouncing a nested click URL.
+fn bench_debounce(c: &mut Criterion) {
+    let mut click = Url::parse("https://r.trk.net/click?gclid=uid1234567890").unwrap();
+    click.query_set("cc_dest", "https://www.shop.com/deal?awc=inner9876543210");
+    let list = ParamBlocklist::well_known();
+    c.bench_function("defense/debounce", |b| {
+        b.iter(|| black_box(debounce(black_box(&click), &list)).unwrapped)
+    });
+}
+
+/// H-ITP: classifying every path of the crawl.
+fn bench_itp(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("defense/itp_classify_crawl", |b| {
+        b.iter(|| {
+            let mut itp = ItpClassifier::new();
+            for p in &fx.output.paths {
+                itp.observe_path(p);
+            }
+            black_box(itp.len())
+        })
+    });
+}
+
+/// H9: the breakage experiment over 50 pages.
+fn bench_breakage(c: &mut Criterion) {
+    let fx = fixture();
+    let urls: Vec<Url> = fx
+        .web
+        .sites
+        .iter()
+        .take(50)
+        .map(|s| Url::parse(&format!("https://{}/?uid=x", s.www_fqdn())).unwrap())
+        .collect();
+    c.bench_function("defense/breakage_50_pages", |b| {
+        b.iter(|| {
+            let pages: Vec<(&Url, &str)> = urls.iter().map(|u| (u, "uid")).collect();
+            let (_, rep) = run_experiment(black_box(&fx.web), pages);
+            black_box(rep.total())
+        })
+    });
+}
+
+/// The Privacy-Badger-style learner over the whole crawl.
+fn bench_badger(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("defense/badger_learn_crawl", |b| {
+        b.iter(|| {
+            let mut badger = cc_defense::badger::Badger::new();
+            for p in &fx.output.paths {
+                badger.observe_path(p);
+            }
+            black_box(badger.learned())
+        })
+    });
+}
+
+/// Cookie-sync detection (§8.2) over the whole crawl.
+fn bench_cookie_sync(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("defense/cookie_sync_detect", |b| {
+        b.iter(|| {
+            let r = cc_analysis::cookie_sync::detect_cookie_sync(black_box(&fx.dataset));
+            black_box(r.synced_values)
+        })
+    });
+}
+
+criterion_group! {
+    name = defense;
+    config = Criterion::default().sample_size(20);
+    targets = bench_evaluate, bench_strip, bench_debounce, bench_itp, bench_breakage,
+              bench_badger, bench_cookie_sync
+}
+criterion_main!(defense);

@@ -1,0 +1,63 @@
+//! Bench targets regenerating the paper's figures.
+//!
+//! * `fig4/*` — organizations (originators/destinations)
+//! * `fig5/*` — site categories
+//! * `fig6/*` — third parties receiving leaked UIDs
+//! * `fig7/*` — redirector-count histogram
+//! * `fig8/*` — path portions
+
+use cc_analysis::categories::figure5;
+use cc_analysis::orgs::figure4;
+use cc_analysis::paths::{figure7, figure8};
+use cc_analysis::third_party::figure6;
+use cc_bench::fixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("fig4/organizations", |b| {
+        b.iter(|| {
+            let f = figure4(black_box(&fx.web), black_box(&fx.output), 20);
+            black_box(f.originators.len() + f.destinations.len())
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("fig5/categories", |b| {
+        b.iter(|| {
+            let f = figure5(black_box(&fx.web), black_box(&fx.output));
+            black_box(f.originators.len())
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("fig6/third_party_leaks", |b| {
+        b.iter(|| black_box(figure6(black_box(&fx.dataset), black_box(&fx.output), 20)).len())
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("fig7/redirector_histogram", |b| {
+        b.iter(|| black_box(figure7(black_box(&fx.output))).len())
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("fig8/path_portions", |b| {
+        b.iter(|| black_box(figure8(black_box(&fx.output))).len())
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_fig8
+}
+criterion_main!(figures);

@@ -1,0 +1,83 @@
+//! Headline-number benches: the end-to-end measurements behind "UID
+//! smuggling is present on 8.11% of unique URL paths" (H1), the
+//! bounce-tracking comparison (H2), the crawl-failure taxonomy (H3), and
+//! the fingerprinting experiment (H5).
+
+use cc_analysis::bounce::bounce_stats;
+use cc_analysis::fingerprint::fingerprint_experiment;
+use cc_analysis::report::full_report;
+use cc_bench::{fixture, small_web};
+use cc_crawler::{CrawlConfig, Walker};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// The full pipeline over the pre-crawled dataset (extraction → candidates
+/// → classification).
+fn bench_pipeline(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("headline/pipeline_end_to_end", |b| {
+        b.iter(|| {
+            let out = cc_core::run_pipeline(black_box(&fx.dataset));
+            black_box(out.findings.len())
+        })
+    });
+}
+
+/// A complete 15-walk crawl with all four crawlers (the data-collection
+/// side of the headline).
+fn bench_crawl(c: &mut Criterion) {
+    let web = small_web();
+    c.bench_function("headline/crawl_15_walks", |b| {
+        b.iter(|| {
+            let ds = Walker::new(
+                web,
+                CrawlConfig {
+                    seed: 7,
+                    steps_per_walk: 5,
+                    max_walks: Some(15),
+                    ..CrawlConfig::default()
+                },
+            )
+            .crawl();
+            black_box(ds.total_steps())
+        })
+    });
+}
+
+fn bench_bounce(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("headline/bounce_stats", |b| {
+        b.iter(|| black_box(bounce_stats(black_box(&fx.output))).bounce_only_paths)
+    });
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("headline/fingerprint_experiment", |b| {
+        b.iter(|| {
+            let e = fingerprint_experiment(black_box(&fx.web), black_box(&fx.output));
+            black_box(e.fp_cases + e.non_fp_cases)
+        })
+    });
+}
+
+fn bench_full_report(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("headline/full_report", |b| {
+        b.iter(|| {
+            let r = full_report(
+                black_box(&fx.web),
+                black_box(&fx.dataset),
+                black_box(&fx.output),
+            );
+            black_box(r.summary.unique_url_paths)
+        })
+    });
+}
+
+criterion_group! {
+    name = headline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline, bench_crawl, bench_bounce, bench_fingerprint, bench_full_report
+}
+criterion_main!(headline);

@@ -1,0 +1,122 @@
+//! Substrate microbenches: the primitives every crawl step exercises
+//! thousands of times — URL parsing, token extraction, element matching,
+//! cookie handling, DNS resolution, and the Ratcliff/Obershelp metric.
+
+use cc_bench::small_web;
+use cc_core::extract::extract_tokens;
+use cc_crawler::matching::{select_shared, shared_elements};
+use cc_http::SetCookie;
+use cc_url::Url;
+use cc_util::strings::ratcliff_obershelp;
+use cc_util::DetRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_url(c: &mut Criterion) {
+    let raw = "https://adclick.g.doubleclick.net/click?cc_dest=https%3A%2F%2Fwww.shop.com%2Fdeal&cc_chain=r.syncpx.link&cc_cid=42&gclid=f3a9c17e2b4d5a60&utm_campaign=sweet_magnolia&ts=1666666666123";
+    c.bench_function("substrate/url_parse", |b| {
+        b.iter(|| black_box(Url::parse(black_box(raw)).unwrap()).query().len())
+    });
+    let url = Url::parse(raw).unwrap();
+    c.bench_function("substrate/url_serialize", |b| {
+        b.iter(|| black_box(url.to_url_string()).len())
+    });
+    c.bench_function("substrate/registered_domain", |b| {
+        b.iter(|| {
+            black_box(cc_url::registered_domain(black_box(
+                "adclick.g.doubleclick.net",
+            )))
+        })
+    });
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let nested =
+        r#"{"blob":"uid%3Ddeadbeef0011%26lang%3Den-US","ids":["a1b2c3d4e5f6a7b8"],"n":42}"#;
+    c.bench_function("substrate/extract_nested_json", |b| {
+        b.iter(|| black_box(extract_tokens("payload", black_box(nested))).len())
+    });
+    let blob = "gclid=abcdef123456&ts=1666666666123&topic=sweet_magnolia&sid=a1b2c3d4e5";
+    c.bench_function("substrate/extract_urlencoded", |b| {
+        b.iter(|| black_box(extract_tokens("_rcv", black_box(blob))).len())
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    // Realistic element lists from an actual page load.
+    let web = small_web();
+    let mut browser = cc_browser::Browser::new(
+        web,
+        cc_browser::Profile::safari("bench", 1, DetRng::new(1)),
+        cc_browser::Storage::new(cc_browser::StoragePolicy::Partitioned),
+        cc_net::SimClock::new(),
+        cc_net::FaultModel::none(DetRng::new(2)),
+    );
+    let seed_url = web.seeder_urls()[0].clone();
+    let out = browser.navigate(seed_url).expect("load");
+    let elements = out.page.elements;
+    let lists = [
+        elements.as_slice(),
+        elements.as_slice(),
+        elements.as_slice(),
+    ];
+
+    c.bench_function("substrate/shared_elements", |b| {
+        b.iter(|| black_box(shared_elements(black_box(lists))).len())
+    });
+    c.bench_function("substrate/controller_select", |b| {
+        let mut rng = DetRng::new(3);
+        b.iter(|| black_box(select_shared(black_box(lists), "seed.com", &mut rng)))
+    });
+}
+
+fn bench_cookies(c: &mut Criterion) {
+    let header =
+        "uid=f3a9c17e2b4d5a60; Max-Age=7776000; Domain=example.com; Path=/; Secure; SameSite=None";
+    c.bench_function("substrate/set_cookie_parse", |b| {
+        b.iter(|| black_box(SetCookie::parse(black_box(header))).is_some())
+    });
+}
+
+fn bench_dns(c: &mut Criterion) {
+    let web = small_web();
+    let host = web.sites[0].www_fqdn();
+    c.bench_function("substrate/dns_resolve", |b| {
+        b.iter(|| black_box(web.dns.resolve(black_box(&host))).is_ok())
+    });
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let a = "f3a9c17e2b4d5a60f3a9c17e2b4d5a60";
+    let b_ = "f3a9c17e2b4d5a60aabbccddeeff0011";
+    c.bench_function("substrate/ratcliff_obershelp", |b| {
+        b.iter(|| black_box(ratcliff_obershelp(black_box(a), black_box(b_))))
+    });
+}
+
+fn bench_navigation(c: &mut Criterion) {
+    let web = small_web();
+    c.bench_function("substrate/navigate_and_render", |b| {
+        let mut browser = cc_browser::Browser::new(
+            web,
+            cc_browser::Profile::safari("bench", 1, DetRng::new(9)),
+            cc_browser::Storage::new(cc_browser::StoragePolicy::Partitioned),
+            cc_net::SimClock::new(),
+            cc_net::FaultModel::none(DetRng::new(10)),
+        );
+        let seed_url = web.seeder_urls()[1].clone();
+        b.iter(|| {
+            browser.reset_for_new_walk();
+            let out = browser.navigate(black_box(seed_url.clone())).expect("nav");
+            black_box(out.page.elements.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = substrate;
+    config = Criterion::default().sample_size(30);
+    targets = bench_url, bench_extract, bench_matching, bench_cookies, bench_dns,
+              bench_similarity, bench_navigation
+}
+criterion_main!(substrate);

@@ -1,0 +1,49 @@
+//! Bench targets regenerating the paper's tables.
+//!
+//! * `table1/*` — Table 1 (UIDs per crawler combination)
+//! * `table2/*` — Table 2 (summary counts + the 8.11% headline)
+//! * `table3/*` — Table 3 (top-30 redirectors, dedicated classification)
+
+use cc_analysis::redirectors::{classify_redirectors, table3};
+use cc_analysis::report::table1;
+use cc_analysis::summarize;
+use cc_bench::fixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("table1/crawler_combinations", |b| {
+        b.iter(|| {
+            let t = table1(black_box(&fx.output));
+            black_box(t.rows.len())
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("table2/summary", |b| {
+        b.iter(|| {
+            let s = summarize(black_box(&fx.output));
+            black_box(s.smuggling_rate().percent())
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let fx = fixture();
+    c.bench_function("table3/classify_redirectors", |b| {
+        b.iter(|| black_box(classify_redirectors(black_box(&fx.output))).len())
+    });
+    c.bench_function("table3/top30", |b| {
+        b.iter(|| black_box(table3(black_box(&fx.output), 30)).len())
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1, bench_table2, bench_table3
+}
+criterion_main!(tables);

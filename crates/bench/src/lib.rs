@@ -1,0 +1,58 @@
+//! # cc-bench
+//!
+//! Shared fixtures for the Criterion benchmark harness. Every table and
+//! figure in the paper has a bench target that regenerates it (see
+//! `benches/`), and they all operate on the fixtures built here so the
+//! expensive crawl runs once per process.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+
+use cc_core::pipeline::PipelineOutput;
+use cc_crawler::{CrawlConfig, CrawlDataset, Walker};
+use cc_web::{generate, SimWeb, WebConfig};
+
+/// A fully-built study fixture: world, crawl dataset, pipeline output.
+pub struct Fixture {
+    /// The generated world.
+    pub web: SimWeb,
+    /// The crawl dataset.
+    pub dataset: CrawlDataset,
+    /// The pipeline output.
+    pub output: PipelineOutput,
+}
+
+/// The benchmark-scale study (500 seeders), built once per process.
+pub fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let web = generate(&WebConfig {
+            seed: 0xBE7C4,
+            n_sites: 1_500,
+            n_seeders: 500,
+            ..WebConfig::default()
+        });
+        let dataset = Walker::new(
+            &web,
+            CrawlConfig {
+                seed: 0xBE7C4,
+                ..CrawlConfig::default()
+            },
+        )
+        .crawl();
+        let output = cc_core::run_pipeline(&dataset);
+        Fixture {
+            web,
+            dataset,
+            output,
+        }
+    })
+}
+
+/// A small world for crawl-throughput benches.
+pub fn small_web() -> &'static SimWeb {
+    static WEB: OnceLock<SimWeb> = OnceLock::new();
+    WEB.get_or_init(|| generate(&WebConfig::small()))
+}

@@ -1,0 +1,28 @@
+//! # cc-browser
+//!
+//! The simulated browser CrumbCruncher drives: the substitute for
+//! Puppeteer-automated Chrome.
+//!
+//! * [`profile`] — user profiles ("user data directories", §3.5): identity,
+//!   User-Agent spoofing (the exact Safari UA string of §3.4), and the
+//!   machine fingerprint shared by all crawlers running on one host.
+//! * [`storage`] — cookie jar + localStorage with **partitioned** or
+//!   **flat** policy (Figure 1). Partitioned storage keys every storage
+//!   area by the top-level site, which is the protection UID smuggling
+//!   exists to defeat.
+//! * [`navigator`] — the navigation engine: follows HTTP and script
+//!   redirects hop by hop (recording every navigation request, like the
+//!   paper's `chrome.webRequest.onBeforeRequest` extension), executes page
+//!   scripts through the [`cc_web::ScriptHost`] interface, and logs beacon
+//!   requests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod navigator;
+pub mod profile;
+pub mod storage;
+
+pub use navigator::{Browser, LoggedRequest, NavError, NavigationOutcome};
+pub use profile::{Profile, CHROME_UA, SAFARI_UA};
+pub use storage::{Storage, StoragePolicy, StorageSnapshot};

@@ -1,0 +1,511 @@
+//! The navigation engine.
+//!
+//! [`Browser::navigate`] follows a click the way Chrome does: hop by hop
+//! through HTTP 302s and script redirects, attaching each hop's first-party
+//! cookies, applying `Set-Cookie` into the jar under the hop's partition —
+//! which is how redirectors accumulate smuggled UIDs as first parties — and
+//! recording **every navigation request** like the paper's
+//! `chrome.webRequest.onBeforeRequest` extension (§3.1, §3.8). On arrival it
+//! executes the destination page's scripts (storage reads/writes, beacons)
+//! through the [`ScriptHost`] interface.
+
+use cc_http::{format_cookie_header, header::names, Cookie, Request, RequestKind, SetCookie};
+use cc_net::latency::LatencyModel;
+use cc_net::{FaultModel, NetError, SimClock, SimTime};
+use cc_url::Url;
+use cc_util::DetRng;
+use cc_web::server::{LoadedPage, ServeCtx, ServeError};
+use cc_web::{ScriptHost, SimWeb, StorageKind};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::Profile;
+use crate::storage::StoragePolicy as cc_browser_policy;
+use crate::storage::{Storage, StorageSnapshot};
+
+/// Redirect-chain hop limit (Chrome uses 20).
+const MAX_REDIRECTS: usize = 20;
+
+/// One recorded web request (the extension's log).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoggedRequest {
+    /// Requested URL.
+    pub url: Url,
+    /// Navigation or subresource.
+    pub kind: RequestKind,
+    /// When it was issued.
+    pub at: SimTime,
+    /// The top-level site (registered domain) at the time of the request.
+    pub top_site: String,
+}
+
+/// Navigation failure modes — the §3.3 failure taxonomy's "network error"
+/// class plus structural failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NavError {
+    /// Connection-level failure (ECONNREFUSED and friends).
+    Net(NetError),
+    /// DNS failure.
+    Dns(String),
+    /// Redirect chain exceeded the hop limit.
+    TooManyRedirects(Box<Url>),
+    /// The host is outside the simulated world.
+    UnknownHost(String),
+}
+
+impl std::fmt::Display for NavError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NavError::Net(e) => write!(f, "network error: {e}"),
+            NavError::Dns(h) => write!(f, "DNS failure for {h}"),
+            NavError::TooManyRedirects(u) => write!(f, "too many redirects at {u}"),
+            NavError::UnknownHost(h) => write!(f, "unknown host {h}"),
+        }
+    }
+}
+
+impl std::error::Error for NavError {}
+
+/// The result of a completed navigation.
+#[derive(Debug, Clone)]
+pub struct NavigationOutcome {
+    /// Every navigation-request URL in order: the clicked URL, each
+    /// redirector hop, and the final destination. This is the "URL path"
+    /// unit of the paper's §5 analysis.
+    pub hops: Vec<Url>,
+    /// Where the browser ended up.
+    pub final_url: Url,
+    /// The rendered destination page.
+    pub page: LoadedPage,
+}
+
+/// A simulated browser: one crawler's Chrome instance.
+#[derive(Debug)]
+pub struct Browser<'w> {
+    /// The web this browser browses.
+    pub web: &'w SimWeb,
+    /// The user profile (user data directory).
+    pub profile: Profile,
+    /// Cookie jar + localStorage.
+    pub storage: Storage,
+    /// Shared simulated clock.
+    pub clock: SimClock,
+    /// Connection-fault process.
+    pub fault: FaultModel,
+    /// Request latency model.
+    pub latency: LatencyModel,
+    /// The extension's request log.
+    pub request_log: Vec<LoggedRequest>,
+}
+
+impl<'w> Browser<'w> {
+    /// Build a browser over a web with the given profile and storage policy.
+    pub fn new(
+        web: &'w SimWeb,
+        profile: Profile,
+        storage: Storage,
+        clock: SimClock,
+        fault: FaultModel,
+    ) -> Self {
+        let latency_rng = profile.rng.fork("latency");
+        Browser {
+            web,
+            profile,
+            storage,
+            clock,
+            fault,
+            latency: LatencyModel::default_web(latency_rng),
+            request_log: Vec::new(),
+        }
+    }
+
+    /// Navigate to a URL, following all redirects, and render the final
+    /// page. Every hop is logged; cookies flow per the storage policy.
+    pub fn navigate(&mut self, url: Url) -> Result<NavigationOutcome, NavError> {
+        let mut hops = Vec::new();
+        let mut current = url;
+        let mut referer: Option<String> = None;
+
+        for _ in 0..MAX_REDIRECTS {
+            let host = current.host.as_str().to_string();
+            self.web
+                .dns
+                .resolve(&host)
+                .map_err(|_| NavError::Dns(host.clone()))?;
+            self.fault.attempt_host(&host).map_err(NavError::Net)?;
+
+            let now = self.clock.now();
+            let top_site = current.registered_domain();
+            let cookies: Vec<Cookie> = self
+                .storage
+                .cookies_for(&top_site, &top_site, now)
+                .into_iter()
+                .map(|(n, v)| Cookie::new(n, v))
+                .collect();
+
+            let mut req =
+                Request::navigation(current.clone()).with_user_agent(&self.profile.user_agent);
+            if !cookies.is_empty() {
+                req.headers
+                    .set(names::COOKIE, format_cookie_header(&cookies));
+            }
+            if let Some(r) = &referer {
+                req.headers.set(names::REFERER, r.clone());
+            }
+
+            self.request_log.push(LoggedRequest {
+                url: current.clone(),
+                kind: RequestKind::Navigation,
+                at: now,
+                top_site: top_site.clone(),
+            });
+            hops.push(current.clone());
+
+            let mut ctx = ServeCtx {
+                rng: &mut self.profile.rng,
+                now,
+            };
+            let resp = match self.web.serve(&req, &mut ctx) {
+                Ok(r) => r,
+                Err(ServeError::UnknownHost(h)) => return Err(NavError::UnknownHost(h)),
+            };
+
+            // First-party Set-Cookie under the hop's own partition: the
+            // mechanism dedicated smugglers rely on (§5.1).
+            for sc in &resp.set_cookies {
+                self.storage.set_cookie(&top_site, &top_site, sc, now);
+            }
+
+            let latency = self.latency.sample();
+            self.clock.advance(latency);
+
+            match resp.redirect_target() {
+                Some(next) => {
+                    referer = Some(current.to_url_string());
+                    current = next;
+                }
+                None => {
+                    // Arrived: render the page.
+                    let page = self.render(&current)?;
+                    self.clock.advance(LatencyModel::page_dwell());
+                    return Ok(NavigationOutcome {
+                        hops,
+                        final_url: current,
+                        page,
+                    });
+                }
+            }
+        }
+        Err(NavError::TooManyRedirects(Box::new(current)))
+    }
+
+    /// Render the page at `url`: run scripts, log beacons.
+    fn render(&mut self, url: &Url) -> Result<LoadedPage, NavError> {
+        let now = self.clock.now();
+        let partition = url.registered_domain();
+        let mut host = PageHost {
+            url: url.clone(),
+            partition: partition.clone(),
+            storage: &mut self.storage,
+            rng: &mut self.profile.rng,
+            fingerprint: self.profile.fingerprint,
+            now,
+            beacons: Vec::new(),
+        };
+        let page = match self.web.load_page(url, &mut host) {
+            Ok(p) => p,
+            Err(ServeError::UnknownHost(h)) => return Err(NavError::UnknownHost(h)),
+        };
+        let beacons = host.beacons;
+        for b in beacons {
+            self.request_log.push(LoggedRequest {
+                url: b,
+                kind: RequestKind::Subresource,
+                at: now,
+                top_site: partition.clone(),
+            });
+        }
+        Ok(page)
+    }
+
+    /// Snapshot the first-party storage visible on the current page's site.
+    pub fn snapshot(&self, site_domain: &str) -> StorageSnapshot {
+        self.storage.snapshot(site_domain, self.clock.now())
+    }
+
+    /// Adopt another browser's storage state — how Safari-1R becomes "the
+    /// same user" as Safari-1 (§3.2).
+    pub fn clone_state_from(&mut self, other: &Browser<'_>) {
+        self.storage = other.storage.clone();
+    }
+
+    /// Start a fresh walk: new user data directory (§3.5).
+    pub fn reset_for_new_walk(&mut self) {
+        self.storage.clear();
+        self.request_log.clear();
+    }
+}
+
+/// The [`ScriptHost`] adapter binding page scripts to browser storage.
+struct PageHost<'a> {
+    url: Url,
+    partition: String,
+    storage: &'a mut Storage,
+    rng: &'a mut DetRng,
+    fingerprint: u64,
+    now: SimTime,
+    beacons: Vec<Url>,
+}
+
+impl ScriptHost for PageHost<'_> {
+    fn page_url(&self) -> &Url {
+        &self.url
+    }
+
+    fn storage_get(&self, key: &str) -> Option<String> {
+        self.storage
+            .cookie(&self.partition, &self.partition, key, self.now)
+            .or_else(|| {
+                self.storage
+                    .local_get(&self.partition, &self.partition, key)
+            })
+    }
+
+    fn storage_set(&mut self, key: &str, value: &str, kind: StorageKind) {
+        match kind {
+            StorageKind::Cookie(lifetime) => {
+                let sc = match lifetime {
+                    Some(d) => SetCookie::persistent(key, value, d),
+                    None => SetCookie::session(key, value),
+                };
+                self.storage
+                    .set_cookie(&self.partition, &self.partition, &sc, self.now);
+            }
+            StorageKind::Local => {
+                self.storage
+                    .local_set(&self.partition, &self.partition, key, value);
+            }
+        }
+    }
+
+    fn storage_get_owned(&self, owner_domain: &str, key: &str) -> Option<String> {
+        match self.storage.policy() {
+            // Third-party cookies are disabled and storage is partitioned:
+            // tracker scripts fall back to first-party storage (§3.5).
+            cc_browser_policy::Partitioned => self.storage_get(key),
+            // The flat pre-partitioning world: the tracker's own bucket,
+            // shared across every top-level site (Figure 1).
+            cc_browser_policy::Flat => self
+                .storage
+                .cookie(&self.partition, owner_domain, key, self.now)
+                .or_else(|| self.storage.local_get(&self.partition, owner_domain, key)),
+        }
+    }
+
+    fn storage_set_owned(&mut self, owner_domain: &str, key: &str, value: &str, kind: StorageKind) {
+        match self.storage.policy() {
+            cc_browser_policy::Partitioned => self.storage_set(key, value, kind),
+            cc_browser_policy::Flat => match kind {
+                StorageKind::Cookie(lifetime) => {
+                    let sc = match lifetime {
+                        Some(d) => SetCookie::persistent(key, value, d),
+                        None => SetCookie::session(key, value),
+                    }
+                    .with_domain(owner_domain);
+                    self.storage
+                        .set_cookie(&self.partition, owner_domain, &sc, self.now);
+                }
+                StorageKind::Local => {
+                    self.storage
+                        .local_set(&self.partition, owner_domain, key, value);
+                }
+            },
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    fn send_beacon(&mut self, url: Url) {
+        self.beacons.push(url);
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::storage::StoragePolicy;
+    use cc_web::{generate, ClickTarget, ElementKind, WebConfig};
+
+    fn make_browser(web: &SimWeb, seed: u64) -> Browser<'_> {
+        Browser::new(
+            web,
+            Profile::safari("safari-1", 0xF1, DetRng::new(seed)),
+            Storage::new(StoragePolicy::Partitioned),
+            SimClock::new(),
+            FaultModel::none(DetRng::new(seed).fork("fault")),
+        )
+    }
+
+    #[test]
+    fn navigate_to_seeder_renders_page() {
+        let web = generate(&WebConfig::small());
+        let mut b = make_browser(&web, 1);
+        let seed_url = web.seeder_urls()[0].clone();
+        let out = b.navigate(seed_url.clone()).unwrap();
+        assert_eq!(out.final_url, seed_url);
+        assert_eq!(out.hops.len(), 1);
+        assert!(!b.request_log.is_empty());
+        assert!(b
+            .request_log
+            .iter()
+            .any(|r| r.kind == RequestKind::Navigation));
+    }
+
+    #[test]
+    fn clicking_an_ad_traverses_redirectors() {
+        let web = generate(&WebConfig::small());
+        // Find a seeder whose landing page yields an iframe with a target.
+        for seed_url in web.seeder_urls() {
+            let mut b = make_browser(&web, 3);
+            let out = b.navigate(seed_url).unwrap();
+            let click = out.page.elements.iter().find_map(|e| {
+                if e.kind == ElementKind::Iframe {
+                    match &e.target {
+                        ClickTarget::Navigate(u) => Some(u.clone()),
+                        ClickTarget::Inert => None,
+                    }
+                } else {
+                    None
+                }
+            });
+            if let Some(click_url) = click {
+                let out2 = b.navigate(click_url).unwrap();
+                // The navigation log contains every hop of the chain.
+                assert!(!out2.hops.is_empty());
+                assert!(web.site_for_host(out2.final_url.host.as_str()).is_some());
+                return;
+            }
+        }
+        panic!("no seeder offered a clickable ad in the small world");
+    }
+
+    #[test]
+    fn dns_failure_for_unknown_host() {
+        let web = generate(&WebConfig::small());
+        let mut b = make_browser(&web, 5);
+        let err = b
+            .navigate(Url::parse("https://not-in-world.com/").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, NavError::Dns(_)));
+    }
+
+    #[test]
+    fn fault_injection_fails_navigation() {
+        let web = generate(&WebConfig::small());
+        let mut b = make_browser(&web, 7);
+        b.fault = FaultModel::new(DetRng::new(1), 1.0);
+        let err = b.navigate(web.seeder_urls()[0].clone()).unwrap_err();
+        assert!(matches!(err, NavError::Net(_)));
+    }
+
+    #[test]
+    fn storage_accumulates_and_resets() {
+        let web = generate(&WebConfig::small());
+        let mut b = make_browser(&web, 9);
+        b.navigate(web.seeder_urls()[0].clone()).unwrap();
+        // Analytics trackers mint partition UIDs on every page.
+        assert!(!b.storage.is_empty());
+        b.reset_for_new_walk();
+        assert!(b.storage.is_empty());
+        assert!(b.request_log.is_empty());
+    }
+
+    #[test]
+    fn repeat_visitor_reuses_uid() {
+        let web = generate(&WebConfig::small());
+        let mut s1 = make_browser(&web, 11);
+        let seed = web.seeder_urls()[0].clone();
+        s1.navigate(seed.clone()).unwrap();
+        let domain = seed.registered_domain();
+        let snap1 = s1.snapshot(&domain);
+
+        // Safari-1R: clone state, revisit.
+        let mut s1r = make_browser(&web, 999); // different rng stream!
+        s1r.clone_state_from(&s1);
+        s1r.navigate(seed).unwrap();
+        let snap2 = s1r.snapshot(&domain);
+
+        // Persistent tracker UIDs must be identical (same user), while the
+        // rotating session cookie (if any) may differ.
+        for (name, value, _lifetime) in &snap1.cookies {
+            if name.ends_with("_uid") {
+                let again = snap2
+                    .cookies
+                    .iter()
+                    .find(|(n, _, _)| n == name)
+                    .map(|(_, v, _)| v.clone());
+                assert_eq!(
+                    again,
+                    Some(value.clone()),
+                    "cookie {name} changed for same user"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_users_get_different_uids() {
+        let web = generate(&WebConfig::small());
+        let seed = web.seeder_urls()[0].clone();
+        let domain = seed.registered_domain();
+
+        let mut s1 = make_browser(&web, 11);
+        s1.navigate(seed.clone()).unwrap();
+        let snap1 = s1.snapshot(&domain);
+
+        let mut s2 = make_browser(&web, 22);
+        s2.navigate(seed).unwrap();
+        let snap2 = s2.snapshot(&domain);
+
+        // Tracker partition UIDs are minted from each profile's stream.
+        let uid1: Vec<_> = snap1
+            .cookies
+            .iter()
+            .filter(|(n, _, _)| n.ends_with("_uid") && n != "_site_uid")
+            .collect();
+        if !uid1.is_empty() {
+            let mut any_diff = false;
+            for (name, value, _) in &snap1.cookies {
+                if let Some((_, v2, _)) = snap2.cookies.iter().find(|(n, _, _)| n == name) {
+                    if v2 != value {
+                        any_diff = true;
+                    }
+                }
+            }
+            assert!(any_diff, "two users should not share every UID");
+        }
+    }
+
+    #[test]
+    fn beacons_are_logged_as_subresources() {
+        let web = generate(&WebConfig::small());
+        let mut b = make_browser(&web, 13);
+        b.navigate(web.seeder_urls()[0].clone()).unwrap();
+        assert!(
+            b.request_log
+                .iter()
+                .any(|r| r.kind == RequestKind::Subresource),
+            "embedded analytics should beacon"
+        );
+    }
+}

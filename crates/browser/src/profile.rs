@@ -1,0 +1,89 @@
+//! Browser user profiles.
+//!
+//! §3.5: "To simulate a new user at the start of each random walk, each
+//! crawler starts with a new user data directory … first, third-party
+//! cookies are disabled, and second, a Chrome extension is installed that
+//! records web requests." A [`Profile`] models that directory: the user's
+//! randomness stream (which makes minted UIDs user-specific), the spoofed
+//! User-Agent (§3.4), and the machine fingerprint — identical for all
+//! crawlers on one machine, which is why fingerprint-derived UIDs defeat
+//! the multi-crawler methodology (§3.5).
+
+use cc_util::DetRng;
+
+/// The Safari User-Agent string used by the paper (§3.4, footnote 3).
+pub const SAFARI_UA: &str = "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) \
+AppleWebKit/605.1.15 (KHTML, like Gecko) Version/14.1.2 Safari/605.1.15";
+
+/// A Chrome 95 User-Agent string (the crawlers really run Chrome).
+pub const CHROME_UA: &str = "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 \
+(KHTML, like Gecko) Chrome/95.0.4638.69 Safari/537.36";
+
+/// A browser user profile (a fresh "user data directory").
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Stable label for the simulated user (e.g. `safari-1`). Safari-1 and
+    /// Safari-1R share a user by *state cloning*, not by label.
+    pub name: String,
+    /// Spoofed User-Agent string.
+    pub user_agent: String,
+    /// Machine fingerprint visible to fingerprinting scripts. All four
+    /// crawlers run on one machine, so tests give them the same value.
+    pub fingerprint: u64,
+    /// Third-party cookies disabled (the paper's configuration).
+    pub block_third_party_cookies: bool,
+    /// The profile's randomness stream: drives UID minting and ad
+    /// rotation for this user's page loads.
+    pub rng: DetRng,
+}
+
+impl Profile {
+    /// A fresh profile with the given name, UA, and randomness stream.
+    pub fn new(name: &str, user_agent: &str, fingerprint: u64, rng: DetRng) -> Self {
+        Profile {
+            name: name.to_string(),
+            user_agent: user_agent.to_string(),
+            fingerprint,
+            block_third_party_cookies: true,
+            rng,
+        }
+    }
+
+    /// A Safari-spoofing profile (three of the four crawlers).
+    pub fn safari(name: &str, fingerprint: u64, rng: DetRng) -> Self {
+        Profile::new(name, SAFARI_UA, fingerprint, rng)
+    }
+
+    /// A Chrome profile (the fourth crawler).
+    pub fn chrome(name: &str, fingerprint: u64, rng: DetRng) -> Self {
+        Profile::new(name, CHROME_UA, fingerprint, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ua_strings_match_paper() {
+        assert!(SAFARI_UA.contains("Version/14.1.2 Safari/605.1.15"));
+        assert!(SAFARI_UA.contains("Macintosh; Intel Mac OS X 10_15_7"));
+        assert!(CHROME_UA.contains("Chrome/95"));
+    }
+
+    #[test]
+    fn profiles_default_to_blocking_third_party_cookies() {
+        let p = Profile::safari("safari-1", 7, DetRng::new(1));
+        assert!(p.block_third_party_cookies);
+        assert_eq!(p.user_agent, SAFARI_UA);
+        let c = Profile::chrome("chrome-3", 7, DetRng::new(2));
+        assert_eq!(c.user_agent, CHROME_UA);
+    }
+
+    #[test]
+    fn distinct_rng_streams_are_distinct_users() {
+        let mut a = Profile::safari("safari-1", 7, DetRng::new(1));
+        let mut b = Profile::safari("safari-2", 7, DetRng::new(2));
+        assert_ne!(a.rng.next(), b.rng.next());
+    }
+}

@@ -1,0 +1,386 @@
+//! Browser storage: cookie jar and localStorage, flat or partitioned.
+//!
+//! Figure 1 of the paper: under **flat** storage a tracker reads the same
+//! storage area from every website; under **partitioned** storage the area
+//! is keyed by the top-level site, so the tracker sees a different bucket on
+//! every site — and must smuggle UIDs across buckets via navigation
+//! requests. This module implements both policies behind one API so the
+//! defense crate can compare them directly.
+
+use cc_http::SetCookie;
+use cc_net::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Storage partitioning policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoragePolicy {
+    /// Every storage area is keyed by the top-level site (Safari, Firefox,
+    /// Brave at the time of the paper).
+    Partitioned,
+    /// One shared area per cookie domain, readable from any top-level site
+    /// (classic third-party-cookie behavior).
+    Flat,
+}
+
+/// One stored cookie with its bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredCookie {
+    /// Cookie value.
+    pub value: String,
+    /// The cookie's scope domain (registered domain or explicit Domain=).
+    pub domain: String,
+    /// When it was stored.
+    pub stored_at: SimTime,
+    /// Absolute expiry; `None` = browser-session cookie.
+    pub expires: Option<SimTime>,
+}
+
+impl StoredCookie {
+    /// Whether the cookie is expired at `now`.
+    pub fn expired(&self, now: SimTime) -> bool {
+        self.expires.map(|e| e <= now).unwrap_or(false)
+    }
+
+    /// Lifetime at storage time, if persistent.
+    pub fn lifetime(&self) -> Option<cc_net::SimDuration> {
+        self.expires.map(|e| e.since(self.stored_at))
+    }
+}
+
+/// Key of a storage area: `(partition, domain)`.
+///
+/// Under the flat policy the partition component is always empty.
+type AreaKey = (String, String);
+
+/// A snapshot of the first-party storage visible on one page: what
+/// CrumbCruncher records at each walk step (§3.1: "all first-party cookies
+/// [and] local storage values").
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageSnapshot {
+    /// Cookie name → (value, lifetime-at-store in days if persistent).
+    pub cookies: Vec<(String, String, Option<u64>)>,
+    /// localStorage key → value.
+    pub local: Vec<(String, String)>,
+}
+
+impl StorageSnapshot {
+    /// All name/value pairs regardless of mechanism.
+    pub fn all_pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.cookies
+            .iter()
+            .map(|(n, v, _)| (n.as_str(), v.as_str()))
+            .chain(self.local.iter().map(|(n, v)| (n.as_str(), v.as_str())))
+    }
+}
+
+/// The browser's storage: cookies and localStorage under one policy.
+#[derive(Debug, Clone, Default)]
+pub struct Storage {
+    policy: Policy,
+    cookies: BTreeMap<AreaKey, BTreeMap<String, StoredCookie>>,
+    local: BTreeMap<AreaKey, BTreeMap<String, String>>,
+}
+
+/// Internal wrapper so `Default` yields the partitioned policy (the
+/// configuration the paper studies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Policy(StoragePolicy);
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy(StoragePolicy::Partitioned)
+    }
+}
+
+impl Storage {
+    /// New storage with the given policy.
+    pub fn new(policy: StoragePolicy) -> Self {
+        Storage {
+            policy: Policy(policy),
+            cookies: BTreeMap::new(),
+            local: BTreeMap::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> StoragePolicy {
+        self.policy.0
+    }
+
+    fn area(&self, top_site: &str, domain: &str) -> AreaKey {
+        match self.policy.0 {
+            StoragePolicy::Partitioned => (top_site.to_string(), domain.to_string()),
+            StoragePolicy::Flat => (String::new(), domain.to_string()),
+        }
+    }
+
+    /// Store a cookie received from `host` while the top-level site is
+    /// `top_site` (both as registered domains for scoping).
+    pub fn set_cookie(&mut self, top_site: &str, host_domain: &str, sc: &SetCookie, now: SimTime) {
+        let domain = sc.domain.clone().unwrap_or_else(|| host_domain.to_string());
+        let key = self.area(top_site, &domain);
+        self.cookies.entry(key).or_default().insert(
+            sc.cookie.name.clone(),
+            StoredCookie {
+                value: sc.cookie.value.clone(),
+                domain,
+                stored_at: now,
+                expires: sc.expiry(now),
+            },
+        );
+    }
+
+    /// All unexpired cookies visible to `host_domain` as a first party under
+    /// `top_site` (i.e. when `host_domain` *is* the top-level site).
+    pub fn cookies_for(
+        &self,
+        top_site: &str,
+        host_domain: &str,
+        now: SimTime,
+    ) -> Vec<(String, String)> {
+        let key = self.area(top_site, host_domain);
+        self.cookies
+            .get(&key)
+            .map(|area| {
+                area.iter()
+                    .filter(|(_, c)| !c.expired(now))
+                    .map(|(n, c)| (n.clone(), c.value.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Read one cookie value.
+    pub fn cookie(
+        &self,
+        top_site: &str,
+        host_domain: &str,
+        name: &str,
+        now: SimTime,
+    ) -> Option<String> {
+        let key = self.area(top_site, host_domain);
+        self.cookies
+            .get(&key)
+            .and_then(|area| area.get(name))
+            .filter(|c| !c.expired(now))
+            .map(|c| c.value.clone())
+    }
+
+    /// Write a localStorage entry for `origin_domain` under `top_site`.
+    pub fn local_set(&mut self, top_site: &str, origin_domain: &str, key: &str, value: &str) {
+        let area = self.area(top_site, origin_domain);
+        self.local
+            .entry(area)
+            .or_default()
+            .insert(key.to_string(), value.to_string());
+    }
+
+    /// Read a localStorage entry.
+    pub fn local_get(&self, top_site: &str, origin_domain: &str, key: &str) -> Option<String> {
+        let area = self.area(top_site, origin_domain);
+        self.local.get(&area).and_then(|m| m.get(key)).cloned()
+    }
+
+    /// Snapshot the first-party storage visible on a page of `site_domain`
+    /// (CrumbCruncher's per-step record).
+    pub fn snapshot(&self, site_domain: &str, now: SimTime) -> StorageSnapshot {
+        let key = self.area(site_domain, site_domain);
+        let cookies = self
+            .cookies
+            .get(&key)
+            .map(|area| {
+                area.iter()
+                    .filter(|(_, c)| !c.expired(now))
+                    .map(|(n, c)| {
+                        (
+                            n.clone(),
+                            c.value.clone(),
+                            c.lifetime().map(|d| d.as_days()),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let local = self
+            .local
+            .get(&key)
+            .map(|area| area.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            .unwrap_or_default();
+        StorageSnapshot { cookies, local }
+    }
+
+    /// Discard everything (new walk ⇒ new user data directory, §3.5).
+    pub fn clear(&mut self) {
+        self.cookies.clear();
+        self.local.clear();
+    }
+
+    /// Remove all storage belonging to `domain` across every partition —
+    /// the primitive behind the Firefox/Disconnect clearing and Brave
+    /// ephemeral-storage defenses (§7.1).
+    pub fn purge_domain(&mut self, domain: &str) -> usize {
+        let mut removed = 0;
+        for (key, area) in self.cookies.iter_mut() {
+            if key.1 == domain || key.0 == domain {
+                removed += area.len();
+                area.clear();
+            }
+        }
+        for (key, area) in self.local.iter_mut() {
+            if key.1 == domain || key.0 == domain {
+                removed += area.len();
+                area.clear();
+            }
+        }
+        removed
+    }
+
+    /// Total number of stored values (cookies + local entries).
+    pub fn len(&self) -> usize {
+        self.cookies.values().map(BTreeMap::len).sum::<usize>()
+            + self.local.values().map(BTreeMap::len).sum::<usize>()
+    }
+
+    /// Whether the storage is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_net::SimDuration;
+
+    fn persistent(name: &str, value: &str) -> SetCookie {
+        SetCookie::persistent(name, value, SimDuration::from_days(90))
+    }
+
+    #[test]
+    fn partitioned_storage_isolates_sites() {
+        let mut s = Storage::new(StoragePolicy::Partitioned);
+        // The tracker sets a cookie while site-a is the top-level site.
+        s.set_cookie(
+            "site-a.com",
+            "site-a.com",
+            &persistent("_tr_uid", "u1"),
+            SimTime::EPOCH,
+        );
+        // On site-b, the same tracker sees an empty bucket (Figure 1).
+        assert_eq!(
+            s.cookie("site-b.com", "site-a.com", "_tr_uid", SimTime::EPOCH),
+            None
+        );
+        assert_eq!(
+            s.cookie("site-a.com", "site-a.com", "_tr_uid", SimTime::EPOCH),
+            Some("u1".into())
+        );
+    }
+
+    #[test]
+    fn flat_storage_shares_across_sites() {
+        let mut s = Storage::new(StoragePolicy::Flat);
+        s.set_cookie(
+            "site-a.com",
+            "tracker.net",
+            &persistent("uid", "u1"),
+            SimTime::EPOCH,
+        );
+        assert_eq!(
+            s.cookie("site-b.com", "tracker.net", "uid", SimTime::EPOCH),
+            Some("u1".into())
+        );
+    }
+
+    #[test]
+    fn cookie_expiry_respected() {
+        let mut s = Storage::new(StoragePolicy::Partitioned);
+        s.set_cookie("a.com", "a.com", &persistent("k", "v"), SimTime::EPOCH);
+        let before = SimTime::EPOCH.plus(SimDuration::from_days(89));
+        let after = SimTime::EPOCH.plus(SimDuration::from_days(90));
+        assert!(s.cookie("a.com", "a.com", "k", before).is_some());
+        assert!(s.cookie("a.com", "a.com", "k", after).is_none());
+    }
+
+    #[test]
+    fn session_cookie_never_expires_by_time() {
+        let mut s = Storage::new(StoragePolicy::Partitioned);
+        s.set_cookie(
+            "a.com",
+            "a.com",
+            &SetCookie::session("sid", "s1"),
+            SimTime::EPOCH,
+        );
+        let later = SimTime::EPOCH.plus(SimDuration::from_days(10_000));
+        assert!(s.cookie("a.com", "a.com", "sid", later).is_some());
+        s.clear();
+        assert!(s.cookie("a.com", "a.com", "sid", later).is_none());
+    }
+
+    #[test]
+    fn local_storage_partitioned() {
+        let mut s = Storage::new(StoragePolicy::Partitioned);
+        s.local_set("a.com", "a.com", "k", "v");
+        assert_eq!(s.local_get("a.com", "a.com", "k"), Some("v".into()));
+        assert_eq!(s.local_get("b.com", "a.com", "k"), None);
+    }
+
+    #[test]
+    fn snapshot_contains_cookies_and_local() {
+        let mut s = Storage::new(StoragePolicy::Partitioned);
+        s.set_cookie("a.com", "a.com", &persistent("c1", "v1"), SimTime::EPOCH);
+        s.local_set("a.com", "a.com", "l1", "v2");
+        let snap = s.snapshot("a.com", SimTime::EPOCH);
+        assert_eq!(snap.cookies.len(), 1);
+        assert_eq!(snap.cookies[0].0, "c1");
+        assert_eq!(snap.cookies[0].2, Some(90));
+        assert_eq!(snap.local, vec![("l1".to_string(), "v2".to_string())]);
+        let pairs: Vec<_> = snap.all_pairs().collect();
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn set_cookie_respects_explicit_domain() {
+        let mut s = Storage::new(StoragePolicy::Partitioned);
+        let sc = persistent("k", "v").with_domain("other.com");
+        s.set_cookie("a.com", "a.com", &sc, SimTime::EPOCH);
+        assert_eq!(
+            s.cookie("a.com", "other.com", "k", SimTime::EPOCH),
+            Some("v".into())
+        );
+        assert_eq!(s.cookie("a.com", "a.com", "k", SimTime::EPOCH), None);
+    }
+
+    #[test]
+    fn purge_domain_clears_everywhere() {
+        let mut s = Storage::new(StoragePolicy::Partitioned);
+        s.set_cookie("a.com", "a.com", &persistent("k", "v"), SimTime::EPOCH);
+        s.set_cookie(
+            "b.com",
+            "tracker.net",
+            &persistent("k2", "v2"),
+            SimTime::EPOCH,
+        );
+        s.local_set("tracker.net", "tracker.net", "lk", "lv");
+        let removed = s.purge_domain("tracker.net");
+        assert_eq!(removed, 2);
+        assert!(s
+            .cookie("b.com", "tracker.net", "k2", SimTime::EPOCH)
+            .is_none());
+        assert!(s.cookie("a.com", "a.com", "k", SimTime::EPOCH).is_some());
+    }
+
+    #[test]
+    fn overwrite_updates_value() {
+        let mut s = Storage::new(StoragePolicy::Partitioned);
+        s.set_cookie("a.com", "a.com", &persistent("k", "v1"), SimTime::EPOCH);
+        s.set_cookie("a.com", "a.com", &persistent("k", "v2"), SimTime::EPOCH);
+        assert_eq!(
+            s.cookie("a.com", "a.com", "k", SimTime::EPOCH),
+            Some("v2".into())
+        );
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

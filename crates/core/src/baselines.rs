@@ -1,0 +1,248 @@
+//! Prior-work baselines (§8.1) for the ablation experiments.
+//!
+//! * **Lifetime-based session filtering** — Englehardt et al., Koop et al.
+//!   discarded cookies living under 90 days; Acar et al. under a month.
+//!   CrumbCruncher instead compares Safari-1 against Safari-1R. §3.7.1:
+//!   "16% of the UIDs we identify have a lifetime of less than 90 days,
+//!   and 9% have a lifetime shorter than a month" — all of which the
+//!   lifetime baselines would have thrown away.
+//! * **Fuzzy value matching** — prior work used Ratcliff/Obershelp
+//!   similarity, treating values differing by up to 33% (or 45%) as "the
+//!   same"; CrumbCruncher requires exact equality.
+//! * **Two-crawler methodology** — prior work compared exactly two
+//!   simulated users, discarding any token seen by only one.
+
+use cc_crawler::CrawlerName;
+use cc_util::strings::ratcliff_obershelp;
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::UidFinding;
+
+/// Result of applying a lifetime threshold to CrumbCruncher's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeAblation {
+    /// UIDs with a known storage lifetime.
+    pub with_lifetime: u64,
+    /// Of those, how many the threshold would have discarded.
+    pub discarded_by_threshold: u64,
+    /// The threshold in days.
+    pub threshold_days: u64,
+}
+
+impl LifetimeAblation {
+    /// Fraction of lifetimed UIDs the baseline loses.
+    pub fn missed_fraction(&self) -> f64 {
+        if self.with_lifetime == 0 {
+            0.0
+        } else {
+            self.discarded_by_threshold as f64 / self.with_lifetime as f64
+        }
+    }
+}
+
+/// How many of CrumbCruncher's UIDs a lifetime-threshold baseline would
+/// have discarded as "session IDs".
+pub fn lifetime_ablation(findings: &[UidFinding], threshold_days: u64) -> LifetimeAblation {
+    let with: Vec<u64> = findings
+        .iter()
+        .filter_map(|f| f.cookie_lifetime_days)
+        .collect();
+    let discarded = with.iter().filter(|d| **d < threshold_days).count() as u64;
+    LifetimeAblation {
+        with_lifetime: with.len() as u64,
+        discarded_by_threshold: discarded,
+        threshold_days,
+    }
+}
+
+/// Result of the fuzzy-matching ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuzzyAblation {
+    /// Findings with values from at least two different users.
+    pub comparable: u64,
+    /// Findings a fuzzy matcher would have *discarded* because two
+    /// different users' values exceeded the similarity threshold.
+    pub wrongly_merged: u64,
+    /// The similarity threshold used (e.g. 0.67 ⇒ "may differ by 33%").
+    pub threshold: f64,
+}
+
+/// Apply prior work's fuzzy value matching: two users' values within the
+/// similarity threshold are treated as "the same" (and the token is thus
+/// discarded as not user-specific).
+pub fn fuzzy_ablation(findings: &[UidFinding], threshold: f64) -> FuzzyAblation {
+    let mut comparable = 0;
+    let mut wrongly_merged = 0;
+    for f in findings {
+        let users: Vec<(&CrawlerName, &std::collections::BTreeSet<String>)> =
+            f.values.iter().collect();
+        let mut cross_pairs = Vec::new();
+        for (i, (ca, va)) in users.iter().enumerate() {
+            for (cb, vb) in users.iter().skip(i + 1) {
+                if ca.user() != cb.user() {
+                    cross_pairs.push((va, vb));
+                }
+            }
+        }
+        if cross_pairs.is_empty() {
+            continue;
+        }
+        comparable += 1;
+        let merged = cross_pairs.iter().any(|(va, vb)| {
+            va.iter()
+                .any(|a| vb.iter().any(|b| ratcliff_obershelp(a, b) >= threshold))
+        });
+        if merged {
+            wrongly_merged += 1;
+        }
+    }
+    FuzzyAblation {
+        comparable,
+        wrongly_merged,
+        threshold,
+    }
+}
+
+/// Result of the two-crawler-methodology ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoCrawlerAblation {
+    /// CrumbCruncher's UID count (four crawlers).
+    pub four_crawler_uids: u64,
+    /// UIDs a two-crawler design (Safari-1 + Safari-2 only) retains: the
+    /// token must be seen by both, with different values.
+    pub two_crawler_uids: u64,
+}
+
+impl TwoCrawlerAblation {
+    /// Fraction of UIDs the two-crawler design loses.
+    pub fn missed_fraction(&self) -> f64 {
+        if self.four_crawler_uids == 0 {
+            0.0
+        } else {
+            1.0 - self.two_crawler_uids as f64 / self.four_crawler_uids as f64
+        }
+    }
+}
+
+/// Count how many of CrumbCruncher's findings a two-crawler methodology
+/// would have kept.
+pub fn two_crawler_ablation(findings: &[UidFinding]) -> TwoCrawlerAblation {
+    let kept = findings
+        .iter()
+        .filter(|f| {
+            let s1 = f.values.get(&CrawlerName::Safari1);
+            let s2 = f.values.get(&CrawlerName::Safari2);
+            match (s1, s2) {
+                (Some(a), Some(b)) => a.intersection(b).next().is_none(),
+                _ => false,
+            }
+        })
+        .count() as u64;
+    TwoCrawlerAblation {
+        four_crawler_uids: findings.len() as u64,
+        two_crawler_uids: kept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::ComboClass;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn finding(values: &[(CrawlerName, &str)], lifetime: Option<u64>) -> UidFinding {
+        let mut map: BTreeMap<CrawlerName, BTreeSet<String>> = BTreeMap::new();
+        for (c, v) in values {
+            map.entry(*c).or_default().insert((*v).to_string());
+        }
+        UidFinding {
+            walk: 0,
+            step: 0,
+            name: "gclid".into(),
+            values: map,
+            combo: ComboClass::OneProfileOnly,
+            origin: "a.com".into(),
+            destination: Some("b.com".into()),
+            redirectors: vec![],
+            domain_path: vec!["a.com".into(), "b.com".into()],
+            url_path: vec!["www.a.com/".into(), "www.b.com/".into()],
+            at_origin: true,
+            at_destination: true,
+            cookie_lifetime_days: lifetime,
+        }
+    }
+
+    #[test]
+    fn lifetime_thresholds() {
+        let findings = vec![
+            finding(&[(CrawlerName::Safari1, "u1")], Some(14)),
+            finding(&[(CrawlerName::Safari1, "u2")], Some(60)),
+            finding(&[(CrawlerName::Safari1, "u3")], Some(365)),
+            finding(&[(CrawlerName::Safari1, "u4")], None),
+        ];
+        let d90 = lifetime_ablation(&findings, 90);
+        assert_eq!(d90.with_lifetime, 3);
+        assert_eq!(d90.discarded_by_threshold, 2);
+        assert!((d90.missed_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        let d30 = lifetime_ablation(&findings, 30);
+        assert_eq!(d30.discarded_by_threshold, 1);
+    }
+
+    #[test]
+    fn fuzzy_merges_similar_values() {
+        // Two users with 90%-similar values: a 0.67 threshold merges them.
+        let f = finding(
+            &[
+                (CrawlerName::Safari1, "aaaaaaaaaaaaaaaaaaaX"),
+                (CrawlerName::Safari2, "aaaaaaaaaaaaaaaaaaaY"),
+            ],
+            None,
+        );
+        let out = fuzzy_ablation(&[f], 0.67);
+        assert_eq!(out.comparable, 1);
+        assert_eq!(out.wrongly_merged, 1);
+    }
+
+    #[test]
+    fn fuzzy_keeps_dissimilar_values() {
+        let f = finding(
+            &[
+                (CrawlerName::Safari1, "f3a9c17e2b4d5a60"),
+                (CrawlerName::Chrome3, "0011223344556677"),
+            ],
+            None,
+        );
+        let out = fuzzy_ablation(&[f], 0.67);
+        assert_eq!(out.comparable, 1);
+        assert_eq!(out.wrongly_merged, 0);
+    }
+
+    #[test]
+    fn fuzzy_ignores_single_user_findings() {
+        let f = finding(&[(CrawlerName::Safari1, "solo-value-123")], None);
+        let out = fuzzy_ablation(&[f], 0.67);
+        assert_eq!(out.comparable, 0);
+    }
+
+    #[test]
+    fn two_crawler_design_loses_singletons() {
+        let findings = vec![
+            // Seen by both S1 and S2 with different values: kept.
+            finding(
+                &[
+                    (CrawlerName::Safari1, "uid-a-0001"),
+                    (CrawlerName::Safari2, "uid-b-0002"),
+                ],
+                None,
+            ),
+            // Seen only by Chrome-3: lost.
+            finding(&[(CrawlerName::Chrome3, "uid-c-0003")], None),
+            // Seen only by S1: lost.
+            finding(&[(CrawlerName::Safari1, "uid-d-0004")], None),
+        ];
+        let out = two_crawler_ablation(&findings);
+        assert_eq!(out.four_crawler_uids, 3);
+        assert_eq!(out.two_crawler_uids, 1);
+        assert!((out.missed_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

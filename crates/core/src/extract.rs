@@ -1,0 +1,250 @@
+//! Recursive token extraction (§3.6).
+//!
+//! "We extract potential UID tokens from cookies, local storage, and query
+//! parameters by recursively attempting to parse the value of each
+//! name-value pair as JSON or URL-encoded values. For example, if a query
+//! parameter contains a JSON string that itself contains several
+//! URL-encoded tokens, we extract each URL-encoded token individually."
+//!
+//! Names of name-value pairs are *not* mined for tokens (footnote 5: prior
+//! work found UIDs-in-names vanishingly rare), but they are preserved
+//! alongside each extracted leaf because the dynamic classification rules
+//! of §3.7.2 compare tokens *by name* across crawlers.
+
+use cc_url::percent::{decode_component, looks_encoded};
+
+/// Recursion budget: protects against adversarial nesting.
+const MAX_DEPTH: usize = 8;
+
+/// One extracted leaf token: the innermost name associated with it plus the
+/// leaf value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Extracted {
+    /// The name of the innermost name-value pair this leaf came from.
+    pub name: String,
+    /// The leaf token value.
+    pub value: String,
+}
+
+/// Extract all leaf tokens from one name-value pair.
+pub fn extract_tokens(name: &str, value: &str) -> Vec<Extracted> {
+    let mut out = Vec::new();
+    walk(name, value, 0, &mut out);
+    out
+}
+
+fn push(out: &mut Vec<Extracted>, name: &str, value: &str) {
+    if value.is_empty() {
+        return;
+    }
+    let e = Extracted {
+        name: name.to_string(),
+        value: value.to_string(),
+    };
+    if !out.contains(&e) {
+        out.push(e);
+    }
+}
+
+fn walk(name: &str, value: &str, depth: usize, out: &mut Vec<Extracted>) {
+    if depth >= MAX_DEPTH || value.is_empty() {
+        push(out, name, value);
+        return;
+    }
+
+    // A URL value surfaces whole (the URL heuristic will discard it) and
+    // additionally contributes its own query-parameter tokens.
+    if value.starts_with("http://") || value.starts_with("https://") {
+        push(out, name, value);
+        if let Ok(u) = cc_url::Url::parse(value) {
+            for (k, v) in u.query() {
+                walk(k, v, depth + 1, out);
+            }
+        }
+        return;
+    }
+
+    // JSON object/array?
+    let trimmed = value.trim();
+    if trimmed.starts_with('{') || trimmed.starts_with('[') {
+        if let Ok(json) = serde_json::from_str::<serde_json::Value>(trimmed) {
+            walk_json(name, &json, depth + 1, out);
+            return;
+        }
+    }
+
+    // URL-encoded k=v(&k=v)* payload? Require at least one '=' to avoid
+    // shredding ordinary values containing '&'.
+    if value.contains('=') && is_query_ish(value) {
+        for (k, v) in cc_url::parse_query(value) {
+            if v.is_empty() {
+                // A bare token segment; treat the key as a value under the
+                // outer name (e.g. flag-style params).
+                walk(name, &k, depth + 1, out);
+            } else {
+                walk(&k, &v, depth + 1, out);
+            }
+        }
+        return;
+    }
+
+    // Percent-encoded payload that decodes to something richer?
+    if looks_encoded(value) {
+        let decoded = decode_component(value);
+        if decoded != value {
+            walk(name, &decoded, depth + 1, out);
+            return;
+        }
+    }
+
+    push(out, name, value);
+}
+
+/// Heuristic: does this look like a query string rather than a value that
+/// merely contains '='? Every '&'-separated segment must look like k=v (or
+/// be empty).
+fn is_query_ish(value: &str) -> bool {
+    value.split('&').all(|seg| {
+        seg.is_empty()
+            || seg
+                .split_once('=')
+                .map(|(k, _)| !k.is_empty() && !k.contains(' '))
+                .unwrap_or(false)
+            || !seg.contains('=') && !seg.contains(' ')
+    })
+}
+
+fn walk_json(name: &str, json: &serde_json::Value, depth: usize, out: &mut Vec<Extracted>) {
+    match json {
+        serde_json::Value::String(s) => walk(name, s, depth, out),
+        serde_json::Value::Number(n) => push(out, name, &n.to_string()),
+        serde_json::Value::Bool(_) | serde_json::Value::Null => {}
+        serde_json::Value::Array(items) => {
+            for item in items {
+                walk_json(name, item, depth, out);
+            }
+        }
+        serde_json::Value::Object(map) => {
+            for (k, v) in map {
+                walk_json(k, v, depth, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values(out: &[Extracted]) -> Vec<&str> {
+        out.iter().map(|e| e.value.as_str()).collect()
+    }
+
+    #[test]
+    fn plain_value_passes_through() {
+        let out = extract_tokens("uid", "f3a9c17e2b4d5a60");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "uid");
+        assert_eq!(out[0].value, "f3a9c17e2b4d5a60");
+    }
+
+    #[test]
+    fn empty_value_yields_nothing() {
+        assert!(extract_tokens("k", "").is_empty());
+    }
+
+    #[test]
+    fn json_object_leaves() {
+        let out = extract_tokens("payload", r#"{"uid":"abc123","n":42,"ok":true}"#);
+        let vals = values(&out);
+        assert!(vals.contains(&"abc123"));
+        assert!(vals.contains(&"42"));
+        assert_eq!(
+            out.iter().find(|e| e.value == "abc123").unwrap().name,
+            "uid"
+        );
+        // Booleans and nulls are not tokens.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn json_array_and_nested() {
+        let out = extract_tokens(
+            "d",
+            r#"{"ids":["a1b2c3d4","e5f6g7h8"],"meta":{"sid":"zz99"}}"#,
+        );
+        let vals = values(&out);
+        assert!(vals.contains(&"a1b2c3d4"));
+        assert!(vals.contains(&"e5f6g7h8"));
+        assert!(vals.contains(&"zz99"));
+        assert_eq!(out.iter().find(|e| e.value == "zz99").unwrap().name, "sid");
+    }
+
+    #[test]
+    fn url_encoded_payload_is_unwrapped() {
+        // The redirector's serialized cookie blob from cc-web.
+        let out = extract_tokens("_rcv", "gclid=abcdef123456&ts=1666&topic=sweet_magnolia");
+        let vals = values(&out);
+        assert!(vals.contains(&"abcdef123456"));
+        assert!(vals.contains(&"1666"));
+        assert!(vals.contains(&"sweet_magnolia"));
+        assert_eq!(
+            out.iter().find(|e| e.value == "abcdef123456").unwrap().name,
+            "gclid"
+        );
+    }
+
+    #[test]
+    fn paper_example_json_containing_urlencoded() {
+        // "a query parameter contains a JSON string that itself contains
+        // several URL-encoded tokens" (§3.6).
+        let json = r#"{"blob":"uid%3Ddeadbeef0011%26lang%3Den-US"}"#;
+        // After JSON, the string percent-decodes to "uid=deadbeef0011&lang=en-US".
+        let out = extract_tokens("data", json);
+        let vals = values(&out);
+        assert!(vals.contains(&"deadbeef0011"), "{vals:?}");
+        assert!(vals.contains(&"en-US"), "{vals:?}");
+    }
+
+    #[test]
+    fn url_value_not_shredded() {
+        // A URL in a param should surface as one token (to be discarded by
+        // the URL heuristic), plus its own inner query tokens.
+        let out = extract_tokens("cc_dest", "https://www.shop.com/deal");
+        assert_eq!(values(&out), vec!["https://www.shop.com/deal"]);
+    }
+
+    #[test]
+    fn malformed_json_degrades_gracefully() {
+        let out = extract_tokens("j", "{not json at all");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, "{not json at all");
+    }
+
+    #[test]
+    fn deep_nesting_terminates() {
+        // 20 levels of percent-encoding still terminates (depth cap).
+        let mut v = "x=core0".to_string();
+        for _ in 0..20 {
+            v = format!("w={}", cc_url::percent::encode_component(&v));
+        }
+        let out = extract_tokens("outer", &v);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_leaves_deduped_by_name_and_value() {
+        // Identical (name, value) pairs collapse; the same value under two
+        // names is two observations (the dynamic rules compare by name).
+        let out = extract_tokens("d", r#"{"a":"same1234","b":"same1234","a":"same1234"}"#);
+        assert_eq!(out.len(), 2);
+        let out2 = extract_tokens("d", "a=same1234&a=same1234");
+        assert_eq!(out2.len(), 1);
+    }
+
+    #[test]
+    fn value_with_ampersand_but_not_query() {
+        let out = extract_tokens("title", "fish & chips");
+        assert_eq!(values(&out), vec!["fish & chips"]);
+    }
+}

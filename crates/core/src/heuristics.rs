@@ -1,0 +1,141 @@
+//! Programmatic token filters (§3.7.2).
+//!
+//! "We base our programmatic heuristics on those of prior studies. We
+//! remove tokens that appear to be dates or timestamps, tokens that appear
+//! to be URLs, and tokens that are less than eight characters long. We do
+//! not impose any restrictions based on cookie expirations."
+
+/// Minimum token length (characters) — shared with prior work (§8.1).
+pub const MIN_TOKEN_LEN: usize = 8;
+
+/// Whether a token looks like a Unix timestamp (seconds, millis, or
+/// microseconds around the 2000s–2030s range) or a calendar date.
+pub fn is_timestamp_or_date(s: &str) -> bool {
+    if is_calendar_date(s) {
+        return true;
+    }
+    if !s.chars().all(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    // Epoch seconds (10 digits, 2001–2286), millis (13), micros (16).
+    match s.len() {
+        9..=10 => s.parse::<u64>().map(|v| v >= 950_000_000).unwrap_or(false),
+        12..=13 => true,
+        15..=16 => true,
+        _ => false,
+    }
+}
+
+/// `YYYY-MM-DD`, `YYYY/MM/DD`, `YYYYMMDD`, and ISO-8601 datetime prefixes.
+fn is_calendar_date(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let parse_ymd = |y: &str, m: &str, d: &str| -> bool {
+        let (Ok(y), Ok(m), Ok(d)) = (y.parse::<u32>(), m.parse::<u32>(), d.parse::<u32>()) else {
+            return false;
+        };
+        (1970..=2099).contains(&y) && (1..=12).contains(&m) && (1..=31).contains(&d)
+    };
+    // Delimited forms (possibly with a time suffix).
+    for sep in ['-', '/'] {
+        let parts: Vec<&str> = s.splitn(3, sep).collect();
+        if parts.len() == 3 && parts[0].len() == 4 && parts[1].len() == 2 {
+            let day = &parts[2][..parts[2].len().min(2)];
+            if parse_ymd(parts[0], parts[1], day) {
+                return true;
+            }
+        }
+    }
+    // Compact YYYYMMDD.
+    if bytes.len() == 8 && s.chars().all(|c| c.is_ascii_digit()) {
+        return parse_ymd(&s[0..4], &s[4..6], &s[6..8]);
+    }
+    false
+}
+
+/// Whether a token looks like a URL.
+pub fn looks_like_url(s: &str) -> bool {
+    s.starts_with("http://")
+        || s.starts_with("https://")
+        || s.starts_with("www.")
+        || s.contains("://")
+        || s.starts_with("%2F%2F")
+        || s.starts_with("//")
+}
+
+/// Whether a token is too short to be a UID.
+pub fn too_short(s: &str) -> bool {
+    s.chars().count() < MIN_TOKEN_LEN
+}
+
+/// Run all programmatic filters; `None` = the token survives, `Some(why)` =
+/// discarded.
+pub fn programmatic_reject(s: &str) -> Option<&'static str> {
+    if too_short(s) {
+        Some("too-short")
+    } else if is_timestamp_or_date(s) {
+        Some("timestamp-or-date")
+    } else if looks_like_url(s) {
+        Some("url")
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_timestamps() {
+        assert!(is_timestamp_or_date("1666666666")); // seconds, 2022
+        assert!(is_timestamp_or_date("1666666666123")); // millis
+        assert!(is_timestamp_or_date("1666666666123456")); // micros
+        assert!(!is_timestamp_or_date("123456")); // too short
+        assert!(!is_timestamp_or_date("100000000")); // 1973 sec? 9 digits but < floor
+        assert!(!is_timestamp_or_date("12345678901234567890")); // too long
+    }
+
+    #[test]
+    fn calendar_dates() {
+        assert!(is_timestamp_or_date("2022-10-25"));
+        assert!(is_timestamp_or_date("2022/10/25"));
+        assert!(is_timestamp_or_date("20221025"));
+        assert!(is_timestamp_or_date("2022-10-25T13:00:00"));
+        assert!(!is_timestamp_or_date("9999-99-99"));
+        assert!(!is_timestamp_or_date("20229999"));
+        assert!(!is_timestamp_or_date("abcd-ef-gh"));
+    }
+
+    #[test]
+    fn urls() {
+        assert!(looks_like_url("https://www.shop.com/deal"));
+        assert!(looks_like_url("http://x.com"));
+        assert!(looks_like_url("www.example.com/page"));
+        assert!(looks_like_url("custom://deep.link"));
+        assert!(looks_like_url("//cdn.example.com/x.js"));
+        assert!(!looks_like_url("deadbeef00112233"));
+        assert!(!looks_like_url("not a url"));
+    }
+
+    #[test]
+    fn length_filter() {
+        assert!(too_short("abc123"));
+        assert!(!too_short("abcd1234"));
+        // Character count, not byte count.
+        assert!(!too_short("éééééééé"));
+    }
+
+    #[test]
+    fn combined_rejector() {
+        assert_eq!(programmatic_reject("short"), Some("too-short"));
+        assert_eq!(programmatic_reject("1666666666"), Some("timestamp-or-date"));
+        assert_eq!(
+            programmatic_reject("https://a.com/verylongpath"),
+            Some("url")
+        );
+        assert_eq!(programmatic_reject("f3a9c17e2b4d5a60"), None);
+        // Word-like strings survive the programmatic stage — that is the
+        // paper's point: they require the manual stage.
+        assert_eq!(programmatic_reject("sweet_magnolia_deal"), None);
+    }
+}

@@ -1,0 +1,153 @@
+//! Scoring the pipeline against the simulator's ground truth.
+//!
+//! The paper validated by hand; a simulated web lets us do better: every
+//! minted value carries a [`cc_web::script::TokenTruth`] label, so we can
+//! compute precision/recall for the classifier — and separately account
+//! for the fingerprint-derived UIDs the methodology is *expected* to miss
+//! (§3.5).
+
+use cc_web::script::{TokenTruth, TruthLog};
+use serde::{Deserialize, Serialize};
+
+use crate::classify::{TokenGroup, Verdict};
+
+/// Precision/recall scorecard for a pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TruthScore {
+    /// Groups labeled UID whose values are genuine UIDs.
+    pub true_positives: u64,
+    /// Groups labeled UID whose values are not UIDs.
+    pub false_positives: u64,
+    /// Groups discarded whose values were genuine (non-fingerprint) UIDs.
+    pub false_negatives: u64,
+    /// Discarded groups whose values were fingerprint-derived UIDs — the
+    /// misses the methodology knowingly accepts (§3.5).
+    pub fingerprint_misses: u64,
+    /// Groups whose values had no ground-truth label (extraction artifacts).
+    pub unlabeled: u64,
+}
+
+impl TruthScore {
+    /// Precision over labeled verdicts.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall over genuine non-fingerprint UIDs that formed candidates.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+/// Evaluate classified groups against the truth ledger.
+pub fn score(groups: &[TokenGroup], truth: &TruthLog) -> TruthScore {
+    let mut s = TruthScore::default();
+    for g in groups {
+        // A group's truth: the label of any of its values (they share a
+        // mint site).
+        let label = g.values.values().flatten().find_map(|v| truth.get(v));
+        let Some(label) = label else {
+            s.unlabeled += 1;
+            continue;
+        };
+        let is_uid_truth = label.is_uid();
+        let fingerprint = matches!(
+            label,
+            TokenTruth::Uid {
+                fingerprint_based: true,
+                ..
+            }
+        );
+        match (g.verdict, is_uid_truth) {
+            (Verdict::Uid, true) => s.true_positives += 1,
+            (Verdict::Uid, false) => s.false_positives += 1,
+            (Verdict::Discarded(_), true) if fingerprint => s.fingerprint_misses += 1,
+            (Verdict::Discarded(_), true) => s.false_negatives += 1,
+            (Verdict::Discarded(_), false) => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{ComboClass, DiscardReason};
+    use cc_crawler::CrawlerName;
+    use cc_web::TrackerId;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn group(value: &str, verdict: Verdict) -> TokenGroup {
+        let mut values: BTreeMap<CrawlerName, BTreeSet<String>> = BTreeMap::new();
+        values
+            .entry(CrawlerName::Safari1)
+            .or_default()
+            .insert(value.to_string());
+        TokenGroup {
+            walk: 0,
+            step: 0,
+            name: "x".into(),
+            values,
+            verdict,
+            combo: ComboClass::OneProfileOnly,
+            entered_manual: false,
+        }
+    }
+
+    #[test]
+    fn scoring_matrix() {
+        let mut truth = TruthLog::new();
+        truth.note(
+            "real-uid-1",
+            TokenTruth::Uid {
+                tracker: Some(TrackerId(1)),
+                fingerprint_based: false,
+            },
+        );
+        truth.note(
+            "fp-uid-2",
+            TokenTruth::Uid {
+                tracker: Some(TrackerId(2)),
+                fingerprint_based: true,
+            },
+        );
+        truth.note("session-3", TokenTruth::SessionId);
+        truth.note("word-4", TokenTruth::WordLike);
+
+        let groups = vec![
+            group("real-uid-1", Verdict::Uid), // TP
+            group("session-3", Verdict::Uid),  // FP
+            group(
+                "fp-uid-2",
+                Verdict::Discarded(DiscardReason::SameAcrossUsers),
+            ), // fingerprint miss
+            group("word-4", Verdict::Discarded(DiscardReason::Manual)), // TN
+            group("never-minted", Verdict::Uid), // unlabeled
+        ];
+        let s = score(&groups, &truth);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 0);
+        assert_eq!(s.fingerprint_misses, 1);
+        assert_eq!(s.unlabeled, 1);
+        assert!((s.precision() - 0.5).abs() < 1e-12);
+        assert!((s.recall() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_score_is_perfect() {
+        let s = TruthScore::default();
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+    }
+}

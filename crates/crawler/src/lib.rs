@@ -1,0 +1,43 @@
+//! # cc-crawler
+//!
+//! CrumbCruncher's crawling framework: four synchronized crawlers walking
+//! the (simulated) web.
+//!
+//! * [`names`] — the four crawlers (§3.2): Safari-1, Safari-2, Chrome-3
+//!   (three distinct users crawling in parallel) and Safari-1R (the
+//!   trailing crawler that repeats each of Safari-1's steps as the *same*
+//!   user to unmask session IDs).
+//! * [`matching`] — the central controller's three element-matching
+//!   heuristics (§3.3): anchors by href-sans-query, and any elements by
+//!   attribute names + similar bounding box or attribute names + x-path.
+//! * [`walker`] — ten-step random walks (§3.1) with the full failure
+//!   taxonomy: synchronization failure (no shared element, 7.6% in the
+//!   paper), divergence (clicked elements led to different FQDNs, 1.8%),
+//!   and connection failures (3.3%). Three interchangeable drivers
+//!   ([`DriverMode`]): deterministic lockstep, scoped threads, and the
+//!   paper's architecture — persistent crawler workers exchanging
+//!   messages with the central controller over crossbeam channels. All
+//!   three produce byte-identical datasets.
+//! * [`shard`] — the paper's deployment model (§3.8): twelve instances
+//!   crawling disjoint seeder ranges, merged losslessly.
+//! * [`record`] — the crawl dataset (serde-serializable, like the paper's
+//!   released dataset): per-step observations of storage snapshots,
+//!   clicked elements, navigation hops, and beacon requests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod matching;
+pub mod names;
+pub mod record;
+pub mod shard;
+pub mod walker;
+
+pub use matching::{same_element, select_shared};
+pub use names::{CrawlerName, UserId};
+pub use record::{
+    ClickedElement, CrawlDataset, CrawlObservation, FailureStats, StepRecord, WalkRecord,
+    WalkTermination,
+};
+pub use shard::{crawl_sharded, merge, ShardPlan};
+pub use walker::{CrawlConfig, DriverMode, NavigationRewriter, Walker};

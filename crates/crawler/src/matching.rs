@@ -1,0 +1,285 @@
+//! The central controller's element-matching heuristics.
+//!
+//! §3.3: the controller "compares the three lists to find elements that are
+//! the same across all three instances of the page. We consider elements to
+//! be the same if any of three heuristics are met:
+//!
+//! 1. They are anchors and their href values are the same (not including
+//!    query parameters).
+//! 2. They have the same HTML attribute names (the values may differ) and
+//!    similar bounding boxes (the y-coordinate may differ …).
+//! 3. They have the same HTML attribute names and x-path."
+//!
+//! "These heuristics are imperfect: they may incorrectly label elements as
+//! the same when they are not" — that imperfection is load-bearing: matched
+//! iframes serving different ads are exactly the divergence cases of §3.3
+//! and the dynamic smuggling of §3.7.2.
+
+use cc_util::DetRng;
+use cc_web::{ElementKind, ElementModel};
+
+/// Whether two elements are "the same" under the §3.3 heuristics.
+pub fn same_element(a: &ElementModel, b: &ElementModel) -> bool {
+    // Heuristic 1: anchors with equal href modulo query parameters.
+    if a.kind == ElementKind::Anchor && b.kind == ElementKind::Anchor {
+        if let (Some(ha), Some(hb)) = (&a.href, &b.href) {
+            if ha.without_query() == hb.without_query() {
+                return true;
+            }
+        }
+    }
+    if a.kind != b.kind {
+        return false;
+    }
+    let attrs_match = {
+        let mut an = a.attr_names.clone();
+        let mut bn = b.attr_names.clone();
+        an.sort();
+        bn.sort();
+        an == bn
+    };
+    if !attrs_match {
+        return false;
+    }
+    // Heuristic 2: same attribute names + similar bounding box (ignoring y).
+    if a.bbox.similar(&b.bbox) {
+        return true;
+    }
+    // Heuristic 3: same attribute names + same x-path.
+    a.xpath == b.xpath
+}
+
+/// An element found on all three parallel crawls: the per-crawler indices
+/// into each crawler's element list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedElement {
+    /// Index into each of the three lists (Safari-1, Safari-2, Chrome-3).
+    pub indices: [usize; 3],
+}
+
+/// Find all elements shared across the three element lists (greedy
+/// first-match, which is what a practical controller does).
+pub fn shared_elements(lists: [&[ElementModel]; 3]) -> Vec<SharedElement> {
+    let mut used_b = vec![false; lists[1].len()];
+    let mut used_c = vec![false; lists[2].len()];
+    let mut shared = Vec::new();
+    for (ia, ea) in lists[0].iter().enumerate() {
+        let mb = lists[1]
+            .iter()
+            .enumerate()
+            .find(|(ib, eb)| !used_b[*ib] && same_element(ea, eb));
+        let Some((ib, _)) = mb else { continue };
+        let mc = lists[2]
+            .iter()
+            .enumerate()
+            .find(|(ic, ec)| !used_c[*ic] && same_element(ea, ec));
+        let Some((ic, _)) = mc else { continue };
+        used_b[ib] = true;
+        used_c[ic] = true;
+        shared.push(SharedElement {
+            indices: [ia, ib, ic],
+        });
+    }
+    shared
+}
+
+/// Controller decision: pick the element all three crawlers will click.
+///
+/// §3.1: "CrumbCruncher preferentially chooses elements that navigate to a
+/// URL with a different registered domain than the current page. If such an
+/// element does not exist, CrumbCruncher selects one at random."
+pub fn select_shared(
+    lists: [&[ElementModel]; 3],
+    current_domain: &str,
+    rng: &mut DetRng,
+) -> Option<SharedElement> {
+    let shared = shared_elements(lists);
+    if shared.is_empty() {
+        return None;
+    }
+    let cross: Vec<&SharedElement> = shared
+        .iter()
+        .filter(|s| lists[0][s.indices[0]].is_cross_site(current_domain))
+        .collect();
+    if !cross.is_empty() {
+        Some(*cross[rng.index(cross.len())])
+    } else {
+        Some(shared[rng.index(shared.len())])
+    }
+}
+
+/// Find the element in a single list matching a reference element (how the
+/// trailing Safari-1R locates "the same" element on its own page load).
+pub fn find_matching(reference: &ElementModel, list: &[ElementModel]) -> Option<usize> {
+    list.iter().position(|e| same_element(reference, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_url::Url;
+    use cc_web::{BBox, ClickTarget};
+
+    fn anchor(href: &str, xpath: &str) -> ElementModel {
+        // Derive distinct geometry from the x-path so heuristics 2/3 only
+        // fire when a test explicitly aligns elements.
+        let x = xpath.bytes().map(i32::from).sum::<i32>();
+        let u = Url::parse(href).unwrap();
+        ElementModel {
+            kind: ElementKind::Anchor,
+            attr_names: vec!["href".into(), "class".into()],
+            bbox: BBox {
+                x,
+                y: 0,
+                w: 100,
+                h: 20,
+            },
+            xpath: xpath.into(),
+            href: Some(u.clone()),
+            target: ClickTarget::Navigate(u),
+        }
+    }
+
+    fn iframe(slot: &str, x: i32, y: i32) -> ElementModel {
+        ElementModel {
+            kind: ElementKind::Iframe,
+            attr_names: vec!["src".into(), "width".into(), "height".into()],
+            bbox: BBox {
+                x,
+                y,
+                w: 300,
+                h: 250,
+            },
+            xpath: format!("/html/body/div[2]/div[{slot}]/iframe"),
+            href: None,
+            target: ClickTarget::Navigate(Url::parse("https://adnet.com/click").unwrap()),
+        }
+    }
+
+    #[test]
+    fn heuristic1_href_ignores_query() {
+        let a = anchor("https://x.com/p?uid=1", "/a");
+        let b = anchor("https://x.com/p?uid=2", "/b");
+        assert!(same_element(&a, &b));
+        // Different href AND different geometry/x-path: no heuristic fires.
+        let c = anchor("https://x.com/other", "/c");
+        assert!(!same_element(&a, &c));
+    }
+
+    #[test]
+    fn heuristic2_bbox_ignores_y() {
+        let a = iframe("1", 300, 90);
+        let b = iframe("9", 300, 500); // different xpath, same x/w/h
+        assert!(same_element(&a, &b));
+        let c = iframe("9", 310, 90); // x differs AND xpath differs
+        assert!(!same_element(&a, &c));
+    }
+
+    #[test]
+    fn heuristic3_xpath() {
+        let mut a = iframe("1", 300, 90);
+        let mut b = iframe("1", 720, 90); // same xpath, different x
+        a.xpath = "/html/body/iframe[1]".into();
+        b.xpath = "/html/body/iframe[1]".into();
+        assert!(same_element(&a, &b));
+    }
+
+    #[test]
+    fn attr_names_must_match_for_2_and_3() {
+        let a = iframe("1", 300, 90);
+        let mut b = iframe("1", 300, 90);
+        b.attr_names = vec!["src".into(), "width".into()];
+        assert!(!same_element(&a, &b));
+    }
+
+    #[test]
+    fn attr_name_order_is_irrelevant() {
+        let a = iframe("1", 300, 90);
+        let mut b = iframe("1", 300, 90);
+        b.attr_names.reverse();
+        assert!(same_element(&a, &b));
+    }
+
+    #[test]
+    fn kind_mismatch_never_matches() {
+        let a = anchor("https://x.com/p", "/html/body/a");
+        let mut b = iframe("1", 0, 0);
+        b.attr_names = a.attr_names.clone();
+        b.bbox = a.bbox;
+        b.xpath = a.xpath.clone();
+        assert!(!same_element(&a, &b));
+    }
+
+    #[test]
+    fn shared_elements_across_three_lists() {
+        let l1 = vec![anchor("https://x.com/1", "/a1"), iframe("1", 300, 90)];
+        let l2 = vec![iframe("1", 300, 400), anchor("https://x.com/1?q=2", "/a1")];
+        let l3 = vec![anchor("https://x.com/1", "/a1"), iframe("1", 300, 95)];
+        let shared = shared_elements([&l1, &l2, &l3]);
+        assert_eq!(shared.len(), 2);
+        // The anchor maps to index 1 in list 2.
+        let anchor_shared = shared
+            .iter()
+            .find(|s| l1[s.indices[0]].kind == ElementKind::Anchor)
+            .unwrap();
+        assert_eq!(anchor_shared.indices, [0, 1, 0]);
+    }
+
+    #[test]
+    fn no_shared_elements_when_disjoint() {
+        let l1 = vec![anchor("https://x.com/1", "/a1")];
+        let l2 = vec![anchor("https://y.com/2", "/a2")];
+        let l3 = vec![anchor("https://z.com/3", "/a3")];
+        assert!(shared_elements([&l1, &l2, &l3]).is_empty());
+        let mut rng = DetRng::new(1);
+        assert!(select_shared([&l1, &l2, &l3], "cur.com", &mut rng).is_none());
+    }
+
+    #[test]
+    fn select_prefers_cross_site() {
+        let same_site = anchor("https://cur.com/inner", "/a1");
+        let cross = anchor("https://other.com/x", "/a2");
+        let l: Vec<ElementModel> = vec![same_site, cross];
+        let mut rng = DetRng::new(3);
+        for _ in 0..20 {
+            let pick = select_shared([&l, &l, &l], "cur.com", &mut rng).unwrap();
+            assert_eq!(pick.indices[0], 1, "must always prefer the cross-site link");
+        }
+    }
+
+    #[test]
+    fn select_falls_back_to_random_same_site() {
+        let a = anchor("https://cur.com/a", "/a1");
+        let b = anchor("https://cur.com/b", "/a2");
+        let l = vec![a, b];
+        let mut rng = DetRng::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(
+                select_shared([&l, &l, &l], "cur.com", &mut rng)
+                    .unwrap()
+                    .indices[0],
+            );
+        }
+        assert_eq!(seen.len(), 2, "random fallback should vary");
+    }
+
+    #[test]
+    fn find_matching_for_trailing_crawler() {
+        let reference = iframe("1", 300, 90);
+        let list = vec![anchor("https://x.com/1", "/a"), iframe("1", 300, 800)];
+        assert_eq!(find_matching(&reference, &list), Some(1));
+        assert_eq!(find_matching(&reference, &list[..1]), None);
+    }
+
+    #[test]
+    fn greedy_matching_does_not_reuse_elements() {
+        // Two identical iframes in list 1 must map to two distinct
+        // elements in lists 2 and 3.
+        let l1 = vec![iframe("1", 300, 90), iframe("1", 300, 95)];
+        let l2 = vec![iframe("1", 300, 10)];
+        let l3 = vec![iframe("1", 300, 20), iframe("1", 300, 30)];
+        let shared = shared_elements([&l1, &l2, &l3]);
+        assert_eq!(shared.len(), 1, "only one b-list element to go around");
+    }
+}

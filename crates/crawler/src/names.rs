@@ -1,0 +1,100 @@
+//! Crawler identities.
+//!
+//! §3.2: "Three of the four crawlers — named Safari-1, Safari-2, and
+//! Chrome-3 — each simulate a different user … The fourth crawler,
+//! Safari-1R, simulates the same user as Safari-1."
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four crawlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CrawlerName {
+    /// Safari-spoofing crawler, user 1.
+    Safari1,
+    /// Safari-spoofing crawler, user 2.
+    Safari2,
+    /// Chrome crawler, user 3.
+    Chrome3,
+    /// The trailing repeat crawler: same user as Safari-1.
+    Safari1R,
+}
+
+/// The simulated user behind a crawler. Safari-1 and Safari-1R share one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u8);
+
+impl CrawlerName {
+    /// All four crawlers in execution order.
+    pub const ALL: [CrawlerName; 4] = [
+        CrawlerName::Safari1,
+        CrawlerName::Safari2,
+        CrawlerName::Chrome3,
+        CrawlerName::Safari1R,
+    ];
+
+    /// The three *parallel* crawlers (distinct users).
+    pub const PARALLEL: [CrawlerName; 3] = [
+        CrawlerName::Safari1,
+        CrawlerName::Safari2,
+        CrawlerName::Chrome3,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrawlerName::Safari1 => "Safari-1",
+            CrawlerName::Safari2 => "Safari-2",
+            CrawlerName::Chrome3 => "Chrome-3",
+            CrawlerName::Safari1R => "Safari-1R",
+        }
+    }
+
+    /// Which simulated user this crawler represents.
+    pub fn user(&self) -> UserId {
+        match self {
+            CrawlerName::Safari1 | CrawlerName::Safari1R => UserId(1),
+            CrawlerName::Safari2 => UserId(2),
+            CrawlerName::Chrome3 => UserId(3),
+        }
+    }
+
+    /// Whether the crawler spoofs Safari (vs. presenting as Chrome).
+    pub fn spoofs_safari(&self) -> bool {
+        !matches!(self, CrawlerName::Chrome3)
+    }
+}
+
+impl std::fmt::Display for CrawlerName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn users_and_labels() {
+        assert_eq!(CrawlerName::Safari1.user(), CrawlerName::Safari1R.user());
+        assert_ne!(CrawlerName::Safari1.user(), CrawlerName::Safari2.user());
+        assert_ne!(CrawlerName::Safari2.user(), CrawlerName::Chrome3.user());
+        assert_eq!(CrawlerName::Safari1R.label(), "Safari-1R");
+        assert_eq!(CrawlerName::Chrome3.to_string(), "Chrome-3");
+    }
+
+    #[test]
+    fn ua_spoofing() {
+        assert!(CrawlerName::Safari1.spoofs_safari());
+        assert!(CrawlerName::Safari1R.spoofs_safari());
+        assert!(CrawlerName::Safari2.spoofs_safari());
+        assert!(!CrawlerName::Chrome3.spoofs_safari());
+    }
+
+    #[test]
+    fn three_distinct_users() {
+        let users: std::collections::HashSet<_> =
+            CrawlerName::ALL.iter().map(|c| c.user()).collect();
+        assert_eq!(users.len(), 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! The crawl dataset: what CrumbCruncher records and releases.
+//!
+//! §3.1: at each step CrumbCruncher records "all first-party cookies, local
+//! storage values, and web requests on the originator page", the clicked
+//! element, "all navigation web requests" through the redirect chain, and
+//! the same records on the destination. The paper publishes this dataset;
+//! ours is serde-serializable for the same purpose.
+
+use cc_browser::StorageSnapshot;
+use cc_url::Url;
+use cc_web::ElementKind;
+use serde::{Deserialize, Serialize};
+
+use crate::names::CrawlerName;
+
+/// Summary of the element a crawler clicked.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClickedElement {
+    /// Anchor or iframe.
+    pub kind: ElementKind,
+    /// The element's x-path on that crawler's page instance.
+    pub xpath: String,
+}
+
+/// Everything one crawler observed during one walk step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlObservation {
+    /// Which crawler.
+    pub crawler: CrawlerName,
+    /// The page the step started on (where the click happened).
+    pub page_url: Url,
+    /// First-party storage on the start page after load.
+    pub page_snapshot: StorageSnapshot,
+    /// The clicked element, if a click happened on this crawler.
+    pub clicked: Option<ClickedElement>,
+    /// Every navigation-request URL of the click: clicked URL, redirector
+    /// hops, final destination (empty when no click or navigation failed).
+    pub nav_hops: Vec<Url>,
+    /// Where this crawler ended up.
+    pub final_url: Option<Url>,
+    /// First-party storage on the destination after load.
+    pub dest_snapshot: Option<StorageSnapshot>,
+    /// Beacon/subresource requests observed during the step, with the
+    /// top-level site they were sent from.
+    pub beacons: Vec<(String, Url)>,
+}
+
+/// One step of a walk: observations from every crawler that executed it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StepRecord {
+    /// Step index within the walk (0-based).
+    pub index: usize,
+    /// Per-crawler observations.
+    pub observations: Vec<CrawlObservation>,
+}
+
+/// Why a walk ended before its ten steps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkTermination {
+    /// All ten steps completed.
+    Completed,
+    /// The controller found no element shared across the three parallel
+    /// crawls (§3.3; 7.6% of steps in the paper).
+    SyncFailure {
+        /// The step at which matching failed.
+        step: usize,
+    },
+    /// The clicked elements "were not actually the same, and led to
+    /// different destination websites" (1.8% in the paper). Data retained.
+    Divergence {
+        /// The step at which the FQDNs disagreed.
+        step: usize,
+    },
+    /// A network error prevented connecting (3.3% of site visits).
+    ConnectFailure {
+        /// The step at which the connection failed.
+        step: usize,
+        /// The rendered error (e.g. `ECONNREFUSED`).
+        error: String,
+    },
+}
+
+/// One ten-step random walk from a seeder domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkRecord {
+    /// Walk number.
+    pub walk_id: u32,
+    /// The seeder domain the walk started from.
+    pub seeder: String,
+    /// Completed steps.
+    pub steps: Vec<StepRecord>,
+    /// How the walk ended.
+    pub termination: WalkTermination,
+}
+
+/// Aggregate failure accounting (the §3.3 evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FailureStats {
+    /// Steps the controller attempted to synchronize.
+    pub steps_attempted: u64,
+    /// Steps that completed with agreeing FQDNs.
+    pub steps_completed: u64,
+    /// Steps lost to no-shared-element failures.
+    pub sync_failures: u64,
+    /// Steps lost to FQDN divergence after the click.
+    pub divergence_failures: u64,
+    /// Walks lost to connection errors.
+    pub connect_failures: u64,
+}
+
+impl FailureStats {
+    /// Fraction of attempted steps that failed to synchronize.
+    pub fn sync_failure_rate(&self) -> f64 {
+        ratio(self.sync_failures, self.steps_attempted)
+    }
+
+    /// Fraction of attempted steps that diverged after the click.
+    pub fn divergence_rate(&self) -> f64 {
+        ratio(self.divergence_failures, self.steps_attempted)
+    }
+
+    /// Fraction of attempted steps lost to connection errors.
+    pub fn connect_failure_rate(&self) -> f64 {
+        ratio(self.connect_failures, self.steps_attempted)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A complete crawl: every walk plus the failure accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CrawlDataset {
+    /// All walks.
+    pub walks: Vec<WalkRecord>,
+    /// Failure accounting.
+    pub failures: FailureStats,
+}
+
+impl CrawlDataset {
+    /// Total completed steps across all walks.
+    pub fn total_steps(&self) -> usize {
+        self.walks.iter().map(|w| w.steps.len()).sum()
+    }
+
+    /// Iterate over every observation in the dataset.
+    pub fn observations(&self) -> impl Iterator<Item = &CrawlObservation> {
+        self.walks
+            .iter()
+            .flat_map(|w| w.steps.iter())
+            .flat_map(|s| s.observations.iter())
+    }
+
+    /// Serialize to JSON (the released-dataset format).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> CrawlObservation {
+        CrawlObservation {
+            crawler: CrawlerName::Safari1,
+            page_url: Url::parse("https://www.a.com/").unwrap(),
+            page_snapshot: StorageSnapshot::default(),
+            clicked: Some(ClickedElement {
+                kind: ElementKind::Iframe,
+                xpath: "/html/body/iframe".into(),
+            }),
+            nav_hops: vec![
+                Url::parse("https://t.net/click?uid=1").unwrap(),
+                Url::parse("https://www.b.com/?uid=1").unwrap(),
+            ],
+            final_url: Some(Url::parse("https://www.b.com/?uid=1").unwrap()),
+            dest_snapshot: Some(StorageSnapshot::default()),
+            beacons: vec![],
+        }
+    }
+
+    #[test]
+    fn dataset_roundtrips_through_json() {
+        let ds = CrawlDataset {
+            walks: vec![WalkRecord {
+                walk_id: 0,
+                seeder: "a.com".into(),
+                steps: vec![StepRecord {
+                    index: 0,
+                    observations: vec![obs()],
+                }],
+                termination: WalkTermination::Completed,
+            }],
+            failures: FailureStats {
+                steps_attempted: 10,
+                steps_completed: 9,
+                sync_failures: 1,
+                divergence_failures: 0,
+                connect_failures: 0,
+            },
+        };
+        let json = ds.to_json().unwrap();
+        let back = CrawlDataset::from_json(&json).unwrap();
+        assert_eq!(back, ds);
+        assert_eq!(back.total_steps(), 1);
+        assert_eq!(back.observations().count(), 1);
+    }
+
+    #[test]
+    fn failure_rates() {
+        let f = FailureStats {
+            steps_attempted: 1000,
+            steps_completed: 900,
+            sync_failures: 76,
+            divergence_failures: 18,
+            connect_failures: 33,
+        };
+        assert!((f.sync_failure_rate() - 0.076).abs() < 1e-12);
+        assert!((f.divergence_rate() - 0.018).abs() < 1e-12);
+        assert!((f.connect_failure_rate() - 0.033).abs() < 1e-12);
+        let empty = FailureStats::default();
+        assert_eq!(empty.sync_failure_rate(), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Sharded crawling — the paper's deployment model.
+//!
+//! §3.8: "CrumbCruncher runs on twelve Amazon EC2 t2.large instances. Each
+//! EC2 instance has a different set of 834 seeder domains. The full crawl
+//! of 10,000 seeder domains takes approximately three days." Shards crawl
+//! disjoint contiguous seeder ranges and their datasets merge losslessly:
+//! because every walk derives its randomness from its *global* walk id, a
+//! sharded crawl is bit-identical to the single-instance crawl.
+
+use crate::record::{CrawlDataset, FailureStats};
+use crate::walker::{CrawlConfig, Walker};
+use cc_web::SimWeb;
+
+/// A plan dividing the seeder list among `n_shards` instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of crawler instances.
+    pub n_shards: usize,
+    /// Total seeders to crawl.
+    pub n_seeders: usize,
+}
+
+impl ShardPlan {
+    /// Build a plan (shards get contiguous ranges, like the paper's 834
+    /// seeders per instance).
+    pub fn new(n_shards: usize, n_seeders: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        ShardPlan {
+            n_shards,
+            n_seeders,
+        }
+    }
+
+    /// The `[start, end)` seeder range of one shard.
+    pub fn range(&self, shard: usize) -> (usize, usize) {
+        assert!(shard < self.n_shards, "shard index out of range");
+        let per = self.n_seeders.div_ceil(self.n_shards);
+        let start = (shard * per).min(self.n_seeders);
+        let end = ((shard + 1) * per).min(self.n_seeders);
+        (start, end)
+    }
+}
+
+impl<'w> Walker<'w> {
+    /// Crawl one contiguous range of seeders `[start, end)`, using the
+    /// *global* walk ids so the result merges losslessly with other shards.
+    pub fn crawl_range(&self, start: usize, end: usize) -> CrawlDataset {
+        let mut dataset = CrawlDataset::default();
+        let seeders = self.web().seeder_urls();
+        for (walk_id, seeder) in seeders
+            .into_iter()
+            .enumerate()
+            .skip(start)
+            .take(end.saturating_sub(start))
+        {
+            let walk = self.walk_public(walk_id as u32, seeder, &mut dataset.failures);
+            dataset.walks.push(walk);
+        }
+        dataset
+    }
+}
+
+/// Crawl all shards of a plan (sequentially here; each shard is what one
+/// EC2 instance would run) and merge the results.
+pub fn crawl_sharded(web: &SimWeb, cfg: &CrawlConfig, plan: ShardPlan) -> CrawlDataset {
+    let shards: Vec<CrawlDataset> = (0..plan.n_shards)
+        .map(|s| {
+            let (start, end) = plan.range(s);
+            Walker::new(web, cfg.clone()).crawl_range(start, end)
+        })
+        .collect();
+    merge(shards)
+}
+
+/// Merge shard datasets into one, summing the failure accounting.
+pub fn merge(shards: Vec<CrawlDataset>) -> CrawlDataset {
+    let mut out = CrawlDataset::default();
+    for shard in shards {
+        out.walks.extend(shard.walks);
+        out.failures = add_failures(out.failures, shard.failures);
+    }
+    out.walks.sort_by_key(|w| w.walk_id);
+    out
+}
+
+fn add_failures(a: FailureStats, b: FailureStats) -> FailureStats {
+    FailureStats {
+        steps_attempted: a.steps_attempted + b.steps_attempted,
+        steps_completed: a.steps_completed + b.steps_completed,
+        sync_failures: a.sync_failures + b.sync_failures,
+        divergence_failures: a.divergence_failures + b.divergence_failures,
+        connect_failures: a.connect_failures + b.connect_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_web::{generate, WebConfig};
+
+    fn cfg() -> CrawlConfig {
+        CrawlConfig {
+            seed: 3,
+            steps_per_walk: 3,
+            max_walks: None,
+            connect_failure_rate: 0.02,
+            ..CrawlConfig::default()
+        }
+    }
+
+    #[test]
+    fn plan_ranges_cover_everything_once() {
+        let plan = ShardPlan::new(12, 10_000);
+        let mut covered = 0;
+        let mut prev_end = 0;
+        for s in 0..12 {
+            let (start, end) = plan.range(s);
+            assert_eq!(start, prev_end);
+            covered += end - start;
+            prev_end = end;
+        }
+        assert_eq!(covered, 10_000);
+        // The paper's per-instance share: 834 (ceil(10000/12)).
+        assert_eq!(plan.range(0), (0, 834));
+    }
+
+    #[test]
+    fn uneven_plans_truncate_cleanly() {
+        let plan = ShardPlan::new(4, 10);
+        assert_eq!(plan.range(0), (0, 3));
+        assert_eq!(plan.range(3), (9, 10));
+        let empty = ShardPlan::new(5, 3);
+        assert_eq!(empty.range(4), (3, 3));
+    }
+
+    #[test]
+    fn sharded_crawl_equals_single_instance() {
+        let web = generate(&WebConfig::small());
+        let single = Walker::new(&web, cfg()).crawl();
+        let sharded = crawl_sharded(&web, &cfg(), ShardPlan::new(4, web.seeders.len()));
+        assert_eq!(single.walks.len(), sharded.walks.len());
+        assert_eq!(single.failures, sharded.failures);
+        for (a, b) in single.walks.iter().zip(&sharded.walks) {
+            assert_eq!(a, b, "walk {} differs across sharding", a.walk_id);
+        }
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let web = generate(&WebConfig::small());
+        let w = Walker::new(&web, cfg());
+        let a = w.crawl_range(0, 5);
+        let b = w.crawl_range(5, 10);
+        let ab = merge(vec![a.clone(), b.clone()]);
+        let ba = merge(vec![b, a]);
+        assert_eq!(ab, ba);
+    }
+}

@@ -1,0 +1,944 @@
+//! Ten-step random walks with four synchronized crawlers.
+//!
+//! The execution model mirrors §3.1–§3.3:
+//!
+//! 1. Safari-1, Safari-2, and Chrome-3 load the same URL **in parallel**
+//!    (scoped threads joined at each controller rendezvous — the moral
+//!    equivalent of the paper's local-HTTP-server controller).
+//! 2. Each sends its element list to the controller, which applies the
+//!    three matching heuristics and picks one shared element, preferring
+//!    cross-site navigation.
+//! 3. All three click; each follows its own redirect chain (dynamic ads
+//!    mean the "same" iframe can lead to different places).
+//! 4. Safari-1R — the *same user* as Safari-1, realized by cloning
+//!    Safari-1's storage — repeats the step immediately after Safari-1
+//!    finishes it.
+//! 5. The controller compares final FQDNs; disagreement terminates the
+//!    walk (but the data is kept, because those steps often contain
+//!    separate instances of UID smuggling).
+//!
+//! Browser state persists for the duration of a walk and is discarded when
+//! a new walk begins (§3.1).
+
+use cc_browser::{Browser, Profile, Storage, StoragePolicy};
+use cc_http::RequestKind;
+use cc_net::{FaultModel, SimClock, SimTime};
+use cc_url::Url;
+use cc_util::DetRng;
+use cc_web::{ClickTarget, ElementModel, SimWeb};
+
+use crate::matching::{find_matching, select_shared};
+use crate::names::CrawlerName;
+use crate::record::{
+    ClickedElement, CrawlDataset, CrawlObservation, FailureStats, StepRecord, WalkRecord,
+    WalkTermination,
+};
+
+/// A navigation-rewriting hook: what a privacy defense installed in the
+/// browser does to a click target before the navigation fires (Brave's
+/// debouncing and query stripping are exactly this shape — §7.1).
+#[derive(Clone)]
+pub struct NavigationRewriter(pub std::sync::Arc<dyn Fn(&Url) -> Url + Send + Sync>);
+
+impl NavigationRewriter {
+    /// Wrap a rewriting function.
+    pub fn new(f: impl Fn(&Url) -> Url + Send + Sync + 'static) -> Self {
+        NavigationRewriter(std::sync::Arc::new(f))
+    }
+
+    /// Apply the rewrite.
+    pub fn rewrite(&self, url: &Url) -> Url {
+        (self.0)(url)
+    }
+}
+
+impl std::fmt::Debug for NavigationRewriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("NavigationRewriter(..)")
+    }
+}
+
+/// How the three parallel crawlers are scheduled.
+///
+/// All three modes produce **bit-identical datasets** (every browser owns
+/// its own clock and randomness stream), which the determinism tests
+/// assert; they differ only in concurrency structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverMode {
+    /// Single-threaded deterministic execution (fastest for tests).
+    #[default]
+    Lockstep,
+    /// Scoped threads spawned per controller phase.
+    ScopedThreads,
+    /// The paper's architecture: persistent crawler workers living for the
+    /// whole walk, exchanging messages with the central controller over
+    /// crossbeam channels (the stand-in for the local HTTP server of
+    /// §3.3).
+    PersistentWorkers,
+}
+
+/// Crawl parameters.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Steps per walk (the paper uses 10).
+    pub steps_per_walk: usize,
+    /// Limit on the number of walks (None = one per seeder).
+    pub max_walks: Option<usize>,
+    /// Per-connection failure probability (the paper observed 3.3%).
+    pub connect_failure_rate: f64,
+    /// Concurrency structure for the three parallel crawlers.
+    pub mode: DriverMode,
+    /// Browser storage policy (the paper's subject is `Partitioned`).
+    pub storage_policy: StoragePolicy,
+    /// Machine fingerprint shared by all four crawlers (one machine).
+    pub fingerprint: u64,
+    /// Optional in-browser defense applied to every click target before
+    /// navigation (None = the paper's unprotected measurement).
+    pub rewriter: Option<NavigationRewriter>,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            seed: 7,
+            steps_per_walk: 10,
+            max_walks: None,
+            connect_failure_rate: 0.033,
+            mode: DriverMode::Lockstep,
+            storage_policy: StoragePolicy::Partitioned,
+            fingerprint: 0x51_AB_17_E5,
+            rewriter: None,
+        }
+    }
+}
+
+/// The simulated study start: late October 2021 in epoch milliseconds, so
+/// timestamp parameters minted by trackers have realistic shapes.
+pub const STUDY_EPOCH_MS: u64 = 1_635_000_000_000;
+
+/// The crawl driver.
+pub struct Walker<'w> {
+    web: &'w SimWeb,
+    cfg: CrawlConfig,
+}
+
+/// A controller→worker command (all-owned data: channel-safe).
+enum Cmd {
+    /// Load a page (seeder or post-click continuation).
+    Navigate(Url),
+    /// Snapshot the current page, click the chosen element, follow it.
+    Click {
+        page_url: Url,
+        kind: cc_web::ElementKind,
+        xpath: String,
+        target: Url,
+    },
+    /// Snapshot the page without clicking (sync-failure bookkeeping).
+    PageObs(Url),
+    /// Ship the browser's storage to the controller (Safari-1R cloning).
+    ExportStorage,
+}
+
+/// A worker→controller event.
+enum Event {
+    Nav(Box<Result<cc_browser::NavigationOutcome, cc_browser::NavError>>),
+    Leg(Box<CrawlLegAndPage>),
+    Obs(Box<(cc_browser::StorageSnapshot, Vec<(String, Url)>)>),
+    Storage(Box<Storage>),
+}
+
+/// Execute one command against one browser — the single implementation all
+/// three scheduling modes share.
+fn exec_cmd(b: &mut Browser<'_>, cmd: Cmd) -> Event {
+    match cmd {
+        Cmd::Navigate(url) => Event::Nav(Box::new(b.navigate(url))),
+        Cmd::Click {
+            page_url,
+            kind,
+            xpath,
+            target,
+        } => Event::Leg(Box::new(click_leg(b, page_url, kind, xpath, target))),
+        Cmd::PageObs(page_url) => {
+            let snapshot = b.snapshot(&page_url.registered_domain());
+            let beacons = drain_beacons(b);
+            Event::Obs(Box::new((snapshot, beacons)))
+        }
+        Cmd::ExportStorage => Event::Storage(Box::new(b.storage.clone())),
+    }
+}
+
+/// Snapshot, click, and follow: one crawler's half of a walk step.
+fn click_leg(
+    b: &mut Browser<'_>,
+    page_url: Url,
+    kind: cc_web::ElementKind,
+    xpath: String,
+    target: Url,
+) -> CrawlLegAndPage {
+    let page_snapshot = b.snapshot(&page_url.registered_domain());
+    let clicked = Some(ClickedElement { kind, xpath });
+    match b.navigate(target) {
+        Ok(out) => {
+            let dest_snapshot = Some(b.snapshot(&out.final_url.registered_domain()));
+            let beacons = drain_beacons(b);
+            CrawlLeg {
+                page_url,
+                page_snapshot,
+                clicked,
+                nav_hops: out.hops.clone(),
+                final_url: Some(out.final_url.clone()),
+                dest_snapshot,
+                beacons,
+                error: None,
+            }
+            .with_outcome(out)
+        }
+        Err(e) => CrawlLegAndPage {
+            leg: CrawlLeg {
+                page_url,
+                page_snapshot,
+                clicked,
+                nav_hops: Vec::new(),
+                final_url: None,
+                dest_snapshot: None,
+                beacons: drain_beacons(b),
+                error: Some(e.to_string()),
+            },
+            outcome: None,
+        },
+    }
+}
+
+/// One persistent worker: a channel pair to a thread owning a browser.
+struct Worker {
+    tx: crossbeam::channel::Sender<Cmd>,
+    rx: crossbeam::channel::Receiver<Event>,
+}
+
+/// The three parallel crawlers, behind one of the scheduling modes.
+enum Squad<'w, 'env> {
+    /// Controller-thread execution, optionally on per-phase scoped threads.
+    Inline {
+        browsers: &'env mut [Browser<'w>; 3],
+        scoped: bool,
+    },
+    /// Persistent worker threads + channels (the paper's architecture).
+    Channels { workers: Vec<Worker> },
+}
+
+impl<'w, 'env> Squad<'w, 'env> {
+    /// Issue one command to each crawler and collect the three events.
+    fn exec3(&mut self, cmds: [Cmd; 3]) -> [Event; 3] {
+        match self {
+            Squad::Inline { browsers, scoped } => {
+                let [b0, b1, b2] = &mut **browsers;
+                let [c0, c1, c2] = cmds;
+                if *scoped {
+                    std::thread::scope(|s| {
+                        let h1 = s.spawn(move || exec_cmd(b1, c1));
+                        let h2 = s.spawn(move || exec_cmd(b2, c2));
+                        let e0 = exec_cmd(b0, c0);
+                        [
+                            e0,
+                            h1.join().expect("crawler thread"),
+                            h2.join().expect("crawler thread"),
+                        ]
+                    })
+                } else {
+                    [exec_cmd(b0, c0), exec_cmd(b1, c1), exec_cmd(b2, c2)]
+                }
+            }
+            Squad::Channels { workers } => {
+                for (w, cmd) in workers.iter().zip(cmds) {
+                    w.tx.send(cmd).expect("worker alive");
+                }
+                let collect = |w: &Worker| w.rx.recv().expect("worker alive");
+                [
+                    collect(&workers[0]),
+                    collect(&workers[1]),
+                    collect(&workers[2]),
+                ]
+            }
+        }
+    }
+
+    /// Issue one command to a single crawler.
+    fn exec1(&mut self, idx: usize, cmd: Cmd) -> Event {
+        match self {
+            Squad::Inline { browsers, .. } => exec_cmd(&mut browsers[idx], cmd),
+            Squad::Channels { workers } => {
+                workers[idx].tx.send(cmd).expect("worker alive");
+                workers[idx].rx.recv().expect("worker alive")
+            }
+        }
+    }
+}
+
+fn expect_nav(e: Event) -> Result<cc_browser::NavigationOutcome, cc_browser::NavError> {
+    match e {
+        Event::Nav(r) => *r,
+        _ => unreachable!("protocol violation: expected Nav"),
+    }
+}
+
+fn expect_leg(e: Event) -> CrawlLegAndPage {
+    match e {
+        Event::Leg(l) => *l,
+        _ => unreachable!("protocol violation: expected Leg"),
+    }
+}
+
+fn expect_obs(e: Event) -> (cc_browser::StorageSnapshot, Vec<(String, Url)>) {
+    match e {
+        Event::Obs(o) => *o,
+        _ => unreachable!("protocol violation: expected Obs"),
+    }
+}
+
+fn expect_storage(e: Event) -> Storage {
+    match e {
+        Event::Storage(s) => *s,
+        _ => unreachable!("protocol violation: expected Storage"),
+    }
+}
+
+/// Outcome of one crawler finishing one navigation within a step.
+struct CrawlLeg {
+    page_url: Url,
+    page_snapshot: cc_browser::StorageSnapshot,
+    clicked: Option<ClickedElement>,
+    nav_hops: Vec<Url>,
+    final_url: Option<Url>,
+    dest_snapshot: Option<cc_browser::StorageSnapshot>,
+    beacons: Vec<(String, Url)>,
+    error: Option<String>,
+}
+
+impl<'w> Walker<'w> {
+    /// Build a walker over a world.
+    pub fn new(web: &'w SimWeb, cfg: CrawlConfig) -> Self {
+        Walker { web, cfg }
+    }
+
+    /// The world this walker crawls.
+    pub(crate) fn web(&self) -> &'w SimWeb {
+        self.web
+    }
+
+    /// Run one walk by global id (the sharding entry point).
+    pub(crate) fn walk_public(
+        &self,
+        walk_id: u32,
+        seeder: Url,
+        failures: &mut FailureStats,
+    ) -> WalkRecord {
+        self.walk(walk_id, seeder, failures)
+    }
+
+    /// Run the full crawl: one walk per seeder (§3.1's depth-first
+    /// strategy: maximize distinct pages, one click per page).
+    pub fn crawl(&self) -> CrawlDataset {
+        let mut dataset = CrawlDataset::default();
+        let seeders = self.web.seeder_urls();
+        let limit = self.cfg.max_walks.unwrap_or(seeders.len());
+        for (walk_id, seeder) in seeders.into_iter().take(limit).enumerate() {
+            let walk = self.walk(walk_id as u32, seeder, &mut dataset.failures);
+            dataset.walks.push(walk);
+        }
+        dataset
+    }
+
+    fn make_browser(&self, walk_id: u32, crawler: CrawlerName) -> Browser<'w> {
+        let root = DetRng::new(self.cfg.seed);
+        let stream = root.fork_indexed("walk-crawler", u64::from(walk_id) * 16 + crawler as u64);
+        let profile = match crawler {
+            CrawlerName::Chrome3 => Profile::chrome(crawler.label(), self.cfg.fingerprint, stream),
+            _ => Profile::safari(crawler.label(), self.cfg.fingerprint, stream),
+        };
+        // The fault salt is shared by all four crawlers of a walk: a down
+        // site is down for everyone, so connect failures never masquerade
+        // as divergence (§3.3 counts failures per site visited).
+        let fault = FaultModel::new(
+            root.fork_indexed("fault", u64::from(walk_id)),
+            self.cfg.connect_failure_rate,
+        );
+        Browser::new(
+            self.web,
+            profile,
+            Storage::new(self.cfg.storage_policy),
+            SimClock::starting_at(SimTime(STUDY_EPOCH_MS)),
+            fault,
+        )
+    }
+
+    /// Execute one ten-step walk from a seeder.
+    fn walk(&self, walk_id: u32, seeder: Url, failures: &mut FailureStats) -> WalkRecord {
+        let browsers = [
+            self.make_browser(walk_id, CrawlerName::Safari1),
+            self.make_browser(walk_id, CrawlerName::Safari2),
+            self.make_browser(walk_id, CrawlerName::Chrome3),
+        ];
+        let trailing = self.make_browser(walk_id, CrawlerName::Safari1R);
+        match self.cfg.mode {
+            DriverMode::PersistentWorkers => {
+                // The paper's architecture: crawler workers live for the
+                // whole walk; the controller mediates via channels.
+                crossbeam::thread::scope(|scope| {
+                    let workers = browsers
+                        .into_iter()
+                        .map(|mut b| {
+                            let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded::<Cmd>();
+                            let (evt_tx, evt_rx) = crossbeam::channel::unbounded::<Event>();
+                            scope.spawn(move |_| {
+                                for cmd in cmd_rx {
+                                    if evt_tx.send(exec_cmd(&mut b, cmd)).is_err() {
+                                        break;
+                                    }
+                                }
+                            });
+                            Worker {
+                                tx: cmd_tx,
+                                rx: evt_rx,
+                            }
+                        })
+                        .collect();
+                    let mut squad = Squad::Channels { workers };
+                    self.walk_with(&mut squad, trailing, walk_id, seeder, failures)
+                })
+                .expect("crawler worker panicked")
+            }
+            mode => {
+                let mut browsers = browsers;
+                let mut squad = Squad::Inline {
+                    browsers: &mut browsers,
+                    scoped: mode == DriverMode::ScopedThreads,
+                };
+                self.walk_with(&mut squad, trailing, walk_id, seeder, failures)
+            }
+        }
+    }
+
+    /// The walk loop proper, scheduling-agnostic.
+    fn walk_with(
+        &self,
+        squad: &mut Squad<'w, '_>,
+        mut trailing: Browser<'w>,
+        walk_id: u32,
+        seeder: Url,
+        failures: &mut FailureStats,
+    ) -> WalkRecord {
+        let seeder_domain = seeder.registered_domain();
+        let mut controller_rng =
+            DetRng::new(self.cfg.seed).fork_indexed("controller", walk_id.into());
+
+        let mut record = WalkRecord {
+            walk_id,
+            seeder: seeder_domain,
+            steps: Vec::new(),
+            termination: WalkTermination::Completed,
+        };
+
+        // Initial parallel load of the seeder page.
+        failures.steps_attempted += 1;
+        let initial = squad
+            .exec3([
+                Cmd::Navigate(seeder.clone()),
+                Cmd::Navigate(seeder.clone()),
+                Cmd::Navigate(seeder),
+            ])
+            .map(expect_nav);
+        let mut pages = match split_ok(initial) {
+            Ok(outcomes) => outcomes,
+            Err(e) => {
+                failures.connect_failures += 1;
+                record.termination = WalkTermination::ConnectFailure { step: 0, error: e };
+                return record;
+            }
+        };
+
+        for step in 0..self.cfg.steps_per_walk {
+            if step > 0 {
+                failures.steps_attempted += 1;
+            }
+            let current_domain = pages[0].final_url.registered_domain();
+
+            // Controller rendezvous: match the three element lists.
+            let lists = [
+                pages[0].page.elements.as_slice(),
+                pages[1].page.elements.as_slice(),
+                pages[2].page.elements.as_slice(),
+            ];
+            let pick = select_shared(lists, &current_domain, &mut controller_rng);
+            let Some(shared) = pick else {
+                failures.sync_failures += 1;
+                record.termination = WalkTermination::SyncFailure { step };
+                record.steps.push(page_only_step(squad, step, &pages));
+                return record;
+            };
+
+            // Resolve per-crawler click targets (through the installed
+            // defense, when any).
+            let mut targets: Vec<Option<(ElementModel, Url)>> = Vec::with_capacity(3);
+            for (i, page) in pages.iter().enumerate() {
+                let el = &page.page.elements[shared.indices[i]];
+                match &el.target {
+                    ClickTarget::Navigate(u) => {
+                        let u = match &self.cfg.rewriter {
+                            Some(r) => r.rewrite(u),
+                            None => u.clone(),
+                        };
+                        targets.push(Some((el.clone(), u)))
+                    }
+                    ClickTarget::Inert => targets.push(None),
+                }
+            }
+            if targets.iter().any(Option::is_none) {
+                // An inert "shared" element is unusable; treat like a
+                // synchronization failure.
+                failures.sync_failures += 1;
+                record.termination = WalkTermination::SyncFailure { step };
+                record.steps.push(page_only_step(squad, step, &pages));
+                return record;
+            }
+            let targets: Vec<(ElementModel, Url)> =
+                targets.into_iter().map(Option::unwrap).collect();
+
+            // All three click in parallel.
+            let mut cmds = Vec::with_capacity(3);
+            for (i, (el, url)) in targets.iter().enumerate() {
+                cmds.push(Cmd::Click {
+                    page_url: pages[i].final_url.clone(),
+                    kind: el.kind,
+                    xpath: el.xpath.clone(),
+                    target: url.clone(),
+                });
+            }
+            let cmds: [Cmd; 3] = cmds.try_into().unwrap_or_else(|_| unreachable!());
+            let legs = squad.exec3(cmds).map(expect_leg);
+
+            // Safari-1R replay: become the same user as Safari-1 (clone its
+            // post-step state) and repeat the step.
+            trailing.storage = expect_storage(squad.exec1(0, Cmd::ExportStorage));
+            let trailing_leg = self.replay_step(&mut trailing, &pages[0].final_url, &targets[0].0);
+
+            // Assemble the step record.
+            let mut step_record = StepRecord {
+                index: step,
+                observations: Vec::new(),
+            };
+            let mut new_pages = Vec::new();
+            let mut connect_error: Option<String> = None;
+            for (i, lp) in legs.into_iter().enumerate() {
+                let crawler = CrawlerName::PARALLEL[i];
+                if let Some(e) = &lp.leg.error {
+                    connect_error = Some(e.clone());
+                }
+                step_record.observations.push(observation(crawler, lp.leg));
+                if let Some(out) = lp.outcome {
+                    new_pages.push(out);
+                }
+            }
+            step_record
+                .observations
+                .push(observation(CrawlerName::Safari1R, trailing_leg));
+            record.steps.push(step_record);
+
+            if let Some(e) = connect_error {
+                failures.connect_failures += 1;
+                record.termination = WalkTermination::ConnectFailure { step, error: e };
+                return record;
+            }
+
+            // FQDN agreement check (§3.3). Data is retained either way.
+            let fqdns: Vec<&str> = new_pages
+                .iter()
+                .map(|p| p.final_url.host.as_str())
+                .collect();
+            if fqdns.len() == 3 && (fqdns[0] != fqdns[1] || fqdns[1] != fqdns[2]) {
+                failures.divergence_failures += 1;
+                record.termination = WalkTermination::Divergence { step };
+                return record;
+            }
+
+            failures.steps_completed += 1;
+            pages = match new_pages.try_into() {
+                Ok(p) => p,
+                Err(_) => {
+                    // A leg failed without a network error (can't happen,
+                    // but never panic inside a crawl).
+                    record.termination = WalkTermination::ConnectFailure {
+                        step,
+                        error: "missing navigation outcome".into(),
+                    };
+                    return record;
+                }
+            };
+        }
+
+        record
+    }
+
+    /// Safari-1R's step replay: revisit the page Safari-1 clicked on, find
+    /// the matching element on the *fresh* load (dynamic content may have
+    /// rotated), and click it.
+    fn replay_step(
+        &self,
+        trailing: &mut Browser<'_>,
+        page_url: &Url,
+        reference: &ElementModel,
+    ) -> CrawlLeg {
+        match trailing.navigate(page_url.clone()) {
+            Ok(out) => {
+                let page_snapshot = trailing.snapshot(&out.final_url.registered_domain());
+                let matched = find_matching(reference, &out.page.elements);
+                let click = matched.and_then(|idx| match &out.page.elements[idx].target {
+                    ClickTarget::Navigate(u) => {
+                        let u = match &self.cfg.rewriter {
+                            Some(r) => r.rewrite(u),
+                            None => u.clone(),
+                        };
+                        Some((out.page.elements[idx].clone(), u))
+                    }
+                    ClickTarget::Inert => None,
+                });
+                match click {
+                    Some((el, url)) => match trailing.navigate(url) {
+                        Ok(out2) => CrawlLeg {
+                            page_url: page_url.clone(),
+                            page_snapshot,
+                            clicked: Some(ClickedElement {
+                                kind: el.kind,
+                                xpath: el.xpath,
+                            }),
+                            nav_hops: out2.hops,
+                            final_url: Some(out2.final_url.clone()),
+                            dest_snapshot: Some(
+                                trailing.snapshot(&out2.final_url.registered_domain()),
+                            ),
+                            beacons: drain_beacons(trailing),
+                            error: None,
+                        },
+                        Err(e) => CrawlLeg {
+                            page_url: page_url.clone(),
+                            page_snapshot,
+                            clicked: None,
+                            nav_hops: Vec::new(),
+                            final_url: None,
+                            dest_snapshot: None,
+                            beacons: drain_beacons(trailing),
+                            error: Some(e.to_string()),
+                        },
+                    },
+                    None => CrawlLeg {
+                        page_url: page_url.clone(),
+                        page_snapshot,
+                        clicked: None,
+                        nav_hops: Vec::new(),
+                        final_url: None,
+                        dest_snapshot: None,
+                        beacons: drain_beacons(trailing),
+                        error: None,
+                    },
+                }
+            }
+            Err(e) => CrawlLeg {
+                page_url: page_url.clone(),
+                page_snapshot: cc_browser::StorageSnapshot::default(),
+                clicked: None,
+                nav_hops: Vec::new(),
+                final_url: None,
+                dest_snapshot: None,
+                beacons: Vec::new(),
+                error: Some(e.to_string()),
+            },
+        }
+    }
+}
+
+/// Build a page-only step record through the squad.
+fn page_only_step(
+    squad: &mut Squad<'_, '_>,
+    step: usize,
+    pages: &[cc_browser::NavigationOutcome; 3],
+) -> StepRecord {
+    let cmds = [
+        Cmd::PageObs(pages[0].final_url.clone()),
+        Cmd::PageObs(pages[1].final_url.clone()),
+        Cmd::PageObs(pages[2].final_url.clone()),
+    ];
+    let observed = squad.exec3(cmds).map(expect_obs);
+    let mut rec = StepRecord {
+        index: step,
+        observations: Vec::new(),
+    };
+    for (i, (snapshot, beacons)) in observed.into_iter().enumerate() {
+        rec.observations.push(CrawlObservation {
+            crawler: CrawlerName::PARALLEL[i],
+            page_url: pages[i].final_url.clone(),
+            page_snapshot: snapshot,
+            clicked: None,
+            nav_hops: Vec::new(),
+            final_url: None,
+            dest_snapshot: None,
+            beacons,
+        });
+    }
+    rec
+}
+
+/// A leg plus the navigation outcome needed to continue the walk.
+struct CrawlLegAndPage {
+    leg: CrawlLeg,
+    outcome: Option<cc_browser::NavigationOutcome>,
+}
+
+impl CrawlLeg {
+    fn with_outcome(self, out: cc_browser::NavigationOutcome) -> CrawlLegAndPage {
+        CrawlLegAndPage {
+            leg: self,
+            outcome: Some(out),
+        }
+    }
+}
+
+fn observation(crawler: CrawlerName, leg: CrawlLeg) -> CrawlObservation {
+    CrawlObservation {
+        crawler,
+        page_url: leg.page_url,
+        page_snapshot: leg.page_snapshot,
+        clicked: leg.clicked,
+        nav_hops: leg.nav_hops,
+        final_url: leg.final_url,
+        dest_snapshot: leg.dest_snapshot,
+        beacons: leg.beacons,
+    }
+}
+
+/// Pull accumulated beacon (subresource) requests out of the browser log.
+fn drain_beacons(b: &mut Browser<'_>) -> Vec<(String, Url)> {
+    let beacons = b
+        .request_log
+        .iter()
+        .filter(|r| r.kind == RequestKind::Subresource)
+        .map(|r| (r.top_site.clone(), r.url.clone()))
+        .collect();
+    b.request_log.retain(|r| r.kind != RequestKind::Subresource);
+    beacons
+}
+
+/// Split three navigation results into outcomes or the first error.
+fn split_ok(
+    results: [Result<cc_browser::NavigationOutcome, cc_browser::NavError>; 3],
+) -> Result<[cc_browser::NavigationOutcome; 3], String> {
+    let mut out = Vec::with_capacity(3);
+    for r in results {
+        match r {
+            Ok(o) => out.push(o),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(out.try_into().map_err(|_| "arity".to_string()).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_web::{generate, WebConfig};
+
+    fn quick_cfg() -> CrawlConfig {
+        CrawlConfig {
+            seed: 11,
+            steps_per_walk: 4,
+            max_walks: Some(8),
+            connect_failure_rate: 0.0,
+            mode: DriverMode::Lockstep,
+            ..CrawlConfig::default()
+        }
+    }
+
+    #[test]
+    fn crawl_produces_walks_and_steps() {
+        let web = generate(&WebConfig::small());
+        let ds = Walker::new(&web, quick_cfg()).crawl();
+        assert_eq!(ds.walks.len(), 8);
+        assert!(ds.total_steps() > 0, "no steps recorded");
+        // Every completed step has all four crawler observations.
+        for w in &ds.walks {
+            for s in &w.steps {
+                if s.observations.iter().any(|o| o.clicked.is_some()) {
+                    assert_eq!(
+                        s.observations.len(),
+                        4,
+                        "walk {} step {}",
+                        w.walk_id,
+                        s.index
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_crawl() {
+        let web = generate(&WebConfig::small());
+        let a = Walker::new(&web, quick_cfg()).crawl();
+        let web2 = generate(&WebConfig::small());
+        let b = Walker::new(&web2, quick_cfg()).crawl();
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.walks.len(), b.walks.len());
+        for (wa, wb) in a.walks.iter().zip(&b.walks) {
+            assert_eq!(wa.termination, wb.termination);
+            assert_eq!(wa.steps.len(), wb.steps.len());
+        }
+    }
+
+    #[test]
+    fn all_driver_modes_produce_identical_datasets() {
+        // Every browser owns its clock and randomness stream, so the three
+        // scheduling modes must agree byte-for-byte.
+        let web = generate(&WebConfig::small());
+        let lock = Walker::new(&web, quick_cfg()).crawl();
+        for mode in [DriverMode::ScopedThreads, DriverMode::PersistentWorkers] {
+            let other = Walker::new(
+                &web,
+                CrawlConfig {
+                    mode,
+                    ..quick_cfg()
+                },
+            )
+            .crawl();
+            assert_eq!(lock, other, "driver mode {mode:?} diverged from lockstep");
+        }
+    }
+
+    #[test]
+    fn connect_failures_terminate_walks() {
+        let web = generate(&WebConfig::small());
+        let cfg = CrawlConfig {
+            connect_failure_rate: 1.0,
+            ..quick_cfg()
+        };
+        let ds = Walker::new(&web, cfg).crawl();
+        assert_eq!(ds.failures.connect_failures, 8);
+        for w in &ds.walks {
+            assert!(matches!(
+                w.termination,
+                WalkTermination::ConnectFailure { step: 0, .. }
+            ));
+            assert!(w.steps.is_empty());
+        }
+    }
+
+    #[test]
+    fn trailing_crawler_sees_same_persistent_uids() {
+        let web = generate(&WebConfig::small());
+        let ds = Walker::new(&web, quick_cfg()).crawl();
+        let mut compared = 0;
+        for w in &ds.walks {
+            for s in &w.steps {
+                let s1 = s
+                    .observations
+                    .iter()
+                    .find(|o| o.crawler == CrawlerName::Safari1);
+                let s1r = s
+                    .observations
+                    .iter()
+                    .find(|o| o.crawler == CrawlerName::Safari1R);
+                let (Some(s1), Some(s1r)) = (s1, s1r) else {
+                    continue;
+                };
+                for (name, value, _) in &s1.page_snapshot.cookies {
+                    if name.ends_with("_uid") {
+                        if let Some((_, v2, _)) =
+                            s1r.page_snapshot.cookies.iter().find(|(n, _, _)| n == name)
+                        {
+                            assert_eq!(v2, value, "same-user UID changed: {name}");
+                            compared += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(compared > 0, "no same-user UID comparisons happened");
+    }
+
+    #[test]
+    fn session_cookies_rotate_for_trailing_crawler() {
+        let web = generate(&WebConfig::small());
+        let ds = Walker::new(&web, quick_cfg()).crawl();
+        let mut rotations = 0;
+        for w in &ds.walks {
+            for s in &w.steps {
+                let s1 = s
+                    .observations
+                    .iter()
+                    .find(|o| o.crawler == CrawlerName::Safari1);
+                let s1r = s
+                    .observations
+                    .iter()
+                    .find(|o| o.crawler == CrawlerName::Safari1R);
+                let (Some(s1), Some(s1r)) = (s1, s1r) else {
+                    continue;
+                };
+                let v1 = s1
+                    .page_snapshot
+                    .cookies
+                    .iter()
+                    .find(|(n, _, _)| n == "_sessid");
+                let v2 = s1r
+                    .page_snapshot
+                    .cookies
+                    .iter()
+                    .find(|(n, _, _)| n == "_sessid");
+                if let (Some((_, v1, _)), Some((_, v2, _))) = (v1, v2) {
+                    if v1 != v2 {
+                        rotations += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            rotations > 0,
+            "session IDs never rotated for the repeat visitor"
+        );
+    }
+
+    #[test]
+    fn failure_accounting_is_consistent() {
+        let web = generate(&WebConfig::small());
+        let cfg = CrawlConfig {
+            connect_failure_rate: 0.05,
+            max_walks: Some(15),
+            ..quick_cfg()
+        };
+        let ds = Walker::new(&web, cfg).crawl();
+        let f = ds.failures;
+        assert_eq!(
+            f.steps_attempted,
+            f.steps_completed + f.sync_failures + f.divergence_failures + f.connect_failures // walks that ran out of steps: attempted counts only failed
+                                                                                             // or completed steps, so the equation balances exactly.
+        );
+    }
+
+    #[test]
+    fn navigation_hops_recorded_for_redirect_chains() {
+        let web = generate(&WebConfig::small());
+        let cfg = CrawlConfig {
+            steps_per_walk: 6,
+            max_walks: Some(15),
+            ..quick_cfg()
+        };
+        let ds = Walker::new(&web, cfg).crawl();
+        let max_hops = ds
+            .observations()
+            .map(|o| o.nav_hops.len())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_hops >= 3,
+            "expected at least one multi-hop redirect chain, max was {max_hops}"
+        );
+    }
+}

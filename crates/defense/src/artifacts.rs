@@ -1,0 +1,191 @@
+//! The measurement's released artifacts (§7.2).
+//!
+//! "We provide two contributions: first, we publish our list of token names
+//! and trackers. This list contains the query parameter names that were
+//! used to transfer UIDs across websites, as well as the list of entities
+//! that participate in UID smuggling as redirectors." The second
+//! contribution is the pipeline itself, which "can be run as an almost
+//! entirely automated pipeline to continuously update blocklists of
+//! navigational trackers."
+//!
+//! [`BlocklistArtifacts::from_output`] is that automation: it turns a
+//! pipeline run into the three artifacts downstream defenses consume — a
+//! query-parameter name list (Brave's `debounce.json` shape), a redirector
+//! domain list (Disconnect shape), and combined per-tracker rules.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cc_analysis::redirectors::{classify_redirectors, RedirectorClass};
+use cc_core::pipeline::PipelineOutput;
+use serde::{Deserialize, Serialize};
+
+/// One per-tracker rule: which parameter names the tracker smuggles under.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackerRule {
+    /// Redirector registered domain.
+    pub domain: String,
+    /// Parameter names observed carrying UIDs through it.
+    pub params: BTreeSet<String>,
+    /// Whether the measurement classified it as a dedicated smuggler.
+    pub dedicated: bool,
+    /// Unique smuggling domain paths it appeared in (evidence weight).
+    pub observations: u64,
+}
+
+/// The complete released-blocklist bundle.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlocklistArtifacts {
+    /// Query-parameter names observed transferring UIDs (the
+    /// `debounce.json`-style list).
+    pub token_names: BTreeSet<String>,
+    /// Registered domains of redirectors participating in smuggling (the
+    /// Disconnect-style list).
+    pub tracker_domains: BTreeSet<String>,
+    /// Per-tracker rules combining both.
+    pub rules: Vec<TrackerRule>,
+}
+
+impl BlocklistArtifacts {
+    /// Build the artifacts from a pipeline run.
+    pub fn from_output(output: &PipelineOutput) -> Self {
+        let token_names: BTreeSet<String> =
+            output.findings.iter().map(|f| f.name.clone()).collect();
+
+        let profiles = classify_redirectors(output);
+        let tracker_domains: BTreeSet<String> = profiles
+            .iter()
+            .map(|p| cc_url::registered_domain(&p.fqdn))
+            .collect();
+
+        // Which parameters traveled through which redirector domains.
+        let mut params_by_domain: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for f in &output.findings {
+            for r in &f.redirectors {
+                params_by_domain
+                    .entry(r.clone())
+                    .or_default()
+                    .insert(f.name.clone());
+            }
+        }
+
+        let rules = profiles
+            .iter()
+            .map(|p| {
+                let domain = cc_url::registered_domain(&p.fqdn);
+                TrackerRule {
+                    params: params_by_domain.get(&domain).cloned().unwrap_or_default(),
+                    dedicated: p.class == RedirectorClass::Dedicated,
+                    observations: p.domain_path_count,
+                    domain,
+                }
+            })
+            .collect();
+
+        BlocklistArtifacts {
+            token_names,
+            tracker_domains,
+            rules,
+        }
+    }
+
+    /// Serialize the bundle as pretty JSON (the release format).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parse a released bundle.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+
+    /// Fold the discovered parameter names into a live blocklist — the
+    /// continuous-update loop of §7.2.
+    pub fn update_param_blocklist(&self, list: &mut crate::lists::ParamBlocklist) {
+        list.extend(self.token_names.iter().cloned());
+    }
+
+    /// Fold the discovered redirectors into a Disconnect-style list.
+    pub fn update_disconnect(&self, list: &mut crate::lists::DisconnectList) {
+        for d in &self.tracker_domains {
+            list.add(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lists::{DisconnectList, ParamBlocklist};
+    use cc_crawler::{CrawlConfig, Walker};
+    use cc_web::{generate, WebConfig};
+
+    fn run() -> PipelineOutput {
+        let web = generate(&WebConfig {
+            n_sites: 300,
+            n_seeders: 40,
+            ..WebConfig::default()
+        });
+        let ds = Walker::new(
+            &web,
+            CrawlConfig {
+                seed: 21,
+                steps_per_walk: 5,
+                max_walks: Some(40),
+                connect_failure_rate: 0.0,
+                ..CrawlConfig::default()
+            },
+        )
+        .crawl();
+        cc_core::run_pipeline(&ds)
+    }
+
+    #[test]
+    fn artifacts_capture_names_and_domains() {
+        let out = run();
+        let artifacts = BlocklistArtifacts::from_output(&out);
+        assert!(!artifacts.token_names.is_empty(), "no token names released");
+        assert!(
+            !artifacts.tracker_domains.is_empty(),
+            "no tracker domains released"
+        );
+        // Every rule's domain is in the domain list; dedicated rules exist.
+        for rule in &artifacts.rules {
+            assert!(artifacts.tracker_domains.contains(&rule.domain));
+        }
+        assert!(artifacts.rules.iter().any(|r| r.dedicated));
+    }
+
+    #[test]
+    fn bundle_roundtrips_json() {
+        let out = run();
+        let artifacts = BlocklistArtifacts::from_output(&out);
+        let json = artifacts.to_json().unwrap();
+        let back = BlocklistArtifacts::from_json(&json).unwrap();
+        assert_eq!(back, artifacts);
+    }
+
+    #[test]
+    fn continuous_update_loop() {
+        let out = run();
+        let artifacts = BlocklistArtifacts::from_output(&out);
+
+        let mut params = ParamBlocklist::empty();
+        artifacts.update_param_blocklist(&mut params);
+        for name in &artifacts.token_names {
+            assert!(params.contains(name));
+        }
+
+        let mut disconnect = DisconnectList::default();
+        artifacts.update_disconnect(&mut disconnect);
+        for d in &artifacts.tracker_domains {
+            assert!(disconnect.contains(d));
+        }
+    }
+
+    #[test]
+    fn empty_output_yields_empty_bundle() {
+        let artifacts = BlocklistArtifacts::from_output(&PipelineOutput::default());
+        assert!(artifacts.token_names.is_empty());
+        assert!(artifacts.rules.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! The §6 login-page breakage experiment.
+//!
+//! "We selected ten login pages from our dataset that CrumbCruncher had
+//! classified as performing UID smuggling. We manually removed the query
+//! parameter that contained the UID … We found that seven of the ten sites
+//! showed no change. One showed minor visual changes … The final two pages
+//! showed more significant changes: one failed to auto-fill a field in a
+//! form and the other took the user to a homepage rather than to a
+//! specific subpage."
+
+use cc_url::Url;
+use cc_web::SimWeb;
+use serde::{Deserialize, Serialize};
+
+/// What happened to a page after stripping its UID parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BreakageOutcome {
+    /// Page renders identically.
+    NoChange,
+    /// Cosmetic-only difference (the paper's 20-pixel shift).
+    MinorVisual,
+    /// Functional breakage (lost auto-fill, bounced to the homepage).
+    Significant,
+}
+
+/// One breakage trial.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakageTrial {
+    /// The page tested.
+    pub url: Url,
+    /// The stripped parameter name.
+    pub param: String,
+    /// Observed outcome.
+    pub outcome: BreakageOutcome,
+}
+
+/// Simulate loading a site's page with and without its UID parameter and
+/// report the difference.
+///
+/// The model: pages flagged `login_needs_uid` genuinely consume the
+/// parameter — most break significantly, some merely shift layout; all
+/// other pages ignore the parameter entirely.
+pub fn strip_and_compare(web: &SimWeb, url: &Url, param: &str) -> BreakageTrial {
+    let site = web.site_for_host(url.host.as_str());
+    let outcome = match site {
+        Some(s) if s.login_needs_uid => {
+            // Deterministic split: a stable hash of the domain decides
+            // whether the dependency is cosmetic or functional (the paper
+            // saw 1 minor vs 2 significant among dependent pages).
+            let h: u32 = s.domain.bytes().map(u32::from).sum();
+            if h.is_multiple_of(3) {
+                BreakageOutcome::MinorVisual
+            } else {
+                BreakageOutcome::Significant
+            }
+        }
+        _ => BreakageOutcome::NoChange,
+    };
+    BreakageTrial {
+        url: url.clone(),
+        param: param.to_string(),
+        outcome,
+    }
+}
+
+/// Aggregate results of a breakage experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakageReport {
+    /// Pages with no change.
+    pub unchanged: u64,
+    /// Pages with minor visual changes.
+    pub minor: u64,
+    /// Pages with significant breakage.
+    pub significant: u64,
+}
+
+impl BreakageReport {
+    /// Total pages tested.
+    pub fn total(&self) -> u64 {
+        self.unchanged + self.minor + self.significant
+    }
+
+    /// Fraction of pages that kept working unchanged.
+    pub fn unchanged_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.unchanged as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Run the experiment over a set of (url, param) pairs.
+pub fn run_experiment<'a, I>(web: &SimWeb, pages: I) -> (Vec<BreakageTrial>, BreakageReport)
+where
+    I: IntoIterator<Item = (&'a Url, &'a str)>,
+{
+    let mut trials = Vec::new();
+    let mut report = BreakageReport::default();
+    for (url, param) in pages {
+        let t = strip_and_compare(web, url, param);
+        match t.outcome {
+            BreakageOutcome::NoChange => report.unchanged += 1,
+            BreakageOutcome::MinorVisual => report.minor += 1,
+            BreakageOutcome::Significant => report.significant += 1,
+        }
+        trials.push(t);
+    }
+    (trials, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_web::{generate, WebConfig};
+
+    #[test]
+    fn independent_pages_survive_stripping() {
+        let web = generate(&WebConfig::default());
+        let site = web
+            .sites
+            .iter()
+            .find(|s| !s.login_needs_uid)
+            .expect("plenty of ordinary sites");
+        let url = Url::parse(&format!("https://{}/?uid=abc", site.www_fqdn())).unwrap();
+        let t = strip_and_compare(&web, &url, "uid");
+        assert_eq!(t.outcome, BreakageOutcome::NoChange);
+    }
+
+    #[test]
+    fn dependent_login_pages_break() {
+        let web = generate(&WebConfig::default());
+        let site = web
+            .sites
+            .iter()
+            .find(|s| s.login_needs_uid)
+            .expect("login sites exist in the default world");
+        let url = Url::parse(&format!("https://{}/?uid=abc", site.www_fqdn())).unwrap();
+        let t = strip_and_compare(&web, &url, "uid");
+        assert_ne!(t.outcome, BreakageOutcome::NoChange);
+    }
+
+    #[test]
+    fn experiment_report_tallies() {
+        let web = generate(&WebConfig::default());
+        let urls: Vec<Url> = web
+            .sites
+            .iter()
+            .take(40)
+            .map(|s| Url::parse(&format!("https://{}/?uid=x", s.www_fqdn())).unwrap())
+            .collect();
+        let pages: Vec<(&Url, &str)> = urls.iter().map(|u| (u, "uid")).collect();
+        let (trials, report) = run_experiment(&web, pages);
+        assert_eq!(trials.len(), 40);
+        assert_eq!(report.total(), 40);
+        // The world sprinkles login pages sparsely: most pages survive.
+        assert!(report.unchanged_fraction() > 0.5);
+    }
+
+    #[test]
+    fn empty_experiment() {
+        let web = generate(&WebConfig::small());
+        let (trials, report) = run_experiment(&web, Vec::<(&Url, &str)>::new());
+        assert!(trials.is_empty());
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.unchanged_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Brave-style debouncing (§7.1).
+//!
+//! "If the browser is navigating to a link with a query parameter for
+//! another destination URL, Brave will simply redirect to the URL in the
+//! query parameter." Applied recursively, this skips the entire redirector
+//! chain — the redirectors never load, never set first-party cookies, and
+//! never see the smuggled parameters. Combined with the parameter
+//! blocklist, the final landing URL is cleansed too.
+
+use cc_url::Url;
+use serde::{Deserialize, Serialize};
+
+use crate::lists::ParamBlocklist;
+use crate::strip::strip_url;
+
+/// Maximum embedded-destination unwrap depth (defensive bound).
+const MAX_DEBOUNCE_DEPTH: usize = 8;
+
+/// The outcome of debouncing one navigation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DebounceOutcome {
+    /// The URL the browser should actually load.
+    pub url: Url,
+    /// How many embedded destinations were unwrapped (0 = no debounce).
+    pub unwrapped: usize,
+    /// Parameters stripped from the final URL by the blocklist.
+    pub stripped: Vec<(String, String)>,
+}
+
+impl DebounceOutcome {
+    /// Whether the navigation was rewritten at all.
+    pub fn intervened(&self) -> bool {
+        self.unwrapped > 0 || !self.stripped.is_empty()
+    }
+}
+
+/// Find a query parameter whose value is itself a URL — the debounce
+/// trigger.
+pub fn embedded_destination(url: &Url) -> Option<Url> {
+    url.query().iter().find_map(|(_, v)| {
+        if v.starts_with("https://") || v.starts_with("http://") {
+            Url::parse(v).ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Debounce a navigation: recursively unwrap embedded destinations, then
+/// strip blocklisted parameters from the final URL.
+pub fn debounce(url: &Url, blocklist: &ParamBlocklist) -> DebounceOutcome {
+    let mut current = url.clone();
+    let mut unwrapped = 0;
+    while unwrapped < MAX_DEBOUNCE_DEPTH {
+        match embedded_destination(&current) {
+            Some(dest) => {
+                current = dest;
+                unwrapped += 1;
+            }
+            None => break,
+        }
+    }
+    let stripped = strip_url(&current, blocklist);
+    DebounceOutcome {
+        url: stripped.url,
+        unwrapped,
+        stripped: stripped.removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn unwraps_single_level() {
+        let click = url(
+            "https://r.trk.net/click?cc_dest=https%3A%2F%2Fwww.shop.com%2Fdeal&gclid=uid123456789",
+        );
+        let out = debounce(&click, &ParamBlocklist::well_known());
+        assert_eq!(out.unwrapped, 1);
+        assert_eq!(out.url.host.as_str(), "www.shop.com");
+        assert_eq!(out.url.path, "/deal");
+        assert!(out.intervened());
+    }
+
+    #[test]
+    fn unwraps_nested_destinations() {
+        let inner = url("https://www.shop.com/");
+        let mut mid = url("https://r2.trk.net/r");
+        mid.query_set("u", &inner.to_url_string());
+        let mut outer = url("https://r1.trk.net/click");
+        outer.query_set("cc_dest", &mid.to_url_string());
+        let out = debounce(&outer, &ParamBlocklist::empty());
+        assert_eq!(out.unwrapped, 2);
+        assert_eq!(out.url, inner);
+    }
+
+    #[test]
+    fn strips_uid_that_rode_on_the_destination() {
+        let dest = url("https://www.shop.com/deal?gclid=uid123456789&page=2");
+        let mut click = url("https://r.trk.net/click");
+        click.query_set("cc_dest", &dest.to_url_string());
+        let out = debounce(&click, &ParamBlocklist::well_known());
+        assert_eq!(out.url.query_get("gclid"), None);
+        assert_eq!(out.url.query_get("page"), Some("2"));
+        assert_eq!(out.stripped.len(), 1);
+    }
+
+    #[test]
+    fn plain_navigation_untouched() {
+        let u = url("https://www.shop.com/deal?page=2");
+        let out = debounce(&u, &ParamBlocklist::well_known());
+        assert_eq!(out.unwrapped, 0);
+        assert!(!out.intervened());
+        assert_eq!(out.url, u);
+    }
+
+    #[test]
+    fn depth_bounded() {
+        // A URL that embeds itself cannot loop forever.
+        let mut u = url("https://r.trk.net/click");
+        let self_ref = u.to_url_string();
+        u.query_set("next", &self_ref);
+        let out = debounce(&u, &ParamBlocklist::empty());
+        assert!(out.unwrapped <= MAX_DEBOUNCE_DEPTH);
+    }
+}

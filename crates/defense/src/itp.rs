@@ -1,0 +1,164 @@
+//! Safari ITP-style redirector classification (§7.1).
+//!
+//! "Safari labels an originator as performing UID smuggling if 1) it
+//! automatically redirects the user to another site, and 2) it did not
+//! receive a user activation. Safari also classifies a site as a UID
+//! smuggler if it participates in a navigation path that contains another
+//! known UID smuggler." Classified domains have their storage purged
+//! unless the user also visits them as a real first party.
+
+use std::collections::BTreeSet;
+
+use cc_browser::Storage;
+use cc_core::observe::PathView;
+use serde::{Deserialize, Serialize};
+
+/// The ITP classifier state: the set of domains deemed UID smugglers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItpClassifier {
+    smugglers: BTreeSet<String>,
+    /// Domains the user interacted with as a first party (exempt).
+    interacted: BTreeSet<String>,
+}
+
+impl ItpClassifier {
+    /// New empty classifier.
+    pub fn new() -> Self {
+        ItpClassifier::default()
+    }
+
+    /// Record that the user genuinely interacted with a site as a first
+    /// party (clicked on its page): exempts it from classification.
+    pub fn record_interaction(&mut self, domain: &str) {
+        self.interacted.insert(domain.to_string());
+    }
+
+    /// Observe one navigation path. Intermediate hops redirected without
+    /// user activation — rule 1. Rule 2 then contaminates the whole path's
+    /// intermediates once any hop is a known smuggler.
+    pub fn observe_path(&mut self, path: &PathView) {
+        let redirectors = path.redirectors();
+        for r in &redirectors {
+            if !self.interacted.contains(r) {
+                self.smugglers.insert(r.clone());
+            }
+        }
+        // Rule 2: guilt by association along the same path.
+        if redirectors.iter().any(|r| self.smugglers.contains(r)) {
+            for r in &redirectors {
+                if !self.interacted.contains(r) {
+                    self.smugglers.insert(r.clone());
+                }
+            }
+        }
+    }
+
+    /// Whether a domain is classified as a smuggler.
+    pub fn is_smuggler(&self, domain: &str) -> bool {
+        self.smugglers.contains(domain)
+    }
+
+    /// All classified domains.
+    pub fn smugglers(&self) -> impl Iterator<Item = &str> {
+        self.smugglers.iter().map(String::as_str)
+    }
+
+    /// Number of classified domains.
+    pub fn len(&self) -> usize {
+        self.smugglers.len()
+    }
+
+    /// Whether nothing has been classified.
+    pub fn is_empty(&self) -> bool {
+        self.smugglers.is_empty()
+    }
+
+    /// Purge every classified domain's storage (Safari deletes "cookies
+    /// and website data set by a redirector unless the user also interacts
+    /// with the redirector as a first-party website"). Returns the number
+    /// of values removed.
+    pub fn purge(&self, storage: &mut Storage) -> usize {
+        self.smugglers.iter().map(|d| storage.purge_domain(d)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_browser::StoragePolicy;
+    use cc_crawler::CrawlerName;
+    use cc_http::SetCookie;
+    use cc_net::{SimDuration, SimTime};
+    use cc_url::Url;
+
+    fn path(origin: &str, hops: &[&str]) -> PathView {
+        PathView {
+            walk: 0,
+            step: 0,
+            crawler: CrawlerName::Safari1,
+            origin: Url::parse(&format!("https://www.{origin}/")).unwrap(),
+            hops: hops
+                .iter()
+                .map(|h| Url::parse(&format!("https://{h}/")).unwrap())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn redirectors_classified() {
+        let mut itp = ItpClassifier::new();
+        itp.observe_path(&path("a.com", &["r.trk.net", "www.b.com"]));
+        assert!(itp.is_smuggler("trk.net"));
+        assert!(!itp.is_smuggler("a.com"));
+        assert!(!itp.is_smuggler("b.com"));
+        assert_eq!(itp.len(), 1);
+    }
+
+    #[test]
+    fn interaction_exempts() {
+        let mut itp = ItpClassifier::new();
+        itp.record_interaction("login.example");
+        itp.observe_path(&path("a.com", &["sso.login.example", "www.b.com"]));
+        assert!(!itp.is_smuggler("login.example"));
+        assert!(itp.is_empty());
+    }
+
+    #[test]
+    fn guilt_by_association() {
+        let mut itp = ItpClassifier::new();
+        itp.observe_path(&path("a.com", &["r.known.net", "www.b.com"]));
+        // An innocent-looking hop sharing a path with a known smuggler is
+        // classified too (it would be anyway by rule 1 here, but the
+        // association rule also covers exempt-candidate edge cases).
+        itp.observe_path(&path("c.com", &["r.known.net", "r.fresh.org", "www.d.com"]));
+        assert!(itp.is_smuggler("fresh.org"));
+    }
+
+    #[test]
+    fn purge_clears_classified_storage() {
+        let mut itp = ItpClassifier::new();
+        itp.observe_path(&path("a.com", &["r.trk.net", "www.b.com"]));
+
+        let mut storage = cc_browser::Storage::new(StoragePolicy::Partitioned);
+        storage.set_cookie(
+            "trk.net",
+            "trk.net",
+            &SetCookie::persistent("_ruid", "uid1", SimDuration::from_days(365)),
+            SimTime::EPOCH,
+        );
+        storage.set_cookie(
+            "b.com",
+            "b.com",
+            &SetCookie::persistent("keep", "v", SimDuration::from_days(365)),
+            SimTime::EPOCH,
+        );
+        let removed = itp.purge(&mut storage);
+        assert_eq!(removed, 1);
+        assert!(storage
+            .cookie("trk.net", "trk.net", "_ruid", SimTime::EPOCH)
+            .is_none());
+        assert!(storage
+            .cookie("b.com", "b.com", "keep", SimTime::EPOCH)
+            .is_some());
+    }
+}

@@ -1,0 +1,42 @@
+//! # cc-defense
+//!
+//! The countermeasures of §7, implemented and evaluated against the
+//! simulated web:
+//!
+//! * [`lists`] — blocklist infrastructure: a Disconnect-style tracker list
+//!   (the paper found 41% of dedicated smugglers missing), EasyList-style
+//!   URL filters (only 6% of smuggling URLs blocked), and a Brave-style
+//!   query-parameter blocklist.
+//! * [`strip`] — query-parameter stripping, the paper's proposed
+//!   mitigation (§7.2).
+//! * [`debounce`] — Brave's debouncing: when a navigation target carries
+//!   the true destination in a query parameter, jump straight to it.
+//! * [`itp`] — Safari's ITP-style heuristic: classify redirectors that
+//!   forward users without interaction, then purge their storage; sites
+//!   sharing a path with a known smuggler are classified too.
+//! * [`breakage`] — the §6 login-page breakage experiment: strip the UID
+//!   parameter from login URLs and observe what breaks.
+//! * [`eval`] — the harness that scores every defense against a crawl.
+//! * [`protected`] — protected crawling: rerun the whole measurement with
+//!   a defense installed in the browser and compare smuggling rates
+//!   end-to-end.
+//! * [`artifacts`] — the measurement's released blocklist bundle (token
+//!   names + tracker domains, §7.2) and the continuous-update loop.
+//! * [`badger`] — a Privacy-Badger-style blocklist-free learner: block a
+//!   third party once it is seen tracking on three first parties (§7.1).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod artifacts;
+pub mod badger;
+pub mod breakage;
+pub mod debounce;
+pub mod eval;
+pub mod itp;
+pub mod lists;
+pub mod protected;
+pub mod strip;
+
+pub use eval::{evaluate_defenses, DefenseEvaluation};
+pub use lists::{DisconnectList, EasyList, ParamBlocklist};

@@ -1,0 +1,170 @@
+//! Protected crawling: run the measurement with a defense *installed in the
+//! browser* and compare against the unprotected baseline.
+//!
+//! The §7 defenses are usually evaluated on recorded data; this module
+//! closes the loop by replaying the whole crawl with Brave-style
+//! debouncing plus parameter stripping applied to every click, then
+//! measuring how much UID smuggling survives end-to-end. This is the
+//! experiment a browser vendor would run before shipping the defense.
+
+use cc_analysis::summarize;
+use cc_crawler::{CrawlConfig, NavigationRewriter, Walker};
+use cc_util::stats::Proportion;
+use cc_web::SimWeb;
+use serde::{Deserialize, Serialize};
+
+use crate::debounce::debounce;
+use crate::lists::ParamBlocklist;
+use crate::strip::strip_url;
+
+/// Which defense to install for a protected crawl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protection {
+    /// No defense (the paper's measurement configuration).
+    None,
+    /// Strip blocklisted query parameters from every navigation.
+    StripParams,
+    /// Brave-style debouncing + parameter stripping.
+    Debounce,
+}
+
+/// Build the navigation rewriter implementing a protection level.
+pub fn rewriter_for(protection: Protection) -> Option<NavigationRewriter> {
+    match protection {
+        Protection::None => None,
+        Protection::StripParams => {
+            let list = ParamBlocklist::well_known();
+            Some(NavigationRewriter::new(move |url| {
+                strip_url(url, &list).url
+            }))
+        }
+        Protection::Debounce => {
+            let list = ParamBlocklist::well_known();
+            Some(NavigationRewriter::new(move |url| debounce(url, &list).url))
+        }
+    }
+}
+
+/// Before/after comparison of one protection level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtectionOutcome {
+    /// The protection evaluated.
+    pub protection: Protection,
+    /// Smuggling rate without the defense.
+    pub baseline: Proportion,
+    /// Smuggling rate with the defense installed.
+    pub protected: Proportion,
+}
+
+impl ProtectionOutcome {
+    /// Fractional reduction in the smuggling rate (1.0 = eliminated).
+    pub fn reduction(&self) -> f64 {
+        let base = self.baseline.fraction();
+        if base == 0.0 {
+            0.0
+        } else {
+            1.0 - self.protected.fraction() / base
+        }
+    }
+}
+
+/// Crawl twice — unprotected and protected — and compare smuggling rates.
+pub fn protection_experiment(
+    web: &SimWeb,
+    base_cfg: &CrawlConfig,
+    protection: Protection,
+) -> ProtectionOutcome {
+    let baseline_ds = Walker::new(web, base_cfg.clone()).crawl();
+    let baseline_out = cc_core::run_pipeline(&baseline_ds);
+    let baseline = summarize(&baseline_out).smuggling_rate();
+
+    let mut protected_cfg = base_cfg.clone();
+    protected_cfg.rewriter = rewriter_for(protection);
+    let protected_ds = Walker::new(web, protected_cfg).crawl();
+    let protected_out = cc_core::run_pipeline(&protected_ds);
+    let protected = summarize(&protected_out).smuggling_rate();
+
+    ProtectionOutcome {
+        protection,
+        baseline,
+        protected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_url::Url;
+    use cc_web::{generate, WebConfig};
+
+    fn cfg() -> CrawlConfig {
+        CrawlConfig {
+            seed: 77,
+            steps_per_walk: 5,
+            max_walks: Some(40),
+            connect_failure_rate: 0.0,
+            ..CrawlConfig::default()
+        }
+    }
+
+    fn bigger_web() -> SimWeb {
+        generate(&WebConfig {
+            n_sites: 300,
+            n_seeders: 40,
+            ..WebConfig::default()
+        })
+    }
+
+    #[test]
+    fn rewriters_shapes() {
+        assert!(rewriter_for(Protection::None).is_none());
+        let strip = rewriter_for(Protection::StripParams).unwrap();
+        let u = Url::parse("https://www.shop.com/?gclid=abcdef123456&page=2").unwrap();
+        let out = strip.rewrite(&u);
+        assert_eq!(out.query_get("gclid"), None);
+        assert_eq!(out.query_get("page"), Some("2"));
+
+        let deb = rewriter_for(Protection::Debounce).unwrap();
+        let mut click = Url::parse("https://r.trk.net/click?gclid=abcdef123456").unwrap();
+        click.query_set("cc_dest", "https://www.shop.com/deal");
+        let out = deb.rewrite(&click);
+        assert_eq!(out.host.as_str(), "www.shop.com");
+    }
+
+    #[test]
+    fn debouncing_slashes_smuggling_end_to_end() {
+        let web = bigger_web();
+        let outcome = protection_experiment(&web, &cfg(), Protection::Debounce);
+        assert!(
+            outcome.baseline.fraction() > 0.0,
+            "baseline crawl found no smuggling to defend against"
+        );
+        assert!(
+            outcome.reduction() > 0.5,
+            "debouncing should cut smuggling by more than half: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn stripping_helps_but_less_than_debouncing() {
+        let web = bigger_web();
+        let strip = protection_experiment(&web, &cfg(), Protection::StripParams);
+        let debounce = protection_experiment(&web, &cfg(), Protection::Debounce);
+        // Stripping only removes *known* parameter names; debouncing skips
+        // the redirectors entirely. Debouncing must do at least as well.
+        assert!(
+            debounce.protected.fraction() <= strip.protected.fraction() + 0.01,
+            "debounce {:?} vs strip {:?}",
+            debounce,
+            strip
+        );
+    }
+
+    #[test]
+    fn no_protection_changes_nothing() {
+        let web = bigger_web();
+        let outcome = protection_experiment(&web, &cfg(), Protection::None);
+        assert_eq!(outcome.baseline, outcome.protected);
+        assert_eq!(outcome.reduction(), 0.0);
+    }
+}

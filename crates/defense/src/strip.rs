@@ -1,0 +1,132 @@
+//! Query-parameter stripping (§7.2).
+//!
+//! "Our proposed solution to UID smuggling is to strip out the query
+//! parameters that contain UIDs. … Stripping query parameters rather than
+//! blocking entire URLs is likely to result in fewer broken pages and
+//! therefore less inconvenience to users."
+
+use cc_url::Url;
+use serde::{Deserialize, Serialize};
+
+use crate::lists::ParamBlocklist;
+
+/// The result of stripping a navigation URL.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripOutcome {
+    /// The rewritten URL.
+    pub url: Url,
+    /// Parameters removed, in order.
+    pub removed: Vec<(String, String)>,
+}
+
+impl StripOutcome {
+    /// Whether anything was stripped.
+    pub fn changed(&self) -> bool {
+        !self.removed.is_empty()
+    }
+}
+
+/// Strip blocklisted parameters from a navigation URL.
+pub fn strip_url(url: &Url, blocklist: &ParamBlocklist) -> StripOutcome {
+    let mut rewritten = url.clone();
+    let removed = rewritten.query_strip(|name| blocklist.contains(name));
+    StripOutcome {
+        url: rewritten,
+        removed,
+    }
+}
+
+/// Heuristic stripping without a curated list: remove parameters whose
+/// values *look like* identifiers (length ≥ 16, mixed alphanumeric, not a
+/// word/URL/timestamp). More aggressive, more breakage-prone — included
+/// for the ablation comparing list-based and heuristic stripping.
+pub fn strip_heuristic(url: &Url) -> StripOutcome {
+    let mut rewritten = url.clone();
+    let before: Vec<(String, String)> = rewritten.query().to_vec();
+    let mut removed = Vec::new();
+    rewritten.clear_query();
+    for (k, v) in before {
+        if looks_like_identifier(&v) {
+            removed.push((k, v));
+        } else {
+            rewritten.query_set(&k, &v);
+        }
+    }
+    StripOutcome {
+        url: rewritten,
+        removed,
+    }
+}
+
+/// Identifier-shape test used by [`strip_heuristic`].
+pub fn looks_like_identifier(value: &str) -> bool {
+    if value.len() < 16 || value.starts_with("http") {
+        return false;
+    }
+    let has_alpha = value.chars().any(|c| c.is_ascii_alphabetic());
+    let has_digit = value.chars().any(|c| c.is_ascii_digit());
+    let clean = value
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+    has_alpha && has_digit && clean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn strips_blocklisted_params_only() {
+        let u = url("https://www.shop.com/deal?gclid=abc123def456&page=2&q=shoes");
+        let out = strip_url(&u, &ParamBlocklist::well_known());
+        assert!(out.changed());
+        assert_eq!(
+            out.removed,
+            vec![("gclid".to_string(), "abc123def456".to_string())]
+        );
+        assert_eq!(out.url.query_get("gclid"), None);
+        assert_eq!(out.url.query_get("page"), Some("2"));
+        assert_eq!(out.url.query_get("q"), Some("shoes"));
+    }
+
+    #[test]
+    fn empty_blocklist_is_noop() {
+        let u = url("https://www.shop.com/deal?gclid=abc");
+        let out = strip_url(&u, &ParamBlocklist::empty());
+        assert!(!out.changed());
+        assert_eq!(out.url, u);
+    }
+
+    #[test]
+    fn heuristic_strips_identifier_shapes() {
+        let u = url("https://www.shop.com/?id=f3a9c17e2b4d5a60f3a9&topic=sweet_magnolia&n=5");
+        let out = strip_heuristic(&u);
+        assert_eq!(out.removed.len(), 1);
+        assert_eq!(out.removed[0].0, "id");
+        assert_eq!(out.url.query_get("topic"), Some("sweet_magnolia"));
+        assert_eq!(out.url.query_get("n"), Some("5"));
+    }
+
+    #[test]
+    fn identifier_shapes() {
+        assert!(looks_like_identifier("f3a9c17e2b4d5a60"));
+        assert!(looks_like_identifier("a81f9c3e-4b2d-4c6a-9e1f"));
+        assert!(!looks_like_identifier("short1"));
+        assert!(!looks_like_identifier("https://www.a.com/page1"));
+        assert!(!looks_like_identifier("sweet_magnolia_deal")); // no digits
+        assert!(!looks_like_identifier("1666666666123456")); // no alpha
+    }
+
+    #[test]
+    fn strip_preserves_url_otherwise() {
+        let u = url("https://www.shop.com:8443/deal?fbclid=zz12345#frag");
+        let out = strip_url(&u, &ParamBlocklist::well_known());
+        assert_eq!(out.url.port, Some(8443));
+        assert_eq!(out.url.fragment.as_deref(), Some("frag"));
+        assert_eq!(out.url.path, "/deal");
+    }
+}

@@ -1,0 +1,350 @@
+//! Cookies and `Set-Cookie` handling.
+//!
+//! Cookie mechanics sit at the heart of the study: redirectors "are permitted
+//! to store first party cookies" (§2), partitioned storage keys cookie jars
+//! by top-level site, and the prior-work baselines classify session IDs by
+//! cookie **lifetime** (Expires/Max-Age, §3.7.1 / §8.1). This module models
+//! the name/value pair plus the attributes that influence any of that.
+
+use cc_net::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The `SameSite` cookie attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SameSite {
+    /// `SameSite=Strict`.
+    Strict,
+    /// `SameSite=Lax` (modern default).
+    Lax,
+    /// `SameSite=None` (cross-site; requires Secure).
+    None,
+}
+
+impl SameSite {
+    fn as_str(&self) -> &'static str {
+        match self {
+            SameSite::Strict => "Strict",
+            SameSite::Lax => "Lax",
+            SameSite::None => "None",
+        }
+    }
+}
+
+/// A plain cookie: the name/value pair sent in `Cookie:` headers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value.
+    pub value: String,
+}
+
+impl Cookie {
+    /// Build a cookie.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Cookie {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for Cookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// Parse a `Cookie:` request header into pairs.
+pub fn parse_cookie_header(header: &str) -> Vec<Cookie> {
+    header
+        .split(';')
+        .filter_map(|piece| {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                return None;
+            }
+            match piece.split_once('=') {
+                Some((n, v)) => Some(Cookie::new(n.trim(), v.trim())),
+                None => Some(Cookie::new(piece, "")),
+            }
+        })
+        .collect()
+}
+
+/// Serialize cookies into a `Cookie:` header value.
+pub fn format_cookie_header(cookies: &[Cookie]) -> String {
+    cookies
+        .iter()
+        .map(Cookie::to_string)
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// A `Set-Cookie` directive: a cookie plus storage attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetCookie {
+    /// The cookie to store.
+    pub cookie: Cookie,
+    /// `Max-Age` relative lifetime (takes precedence over `Expires`).
+    pub max_age: Option<SimDuration>,
+    /// `Expires` absolute expiry on the simulated timeline.
+    pub expires: Option<SimTime>,
+    /// `Domain` scope (host-only when absent).
+    pub domain: Option<String>,
+    /// `Path` scope.
+    pub path: Option<String>,
+    /// `Secure` flag.
+    pub secure: bool,
+    /// `HttpOnly` flag.
+    pub http_only: bool,
+    /// `SameSite` attribute.
+    pub same_site: Option<SameSite>,
+}
+
+impl SetCookie {
+    /// A session cookie (no explicit lifetime).
+    pub fn session(name: impl Into<String>, value: impl Into<String>) -> Self {
+        SetCookie {
+            cookie: Cookie::new(name, value),
+            max_age: None,
+            expires: None,
+            domain: None,
+            path: None,
+            secure: false,
+            http_only: false,
+            same_site: None,
+        }
+    }
+
+    /// A persistent cookie with a `Max-Age` lifetime.
+    pub fn persistent(
+        name: impl Into<String>,
+        value: impl Into<String>,
+        max_age: SimDuration,
+    ) -> Self {
+        let mut sc = SetCookie::session(name, value);
+        sc.max_age = Some(max_age);
+        sc
+    }
+
+    /// Builder: set the `Domain` attribute.
+    #[must_use]
+    pub fn with_domain(mut self, domain: &str) -> Self {
+        self.domain = Some(domain.to_ascii_lowercase());
+        self
+    }
+
+    /// Builder: set `SameSite`.
+    #[must_use]
+    pub fn with_same_site(mut self, ss: SameSite) -> Self {
+        self.same_site = Some(ss);
+        self
+    }
+
+    /// The instant this cookie expires, given when it was stored.
+    ///
+    /// `None` means a browser-session cookie (expires when the profile is
+    /// discarded — for a crawler, at the end of the walk).
+    pub fn expiry(&self, stored_at: SimTime) -> Option<SimTime> {
+        if let Some(ma) = self.max_age {
+            Some(stored_at.plus(ma))
+        } else {
+            self.expires
+        }
+    }
+
+    /// The lifetime (expiry − storage instant), if persistent.
+    pub fn lifetime(&self, stored_at: SimTime) -> Option<SimDuration> {
+        self.expiry(stored_at).map(|e| e.since(stored_at))
+    }
+
+    /// Serialize as a `Set-Cookie` header value.
+    pub fn to_header_value(&self) -> String {
+        let mut out = self.cookie.to_string();
+        if let Some(ma) = self.max_age {
+            out.push_str(&format!("; Max-Age={}", ma.as_millis() / 1000));
+        }
+        if let Some(e) = self.expires {
+            out.push_str(&format!("; Expires=@{}", e.as_millis()));
+        }
+        if let Some(d) = &self.domain {
+            out.push_str(&format!("; Domain={d}"));
+        }
+        if let Some(p) = &self.path {
+            out.push_str(&format!("; Path={p}"));
+        }
+        if self.secure {
+            out.push_str("; Secure");
+        }
+        if self.http_only {
+            out.push_str("; HttpOnly");
+        }
+        if let Some(ss) = self.same_site {
+            out.push_str(&format!("; SameSite={}", ss.as_str()));
+        }
+        out
+    }
+
+    /// Parse a `Set-Cookie` header value.
+    ///
+    /// `Expires` uses the simulator's `@<millis>` notation rather than HTTP
+    /// dates; unrecognized attributes are ignored (as browsers do).
+    pub fn parse(header: &str) -> Option<SetCookie> {
+        let mut pieces = header.split(';');
+        let first = pieces.next()?.trim();
+        let (name, value) = first.split_once('=')?;
+        if name.is_empty() {
+            return None;
+        }
+        let mut sc = SetCookie::session(name.trim(), value.trim());
+        for piece in pieces {
+            let piece = piece.trim();
+            let (attr, val) = match piece.split_once('=') {
+                Some((a, v)) => (a.trim().to_ascii_lowercase(), v.trim()),
+                None => (piece.to_ascii_lowercase(), ""),
+            };
+            match attr.as_str() {
+                "max-age" => {
+                    if let Ok(secs) = val.parse::<u64>() {
+                        sc.max_age = Some(SimDuration::from_secs(secs));
+                    }
+                }
+                "expires" => {
+                    // The simulator's own `@<millis>` notation, or a real
+                    // RFC 1123 HTTP date.
+                    if let Some(ms) = val.strip_prefix('@').and_then(|m| m.parse::<u64>().ok()) {
+                        sc.expires = Some(SimTime(ms));
+                    } else if let Some(t) = crate::date::parse_http_date(val) {
+                        sc.expires = Some(t);
+                    }
+                }
+                "domain" => sc.domain = Some(val.trim_start_matches('.').to_ascii_lowercase()),
+                "path" => sc.path = Some(val.to_string()),
+                "secure" => sc.secure = true,
+                "httponly" => sc.http_only = true,
+                "samesite" => {
+                    sc.same_site = match val.to_ascii_lowercase().as_str() {
+                        "strict" => Some(SameSite::Strict),
+                        "lax" => Some(SameSite::Lax),
+                        "none" => Some(SameSite::None),
+                        _ => None,
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(sc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cookie_header_roundtrip() {
+        let cookies = vec![Cookie::new("uid", "abc123"), Cookie::new("lang", "en-US")];
+        let header = format_cookie_header(&cookies);
+        assert_eq!(header, "uid=abc123; lang=en-US");
+        assert_eq!(parse_cookie_header(&header), cookies);
+    }
+
+    #[test]
+    fn parse_cookie_header_tolerates_mess() {
+        let parsed = parse_cookie_header("a=1;; b ; c = 2 ;");
+        assert_eq!(
+            parsed,
+            vec![
+                Cookie::new("a", "1"),
+                Cookie::new("b", ""),
+                Cookie::new("c", "2"),
+            ]
+        );
+        assert!(parse_cookie_header("").is_empty());
+    }
+
+    #[test]
+    fn set_cookie_roundtrip_full() {
+        let sc = SetCookie::persistent("uid", "xyz", SimDuration::from_days(90))
+            .with_domain("example.com")
+            .with_same_site(SameSite::None);
+        let mut sc = sc;
+        sc.secure = true;
+        sc.http_only = true;
+        sc.path = Some("/".into());
+        let parsed = SetCookie::parse(&sc.to_header_value()).unwrap();
+        assert_eq!(parsed, sc);
+    }
+
+    #[test]
+    fn set_cookie_minimal() {
+        let parsed = SetCookie::parse("sid=abc").unwrap();
+        assert_eq!(parsed.cookie, Cookie::new("sid", "abc"));
+        assert!(parsed.max_age.is_none());
+        assert!(parsed.expiry(SimTime::EPOCH).is_none());
+    }
+
+    #[test]
+    fn set_cookie_parse_rejects_nameless() {
+        assert!(SetCookie::parse("").is_none());
+        assert!(SetCookie::parse("; Secure").is_none());
+        assert!(SetCookie::parse("=v").is_none());
+    }
+
+    #[test]
+    fn max_age_precedence_and_expiry() {
+        let mut sc = SetCookie::persistent("a", "b", SimDuration::from_days(1));
+        sc.expires = Some(SimTime(5));
+        let stored = SimTime(1_000);
+        assert_eq!(
+            sc.expiry(stored),
+            Some(stored.plus(SimDuration::from_days(1)))
+        );
+        assert_eq!(sc.lifetime(stored), Some(SimDuration::from_days(1)));
+    }
+
+    #[test]
+    fn expires_fallback() {
+        let sc = SetCookie::parse("a=b; Expires=@86400000").unwrap();
+        assert_eq!(sc.expiry(SimTime::EPOCH), Some(SimTime(86_400_000)));
+        assert_eq!(
+            sc.lifetime(SimTime::EPOCH).unwrap(),
+            SimDuration::from_days(1)
+        );
+    }
+
+    #[test]
+    fn expires_accepts_http_dates() {
+        let sc = SetCookie::parse("uid=abc; Expires=Mon, 25 Oct 2021 00:00:00 GMT").unwrap();
+        assert_eq!(sc.expires, Some(SimTime(1_635_120_000_000)));
+        // Garbage dates are ignored, like browsers do.
+        let sc = SetCookie::parse("uid=abc; Expires=whenever").unwrap();
+        assert_eq!(sc.expires, None);
+    }
+
+    #[test]
+    fn domain_leading_dot_stripped() {
+        let sc = SetCookie::parse("a=b; Domain=.Example.COM").unwrap();
+        assert_eq!(sc.domain.as_deref(), Some("example.com"));
+    }
+
+    #[test]
+    fn unknown_attributes_ignored() {
+        let sc = SetCookie::parse("a=b; Priority=High; Partitioned").unwrap();
+        assert_eq!(sc.cookie.value, "b");
+    }
+
+    #[test]
+    fn samesite_parsing() {
+        assert_eq!(
+            SetCookie::parse("a=b; SameSite=lax").unwrap().same_site,
+            Some(SameSite::Lax)
+        );
+        assert_eq!(
+            SetCookie::parse("a=b; SameSite=banana").unwrap().same_site,
+            None
+        );
+    }
+}

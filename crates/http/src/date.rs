@@ -1,0 +1,162 @@
+//! HTTP-date (RFC 1123) parsing and formatting.
+//!
+//! Real `Set-Cookie` headers carry `Expires=Wed, 21 Oct 2015 07:28:00 GMT`.
+//! The simulator's own serialization uses the exact `@<millis>` notation,
+//! but the cookie parser also accepts genuine HTTP dates so recorded
+//! real-world headers can be replayed through the pipeline. Conversion uses
+//! the proleptic-Gregorian civil-day algorithm (Howard Hinnant's
+//! `days_from_civil`), anchored at the Unix epoch.
+
+use cc_net::SimTime;
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+const WEEKDAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+
+/// Days from 1970-01-01 to the given civil date (may be negative).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = ((m + 9) % 12) as u64; // Mar=0 … Feb=11
+    let doy = (153 * mp + 2) / 5 + (d as u64 - 1); // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Civil date from days since 1970-01-01.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parse an RFC 1123 HTTP date (`Wed, 21 Oct 2015 07:28:00 GMT`) into a
+/// [`SimTime`] (milliseconds since the Unix epoch). Dates before the epoch
+/// return `None` (the simulated timeline starts at 1970).
+pub fn parse_http_date(s: &str) -> Option<SimTime> {
+    let s = s.trim();
+    // Strip the optional weekday prefix ("Wed, ").
+    let rest = match s.split_once(", ") {
+        Some((wd, rest)) if WEEKDAYS.contains(&wd) => rest,
+        _ => s,
+    };
+    let mut parts = rest.split_whitespace();
+    let day: u32 = parts.next()?.parse().ok()?;
+    let month = parts.next()?;
+    let month = MONTHS.iter().position(|m| m.eq_ignore_ascii_case(month))? as u32 + 1;
+    let year: i64 = parts.next()?.parse().ok()?;
+    let time = parts.next()?;
+    let zone = parts.next()?;
+    if zone != "GMT" && zone != "UTC" {
+        return None;
+    }
+    let mut hms = time.split(':');
+    let h: u64 = hms.next()?.parse().ok()?;
+    let mi: u64 = hms.next()?.parse().ok()?;
+    let sec: u64 = hms.next()?.parse().ok()?;
+    if !(1..=31).contains(&day) || h > 23 || mi > 59 || sec > 60 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day);
+    if days < 0 {
+        return None;
+    }
+    let ms = (days as u64 * 86_400 + h * 3_600 + mi * 60 + sec) * 1_000;
+    Some(SimTime(ms))
+}
+
+/// Format a [`SimTime`] as an RFC 1123 HTTP date.
+pub fn format_http_date(t: SimTime) -> String {
+    let total_secs = t.as_millis() / 1_000;
+    let days = (total_secs / 86_400) as i64;
+    let secs_of_day = total_secs % 86_400;
+    let (y, m, d) = civil_from_days(days);
+    // 1970-01-01 was a Thursday (index 3 in Mon-based week).
+    let weekday = WEEKDAYS[((days + 3).rem_euclid(7)) as usize];
+    format!(
+        "{weekday}, {d:02} {} {y} {:02}:{:02}:{:02} GMT",
+        MONTHS[(m - 1) as usize],
+        secs_of_day / 3_600,
+        (secs_of_day % 3_600) / 60,
+        secs_of_day % 60
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_dates() {
+        // The RFC's own example.
+        let t = parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT").unwrap();
+        assert_eq!(t.as_millis() / 1000, 784_111_777);
+        // The paper's crawl era.
+        let t = parse_http_date("Mon, 25 Oct 2021 00:00:00 GMT").unwrap();
+        assert_eq!(t.as_millis() / 1000, 1_635_120_000);
+        // Epoch.
+        let t = parse_http_date("Thu, 01 Jan 1970 00:00:00 GMT").unwrap();
+        assert_eq!(t, SimTime(0));
+    }
+
+    #[test]
+    fn weekday_prefix_optional() {
+        let a = parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT").unwrap();
+        let b = parse_http_date("06 Nov 1994 08:49:37 GMT").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for secs in [0u64, 784_111_777, 1_635_120_000, 2_000_000_000] {
+            let t = SimTime(secs * 1000);
+            let s = format_http_date(t);
+            assert_eq!(parse_http_date(&s), Some(t), "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn weekday_names_correct() {
+        assert!(format_http_date(SimTime(0)).starts_with("Thu, 01 Jan 1970"));
+        // 2021-10-25 was a Monday.
+        assert!(
+            format_http_date(SimTime(1_635_120_000_000)).starts_with("Mon, 25 Oct 2021"),
+            "{}",
+            format_http_date(SimTime(1_635_120_000_000))
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_http_date(""), None);
+        assert_eq!(parse_http_date("not a date"), None);
+        assert_eq!(parse_http_date("Sun, 06 Nov 1994 08:49:37 PST"), None);
+        assert_eq!(parse_http_date("Sun, 32 Nov 1994 08:49:37 GMT"), None);
+        assert_eq!(parse_http_date("Sun, 06 Wug 1994 08:49:37 GMT"), None);
+        assert_eq!(parse_http_date("Sun, 06 Nov 1994 25:49:37 GMT"), None);
+        // Pre-epoch dates are outside the simulated timeline.
+        assert_eq!(parse_http_date("Wed, 01 Jan 1969 00:00:00 GMT"), None);
+    }
+
+    #[test]
+    fn civil_day_math() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(11_017), (2000, 3, 1));
+        // Leap-year boundary.
+        assert_eq!(
+            civil_from_days(days_from_civil(2024, 2, 29)),
+            (2024, 2, 29)
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! A case-insensitive, order-preserving header map.
+//!
+//! Header order is preserved so serialized requests in the crawl dataset are
+//! byte-stable; lookups are case-insensitive per RFC 9110. Multiple values
+//! for the same name are kept (needed for `Set-Cookie`, which cannot be
+//! comma-joined).
+
+use serde::{Deserialize, Serialize};
+
+/// Well-known header names used throughout the simulator.
+pub mod names {
+    /// `User-Agent`.
+    pub const USER_AGENT: &str = "user-agent";
+    /// `Cookie`.
+    pub const COOKIE: &str = "cookie";
+    /// `Set-Cookie`.
+    pub const SET_COOKIE: &str = "set-cookie";
+    /// `Location` (redirect target).
+    pub const LOCATION: &str = "location";
+    /// `Referer` (sic).
+    pub const REFERER: &str = "referer";
+    /// `Content-Type`.
+    pub const CONTENT_TYPE: &str = "content-type";
+}
+
+/// An ordered multimap of headers with case-insensitive names.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    /// New empty map.
+    pub fn new() -> Self {
+        HeaderMap::default()
+    }
+
+    /// Append a header (keeps any existing values for the name).
+    pub fn append(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.push((name.to_ascii_lowercase(), value.into()));
+    }
+
+    /// Set a header, replacing all existing values for the name.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        let lname = name.to_ascii_lowercase();
+        self.entries.retain(|(n, _)| *n != lname);
+        self.entries.push((lname, value.into()));
+    }
+
+    /// First value for a name, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        let lname = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == lname)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for a name, in insertion order.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        let lname = name.to_ascii_lowercase();
+        self.entries
+            .iter()
+            .filter(|(n, _)| *n == lname)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Whether the map contains the name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Remove all values for a name; returns how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let lname = name.to_ascii_lowercase();
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| *n != lname);
+        before - self.entries.len()
+    }
+
+    /// Number of header entries (not distinct names).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(name, value)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut h = HeaderMap::new();
+        h.append("User-Agent", "Safari");
+        assert_eq!(h.get("user-agent"), Some("Safari"));
+        assert_eq!(h.get("USER-AGENT"), Some("Safari"));
+        assert!(h.contains("uSeR-aGeNt"));
+    }
+
+    #[test]
+    fn append_keeps_multiple_values() {
+        let mut h = HeaderMap::new();
+        h.append(names::SET_COOKIE, "a=1");
+        h.append(names::SET_COOKIE, "b=2");
+        assert_eq!(h.get_all("set-cookie"), vec!["a=1", "b=2"]);
+        assert_eq!(h.get("set-cookie"), Some("a=1"));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut h = HeaderMap::new();
+        h.append("x", "1");
+        h.append("x", "2");
+        h.set("X", "3");
+        assert_eq!(h.get_all("x"), vec!["3"]);
+    }
+
+    #[test]
+    fn remove_counts() {
+        let mut h = HeaderMap::new();
+        h.append("a", "1");
+        h.append("a", "2");
+        h.append("b", "3");
+        assert_eq!(h.remove("A"), 2);
+        assert_eq!(h.remove("a"), 0);
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut h = HeaderMap::new();
+        h.append("b", "2");
+        h.append("a", "1");
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![("b", "2"), ("a", "1")]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cc-http
+//!
+//! The HTTP message model spoken between the simulated browser and the
+//! synthetic web:
+//!
+//! * [`status`] — status codes with the redirect semantics the navigation
+//!   engine needs (301/302/303/307/308, plus meta/JS-style redirects are
+//!   modeled at the [`message`] level);
+//! * [`header`] — a case-insensitive, order-preserving header map;
+//! * [`cookie`] — `Cookie` / `Set-Cookie` parsing and serialization with
+//!   the attributes that matter to the study (Expires/Max-Age for the
+//!   lifetime baselines of §3.7.1, Domain/Path scoping, Secure/HttpOnly,
+//!   SameSite);
+//! * [`message`] — [`Request`] and [`Response`] plus redirect constructors;
+//! * [`date`] — RFC 1123 HTTP dates, so real-world `Expires` headers can
+//!   be replayed through the pipeline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cookie;
+pub mod date;
+pub mod header;
+pub mod message;
+pub mod status;
+
+pub use cookie::{format_cookie_header, parse_cookie_header, Cookie, SameSite, SetCookie};
+pub use header::HeaderMap;
+pub use message::{Method, PageBody, Request, RequestKind, Response};
+pub use status::StatusCode;

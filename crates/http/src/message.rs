@@ -1,0 +1,271 @@
+//! HTTP requests and responses.
+//!
+//! The navigation engine in `cc-browser` issues [`Request`]s to the synthetic
+//! web and interprets [`Response`]s: 3xx + `Location` hops build the redirect
+//! chains through which UIDs are smuggled, while `Set-Cookie` headers and the
+//! response [`PageBody`] (page content or a script-driven redirect) drive
+//! storage writes.
+
+use crate::cookie::SetCookie;
+use crate::header::{names, HeaderMap};
+use crate::status::StatusCode;
+use cc_url::Url;
+use serde::{Deserialize, Serialize};
+
+/// HTTP request methods the simulator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// GET — navigations and subresource fetches.
+    Get,
+    /// POST — beacon-style tracker submissions.
+    Post,
+}
+
+impl Method {
+    /// The method name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+}
+
+/// Why a request was issued — the simulator's analogue of
+/// `chrome.webRequest` resource types. The pipeline distinguishes top-level
+/// *navigation* requests (where smuggling happens, §3.6) from *subresource*
+/// requests by third parties on a page (where leaked UIDs travel, Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Top-level navigation (link click or redirect hop).
+    Navigation,
+    /// Third-party subresource / beacon request issued by page content.
+    Subresource,
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Target URL.
+    pub url: Url,
+    /// Headers (Cookie, User-Agent, Referer, …).
+    pub headers: HeaderMap,
+    /// Why the request was issued.
+    pub kind: RequestKind,
+}
+
+impl Request {
+    /// A GET navigation request.
+    pub fn navigation(url: Url) -> Self {
+        Request {
+            method: Method::Get,
+            url,
+            headers: HeaderMap::new(),
+            kind: RequestKind::Navigation,
+        }
+    }
+
+    /// A GET subresource request.
+    pub fn subresource(url: Url) -> Self {
+        Request {
+            method: Method::Get,
+            url,
+            headers: HeaderMap::new(),
+            kind: RequestKind::Subresource,
+        }
+    }
+
+    /// Set the `User-Agent` header (builder style).
+    #[must_use]
+    pub fn with_user_agent(mut self, ua: &str) -> Self {
+        self.headers.set(names::USER_AGENT, ua);
+        self
+    }
+
+    /// Set the `Referer` header (builder style).
+    #[must_use]
+    pub fn with_referer(mut self, referer: &str) -> Self {
+        self.headers.set(names::REFERER, referer);
+        self
+    }
+}
+
+/// What a successful response carries.
+///
+/// Real pages are HTML + scripts; the simulator represents the *effects*
+/// that matter: either a page identifier (the browser will ask the web for
+/// the page's content model) or an immediate script/meta-style redirect.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageBody {
+    /// A renderable page, identified by the serving site and page path.
+    Page,
+    /// Client-side (JS/meta-refresh) redirect to the given URL. Unlike a
+    /// 3xx, this executes after the page loads — bounce trackers use both.
+    ScriptRedirect(Url),
+    /// No meaningful body (beacon endpoints, errors).
+    Empty,
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Headers (including `Location` for redirects).
+    pub headers: HeaderMap,
+    /// Parsed `Set-Cookie` directives.
+    pub set_cookies: Vec<SetCookie>,
+    /// Body model.
+    pub body: PageBody,
+}
+
+impl Response {
+    /// A 200 response carrying a page.
+    pub fn page() -> Self {
+        Response {
+            status: StatusCode::OK,
+            headers: HeaderMap::new(),
+            set_cookies: Vec::new(),
+            body: PageBody::Page,
+        }
+    }
+
+    /// A 200 response with an empty body.
+    pub fn empty() -> Self {
+        Response {
+            status: StatusCode::OK,
+            headers: HeaderMap::new(),
+            set_cookies: Vec::new(),
+            body: PageBody::Empty,
+        }
+    }
+
+    /// A 302 redirect to `target`.
+    pub fn redirect(target: &Url) -> Self {
+        let mut headers = HeaderMap::new();
+        headers.set(names::LOCATION, target.to_url_string());
+        Response {
+            status: StatusCode::FOUND,
+            headers,
+            set_cookies: Vec::new(),
+            body: PageBody::Empty,
+        }
+    }
+
+    /// A 200 page that immediately script-redirects to `target`.
+    pub fn script_redirect(target: Url) -> Self {
+        Response {
+            status: StatusCode::OK,
+            headers: HeaderMap::new(),
+            set_cookies: Vec::new(),
+            body: PageBody::ScriptRedirect(target),
+        }
+    }
+
+    /// A 404 response.
+    pub fn not_found() -> Self {
+        Response {
+            status: StatusCode::NOT_FOUND,
+            headers: HeaderMap::new(),
+            set_cookies: Vec::new(),
+            body: PageBody::Empty,
+        }
+    }
+
+    /// Attach a `Set-Cookie` (builder style). Also mirrors it into the
+    /// header map so the dataset contains the literal header.
+    #[must_use]
+    pub fn with_set_cookie(mut self, sc: SetCookie) -> Self {
+        self.headers.append(names::SET_COOKIE, sc.to_header_value());
+        self.set_cookies.push(sc);
+        self
+    }
+
+    /// The redirect target, if this is a 3xx with a parsable `Location` or a
+    /// script redirect.
+    pub fn redirect_target(&self) -> Option<Url> {
+        if self.status.is_redirect() {
+            if let Some(loc) = self.headers.get(names::LOCATION) {
+                return Url::parse(loc).ok();
+            }
+        }
+        if let PageBody::ScriptRedirect(u) = &self.body {
+            return Some(u.clone());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_net::SimDuration;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn navigation_request_defaults() {
+        let r = Request::navigation(url("https://a.com/x"));
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.kind, RequestKind::Navigation);
+        assert_eq!(Method::Get.as_str(), "GET");
+        assert_eq!(Method::Post.as_str(), "POST");
+    }
+
+    #[test]
+    fn builder_headers() {
+        let r = Request::navigation(url("https://a.com/"))
+            .with_user_agent("Safari")
+            .with_referer("https://b.com/");
+        assert_eq!(r.headers.get("user-agent"), Some("Safari"));
+        assert_eq!(r.headers.get("referer"), Some("https://b.com/"));
+    }
+
+    #[test]
+    fn http_redirect_target() {
+        let resp = Response::redirect(&url("https://t.example.net/r?uid=1"));
+        assert_eq!(resp.status, StatusCode::FOUND);
+        assert_eq!(
+            resp.redirect_target().unwrap().to_url_string(),
+            "https://t.example.net/r?uid=1"
+        );
+    }
+
+    #[test]
+    fn script_redirect_target() {
+        let resp = Response::script_redirect(url("https://b.com/land"));
+        assert!(resp.status.is_success());
+        assert_eq!(resp.redirect_target().unwrap(), url("https://b.com/land"));
+    }
+
+    #[test]
+    fn page_has_no_redirect() {
+        assert_eq!(Response::page().redirect_target(), None);
+        assert_eq!(Response::not_found().redirect_target(), None);
+        assert_eq!(Response::empty().redirect_target(), None);
+    }
+
+    #[test]
+    fn redirect_with_unparsable_location() {
+        let mut resp = Response::redirect(&url("https://a.com/"));
+        resp.headers.set(names::LOCATION, "not a url");
+        assert_eq!(resp.redirect_target(), None);
+    }
+
+    #[test]
+    fn set_cookie_mirrored_into_headers() {
+        let resp = Response::page().with_set_cookie(SetCookie::persistent(
+            "uid",
+            "abc",
+            SimDuration::from_days(365),
+        ));
+        assert_eq!(resp.set_cookies.len(), 1);
+        let headers = resp.headers.get_all(names::SET_COOKIE);
+        assert_eq!(headers.len(), 1);
+        assert!(headers[0].starts_with("uid=abc"));
+    }
+}

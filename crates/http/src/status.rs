@@ -1,0 +1,87 @@
+//! HTTP status codes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An HTTP status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 301 Moved Permanently.
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    /// 302 Found.
+    pub const FOUND: StatusCode = StatusCode(302);
+    /// 303 See Other.
+    pub const SEE_OTHER: StatusCode = StatusCode(303);
+    /// 307 Temporary Redirect.
+    pub const TEMPORARY_REDIRECT: StatusCode = StatusCode(307);
+    /// 308 Permanent Redirect.
+    pub const PERMANENT_REDIRECT: StatusCode = StatusCode(308);
+    /// 404 Not Found.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 500 Internal Server Error.
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+
+    /// Whether this is a 3xx redirect code.
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// Whether this is a 2xx success code.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// Canonical reason phrase for the codes the simulator uses.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            301 => "Moved Permanently",
+            302 => "Found",
+            303 => "See Other",
+            307 => "Temporary Redirect",
+            308 => "Permanent Redirect",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redirect_classification() {
+        assert!(StatusCode::FOUND.is_redirect());
+        assert!(StatusCode::MOVED_PERMANENTLY.is_redirect());
+        assert!(StatusCode(399).is_redirect());
+        assert!(!StatusCode::OK.is_redirect());
+        assert!(!StatusCode::NOT_FOUND.is_redirect());
+    }
+
+    #[test]
+    fn success_classification() {
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::FOUND.is_success());
+        assert!(!StatusCode::INTERNAL_SERVER_ERROR.is_success());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(StatusCode::OK.to_string(), "200 OK");
+        assert_eq!(StatusCode(302).to_string(), "302 Found");
+        assert_eq!(StatusCode(599).to_string(), "599 Unknown");
+    }
+}

@@ -1,0 +1,256 @@
+//! Simulated DNS: `A` and `CNAME` records with chain resolution.
+//!
+//! Two study features depend on DNS:
+//!
+//! 1. ordinary resolution — a crawler "connects" to a host only if it
+//!    resolves (unknown hosts fail like the paper's `ECONNREFUSED` class);
+//! 2. **CNAME cloaking** (§8.3) — a first-party subdomain such as
+//!    `metrics.news-site.com` aliasing to a tracker's canonical name. The
+//!    analysis extension flags navigation hops whose *apparent* first party
+//!    hides a third-party canonical owner.
+
+use cc_url::registered_domain;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A single DNS record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsRecord {
+    /// Terminal address record. The `u32` is an opaque simulated IPv4.
+    A(u32),
+    /// Alias to another name.
+    Cname(String),
+}
+
+/// The outcome of resolving a name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resolution {
+    /// The name originally queried.
+    pub queried: String,
+    /// Every name in the CNAME chain, starting with the queried name and
+    /// ending with the canonical name that held the `A` record.
+    pub chain: Vec<String>,
+    /// The resolved address.
+    pub address: u32,
+}
+
+impl Resolution {
+    /// The canonical (final) name.
+    pub fn canonical(&self) -> &str {
+        self.chain
+            .last()
+            .map(String::as_str)
+            .unwrap_or(&self.queried)
+    }
+
+    /// Whether this resolution is a **cloaking** alias: the queried name and
+    /// the canonical name live in different registered domains.
+    pub fn is_cloaked(&self) -> bool {
+        registered_domain(&self.queried) != registered_domain(self.canonical())
+    }
+}
+
+/// Resolution errors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsError {
+    /// No record for the name.
+    NxDomain(String),
+    /// CNAME chain exceeded the hop limit (loop or pathological chain).
+    ChainTooLong(String),
+}
+
+impl std::fmt::Display for DnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnsError::NxDomain(n) => write!(f, "NXDOMAIN: {n}"),
+            DnsError::ChainTooLong(n) => write!(f, "CNAME chain too long resolving {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// Maximum CNAME hops before declaring a loop.
+const MAX_CHAIN: usize = 8;
+
+/// An in-memory DNS zone database.
+#[derive(Debug, Clone, Default)]
+pub struct DnsDb {
+    records: HashMap<String, DnsRecord>,
+    next_addr: u32,
+}
+
+impl DnsDb {
+    /// New empty database.
+    pub fn new() -> Self {
+        DnsDb::default()
+    }
+
+    /// Register an `A` record with an auto-assigned address; returns the
+    /// address. Re-registering a name keeps its existing address.
+    pub fn register(&mut self, name: &str) -> u32 {
+        let name = name.to_ascii_lowercase();
+        if let Some(DnsRecord::A(addr)) = self.records.get(&name) {
+            return *addr;
+        }
+        self.next_addr += 1;
+        let addr = self.next_addr;
+        self.records.insert(name, DnsRecord::A(addr));
+        addr
+    }
+
+    /// Register a CNAME alias `name -> target`.
+    pub fn register_cname(&mut self, name: &str, target: &str) {
+        self.records.insert(
+            name.to_ascii_lowercase(),
+            DnsRecord::Cname(target.to_ascii_lowercase()),
+        );
+    }
+
+    /// Whether any record exists for the name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.records.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Resolve a name, following CNAME chains.
+    pub fn resolve(&self, name: &str) -> Result<Resolution, DnsError> {
+        let queried = name.to_ascii_lowercase();
+        let mut chain = vec![queried.clone()];
+        let mut cur = queried.clone();
+        for _ in 0..MAX_CHAIN {
+            match self.records.get(&cur) {
+                Some(DnsRecord::A(addr)) => {
+                    return Ok(Resolution {
+                        queried,
+                        chain,
+                        address: *addr,
+                    });
+                }
+                Some(DnsRecord::Cname(target)) => {
+                    cur = target.clone();
+                    chain.push(cur.clone());
+                }
+                None => return Err(DnsError::NxDomain(cur)),
+            }
+        }
+        Err(DnsError::ChainTooLong(queried))
+    }
+
+    /// All names whose resolution is cloaked (queried vs canonical registered
+    /// domains differ). Sorted for determinism.
+    pub fn cloaked_names(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .records
+            .keys()
+            .filter(|name| self.resolve(name).map(|r| r.is_cloaked()).unwrap_or(false))
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let mut db = DnsDb::new();
+        let addr = db.register("example.com");
+        let r = db.resolve("EXAMPLE.com").unwrap();
+        assert_eq!(r.address, addr);
+        assert_eq!(r.chain, vec!["example.com"]);
+        assert!(!r.is_cloaked());
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut db = DnsDb::new();
+        let a1 = db.register("a.com");
+        let a2 = db.register("a.com");
+        assert_eq!(a1, a2);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn nxdomain() {
+        let db = DnsDb::new();
+        assert_eq!(
+            db.resolve("nope.com"),
+            Err(DnsError::NxDomain("nope.com".into()))
+        );
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn cname_chain() {
+        let mut db = DnsDb::new();
+        db.register("tracker.net");
+        db.register_cname("metrics.news.com", "edge.tracker.net");
+        db.register_cname("edge.tracker.net", "tracker.net");
+        let r = db.resolve("metrics.news.com").unwrap();
+        assert_eq!(
+            r.chain,
+            vec!["metrics.news.com", "edge.tracker.net", "tracker.net"]
+        );
+        assert_eq!(r.canonical(), "tracker.net");
+        assert!(r.is_cloaked());
+    }
+
+    #[test]
+    fn same_site_cname_not_cloaked() {
+        let mut db = DnsDb::new();
+        db.register("cdn.example.com");
+        db.register_cname("www.example.com", "cdn.example.com");
+        let r = db.resolve("www.example.com").unwrap();
+        assert!(!r.is_cloaked());
+    }
+
+    #[test]
+    fn cname_loop_detected() {
+        let mut db = DnsDb::new();
+        db.register_cname("a.com", "b.com");
+        db.register_cname("b.com", "a.com");
+        assert_eq!(
+            db.resolve("a.com"),
+            Err(DnsError::ChainTooLong("a.com".into()))
+        );
+    }
+
+    #[test]
+    fn dangling_cname_is_nxdomain() {
+        let mut db = DnsDb::new();
+        db.register_cname("x.com", "gone.com");
+        assert_eq!(
+            db.resolve("x.com"),
+            Err(DnsError::NxDomain("gone.com".into()))
+        );
+    }
+
+    #[test]
+    fn cloaked_names_listing() {
+        let mut db = DnsDb::new();
+        db.register("tracker.net");
+        db.register("publisher.com");
+        db.register_cname("stats.publisher.com", "tracker.net");
+        db.register_cname("www.publisher.com", "publisher.com");
+        assert_eq!(db.cloaked_names(), vec!["stats.publisher.com".to_string()]);
+    }
+
+    #[test]
+    fn distinct_addresses() {
+        let mut db = DnsDb::new();
+        assert_ne!(db.register("a.com"), db.register("b.com"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Connection-fault injection.
+//!
+//! §3.3 of the paper: "CrumbCruncher fails to connect to the website because
+//! of a network error (ECONNREFUSED, ECONNRESET, etc.) … which occurred on
+//! 3.3% of the sites it attempted to visit", and the paper expects failure
+//! probability to be independent of the walk step. [`FaultModel`] reproduces
+//! exactly that process: an i.i.d. Bernoulli failure per connection attempt,
+//! deterministic given the run seed and attempt sequence.
+
+use cc_util::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Simulated network error kinds (the classes named in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetError {
+    /// Connection refused by the peer.
+    ConnRefused,
+    /// Connection reset mid-handshake.
+    ConnReset,
+    /// Connection timed out.
+    TimedOut,
+    /// Name resolution failed.
+    NameResolution,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NetError::ConnRefused => "ECONNREFUSED",
+            NetError::ConnReset => "ECONNRESET",
+            NetError::TimedOut => "ETIMEDOUT",
+            NetError::NameResolution => "EAI_NONAME",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// An i.i.d. connection-fault process.
+///
+/// Besides the plain per-attempt draw ([`FaultModel::attempt`]), the model
+/// offers a **host-keyed** mode ([`FaultModel::attempt_host`]): whether a
+/// host is reachable is a deterministic function of `(salt, host)`, so all
+/// crawlers sharing a salt observe the *same* outage — matching the paper,
+/// which counts failures per *site visited* (a down site is down for every
+/// crawler that tries it).
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    rng: DetRng,
+    salt: u64,
+    failure_rate: f64,
+}
+
+impl FaultModel {
+    /// Build a fault model with a per-attempt failure probability.
+    pub fn new(rng: DetRng, failure_rate: f64) -> Self {
+        let mut seed_rng = rng.clone();
+        let salt = seed_rng.next();
+        FaultModel {
+            rng,
+            salt,
+            failure_rate,
+        }
+    }
+
+    /// A model that never fails (for tests needing clean runs).
+    pub fn none(rng: DetRng) -> Self {
+        FaultModel::new(rng, 0.0)
+    }
+
+    /// The configured failure rate.
+    pub fn failure_rate(&self) -> f64 {
+        self.failure_rate
+    }
+
+    /// Decide the fate of one connection attempt.
+    ///
+    /// Returns `Ok(())` or one of the error kinds, with `ECONNREFUSED` and
+    /// `ECONNRESET` dominating as in the paper's error description.
+    pub fn attempt(&mut self) -> Result<(), NetError> {
+        if !self.rng.chance(self.failure_rate) {
+            return Ok(());
+        }
+        let draw = self.rng.next();
+        Err(self.error_kind_for(draw))
+    }
+
+    /// Host-keyed attempt: deterministic per `(salt, host)`.
+    pub fn attempt_host(&self, host: &str) -> Result<(), NetError> {
+        let h = host_hash(self.salt, host);
+        // Map the hash to [0, 1) and compare against the rate.
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u >= self.failure_rate {
+            Ok(())
+        } else {
+            Err(self.error_kind_for(h))
+        }
+    }
+
+    fn error_kind_for(&self, h: u64) -> NetError {
+        match h % 20 {
+            0..=8 => NetError::ConnRefused,
+            9..=15 => NetError::ConnReset,
+            16..=18 => NetError::TimedOut,
+            _ => NetError::NameResolution,
+        }
+    }
+}
+
+/// FNV-1a over the salt and host bytes.
+fn host_hash(salt: u64, host: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt.rotate_left(17);
+    for &b in host.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Final avalanche so low bits are well mixed.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let mut fm = FaultModel::none(DetRng::new(1));
+        for _ in 0..10_000 {
+            assert!(fm.attempt().is_ok());
+        }
+    }
+
+    #[test]
+    fn full_rate_always_fails() {
+        let mut fm = FaultModel::new(DetRng::new(2), 1.0);
+        for _ in 0..100 {
+            assert!(fm.attempt().is_err());
+        }
+    }
+
+    #[test]
+    fn rate_is_approximately_respected() {
+        let mut fm = FaultModel::new(DetRng::new(3), 0.033);
+        let fails = (0..100_000).filter(|_| fm.attempt().is_err()).count();
+        let rate = fails as f64 / 100_000.0;
+        assert!((rate - 0.033).abs() < 0.004, "observed rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = FaultModel::new(DetRng::new(7), 0.5);
+        let mut b = FaultModel::new(DetRng::new(7), 0.5);
+        for _ in 0..1_000 {
+            assert_eq!(a.attempt(), b.attempt());
+        }
+    }
+
+    #[test]
+    fn error_kinds_all_occur() {
+        let mut fm = FaultModel::new(DetRng::new(11), 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            seen.insert(fm.attempt().unwrap_err());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NetError::ConnRefused.to_string(), "ECONNREFUSED");
+        assert_eq!(NetError::ConnReset.to_string(), "ECONNRESET");
+    }
+
+    #[test]
+    fn host_keyed_faults_are_stable_and_shared() {
+        let a = FaultModel::new(DetRng::new(5), 0.5);
+        let b = FaultModel::new(DetRng::new(5), 0.5);
+        for host in ["a.com", "b.net", "r.trk.io", "www.shop.world"] {
+            // Same salt (same seed) ⇒ same verdict, call after call and
+            // across crawler instances.
+            assert_eq!(a.attempt_host(host), b.attempt_host(host));
+            assert_eq!(a.attempt_host(host), a.attempt_host(host));
+        }
+    }
+
+    #[test]
+    fn host_keyed_rate_approximately_respected() {
+        let fm = FaultModel::new(DetRng::new(9), 0.033);
+        let fails = (0..50_000)
+            .filter(|i| fm.attempt_host(&format!("site-{i}.com")).is_err())
+            .count();
+        let rate = fails as f64 / 50_000.0;
+        assert!((rate - 0.033).abs() < 0.005, "observed {rate}");
+    }
+
+    #[test]
+    fn different_salts_differ() {
+        let a = FaultModel::new(DetRng::new(1), 0.5);
+        let b = FaultModel::new(DetRng::new(2), 0.5);
+        let disagreements = (0..100)
+            .filter(|i| {
+                let h = format!("h{i}.com");
+                a.attempt_host(&h).is_ok() != b.attempt_host(&h).is_ok()
+            })
+            .count();
+        assert!(disagreements > 10, "salts should decorrelate outages");
+    }
+}

@@ -1,0 +1,86 @@
+//! A simple request-latency model.
+//!
+//! The paper's crawl pacing (a full 10,000-seeder crawl "takes approximately
+//! three days" on twelve EC2 instances; each destination page is observed for
+//! ten seconds) is reproduced on the simulated clock: each fetch advances
+//! simulated time by a sampled latency, and each page visit by a dwell time.
+//! Benchmarks use the model to keep workload timing realistic in shape.
+
+use crate::time::SimDuration;
+use cc_util::DetRng;
+
+/// Log-normal-ish latency sampler (base + multiplicative jitter).
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    rng: DetRng,
+    base_ms: u64,
+    jitter_ms: u64,
+}
+
+impl LatencyModel {
+    /// Build a model with a base latency and a jitter bound (both ms).
+    pub fn new(rng: DetRng, base_ms: u64, jitter_ms: u64) -> Self {
+        LatencyModel {
+            rng,
+            base_ms,
+            jitter_ms,
+        }
+    }
+
+    /// Defaults shaped like a transatlantic HTTP fetch: ~80ms ± 120ms tail.
+    pub fn default_web(rng: DetRng) -> Self {
+        LatencyModel::new(rng, 80, 120)
+    }
+
+    /// Sample one request latency.
+    pub fn sample(&mut self) -> SimDuration {
+        // Square the uniform draw to skew toward the base (long-tail-ish).
+        let u = self.rng.f64();
+        let jitter = (u * u * self.jitter_ms as f64) as u64;
+        SimDuration::from_millis(self.base_ms + jitter)
+    }
+
+    /// The paper's fixed ten-second post-navigation observation dwell (§3.1).
+    pub fn page_dwell() -> SimDuration {
+        SimDuration::from_secs(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_bounds() {
+        let mut m = LatencyModel::new(DetRng::new(1), 50, 100);
+        for _ in 0..10_000 {
+            let d = m.sample().as_millis();
+            assert!((50..150).contains(&d), "latency {d}");
+        }
+    }
+
+    #[test]
+    fn jitter_skews_low() {
+        let mut m = LatencyModel::new(DetRng::new(2), 0, 100);
+        let mean: f64 = (0..10_000)
+            .map(|_| m.sample().as_millis() as f64)
+            .sum::<f64>()
+            / 10_000.0;
+        // E[u^2 * 100] = 100/3 ≈ 33.
+        assert!((mean - 33.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn dwell_is_ten_seconds() {
+        assert_eq!(LatencyModel::page_dwell(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = LatencyModel::default_web(DetRng::new(3));
+        let mut b = LatencyModel::default_web(DetRng::new(3));
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+}

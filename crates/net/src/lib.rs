@@ -1,0 +1,28 @@
+//! # cc-net
+//!
+//! The simulated network substrate underneath the synthetic web:
+//!
+//! * [`time`] — a deterministic simulated clock ([`SimClock`]) and instant
+//!   type ([`SimTime`]). Cookie lifetimes, session expiry, and the paper's
+//!   lifetime-based baseline (§3.7.1: tokens living less than 90 days /
+//!   one month) are all measured against this clock.
+//! * [`dns`] — a DNS database with `A` and `CNAME` records, including
+//!   chain resolution. CNAME support powers the CNAME-cloaking extension
+//!   (§8.3): a first-party subdomain aliasing to a tracker domain.
+//! * [`fault`] — connection-fault injection. The paper reports that 3.3% of
+//!   site visits failed with network errors (`ECONNREFUSED`, `ECONNRESET`,
+//!   §3.3); the fault model reproduces that failure process.
+//! * [`latency`] — a simple latency model so benchmark timings have a
+//!   realistic network-shaped component.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dns;
+pub mod fault;
+pub mod latency;
+pub mod time;
+
+pub use dns::{DnsDb, DnsRecord, Resolution};
+pub use fault::{FaultModel, NetError};
+pub use time::{SimClock, SimDuration, SimTime};

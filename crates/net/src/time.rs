@@ -1,0 +1,237 @@
+//! Simulated time.
+//!
+//! Everything in CrumbCruncher-RS that cares about time — cookie expiry,
+//! session lifetimes, walk pacing, the 90-day/30-day lifetime baselines —
+//! reads a [`SimClock`] rather than the wall clock, so runs are reproducible
+//! and "90 days" of cookie lifetime costs nothing to simulate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Milliseconds in common units.
+const MS_PER_SEC: u64 = 1_000;
+const MS_PER_MIN: u64 = 60 * MS_PER_SEC;
+const MS_PER_HOUR: u64 = 60 * MS_PER_MIN;
+const MS_PER_DAY: u64 = 24 * MS_PER_HOUR;
+
+/// A span of simulated time, millisecond precision.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * MS_PER_SEC)
+    }
+
+    /// From minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * MS_PER_MIN)
+    }
+
+    /// From hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * MS_PER_HOUR)
+    }
+
+    /// From days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * MS_PER_DAY)
+    }
+
+    /// Whole milliseconds.
+    pub const fn as_millis(&self) -> u64 {
+        self.0
+    }
+
+    /// Whole days (truncating).
+    pub const fn as_days(&self) -> u64 {
+        self.0 / MS_PER_DAY
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0;
+        if ms >= MS_PER_DAY {
+            write!(f, "{:.1}d", ms as f64 / MS_PER_DAY as f64)
+        } else if ms >= MS_PER_HOUR {
+            write!(f, "{:.1}h", ms as f64 / MS_PER_HOUR as f64)
+        } else if ms >= MS_PER_SEC {
+            write!(f, "{:.1}s", ms as f64 / MS_PER_SEC as f64)
+        } else {
+            write!(f, "{ms}ms")
+        }
+    }
+}
+
+impl std::ops::Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+/// An instant on the simulated timeline, millisecond precision.
+///
+/// The origin (`SimTime(0)`) is the start of a study run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin of the simulated timeline.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Add a duration.
+    pub const fn plus(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+
+    /// Time elapsed since an earlier instant (saturating).
+    pub const fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Milliseconds since the epoch.
+    pub const fn as_millis(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+/// A shared, thread-safe simulated clock.
+///
+/// Cloning a `SimClock` yields a handle to the *same* clock (the crawler
+/// threads and the controller all advance one shared timeline).
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ms: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// New clock at the epoch.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// New clock starting at a given instant.
+    pub fn starting_at(t: SimTime) -> Self {
+        let clock = SimClock::new();
+        clock.now_ms.store(t.0, Ordering::SeqCst);
+        clock
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now_ms.load(Ordering::SeqCst))
+    }
+
+    /// Advance the clock by a duration and return the new instant.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let new = self.now_ms.fetch_add(d.0, Ordering::SeqCst) + d.0;
+        SimTime(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_mins(1).as_millis(), 60_000);
+        assert_eq!(SimDuration::from_hours(1).as_millis(), 3_600_000);
+        assert_eq!(SimDuration::from_days(90).as_days(), 90);
+    }
+
+    #[test]
+    fn duration_arith() {
+        assert_eq!(
+            SimDuration::from_secs(1) + SimDuration::from_millis(500),
+            SimDuration::from_millis(1_500)
+        );
+        assert_eq!(SimDuration::from_days(1) * 30, SimDuration::from_days(30));
+    }
+
+    #[test]
+    fn time_since_saturates() {
+        let a = SimTime(100);
+        let b = SimTime(400);
+        assert_eq!(b.since(a), SimDuration(300));
+        assert_eq!(a.since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn clock_advances_shared() {
+        let c1 = SimClock::new();
+        let c2 = c1.clone();
+        assert_eq!(c1.now(), SimTime::EPOCH);
+        c1.advance(SimDuration::from_secs(10));
+        assert_eq!(c2.now(), SimTime(10_000));
+        let t = c2.advance(SimDuration::from_secs(5));
+        assert_eq!(t, SimTime(15_000));
+        assert_eq!(c1.now(), SimTime(15_000));
+    }
+
+    #[test]
+    fn clock_threadsafe() {
+        let clock = SimClock::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = clock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(SimDuration::from_millis(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.now(), SimTime(4_000));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_millis(42)), "42ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.0s");
+        assert_eq!(format!("{}", SimDuration::from_days(90)), "90.0d");
+        assert_eq!(format!("{}", SimTime(1_000)), "t+1.0s");
+    }
+
+    #[test]
+    fn starting_at() {
+        let c = SimClock::starting_at(SimTime(5_000));
+        assert_eq!(c.now(), SimTime(5_000));
+    }
+}

@@ -1,0 +1,173 @@
+//! Host names.
+//!
+//! The crawler compares the **FQDN** each crawler lands on at the end of a
+//! step (§3.3), while the pipeline compares **registered domains** when
+//! deciding whether a token crossed a first-party boundary (§3.6). A [`Host`]
+//! owns a normalized (lowercased) FQDN and exposes both views.
+
+use crate::psl;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated, lowercase host name (FQDN).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Host(String);
+
+/// Errors from [`Host::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// Empty host string.
+    Empty,
+    /// A label (dot-separated piece) was empty or too long.
+    BadLabel(String),
+    /// The host contained a character outside `[a-z0-9.-]`.
+    BadChar(char),
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::Empty => write!(f, "empty host"),
+            HostError::BadLabel(l) => write!(f, "bad host label: {l:?}"),
+            HostError::BadChar(c) => write!(f, "bad host character: {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+impl Host {
+    /// Parse and normalize a host name.
+    pub fn parse(raw: &str) -> Result<Self, HostError> {
+        if raw.is_empty() {
+            return Err(HostError::Empty);
+        }
+        let lower = raw.to_ascii_lowercase();
+        for c in lower.chars() {
+            if !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-') {
+                return Err(HostError::BadChar(c));
+            }
+        }
+        for label in lower.split('.') {
+            if label.is_empty()
+                || label.len() > 63
+                || label.starts_with('-')
+                || label.ends_with('-')
+            {
+                return Err(HostError::BadLabel(label.to_string()));
+            }
+        }
+        Ok(Host(lower))
+    }
+
+    /// The full FQDN as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The registered domain (eTLD+1) of this host.
+    pub fn registered_domain(&self) -> String {
+        psl::registered_domain(&self.0)
+    }
+
+    /// Whether two hosts share a registered domain — i.e. are the *same*
+    /// first-party context in the paper's sense.
+    pub fn same_site(&self, other: &Host) -> bool {
+        self.registered_domain() == other.registered_domain()
+    }
+
+    /// Whether `self` is a subdomain of (or equal to) `parent`.
+    pub fn is_subdomain_of(&self, parent: &str) -> bool {
+        let parent = parent.to_ascii_lowercase();
+        self.0 == parent || self.0.ends_with(&format!(".{parent}"))
+    }
+
+    /// The dot-separated labels, leftmost first.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+}
+
+impl fmt::Display for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Host {
+    type Err = HostError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Host::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalizes_case() {
+        let h = Host::parse("WWW.Example.COM").unwrap();
+        assert_eq!(h.as_str(), "www.example.com");
+        assert_eq!(h.to_string(), "www.example.com");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert_eq!(Host::parse(""), Err(HostError::Empty));
+        assert!(matches!(Host::parse("a..b"), Err(HostError::BadLabel(_))));
+        assert!(matches!(Host::parse("-a.com"), Err(HostError::BadLabel(_))));
+        assert!(matches!(Host::parse("a-.com"), Err(HostError::BadLabel(_))));
+        assert!(matches!(
+            Host::parse("a b.com"),
+            Err(HostError::BadChar(' '))
+        ));
+        assert!(matches!(
+            Host::parse("exämple.com"),
+            Err(HostError::BadChar(_))
+        ));
+    }
+
+    #[test]
+    fn long_label_rejected() {
+        let long = "a".repeat(64);
+        assert!(matches!(
+            Host::parse(&format!("{long}.com")),
+            Err(HostError::BadLabel(_))
+        ));
+        let ok = "a".repeat(63);
+        assert!(Host::parse(&format!("{ok}.com")).is_ok());
+    }
+
+    #[test]
+    fn registered_domain_and_same_site() {
+        let a = Host::parse("ads.tracker.example.com").unwrap();
+        let b = Host::parse("www.example.com").unwrap();
+        let c = Host::parse("example.org").unwrap();
+        assert_eq!(a.registered_domain(), "example.com");
+        assert!(a.same_site(&b));
+        assert!(!a.same_site(&c));
+    }
+
+    #[test]
+    fn subdomain_check() {
+        let h = Host::parse("l.instagram.com").unwrap();
+        assert!(h.is_subdomain_of("instagram.com"));
+        assert!(h.is_subdomain_of("l.instagram.com"));
+        assert!(!h.is_subdomain_of("nstagram.com"));
+        assert!(!h.is_subdomain_of("gram.com"));
+    }
+
+    #[test]
+    fn labels_iterate() {
+        let h = Host::parse("a.b.c").unwrap();
+        assert_eq!(h.labels().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn from_str_works() {
+        let h: Host = "shop.example.co.uk".parse().unwrap();
+        assert_eq!(h.registered_domain(), "example.co.uk");
+    }
+}

@@ -1,0 +1,28 @@
+//! # cc-url
+//!
+//! A from-scratch URL model for CrumbCruncher-RS.
+//!
+//! The paper's measurement hinges on URL mechanics: UIDs are smuggled in
+//! **query parameters** of navigation requests (§3.6), "different first-party
+//! contexts" are defined by the **registered domain** (eTLD+1) of the sites
+//! involved, and crawler synchronization compares anchors by **href without
+//! query parameters** (§3.3). This crate provides exactly those primitives:
+//!
+//! * [`percent`] — percent-encoding/decoding for path and query components;
+//! * [`host`] — host names, FQDNs, and label validation;
+//! * [`psl`] — an embedded miniature public-suffix list and the
+//!   eTLD+1 (registered domain) computation;
+//! * [`Url`] — parse / serialize / manipulate URLs, including ordered query
+//!   parameter editing (the defense crate strips and rewrites parameters).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod host;
+pub mod percent;
+pub mod psl;
+mod url;
+
+pub use host::Host;
+pub use psl::registered_domain;
+pub use url::{parse_query, ParseError, Scheme, Url};

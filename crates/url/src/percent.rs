@@ -1,0 +1,155 @@
+//! Percent-encoding and decoding.
+//!
+//! We implement the subset of RFC 3986 the measurement needs: encoding of
+//! query components (where smuggled payloads — often URL-encoded JSON — live)
+//! and lossy-tolerant decoding, because real trackers emit sloppy encodings
+//! and the token extractor (§3.6) must not crash on them.
+
+/// Characters that never need escaping in a query component.
+#[inline]
+fn is_query_safe(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~')
+}
+
+/// Percent-encode a string for use as a query key or value.
+pub fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if is_query_safe(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(hex_digit(b >> 4));
+            out.push(hex_digit(b & 0x0F));
+        }
+    }
+    out
+}
+
+#[inline]
+fn hex_digit(nibble: u8) -> char {
+    match nibble {
+        0..=9 => (b'0' + nibble) as char,
+        _ => (b'A' + nibble - 10) as char,
+    }
+}
+
+#[inline]
+fn from_hex(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-decode a string.
+///
+/// Tolerant: malformed escapes (`%G1`, trailing `%`) pass through verbatim
+/// rather than erroring, and `+` decodes to a space as in
+/// `application/x-www-form-urlencoded` (trackers use both conventions).
+/// Invalid UTF-8 byte sequences are replaced with U+FFFD.
+pub fn decode_component(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                // A valid escape needs two hex digits after the '%'.
+                if i + 2 < bytes.len() {
+                    if let (Some(hi), Some(lo)) = (from_hex(bytes[i + 1]), from_hex(bytes[i + 2])) {
+                        out.push((hi << 4) | lo);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Whether a string contains any percent escape that would decode to a
+/// different string — used by the token extractor to decide whether another
+/// decode round is worthwhile.
+pub fn looks_encoded(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    bytes.iter().enumerate().any(|(i, &b)| {
+        b == b'%'
+            && i + 2 < bytes.len()
+            && from_hex(bytes[i + 1]).is_some()
+            && from_hex(bytes[i + 2]).is_some()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ascii() {
+        let s = "hello world/?&=#";
+        assert_eq!(decode_component(&encode_component(s)), s);
+    }
+
+    #[test]
+    fn roundtrip_unicode() {
+        let s = "héllo, wörld ✓";
+        assert_eq!(decode_component(&encode_component(s)), s);
+    }
+
+    #[test]
+    fn encode_safe_chars_untouched() {
+        assert_eq!(encode_component("abc-XYZ_0.9~"), "abc-XYZ_0.9~");
+    }
+
+    #[test]
+    fn encode_reserved() {
+        assert_eq!(encode_component("a=b&c"), "a%3Db%26c");
+        assert_eq!(encode_component(" "), "%20");
+    }
+
+    #[test]
+    fn decode_plus_as_space() {
+        assert_eq!(decode_component("a+b"), "a b");
+    }
+
+    #[test]
+    fn decode_malformed_passthrough() {
+        assert_eq!(decode_component("100%"), "100%");
+        assert_eq!(decode_component("%G1ok"), "%G1ok");
+        assert_eq!(decode_component("%2"), "%2");
+        assert_eq!(decode_component("%%41"), "%A");
+    }
+
+    #[test]
+    fn decode_case_insensitive_hex() {
+        assert_eq!(decode_component("%2f%2F"), "//");
+    }
+
+    #[test]
+    fn decode_invalid_utf8_replaced() {
+        let out = decode_component("%FF%FE");
+        assert!(out.contains('\u{FFFD}'));
+    }
+
+    #[test]
+    fn looks_encoded_detection() {
+        assert!(looks_encoded("a%3Db"));
+        assert!(!looks_encoded("plain"));
+        assert!(!looks_encoded("100%"));
+        assert!(!looks_encoded("%zz"));
+    }
+}

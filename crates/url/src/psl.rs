@@ -1,0 +1,140 @@
+//! Miniature public-suffix list and eTLD+1 computation.
+//!
+//! The real study relies on a registered-domain notion ("different
+//! first-party contexts" in §3.6, partitioned-storage keys, dedicated-smuggler
+//! classification in §5.1). The full Mozilla PSL is thousands of rules; the
+//! synthetic web only mints hosts under the suffixes embedded here, chosen to
+//! cover every suffix appearing in the paper's tables (`.com`, `.net`, `.org`,
+//! `.ru`, `.link`, `.world`, `.ca`, `.co.uk`, …) plus enough multi-label
+//! suffixes to exercise the suffix-matching logic.
+
+/// Multi-label public suffixes, longest-match-first semantics.
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.jp", "ne.jp", "or.jp",
+    "com.br", "com.cn", "com.mx", "co.in", "co.kr", "com.tr",
+];
+
+/// Single-label public suffixes.
+const SINGLE_LABEL_SUFFIXES: &[&str] = &[
+    "com", "net", "org", "edu", "gov", "mil", "int", "io", "co", "ru", "de", "fr", "uk", "ca",
+    "au", "jp", "cn", "br", "mx", "in", "kr", "tr", "it", "es", "nl", "se", "no", "pl", "ch", "at",
+    "be", "dk", "fi", "link", "world", "info", "biz", "tv", "me", "app", "dev", "ai", "news",
+    "shop", "store", "online", "site", "xyz", "club", "live",
+];
+
+/// Whether `domain` is exactly a public suffix.
+pub fn is_public_suffix(domain: &str) -> bool {
+    let d = domain.to_ascii_lowercase();
+    MULTI_LABEL_SUFFIXES.contains(&d.as_str()) || SINGLE_LABEL_SUFFIXES.contains(&d.as_str())
+}
+
+/// Compute the registered domain (eTLD+1) of a host.
+///
+/// Falls back gracefully for unknown suffixes: the last two labels are
+/// treated as the registered domain (matching common crawler practice when a
+/// suffix is absent from the PSL). A bare suffix or single label is returned
+/// unchanged.
+pub fn registered_domain(host: &str) -> String {
+    let host = host.to_ascii_lowercase();
+    let labels: Vec<&str> = host.split('.').collect();
+    if labels.len() <= 1 {
+        return host;
+    }
+    // Try multi-label suffixes first (longest match wins).
+    for suffix in MULTI_LABEL_SUFFIXES {
+        let suffix_labels = suffix.split('.').count();
+        if labels.len() > suffix_labels && host.ends_with(&format!(".{suffix}")) {
+            let keep = suffix_labels + 1;
+            return labels[labels.len() - keep..].join(".");
+        }
+        if host == *suffix {
+            return host;
+        }
+    }
+    // Single-label suffix, or unknown TLD fallback: keep last two labels.
+    labels[labels.len() - 2..].join(".")
+}
+
+/// The public-suffix portion of a host (e.g. `co.uk` for `a.b.co.uk`).
+pub fn public_suffix(host: &str) -> String {
+    let reg = registered_domain(host);
+    match reg.split_once('.') {
+        Some((_, suffix)) => suffix.to_string(),
+        None => reg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_com() {
+        assert_eq!(registered_domain("www.example.com"), "example.com");
+        assert_eq!(registered_domain("example.com"), "example.com");
+        assert_eq!(registered_domain("a.b.c.example.com"), "example.com");
+    }
+
+    #[test]
+    fn multi_label_suffix() {
+        assert_eq!(registered_domain("www.example.co.uk"), "example.co.uk");
+        assert_eq!(registered_domain("deep.sub.example.co.uk"), "example.co.uk");
+        // A host that IS a suffix stays as-is.
+        assert_eq!(registered_domain("co.uk"), "co.uk");
+    }
+
+    #[test]
+    fn uk_without_co_prefix() {
+        // `service.gov.uk`-style: gov.uk is a suffix.
+        assert_eq!(registered_domain("www.service.gov.uk"), "service.gov.uk");
+    }
+
+    #[test]
+    fn paper_table3_suffixes() {
+        // Suffixes appearing in Table 3 of the paper.
+        assert_eq!(registered_domain("btds.zog.link"), "zog.link");
+        assert_eq!(
+            registered_domain("swallowcrockerybless.com"),
+            "swallowcrockerybless.com"
+        );
+        assert_eq!(registered_domain("ads.adfox.ru"), "adfox.ru");
+        assert_eq!(registered_domain("kuwosm.world.tmall.com"), "tmall.com");
+        assert_eq!(registered_domain("reseau.umontreal.ca"), "umontreal.ca");
+        assert_eq!(
+            registered_domain("adclick.g.doubleclick.net"),
+            "doubleclick.net"
+        );
+    }
+
+    #[test]
+    fn unknown_tld_fallback() {
+        assert_eq!(registered_domain("x.y.zunknowntld"), "y.zunknowntld");
+    }
+
+    #[test]
+    fn single_label() {
+        assert_eq!(registered_domain("localhost"), "localhost");
+        assert_eq!(registered_domain("com"), "com");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(registered_domain("WWW.EXAMPLE.COM"), "example.com");
+    }
+
+    #[test]
+    fn is_public_suffix_checks() {
+        assert!(is_public_suffix("com"));
+        assert!(is_public_suffix("co.uk"));
+        assert!(is_public_suffix("CO.UK"));
+        assert!(!is_public_suffix("example.com"));
+        assert!(!is_public_suffix("uk.co"));
+    }
+
+    #[test]
+    fn public_suffix_extraction() {
+        assert_eq!(public_suffix("www.example.co.uk"), "co.uk");
+        assert_eq!(public_suffix("www.example.com"), "com");
+        assert_eq!(public_suffix("localhost"), "localhost");
+    }
+}

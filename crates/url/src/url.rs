@@ -1,0 +1,400 @@
+//! The [`Url`] type: parse, serialize, and edit URLs.
+//!
+//! Supports the `http`/`https` subset the study needs, with ordered query
+//! parameters. Order matters twice: serialization must round-trip so crawler
+//! records are comparable, and the defenses (query stripping, debouncing)
+//! must rewrite parameters without disturbing the rest.
+
+use crate::host::{Host, HostError};
+use crate::percent::{decode_component, encode_component};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// URL scheme; the simulated web speaks HTTP(S) only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Plain HTTP.
+    Http,
+    /// HTTP over TLS.
+    Https,
+}
+
+impl Scheme {
+    /// Scheme name without the `://`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+        }
+    }
+
+    /// Default port for the scheme.
+    pub fn default_port(&self) -> u16 {
+        match self {
+            Scheme::Http => 80,
+            Scheme::Https => 443,
+        }
+    }
+}
+
+/// Errors from [`Url::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The URL did not start with a supported scheme.
+    BadScheme,
+    /// Host failed validation.
+    BadHost(HostError),
+    /// Port was present but not a valid u16.
+    BadPort,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadScheme => write!(f, "unsupported or missing scheme"),
+            ParseError::BadHost(e) => write!(f, "invalid host: {e}"),
+            ParseError::BadPort => write!(f, "invalid port"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed absolute URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    /// Scheme (http/https).
+    pub scheme: Scheme,
+    /// Host (FQDN).
+    pub host: Host,
+    /// Explicit port, if any.
+    pub port: Option<u16>,
+    /// Path, always beginning with `/`.
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    query: Vec<(String, String)>,
+    /// Fragment, without the `#`.
+    pub fragment: Option<String>,
+}
+
+impl Url {
+    /// Parse an absolute URL string.
+    pub fn parse(raw: &str) -> Result<Self, ParseError> {
+        let raw = raw.trim();
+        let (scheme, rest) = if let Some(r) = raw.strip_prefix("https://") {
+            (Scheme::Https, r)
+        } else if let Some(r) = raw.strip_prefix("http://") {
+            (Scheme::Http, r)
+        } else {
+            return Err(ParseError::BadScheme);
+        };
+
+        // Split off fragment first, then query, then path.
+        let (rest, fragment) = match rest.split_once('#') {
+            Some((r, f)) => (r, Some(f.to_string())),
+            None => (rest, None),
+        };
+        let (rest, query_str) = match rest.split_once('?') {
+            Some((r, q)) => (r, Some(q)),
+            None => (rest, None),
+        };
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], rest[i..].to_string()),
+            None => (rest, "/".to_string()),
+        };
+        let (host_str, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p.parse().map_err(|_| ParseError::BadPort)?;
+                (h, Some(port))
+            }
+            None => (authority, None),
+        };
+        let host = Host::parse(host_str).map_err(ParseError::BadHost)?;
+        let query = query_str.map(parse_query).unwrap_or_default();
+        Ok(Url {
+            scheme,
+            host,
+            port,
+            path,
+            query,
+            fragment,
+        })
+    }
+
+    /// Construct a URL programmatically from parts.
+    ///
+    /// # Panics
+    /// Panics if `host` is not a valid host name (builder misuse).
+    pub fn build(scheme: Scheme, host: &str, path: &str) -> Self {
+        let path = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("/{path}")
+        };
+        Url {
+            scheme,
+            host: Host::parse(host).expect("Url::build requires a valid host"),
+            port: None,
+            path,
+            query: Vec::new(),
+            fragment: None,
+        }
+    }
+
+    /// Shorthand for `Url::build(Scheme::Https, host, path)`.
+    pub fn https(host: &str, path: &str) -> Self {
+        Url::build(Scheme::Https, host, path)
+    }
+
+    /// The registered domain (eTLD+1) of the URL's host.
+    pub fn registered_domain(&self) -> String {
+        self.host.registered_domain()
+    }
+
+    /// Whether two URLs belong to the same first-party context.
+    pub fn same_site(&self, other: &Url) -> bool {
+        self.host.same_site(&other.host)
+    }
+
+    /// Ordered, decoded query parameters.
+    pub fn query(&self) -> &[(String, String)] {
+        &self.query
+    }
+
+    /// The first value for a query key, if present.
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Append a query parameter (decoded form).
+    pub fn query_set(&mut self, key: &str, value: &str) {
+        self.query.push((key.to_string(), value.to_string()));
+    }
+
+    /// Builder-style [`Url::query_set`].
+    #[must_use]
+    pub fn with_query(mut self, key: &str, value: &str) -> Self {
+        self.query_set(key, value);
+        self
+    }
+
+    /// Remove every parameter whose key satisfies the predicate; returns the
+    /// removed pairs (used by the query-stripping defense, §7.2).
+    pub fn query_strip<F: FnMut(&str) -> bool>(&mut self, mut pred: F) -> Vec<(String, String)> {
+        let mut removed = Vec::new();
+        self.query.retain(|(k, v)| {
+            if pred(k) {
+                removed.push((k.clone(), v.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Remove all query parameters.
+    pub fn clear_query(&mut self) {
+        self.query.clear();
+    }
+
+    /// This URL without query or fragment — the form used by the element
+    /// matching heuristic "href values are the same (not including query
+    /// parameters)" (§3.3).
+    pub fn without_query(&self) -> Url {
+        Url {
+            scheme: self.scheme,
+            host: self.host.clone(),
+            port: self.port,
+            path: self.path.clone(),
+            query: Vec::new(),
+            fragment: None,
+        }
+    }
+
+    /// `host + path` string, the "unique URL path" unit of Table 2.
+    pub fn host_and_path(&self) -> String {
+        format!("{}{}", self.host, self.path)
+    }
+
+    /// Serialize back to a string (percent-encoding query components).
+    pub fn to_url_string(&self) -> String {
+        let mut out = format!("{}://{}", self.scheme.as_str(), self.host);
+        if let Some(p) = self.port {
+            out.push(':');
+            out.push_str(&p.to_string());
+        }
+        out.push_str(&self.path);
+        if !self.query.is_empty() {
+            out.push('?');
+            let encoded: Vec<String> = self
+                .query
+                .iter()
+                .map(|(k, v)| {
+                    if v.is_empty() {
+                        encode_component(k)
+                    } else {
+                        format!("{}={}", encode_component(k), encode_component(v))
+                    }
+                })
+                .collect();
+            out.push_str(&encoded.join("&"));
+        }
+        if let Some(f) = &self.fragment {
+            out.push('#');
+            out.push_str(f);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_url_string())
+    }
+}
+
+impl std::str::FromStr for Url {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Url::parse(s)
+    }
+}
+
+/// Parse a raw query string into decoded key/value pairs.
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|piece| !piece.is_empty())
+        .map(|piece| match piece.split_once('=') {
+            Some((k, v)) => (decode_component(k), decode_component(v)),
+            None => (decode_component(piece), String::new()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_url() {
+        let u = Url::parse("https://www.example.com:8443/a/b?x=1&y=two#frag").unwrap();
+        assert_eq!(u.scheme, Scheme::Https);
+        assert_eq!(u.host.as_str(), "www.example.com");
+        assert_eq!(u.port, Some(8443));
+        assert_eq!(u.path, "/a/b");
+        assert_eq!(u.query_get("x"), Some("1"));
+        assert_eq!(u.query_get("y"), Some("two"));
+        assert_eq!(u.fragment.as_deref(), Some("frag"));
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let u = Url::parse("http://example.com").unwrap();
+        assert_eq!(u.path, "/");
+        assert!(u.query().is_empty());
+        assert_eq!(u.port, None);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Url::parse("ftp://x.com"), Err(ParseError::BadScheme));
+        assert_eq!(Url::parse("example.com"), Err(ParseError::BadScheme));
+        assert!(matches!(
+            Url::parse("https://"),
+            Err(ParseError::BadHost(_))
+        ));
+        assert_eq!(Url::parse("https://x.com:99999/"), Err(ParseError::BadPort));
+        assert_eq!(Url::parse("https://x.com:abc/"), Err(ParseError::BadPort));
+    }
+
+    #[test]
+    fn roundtrip() {
+        for s in [
+            "https://a.com/",
+            "http://a.b.co.uk/x/y/z",
+            "https://a.com/p?k=v",
+            "https://a.com:81/p?a=1&b=2#f",
+            "https://t.example.net/r?uid=f3a9%3D1",
+        ] {
+            let u = Url::parse(s).unwrap();
+            let round = Url::parse(&u.to_url_string()).unwrap();
+            assert_eq!(u, round, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn query_encoding_roundtrip() {
+        let mut u = Url::https("a.com", "/p");
+        u.query_set("redirect", "https://b.com/x?y=1&z=2");
+        let s = u.to_url_string();
+        let parsed = Url::parse(&s).unwrap();
+        assert_eq!(
+            parsed.query_get("redirect"),
+            Some("https://b.com/x?y=1&z=2")
+        );
+    }
+
+    #[test]
+    fn valueless_query_param() {
+        let u = Url::parse("https://a.com/p?flag&k=v").unwrap();
+        assert_eq!(u.query_get("flag"), Some(""));
+        assert_eq!(u.query_get("k"), Some("v"));
+    }
+
+    #[test]
+    fn duplicate_keys_preserved_in_order() {
+        let u = Url::parse("https://a.com/?k=1&k=2").unwrap();
+        assert_eq!(u.query().len(), 2);
+        assert_eq!(u.query_get("k"), Some("1"));
+        assert!(u.to_url_string().contains("k=1&k=2"));
+    }
+
+    #[test]
+    fn strip_predicate() {
+        let mut u = Url::parse("https://a.com/?uid=abc123&page=2&gclid=xyz").unwrap();
+        let removed = u.query_strip(|k| k == "uid" || k == "gclid");
+        assert_eq!(removed.len(), 2);
+        assert_eq!(u.query().len(), 1);
+        assert_eq!(u.query_get("page"), Some("2"));
+        assert_eq!(u.query_get("uid"), None);
+    }
+
+    #[test]
+    fn without_query_matches_heuristic() {
+        let a = Url::parse("https://a.com/x?uid=1").unwrap();
+        let b = Url::parse("https://a.com/x?uid=2").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.without_query(), b.without_query());
+    }
+
+    #[test]
+    fn same_site_via_registered_domain() {
+        let a = Url::parse("https://ads.shop.example.com/").unwrap();
+        let b = Url::parse("https://example.com/").unwrap();
+        assert!(a.same_site(&b));
+        assert_eq!(a.registered_domain(), "example.com");
+    }
+
+    #[test]
+    fn host_and_path_unit() {
+        let u = Url::parse("https://a.com/x/y?uid=0").unwrap();
+        assert_eq!(u.host_and_path(), "a.com/x/y");
+    }
+
+    #[test]
+    fn display_matches_to_url_string() {
+        let u = Url::parse("https://a.com/p?x=1").unwrap();
+        assert_eq!(format!("{u}"), u.to_url_string());
+    }
+
+    #[test]
+    fn build_adds_leading_slash() {
+        let u = Url::build(Scheme::Http, "a.com", "page");
+        assert_eq!(u.path, "/page");
+        assert_eq!(u.to_url_string(), "http://a.com/page");
+    }
+}

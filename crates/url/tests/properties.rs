@@ -1,0 +1,97 @@
+//! Property-based tests for cc-url invariants.
+
+use cc_url::percent::{decode_component, encode_component};
+use cc_url::{registered_domain, Host, Scheme, Url};
+use proptest::prelude::*;
+
+/// Strategy for host-safe labels.
+fn label() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,12}"
+}
+
+fn host_str() -> impl Strategy<Value = String> {
+    prop::collection::vec(label(), 1..4).prop_map(|ls| format!("{}.com", ls.join(".")))
+}
+
+proptest! {
+    #[test]
+    fn percent_roundtrip(s in "\\PC{0,64}") {
+        prop_assert_eq!(decode_component(&encode_component(&s)), s);
+    }
+
+    #[test]
+    fn percent_decode_never_panics(s in "\\PC{0,64}") {
+        let _ = decode_component(&s);
+    }
+
+    #[test]
+    fn encode_output_is_query_safe(s in "\\PC{0,64}") {
+        let enc = encode_component(&s);
+        prop_assert!(enc.bytes().all(|b| b.is_ascii_alphanumeric()
+            || matches!(b, b'-' | b'_' | b'.' | b'~' | b'%')));
+    }
+
+    #[test]
+    fn url_roundtrip(
+        host in host_str(),
+        path_seg in "[a-z0-9]{0,8}",
+        keys in prop::collection::vec("[a-z]{1,6}", 0..4),
+        vals in prop::collection::vec("\\PC{0,16}", 0..4),
+    ) {
+        let mut u = Url::build(Scheme::Https, &host, &format!("/{path_seg}"));
+        for (k, v) in keys.iter().zip(vals.iter()) {
+            u.query_set(k, v);
+        }
+        let parsed = Url::parse(&u.to_url_string()).unwrap();
+        prop_assert_eq!(parsed, u);
+    }
+
+    #[test]
+    fn registered_domain_is_suffix_of_host(host in host_str()) {
+        let h = Host::parse(&host).unwrap();
+        let reg = h.registered_domain();
+        prop_assert!(h.is_subdomain_of(&reg));
+    }
+
+    #[test]
+    fn registered_domain_idempotent(host in host_str()) {
+        let once = registered_domain(&host);
+        prop_assert_eq!(registered_domain(&once), once.clone());
+    }
+
+    #[test]
+    fn same_site_is_equivalence_on_subdomains(
+        a in label(), b in label(), base in label()
+    ) {
+        let h1 = Host::parse(&format!("{a}.{base}.com")).unwrap();
+        let h2 = Host::parse(&format!("{b}.{base}.com")).unwrap();
+        prop_assert!(h1.same_site(&h2));
+        prop_assert!(h2.same_site(&h1));
+        prop_assert!(h1.same_site(&h1));
+    }
+
+    #[test]
+    fn host_parse_never_panics(s in "\\PC{0,32}") {
+        let _ = Host::parse(&s);
+    }
+
+    #[test]
+    fn url_parse_never_panics(s in "\\PC{0,64}") {
+        let _ = Url::parse(&s);
+    }
+
+    #[test]
+    fn without_query_drops_all_params(
+        host in host_str(),
+        keys in prop::collection::vec("[a-z]{1,6}", 1..5),
+    ) {
+        let mut u = Url::https(&host, "/p");
+        for k in &keys {
+            u.query_set(k, "v");
+        }
+        let bare = u.without_query();
+        prop_assert!(bare.query().is_empty());
+        prop_assert_eq!(bare.host, u.host);
+        prop_assert_eq!(bare.path, u.path);
+    }
+}

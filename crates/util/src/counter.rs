@@ -1,0 +1,133 @@
+//! Counting-map helpers for table construction.
+//!
+//! Most of the paper's tables are "top-k entities by count" rollups
+//! (Table 3 redirectors, Figure 4 organizations, Figure 6 third parties).
+//! [`Counter`] wraps a `HashMap<K, u64>` with deterministic, tie-broken
+//! top-k extraction so table output is stable across runs.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A multiset counter over hashable keys.
+#[derive(Debug, Clone)]
+pub struct Counter<K: Eq + Hash> {
+    counts: HashMap<K, u64>,
+}
+
+impl<K: Eq + Hash> Default for Counter<K> {
+    fn default() -> Self {
+        Counter {
+            counts: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash> Counter<K> {
+    /// New empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment a key by one.
+    pub fn add(&mut self, key: K) {
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    /// Increment a key by `n`.
+    pub fn add_n(&mut self, key: K, n: u64) {
+        *self.counts.entry(key).or_insert(0) += n;
+    }
+
+    /// Count for a key (0 when absent).
+    pub fn get(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Whether no keys have been counted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate over `(key, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+}
+
+impl<K: Eq + Hash + Ord + Clone> Counter<K> {
+    /// The `k` most frequent entries, ties broken by key order so output is
+    /// deterministic. Returns `(key, count)` pairs, most frequent first.
+    pub fn top_k(&self, k: usize) -> Vec<(K, u64)> {
+        let mut all: Vec<(K, u64)> = self.counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// All entries sorted by descending count (ties by key).
+    pub fn sorted(&self) -> Vec<(K, u64)> {
+        self.top_k(self.counts.len())
+    }
+}
+
+impl<K: Eq + Hash> FromIterator<K> for Counter<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut c = Counter::new();
+        for k in iter {
+            c.add(k);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut c = Counter::new();
+        c.add("a");
+        c.add("a");
+        c.add_n("b", 3);
+        assert_eq!(c.get(&"a"), 2);
+        assert_eq!(c.get(&"b"), 3);
+        assert_eq!(c.get(&"missing"), 0);
+        assert_eq!(c.distinct(), 2);
+        assert_eq!(c.total(), 5);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn top_k_order_and_ties() {
+        let c: Counter<&str> = ["x", "y", "y", "z", "z"].into_iter().collect();
+        let top = c.top_k(10);
+        // y and z tie at 2, broken by key order: y before z.
+        assert_eq!(top, vec![("y", 2), ("z", 2), ("x", 1)]);
+        assert_eq!(c.top_k(1), vec![("y", 2)]);
+    }
+
+    #[test]
+    fn sorted_returns_everything() {
+        let c: Counter<u32> = [1, 2, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(c.sorted(), vec![(3, 3), (2, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c: Counter<String> = Counter::new();
+        assert!(c.is_empty());
+        assert_eq!(c.total(), 0);
+        assert!(c.top_k(5).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Generation of UID-shaped identifier strings.
+//!
+//! The synthetic web needs to mint tokens that *look like* the identifiers
+//! the paper found in the wild: hex blobs, base64url strings, UUIDs, and
+//! decimal counters. The pipeline must never peek at ground truth, so these
+//! generators produce the same surface forms a real tracker would.
+
+use crate::rng::DetRng;
+
+const HEX: &[u8] = b"0123456789abcdef";
+const BASE64URL: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+const ALNUM: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+
+/// Surface encodings for generated identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IdStyle {
+    /// Lowercase hex, e.g. `f3a9c17e2b4d5a60`.
+    Hex,
+    /// Base64url alphabet, e.g. `Zk9_xB-1aQ`.
+    Base64Url,
+    /// Hyphenated UUID-v4-looking string.
+    Uuid,
+    /// Decimal digits only (e.g. numeric account IDs).
+    Decimal,
+    /// Mixed alphanumeric.
+    Alnum,
+}
+
+impl IdStyle {
+    /// All styles, for sampling.
+    pub const ALL: [IdStyle; 5] = [
+        IdStyle::Hex,
+        IdStyle::Base64Url,
+        IdStyle::Uuid,
+        IdStyle::Decimal,
+        IdStyle::Alnum,
+    ];
+}
+
+fn from_alphabet(rng: &mut DetRng, alphabet: &[u8], len: usize) -> String {
+    (0..len)
+        .map(|_| alphabet[rng.index(alphabet.len())] as char)
+        .collect()
+}
+
+/// Generate an identifier of the given style and length.
+///
+/// For [`IdStyle::Uuid`] the `len` parameter is ignored (UUIDs are always 36
+/// chars).
+pub fn generate(rng: &mut DetRng, style: IdStyle, len: usize) -> String {
+    match style {
+        IdStyle::Hex => from_alphabet(rng, HEX, len),
+        IdStyle::Base64Url => from_alphabet(rng, BASE64URL, len),
+        IdStyle::Alnum => from_alphabet(rng, ALNUM, len),
+        IdStyle::Decimal => {
+            // Avoid a leading zero so the value also parses as an integer.
+            let mut s = String::with_capacity(len);
+            s.push((b'1' + rng.below(9) as u8) as char);
+            s.push_str(&from_alphabet(rng, b"0123456789", len.saturating_sub(1)));
+            s
+        }
+        IdStyle::Uuid => {
+            let a = from_alphabet(rng, HEX, 8);
+            let b = from_alphabet(rng, HEX, 4);
+            let c = from_alphabet(rng, HEX, 3);
+            let d = from_alphabet(rng, HEX, 3);
+            let e = from_alphabet(rng, HEX, 12);
+            // Version nibble 4, variant nibble in [89ab].
+            let variant = ['8', '9', 'a', 'b'][rng.index(4)];
+            format!("{a}-{b}-4{c}-{variant}{d}-{e}")
+        }
+    }
+}
+
+/// Generate a token with a random style and a typical UID length (16–32).
+pub fn generate_uid(rng: &mut DetRng) -> String {
+    let style = *rng.pick(&IdStyle::ALL);
+    let len = rng.range(16, 32) as usize;
+    generate(rng, style, len)
+}
+
+/// Generate a short session-ID-shaped token (8–24 chars, hex or alnum).
+pub fn generate_session_id(rng: &mut DetRng) -> String {
+    let style = *rng.pick(&[IdStyle::Hex, IdStyle::Alnum]);
+    let len = rng.range(8, 24) as usize;
+    generate(rng, style, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_uses_hex_alphabet() {
+        let mut rng = DetRng::new(1);
+        let s = generate(&mut rng, IdStyle::Hex, 32);
+        assert_eq!(s.len(), 32);
+        assert!(s
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn uuid_shape() {
+        let mut rng = DetRng::new(2);
+        let s = generate(&mut rng, IdStyle::Uuid, 0);
+        assert_eq!(s.len(), 36);
+        let parts: Vec<&str> = s.split('-').collect();
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts[2].chars().next(), Some('4'));
+        assert!(matches!(
+            parts[3].chars().next(),
+            Some('8' | '9' | 'a' | 'b')
+        ));
+    }
+
+    #[test]
+    fn decimal_no_leading_zero() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..100 {
+            let s = generate(&mut rng, IdStyle::Decimal, 10);
+            assert_eq!(s.len(), 10);
+            assert_ne!(s.chars().next(), Some('0'));
+            assert!(s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn distinct_draws_distinct_ids() {
+        let mut rng = DetRng::new(4);
+        let a = generate_uid(&mut rng);
+        let b = generate_uid(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = DetRng::new(99);
+        let mut b = DetRng::new(99);
+        assert_eq!(generate_uid(&mut a), generate_uid(&mut b));
+    }
+
+    #[test]
+    fn uid_length_window() {
+        let mut rng = DetRng::new(5);
+        for _ in 0..200 {
+            let s = generate_uid(&mut rng);
+            assert!(s.len() >= 16 && s.len() <= 36, "len {}", s.len());
+        }
+    }
+
+    #[test]
+    fn session_id_at_least_8() {
+        let mut rng = DetRng::new(6);
+        for _ in 0..200 {
+            assert!(generate_session_id(&mut rng).len() >= 8);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # cc-util
+//!
+//! Foundation utilities shared by every CrumbCruncher-RS crate:
+//!
+//! * [`rng`] — a small, fully deterministic random number generator
+//!   (xoshiro256\*\* seeded through SplitMix64) with *forkable named
+//!   streams*, so independent subsystems draw from independent streams and
+//!   adding a draw in one subsystem never perturbs another.
+//! * [`zipf`] — a Zipf-distributed sampler used to model site popularity
+//!   (the Tranco list is approximately Zipfian).
+//! * [`stats`] — summary statistics and the two-proportion Z test used by
+//!   the paper's fingerprinting experiment (§3.5).
+//! * [`strings`] — string algorithms referenced by the paper: the
+//!   Ratcliff/Obershelp similarity used by prior work, Shannon entropy,
+//!   and character-shape profiling.
+//! * [`ids`] — generation of UID-shaped tokens (hex, base64url, UUID-like)
+//!   for the synthetic web.
+//! * [`counter`] — counting-map helpers (top-k tallies) used when building
+//!   the paper's tables.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod counter;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod strings;
+pub mod zipf;
+
+pub use counter::Counter;
+pub use rng::DetRng;
+pub use stats::{two_proportion_z_test, ZTestResult};
+pub use zipf::Zipf;

@@ -1,0 +1,259 @@
+//! String algorithms used across the pipeline.
+//!
+//! * [`ratcliff_obershelp`] — the gestalt pattern-matching similarity that
+//!   prior work (Acar et al., Englehardt et al., Koop et al.) used to decide
+//!   whether two cookie values were "the same" UID while allowing them to
+//!   differ by 33–45%. CrumbCruncher itself requires exact equality (§8.1);
+//!   we implement the metric so the prior-work baselines can be reproduced
+//!   and ablated.
+//! * [`shannon_entropy`] — bits/char entropy, a standard UID-ness signal.
+//! * [`CharProfile`] — character-class shape profiling used by the token
+//!   heuristics (is a value hex-ish? digits-only? word-like?).
+
+use serde::{Deserialize, Serialize};
+
+/// Ratcliff/Obershelp similarity in `[0, 1]`.
+///
+/// Defined as `2 * M / (|a| + |b|)` where `M` is the total length of
+/// recursively matched longest common substrings. Two empty strings are
+/// defined to have similarity 1.
+pub fn ratcliff_obershelp(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let matched = matches_rec(&a, &b);
+    2.0 * matched as f64 / (a.len() + b.len()) as f64
+}
+
+/// Recursively count matched characters: find the longest common substring,
+/// then recurse on the pieces to its left and right.
+fn matches_rec(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let (ai, bi, len) = longest_common_substring(a, b);
+    if len == 0 {
+        return 0;
+    }
+    len + matches_rec(&a[..ai], &b[..bi]) + matches_rec(&a[ai + len..], &b[bi + len..])
+}
+
+/// Longest common substring via dynamic programming over a rolling row.
+/// Returns `(start_in_a, start_in_b, length)`.
+fn longest_common_substring(a: &[char], b: &[char]) -> (usize, usize, usize) {
+    let mut best = (0usize, 0usize, 0usize);
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        for (j, &cb) in b.iter().enumerate() {
+            if ca == cb {
+                cur[j + 1] = prev[j] + 1;
+                if cur[j + 1] > best.2 {
+                    best = (i + 1 - cur[j + 1], j + 1 - cur[j + 1], cur[j + 1]);
+                }
+            } else {
+                cur[j + 1] = 0;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.iter_mut().for_each(|v| *v = 0);
+    }
+    best
+}
+
+/// Shannon entropy of the byte distribution, in bits per byte.
+pub fn shannon_entropy(s: &str) -> f64 {
+    if s.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0usize; 256];
+    for &b in s.as_bytes() {
+        counts[b as usize] += 1;
+    }
+    let n = s.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Character-class profile of a string: how many characters fall in each
+/// coarse class. Cheap shape signal for the token heuristics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CharProfile {
+    /// ASCII letters.
+    pub letters: usize,
+    /// ASCII digits.
+    pub digits: usize,
+    /// Hex digits (subset of letters+digits).
+    pub hex: usize,
+    /// `-` and `_` separators.
+    pub separators: usize,
+    /// Anything else.
+    pub other: usize,
+    /// Total length in chars.
+    pub len: usize,
+}
+
+impl CharProfile {
+    /// Profile a string.
+    pub fn of(s: &str) -> Self {
+        let mut p = CharProfile::default();
+        for c in s.chars() {
+            p.len += 1;
+            if c.is_ascii_alphabetic() {
+                p.letters += 1;
+                if c.is_ascii_hexdigit() {
+                    p.hex += 1;
+                }
+            } else if c.is_ascii_digit() {
+                p.digits += 1;
+                p.hex += 1;
+            } else if c == '-' || c == '_' {
+                p.separators += 1;
+            } else {
+                p.other += 1;
+            }
+        }
+        p
+    }
+
+    /// Is every character a hex digit (and the string non-empty)?
+    pub fn all_hex(&self) -> bool {
+        self.len > 0 && self.hex == self.len
+    }
+
+    /// Is every character a digit?
+    pub fn all_digits(&self) -> bool {
+        self.len > 0 && self.digits == self.len
+    }
+
+    /// Fraction of characters that are digits.
+    pub fn digit_fraction(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.digits as f64 / self.len as f64
+        }
+    }
+
+    /// Does the string look like prose: mostly letters with separators?
+    pub fn word_like(&self) -> bool {
+        self.len > 0 && self.other == 0 && self.digits == 0 && self.letters > 0
+    }
+}
+
+/// Split a string on common token delimiters (`-`, `_`, `.`, space, `+`).
+pub fn split_words(s: &str) -> Vec<&str> {
+    s.split(['-', '_', '.', ' ', '+'])
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ro_identical() {
+        assert!((ratcliff_obershelp("abcdef", "abcdef") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ro_disjoint() {
+        assert_eq!(ratcliff_obershelp("aaaa", "bbbb"), 0.0);
+    }
+
+    #[test]
+    fn ro_empty_rules() {
+        assert_eq!(ratcliff_obershelp("", ""), 1.0);
+        assert_eq!(ratcliff_obershelp("a", ""), 0.0);
+        assert_eq!(ratcliff_obershelp("", "a"), 0.0);
+    }
+
+    #[test]
+    fn ro_classic_example() {
+        // The canonical WIKIMEDIA/WIKIMANIA example: matched blocks are
+        // "WIKIM" (5) and "IA" (2), so similarity = 2*7/18 = 0.7778.
+        let s = ratcliff_obershelp("WIKIMEDIA", "WIKIMANIA");
+        assert!((s - 14.0 / 18.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn ro_symmetric_enough() {
+        // The metric is not guaranteed perfectly symmetric in pathological
+        // cases, but should be for typical token strings.
+        let a = "user-12345-abcdef";
+        let b = "user-98765-abcdef";
+        assert!((ratcliff_obershelp(a, b) - ratcliff_obershelp(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ro_partial_change() {
+        // A UID whose suffix changed by a third should sit near 2/3.
+        let s = ratcliff_obershelp("aaaaaaXXX", "aaaaaaYYY");
+        assert!((s - 2.0 / 3.0).abs() < 0.01, "{s}");
+    }
+
+    #[test]
+    fn lcs_finds_longest() {
+        let a: Vec<char> = "xxabcyy".chars().collect();
+        let b: Vec<char> = "zzabcqq".chars().collect();
+        let (ai, bi, len) = longest_common_substring(&a, &b);
+        assert_eq!((ai, bi, len), (2, 2, 3));
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(shannon_entropy(""), 0.0);
+        assert_eq!(shannon_entropy("aaaa"), 0.0);
+        let uid = "f3a9c17e2b4d5a60";
+        assert!(shannon_entropy(uid) > 3.0);
+        // Uniform 2-symbol string → 1 bit.
+        assert!((shannon_entropy("abababab") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_hex() {
+        let p = CharProfile::of("deadbeef1234");
+        assert!(p.all_hex());
+        assert!(!p.all_digits());
+        let q = CharProfile::of("deadbeefg");
+        assert!(!q.all_hex());
+    }
+
+    #[test]
+    fn profile_word_like() {
+        assert!(CharProfile::of("share_button").word_like());
+        assert!(CharProfile::of("sweetmagnolias").word_like());
+        assert!(!CharProfile::of("user123").word_like());
+        assert!(!CharProfile::of("").word_like());
+        assert!(!CharProfile::of("a b?").word_like());
+    }
+
+    #[test]
+    fn profile_digit_fraction() {
+        assert_eq!(CharProfile::of("").digit_fraction(), 0.0);
+        assert!((CharProfile::of("a1").digit_fraction() - 0.5).abs() < 1e-12);
+        assert!(CharProfile::of("20221025").all_digits());
+    }
+
+    #[test]
+    fn split_words_basic() {
+        assert_eq!(
+            split_words("Dental_internal_whitepaper_topic"),
+            vec!["Dental", "internal", "whitepaper", "topic"]
+        );
+        assert_eq!(split_words("en-US"), vec!["en", "US"]);
+        assert_eq!(split_words("__"), Vec::<&str>::new());
+    }
+}

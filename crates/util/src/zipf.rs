@@ -1,0 +1,144 @@
+//! Zipf-distributed sampling over ranks `0..n`.
+//!
+//! Site popularity on the Web is approximately Zipfian, and the paper seeds
+//! its walks from the Tranco top-10,000 list. The synthetic web uses this
+//! sampler both to assign traffic weight to sites and to pick which
+//! third-party trackers appear on a page (popular trackers such as
+//! DoubleClick appear far more often than tail trackers — Table 3 shows one
+//! redirector covering >11% of domain paths).
+
+use crate::rng::DetRng;
+
+/// A precomputed Zipf sampler over ranks `0..n` with exponent `s`.
+///
+/// Sampling is O(log n) via binary search over the cumulative distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s` (typically ~1.0).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point never quite reaching 1.0.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let x = rng.f64();
+        // partition_point returns the first index whose cdf >= x.
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of a given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_in_bounds() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = DetRng::new(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn head_dominates_tail() {
+        let z = Zipf::new(1_000, 1.0);
+        let mut rng = DetRng::new(2);
+        let mut head = 0u32;
+        let mut tail = 0u32;
+        for _ in 0..50_000 {
+            let r = z.sample(&mut rng);
+            if r < 10 {
+                head += 1;
+            } else if r >= 500 {
+                tail += 1;
+            }
+        }
+        assert!(head > tail, "head {head} should beat tail {tail}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(50), 0.0);
+    }
+
+    #[test]
+    fn pmf_monotone_decreasing() {
+        let z = Zipf::new(20, 1.0);
+        for r in 1..20 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = DetRng::new(3);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

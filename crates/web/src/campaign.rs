@@ -1,0 +1,188 @@
+//! Ad campaigns: what an iframe click actually leads to.
+//!
+//! A campaign bundles everything the paper observes about one instance of
+//! navigational tracking: which ad network handles the click, which
+//! redirectors the user bounces through, where the user finally lands, and
+//! — the crux — **which portion of the path the UID traverses**
+//! ([`UidSpan`], Figure 8). Campaigns also mint the *noise* parameters
+//! (campaign names, timestamps, session IDs) that the classification
+//! pipeline must reject.
+
+use serde::{Deserialize, Serialize};
+
+use crate::site::SiteId;
+use crate::tracker::TrackerId;
+
+/// Identifier of a campaign in the generated world.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct CampaignId(pub u32);
+
+/// The portion of a navigation path a smuggled UID traverses (Figure 8).
+///
+/// "UIDs do not always begin at the originator and pass through each
+/// redirector before arriving at the destination: they may appear at any
+/// step of the path and cease their journey at any number of hops further
+/// along" (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UidSpan {
+    /// Originator → (all redirectors) → destination: the full path.
+    Full,
+    /// Originator → destination with no redirectors in the path.
+    OriginatorToDestination,
+    /// Injected by a redirector, carried to the destination.
+    RedirectorToDestination,
+    /// Decorated at the originator, dropped after the first redirector.
+    OriginatorToRedirector,
+    /// Injected by one redirector, dropped by a later one (needs ≥ 2 hops).
+    RedirectorToRedirector,
+    /// No UID at all — pure bounce tracking (§8 comparison with Koop et
+    /// al.) or an entirely benign ad click.
+    None,
+}
+
+impl UidSpan {
+    /// Whether any UID is smuggled at all.
+    pub fn smuggles(&self) -> bool {
+        !matches!(self, UidSpan::None)
+    }
+
+    /// Whether the UID is present on the click URL leaving the originator.
+    pub fn starts_at_originator(&self) -> bool {
+        matches!(
+            self,
+            UidSpan::Full | UidSpan::OriginatorToDestination | UidSpan::OriginatorToRedirector
+        )
+    }
+
+    /// Whether the UID survives to the destination URL.
+    pub fn reaches_destination(&self) -> bool {
+        matches!(
+            self,
+            UidSpan::Full | UidSpan::OriginatorToDestination | UidSpan::RedirectorToDestination
+        )
+    }
+
+    /// Minimum number of redirectors the path must contain for this span to
+    /// be expressible.
+    pub fn min_redirectors(&self) -> usize {
+        match self {
+            UidSpan::Full => 0,
+            UidSpan::OriginatorToDestination | UidSpan::None => 0,
+            UidSpan::OriginatorToRedirector | UidSpan::RedirectorToDestination => 1,
+            UidSpan::RedirectorToRedirector => 2,
+        }
+    }
+}
+
+/// One ad campaign: the unit an ad slot serves on each page load.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Identifier (carried in click URLs as `cc_cid`).
+    pub id: CampaignId,
+    /// The smuggler that runs this campaign: it decorates the click URL
+    /// with its UID (when the span starts at the originator) and collects
+    /// UIDs on the destination when its script is embedded there. For
+    /// campaigns with redirectors this is normally the first hop's tracker.
+    pub owner: TrackerId,
+    /// The redirector hops of the path, in order (may be empty for direct
+    /// originator → destination smuggling).
+    pub hops: Vec<TrackerId>,
+    /// The advertiser site the user finally lands on.
+    pub destination: SiteId,
+    /// Landing path on the destination.
+    pub landing_path: String,
+    /// Which portion of the path carries the UID.
+    pub span: UidSpan,
+    /// Word-shaped noise parameters (campaign/topic names) attached to the
+    /// click URL — the false-positive workload of §3.7.2.
+    pub word_params: Vec<(String, String)>,
+    /// Whether the click URL carries a per-click timestamp parameter.
+    pub add_timestamp: bool,
+    /// Whether the click URL carries a fresh per-load session-ID parameter
+    /// (the tokens Safari-1R exists to unmask, §3.7.1).
+    pub add_session_id: bool,
+}
+
+impl Campaign {
+    /// The full ordered list of redirector hops for this campaign.
+    pub fn hops(&self) -> &[TrackerId] {
+        &self.hops
+    }
+
+    /// Number of redirectors in the path (the x-axis of Figure 7).
+    pub fn redirector_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the configured span is expressible given the hop count.
+    pub fn span_consistent(&self) -> bool {
+        self.redirector_count() >= self.span.min_redirectors()
+            && !(matches!(self.span, UidSpan::OriginatorToDestination)
+                && self.redirector_count() != 0)
+            && !(matches!(self.span, UidSpan::Full) && self.redirector_count() == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign(span: UidSpan, hops: usize) -> Campaign {
+        Campaign {
+            id: CampaignId(1),
+            owner: TrackerId(10),
+            hops: (0..hops).map(|i| TrackerId(10 + i as u32)).collect(),
+            destination: SiteId(5),
+            landing_path: "/landing".into(),
+            span,
+            word_params: vec![("utm_campaign".into(), "sweet_magnolia".into())],
+            add_timestamp: true,
+            add_session_id: false,
+        }
+    }
+
+    #[test]
+    fn hops_ordering() {
+        let c = campaign(UidSpan::Full, 3);
+        assert_eq!(c.hops(), &[TrackerId(10), TrackerId(11), TrackerId(12)]);
+        assert_eq!(c.redirector_count(), 3);
+    }
+
+    #[test]
+    fn zero_hop_campaign() {
+        let c = campaign(UidSpan::OriginatorToDestination, 0);
+        assert!(c.hops().is_empty());
+        assert!(c.span_consistent());
+    }
+
+    #[test]
+    fn span_predicates() {
+        assert!(UidSpan::Full.smuggles());
+        assert!(!UidSpan::None.smuggles());
+        assert!(UidSpan::OriginatorToRedirector.starts_at_originator());
+        assert!(!UidSpan::RedirectorToDestination.starts_at_originator());
+        assert!(UidSpan::RedirectorToDestination.reaches_destination());
+        assert!(!UidSpan::OriginatorToRedirector.reaches_destination());
+    }
+
+    #[test]
+    fn span_min_redirectors() {
+        assert_eq!(UidSpan::RedirectorToRedirector.min_redirectors(), 2);
+        assert_eq!(UidSpan::OriginatorToRedirector.min_redirectors(), 1);
+        assert_eq!(UidSpan::OriginatorToDestination.min_redirectors(), 0);
+    }
+
+    #[test]
+    fn consistency_checks() {
+        assert!(!campaign(UidSpan::RedirectorToRedirector, 1).span_consistent());
+        assert!(campaign(UidSpan::RedirectorToRedirector, 2).span_consistent());
+        // O→D direct requires *zero* redirectors.
+        assert!(!campaign(UidSpan::OriginatorToDestination, 2).span_consistent());
+        // Full requires at least one redirector to be distinct from O→D.
+        assert!(!campaign(UidSpan::Full, 0).span_consistent());
+        assert!(campaign(UidSpan::Full, 1).span_consistent());
+    }
+}

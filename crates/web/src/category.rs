@@ -1,0 +1,250 @@
+//! Website content categories.
+//!
+//! Figure 5 of the paper breaks originators and destinations down by the
+//! IAB Tech Lab Content Taxonomy (as provided by Webshrinker). We embed the
+//! 27 categories that appear in the figure plus `Unknown` (the paper had 32
+//! uncategorizable domains), with role weights calibrated to the figure's
+//! shape: news/sports sites are originator-heavy (they publish affiliate
+//! ads), shopping/technology sites are destination-heavy (they run affiliate
+//! programs).
+
+use serde::{Deserialize, Serialize};
+
+/// IAB-style content category of a website.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Category {
+    TechnologyComputing,
+    NewsWeatherInformation,
+    Business,
+    Sports,
+    Education,
+    Shopping,
+    HobbiesInterests,
+    PersonalFinance,
+    ArtsEntertainment,
+    HealthFitness,
+    StyleFashion,
+    Automotive,
+    SocialNetworking,
+    HomeGarden,
+    LawGovernmentPolitics,
+    Travel,
+    Science,
+    StreamingMedia,
+    UnderConstruction,
+    IllegalContent,
+    AdultContent,
+    DatingPersonals,
+    Careers,
+    FoodDrink,
+    ContentServer,
+    FamilyParenting,
+    ReligionSpirituality,
+    Unknown,
+}
+
+impl Category {
+    /// Every category, in the order of Figure 5.
+    pub const ALL: [Category; 28] = [
+        Category::TechnologyComputing,
+        Category::NewsWeatherInformation,
+        Category::Business,
+        Category::Sports,
+        Category::Education,
+        Category::Shopping,
+        Category::HobbiesInterests,
+        Category::PersonalFinance,
+        Category::ArtsEntertainment,
+        Category::HealthFitness,
+        Category::StyleFashion,
+        Category::Automotive,
+        Category::SocialNetworking,
+        Category::HomeGarden,
+        Category::LawGovernmentPolitics,
+        Category::Travel,
+        Category::Science,
+        Category::StreamingMedia,
+        Category::UnderConstruction,
+        Category::IllegalContent,
+        Category::AdultContent,
+        Category::DatingPersonals,
+        Category::Careers,
+        Category::FoodDrink,
+        Category::ContentServer,
+        Category::FamilyParenting,
+        Category::ReligionSpirituality,
+        Category::Unknown,
+    ];
+
+    /// Human-readable label, matching Figure 5's axis labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::TechnologyComputing => "Technology & Computing",
+            Category::NewsWeatherInformation => "News/Weather/Information",
+            Category::Business => "Business",
+            Category::Sports => "Sports",
+            Category::Education => "Education",
+            Category::Shopping => "Shopping",
+            Category::HobbiesInterests => "Hobbies & Interests",
+            Category::PersonalFinance => "Personal Finance",
+            Category::ArtsEntertainment => "Arts & Entertainment",
+            Category::HealthFitness => "Health & Fitness",
+            Category::StyleFashion => "Style & Fashion",
+            Category::Automotive => "Automotive",
+            Category::SocialNetworking => "Social Networking",
+            Category::HomeGarden => "Home & Garden",
+            Category::LawGovernmentPolitics => "Law Government & Politics",
+            Category::Travel => "Travel",
+            Category::Science => "Science",
+            Category::StreamingMedia => "Streaming Media",
+            Category::UnderConstruction => "Under Construction",
+            Category::IllegalContent => "Illegal Content",
+            Category::AdultContent => "Adult Content",
+            Category::DatingPersonals => "Dating/Personals",
+            Category::Careers => "Careers",
+            Category::FoodDrink => "Food & Drink",
+            Category::ContentServer => "Content Server",
+            Category::FamilyParenting => "Family & Parenting",
+            Category::ReligionSpirituality => "Religion & Spirituality",
+            Category::Unknown => "Unknown",
+        }
+    }
+
+    /// Relative weight of this category among generated sites.
+    ///
+    /// Roughly matches the prevalence ordering of Figure 5.
+    pub fn site_weight(&self) -> f64 {
+        match self {
+            Category::TechnologyComputing => 9.0,
+            Category::NewsWeatherInformation => 9.0,
+            Category::Business => 7.0,
+            Category::Sports => 6.0,
+            Category::Education => 5.0,
+            Category::Shopping => 6.0,
+            Category::HobbiesInterests => 4.0,
+            Category::PersonalFinance => 4.0,
+            Category::ArtsEntertainment => 4.0,
+            Category::HealthFitness => 3.5,
+            Category::StyleFashion => 3.0,
+            Category::Automotive => 2.5,
+            Category::SocialNetworking => 2.5,
+            Category::HomeGarden => 2.0,
+            Category::LawGovernmentPolitics => 2.0,
+            Category::Travel => 2.0,
+            Category::Science => 1.5,
+            Category::StreamingMedia => 1.5,
+            Category::UnderConstruction => 0.7,
+            Category::IllegalContent => 0.5,
+            Category::AdultContent => 1.5,
+            Category::DatingPersonals => 0.7,
+            Category::Careers => 0.7,
+            Category::FoodDrink => 0.7,
+            Category::ContentServer => 0.5,
+            Category::FamilyParenting => 0.5,
+            Category::ReligionSpirituality => 0.4,
+            Category::Unknown => 2.0,
+        }
+    }
+
+    /// How likely a site of this category is to *publish* ads / decorated
+    /// links (the originator role). News and sports dominate originators in
+    /// Figure 5, consistent with prior findings that news sites carry the
+    /// most tracking.
+    pub fn originator_affinity(&self) -> f64 {
+        match self {
+            Category::NewsWeatherInformation => 1.0,
+            Category::Sports => 0.9,
+            Category::AdultContent => 0.8,
+            Category::ArtsEntertainment => 0.7,
+            Category::HobbiesInterests => 0.7,
+            Category::StreamingMedia => 0.6,
+            Category::HealthFitness => 0.6,
+            Category::TechnologyComputing => 0.6,
+            Category::Business => 0.5,
+            Category::Education => 0.45,
+            Category::PersonalFinance => 0.5,
+            Category::SocialNetworking => 0.5,
+            Category::Unknown => 0.3,
+            _ => 0.35,
+        }
+    }
+
+    /// How likely a site of this category is to be an ad *destination*
+    /// (advertiser with an affiliate program). Shopping/technology dominate.
+    pub fn destination_affinity(&self) -> f64 {
+        match self {
+            Category::Shopping => 1.0,
+            Category::TechnologyComputing => 0.95,
+            Category::Business => 0.7,
+            Category::PersonalFinance => 0.6,
+            Category::StyleFashion => 0.6,
+            Category::Travel => 0.5,
+            Category::Automotive => 0.5,
+            Category::HomeGarden => 0.45,
+            Category::HealthFitness => 0.4,
+            Category::NewsWeatherInformation => 0.45,
+            Category::Education => 0.4,
+            Category::Unknown => 0.2,
+            _ => 0.3,
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_28_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for c in Category::ALL {
+            set.insert(c);
+        }
+        assert_eq!(set.len(), 28);
+    }
+
+    #[test]
+    fn labels_unique_and_nonempty() {
+        let mut set = std::collections::HashSet::new();
+        for c in Category::ALL {
+            assert!(!c.label().is_empty());
+            assert!(set.insert(c.label()), "duplicate label {}", c.label());
+        }
+    }
+
+    #[test]
+    fn weights_positive() {
+        for c in Category::ALL {
+            assert!(c.site_weight() > 0.0);
+            assert!(c.originator_affinity() > 0.0);
+            assert!(c.destination_affinity() > 0.0);
+        }
+    }
+
+    #[test]
+    fn news_is_originator_heavy() {
+        assert!(
+            Category::NewsWeatherInformation.originator_affinity()
+                > Category::Shopping.originator_affinity()
+        );
+        assert!(
+            Category::Shopping.destination_affinity()
+                > Category::NewsWeatherInformation.destination_affinity()
+        );
+    }
+
+    #[test]
+    fn display_uses_label() {
+        assert_eq!(
+            Category::NewsWeatherInformation.to_string(),
+            "News/Weather/Information"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Clickable-element models: what a crawler sees on a rendered page.
+//!
+//! §3.3: each crawler sends the controller "a list of all anchor and iframe
+//! elements on that page … the elements' properties, location, bounding
+//! boxes, and x-paths". Iframes "often do not have any attribute that
+//! identifies where a user will navigate" — so the controller matches them
+//! by attribute names + bounding box or x-path, and that matching can be
+//! *wrong* when slots serve different ads. [`ElementModel`] carries exactly
+//! the fields those heuristics consume.
+
+use cc_url::Url;
+use serde::{Deserialize, Serialize};
+
+/// Element species CrumbCruncher clicks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElementKind {
+    /// `<a>` element.
+    Anchor,
+    /// `<iframe>` element (expected to contain advertisements).
+    Iframe,
+}
+
+/// A rendered element's bounding box, in CSS pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BBox {
+    /// Left edge.
+    pub x: i32,
+    /// Top edge. The matching heuristic deliberately ignores `y` ("the
+    /// y-coordinate may differ, to allow for elements that render at
+    /// different heights").
+    pub y: i32,
+    /// Width.
+    pub w: i32,
+    /// Height.
+    pub h: i32,
+}
+
+impl BBox {
+    /// Whether two boxes are "similar" under the §3.3 heuristic: same
+    /// x/width/height, any y.
+    pub fn similar(&self, other: &BBox) -> bool {
+        self.x == other.x && self.w == other.w && self.h == other.h
+    }
+}
+
+/// What clicking the element does.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClickTarget {
+    /// Navigate to a fully resolved URL (already decorated).
+    Navigate(Url),
+    /// Dead element (banner without a link); the click does nothing.
+    Inert,
+}
+
+/// A clickable element on a loaded page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementModel {
+    /// Anchor or iframe.
+    pub kind: ElementKind,
+    /// HTML attribute *names* (values intentionally omitted — the heuristic
+    /// compares names only).
+    pub attr_names: Vec<String>,
+    /// Rendered bounding box.
+    pub bbox: BBox,
+    /// DOM x-path.
+    pub xpath: String,
+    /// For anchors: the href as rendered (before click-time decoration).
+    /// `None` for iframes — the crux of the synchronization challenge.
+    pub href: Option<Url>,
+    /// What clicking does (resolved at click time by the browser; this is
+    /// the *already-sampled* outcome for this particular load).
+    pub target: ClickTarget,
+}
+
+impl ElementModel {
+    /// Whether this element, if clicked, navigates to a different
+    /// registered domain than `current` — the crawler's preference (§3.1).
+    pub fn is_cross_site(&self, current_domain: &str) -> bool {
+        match (&self.href, &self.target) {
+            (Some(href), _) => href.registered_domain() != current_domain,
+            // Iframes have no href; CrumbCruncher treats them as likely
+            // ads, i.e. likely cross-site.
+            (None, ClickTarget::Navigate(_)) => true,
+            (None, ClickTarget::Inert) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    fn anchor(href: &str) -> ElementModel {
+        ElementModel {
+            kind: ElementKind::Anchor,
+            attr_names: vec!["href".into(), "class".into()],
+            bbox: BBox {
+                x: 10,
+                y: 500,
+                w: 200,
+                h: 40,
+            },
+            xpath: "/html/body/div[1]/a[2]".into(),
+            href: Some(url(href)),
+            target: ClickTarget::Navigate(url(href)),
+        }
+    }
+
+    #[test]
+    fn bbox_similarity_ignores_y() {
+        let a = BBox {
+            x: 1,
+            y: 10,
+            w: 5,
+            h: 5,
+        };
+        let b = BBox {
+            x: 1,
+            y: 900,
+            w: 5,
+            h: 5,
+        };
+        let c = BBox {
+            x: 2,
+            y: 10,
+            w: 5,
+            h: 5,
+        };
+        assert!(a.similar(&b));
+        assert!(!a.similar(&c));
+    }
+
+    #[test]
+    fn cross_site_for_anchor_uses_href() {
+        let e = anchor("https://other.com/x");
+        assert!(e.is_cross_site("example.com"));
+        let e2 = anchor("https://www.example.com/x");
+        assert!(!e2.is_cross_site("example.com"));
+    }
+
+    #[test]
+    fn iframe_assumed_cross_site_when_clickable() {
+        let e = ElementModel {
+            kind: ElementKind::Iframe,
+            attr_names: vec!["src".into(), "width".into()],
+            bbox: BBox {
+                x: 0,
+                y: 0,
+                w: 300,
+                h: 250,
+            },
+            xpath: "/html/body/div[3]/iframe[1]".into(),
+            href: None,
+            target: ClickTarget::Navigate(url("https://ad.net/click")),
+        };
+        assert!(e.is_cross_site("example.com"));
+        let inert = ElementModel {
+            target: ClickTarget::Inert,
+            ..e
+        };
+        assert!(!inert.is_cross_site("example.com"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # cc-web
+//!
+//! The synthetic Web that stands in for the live Web the paper crawled.
+//!
+//! The pipeline under study consumes *artifacts* — pages with clickable
+//! elements, redirect chains, cookies, localStorage values, query
+//! parameters, third-party beacon requests. This crate generates a Web that
+//! produces all of those artifacts with the structure the paper describes:
+//!
+//! * an **organization/tracker ecosystem** ([`entity`], [`tracker`]) with
+//!   dedicated smugglers (redirector-only domains à la
+//!   `adclick.g.doubleclick.net`), multi-purpose smugglers (link shims,
+//!   sign-in hops), bounce trackers, affiliate networks, and analytics
+//!   endpoints;
+//! * **ad campaigns** ([`campaign`]) that decorate click URLs with UIDs,
+//!   session IDs, timestamps, and word-like campaign parameters, routed
+//!   through 0–6 redirector hops with configurable UID *spans* (which
+//!   portion of the path carries the UID — Fig. 8);
+//! * **sites** ([`site`]) with IAB categories ([`category`]), static links
+//!   (first-party smuggling à la Sports Reference and the Instagram →
+//!   Play Store case) and iframe ad slots with **dynamic rotation** — the
+//!   root cause of the paper's single-crawler observations (§3.7.2);
+//! * a **stateless server** ([`server::SimWeb`]) that answers requests:
+//!   pages, redirector hops (Set-Cookie + 302), and beacon endpoints;
+//! * page **script effects** executed against a [`script::ScriptHost`]
+//!   (implemented by the browser crate), which is where trackers read and
+//!   write partitioned storage, fingerprint, decorate links, and fire
+//!   third-party beacons;
+//! * a seeded **generator** ([`genesis`]) that builds the whole world from
+//!   a [`genesis::WebConfig`] and embeds per-token ground truth for
+//!   precision/recall evaluation (a capability the paper lacked).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod category;
+pub mod element;
+pub mod entity;
+pub mod genesis;
+pub mod script;
+pub mod server;
+pub mod site;
+pub mod tracker;
+pub mod words;
+
+pub use campaign::{Campaign, CampaignId, UidSpan};
+pub use category::Category;
+pub use element::{BBox, ClickTarget, ElementKind, ElementModel};
+pub use entity::{OrgId, Organization};
+pub use genesis::{generate, WebConfig};
+pub use script::{ScriptHost, StorageKind};
+pub use server::{LoadedPage, ServeCtx, SimWeb};
+pub use site::{Site, SiteId};
+pub use tracker::{Tracker, TrackerId, TrackerKind};

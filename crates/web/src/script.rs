@@ -1,0 +1,204 @@
+//! The script execution interface between the synthetic web and the browser.
+//!
+//! Real trackers run JavaScript in the page's top-level frame: they read and
+//! write first-party storage, compute fingerprints, decorate links, and fire
+//! beacon requests. The simulator expresses those *effects* against a
+//! [`ScriptHost`] — implemented by `cc-browser` — so the web crate never
+//! depends on browser internals and the browser enforces its storage policy
+//! (partitioned or flat) uniformly.
+//!
+//! This module also defines the **ground-truth ledger** ([`TokenTruth`],
+//! [`TruthLog`]): every value the web mints is labeled at mint time, which
+//! lets the test suite score the pipeline's precision/recall — something the
+//! paper could not do against the live web.
+
+use cc_net::{SimDuration, SimTime};
+use cc_url::Url;
+use cc_util::DetRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::tracker::TrackerId;
+
+/// Where a script stores a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// A first-party cookie with an optional persistent lifetime
+    /// (`None` = browser-session cookie).
+    Cookie(Option<SimDuration>),
+    /// A localStorage entry (no expiry).
+    Local,
+}
+
+/// The environment a page's scripts execute in.
+///
+/// All storage access is implicitly scoped to the **current top-level
+/// site** — under partitioned storage the browser keys the storage area by
+/// the top-level registered domain, which is precisely the protection UID
+/// smuggling circumvents.
+pub trait ScriptHost {
+    /// The URL of the page the scripts run on (including any smuggled
+    /// query parameters that arrived with the navigation).
+    fn page_url(&self) -> &Url;
+
+    /// Read a first-party storage value (cookie or localStorage) for the
+    /// current partition.
+    fn storage_get(&self, key: &str) -> Option<String>;
+
+    /// Write a first-party storage value for the current partition.
+    fn storage_set(&mut self, key: &str, value: &str, kind: StorageKind);
+
+    /// Read a value from the *tracker's own* storage area (a third-party
+    /// cookie). Under partitioned storage this is indistinguishable from
+    /// first-party storage (the partition still keys by top-level site);
+    /// under flat storage it is the shared cross-site bucket of Figure 1.
+    /// The default delegates to first-party storage (the partitioned
+    /// behavior).
+    fn storage_get_owned(&self, _owner_domain: &str, key: &str) -> Option<String> {
+        self.storage_get(key)
+    }
+
+    /// Write to the tracker's own storage area (see
+    /// [`ScriptHost::storage_get_owned`]).
+    fn storage_set_owned(
+        &mut self,
+        _owner_domain: &str,
+        key: &str,
+        value: &str,
+        kind: StorageKind,
+    ) {
+        self.storage_set(key, value, kind);
+    }
+
+    /// The machine fingerprint visible to scripts. The paper's crawlers all
+    /// ran on one machine, so fingerprinting trackers saw the *same*
+    /// fingerprint on every crawler (§3.5).
+    fn fingerprint(&self) -> u64;
+
+    /// Per-load randomness (ad rotation, token minting).
+    fn rng(&mut self) -> &mut DetRng;
+
+    /// Fire a subresource/beacon request. The browser records it in the
+    /// request log (Figure 6's data source).
+    fn send_beacon(&mut self, url: Url);
+
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+}
+
+/// Ground-truth label for a minted token value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenTruth {
+    /// A genuine user identifier minted by a tracker or site.
+    Uid {
+        /// The tracker that owns it (None = the site's own UID).
+        tracker: Option<TrackerId>,
+        /// Whether the value was derived from the browser fingerprint
+        /// (identical across crawlers — the §3.5 confound).
+        fingerprint_based: bool,
+    },
+    /// A per-visit session identifier (not a UID).
+    SessionId,
+    /// A timestamp.
+    Timestamp,
+    /// Natural-language-shaped value (campaign names etc.).
+    WordLike,
+    /// A locale/acronym value.
+    Acronym,
+    /// A URL carried in a parameter (e.g. click-through destinations).
+    UrlValue,
+    /// A geographic coordinate pair (the manual filter of §3.7.2 removes
+    /// "coordinates" explicitly).
+    Coordinate,
+    /// Internal plumbing identifiers (campaign ids, chain encodings).
+    Internal,
+}
+
+impl TokenTruth {
+    /// Whether the pipeline *should* classify this token as a UID.
+    ///
+    /// Fingerprint-based UIDs are genuine UIDs, but the methodology is
+    /// expected to miss them (§3.5) — they are accounted separately.
+    pub fn is_uid(&self) -> bool {
+        matches!(self, TokenTruth::Uid { .. })
+    }
+}
+
+/// A ledger mapping minted token values to their ground truth.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TruthLog {
+    entries: HashMap<String, TokenTruth>,
+}
+
+impl TruthLog {
+    /// New empty ledger.
+    pub fn new() -> Self {
+        TruthLog::default()
+    }
+
+    /// Record a minted value. First label wins (values are unique with
+    /// overwhelming probability; word values legitimately repeat and keep
+    /// their original label).
+    pub fn note(&mut self, value: &str, truth: TokenTruth) {
+        self.entries.entry(value.to_string()).or_insert(truth);
+    }
+
+    /// Look up the truth for a value.
+    pub fn get(&self, value: &str) -> Option<TokenTruth> {
+        self.entries.get(value).copied()
+    }
+
+    /// Number of labeled values.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Count of labeled values that are genuine UIDs.
+    pub fn uid_count(&self) -> usize {
+        self.entries.values().filter(|t| t.is_uid()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_first_label_wins() {
+        let mut log = TruthLog::new();
+        log.note("abc", TokenTruth::SessionId);
+        log.note(
+            "abc",
+            TokenTruth::Uid {
+                tracker: None,
+                fingerprint_based: false,
+            },
+        );
+        assert_eq!(log.get("abc"), Some(TokenTruth::SessionId));
+        assert_eq!(log.len(), 1);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn uid_counting() {
+        let mut log = TruthLog::new();
+        log.note(
+            "u1",
+            TokenTruth::Uid {
+                tracker: Some(TrackerId(1)),
+                fingerprint_based: false,
+            },
+        );
+        log.note("s1", TokenTruth::SessionId);
+        log.note("t1", TokenTruth::Timestamp);
+        assert_eq!(log.uid_count(), 1);
+        assert!(log.get("u1").unwrap().is_uid());
+        assert!(!log.get("s1").unwrap().is_uid());
+        assert_eq!(log.get("missing"), None);
+    }
+}

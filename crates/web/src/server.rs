@@ -1,0 +1,1149 @@
+//! The synthetic web server: answers every request in the simulated world.
+//!
+//! The server is **stateless per request**, exactly like the real systems it
+//! models: redirectors carry all routing state in the click URL itself
+//! (`cc_dest` = final destination, `cc_chain` = remaining hops, `cc_cid` =
+//! campaign id — real ad clicks embed the destination the same way, e.g.
+//! DoubleClick's `adurl=`), and all *user* state lives in the browser's
+//! cookie jar. A redirector recognizes a returning user purely from the
+//! first-party cookie the browser presents, which is precisely the mechanism
+//! UID smuggling exploits (§2: redirectors "are permitted to store first
+//! party cookies").
+
+use parking_lot::Mutex;
+
+use cc_http::{header::names, parse_cookie_header, Cookie, PageBody, Request, Response, SetCookie};
+use cc_net::{DnsDb, SimTime};
+use cc_url::Url;
+use cc_util::{ids, DetRng};
+use std::collections::HashMap;
+
+use crate::campaign::{Campaign, CampaignId, UidSpan};
+use crate::element::{BBox, ClickTarget, ElementKind, ElementModel};
+use crate::entity::Organization;
+use crate::script::{ScriptHost, StorageKind, TokenTruth, TruthLog};
+use crate::site::{LinkDecoration, Page, Site, SiteId};
+use crate::tracker::{Tracker, TrackerId};
+
+/// Internal routing parameter: the final destination URL.
+pub const P_DEST: &str = "cc_dest";
+/// Internal routing parameter: comma-separated remaining hop FQDNs.
+pub const P_CHAIN: &str = "cc_chain";
+/// Internal routing parameter: campaign id.
+pub const P_CID: &str = "cc_cid";
+
+/// Parameter name sites use when appending their own first-party UID to
+/// outbound links (the Instagram → Play Store pattern).
+pub const P_SITE_REF_UID: &str = "ref_uid";
+/// Session-ID parameter name attached by some campaigns.
+pub const P_SESSION: &str = "sid";
+/// Timestamp parameter name attached by some campaigns.
+pub const P_TIMESTAMP: &str = "ts";
+/// Beacon parameter carrying the full page URL (the accidental-leak vector
+/// of Figure 6).
+pub const P_BEACON_URL: &str = "u";
+
+/// Per-request server context supplied by the caller (the browser).
+pub struct ServeCtx<'a> {
+    /// Randomness for minting values server-side (deterministic per
+    /// profile/visit).
+    pub rng: &'a mut DetRng,
+    /// Current simulated time.
+    pub now: SimTime,
+}
+
+/// Server-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No site or tracker serves this host.
+    UnknownHost(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownHost(h) => write!(f, "no simulated endpoint for host {h}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A rendered page as handed to the crawler: the URL it loaded at and the
+/// clickable elements discovered on this particular load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedPage {
+    /// Page URL (including smuggled params that arrived via navigation).
+    pub url: Url,
+    /// The site serving the page.
+    pub site: SiteId,
+    /// Clickable elements on this load.
+    pub elements: Vec<ElementModel>,
+}
+
+/// The complete simulated Web.
+#[derive(Debug)]
+pub struct SimWeb {
+    /// Sites, indexed by `SiteId`.
+    pub sites: Vec<Site>,
+    /// Trackers, indexed by `TrackerId`.
+    pub trackers: Vec<Tracker>,
+    /// Organizations, indexed by `OrgId`.
+    pub orgs: Vec<Organization>,
+    /// Campaigns, indexed by `CampaignId`.
+    pub campaigns: Vec<Campaign>,
+    /// DNS zone for every host in the world.
+    pub dns: DnsDb,
+    /// Seeder sites (the Tranco-like list walks start from).
+    pub seeders: Vec<SiteId>,
+    /// Zipf exponent for ad rotation within slots (see
+    /// [`crate::genesis::WebConfig::slot_rotation_zipf`]).
+    pub rotation_zipf: f64,
+    site_by_fqdn: HashMap<String, SiteId>,
+    tracker_by_fqdn: HashMap<String, TrackerId>,
+    truth: Mutex<TruthLog>,
+}
+
+impl SimWeb {
+    /// Assemble a world from parts (used by the generator and by tests that
+    /// hand-build minimal worlds).
+    pub fn assemble(
+        sites: Vec<Site>,
+        trackers: Vec<Tracker>,
+        orgs: Vec<Organization>,
+        campaigns: Vec<Campaign>,
+        seeders: Vec<SiteId>,
+    ) -> Self {
+        let mut dns = DnsDb::new();
+        let mut site_by_fqdn = HashMap::new();
+        let mut tracker_by_fqdn = HashMap::new();
+        for s in &sites {
+            dns.register(&s.www_fqdn());
+            dns.register(&s.domain);
+            site_by_fqdn.insert(s.www_fqdn(), s.id);
+            site_by_fqdn.insert(s.domain.clone(), s.id);
+        }
+        for t in &trackers {
+            // A tracker whose FQDN collides with a site FQDN (the
+            // www.facebook.com-as-redirector case) still resolves; tracker
+            // routing is checked first for its /r`-style paths.
+            dns.register(&t.fqdn);
+            tracker_by_fqdn.insert(t.fqdn.clone(), t.id);
+        }
+        SimWeb {
+            sites,
+            trackers,
+            orgs,
+            campaigns,
+            dns,
+            seeders,
+            rotation_zipf: 1.6,
+            site_by_fqdn,
+            tracker_by_fqdn,
+            truth: Mutex::new(TruthLog::new()),
+        }
+    }
+
+    /// Look up a site.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.0 as usize]
+    }
+
+    /// Look up a tracker.
+    pub fn tracker(&self, id: TrackerId) -> &Tracker {
+        &self.trackers[id.0 as usize]
+    }
+
+    /// Look up a campaign.
+    pub fn campaign(&self, id: CampaignId) -> Option<&Campaign> {
+        self.campaigns.get(id.0 as usize)
+    }
+
+    /// The site serving a host, if any.
+    pub fn site_for_host(&self, host: &str) -> Option<&Site> {
+        self.site_by_fqdn.get(host).map(|id| self.site(*id))
+    }
+
+    /// The tracker serving a host, if any.
+    pub fn tracker_for_host(&self, host: &str) -> Option<&Tracker> {
+        self.tracker_by_fqdn.get(host).map(|id| self.tracker(*id))
+    }
+
+    /// Record ground truth for a minted value.
+    pub fn note_truth(&self, value: &str, truth: TokenTruth) {
+        self.truth.lock().note(value, truth);
+    }
+
+    /// Snapshot of the ground-truth ledger.
+    pub fn truth_snapshot(&self) -> TruthLog {
+        self.truth.lock().clone()
+    }
+
+    /// Seeder URLs, most popular first — the walk starting points (§3.1).
+    pub fn seeder_urls(&self) -> Vec<Url> {
+        self.seeders
+            .iter()
+            .map(|id| Url::https(&self.site(*id).www_fqdn(), "/"))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // HTTP serving
+    // ------------------------------------------------------------------
+
+    /// Answer a request.
+    pub fn serve(&self, req: &Request, ctx: &mut ServeCtx<'_>) -> Result<Response, ServeError> {
+        let host = req.url.host.as_str().to_string();
+        // Tracker endpoints are matched on (fqdn, tracker path); a tracker
+        // may share its FQDN with a site (multi-purpose smugglers like
+        // www.facebook.com), in which case non-tracker paths fall through
+        // to the site.
+        if let Some(tid) = self.tracker_by_fqdn.get(&host) {
+            if Self::is_tracker_path(&req.url.path) {
+                return Ok(self.serve_tracker(self.tracker(*tid), req, ctx));
+            }
+        }
+        if let Some(sid) = self.site_by_fqdn.get(&host) {
+            return Ok(self.serve_site(self.site(*sid), req, ctx));
+        }
+        if self.tracker_by_fqdn.contains_key(&host) {
+            // Tracker-only host hit on a non-tracker path.
+            return Ok(Response::not_found());
+        }
+        Err(ServeError::UnknownHost(host))
+    }
+
+    fn is_tracker_path(path: &str) -> bool {
+        matches!(path, "/click" | "/r" | "/shim" | "/b" | "/sync" | "/signin" | "/en")
+    }
+
+    fn serve_site(&self, site: &Site, req: &Request, ctx: &mut ServeCtx<'_>) -> Response {
+        let cookies = request_cookies(req);
+        let mut resp = Response::page();
+        if site.sets_session_cookie {
+            // Rotating per-visit session ID: fresh on every response. This
+            // is the §3.7.1 workload — identical-user crawlers (Safari-1 vs
+            // Safari-1R) observe *different* values.
+            let sid = ids::generate_session_id(ctx.rng);
+            self.note_truth(&sid, TokenTruth::SessionId);
+            resp = resp.with_set_cookie(SetCookie::session(site.session_cookie_name(), sid));
+        }
+        if site.sets_own_uid && !has_cookie(&cookies, &site.own_uid_cookie_name()) {
+            let uid = ids::generate_uid(ctx.rng);
+            self.note_truth(
+                &uid,
+                TokenTruth::Uid {
+                    tracker: None,
+                    fingerprint_based: false,
+                },
+            );
+            resp = resp.with_set_cookie(SetCookie::persistent(
+                site.own_uid_cookie_name(),
+                uid,
+                cc_net::SimDuration::from_days(365),
+            ));
+        }
+        resp
+    }
+
+    fn serve_tracker(&self, tracker: &Tracker, req: &Request, ctx: &mut ServeCtx<'_>) -> Response {
+        match req.url.path.as_str() {
+            "/b" | "/sync" => Response::empty(),
+            _ => self.serve_redirect_hop(tracker, req, ctx),
+        }
+    }
+
+    /// One redirector hop: store what arrived, recognize the user, apply
+    /// the campaign's UID-span policy, and send the browser onward.
+    fn serve_redirect_hop(
+        &self,
+        tracker: &Tracker,
+        req: &Request,
+        ctx: &mut ServeCtx<'_>,
+    ) -> Response {
+        let cookies = request_cookies(req);
+
+        // Destination: without one, there is nowhere to go.
+        let dest = match req.url.query_get(P_DEST).and_then(|d| Url::parse(d).ok()) {
+            Some(d) => d,
+            None => return Response::not_found(),
+        };
+        let chain: Vec<String> = req
+            .url
+            .query_get(P_CHAIN)
+            .map(|c| {
+                c.split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let campaign = req
+            .url
+            .query_get(P_CID)
+            .and_then(|c| c.parse::<u32>().ok())
+            .and_then(|c| self.campaign(CampaignId(c)));
+
+        // Payload parameters: everything that isn't routing plumbing.
+        let mut payload: Vec<(String, String)> = req
+            .url
+            .query()
+            .iter()
+            .filter(|(k, _)| k != P_DEST && k != P_CHAIN && k != P_CID)
+            .cloned()
+            .collect();
+
+        let mut set_cookies = Vec::new();
+        let mut own_uid: Option<String> = None;
+
+        if tracker.smuggles() {
+            // Persist everything that arrived with the click as a
+            // first-party cookie under our own domain: the aggregation
+            // bucket dedicated smugglers exist for (§5.1). The serialized
+            // form is URL-encoded, so the token extractor must recurse to
+            // recover the inner values (§3.6).
+            if !payload.is_empty() {
+                let blob = serialize_params(&payload);
+                self.note_truth(&blob, TokenTruth::Internal);
+                set_cookies.push(SetCookie::persistent(
+                    tracker.received_uid_key(),
+                    blob,
+                    tracker.uid_lifetime,
+                ));
+            }
+            // Recognize (or mint) our own first-party UID for this user.
+            let uid = match cookie_value(&cookies, "_ruid") {
+                Some(v) => v.to_string(),
+                None => {
+                    let uid = ids::generate_uid(ctx.rng);
+                    self.note_truth(
+                        &uid,
+                        TokenTruth::Uid {
+                            tracker: Some(tracker.id),
+                            fingerprint_based: false,
+                        },
+                    );
+                    set_cookies.push(SetCookie::persistent(
+                        "_ruid",
+                        uid.clone(),
+                        tracker.uid_lifetime,
+                    ));
+                    uid
+                }
+            };
+            own_uid = Some(uid);
+        }
+
+        // Apply the campaign's UID-span policy at this hop.
+        if let Some(c) = campaign {
+            let total = c.hops().len();
+            let remaining = chain.len();
+            let idx = total.saturating_sub(remaining + 1);
+            let owner_param = self.tracker(c.owner).uid_param.clone();
+            match c.span {
+                UidSpan::OriginatorToRedirector if idx == 0 => {
+                    // The UID stops here: this hop stores it (above) but
+                    // does not pass it on.
+                    payload.retain(|(k, _)| *k != owner_param);
+                }
+                UidSpan::RedirectorToDestination | UidSpan::RedirectorToRedirector if idx == 0 => {
+                    // The UID enters here: this redirector injects its own
+                    // first-party identity into the onward path.
+                    if let Some(uid) = &own_uid {
+                        payload.push((tracker.uid_param.clone(), uid.clone()));
+                    }
+                }
+                _ => {}
+            }
+            if matches!(c.span, UidSpan::RedirectorToRedirector) && idx == total.saturating_sub(1) {
+                // Last hop of an R→R span: strip the injected UID so the
+                // destination never sees it.
+                if let Some(first) = c.hops().first() {
+                    let injector_param = self.tracker(*first).uid_param.clone();
+                    payload.retain(|(k, _)| *k != injector_param);
+                }
+            }
+        }
+
+        // Build the onward URL.
+        let onward = if let Some(next_host) = chain.first() {
+            let mut u = Url::https(next_host, "/r");
+            u.query_set(P_DEST, &dest.to_url_string());
+            u.query_set(P_CHAIN, &chain[1..].join(","));
+            if let Some(cid) = req.url.query_get(P_CID) {
+                u.query_set(P_CID, cid);
+            }
+            for (k, v) in &payload {
+                u.query_set(k, v);
+            }
+            u
+        } else {
+            let mut u = dest;
+            for (k, v) in &payload {
+                u.query_set(k, v);
+            }
+            u
+        };
+
+        let mut resp = if tracker.js_redirect {
+            Response::script_redirect(onward)
+        } else {
+            Response::redirect(&onward)
+        };
+        for sc in set_cookies {
+            resp = resp.with_set_cookie(sc);
+        }
+        resp
+    }
+
+    // ------------------------------------------------------------------
+    // Page loading (script execution)
+    // ------------------------------------------------------------------
+
+    /// Render a page: run its scripts against the browser-provided host and
+    /// return the clickable elements this load produced.
+    pub fn load_page(
+        &self,
+        url: &Url,
+        host: &mut dyn ScriptHost,
+    ) -> Result<LoadedPage, ServeError> {
+        let site = self
+            .site_for_host(url.host.as_str())
+            .ok_or_else(|| ServeError::UnknownHost(url.host.as_str().to_string()))?;
+        let page = site.page(&url.path).unwrap_or_else(|| site.landing());
+
+        // 1. Embedded trackers run: identity get-or-mint, UID collection
+        //    from the landing URL, and beacons.
+        for tid in &site.embedded_trackers {
+            self.run_tracker_script(self.tracker(*tid), site, url, host);
+        }
+
+        // 2. Build this load's elements.
+        let elements = self.render_elements(site, page, url, host);
+
+        Ok(LoadedPage {
+            url: url.clone(),
+            site: site.id,
+            elements,
+        })
+    }
+
+    /// Get-or-mint a tracker's UID for the current partition, honoring the
+    /// tracker's storage preference and fingerprinting behavior.
+    fn tracker_partition_uid(&self, tracker: &Tracker, host: &mut dyn ScriptHost) -> String {
+        let key = tracker.uid_storage_key();
+        let owner = cc_url::registered_domain(&tracker.fqdn);
+        if let Some(v) = host.storage_get_owned(&owner, &key) {
+            return v;
+        }
+        let uid = if tracker.fingerprints {
+            fingerprint_uid(tracker.id, host.fingerprint())
+        } else {
+            ids::generate_uid(host.rng())
+        };
+        self.note_truth(
+            &uid,
+            TokenTruth::Uid {
+                tracker: Some(tracker.id),
+                fingerprint_based: tracker.fingerprints,
+            },
+        );
+        let kind = if tracker.uses_local_storage {
+            StorageKind::Local
+        } else {
+            StorageKind::Cookie(Some(tracker.uid_lifetime))
+        };
+        host.storage_set_owned(&owner, &key, &uid, kind);
+        uid
+    }
+
+    fn run_tracker_script(
+        &self,
+        tracker: &Tracker,
+        _site: &Site,
+        url: &Url,
+        host: &mut dyn ScriptHost,
+    ) {
+        let uid = self.tracker_partition_uid(tracker, host);
+
+        // Smugglers harvest their own UID parameter from the landing URL —
+        // the collection end of link decoration (§2 step 3).
+        if tracker.smuggles() {
+            if let Some(v) = url.query_get(&tracker.uid_param) {
+                host.storage_set(
+                    &tracker.received_uid_key(),
+                    v,
+                    StorageKind::Cookie(Some(tracker.uid_lifetime)),
+                );
+            }
+        }
+
+        // Every tracker beacons home with its UID and the full page URL —
+        // which is how UIDs leak to third parties that never smuggled
+        // (Figure 6).
+        let page_url_string = url.to_url_string();
+        self.note_truth(&page_url_string, TokenTruth::UrlValue);
+        let mut beacon = Url::https(&tracker.fqdn, "/b");
+        beacon.query_set(&tracker.uid_param, &uid);
+        beacon.query_set(P_BEACON_URL, &page_url_string);
+        host.send_beacon(beacon);
+
+        // Cookie syncing (§8.2): announce our UID for this user to each
+        // partner. Because the UID came from partitioned storage, the
+        // shared knowledge is scoped to this top-level site — the
+        // limitation that drove trackers to UID smuggling (§2).
+        for pid in &tracker.sync_partners {
+            let partner = self.tracker(*pid);
+            let mut sync = Url::https(&partner.fqdn, "/sync");
+            // Real sync endpoints identify the announcing network by a
+            // short numeric partner id.
+            sync.query_set("pid", &tracker.id.0.to_string());
+            sync.query_set(&tracker.uid_param, &uid);
+            host.send_beacon(sync);
+        }
+    }
+
+    /// Per-load random content for a volatile page: every element's target,
+    /// x-path, and geometry is freshly sampled, so two crawlers loading the
+    /// page share nothing the controller's heuristics can match.
+    fn render_volatile(&self, host: &mut dyn ScriptHost) -> Vec<ElementModel> {
+        let n = host.rng().range(2, 5) as usize;
+        let mut elements = Vec::new();
+        for _ in 0..n {
+            let target_site = self.site(SiteId(host.rng().index(self.sites.len()) as u32));
+            let href = Url::https(&target_site.www_fqdn(), "/");
+            let nonce = host.rng().next();
+            elements.push(ElementModel {
+                kind: ElementKind::Anchor,
+                attr_names: vec!["href".into(), format!("data-w{:x}", nonce & 0xffff)],
+                bbox: BBox {
+                    x: (nonce % 900) as i32,
+                    y: ((nonce >> 16) % 2000) as i32,
+                    w: 40 + ((nonce >> 32) % 300) as i32,
+                    h: 18 + ((nonce >> 40) % 60) as i32,
+                },
+                xpath: format!("/html/body/div[9]/div[{:x}]/a", nonce & 0xfff),
+                href: Some(href.clone()),
+                target: ClickTarget::Navigate(href),
+            });
+        }
+        elements
+    }
+
+    fn render_elements(
+        &self,
+        site: &Site,
+        page: &Page,
+        url: &Url,
+        host: &mut dyn ScriptHost,
+    ) -> Vec<ElementModel> {
+        if page.volatile {
+            return self.render_volatile(host);
+        }
+        let mut elements = Vec::new();
+
+        for (i, link) in page.links.iter().enumerate() {
+            if host.rng().chance(page.element_churn) {
+                continue; // dynamic widget absent from this load
+            }
+            let dest_site = self.site(link.to);
+            let dest_url = Url::https(&dest_site.www_fqdn(), &link.to_path);
+
+            // The href as rendered in the DOM (shims carry the destination
+            // in a query parameter, like l.instagram.com/?u=…).
+            let href = match link.via_shim {
+                Some(shim) => {
+                    let mut u = Url::https(&self.tracker(shim).fqdn, "/shim");
+                    u.query_set(P_DEST, &dest_url.to_url_string());
+                    u
+                }
+                None => dest_url.clone(),
+            };
+
+            // Click-time decoration (§2 step 1).
+            let mut target = href.clone();
+            match link.decoration {
+                LinkDecoration::None => {}
+                LinkDecoration::SiteOwnUid => {
+                    if let Some(uid) = host.storage_get(&site.own_uid_cookie_name()) {
+                        target.query_set(P_SITE_REF_UID, &uid);
+                    }
+                }
+                LinkDecoration::Tracker(tid) => {
+                    let t = self.tracker(tid);
+                    let uid = self.tracker_partition_uid(t, host);
+                    target.query_set(&t.uid_param, &uid);
+                }
+            }
+
+            // Geometry is a deterministic function of the link's index, so
+            // the same link renders identically on every crawler while
+            // *different* links stay distinguishable to heuristic 2. Only
+            // the y-coordinate floats per load — which the heuristic
+            // deliberately ignores (§3.3).
+            let y_jitter = host.rng().range(0, 30) as i32;
+            let i32i = i as i32;
+            elements.push(ElementModel {
+                kind: ElementKind::Anchor,
+                attr_names: vec!["href".into(), "class".into()],
+                bbox: BBox {
+                    x: 16 + 250 * (i32i % 3),
+                    y: 120 + 60 * i32i + y_jitter,
+                    w: 160 + (37 * i32i) % 120,
+                    h: 24 + (i32i % 2) * 8,
+                },
+                xpath: format!("/html/body/div[1]/ul/li[{}]/a", i + 1),
+                href: Some(href),
+                target: ClickTarget::Navigate(target),
+            });
+        }
+
+        for (i, slot) in page.ad_slots.iter().enumerate() {
+            if host.rng().chance(page.element_churn) {
+                continue;
+            }
+            let target = if slot.campaigns.is_empty() {
+                ClickTarget::Inert
+            } else {
+                // Dynamic ad rotation: every load samples independently —
+                // the root cause of single-crawler observations (§3.7.2).
+                // Rotation is Zipf-skewed toward the slot's primary
+                // campaign, so parallel crawlers usually (not always)
+                // agree — keeping divergence near the paper's 1.8%.
+                let zipf = cc_util::Zipf::new(slot.campaigns.len(), self.rotation_zipf);
+                let idx = zipf.sample(host.rng());
+                let campaign = self
+                    .campaign(slot.campaigns[idx])
+                    .expect("slot references a valid campaign");
+                ClickTarget::Navigate(self.campaign_click_url(campaign, url, host))
+            };
+            // Standard IAB ad sizes, chosen per slot: the same slot is the
+            // same size on every crawler even when its *content* differs —
+            // which is exactly why matched iframes can still lead to
+            // different destinations (§3.3's divergence cases).
+            const AD_SIZES: [(i32, i32); 4] = [(300, 250), (728, 90), (160, 600), (320, 50)];
+            let (w, h) = AD_SIZES[slot.slot_id as usize % AD_SIZES.len()];
+            let y_jitter = host.rng().range(0, 30) as i32;
+            elements.push(ElementModel {
+                kind: ElementKind::Iframe,
+                attr_names: vec![
+                    "src".into(),
+                    "width".into(),
+                    "height".into(),
+                    "data-slot".into(),
+                ],
+                bbox: BBox {
+                    x: 300 + 10 * (slot.slot_id as i32 % 7),
+                    y: 90 + 280 * i as i32 + y_jitter,
+                    w,
+                    h,
+                },
+                xpath: format!("/html/body/div[2]/div[{}]/iframe", slot.slot_id),
+                href: None,
+                target,
+            });
+        }
+
+        elements
+    }
+
+    /// Build the fully decorated click URL for a campaign ad as rendered on
+    /// the page at `page_url`.
+    fn campaign_click_url(
+        &self,
+        campaign: &Campaign,
+        _page_url: &Url,
+        host: &mut dyn ScriptHost,
+    ) -> Url {
+        let dest_site = self.site(campaign.destination);
+        let dest_url = Url::https(&dest_site.www_fqdn(), &campaign.landing_path);
+        let dest_string = dest_url.to_url_string();
+        self.note_truth(&dest_string, TokenTruth::UrlValue);
+
+        let hops = campaign.hops();
+        let mut click = if let Some(first) = hops.first() {
+            let mut u = Url::https(&self.tracker(*first).fqdn, "/click");
+            u.query_set(P_DEST, &dest_string);
+            u.query_set(
+                P_CHAIN,
+                &hops[1..]
+                    .iter()
+                    .map(|t| self.tracker(*t).fqdn.clone())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            u.query_set(P_CID, &campaign.id.0.to_string());
+            u
+        } else {
+            dest_url
+        };
+
+        // The owner's UID enters at the originator when the span says so.
+        if campaign.span.starts_at_originator() && campaign.span.smuggles() {
+            let owner = self.tracker(campaign.owner);
+            let uid = self.tracker_partition_uid(owner, host);
+            click.query_set(&owner.uid_param, &uid);
+        }
+
+        for (k, v) in &campaign.word_params {
+            click.query_set(k, v);
+        }
+        if campaign.add_timestamp {
+            let ts = host.now().as_millis().to_string();
+            self.note_truth(&ts, TokenTruth::Timestamp);
+            click.query_set(P_TIMESTAMP, &ts);
+        }
+        if campaign.add_session_id {
+            let sid = ids::generate_session_id(host.rng());
+            self.note_truth(&sid, TokenTruth::SessionId);
+            click.query_set(P_SESSION, &sid);
+        }
+        click
+    }
+}
+
+/// Derive a stable fingerprint-based UID (identical wherever the
+/// fingerprint is identical — i.e. across all four crawlers).
+pub fn fingerprint_uid(tracker: TrackerId, fingerprint: u64) -> String {
+    let a = fingerprint ^ (u64::from(tracker.0).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let b = a.rotate_left(31) ^ 0xA5A5_5A5A_DEAD_BEEF;
+    format!("{a:016x}{b:016x}")
+}
+
+/// Serialize params as a URL-encoded blob (the redirector's storage form).
+fn serialize_params(params: &[(String, String)]) -> String {
+    params
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{}={}",
+                cc_url::percent::encode_component(k),
+                cc_url::percent::encode_component(v)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+fn request_cookies(req: &Request) -> Vec<Cookie> {
+    req.headers
+        .get(names::COOKIE)
+        .map(parse_cookie_header)
+        .unwrap_or_default()
+}
+
+fn has_cookie(cookies: &[Cookie], name: &str) -> bool {
+    cookies.iter().any(|c| c.name == name)
+}
+
+fn cookie_value<'a>(cookies: &'a [Cookie], name: &str) -> Option<&'a str> {
+    cookies
+        .iter()
+        .find(|c| c.name == name)
+        .map(|c| c.value.as_str())
+}
+
+/// Whether a response body is a renderable page (vs. empty/redirect).
+pub fn is_renderable(resp: &Response) -> bool {
+    matches!(resp.body, PageBody::Page)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::Category;
+    use crate::entity::OrgId;
+    use crate::site::{AdSlot, StaticLink};
+    use crate::tracker::TrackerKind;
+    use cc_http::RequestKind;
+    use cc_net::SimDuration;
+
+    /// A minimal hand-built world: one news site with an ad slot, one shop
+    /// destination, one dedicated smuggler with a 2-hop chain.
+    fn tiny_world() -> SimWeb {
+        let mut org_pub = Organization::new(OrgId(0), "PubCo");
+        org_pub.add_domain("dailynews.com");
+        let mut org_shop = Organization::new(OrgId(1), "ShopCo");
+        org_shop.add_domain("megashop.com");
+        let mut org_ads = Organization::new(OrgId(2), "AdCo");
+        org_ads.add_domain("clicktrk.net");
+        org_ads.add_domain("syncpx.link");
+
+        let t0 = Tracker {
+            id: TrackerId(0),
+            name: "ClickTrk".into(),
+            org: OrgId(2),
+            fqdn: "adclick.g.clicktrk.net".into(),
+            kind: TrackerKind::DedicatedSmuggler,
+            uid_param: "gclid".into(),
+            fingerprints: false,
+            uid_lifetime: SimDuration::from_days(365),
+            uses_local_storage: false,
+            in_disconnect: false,
+            in_easylist: false,
+            benign_role_share: 0.0,
+            js_redirect: false,
+            sync_partners: Vec::new(),
+        };
+        let t1 = Tracker {
+            id: TrackerId(1),
+            name: "SyncPx".into(),
+            org: OrgId(2),
+            fqdn: "r.syncpx.link".into(),
+            kind: TrackerKind::DedicatedSmuggler,
+            uid_param: "spx_id".into(),
+            fingerprints: false,
+            uid_lifetime: SimDuration::from_days(30),
+            uses_local_storage: false,
+            in_disconnect: false,
+            in_easylist: false,
+            benign_role_share: 0.0,
+            js_redirect: false,
+            sync_partners: Vec::new(),
+        };
+
+        let campaign = Campaign {
+            id: CampaignId(0),
+            owner: TrackerId(0),
+            hops: vec![TrackerId(0), TrackerId(1)],
+            destination: SiteId(1),
+            landing_path: "/deal".into(),
+            span: UidSpan::Full,
+            word_params: vec![("utm_campaign".into(), "sweet_magnolia_deal".into())],
+            add_timestamp: true,
+            add_session_id: true,
+        };
+
+        let news = Site {
+            id: SiteId(0),
+            domain: "dailynews.com".into(),
+            org: OrgId(0),
+            category: Category::NewsWeatherInformation,
+            rank: 0,
+            pages: vec![Page {
+                path: "/".into(),
+                links: vec![StaticLink {
+                    to: SiteId(1),
+                    to_path: "/".into(),
+                    via_shim: None,
+                    decoration: LinkDecoration::SiteOwnUid,
+                }],
+                ad_slots: vec![AdSlot {
+                    slot_id: 1,
+                    campaigns: vec![CampaignId(0)],
+                }],
+                element_churn: 0.0,
+                volatile: false,
+            }],
+            embedded_trackers: vec![TrackerId(0)],
+            sets_own_uid: true,
+            sets_session_cookie: true,
+            fingerprints: false,
+            login_needs_uid: false,
+        };
+        let shop = Site {
+            id: SiteId(1),
+            domain: "megashop.com".into(),
+            org: OrgId(1),
+            category: Category::Shopping,
+            rank: 1,
+            pages: vec![Page {
+                path: "/".into(),
+                links: vec![],
+                ad_slots: vec![],
+                element_churn: 0.0,
+                volatile: false,
+            }],
+            embedded_trackers: vec![TrackerId(0)],
+            sets_own_uid: false,
+            sets_session_cookie: false,
+            fingerprints: false,
+            login_needs_uid: false,
+        };
+
+        SimWeb::assemble(
+            vec![news, shop],
+            vec![t0, t1],
+            vec![org_pub, org_shop, org_ads],
+            vec![campaign],
+            vec![SiteId(0)],
+        )
+    }
+
+    /// Minimal in-test ScriptHost.
+    struct TestHost {
+        url: Url,
+        storage: HashMap<String, String>,
+        rng: DetRng,
+        beacons: Vec<Url>,
+        fp: u64,
+    }
+
+    impl TestHost {
+        fn new(url: &str, seed: u64) -> Self {
+            TestHost {
+                url: Url::parse(url).unwrap(),
+                storage: HashMap::new(),
+                rng: DetRng::new(seed),
+                beacons: Vec::new(),
+                fp: 0xFEED,
+            }
+        }
+    }
+
+    impl ScriptHost for TestHost {
+        fn page_url(&self) -> &Url {
+            &self.url
+        }
+        fn storage_get(&self, key: &str) -> Option<String> {
+            self.storage.get(key).cloned()
+        }
+        fn storage_set(&mut self, key: &str, value: &str, _kind: StorageKind) {
+            self.storage.insert(key.to_string(), value.to_string());
+        }
+        fn fingerprint(&self) -> u64 {
+            self.fp
+        }
+        fn rng(&mut self) -> &mut DetRng {
+            &mut self.rng
+        }
+        fn send_beacon(&mut self, url: Url) {
+            self.beacons.push(url);
+        }
+        fn now(&self) -> SimTime {
+            SimTime(1_234_567)
+        }
+    }
+
+    #[test]
+    fn site_serve_sets_uid_and_session() {
+        let web = tiny_world();
+        let mut rng = DetRng::new(1);
+        let req = Request::navigation(Url::parse("https://www.dailynews.com/").unwrap());
+        let mut ctx = ServeCtx {
+            rng: &mut rng,
+            now: SimTime::EPOCH,
+        };
+        let resp = web.serve(&req, &mut ctx).unwrap();
+        assert!(is_renderable(&resp));
+        let names: Vec<_> = resp
+            .set_cookies
+            .iter()
+            .map(|sc| sc.cookie.name.clone())
+            .collect();
+        assert!(names.contains(&"_sessid".to_string()));
+        assert!(names.contains(&"_site_uid".to_string()));
+    }
+
+    #[test]
+    fn site_serve_respects_existing_uid_cookie() {
+        let web = tiny_world();
+        let mut rng = DetRng::new(1);
+        let mut req = Request::navigation(Url::parse("https://www.dailynews.com/").unwrap());
+        req.headers.set(names::COOKIE, "_site_uid=existing123");
+        let mut ctx = ServeCtx {
+            rng: &mut rng,
+            now: SimTime::EPOCH,
+        };
+        let resp = web.serve(&req, &mut ctx).unwrap();
+        assert!(resp
+            .set_cookies
+            .iter()
+            .all(|sc| sc.cookie.name != "_site_uid"));
+    }
+
+    #[test]
+    fn unknown_host_errors() {
+        let web = tiny_world();
+        let mut rng = DetRng::new(1);
+        let req = Request::navigation(Url::parse("https://nowhere.example/").unwrap());
+        let mut ctx = ServeCtx {
+            rng: &mut rng,
+            now: SimTime::EPOCH,
+        };
+        assert!(matches!(
+            web.serve(&req, &mut ctx),
+            Err(ServeError::UnknownHost(_))
+        ));
+    }
+
+    #[test]
+    fn load_page_renders_elements_and_beacons() {
+        let web = tiny_world();
+        let mut host = TestHost::new("https://www.dailynews.com/", 42);
+        host.storage
+            .insert("_site_uid".into(), "siteuid12345".into());
+        let page = web.load_page(&host.url.clone(), &mut host).unwrap();
+        assert_eq!(page.site, SiteId(0));
+        assert_eq!(page.elements.len(), 2);
+        let anchor = &page.elements[0];
+        assert_eq!(anchor.kind, ElementKind::Anchor);
+        // Decorated with the site's own UID.
+        match &anchor.target {
+            ClickTarget::Navigate(u) => {
+                assert_eq!(u.query_get(P_SITE_REF_UID), Some("siteuid12345"));
+                assert_eq!(u.host.as_str(), "www.megashop.com");
+            }
+            ClickTarget::Inert => panic!("anchor should navigate"),
+        }
+        // The embedded tracker beaconed home with the page URL.
+        assert_eq!(host.beacons.len(), 1);
+        assert_eq!(host.beacons[0].host.as_str(), "adclick.g.clicktrk.net");
+        assert!(host.beacons[0].query_get(P_BEACON_URL).is_some());
+        assert!(host.beacons[0].query_get("gclid").is_some());
+    }
+
+    #[test]
+    fn campaign_click_url_carries_uid_and_routing() {
+        let web = tiny_world();
+        let mut host = TestHost::new("https://www.dailynews.com/", 7);
+        let page = web.load_page(&host.url.clone(), &mut host).unwrap();
+        let iframe = page
+            .elements
+            .iter()
+            .find(|e| e.kind == ElementKind::Iframe)
+            .unwrap();
+        let click = match &iframe.target {
+            ClickTarget::Navigate(u) => u.clone(),
+            ClickTarget::Inert => panic!("slot has a campaign"),
+        };
+        assert_eq!(click.host.as_str(), "adclick.g.clicktrk.net");
+        assert_eq!(click.path, "/click");
+        assert!(click.query_get(P_DEST).unwrap().contains("megashop.com"));
+        assert_eq!(click.query_get(P_CHAIN), Some("r.syncpx.link"));
+        assert_eq!(click.query_get(P_CID), Some("0"));
+        // Full span → owner UID present, and it matches partition storage.
+        let uid = click.query_get("gclid").unwrap();
+        assert_eq!(host.storage.get("_clicktrk_uid").unwrap(), uid);
+        assert!(click.query_get("utm_campaign").is_some());
+        assert!(click.query_get(P_TIMESTAMP).is_some());
+        assert!(click.query_get(P_SESSION).is_some());
+    }
+
+    #[test]
+    fn redirect_chain_walks_to_destination() {
+        let web = tiny_world();
+        // Build the click URL via a page load.
+        let mut host = TestHost::new("https://www.dailynews.com/", 9);
+        let page = web.load_page(&host.url.clone(), &mut host).unwrap();
+        let click = match &page.elements[1].target {
+            ClickTarget::Navigate(u) => u.clone(),
+            _ => panic!(),
+        };
+        let uid = click.query_get("gclid").unwrap().to_string();
+
+        // Hop 1.
+        let mut rng = DetRng::new(77);
+        let mut ctx = ServeCtx {
+            rng: &mut rng,
+            now: SimTime::EPOCH,
+        };
+        let req1 = Request {
+            kind: RequestKind::Navigation,
+            ..Request::navigation(click)
+        };
+        let resp1 = web.serve(&req1, &mut ctx).unwrap();
+        let hop2_url = resp1.redirect_target().expect("302 to next hop");
+        assert_eq!(hop2_url.host.as_str(), "r.syncpx.link");
+        assert_eq!(hop2_url.query_get("gclid"), Some(uid.as_str()));
+        // Hop 1 stored the payload and minted its own _ruid.
+        let stored: Vec<_> = resp1
+            .set_cookies
+            .iter()
+            .map(|sc| sc.cookie.name.as_str())
+            .collect();
+        assert!(stored.contains(&"_clicktrk_rcv"));
+        assert!(stored.contains(&"_ruid"));
+
+        // Hop 2 → destination.
+        let req2 = Request::navigation(hop2_url);
+        let resp2 = web.serve(&req2, &mut ctx).unwrap();
+        let dest_url = resp2.redirect_target().expect("302 to destination");
+        assert_eq!(dest_url.host.as_str(), "www.megashop.com");
+        assert_eq!(dest_url.path, "/deal");
+        // Full span: the UID survives to the destination URL.
+        assert_eq!(dest_url.query_get("gclid"), Some(uid.as_str()));
+        // Routing plumbing does not leak onto the destination URL.
+        assert_eq!(dest_url.query_get(P_DEST), None);
+        assert_eq!(dest_url.query_get(P_CHAIN), None);
+    }
+
+    #[test]
+    fn redirector_recognizes_returning_user() {
+        let web = tiny_world();
+        let mut rng = DetRng::new(5);
+        let mut ctx = ServeCtx {
+            rng: &mut rng,
+            now: SimTime::EPOCH,
+        };
+        let mut u = Url::https("adclick.g.clicktrk.net", "/r");
+        u.query_set(P_DEST, "https://www.megashop.com/");
+        let mut req = Request::navigation(u);
+        req.headers.set(names::COOKIE, "_ruid=known_user_uid_1");
+        let resp = web.serve(&req, &mut ctx).unwrap();
+        // No fresh _ruid minted for a recognized user.
+        assert!(resp.set_cookies.iter().all(|sc| sc.cookie.name != "_ruid"));
+    }
+
+    #[test]
+    fn destination_tracker_collects_smuggled_uid() {
+        let web = tiny_world();
+        let landing = "https://www.megashop.com/deal?gclid=smuggled_uid_value_1&ts=123";
+        let mut host = TestHost::new(landing, 11);
+        web.load_page(&host.url.clone(), &mut host).unwrap();
+        assert_eq!(
+            host.storage.get("_clicktrk_rcv").map(String::as_str),
+            Some("smuggled_uid_value_1")
+        );
+    }
+
+    #[test]
+    fn fingerprint_uid_stable_across_profiles() {
+        assert_eq!(
+            fingerprint_uid(TrackerId(3), 0xABCD),
+            fingerprint_uid(TrackerId(3), 0xABCD)
+        );
+        assert_ne!(
+            fingerprint_uid(TrackerId(3), 0xABCD),
+            fingerprint_uid(TrackerId(4), 0xABCD)
+        );
+        assert_eq!(fingerprint_uid(TrackerId(3), 1).len(), 32);
+    }
+
+    #[test]
+    fn truth_ledger_populated() {
+        let web = tiny_world();
+        let mut host = TestHost::new("https://www.dailynews.com/", 21);
+        web.load_page(&host.url.clone(), &mut host).unwrap();
+        let truth = web.truth_snapshot();
+        assert!(truth.uid_count() >= 1, "tracker UID should be labeled");
+    }
+
+    #[test]
+    fn beacon_endpoint_answers_empty() {
+        let web = tiny_world();
+        let mut rng = DetRng::new(1);
+        let mut ctx = ServeCtx {
+            rng: &mut rng,
+            now: SimTime::EPOCH,
+        };
+        let req =
+            Request::subresource(Url::parse("https://adclick.g.clicktrk.net/b?gclid=x").unwrap());
+        let resp = web.serve(&req, &mut ctx).unwrap();
+        assert_eq!(resp.body, PageBody::Empty);
+        assert!(resp.status.is_success());
+    }
+
+    #[test]
+    fn hop_without_dest_is_not_found() {
+        let web = tiny_world();
+        let mut rng = DetRng::new(1);
+        let mut ctx = ServeCtx {
+            rng: &mut rng,
+            now: SimTime::EPOCH,
+        };
+        let req = Request::navigation(Url::parse("https://adclick.g.clicktrk.net/click").unwrap());
+        let resp = web.serve(&req, &mut ctx).unwrap();
+        assert_eq!(resp.status, cc_http::StatusCode::NOT_FOUND);
+    }
+}

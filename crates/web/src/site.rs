@@ -1,0 +1,189 @@
+//! Sites and pages.
+//!
+//! A [`Site`] is a registered domain with a handful of pages. Pages contain
+//! the two element species CrumbCruncher clicks (§3.1): **anchors** (static
+//! links, possibly decorated with first-party UIDs — the Sports Reference
+//! and Instagram → Play Store patterns of §5.2) and **iframe ad slots**
+//! (dynamic: each page load samples a campaign, which is what makes UID
+//! smuggling appear on fewer than all four crawlers, §3.7.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::CampaignId;
+use crate::category::Category;
+use crate::entity::OrgId;
+use crate::tracker::TrackerId;
+
+/// Identifier of a site in the generated world.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SiteId(pub u32);
+
+/// How a static link is decorated when clicked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkDecoration {
+    /// No decoration: a perfectly benign link.
+    None,
+    /// The site appends its *own* first-party UID cookie value to the link
+    /// (the Instagram → Play Store case: "the button … always appended
+    /// instagram.com's UID cookie to the navigation request").
+    SiteOwnUid,
+    /// A tracker script on the page appends the tracker's UID for this
+    /// user/partition.
+    Tracker(TrackerId),
+}
+
+/// A static anchor element present on every load of a page.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticLink {
+    /// Destination site.
+    pub to: SiteId,
+    /// Path on the destination site.
+    pub to_path: String,
+    /// Optional link-shim redirector the anchor actually points at (the
+    /// `l.instagram.com` / `t.co` pattern): the href targets the shim with
+    /// the real destination in a query parameter.
+    pub via_shim: Option<TrackerId>,
+    /// Decoration applied at click time.
+    pub decoration: LinkDecoration,
+}
+
+/// An iframe ad slot: rotates among a pool of campaigns on every load.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdSlot {
+    /// Stable slot identifier (used for the iframe's attributes/x-path so
+    /// the *element* matches across crawlers even when content differs).
+    pub slot_id: u32,
+    /// Campaigns this slot can serve, sampled per load.
+    pub campaigns: Vec<CampaignId>,
+}
+
+/// A page on a site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Page {
+    /// Path, starting with `/`.
+    pub path: String,
+    /// Static anchors, identical on every load.
+    pub links: Vec<StaticLink>,
+    /// Iframe ad slots.
+    pub ad_slots: Vec<AdSlot>,
+    /// Probability that any given element is *missing* from a particular
+    /// load (dynamic widgets).
+    pub element_churn: f64,
+    /// A fully dynamic page: every load renders a different set of
+    /// elements (think infinite feeds and per-request layouts). Crawlers
+    /// landing here cannot find a shared element — the main driver of the
+    /// 7.6% synchronization-failure rate of §3.3.
+    pub volatile: bool,
+}
+
+/// A website: one registered domain plus its behavior toggles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Identifier.
+    pub id: SiteId,
+    /// Registered domain (sites serve from `www.<domain>`).
+    pub domain: String,
+    /// Owning organization.
+    pub org: OrgId,
+    /// Content category (Figure 5).
+    pub category: Category,
+    /// Tranco-style popularity rank (0 = most popular).
+    pub rank: usize,
+    /// Pages, first page is the landing page.
+    pub pages: Vec<Page>,
+    /// Analytics/other trackers embedded on every page (they fire beacons —
+    /// Figure 6's third-party request targets).
+    pub embedded_trackers: Vec<TrackerId>,
+    /// Whether the site sets its own persistent first-party UID cookie.
+    pub sets_own_uid: bool,
+    /// Whether the site sets a rotating per-visit session-ID cookie.
+    pub sets_session_cookie: bool,
+    /// Whether the site runs fingerprinting scripts (per Iqbal et al.'s
+    /// list in the paper's §3.5 experiment).
+    pub fingerprints: bool,
+    /// Whether the landing page is a login page that *needs* its UID query
+    /// parameter (the breakage experiment of §6).
+    pub login_needs_uid: bool,
+}
+
+impl Site {
+    /// The FQDN pages are served from.
+    pub fn www_fqdn(&self) -> String {
+        format!("www.{}", self.domain)
+    }
+
+    /// The page at a path, if any.
+    pub fn page(&self, path: &str) -> Option<&Page> {
+        self.pages.iter().find(|p| p.path == path)
+    }
+
+    /// The landing page.
+    pub fn landing(&self) -> &Page {
+        &self.pages[0]
+    }
+
+    /// Name of the site's own UID cookie.
+    pub fn own_uid_cookie_name(&self) -> String {
+        "_site_uid".to_string()
+    }
+
+    /// Name of the site's session cookie.
+    pub fn session_cookie_name(&self) -> String {
+        "_sessid".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> Site {
+        Site {
+            id: SiteId(1),
+            domain: "example.com".into(),
+            org: OrgId(1),
+            category: Category::NewsWeatherInformation,
+            rank: 0,
+            pages: vec![
+                Page {
+                    path: "/".into(),
+                    links: vec![],
+                    ad_slots: vec![],
+                    element_churn: 0.0,
+                    volatile: false,
+                },
+                Page {
+                    path: "/news".into(),
+                    links: vec![],
+                    ad_slots: vec![],
+                    element_churn: 0.1,
+                    volatile: false,
+                },
+            ],
+            embedded_trackers: vec![],
+            sets_own_uid: true,
+            sets_session_cookie: false,
+            fingerprints: false,
+            login_needs_uid: false,
+        }
+    }
+
+    #[test]
+    fn fqdn_and_pages() {
+        let s = site();
+        assert_eq!(s.www_fqdn(), "www.example.com");
+        assert_eq!(s.landing().path, "/");
+        assert!(s.page("/news").is_some());
+        assert!(s.page("/nope").is_none());
+    }
+
+    #[test]
+    fn cookie_names() {
+        let s = site();
+        assert_eq!(s.own_uid_cookie_name(), "_site_uid");
+        assert_eq!(s.session_cookie_name(), "_sessid");
+    }
+}

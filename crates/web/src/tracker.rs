@@ -1,0 +1,198 @@
+//! Trackers: the entities that perform (or merely witness) UID smuggling.
+//!
+//! §5.1 of the paper classifies redirectors into **dedicated smugglers**
+//! (domains with no purpose besides UID smuggling — 16 of the top 30
+//! redirectors, led by DoubleClick) and **multi-purpose smugglers** (link
+//! shims like `l.instagram.com`, sign-in hops, HTTP upgraders). Figure 6
+//! additionally shows *analytics* third parties that never smuggle but
+//! receive leaked UIDs in beacon requests. All of these are [`Tracker`]s
+//! here, distinguished by [`TrackerKind`].
+
+use cc_net::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::entity::OrgId;
+
+/// Identifier of a tracker in the generated world.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct TrackerId(pub u32);
+
+/// The role a tracker plays in the ecosystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrackerKind {
+    /// Redirector-only domain whose sole purpose is UID smuggling
+    /// (`adclick.g.doubleclick.net`, `btds.zog.link`, …).
+    DedicatedSmuggler,
+    /// A redirector that also serves user-facing purposes: link shims,
+    /// sign-in pages, language redirects (`l.instagram.com`,
+    /// `signin.lexisnexis.com`, `www.getfeedback.com`).
+    MultiPurposeSmuggler,
+    /// Modifies navigation paths but never decorates UIDs — pure bounce
+    /// tracking (§8, Koop et al.).
+    BounceTracker,
+    /// Passive third party: receives beacon requests from pages (and,
+    /// accidentally, leaked UIDs — Fig. 6) but never redirects.
+    Analytics,
+}
+
+/// A tracker: an ad-tech (or adjacent) endpoint with one or more FQDNs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tracker {
+    /// Identifier.
+    pub id: TrackerId,
+    /// Display name ("DoubleClick"-like).
+    pub name: String,
+    /// Owning organization.
+    pub org: OrgId,
+    /// The FQDN this tracker serves redirects/beacons from.
+    pub fqdn: String,
+    /// Role.
+    pub kind: TrackerKind,
+    /// Query parameter name this tracker uses to smuggle UIDs (e.g.
+    /// `gclid`). Analytics trackers still have one for beacon payloads.
+    pub uid_param: String,
+    /// Whether this tracker derives UIDs from the browser fingerprint
+    /// instead of minting random ones (§3.5's confound).
+    pub fingerprints: bool,
+    /// Lifetime of the UID cookies this tracker sets. §3.7.1: 16% of UIDs
+    /// lived under 90 days and 9% under a month, defeating lifetime-based
+    /// session-ID filters.
+    pub uid_lifetime: SimDuration,
+    /// Whether the tracker stores smuggled UIDs in localStorage instead of
+    /// cookies.
+    pub uses_local_storage: bool,
+    /// Present on the simulated Disconnect tracker-protection list. The
+    /// paper found 41% of dedicated smugglers were *not* listed.
+    pub in_disconnect: bool,
+    /// Matched by the simulated EasyList/EasyPrivacy filters. The paper
+    /// found only 6% of smuggling URLs were blocked.
+    pub in_easylist: bool,
+    /// For multi-purpose smugglers: probability that a given appearance is
+    /// in their *other* role (sign-in hop, link shim) rather than an ad
+    /// redirect. Zero for other kinds.
+    pub benign_role_share: f64,
+    /// Whether this tracker's hop answers with a script-driven redirect
+    /// (page that immediately navigates) rather than an HTTP 302. Both are
+    /// "invisible to the user but permitted to store first party cookies".
+    pub js_redirect: bool,
+    /// Cookie-sync partners (§8.2): on every page load this tracker tells
+    /// each partner its UID for the current user. Under partitioned
+    /// storage the shared knowledge stays scoped to one top-level site —
+    /// which is exactly why trackers escalated to UID smuggling (§2).
+    pub sync_partners: Vec<TrackerId>,
+}
+
+impl Tracker {
+    /// Whether this tracker acts as a redirector in navigation paths.
+    pub fn is_redirector(&self) -> bool {
+        matches!(
+            self.kind,
+            TrackerKind::DedicatedSmuggler
+                | TrackerKind::MultiPurposeSmuggler
+                | TrackerKind::BounceTracker
+        )
+    }
+
+    /// Whether this tracker decorates UIDs (participates in smuggling).
+    pub fn smuggles(&self) -> bool {
+        matches!(
+            self.kind,
+            TrackerKind::DedicatedSmuggler | TrackerKind::MultiPurposeSmuggler
+        )
+    }
+
+    /// The storage key under which this tracker keeps its own UID for a
+    /// user (within a partition).
+    pub fn uid_storage_key(&self) -> String {
+        format!(
+            "_{}_uid",
+            self.name.to_ascii_lowercase().replace([' ', '.'], "_")
+        )
+    }
+
+    /// The cookie name a redirector uses to persist a *received* smuggled
+    /// UID under its own domain.
+    pub fn received_uid_key(&self) -> String {
+        format!(
+            "_{}_rcv",
+            self.name.to_ascii_lowercase().replace([' ', '.'], "_")
+        )
+    }
+}
+
+/// Query parameter names real trackers use for UID smuggling; the Brave
+/// debounce/strip defense ships a blocklist of exactly such names (§7.1).
+pub const UID_PARAM_NAMES: &[&str] = &[
+    "gclid",
+    "fbclid",
+    "dclid",
+    "msclkid",
+    "yclid",
+    "awc",
+    "uid",
+    "visitor_id",
+    "s_kwcid",
+    "mc_eid",
+    "oly_anon_id",
+    "vero_id",
+    "wickedid",
+    "_openstat",
+    "igshid",
+    "mkt_tok",
+    "trk_uid",
+    "sub_id",
+    "click_id",
+    "tduid",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(kind: TrackerKind) -> Tracker {
+        Tracker {
+            id: TrackerId(1),
+            name: "Acme Ads".into(),
+            org: OrgId(1),
+            fqdn: "adclick.acmeads.com".into(),
+            kind,
+            uid_param: "gclid".into(),
+            fingerprints: false,
+            uid_lifetime: SimDuration::from_days(365),
+            uses_local_storage: false,
+            in_disconnect: true,
+            in_easylist: false,
+            benign_role_share: 0.0,
+            js_redirect: false,
+            sync_partners: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn role_predicates() {
+        assert!(tracker(TrackerKind::DedicatedSmuggler).is_redirector());
+        assert!(tracker(TrackerKind::DedicatedSmuggler).smuggles());
+        assert!(tracker(TrackerKind::MultiPurposeSmuggler).smuggles());
+        assert!(tracker(TrackerKind::BounceTracker).is_redirector());
+        assert!(!tracker(TrackerKind::BounceTracker).smuggles());
+        assert!(!tracker(TrackerKind::Analytics).is_redirector());
+        assert!(!tracker(TrackerKind::Analytics).smuggles());
+    }
+
+    #[test]
+    fn storage_keys_derived_from_name() {
+        let t = tracker(TrackerKind::DedicatedSmuggler);
+        assert_eq!(t.uid_storage_key(), "_acme_ads_uid");
+        assert_eq!(t.received_uid_key(), "_acme_ads_rcv");
+    }
+
+    #[test]
+    fn uid_param_names_nonempty_unique() {
+        let set: std::collections::HashSet<_> = UID_PARAM_NAMES.iter().collect();
+        assert_eq!(set.len(), UID_PARAM_NAMES.len());
+        assert!(UID_PARAM_NAMES.contains(&"gclid"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Word lists for generating realistic names and — crucially — realistic
+//! **false positives**.
+//!
+//! §3.7.2 of the paper: after programmatic filtering, the remaining
+//! non-UID tokens were "natural language strings separated by delimiters
+//! ('Dental_internal_whitepaper_topic', 'share_button'), concatenated words
+//! with no delimiter ('sweetmagnolias', 'trustpilot'), semi-abbreviated
+//! words ('navimail'), acronyms ('en-US')". The generator mints campaign
+//! parameters with exactly these shapes so the manual-analyst model has a
+//! faithful workload, and 577/1,581 of candidate tokens end up removed by
+//! hand in the paper's run.
+
+use cc_util::DetRng;
+
+/// Common English-ish words used for domains, campaign names, and
+/// word-shaped token values.
+pub const WORDS: &[&str] = &[
+    "sweet", "magnolia", "trust", "pilot", "dental", "internal", "white", "paper", "topic",
+    "share", "button", "daily", "deal", "coupon", "follow", "sports", "stats", "news", "media",
+    "cloud", "shop", "store", "market", "trade", "finance", "capital", "health", "fit", "life",
+    "style", "auto", "drive", "home", "garden", "travel", "journey", "stream", "play", "game",
+    "tech", "byte", "data", "link", "click", "track", "pixel", "beacon", "ad", "banner", "bridge",
+    "river", "stone", "forest", "meadow", "harbor", "summit", "valley", "spark", "ember", "nova",
+    "orbit", "pulse", "wave", "echo", "prism", "vertex", "zenith", "atlas", "signal", "vector",
+    "matrix", "cipher", "quartz", "falcon", "otter", "badger", "heron", "maple", "cedar", "willow",
+    "aspen", "global", "prime", "rapid", "smart", "bright", "fresh", "swift", "solid", "true",
+    "pure", "peak", "core", "edge", "apex", "united", "express",
+];
+
+/// Acronym/locale-style short tokens (obvious non-UIDs the manual filter
+/// must catch).
+pub const ACRONYMS: &[&str] = &[
+    "en-US", "en-GB", "fr-FR", "de-DE", "es-MX", "pt-BR", "ja-JP", "zh-CN", "UTF-8", "GMT", "UTC",
+    "NTSC", "USD", "EUR", "API", "SDK", "RSS", "AMP",
+];
+
+/// Pick a random word.
+pub fn word(rng: &mut DetRng) -> &'static str {
+    let w: &&'static str = rng.pick(WORDS);
+    w
+}
+
+/// A `foo_bar_baz`-style natural-language string with delimiters.
+pub fn delimited_phrase(rng: &mut DetRng, n_words: usize) -> String {
+    let sep = *rng.pick(&["_", "-", "."]);
+    (0..n_words.max(1))
+        .map(|_| word(rng).to_string())
+        .collect::<Vec<_>>()
+        .join(sep)
+}
+
+/// Concatenated words with no delimiter (`sweetmagnolias` shape).
+pub fn concatenated_words(rng: &mut DetRng, n_words: usize) -> String {
+    (0..n_words.max(1)).map(|_| word(rng)).collect()
+}
+
+/// A semi-abbreviated word (`navimail` shape): two words, each truncated.
+pub fn semi_abbreviated(rng: &mut DetRng) -> String {
+    let a = word(rng);
+    let b = word(rng);
+    let ta = &a[..a.len().min(4)];
+    let tb = &b[..b.len().min(4)];
+    format!("{ta}{tb}")
+}
+
+/// A locale/acronym token.
+pub fn acronym(rng: &mut DetRng) -> &'static str {
+    let a: &&'static str = rng.pick(ACRONYMS);
+    a
+}
+
+/// A plausible lowercase domain name under the given TLD.
+pub fn domain_name(rng: &mut DetRng, tld: &str) -> String {
+    let style = rng.below(3);
+    let name = match style {
+        0 => format!("{}{}", word(rng), word(rng)),
+        1 => format!("{}-{}", word(rng), word(rng)),
+        _ => format!("{}{}{}", word(rng), word(rng), rng.range(1, 99)),
+    };
+    format!("{name}.{tld}")
+}
+
+/// A plausible tracker FQDN: short host label(s) under a tracker domain,
+/// like `adclick.g.doubleclick.net` or `trc.taboola.com`.
+pub fn tracker_fqdn(rng: &mut DetRng, base_domain: &str) -> String {
+    const LABELS: &[&str] = &[
+        "ad", "ads", "adclick", "trc", "sync", "px", "go", "r", "rd", "t", "l", "gm", "secure",
+        "click", "rtb", "match", "pr", "optout", "s", "edge",
+    ];
+    match rng.below(3) {
+        0 => format!("{}.{}", rng.pick(LABELS), base_domain),
+        1 => format!(
+            "{}.{}.{}",
+            rng.pick(LABELS),
+            rng.pick(&["g", "d", "x", "e"]),
+            base_domain
+        ),
+        _ => format!("{}{}.{}", rng.pick(LABELS), rng.range(1, 9999), base_domain),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delimited_phrase_shape() {
+        let mut rng = DetRng::new(1);
+        let p = delimited_phrase(&mut rng, 3);
+        let parts = cc_util::strings::split_words(&p);
+        assert_eq!(parts.len(), 3);
+        for w in parts {
+            assert!(WORDS.contains(&w), "unknown word {w}");
+        }
+    }
+
+    #[test]
+    fn concatenated_has_no_delimiters() {
+        let mut rng = DetRng::new(2);
+        let c = concatenated_words(&mut rng, 2);
+        assert!(c.chars().all(|ch| ch.is_ascii_lowercase()));
+        assert!(c.len() >= 4);
+    }
+
+    #[test]
+    fn semi_abbreviated_is_short_concat() {
+        let mut rng = DetRng::new(3);
+        let s = semi_abbreviated(&mut rng);
+        assert!(s.len() <= 8);
+        assert!(s.chars().all(|ch| ch.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn domain_name_parses_as_host() {
+        let mut rng = DetRng::new(4);
+        for _ in 0..100 {
+            let d = domain_name(&mut rng, "com");
+            assert!(cc_url::Host::parse(&d).is_ok(), "bad domain {d}");
+            assert!(d.ends_with(".com"));
+        }
+    }
+
+    #[test]
+    fn tracker_fqdn_under_base() {
+        let mut rng = DetRng::new(5);
+        for _ in 0..100 {
+            let f = tracker_fqdn(&mut rng, "doubleclick.net");
+            let h = cc_url::Host::parse(&f).unwrap();
+            assert!(h.is_subdomain_of("doubleclick.net"));
+            assert_ne!(f, "doubleclick.net");
+        }
+    }
+
+    #[test]
+    fn zero_word_requests_clamped() {
+        let mut rng = DetRng::new(6);
+        assert!(!delimited_phrase(&mut rng, 0).is_empty());
+        assert!(!concatenated_words(&mut rng, 0).is_empty());
+    }
+
+    #[test]
+    fn acronyms_listed() {
+        let mut rng = DetRng::new(7);
+        assert!(ACRONYMS.contains(&acronym(&mut rng)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: generate a small synthetic web, crawl it with the four
+//! synchronized crawlers, run the CrumbCruncher pipeline, and print what
+//! was found.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use crumbcruncher::Study;
+
+fn main() {
+    println!("CrumbCruncher-RS quickstart");
+    println!("===========================\n");
+
+    // A small world: 60 sites, 15 ten-step walks, four crawlers
+    // (Safari-1, Safari-2, Chrome-3 in parallel + the trailing Safari-1R).
+    let study = Study::quick(2022);
+
+    let summary = cc_analysis::summarize(&study.output);
+    println!("Crawled {} unique URL paths.", summary.unique_url_paths);
+    println!(
+        "UID smuggling found on {} — the paper measured 8.11% in the wild.\n",
+        summary.smuggling_rate()
+    );
+
+    println!("First few confirmed smuggling cases:");
+    for f in study.output.findings.iter().take(5) {
+        let value = f
+            .values
+            .values()
+            .flatten()
+            .next()
+            .map(String::as_str)
+            .unwrap_or("?");
+        println!(
+            "  [{}] {} -> {}  param `{}` = {}…",
+            f.portion().label(),
+            f.origin,
+            f.destination.as_deref().unwrap_or("(none)"),
+            f.name,
+            &value[..value.len().min(12)],
+        );
+        if !f.redirectors.is_empty() {
+            println!("      via redirectors: {}", f.redirectors.join(" -> "));
+        }
+    }
+
+    // The simulator's superpower: ground truth. Every minted token is
+    // labeled, so the classifier can be scored.
+    let score = study.truth_score();
+    println!(
+        "\nAgainst ground truth: precision {:.2}, recall {:.2} ({} fingerprint-based UIDs \
+         missed by design — see §3.5 of the paper).",
+        score.precision(),
+        score.recall(),
+        score.fingerprint_misses
+    );
+}

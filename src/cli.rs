@@ -1,0 +1,335 @@
+//! The `crumbcruncher` command-line interface.
+//!
+//! The paper's pipeline "can be run as an almost entirely automated
+//! pipeline to continuously update blocklists" (§7.2); this CLI is that
+//! automation surface:
+//!
+//! ```text
+//! crumbcruncher report     [opts]            print every table and figure
+//! crumbcruncher crawl      [opts] --out F    run the crawl, dump the dataset JSON
+//! crumbcruncher blocklist  [opts] --out F    run + emit the released blocklist bundle
+//! crumbcruncher defense    [opts]            score the §7 defenses on a fresh crawl
+//! crumbcruncher truth      [opts]            precision/recall against ground truth
+//!
+//! options: --seed N  --sites N  --seeders N  --steps N  --walks N
+//!          --parallel  --paper-scale  --out PATH
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency budget is
+//! deliberately small) and lives in the library so it can be unit-tested.
+
+use cc_crawler::CrawlConfig;
+use cc_web::WebConfig;
+
+/// Which subcommand to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Print the full analysis report.
+    Report,
+    /// Run the crawl and write the dataset JSON.
+    Crawl,
+    /// Run everything and write the blocklist artifacts.
+    Blocklist,
+    /// Score the defenses.
+    Defense,
+    /// Score the pipeline against ground truth.
+    Truth,
+    /// Print usage.
+    Help,
+}
+
+/// Parsed CLI invocation.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Subcommand.
+    pub command: Command,
+    /// World configuration.
+    pub web: WebConfig,
+    /// Crawl configuration.
+    pub crawl: CrawlConfig,
+    /// Output path for subcommands that write a file.
+    pub out: Option<String>,
+}
+
+/// CLI parse errors (rendered to the user verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+crumbcruncher — reproduce 'Measuring UID Smuggling in the Wild' (IMC 2022)
+
+USAGE:
+  crumbcruncher <COMMAND> [OPTIONS]
+
+COMMANDS:
+  report      crawl the simulated web and print every table and figure
+  crawl       run the crawl and write the dataset JSON (requires --out)
+  blocklist   run the pipeline and write the released blocklist bundle (requires --out)
+  defense     score the §7 countermeasures against a fresh crawl
+  truth       score the pipeline against the simulator's ground truth
+  help        print this message
+
+OPTIONS:
+  --seed N         master seed (default 0xC0FFEE)
+  --sites N        number of sites in the world (default 2000)
+  --seeders N      number of seeder domains / walks (default 1000)
+  --steps N        steps per walk (default 10)
+  --walks N        cap the number of walks
+  --parallel       persistent crawler workers on real threads
+  --paper-scale    10,000 sites and seeders, as in the paper's §3.1
+  --out PATH       output file for crawl/blocklist
+";
+
+/// Parse argv (without the program name).
+pub fn parse(args: &[String]) -> Result<Cli, CliError> {
+    let mut command = None;
+    let mut web = WebConfig {
+        n_sites: 2_000,
+        n_seeders: 1_000,
+        ..WebConfig::default()
+    };
+    let mut crawl = CrawlConfig::default();
+    let mut out = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "report" | "crawl" | "blocklist" | "defense" | "truth" | "help" => {
+                if command.is_some() {
+                    return Err(CliError(format!("unexpected second command {arg:?}")));
+                }
+                command = Some(match arg.as_str() {
+                    "report" => Command::Report,
+                    "crawl" => Command::Crawl,
+                    "blocklist" => Command::Blocklist,
+                    "defense" => Command::Defense,
+                    "truth" => Command::Truth,
+                    _ => Command::Help,
+                });
+            }
+            "--seed" => {
+                let v = numeric(&mut it, "--seed")?;
+                web.seed = v;
+                crawl.seed = v;
+            }
+            "--sites" => web.n_sites = numeric(&mut it, "--sites")? as usize,
+            "--seeders" => web.n_seeders = numeric(&mut it, "--seeders")? as usize,
+            "--steps" => crawl.steps_per_walk = numeric(&mut it, "--steps")? as usize,
+            "--walks" => crawl.max_walks = Some(numeric(&mut it, "--walks")? as usize),
+            "--parallel" => crawl.mode = cc_crawler::DriverMode::PersistentWorkers,
+            "--paper-scale" => {
+                let seed = web.seed;
+                web = WebConfig::paper_scale();
+                web.seed = seed;
+            }
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError("--out needs a path".into()))?
+                        .clone(),
+                )
+            }
+            other => return Err(CliError(format!("unknown argument {other:?}"))),
+        }
+    }
+
+    let command = command.ok_or_else(|| CliError("no command given".into()))?;
+    if matches!(command, Command::Crawl | Command::Blocklist) && out.is_none() {
+        return Err(CliError(
+            format!("{command:?} requires --out PATH").to_lowercase(),
+        ));
+    }
+    Ok(Cli {
+        command,
+        web,
+        crawl,
+        out,
+    })
+}
+
+fn numeric(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    flag: &str,
+) -> Result<u64, CliError> {
+    let raw = it
+        .next()
+        .ok_or_else(|| CliError(format!("{flag} needs a number")))?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    parsed.map_err(|_| CliError(format!("{flag}: {raw:?} is not a number")))
+}
+
+/// Execute a parsed invocation; returns the text to print.
+pub fn run(cli: &Cli) -> Result<String, CliError> {
+    use crate::Study;
+
+    if cli.command == Command::Help {
+        return Ok(USAGE.to_string());
+    }
+
+    let study = Study::run(&cli.web, cli.crawl.clone());
+    match cli.command {
+        Command::Help => unreachable!("handled above"),
+        Command::Report => Ok(study.report().render()),
+        Command::Crawl => {
+            let json = study
+                .dataset
+                .to_json()
+                .map_err(|e| CliError(format!("serialize dataset: {e}")))?;
+            let path = cli.out.as_deref().expect("validated in parse");
+            std::fs::write(path, &json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+            Ok(format!(
+                "wrote {} walks ({} bytes) to {path}\n",
+                study.dataset.walks.len(),
+                json.len()
+            ))
+        }
+        Command::Blocklist => {
+            let artifacts = cc_defense::artifacts::BlocklistArtifacts::from_output(&study.output);
+            let json = artifacts
+                .to_json()
+                .map_err(|e| CliError(format!("serialize blocklist: {e}")))?;
+            let path = cli.out.as_deref().expect("validated in parse");
+            std::fs::write(path, &json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+            Ok(format!(
+                "released {} token names and {} tracker domains to {path}\n",
+                artifacts.token_names.len(),
+                artifacts.tracker_domains.len()
+            ))
+        }
+        Command::Defense => {
+            let eval = cc_defense::evaluate_defenses(&study.web, &study.output);
+            Ok(format!(
+                "Disconnect coverage of dedicated smugglers: {}\n\
+                 EasyList coverage of smuggling paths:       {}\n\
+                 Stripping (well-known params):              {}\n\
+                 Stripping (with measurement feedback):      {}\n\
+                 Debouncing prevents:                        {}\n",
+                eval.disconnect_coverage,
+                eval.easylist_coverage,
+                eval.strip_well_known,
+                eval.strip_with_feedback,
+                eval.debounce_prevented
+            ))
+        }
+        Command::Truth => {
+            let score = study.truth_score();
+            Ok(format!(
+                "groups: tp {} fp {} fn {} fingerprint-misses {} unlabeled {}\n\
+                 precision {:.3}  recall {:.3}\n",
+                score.true_positives,
+                score.false_positives,
+                score.false_negatives,
+                score.fingerprint_misses,
+                score.unlabeled,
+                score.precision(),
+                score.recall()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_report_defaults() {
+        let cli = parse(&argv("report")).unwrap();
+        assert_eq!(cli.command, Command::Report);
+        assert_eq!(cli.web.n_sites, 2_000);
+        assert_eq!(cli.crawl.steps_per_walk, 10);
+        assert!(cli.out.is_none());
+    }
+
+    #[test]
+    fn parse_options() {
+        let cli = parse(&argv(
+            "crawl --seed 0xAB --sites 500 --seeders 100 --steps 4 --walks 20 --parallel --out d.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Crawl);
+        assert_eq!(cli.web.seed, 0xAB);
+        assert_eq!(cli.crawl.seed, 0xAB);
+        assert_eq!(cli.web.n_sites, 500);
+        assert_eq!(cli.web.n_seeders, 100);
+        assert_eq!(cli.crawl.steps_per_walk, 4);
+        assert_eq!(cli.crawl.max_walks, Some(20));
+        assert_eq!(cli.crawl.mode, cc_crawler::DriverMode::PersistentWorkers);
+        assert_eq!(cli.out.as_deref(), Some("d.json"));
+    }
+
+    #[test]
+    fn parse_paper_scale_preserves_seed() {
+        let cli = parse(&argv("report --seed 42 --paper-scale")).unwrap();
+        assert_eq!(cli.web.seed, 42);
+        assert_eq!(cli.web.n_seeders, 10_000);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("report report")).is_err());
+        assert!(parse(&argv("report --seed")).is_err());
+        assert!(parse(&argv("report --seed banana")).is_err());
+        assert!(parse(&argv("report --frobnicate")).is_err());
+        assert!(parse(&argv("crawl")).is_err(), "crawl requires --out");
+        assert!(parse(&argv("blocklist")).is_err());
+    }
+
+    #[test]
+    fn help_runs_without_crawling() {
+        let cli = parse(&argv("help")).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn truth_command_end_to_end() {
+        let mut cli = parse(&argv("truth --seed 9 --sites 60 --seeders 10 --steps 3")).unwrap();
+        cli.web = cc_web::WebConfig {
+            seed: 9,
+            n_sites: 60,
+            n_seeders: 10,
+            ..cc_web::WebConfig::small()
+        };
+        let out = run(&cli).unwrap();
+        assert!(out.contains("precision"), "{out}");
+    }
+
+    #[test]
+    fn blocklist_command_writes_file() {
+        let dir = std::env::temp_dir().join("ccrs-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blocklist.json");
+        let cli = parse(&argv(&format!(
+            "blocklist --seed 4 --sites 80 --seeders 12 --steps 3 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        let msg = run(&cli).unwrap();
+        assert!(msg.contains("released"));
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            cc_defense::artifacts::BlocklistArtifacts::from_json(&content).is_ok(),
+            "released bundle should parse back"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! # crumbcruncher
+//!
+//! A full-system Rust reproduction of **"Measuring UID Smuggling in the
+//! Wild"** (Randall et al., ACM IMC 2022): the CrumbCruncher measurement
+//! pipeline, the four-crawler synchronized crawling framework, and — since
+//! the live Web and Puppeteer-driven Chrome are not available here — a
+//! deterministic simulated Web and browser substrate that reproduces every
+//! artifact the pipeline consumes.
+//!
+//! The workspace crates are re-exported under short names:
+//!
+//! * [`web`] — the synthetic Web ([`cc_web`]);
+//! * [`browser`] — partitioned-storage browser model ([`cc_browser`]);
+//! * [`crawler`] — the synchronized crawlers ([`cc_crawler`]);
+//! * [`core`] — the analysis pipeline ([`cc_core`]);
+//! * [`analysis`] — tables and figures ([`cc_analysis`]);
+//! * [`defense`] — the §7 countermeasures ([`cc_defense`]);
+//! * plus the low-level substrates [`url`], [`net`], [`http`], [`util`].
+//!
+//! [`Study`] wires the whole thing together:
+//!
+//! ```
+//! use crumbcruncher::Study;
+//!
+//! let study = Study::quick(7);
+//! let report = study.report();
+//! assert!(report.summary.unique_url_paths > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use cc_analysis as analysis;
+pub use cc_browser as browser;
+pub use cc_core as core;
+pub use cc_crawler as crawler;
+pub use cc_defense as defense;
+pub use cc_http as http;
+pub use cc_net as net;
+pub use cc_url as url;
+pub use cc_util as util;
+pub use cc_web as web;
+
+use cc_analysis::report::{full_report, AnalysisReport};
+use cc_core::pipeline::PipelineOutput;
+use cc_crawler::{CrawlConfig, CrawlDataset, Walker};
+use cc_web::{generate, SimWeb, WebConfig};
+
+/// An end-to-end study: world, crawl, and pipeline results in one place.
+pub struct Study {
+    /// The generated world.
+    pub web: SimWeb,
+    /// The crawl dataset (the paper's released artifact).
+    pub dataset: CrawlDataset,
+    /// The pipeline output (findings, groups, paths).
+    pub output: PipelineOutput,
+}
+
+impl Study {
+    /// Run a study with explicit world and crawl configurations.
+    pub fn run(web_config: &WebConfig, crawl_config: CrawlConfig) -> Self {
+        let web = generate(web_config);
+        let dataset = Walker::new(&web, crawl_config).crawl();
+        let output = cc_core::run_pipeline(&dataset);
+        Study {
+            web,
+            dataset,
+            output,
+        }
+    }
+
+    /// A small, fast study for demos and tests (≈ seconds).
+    pub fn quick(seed: u64) -> Self {
+        let mut web_config = WebConfig::small();
+        web_config.seed = seed;
+        let crawl_config = CrawlConfig {
+            seed,
+            steps_per_walk: 5,
+            max_walks: Some(15),
+            ..CrawlConfig::default()
+        };
+        Study::run(&web_config, crawl_config)
+    }
+
+    /// A medium study matching the calibrated defaults (≈ seconds in
+    /// release mode, a couple of minutes in debug).
+    pub fn medium(seed: u64) -> Self {
+        let web_config = WebConfig {
+            seed,
+            n_sites: 2_000,
+            n_seeders: 1_000,
+            ..WebConfig::default()
+        };
+        let crawl_config = CrawlConfig {
+            seed,
+            ..CrawlConfig::default()
+        };
+        Study::run(&web_config, crawl_config)
+    }
+
+    /// The complete analysis report (every table and figure).
+    pub fn report(&self) -> AnalysisReport {
+        full_report(&self.web, &self.dataset, &self.output)
+    }
+
+    /// Ground-truth scorecard for the pipeline (simulator-only superpower).
+    pub fn truth_score(&self) -> cc_core::truth_eval::TruthScore {
+        cc_core::truth_eval::score(&self.output.groups, &self.web.truth_snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_end_to_end() {
+        let study = Study::quick(3);
+        let report = study.report();
+        assert!(report.summary.unique_url_paths > 0);
+        let score = study.truth_score();
+        assert!(score.precision() > 0.5);
+    }
+}

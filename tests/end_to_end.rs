@@ -1,0 +1,196 @@
+//! End-to-end integration: world → crawl → pipeline → analysis, with
+//! coherence assertions across crate boundaries.
+
+use crumbcruncher::Study;
+
+use cc_crawler::{CrawlConfig, CrawlerName, Walker};
+use cc_web::{generate, WebConfig};
+
+fn medium_study(seed: u64) -> Study {
+    let web_config = WebConfig {
+        seed,
+        n_sites: 800,
+        n_seeders: 250,
+        ..WebConfig::default()
+    };
+    let crawl_config = CrawlConfig {
+        seed,
+        ..CrawlConfig::default()
+    };
+    Study::run(&web_config, crawl_config)
+}
+
+#[test]
+fn pipeline_recovers_smuggling_with_high_precision() {
+    let study = medium_study(11);
+    assert!(
+        study.output.findings.len() > 50,
+        "expected a substantial number of findings, got {}",
+        study.output.findings.len()
+    );
+    let score = study.truth_score();
+    assert!(
+        score.precision() > 0.8,
+        "precision {:.2} too low: {score:?}",
+        score.precision()
+    );
+    assert!(
+        score.recall() > 0.85,
+        "recall {:.2} too low: {score:?}",
+        score.recall()
+    );
+}
+
+#[test]
+fn fingerprint_uids_are_the_expected_misses() {
+    let study = medium_study(13);
+    let score = study.truth_score();
+    // §3.5: fingerprint-derived UIDs are identical across crawlers and get
+    // discarded by the same-across-users rule. Those misses must be
+    // attributed to fingerprinting, not to ordinary false negatives.
+    assert!(
+        score.fingerprint_misses > 0,
+        "no fingerprint misses observed"
+    );
+    assert!(
+        score.false_negatives <= score.fingerprint_misses * 2,
+        "too many non-fingerprint misses: {score:?}"
+    );
+}
+
+#[test]
+fn report_is_internally_consistent() {
+    let study = medium_study(17);
+    let report = study.report();
+    let t1_total: u64 = report.table1.rows.iter().map(|(_, n)| n).sum();
+    assert_eq!(t1_total as usize, study.output.findings.len());
+
+    // Figure 8 totals equal the UID count.
+    let f8_total: u64 = report.fig8.iter().map(|b| b.total()).sum();
+    assert_eq!(f8_total, t1_total);
+
+    // Figure 7 totals equal unique smuggling URL paths.
+    let f7_total: u64 = report.fig7.iter().map(|b| b.total()).sum();
+    assert_eq!(f7_total, report.summary.unique_url_paths_smuggling);
+
+    // Table 3 percentages are over unique smuggling domain paths.
+    for row in &report.table3 {
+        assert!(row.count <= report.summary.unique_domain_paths_smuggling);
+        assert!(row.pct_domain_paths <= 100.0);
+    }
+
+    // Redirector classes partition the redirector set.
+    assert_eq!(
+        report.summary.dedicated_smugglers + report.summary.multi_purpose_smugglers,
+        report.summary.unique_redirectors
+    );
+}
+
+#[test]
+fn four_crawlers_run_and_record() {
+    let study = Study::quick(19);
+    let mut seen = std::collections::HashSet::new();
+    for obs in study.dataset.observations() {
+        seen.insert(obs.crawler);
+    }
+    for crawler in CrawlerName::ALL {
+        assert!(seen.contains(&crawler), "{crawler} never recorded");
+    }
+}
+
+#[test]
+fn walks_respect_step_limit_and_termination() {
+    let web = generate(&WebConfig::small());
+    let cfg = CrawlConfig {
+        seed: 23,
+        steps_per_walk: 10,
+        max_walks: Some(20),
+        ..CrawlConfig::default()
+    };
+    let ds = Walker::new(&web, cfg).crawl();
+    // The small world has 15 seeders; one walk per seeder (§3.1).
+    assert_eq!(ds.walks.len(), 15);
+    for w in &ds.walks {
+        assert!(w.steps.len() <= 10, "walk {} overran", w.walk_id);
+        match &w.termination {
+            cc_crawler::WalkTermination::Completed => {
+                assert_eq!(w.steps.len(), 10, "completed walk {} short", w.walk_id)
+            }
+            cc_crawler::WalkTermination::SyncFailure { step }
+            | cc_crawler::WalkTermination::Divergence { step } => {
+                assert!(*step < 10);
+            }
+            cc_crawler::WalkTermination::ConnectFailure { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn browser_state_is_discarded_between_walks() {
+    // Two walks from the same seeder mint different site UIDs: the "new
+    // user data directory per walk" rule of §3.5.
+    let web = generate(&WebConfig::small());
+    let cfg = CrawlConfig {
+        seed: 29,
+        steps_per_walk: 2,
+        max_walks: Some(15),
+        connect_failure_rate: 0.0,
+        ..CrawlConfig::default()
+    };
+    let ds = Walker::new(&web, cfg).crawl();
+    // Collect the _site_uid values Safari-1 saw on each walk's first page.
+    let mut uids_by_walk: Vec<String> = Vec::new();
+    for w in &ds.walks {
+        let Some(step) = w.steps.first() else {
+            continue;
+        };
+        let Some(obs) = step
+            .observations
+            .iter()
+            .find(|o| o.crawler == CrawlerName::Safari1)
+        else {
+            continue;
+        };
+        if let Some((_, v, _)) = obs
+            .page_snapshot
+            .cookies
+            .iter()
+            .find(|(n, _, _)| n == "_site_uid")
+        {
+            uids_by_walk.push(v.clone());
+        }
+    }
+    let distinct: std::collections::HashSet<_> = uids_by_walk.iter().collect();
+    assert_eq!(
+        distinct.len(),
+        uids_by_walk.len(),
+        "a site UID survived across walks: state not discarded"
+    );
+}
+
+#[test]
+fn dataset_roundtrips_at_scale() {
+    let study = Study::quick(31);
+    let json = study.dataset.to_json().expect("serialize");
+    let back = cc_crawler::CrawlDataset::from_json(&json).expect("deserialize");
+    assert_eq!(back, study.dataset);
+}
+
+#[test]
+fn flat_storage_world_lets_trackers_share_without_smuggling() {
+    // With flat storage (pre-partitioning browsers), a tracker's UID is the
+    // same bucket on every site: the same crawl records it everywhere.
+    let web = generate(&WebConfig::small());
+    let cfg = CrawlConfig {
+        seed: 37,
+        steps_per_walk: 4,
+        max_walks: Some(10),
+        connect_failure_rate: 0.0,
+        storage_policy: cc_browser::StoragePolicy::Flat,
+        ..CrawlConfig::default()
+    };
+    let ds = Walker::new(&web, cfg).crawl();
+    // The crawl itself still works; the pipeline still runs.
+    let out = cc_core::run_pipeline(&ds);
+    assert!(out.paths.len() > 10);
+}

@@ -1,0 +1,446 @@
+//! Experiment shape assertions: every table, figure, and headline claim of
+//! the paper, checked as a *shape* (who wins, rough factors, orderings)
+//! per the reproduction contract in DESIGN.md.
+
+use std::sync::OnceLock;
+
+use cc_analysis::report::AnalysisReport;
+use cc_core::pipeline::PathPortion;
+use cc_core::ComboClass;
+use cc_crawler::CrawlConfig;
+use cc_web::WebConfig;
+use crumbcruncher::Study;
+
+/// One shared medium-scale study for all experiment assertions (the crawl
+/// is deterministic, so sharing it is safe and keeps the suite fast).
+fn study() -> &'static (Study, AnalysisReport) {
+    static STUDY: OnceLock<(Study, AnalysisReport)> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let web_config = WebConfig {
+            seed: 0xE0E0,
+            n_sites: 1_500,
+            n_seeders: 500,
+            ..WebConfig::default()
+        };
+        let crawl_config = CrawlConfig {
+            seed: 0xE0E0,
+            ..CrawlConfig::default()
+        };
+        let s = Study::run(&web_config, crawl_config);
+        let r = s.report();
+        (s, r)
+    })
+}
+
+// --- H1: 8.11% of unique URL paths contain UID smuggling.
+#[test]
+fn h1_smuggling_rate_shape() {
+    let (_, report) = study();
+    let rate = report.summary.smuggling_rate().percent();
+    assert!(
+        (4.0..=16.0).contains(&rate),
+        "smuggling rate {rate:.2}% outside the paper's band (8.11%)"
+    );
+}
+
+// --- H2: bounce-only ≈ 2.7%, strictly less than smuggling; total ≈ 10.8%.
+#[test]
+fn h2_bounce_tracking_shape() {
+    let (_, report) = study();
+    let bounce = report.bounce.bounce_rate().percent();
+    let smuggle = report.summary.smuggling_rate().percent();
+    assert!(bounce > 0.5, "bounce tracking should exist ({bounce:.2}%)");
+    assert!(
+        bounce < smuggle,
+        "bounce ({bounce:.2}%) should be rarer than smuggling ({smuggle:.2}%)"
+    );
+    let total = report.bounce.navigational_tracking_rate().percent();
+    assert!(
+        (6.0..=22.0).contains(&total),
+        "navigational tracking total {total:.2}% out of band (10.8%)"
+    );
+}
+
+// --- H3: failure taxonomy — sync ≈ 7.6% > connect ≈ 3.3% > divergence ≈ 1.8%.
+#[test]
+fn h3_failure_taxonomy_shape() {
+    let (_, report) = study();
+    let sync = report.failures.sync_failure_rate() * 100.0;
+    let div = report.failures.divergence_rate() * 100.0;
+    let conn = report.failures.connect_failure_rate() * 100.0;
+    assert!((3.0..=16.0).contains(&sync), "sync {sync:.1}% (paper 7.6%)");
+    assert!(
+        (0.05..=5.0).contains(&div),
+        "divergence {div:.2}% (paper 1.8%)"
+    );
+    assert!(
+        (1.0..=8.0).contains(&conn),
+        "connect {conn:.1}% (paper 3.3%)"
+    );
+    assert!(sync > div, "sync failures should dominate divergence");
+}
+
+// --- Table 1: row ordering (1 profile > 2 identical+different > 2+
+// different only > 2 identical only).
+#[test]
+fn table1_row_ordering() {
+    let (_, report) = study();
+    let get = |c: ComboClass| {
+        report
+            .table1
+            .rows
+            .iter()
+            .find(|(combo, _)| *combo == c)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    let one = get(ComboClass::OneProfileOnly);
+    let ident_plus = get(ComboClass::TwoIdenticalPlusDifferent);
+    let diff_only = get(ComboClass::TwoOrMoreDifferentOnly);
+    let ident_only = get(ComboClass::TwoIdenticalOnly);
+    // Paper: 445 > 325 > 171 > 20. Require every row populated and the
+    // extremes ordered.
+    assert!(
+        one > 0 && ident_plus > 0 && diff_only > 0 && ident_only > 0,
+        "all Table-1 rows should be populated: {one}/{ident_plus}/{diff_only}/{ident_only}"
+    );
+    assert!(
+        ident_only < one && ident_only < ident_plus && ident_only < diff_only,
+        "'2 identical only' must be the rarest row (paper: 20 of 961)"
+    );
+}
+
+// --- Table 2: participant counts are coherent and plural.
+#[test]
+fn table2_participants() {
+    let (_, report) = study();
+    let s = &report.summary;
+    assert!(s.unique_redirectors >= 10, "{s:?}");
+    assert!(s.dedicated_smugglers >= 5, "{s:?}");
+    assert!(s.multi_purpose_smugglers >= 3, "{s:?}");
+    assert!(s.unique_originators >= 20, "{s:?}");
+    assert!(s.unique_destinations >= 20, "{s:?}");
+    assert!(s.unique_domain_paths_smuggling <= s.unique_url_paths_smuggling);
+}
+
+// --- Table 3: a dominant head (DoubleClick-like covers >5% of domain
+// paths) and a long tail.
+#[test]
+fn table3_dominant_redirector() {
+    let (_, report) = study();
+    assert!(!report.table3.is_empty());
+    let head = &report.table3[0];
+    assert!(
+        head.pct_domain_paths > 5.0,
+        "dominant redirector should cover a large share (paper: 11.2%), got {:.1}%",
+        head.pct_domain_paths
+    );
+    let tail = report.table3.last().unwrap();
+    assert!(
+        head.count >= 3 * tail.count.max(1),
+        "no long tail in Table 3"
+    );
+}
+
+// --- Figure 4: the sports-family and social organizations appear among
+// originators (the paper's most common originators).
+#[test]
+fn figure4_organizations() {
+    let (_, report) = study();
+    assert!(!report.orgs.originators.is_empty());
+    assert!(!report.orgs.destinations.is_empty());
+    // Each org is counted once per unique path: counts can't exceed the
+    // number of smuggling domain paths.
+    for (_, n) in &report.orgs.originators {
+        assert!(*n <= report.summary.unique_domain_paths_smuggling);
+    }
+}
+
+// --- Figure 5: News/Sports-heavy originators (the paper's top categories).
+#[test]
+fn figure5_news_heavy_originators() {
+    let (_, report) = study();
+    let top_orig: Vec<_> = report
+        .categories
+        .originators
+        .iter()
+        .take(6)
+        .map(|(c, _)| *c)
+        .collect();
+    assert!(
+        top_orig.contains(&cc_web::Category::NewsWeatherInformation)
+            || top_orig.contains(&cc_web::Category::Sports),
+        "news/sports should lead originator categories, got {top_orig:?}"
+    );
+}
+
+// --- Figure 6: third parties receive leaked UIDs, some only via full-URL.
+#[test]
+fn figure6_third_party_leaks() {
+    let (_, report) = study();
+    assert!(
+        !report.third_parties.is_empty(),
+        "beacons should leak identified UIDs to third parties"
+    );
+    let any_full_url = report.third_parties.iter().any(|r| r.via_full_url_only > 0);
+    assert!(
+        any_full_url,
+        "some leaks should be via the full page URL only (the paper's accidental leaks)"
+    );
+}
+
+// --- Figure 7: longer paths have proportionally more dedicated smugglers.
+#[test]
+fn figure7_dedicated_share_grows_with_length() {
+    let (_, report) = study();
+    let share = |bars: &[cc_analysis::paths::Fig7Bar], min_r: usize, max_r: usize| -> f64 {
+        let (with, total) = bars
+            .iter()
+            .filter(|b| (min_r..=max_r).contains(&b.redirectors))
+            .fold((0u64, 0u64), |(w, t), b| {
+                (w + b.one_dedicated + b.two_plus_dedicated, t + b.total())
+            });
+        if total == 0 {
+            0.0
+        } else {
+            with as f64 / total as f64
+        }
+    };
+    let short = share(&report.fig7, 0, 1);
+    let long = share(&report.fig7, 2, 99);
+    assert!(
+        long >= short,
+        "dedicated share should grow with path length: short {short:.2} vs long {long:.2}"
+    );
+}
+
+// --- Figure 8: the full path dominates; partial transfers skew dedicated.
+#[test]
+fn figure8_portions() {
+    let (_, report) = study();
+    let get = |p: PathPortion| report.fig8.iter().find(|b| b.portion == p).unwrap();
+    let full = get(PathPortion::OriginatorToRedirectorToDestination);
+    let od = get(PathPortion::OriginatorToDestination);
+    let partial_total: u64 = [
+        PathPortion::OriginatorToRedirector,
+        PathPortion::RedirectorToRedirector,
+    ]
+    .iter()
+    .map(|p| get(*p).total())
+    .sum();
+    // "The majority of UIDs are transferred across the entire path."
+    assert!(
+        full.total() + od.total() > partial_total,
+        "full transfers should dominate: {} + {} vs {partial_total}",
+        full.total(),
+        od.total()
+    );
+    assert!(full.total() > 0 && od.total() > 0);
+}
+
+// --- H4: lifetime baselines lose short-lived UIDs (16% < 90d, 9% < 30d).
+#[test]
+fn h4_lifetime_ablation() {
+    let (study, _) = study();
+    let d90 = cc_core::baselines::lifetime_ablation(&study.output.findings, 90);
+    let d30 = cc_core::baselines::lifetime_ablation(&study.output.findings, 30);
+    assert!(d90.with_lifetime > 20, "need lifetimed UIDs to compare");
+    let f90 = d90.missed_fraction();
+    let f30 = d30.missed_fraction();
+    assert!(
+        (0.04..=0.35).contains(&f90),
+        "90-day baseline misses {f90:.2} (paper: 0.16)"
+    );
+    assert!(
+        (0.01..=0.25).contains(&f30),
+        "30-day baseline misses {f30:.2} (paper: 0.09)"
+    );
+    assert!(f30 < f90, "30-day filter must discard fewer than 90-day");
+}
+
+// --- H5: the fingerprinting experiment.
+#[test]
+fn h5_fingerprint_experiment() {
+    let (_, report) = study();
+    let fp = &report.fingerprint;
+    let share = fp.fp_share().percent();
+    assert!(
+        (2.0..=40.0).contains(&share),
+        "fingerprinting-site share {share:.1}% (paper: 13%)"
+    );
+    // The §3.5 effect is small (44% vs 52% in the paper) and noisy at this
+    // crawl size; require the proportions to be in the same ballpark and
+    // the experiment machinery to produce a comparable sample. The
+    // direction is asserted at full scale in EXPERIMENTS.md.
+    assert!(
+        fp.fp_multi_rate() <= fp.non_fp_multi_rate() + 0.25,
+        "fp multi rate {:.2} wildly exceeds the rest {:.2}",
+        fp.fp_multi_rate(),
+        fp.non_fp_multi_rate()
+    );
+    assert!(fp.fp_cases + fp.non_fp_cases > 50);
+    assert!(fp.estimated_missed >= 0.0);
+}
+
+// --- H6: the manual stage removes a large minority (paper: 577/1581 = 36%).
+#[test]
+fn h6_manual_stage_load() {
+    let (_, report) = study();
+    assert!(report.manual_entered > 50, "manual stage underfed");
+    let frac = report.manual_removed as f64 / report.manual_entered as f64;
+    assert!(
+        (0.15..=0.6).contains(&frac),
+        "manual removal fraction {frac:.2} (paper: 0.36)"
+    );
+}
+
+// --- H7/H8/D1: defense coverage gaps.
+#[test]
+fn h7_h8_defense_gaps() {
+    let (study, _) = study();
+    let eval = cc_defense::evaluate_defenses(&study.web, &study.output);
+    // H7: the Disconnect list misses a substantial fraction of measured
+    // dedicated smugglers (paper: 41% missing).
+    if eval.disconnect_coverage.total >= 10 {
+        let covered = eval.disconnect_coverage.fraction();
+        assert!(
+            (0.25..=0.9).contains(&covered),
+            "Disconnect coverage {covered:.2} (paper: 0.59)"
+        );
+    }
+    // H8: EasyList blocks only a small fraction (paper: 6%).
+    assert!(
+        eval.easylist_coverage.fraction() < 0.35,
+        "EasyList coverage {} too high",
+        eval.easylist_coverage
+    );
+    // D1: the feedback loop beats the static list; debouncing is strong.
+    assert!(eval.strip_with_feedback.fraction() > eval.strip_well_known.fraction());
+    assert!(eval.strip_with_feedback.fraction() > 0.9);
+    assert!(eval.debounce_prevented.fraction() > 0.5);
+}
+
+// --- H9: the §6 breakage experiment: most pages survive stripping.
+#[test]
+fn h9_breakage() {
+    let (study, _) = study();
+    let urls: Vec<cc_url::Url> = study
+        .web
+        .sites
+        .iter()
+        .take(50)
+        .map(|s| cc_url::Url::parse(&format!("https://{}/?uid=x", s.www_fqdn())).unwrap())
+        .collect();
+    let pages: Vec<(&cc_url::Url, &str)> = urls.iter().map(|u| (u, "uid")).collect();
+    let (_, rep) = cc_defense::breakage::run_experiment(&study.web, pages);
+    // Paper: 7/10 unchanged.
+    assert!(
+        rep.unchanged_fraction() >= 0.6,
+        "breakage too widespread: {rep:?}"
+    );
+}
+
+// --- A1/A2: methodology ablations.
+#[test]
+fn a1_two_crawler_ablation_loses_uids() {
+    let (study, _) = study();
+    let two = cc_core::baselines::two_crawler_ablation(&study.output.findings);
+    assert!(
+        two.missed_fraction() > 0.2,
+        "the 2-crawler design should lose many UIDs, lost {:.2}",
+        two.missed_fraction()
+    );
+}
+
+#[test]
+fn a2_fuzzy_matching_merges_some_uids() {
+    let (study, _) = study();
+    let fuzzy = cc_core::baselines::fuzzy_ablation(&study.output.findings, 0.67);
+    // Exact matching (CrumbCruncher) never merges; fuzzy may merge a few,
+    // and must never exceed the comparable population.
+    assert!(fuzzy.wrongly_merged <= fuzzy.comparable);
+    assert!(fuzzy.comparable > 10, "need multi-user findings to compare");
+}
+
+// --- The headline sanity check the paper makes against Koop et al.
+#[test]
+fn koop_consistency_check() {
+    let (_, report) = study();
+    let total = report.bounce.navigational_tracking_rate().percent();
+    let smuggle = report.summary.smuggling_rate().percent();
+    assert!(total >= smuggle);
+    assert!(total <= smuggle + report.bounce.bounce_rate().percent() + 1e-9);
+}
+
+// --- §7.2 future work: can a learned classifier absorb the manual stage?
+#[test]
+fn ml_classifier_vs_manual_stage() {
+    let (study, _) = study();
+    let truth = study.web.truth_snapshot();
+
+    // Collect the values that reached the manual stage, with ground truth.
+    let manual_stage_values: Vec<String> = study
+        .output
+        .groups
+        .iter()
+        .filter(|g| g.entered_manual)
+        .flat_map(|g| g.values.values().flatten().cloned())
+        .collect();
+    let labeled = cc_core::ml::training_set(&truth, &manual_stage_values);
+    assert!(labeled.len() > 100, "need a labeled manual workload");
+
+    // Split train/test deterministically.
+    let (train, test): (Vec<_>, Vec<_>) = labeled.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+    let train: Vec<(&str, bool)> = train.iter().map(|(_, (s, b))| (s.as_str(), *b)).collect();
+    let test: Vec<(&str, bool)> = test.iter().map(|(_, (s, b))| (s.as_str(), *b)).collect();
+
+    let model = cc_core::ml::TokenClassifier::train(&train, 800, 1.0, 1e-5);
+    let ml_score = model.evaluate(&test);
+
+    // The manual-analyst model on the same test values, scored as a
+    // classifier ("not rejected" = predicted UID).
+    let mut manual = cc_core::ml::MlScore::default();
+    for (tok, label) in &test {
+        let predicted_uid = cc_core::manual::manual_reject(tok).is_none();
+        match (predicted_uid, *label) {
+            (true, true) => manual.tp += 1,
+            (true, false) => manual.fp += 1,
+            (false, true) => manual.fn_ += 1,
+            (false, false) => manual.tn += 1,
+        }
+    }
+
+    // The learned model must be competitive with the hand-written analyst
+    // (the paper's automation hypothesis).
+    assert!(
+        ml_score.accuracy() > 0.75,
+        "ML accuracy {:.2} too low ({ml_score:?})",
+        ml_score.accuracy()
+    );
+    assert!(
+        ml_score.accuracy() + 0.15 > manual.accuracy(),
+        "ML ({:.2}) should approach the manual analyst ({:.2})",
+        ml_score.accuracy(),
+        manual.accuracy()
+    );
+}
+
+// --- Protected crawling (the defense loop closed end-to-end).
+#[test]
+fn protected_crawl_reduces_smuggling() {
+    let (study, report) = study();
+    let mut cfg = CrawlConfig {
+        seed: 0xE0E0,
+        max_walks: Some(150),
+        ..CrawlConfig::default()
+    };
+    cfg.rewriter = cc_defense::protected::rewriter_for(cc_defense::protected::Protection::Debounce);
+    let protected_ds = cc_crawler::Walker::new(&study.web, cfg).crawl();
+    let protected_out = cc_core::run_pipeline(&protected_ds);
+    let protected_rate = cc_analysis::summarize(&protected_out).smuggling_rate();
+    let baseline_rate = report.summary.smuggling_rate();
+    assert!(
+        protected_rate.fraction() < baseline_rate.fraction() * 0.6,
+        "debouncing should cut smuggling sharply: baseline {baseline_rate}, protected {protected_rate}"
+    );
+}
