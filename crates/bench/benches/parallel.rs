@@ -1,0 +1,102 @@
+//! Parallel-executor benches: crawl throughput at 1/2/4/8 workers.
+//!
+//! The crawl is embarrassingly parallel once walk randomness is keyed on
+//! global walk ids (only the ground-truth ledger is shared, behind a
+//! short-lived mutex), so on a multi-core host the medium-world crawl
+//! should scale near-linearly until workers exceed cores. Besides the
+//! per-worker-count Criterion samples, the harness prints a speedup table
+//! relative to the 1-worker run — on a single-core host expect ≈1.0×
+//! across the board, which is the executor's overhead check rather than
+//! its scaling check.
+
+use std::time::Instant;
+
+use cc_bench::medium_web;
+use cc_crawler::{crawl_parallel, CrawlConfig, ParallelCrawlConfig, Walker};
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn crawl_cfg() -> CrawlConfig {
+    CrawlConfig {
+        seed: 0x9A7A11E1,
+        steps_per_walk: 5,
+        ..CrawlConfig::default()
+    }
+}
+
+/// One Criterion target per worker count, all crawling the same medium
+/// world with the same config.
+fn bench_workers(c: &mut Criterion) {
+    let web = medium_web();
+    let cfg = crawl_cfg();
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        group.bench_function(format!("crawl_250_walks/{workers}_workers"), |b| {
+            b.iter(|| {
+                let ds = crawl_parallel(
+                    black_box(web),
+                    black_box(&cfg),
+                    ParallelCrawlConfig::with_workers(workers),
+                );
+                black_box(ds.total_steps())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The serial `Walker::crawl` baseline the executor must match bit-for-bit
+/// (and ideally beat in wall-clock).
+fn bench_serial_baseline(c: &mut Criterion) {
+    let web = medium_web();
+    let cfg = crawl_cfg();
+    c.bench_function("parallel/serial_baseline", |b| {
+        b.iter(|| {
+            let ds = Walker::new(web, cfg.clone()).crawl();
+            black_box(ds.total_steps())
+        })
+    });
+}
+
+/// Wall-clock speedup table relative to one worker, plus a determinism
+/// spot-check: every worker count must produce the same dataset.
+fn speedup_report() {
+    let web = medium_web();
+    let cfg = crawl_cfg();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut base_secs = None;
+    let mut base_json = None;
+    println!("\nparallel crawl speedup (medium world, 250 walks, {cores} CPU core(s)):");
+    for workers in WORKER_COUNTS {
+        let start = Instant::now();
+        let ds = crawl_parallel(web, &cfg, ParallelCrawlConfig::with_workers(workers));
+        let secs = start.elapsed().as_secs_f64();
+        let json = ds.to_json().expect("dataset serializes");
+        let base = *base_secs.get_or_insert(secs);
+        let reference = base_json.get_or_insert_with(|| json.clone());
+        assert_eq!(
+            *reference, json,
+            "{workers}-worker crawl diverged from the 1-worker crawl"
+        );
+        println!(
+            "  {workers} worker(s): {secs:7.3}s  speedup {:.2}x  ({} walks, identical output)",
+            base / secs,
+            ds.walks.len(),
+        );
+    }
+}
+
+criterion_group! {
+    name = parallel;
+    config = Criterion::default().sample_size(10);
+    targets = bench_workers, bench_serial_baseline
+}
+
+fn main() {
+    parallel();
+    speedup_report();
+}

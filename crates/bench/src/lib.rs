@@ -56,3 +56,17 @@ pub fn small_web() -> &'static SimWeb {
     static WEB: OnceLock<SimWeb> = OnceLock::new();
     WEB.get_or_init(|| generate(&WebConfig::small()))
 }
+
+/// A medium world (800 sites / 250 seeders) for the parallel-executor
+/// benches: big enough that per-walk work dominates thread overheads.
+pub fn medium_web() -> &'static SimWeb {
+    static WEB: OnceLock<SimWeb> = OnceLock::new();
+    WEB.get_or_init(|| {
+        generate(&WebConfig {
+            seed: 0x9A7A11E1,
+            n_sites: 800,
+            n_seeders: 250,
+            ..WebConfig::default()
+        })
+    })
+}

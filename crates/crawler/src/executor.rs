@@ -1,0 +1,206 @@
+//! The parallel crawl executor: work-stealing walk scheduling.
+//!
+//! The paper scales its crawl by running twelve EC2 instances over disjoint
+//! seeder ranges (§3.8, modeled by [`crate::shard`]). This module scales
+//! the *same* crawl over threads instead: workers share one atomic walk
+//! index and claim the next unstarted walk as soon as they finish their
+//! current one, so long walks and short walks balance automatically — no
+//! worker idles while another still holds a backlog, the dynamic-stealing
+//! property static per-shard ranges lack.
+//!
+//! Determinism is preserved by construction, not by scheduling:
+//!
+//! * every stream of randomness in a walk is forked from the **global**
+//!   walk id (`DetRng::fork_indexed`), never from thread identity or
+//!   claim order, so a walk's record is the same whichever worker runs it;
+//! * the ground-truth ledger resolves concurrent labels by precedence
+//!   ([`cc_web`]'s `TruthLog::note` commutes), so interleaved mint
+//!   notifications converge to one ledger;
+//! * per-worker datasets merge through [`CrawlDataset::merge`], which
+//!   re-sorts by walk id and sums failure counters commutatively.
+//!
+//! Net effect: `crawl_parallel` with any worker count is **bit-identical**
+//! to [`Walker::crawl`] — the parallel-equivalence integration tests
+//! assert this on serialized JSON.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cc_util::{ProgressCounters, ProgressSnapshot};
+use cc_web::SimWeb;
+
+use crate::record::CrawlDataset;
+use crate::walker::{CrawlConfig, Walker};
+
+/// Configuration of the parallel executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelCrawlConfig {
+    /// Worker threads claiming walks. `1` degenerates to a serial crawl
+    /// (still through the executor path, useful for comparisons).
+    pub n_workers: usize,
+}
+
+impl ParallelCrawlConfig {
+    /// A config with an explicit worker count (panics on zero).
+    pub fn with_workers(n_workers: usize) -> Self {
+        assert!(n_workers > 0, "need at least one worker");
+        ParallelCrawlConfig { n_workers }
+    }
+}
+
+impl Default for ParallelCrawlConfig {
+    /// One worker per available CPU.
+    fn default() -> Self {
+        ParallelCrawlConfig {
+            n_workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// Crawl every walk of `cfg` using `par.n_workers` work-stealing workers.
+///
+/// Returns a dataset bit-identical to `Walker::new(web, cfg).crawl()`.
+pub fn crawl_parallel(web: &SimWeb, cfg: &CrawlConfig, par: ParallelCrawlConfig) -> CrawlDataset {
+    let progress = ProgressCounters::new(par.n_workers);
+    crawl_parallel_with_progress(web, cfg, par, &progress)
+}
+
+/// [`crawl_parallel`] plus a final throughput snapshot (walks/sec,
+/// steps/sec, per-worker shares).
+pub fn crawl_parallel_instrumented(
+    web: &SimWeb,
+    cfg: &CrawlConfig,
+    par: ParallelCrawlConfig,
+) -> (CrawlDataset, ProgressSnapshot) {
+    let progress = ProgressCounters::new(par.n_workers);
+    let dataset = crawl_parallel_with_progress(web, cfg, par, &progress);
+    let snapshot = progress.snapshot();
+    (dataset, snapshot)
+}
+
+/// The executor proper, updating caller-owned progress counters (so a
+/// monitor thread can snapshot a live crawl).
+pub fn crawl_parallel_with_progress(
+    web: &SimWeb,
+    cfg: &CrawlConfig,
+    par: ParallelCrawlConfig,
+    progress: &ProgressCounters,
+) -> CrawlDataset {
+    assert!(par.n_workers > 0, "need at least one worker");
+    let seeders = web.seeder_urls();
+    let limit = cfg.max_walks.unwrap_or(seeders.len()).min(seeders.len());
+
+    // The work queue is just an index: claiming walk i is one fetch_add.
+    // Walks are claimed in id order, so early (often longer) walks start
+    // first and stragglers fill the tail — classic self-balancing.
+    let next_walk = AtomicUsize::new(0);
+    let seeders = &seeders[..limit];
+
+    let shards: Vec<CrawlDataset> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..par.n_workers)
+            .map(|worker| {
+                let next_walk = &next_walk;
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let walker = Walker::new(web, cfg);
+                    let mut shard = CrawlDataset::default();
+                    loop {
+                        let walk_id = next_walk.fetch_add(1, Ordering::Relaxed);
+                        if walk_id >= seeders.len() {
+                            break;
+                        }
+                        let walk = walker.walk_public(
+                            walk_id as u32,
+                            seeders[walk_id].clone(),
+                            &mut shard.failures,
+                        );
+                        progress.record_walk(worker, walk.steps.len() as u64);
+                        shard.walks.push(walk);
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("crawl worker panicked"))
+            .collect()
+    });
+
+    CrawlDataset::merge(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_web::{generate, WebConfig};
+
+    fn cfg() -> CrawlConfig {
+        CrawlConfig {
+            seed: 5,
+            steps_per_walk: 3,
+            max_walks: Some(10),
+            connect_failure_rate: 0.02,
+            ..CrawlConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_exactly() {
+        let serial = {
+            let web = generate(&WebConfig::small());
+            Walker::new(&web, cfg()).crawl()
+        };
+        for workers in [1, 2, 3, 8] {
+            // Fresh world per run: truth-ledger state must not leak
+            // between crawls being compared.
+            let web = generate(&WebConfig::small());
+            let parallel =
+                crawl_parallel(&web, &cfg(), ParallelCrawlConfig::with_workers(workers));
+            assert_eq!(serial, parallel, "{workers} workers diverged from serial");
+        }
+    }
+
+    #[test]
+    fn parallel_truth_ledger_matches_serial() {
+        let web_a = generate(&WebConfig::small());
+        Walker::new(&web_a, cfg()).crawl();
+        let web_b = generate(&WebConfig::small());
+        crawl_parallel(&web_b, &cfg(), ParallelCrawlConfig::with_workers(4));
+        let (ta, tb) = (web_a.truth_snapshot(), web_b.truth_snapshot());
+        assert_eq!(ta.len(), tb.len());
+        assert_eq!(ta.uid_count(), tb.uid_count());
+    }
+
+    #[test]
+    fn workers_beyond_walks_are_harmless() {
+        let web = generate(&WebConfig::small());
+        let few = CrawlConfig {
+            max_walks: Some(2),
+            ..cfg()
+        };
+        let ds = crawl_parallel(&web, &few, ParallelCrawlConfig::with_workers(16));
+        assert_eq!(ds.walks.len(), 2);
+        assert_eq!(ds.walks[0].walk_id, 0);
+        assert_eq!(ds.walks[1].walk_id, 1);
+    }
+
+    #[test]
+    fn instrumented_run_reports_progress() {
+        let web = generate(&WebConfig::small());
+        let (ds, snap) = crawl_parallel_instrumented(
+            &web,
+            &cfg(),
+            ParallelCrawlConfig::with_workers(2),
+        );
+        assert_eq!(snap.walks as usize, ds.walks.len());
+        assert_eq!(snap.steps as usize, ds.total_steps());
+        assert_eq!(snap.per_worker.len(), 2);
+        let worker_sum: u64 = snap.per_worker.iter().map(|w| w.walks).sum();
+        assert_eq!(worker_sum, snap.walks);
+    }
+
+    #[test]
+    fn default_config_uses_available_parallelism() {
+        assert!(ParallelCrawlConfig::default().n_workers >= 1);
+    }
+}

@@ -20,6 +20,9 @@
 //!   three produce byte-identical datasets.
 //! * [`shard`] — the paper's deployment model (§3.8): twelve instances
 //!   crawling disjoint seeder ranges, merged losslessly.
+//! * [`executor`] — the parallel work-stealing executor: worker threads
+//!   claim global walk ids from a shared atomic counter, so the merged
+//!   dataset is bit-identical to a serial crawl at any worker count.
 //! * [`record`] — the crawl dataset (serde-serializable, like the paper's
 //!   released dataset): per-step observations of storage snapshots,
 //!   clicked elements, navigation hops, and beacon requests.
@@ -27,12 +30,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod executor;
 pub mod matching;
 pub mod names;
 pub mod record;
 pub mod shard;
 pub mod walker;
 
+pub use executor::{
+    crawl_parallel, crawl_parallel_instrumented, crawl_parallel_with_progress, ParallelCrawlConfig,
+};
 pub use matching::{same_element, select_shared};
 pub use names::{CrawlerName, UserId};
 pub use record::{

@@ -109,6 +109,16 @@ pub struct FailureStats {
 }
 
 impl FailureStats {
+    /// Add another accounting into this one. Sums commute, so per-worker
+    /// stats aggregate to the same totals in any order.
+    pub fn absorb(&mut self, other: FailureStats) {
+        self.steps_attempted += other.steps_attempted;
+        self.steps_completed += other.steps_completed;
+        self.sync_failures += other.sync_failures;
+        self.divergence_failures += other.divergence_failures;
+        self.connect_failures += other.connect_failures;
+    }
+
     /// Fraction of attempted steps that failed to synchronize.
     pub fn sync_failure_rate(&self) -> f64 {
         ratio(self.sync_failures, self.steps_attempted)
@@ -143,6 +153,22 @@ pub struct CrawlDataset {
 }
 
 impl CrawlDataset {
+    /// Merge partial datasets (shards, parallel-worker outputs) into one.
+    ///
+    /// Deterministic regardless of input order: walks are keyed by their
+    /// *global* walk id and re-sorted, and the failure counters sum
+    /// commutatively — so a merged parallel crawl is byte-identical to
+    /// the serial crawl of the same walk set.
+    pub fn merge(parts: impl IntoIterator<Item = CrawlDataset>) -> CrawlDataset {
+        let mut out = CrawlDataset::default();
+        for part in parts {
+            out.walks.extend(part.walks);
+            out.failures.absorb(part.failures);
+        }
+        out.walks.sort_by_key(|w| w.walk_id);
+        out
+    }
+
     /// Total completed steps across all walks.
     pub fn total_steps(&self) -> usize {
         self.walks.iter().map(|w| w.steps.len()).sum()

@@ -7,7 +7,7 @@
 //! because every walk derives its randomness from its *global* walk id, a
 //! sharded crawl is bit-identical to the single-instance crawl.
 
-use crate::record::{CrawlDataset, FailureStats};
+use crate::record::CrawlDataset;
 use crate::walker::{CrawlConfig, Walker};
 use cc_web::SimWeb;
 
@@ -72,25 +72,11 @@ pub fn crawl_sharded(web: &SimWeb, cfg: &CrawlConfig, plan: ShardPlan) -> CrawlD
     merge(shards)
 }
 
-/// Merge shard datasets into one, summing the failure accounting.
+/// Merge shard datasets into one, summing the failure accounting (an
+/// alias for [`CrawlDataset::merge`], kept as the shard-level entry
+/// point).
 pub fn merge(shards: Vec<CrawlDataset>) -> CrawlDataset {
-    let mut out = CrawlDataset::default();
-    for shard in shards {
-        out.walks.extend(shard.walks);
-        out.failures = add_failures(out.failures, shard.failures);
-    }
-    out.walks.sort_by_key(|w| w.walk_id);
-    out
-}
-
-fn add_failures(a: FailureStats, b: FailureStats) -> FailureStats {
-    FailureStats {
-        steps_attempted: a.steps_attempted + b.steps_attempted,
-        steps_completed: a.steps_completed + b.steps_completed,
-        sync_failures: a.sync_failures + b.sync_failures,
-        divergence_failures: a.divergence_failures + b.divergence_failures,
-        connect_failures: a.connect_failures + b.connect_failures,
-    }
+    CrawlDataset::merge(shards)
 }
 
 #[cfg(test)]

@@ -17,18 +17,23 @@
 //!   for the synthetic web.
 //! * [`counter`] — counting-map helpers (top-k tallies) used when building
 //!   the paper's tables.
+//! * [`progress`] — lock-free walk/step throughput counters with
+//!   per-worker snapshots, shared by the parallel crawl executor and its
+//!   monitors.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod counter;
 pub mod ids;
+pub mod progress;
 pub mod rng;
 pub mod stats;
 pub mod strings;
 pub mod zipf;
 
 pub use counter::Counter;
+pub use progress::{ProgressCounters, ProgressSnapshot, WorkerSnapshot};
 pub use rng::DetRng;
 pub use stats::{two_proportion_z_test, ZTestResult};
 pub use zipf::Zipf;

@@ -1,0 +1,191 @@
+//! Lock-free crawl progress accounting.
+//!
+//! The parallel crawl executor updates these counters from every worker
+//! thread; a monitor (the CLI, a bench, a test) takes [`ProgressSnapshot`]s
+//! at any moment without stopping the crawl. All counters are relaxed
+//! atomics — they are throughput telemetry, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shared crawl-progress counters: aggregate walk/step throughput plus a
+/// per-worker breakdown (so a stalled or starved worker is visible, the
+/// way load-test harnesses report per-worker request counts).
+#[derive(Debug)]
+pub struct ProgressCounters {
+    started: Instant,
+    walks: AtomicU64,
+    steps: AtomicU64,
+    per_worker: Vec<WorkerCounters>,
+}
+
+/// One worker's counters.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    walks: AtomicU64,
+    steps: AtomicU64,
+}
+
+impl ProgressCounters {
+    /// Counters for a crawl with `n_workers` workers.
+    pub fn new(n_workers: usize) -> Self {
+        ProgressCounters {
+            started: Instant::now(),
+            walks: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            per_worker: (0..n_workers).map(|_| WorkerCounters::default()).collect(),
+        }
+    }
+
+    /// Number of workers these counters track.
+    pub fn n_workers(&self) -> usize {
+        self.per_worker.len()
+    }
+
+    /// Record one finished walk (with `steps` completed steps) for a
+    /// worker.
+    pub fn record_walk(&self, worker: usize, steps: u64) {
+        self.walks.fetch_add(1, Ordering::Relaxed);
+        self.steps.fetch_add(steps, Ordering::Relaxed);
+        if let Some(w) = self.per_worker.get(worker) {
+            w.walks.fetch_add(1, Ordering::Relaxed);
+            w.steps.fetch_add(steps, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough view of the counters right now.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let walks = self.walks.load(Ordering::Relaxed);
+        let steps = self.steps.load(Ordering::Relaxed);
+        ProgressSnapshot {
+            walks,
+            steps,
+            elapsed_secs: elapsed,
+            walks_per_sec: rate(walks, elapsed),
+            steps_per_sec: rate(steps, elapsed),
+            per_worker: self
+                .per_worker
+                .iter()
+                .map(|w| WorkerSnapshot {
+                    walks: w.walks.load(Ordering::Relaxed),
+                    steps: w.steps.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn rate(count: u64, elapsed_secs: f64) -> f64 {
+    if elapsed_secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / elapsed_secs
+    }
+}
+
+/// Point-in-time progress reading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Walks finished so far.
+    pub walks: u64,
+    /// Steps completed so far.
+    pub steps: u64,
+    /// Seconds since the counters were created.
+    pub elapsed_secs: f64,
+    /// Walk throughput over the whole run.
+    pub walks_per_sec: f64,
+    /// Step throughput over the whole run.
+    pub steps_per_sec: f64,
+    /// Per-worker share of the work.
+    pub per_worker: Vec<WorkerSnapshot>,
+}
+
+/// One worker's share in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Walks this worker finished.
+    pub walks: u64,
+    /// Steps this worker completed.
+    pub steps: u64,
+}
+
+impl ProgressSnapshot {
+    /// One-line human rendering (`42 walks, 180 steps, 12.3 walks/s ...`).
+    pub fn render(&self) -> String {
+        let workers = self
+            .per_worker
+            .iter()
+            .enumerate()
+            .map(|(i, w)| format!("w{i}:{}", w.walks))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "{} walks ({:.1}/s), {} steps ({:.1}/s) [{workers}]",
+            self.walks, self.walks_per_sec, self.steps, self.steps_per_sec
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_match_per_worker_sums() {
+        let p = ProgressCounters::new(3);
+        p.record_walk(0, 5);
+        p.record_walk(1, 3);
+        p.record_walk(0, 2);
+        let s = p.snapshot();
+        assert_eq!(s.walks, 3);
+        assert_eq!(s.steps, 10);
+        assert_eq!(s.per_worker.len(), 3);
+        assert_eq!(s.per_worker[0], WorkerSnapshot { walks: 2, steps: 7 });
+        assert_eq!(s.per_worker[1], WorkerSnapshot { walks: 1, steps: 3 });
+        assert_eq!(s.per_worker[2], WorkerSnapshot { walks: 0, steps: 0 });
+        assert_eq!(
+            s.walks,
+            s.per_worker.iter().map(|w| w.walks).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let p = ProgressCounters::new(4);
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let p = &p;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        p.record_walk(w, 2);
+                    }
+                });
+            }
+        });
+        let s = p.snapshot();
+        assert_eq!(s.walks, 4000);
+        assert_eq!(s.steps, 8000);
+        for w in &s.per_worker {
+            assert_eq!(w.walks, 1000);
+        }
+    }
+
+    #[test]
+    fn out_of_range_worker_counts_aggregate_only() {
+        let p = ProgressCounters::new(1);
+        p.record_walk(9, 1);
+        let s = p.snapshot();
+        assert_eq!(s.walks, 1);
+        assert_eq!(s.per_worker[0].walks, 0);
+    }
+
+    #[test]
+    fn render_mentions_throughput() {
+        let p = ProgressCounters::new(2);
+        p.record_walk(0, 4);
+        let line = p.snapshot().render();
+        assert!(line.contains("1 walks"), "{line}");
+        assert!(line.contains("w0:1"), "{line}");
+    }
+}

@@ -122,6 +122,44 @@ impl TokenTruth {
     pub fn is_uid(&self) -> bool {
         matches!(self, TokenTruth::Uid { .. })
     }
+
+    /// Conflict-resolution precedence when the same value is minted with
+    /// two different labels. Higher wins. The order is "least UID-like
+    /// first": a value that ever carried a non-UID label must never be
+    /// scored as a ground-truth UID, which keeps the ledger conservative
+    /// — and, because the winner depends only on the label set and never
+    /// on arrival order, notes commute (parallel crawls produce the same
+    /// ledger no matter how workers interleave).
+    fn precedence(&self) -> u8 {
+        match self {
+            TokenTruth::SessionId => 7,
+            TokenTruth::Timestamp => 6,
+            TokenTruth::Coordinate => 5,
+            TokenTruth::WordLike => 4,
+            TokenTruth::Acronym => 3,
+            TokenTruth::UrlValue => 2,
+            TokenTruth::Internal => 1,
+            TokenTruth::Uid { .. } => 0,
+        }
+    }
+
+    /// A total order over labels (precedence, then payload) so that even
+    /// conflicts *within* a precedence class resolve identically in any
+    /// arrival order.
+    fn resolution_key(&self) -> (u8, u8, u32, u8) {
+        match self {
+            TokenTruth::Uid {
+                tracker,
+                fingerprint_based,
+            } => (
+                self.precedence(),
+                u8::from(tracker.is_some()),
+                tracker.map_or(0, |t| t.0),
+                u8::from(*fingerprint_based),
+            ),
+            other => (other.precedence(), 0, 0, 0),
+        }
+    }
 }
 
 /// A ledger mapping minted token values to their ground truth.
@@ -136,11 +174,32 @@ impl TruthLog {
         TruthLog::default()
     }
 
-    /// Record a minted value. First label wins (values are unique with
-    /// overwhelming probability; word values legitimately repeat and keep
-    /// their original label).
+    /// Record a minted value. Conflicts (values are unique with
+    /// overwhelming probability; word values legitimately repeat) resolve
+    /// by label precedence rather than arrival order, so `note` is
+    /// commutative: interleaved notes from parallel crawl workers yield
+    /// the same ledger as any serial order.
     pub fn note(&mut self, value: &str, truth: TokenTruth) {
-        self.entries.entry(value.to_string()).or_insert(truth);
+        use std::collections::hash_map::Entry;
+        match self.entries.entry(value.to_string()) {
+            Entry::Vacant(e) => {
+                e.insert(truth);
+            }
+            Entry::Occupied(mut e) => {
+                if truth.resolution_key() > e.get().resolution_key() {
+                    e.insert(truth);
+                }
+            }
+        }
+    }
+
+    /// Fold another ledger into this one, label by label. Because `note`
+    /// is commutative, `a.merge(b)` equals `b.merge(a)` — shard truth
+    /// logs combine in any order.
+    pub fn merge(&mut self, other: &TruthLog) {
+        for (value, truth) in &other.entries {
+            self.note(value, *truth);
+        }
     }
 
     /// Look up the truth for a value.
@@ -169,7 +228,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn truth_first_label_wins() {
+    fn truth_non_uid_label_wins_conflicts() {
         let mut log = TruthLog::new();
         log.note("abc", TokenTruth::SessionId);
         log.note(
@@ -182,6 +241,55 @@ mod tests {
         assert_eq!(log.get("abc"), Some(TokenTruth::SessionId));
         assert_eq!(log.len(), 1);
         assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn truth_note_is_order_independent() {
+        let uid = TokenTruth::Uid {
+            tracker: Some(TrackerId(3)),
+            fingerprint_based: false,
+        };
+        let labels = [TokenTruth::SessionId, uid, TokenTruth::Timestamp];
+        // Every permutation of notes resolves to the same winner.
+        let orders: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for order in orders {
+            let mut log = TruthLog::new();
+            for i in order {
+                log.note("v", labels[i]);
+            }
+            assert_eq!(log.get("v"), Some(TokenTruth::SessionId), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn truth_merge_commutes() {
+        let uid = |t| TokenTruth::Uid {
+            tracker: Some(TrackerId(t)),
+            fingerprint_based: false,
+        };
+        let mut a = TruthLog::new();
+        a.note("x", uid(1));
+        a.note("y", TokenTruth::Timestamp);
+        let mut b = TruthLog::new();
+        b.note("x", TokenTruth::SessionId);
+        b.note("z", uid(2));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for v in ["x", "y", "z"] {
+            assert_eq!(ab.get(v), ba.get(v), "merge order changed label of {v}");
+        }
+        assert_eq!(ab.get("x"), Some(TokenTruth::SessionId));
+        assert_eq!(ab.len(), 3);
     }
 
     #[test]

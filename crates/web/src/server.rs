@@ -104,6 +104,15 @@ pub struct SimWeb {
     truth: Mutex<TruthLog>,
 }
 
+// The parallel crawl executor shares one `&SimWeb` across worker threads;
+// every field is either immutable world data or the mutex-guarded truth
+// ledger, so the type must stay `Send + Sync`. This assertion turns any
+// future interior-mutability regression into a compile error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimWeb>()
+};
+
 impl SimWeb {
     /// Assemble a world from parts (used by the generator and by tests that
     /// hand-build minimal worlds).

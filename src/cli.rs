@@ -12,7 +12,7 @@
 //! crumbcruncher truth      [opts]            precision/recall against ground truth
 //!
 //! options: --seed N  --sites N  --seeders N  --steps N  --walks N
-//!          --parallel  --paper-scale  --out PATH
+//!          --workers N  --parallel  --paper-scale  --out PATH
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency budget is
@@ -47,6 +47,8 @@ pub struct Cli {
     pub web: WebConfig,
     /// Crawl configuration.
     pub crawl: CrawlConfig,
+    /// Worker threads for the parallel executor (`None` = serial crawl).
+    pub workers: Option<usize>,
     /// Output path for subcommands that write a file.
     pub out: Option<String>,
 }
@@ -84,6 +86,8 @@ OPTIONS:
   --seeders N      number of seeder domains / walks (default 1000)
   --steps N        steps per walk (default 10)
   --walks N        cap the number of walks
+  --workers N      crawl with N work-stealing worker threads (0 = one per CPU);
+                   results are bit-identical to the serial crawl
   --parallel       persistent crawler workers on real threads
   --paper-scale    10,000 sites and seeders, as in the paper's §3.1
   --out PATH       output file for crawl/blocklist
@@ -98,6 +102,7 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         ..WebConfig::default()
     };
     let mut crawl = CrawlConfig::default();
+    let mut workers = None;
     let mut out = None;
 
     let mut it = args.iter().peekable();
@@ -125,6 +130,15 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
             "--seeders" => web.n_seeders = numeric(&mut it, "--seeders")? as usize,
             "--steps" => crawl.steps_per_walk = numeric(&mut it, "--steps")? as usize,
             "--walks" => crawl.max_walks = Some(numeric(&mut it, "--walks")? as usize),
+            "--workers" => {
+                let n = numeric(&mut it, "--workers")? as usize;
+                // 0 means "use every CPU", like `make -j` without a count.
+                workers = Some(if n == 0 {
+                    cc_crawler::ParallelCrawlConfig::default().n_workers
+                } else {
+                    n
+                });
+            }
             "--parallel" => crawl.mode = cc_crawler::DriverMode::PersistentWorkers,
             "--paper-scale" => {
                 let seed = web.seed;
@@ -152,6 +166,7 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         command,
         web,
         crawl,
+        workers,
         out,
     })
 }
@@ -180,7 +195,10 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         return Ok(USAGE.to_string());
     }
 
-    let study = Study::run(&cli.web, cli.crawl.clone());
+    let study = match cli.workers {
+        Some(n) => Study::run_parallel(&cli.web, cli.crawl.clone(), n),
+        None => Study::run(&cli.web, cli.crawl.clone()),
+    };
     match cli.command {
         Command::Help => unreachable!("handled above"),
         Command::Report => Ok(study.report().render()),
@@ -274,6 +292,29 @@ mod tests {
         assert_eq!(cli.crawl.max_walks, Some(20));
         assert_eq!(cli.crawl.mode, cc_crawler::DriverMode::PersistentWorkers);
         assert_eq!(cli.out.as_deref(), Some("d.json"));
+    }
+
+    #[test]
+    fn parse_workers() {
+        let cli = parse(&argv("report --workers 4")).unwrap();
+        assert_eq!(cli.workers, Some(4));
+        let cli = parse(&argv("report")).unwrap();
+        assert_eq!(cli.workers, None, "serial crawl by default");
+        let cli = parse(&argv("report --workers 0")).unwrap();
+        assert!(cli.workers.unwrap() >= 1, "0 resolves to available CPUs");
+        assert!(parse(&argv("report --workers")).is_err());
+        assert!(parse(&argv("report --workers many")).is_err());
+    }
+
+    #[test]
+    fn workers_report_matches_serial_report() {
+        let web = cc_web::WebConfig::small();
+        let base = "truth --steps 3 --walks 8";
+        let mut serial = parse(&argv(base)).unwrap();
+        serial.web = web.clone();
+        let mut parallel = parse(&argv(&format!("{base} --workers 3"))).unwrap();
+        parallel.web = web;
+        assert_eq!(run(&serial).unwrap(), run(&parallel).unwrap());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use cc_web as web;
 
 use cc_analysis::report::{full_report, AnalysisReport};
 use cc_core::pipeline::PipelineOutput;
-use cc_crawler::{CrawlConfig, CrawlDataset, Walker};
+use cc_crawler::{crawl_parallel, CrawlConfig, CrawlDataset, ParallelCrawlConfig, Walker};
 use cc_web::{generate, SimWeb, WebConfig};
 
 /// An end-to-end study: world, crawl, and pipeline results in one place.
@@ -63,6 +63,30 @@ impl Study {
     pub fn run(web_config: &WebConfig, crawl_config: CrawlConfig) -> Self {
         let web = generate(web_config);
         let dataset = Walker::new(&web, crawl_config).crawl();
+        let output = cc_core::run_pipeline(&dataset);
+        Study {
+            web,
+            dataset,
+            output,
+        }
+    }
+
+    /// Run a study crawling with `n_workers` work-stealing threads.
+    ///
+    /// Produces a `Study` bit-identical to [`Study::run`] with the same
+    /// configurations — walk randomness is keyed on global walk ids, so
+    /// parallelism changes wall-clock time, never results.
+    pub fn run_parallel(
+        web_config: &WebConfig,
+        crawl_config: CrawlConfig,
+        n_workers: usize,
+    ) -> Self {
+        let web = generate(web_config);
+        let dataset = crawl_parallel(
+            &web,
+            &crawl_config,
+            ParallelCrawlConfig::with_workers(n_workers),
+        );
         let output = cc_core::run_pipeline(&dataset);
         Study {
             web,
@@ -122,5 +146,19 @@ mod tests {
         assert!(report.summary.unique_url_paths > 0);
         let score = study.truth_score();
         assert!(score.precision() > 0.5);
+    }
+
+    #[test]
+    fn parallel_study_matches_serial() {
+        let web_config = cc_web::WebConfig::small();
+        let crawl_config = CrawlConfig {
+            steps_per_walk: 3,
+            max_walks: Some(8),
+            ..CrawlConfig::default()
+        };
+        let serial = Study::run(&web_config, crawl_config.clone());
+        let parallel = Study::run_parallel(&web_config, crawl_config, 3);
+        assert_eq!(serial.dataset, parallel.dataset);
+        assert_eq!(serial.output.groups.len(), parallel.output.groups.len());
     }
 }

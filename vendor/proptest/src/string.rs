@@ -1,0 +1,125 @@
+//! `&str` pattern strategies.
+//!
+//! The workspace only uses patterns of the shape `CLASS{m,n}` where
+//! `CLASS` is either a bracket class of literal chars and `a-z` ranges
+//! (e.g. `[a-z0-9]`) or `\PC` (any printable, i.e. non-control, char).
+//! Anything else is rejected loudly at generation time.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The character pool used for `\PC`: a deliberately spiky mix of ASCII
+/// letters/digits/punctuation (including URL-significant bytes like `%`,
+/// `&`, `=`, `/` and space) and multi-byte code points, so that
+/// percent-encoding and parser property tests see hostile inputs.
+const PRINTABLE_POOL: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Q', 'Z', '0', '1', '9', ' ', '!', '"', '#', '$', '%',
+    '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', ':', ';', '<', '=', '>', '?', '@', '[',
+    '\\', ']', '^', '_', '`', '{', '|', '}', '~', 'é', 'ß', 'λ', 'Ж', '☃', '日', '本', '\u{2028}',
+    '\u{1F600}',
+];
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = Pattern::parse(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern: {self:?}"));
+        pattern.generate(rng)
+    }
+}
+
+struct Pattern {
+    pool: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl Pattern {
+    fn parse(s: &str) -> Option<Pattern> {
+        let (class, rest) = if let Some(rest) = s.strip_prefix("\\PC") {
+            (PRINTABLE_POOL.to_vec(), rest)
+        } else if let Some(body_and_rest) = s.strip_prefix('[') {
+            let close = body_and_rest.find(']')?;
+            let body = &body_and_rest[..close];
+            (parse_class(body)?, &body_and_rest[close + 1..])
+        } else {
+            return None;
+        };
+        let rest = rest.strip_prefix('{')?;
+        let rest = rest.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        let min_len = lo.trim().parse().ok()?;
+        let max_len = hi.trim().parse().ok()?;
+        if class.is_empty() || min_len > max_len {
+            return None;
+        }
+        Some(Pattern {
+            pool: class,
+            min_len,
+            max_len,
+        })
+    }
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let span = (self.max_len - self.min_len + 1) as u64;
+        let len = self.min_len + rng.below(span) as usize;
+        (0..len)
+            .map(|_| self.pool[rng.below(self.pool.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class(body: &str) -> Option<Vec<char>> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut pool = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                pool.push(c);
+            }
+            i += 3;
+        } else {
+            pool.push(chars[i]);
+            i += 1;
+        }
+    }
+    Some(pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parsing_expands_ranges() {
+        let pool = parse_class("a-c9_").unwrap();
+        assert_eq!(pool, vec!['a', 'b', 'c', '9', '_']);
+    }
+
+    #[test]
+    fn pattern_length_bounds_hold() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let mut rng = TestRng::new(2);
+        let mut saw_empty = false;
+        for _ in 0..100 {
+            if "\\PC{0,3}".generate(&mut rng).is_empty() {
+                saw_empty = true;
+            }
+        }
+        assert!(saw_empty);
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace runs in a hermetic build environment with no registry
+//! access, so the handful of `rand` items it actually uses are provided
+//! here with identical signatures. The workspace's own [`RngCore`]
+//! implementor (`cc_util::DetRng`) carries all the real generator logic;
+//! this crate is only the trait vocabulary.
+
+#![forbid(unsafe_code)]
+
+/// Error type reported by fallible RNG operations.
+///
+/// The deterministic generators in this workspace never fail, so this is
+/// only ever constructed in type position.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RNG error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fill `dest` with random bytes, reporting failure.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}

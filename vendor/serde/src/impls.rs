@@ -1,0 +1,450 @@
+//! `Serialize`/`Deserialize` impls for std types used by the workspace.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+use crate::value::{Map, Number, Value};
+use crate::{DeError, Deserialize, Serialize};
+
+// ---------------------------------------------------------------------
+// Value itself (lets callers round-trip serde_json::Value transparently)
+// ---------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("a boolean", v))
+    }
+}
+
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("an unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+uint_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::Number(Number::U64(n as u64))
+                } else {
+                    Value::Number(Number::I64(n))
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected("an integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("a number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|n| n as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("a one-char string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!("expected a one-char string, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("a string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(())
+        } else {
+            Err(DeError::expected("null", v))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pointers and wrappers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::expected("an array", v))?;
+        if arr.len() != N {
+            return Err(DeError::custom(format!(
+                "expected an array of {N}, found {} elements",
+                arr.len()
+            )));
+        }
+        let items: Vec<T> = arr.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::expected("an array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($len:literal: $(($t:ident, $idx:tt)),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::expected("an array", v))?;
+                if arr.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected an array of {}, found {} elements", $len, arr.len()
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$idx])?,)+))
+            }
+        }
+    };
+}
+
+tuple_impl!(1: (A, 0));
+tuple_impl!(2: (A, 0), (B, 1));
+tuple_impl!(3: (A, 0), (B, 1), (C, 2));
+tuple_impl!(4: (A, 0), (B, 1), (C, 2), (D, 3));
+tuple_impl!(5: (A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+tuple_impl!(6: (A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+
+// ---------------------------------------------------------------------
+// Maps and sets
+// ---------------------------------------------------------------------
+
+/// Serialize a map key: JSON object keys are strings, so the key's value
+/// form must be a string or a number (matching serde_json's rules).
+pub(crate) fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::String(s) => s,
+        Value::Number(n) => n.to_string(),
+        other => panic!(
+            "map keys must serialize to strings or numbers, got {}",
+            other.kind_name()
+        ),
+    }
+}
+
+/// Deserialize a map key from its string form: tries the string shape
+/// first, then re-parses numeric keys.
+pub(crate) fn key_from_string<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::String(key.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        return K::from_value(&Value::Number(Number::U64(n)));
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        return K::from_value(&Value::Number(Number::I64(n)));
+    }
+    if let Ok(n) = key.parse::<f64>() {
+        return K::from_value(&Value::Number(Number::F64(n)));
+    }
+    Err(DeError::custom(format!("invalid map key {key:?}")))
+}
+
+fn map_to_value<'a, K, V, I>(entries: I, sort: bool) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut m: Map = entries
+        .map(|(k, v)| (key_to_string(k), v.to_value()))
+        .collect();
+    if sort {
+        m.sort_keys();
+    }
+    Value::Object(m)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Already in key order.
+        map_to_value(self.iter(), false)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::expected("an object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output (see crate docs).
+        map_to_value(self.iter(), true)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::expected("an object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::expected("an array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize + Ord, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v.as_array().ok_or_else(|| DeError::expected("an array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("zeta".to_string(), 1u32);
+        m.insert("alpha".to_string(), 2u32);
+        let v = m.to_value();
+        let obj = v.as_object().unwrap();
+        let keys: Vec<&String> = obj.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["alpha", "zeta"]);
+        let back: HashMap<String, u32> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(3u32).to_value(), 3u32.to_value());
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = ("a".to_string(), 5u64, true);
+        let v = t.to_value();
+        let back: (String, u64, bool) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn signed_integers() {
+        let v = (-5i64).to_value();
+        assert_eq!(i64::from_value(&v).unwrap(), -5);
+        let v = 5i32.to_value();
+        assert_eq!(v.as_u64(), Some(5));
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds hermetically, so the subset of serde it uses is
+//! reimplemented here: [`Serialize`]/[`Deserialize`] traits driven through
+//! a JSON-shaped [`Value`] tree, derive macros (re-exported from the
+//! companion `serde_derive` proc-macro crate), and impls for the std types
+//! the workspace serializes. `serde_json` (also vendored) re-exports the
+//! tree types and adds the text format.
+//!
+//! Two deliberate simplifications relative to real serde:
+//!
+//! * Serialization is self-describing via [`Value`] rather than
+//!   format-generic via `Serializer` visitors — every consumer in this
+//!   workspace targets JSON.
+//! * `HashMap`/`HashSet` serialize in **sorted key order**, so every
+//!   serialization of equal data is byte-identical. (Real serde_json
+//!   leaks hasher iteration order; determinism is a core requirement of
+//!   this reproduction, see `tests/determinism.rs`.)
+
+#![forbid(unsafe_code)]
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Error produced when deserializing from a [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// Standard "expected X, found Y" message.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind_name()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be serialized into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a JSON-shaped value.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a JSON-shaped value.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialize one field of a JSON object.
+///
+/// A missing field is presented to the field type as [`Value::Null`], so
+/// `Option<T>` fields tolerate omission while all other types produce a
+/// descriptive error (the behavior derive code relies on).
+pub fn de_field<T: Deserialize>(map: &Map, name: &str) -> Result<T, DeError> {
+    match map.get(name) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError(format!("missing field `{name}`"))),
+    }
+}

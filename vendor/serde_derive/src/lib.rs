@@ -1,0 +1,444 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The registry (and therefore `syn`/`quote`) is unavailable in this build
+//! environment, so the type definition is parsed directly from the raw
+//! `proc_macro::TokenStream`. The supported input shapes are exactly the
+//! ones this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (including `#[serde(transparent)]` newtypes),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generic type parameters are intentionally unsupported — the workspace
+//! serializes only concrete types — and produce a compile error naming
+//! this file rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_serialize(&def).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_deserialize(&def).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+struct TypeDef {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> TypeDef {
+    let mut iter = input.into_iter().peekable();
+    let mut transparent = false;
+
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: `#[ ... ]`.
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    transparent |= attr_is_serde_transparent(&g.stream());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut iter, "struct name");
+                reject_generics(&mut iter, &name);
+                let kind = match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Kind::NamedStruct(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Kind::TupleStruct(count_top_level_fields(g.stream()))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+                    other => panic!("serde_derive: unexpected token after `struct {name}`: {other:?}"),
+                };
+                return TypeDef { name, transparent, kind };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut iter, "enum name");
+                reject_generics(&mut iter, &name);
+                let body = match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
+                };
+                return TypeDef {
+                    name,
+                    transparent,
+                    kind: Kind::Enum(parse_variants(body)),
+                };
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn attr_is_serde_transparent(attr: &TokenStream) -> bool {
+    let mut iter = attr.clone().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+fn expect_ident(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, got {other:?}"),
+    }
+}
+
+fn reject_generics(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    name: &str,
+) {
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive (vendored): generic type `{name}` is not supported; \
+                 serialize a concrete type instead"
+            );
+        }
+    }
+}
+
+/// Split a field/variant body on top-level commas. Group tokens are atomic
+/// in a `TokenStream`, so only angle brackets (`Vec<(A, B)>`) need depth
+/// tracking.
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in body {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn count_top_level_fields(body: TokenStream) -> usize {
+    split_top_level(body).len()
+}
+
+/// Extract field names from a named-field body: for each comma-separated
+/// segment, the identifier immediately before the first top-level `:`
+/// (skipping attributes and visibility).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .map(|segment| {
+            let mut name = None;
+            let mut toks = segment.into_iter().peekable();
+            while let Some(tok) = toks.next() {
+                match tok {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        toks.next(); // the `[...]` group
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    TokenTree::Ident(id) if id.to_string() == "pub" => {
+                        if let Some(TokenTree::Group(g)) = toks.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                toks.next();
+                            }
+                        }
+                    }
+                    TokenTree::Ident(id) => name = Some(id.to_string()),
+                    _ => {}
+                }
+            }
+            name.expect("serde_derive: field without a name")
+        })
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    split_top_level(body)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|segment| {
+            let mut name = None;
+            let mut fields = VariantFields::Unit;
+            let mut toks = segment.into_iter().peekable();
+            while let Some(tok) = toks.next() {
+                match tok {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        toks.next();
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '=' => {
+                        // Explicit discriminant: skip the remaining tokens.
+                        for _ in toks.by_ref() {}
+                    }
+                    TokenTree::Ident(id) => name = Some(id.to_string()),
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        fields = VariantFields::Tuple(count_top_level_fields(g.stream()));
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        fields = VariantFields::Named(parse_named_fields(g.stream()));
+                    }
+                    _ => {}
+                }
+            }
+            Variant {
+                name: name.expect("serde_derive: enum variant without a name"),
+                fields,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string-built; parsed back into a TokenStream)
+// ---------------------------------------------------------------------
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) if def.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("{ let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m) }");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{ \
+                             let mut m = ::serde::Map::new(); \
+                             m.insert(::std::string::String::from(\"{vname}\"), {inner}); \
+                             ::serde::Value::Object(m) }},\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("{ let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(fm) }");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ \
+                             let mut m = ::serde::Map::new(); \
+                             m.insert(::std::string::String::from(\"{vname}\"), {inner}); \
+                             ::serde::Value::Object(m) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"an array for `{name}`\", v))?;\n\
+                 if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple arity for `{name}`\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) if def.transparent && fields.len() == 1 => format!(
+            "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})",
+            f = fields[0]
+        ),
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(m, \"{f}\")?"))
+                .collect();
+            format!(
+                "let m = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"an object for `{name}`\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{ {items} }})",
+                items = items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantFields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => return ::std::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"an array for `{name}::{vname}`\", inner))?;\n\
+                             if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\"wrong arity for `{name}::{vname}`\")); }}\n\
+                             return ::std::result::Result::Ok({name}::{vname}({items}));\n}}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(fm, \"{f}\")?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let fm = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"an object for `{name}::{vname}`\", inner))?;\n\
+                             return ::std::result::Result::Ok({name}::{vname} {{ {items} }});\n}}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                     match s {{\n{unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::std::option::Option::Some(m) = v.as_object() {{\n\
+                     if m.len() == 1 {{\n\
+                         let (tag, inner) = m.iter().next().unwrap();\n\
+                         match tag.as_str() {{\n{tagged_arms} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"invalid value for enum `{name}`: {{}}\", v.kind_name())))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

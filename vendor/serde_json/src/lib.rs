@@ -1,0 +1,142 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the JSON text format over the vendored `serde`'s [`Value`]
+//! tree: compact and pretty writers, a strict recursive-descent parser,
+//! and the `to_string`/`from_str` entry points the workspace uses.
+//!
+//! Output determinism: struct fields serialize in declaration order and
+//! hash maps in sorted key order (see the vendored `serde` docs), so equal
+//! data always yields byte-identical JSON — a property the determinism
+//! and parallel-equivalence test suites assert.
+
+#![forbid(unsafe_code)]
+
+mod read;
+mod write;
+
+pub use serde::{Map, Number, Value};
+
+/// Errors from serialization, deserialization, or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize a value to human-readable, two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Parse JSON text and deserialize into `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = read::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Deserialize a [`Value`] tree into `T`.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "a\"b\\c\nd\te\u{1}f\u{2603}";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn unicode_escape_pairs_parse() {
+        // Surrogate pair: U+1F600.
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn nested_value_parses() {
+        let v: Value = from_str(r#"{"a": [1, {"b": null}, "x"], "c": -2.5}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.len(), 2);
+        let arr = obj.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(obj.get("c").unwrap().as_f64(), Some(-2.5));
+    }
+
+    #[test]
+    fn invalid_json_rejected() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v: Value = from_str(r#"{"a":[1,2],"b":{"c":true}}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": ["));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn compact_objects_preserve_order() {
+        let v: Value = from_str(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"z":1,"a":2}"#);
+    }
+}
