@@ -85,31 +85,40 @@ pub fn full_report(
     dataset: &CrawlDataset,
     output: &PipelineOutput,
 ) -> AnalysisReport {
+    let _report_span = cc_telemetry::span("report");
+    // One timing span per report section, so a hot section (the per-walk
+    // scans behind Figure 6, say) is visible in the `--trace` tree.
+    fn section<T>(name: &'static str, build: impl FnOnce() -> T) -> T {
+        let _section_span = cc_telemetry::span(name);
+        build()
+    }
     AnalysisReport {
-        table1: table1(output),
-        summary: summarize(output),
-        table3: table3(output, 30),
-        orgs: figure4(web, output, 20),
-        categories: figure5(web, output),
-        third_parties: figure6(dataset, output, 20),
-        fig7: figure7(output),
-        fig8: figure8(output),
-        bounce: bounce_stats(output),
-        fingerprint: fingerprint_experiment(web, output),
+        table1: section("report.table1", || table1(output)),
+        summary: section("report.summary", || summarize(output)),
+        table3: section("report.table3", || table3(output, 30)),
+        orgs: section("report.orgs", || figure4(web, output, 20)),
+        categories: section("report.categories", || figure5(web, output)),
+        third_parties: section("report.third_parties", || figure6(dataset, output, 20)),
+        fig7: section("report.fig7", || figure7(output)),
+        fig8: section("report.fig8", || figure8(output)),
+        bounce: section("report.bounce", || bounce_stats(output)),
+        fingerprint: section("report.fingerprint", || fingerprint_experiment(web, output)),
         failures: dataset.failures,
-        cloaked: detect_cloaking(web, dataset, output),
+        cloaked: section("report.cloaking", || detect_cloaking(web, dataset, output)),
         manual_entered: output.stats.entered_manual,
         manual_removed: output.stats.manual_removed,
-        cookie_sync: detect_cookie_sync(dataset),
-        step_failures: failures_by_step(
-            dataset,
-            dataset
-                .walks
-                .iter()
-                .flat_map(|w| w.steps.iter().map(|s| s.index + 1))
-                .max()
-                .unwrap_or(0),
-        ),
+        cookie_sync: section("report.cookie_sync", || detect_cookie_sync(dataset)),
+        step_failures: section("report.step_failures", || {
+            failures_by_step(
+                dataset,
+                dataset
+                    .walks
+                    .iter()
+                    .flat_map(|w| w.steps.iter().map(|s| s.index + 1))
+                    .max()
+                    .unwrap_or(0),
+            )
+        }),
     }
 }
 

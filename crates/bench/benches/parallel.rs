@@ -8,12 +8,19 @@
 //! relative to the 1-worker run — on a single-core host expect ≈1.0×
 //! across the board, which is the executor's overhead check rather than
 //! its scaling check.
+//!
+//! The speedup run also records itself through the `cc-telemetry` metrics
+//! registry and writes a machine-readable `BENCH_parallel.json` artifact
+//! (serial baseline, per-worker-count timings and speedups, and the full
+//! telemetry run report), so the perf trajectory across PRs is diffable.
 
 use std::time::Instant;
 
 use cc_bench::medium_web;
 use cc_crawler::{crawl_parallel, CrawlConfig, ParallelCrawlConfig, Walker};
+use cc_telemetry::{RunReport, Session};
 use criterion::{criterion_group, Criterion};
+use serde::Serialize;
 use std::hint::black_box;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -61,33 +68,93 @@ fn bench_serial_baseline(c: &mut Criterion) {
     });
 }
 
+/// One row of the `BENCH_parallel.json` artifact.
+#[derive(Serialize)]
+struct SpeedupRow {
+    workers: usize,
+    secs: f64,
+    /// Wall-clock speedup relative to the serial `Walker::crawl` baseline.
+    speedup_vs_serial: f64,
+    /// Wall-clock speedup relative to the 1-worker parallel run.
+    speedup_vs_one_worker: f64,
+}
+
+/// The machine-readable perf artifact the speedup run writes.
+#[derive(Serialize)]
+struct BenchArtifact {
+    schema: &'static str,
+    bench: &'static str,
+    cpu_cores: usize,
+    walks: usize,
+    serial_baseline_secs: f64,
+    runs: Vec<SpeedupRow>,
+    /// The full telemetry run report for the whole sweep (crawl counters,
+    /// latency histograms, span rollups).
+    telemetry: RunReport,
+}
+
 /// Wall-clock speedup table relative to one worker, plus a determinism
-/// spot-check: every worker count must produce the same dataset.
+/// spot-check: every worker count must produce the same dataset. Timings
+/// are recorded through the telemetry registry and written to
+/// `BENCH_parallel.json` alongside the printed table.
 fn speedup_report() {
     let web = medium_web();
     let cfg = crawl_cfg();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let session = Session::start();
 
-    let mut base_secs = None;
-    let mut base_json = None;
+    // Serial baseline: the single-threaded `Walker::crawl` the executor
+    // must match bit-for-bit.
+    let start = Instant::now();
+    let serial_ds = Walker::new(web, cfg.clone()).crawl();
+    let serial_secs = start.elapsed().as_secs_f64();
+    let serial_json = serial_ds.to_json().expect("dataset serializes");
+    cc_telemetry::observe_ms("bench.parallel.serial_baseline", serial_secs * 1e3);
+
+    let mut rows = Vec::new();
+    let mut one_worker_secs = None;
     println!("\nparallel crawl speedup (medium world, 250 walks, {cores} CPU core(s)):");
+    println!("  serial baseline: {serial_secs:7.3}s");
     for workers in WORKER_COUNTS {
         let start = Instant::now();
         let ds = crawl_parallel(web, &cfg, ParallelCrawlConfig::with_workers(workers));
         let secs = start.elapsed().as_secs_f64();
         let json = ds.to_json().expect("dataset serializes");
-        let base = *base_secs.get_or_insert(secs);
-        let reference = base_json.get_or_insert_with(|| json.clone());
         assert_eq!(
-            *reference, json,
-            "{workers}-worker crawl diverged from the 1-worker crawl"
+            serial_json, json,
+            "{workers}-worker crawl diverged from the serial crawl"
         );
+        cc_telemetry::observe_ms("bench.parallel.crawl", secs * 1e3);
+        cc_telemetry::gauge_labeled("bench.parallel.secs", &format!("{workers}w"), secs);
+        let base = *one_worker_secs.get_or_insert(secs);
+        rows.push(SpeedupRow {
+            workers,
+            secs,
+            speedup_vs_serial: serial_secs / secs,
+            speedup_vs_one_worker: base / secs,
+        });
         println!(
             "  {workers} worker(s): {secs:7.3}s  speedup {:.2}x  ({} walks, identical output)",
             base / secs,
             ds.walks.len(),
         );
     }
+
+    let artifact = BenchArtifact {
+        schema: "cc-bench/parallel/v1",
+        bench: "crawl_250_walks",
+        cpu_cores: cores,
+        walks: serial_ds.walks.len(),
+        serial_baseline_secs: serial_secs,
+        runs: rows,
+        telemetry: session.report(),
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+    // Anchor to the workspace root, not the bench CWD, so the artifact
+    // lands at a stable path (`cargo bench` runs from crates/bench).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, &json).expect("BENCH_parallel.json writes");
+    println!("  wrote BENCH_parallel.json");
 }
 
 criterion_group! {

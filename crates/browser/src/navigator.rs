@@ -121,6 +121,7 @@ impl<'w> Browser<'w> {
     /// Navigate to a URL, following all redirects, and render the final
     /// page. Every hop is logged; cookies flow per the storage policy.
     pub fn navigate(&mut self, url: Url) -> Result<NavigationOutcome, NavError> {
+        let _nav_span = cc_telemetry::span("browser.navigate");
         let mut hops = Vec::new();
         let mut current = url;
         let mut referer: Option<String> = None;
@@ -187,6 +188,11 @@ impl<'w> Browser<'w> {
                     // Arrived: render the page.
                     let page = self.render(&current)?;
                     self.clock.advance(LatencyModel::page_dwell());
+                    cc_telemetry::counter("browser.navigations.completed", 1);
+                    cc_telemetry::counter("browser.nav_hops.total", hops.len() as u64);
+                    if hops.len() > 1 {
+                        cc_telemetry::counter("browser.redirect_chains.followed", 1);
+                    }
                     return Ok(NavigationOutcome {
                         hops,
                         final_url: current,
@@ -195,11 +201,13 @@ impl<'w> Browser<'w> {
                 }
             }
         }
+        cc_telemetry::event("browser.redirect_chain.truncated", &[]);
         Err(NavError::TooManyRedirects(Box::new(current)))
     }
 
     /// Render the page at `url`: run scripts, log beacons.
     fn render(&mut self, url: &Url) -> Result<LoadedPage, NavError> {
+        let _render_span = cc_telemetry::span("browser.render");
         let now = self.clock.now();
         let partition = url.registered_domain();
         let mut host = PageHost {

@@ -42,6 +42,18 @@ pub enum DiscardReason {
     Manual,
 }
 
+/// Telemetry label for a discard heuristic (low-cardinality, stable).
+fn discard_reason_label(reason: DiscardReason) -> &'static str {
+    match reason {
+        DiscardReason::SameAcrossUsers => "same_across_users",
+        DiscardReason::SessionRotation => "session_rotation",
+        DiscardReason::TimestampOrDate => "timestamp_or_date",
+        DiscardReason::LooksLikeUrl => "looks_like_url",
+        DiscardReason::TooShort => "too_short",
+        DiscardReason::Manual => "manual",
+    }
+}
+
 /// Final verdict on a token group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Verdict {
@@ -207,6 +219,13 @@ pub fn classify(
             Verdict::Discarded(DiscardReason::SessionRotation) => stats.session_rotation += 1,
             Verdict::Discarded(DiscardReason::Manual) => stats.manual_removed += 1,
             Verdict::Discarded(_) => stats.programmatic += 1,
+        }
+        match verdict {
+            Verdict::Uid => cc_telemetry::counter("classify.uid_confirmed", 1),
+            Verdict::Discarded(reason) => cc_telemetry::event(
+                "classify.token_rejected",
+                &[("heuristic", discard_reason_label(reason))],
+            ),
         }
         if entered_manual {
             stats.entered_manual += 1;

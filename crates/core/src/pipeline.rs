@@ -105,26 +105,36 @@ pub struct PipelineOutput {
 
 /// Run the full pipeline over a crawl dataset.
 pub fn run_pipeline(dataset: &CrawlDataset) -> PipelineOutput {
+    let _pipeline_span = cc_telemetry::span("pipeline");
     let mut all_candidates: Vec<Candidate> = Vec::new();
     let mut all_nav_obs: Vec<TokenObs> = Vec::new();
     let mut all_paths: Vec<PathView> = Vec::new();
 
-    for walk in &dataset.walks {
-        for step in &walk.steps {
-            for obs in &step.observations {
-                let (tokens, path) = observe(walk.walk_id, step.index, obs);
-                if let Some(path) = path {
-                    all_candidates.extend(find_candidates(&tokens, &path));
-                    all_paths.push(path);
+    {
+        let _extract_span = cc_telemetry::span("pipeline.extract");
+        for walk in &dataset.walks {
+            for step in &walk.steps {
+                for obs in &step.observations {
+                    let (tokens, path) = observe(walk.walk_id, step.index, obs);
+                    if let Some(path) = path {
+                        all_candidates.extend(find_candidates(&tokens, &path));
+                        all_paths.push(path);
+                    }
+                    all_nav_obs.extend(tokens.into_iter().filter(|t| t.source.is_nav_query()));
                 }
-                all_nav_obs.extend(tokens.into_iter().filter(|t| t.source.is_nav_query()));
             }
         }
     }
+    cc_telemetry::counter("pipeline.candidates.found", all_candidates.len() as u64);
+    cc_telemetry::counter("pipeline.paths.observed", all_paths.len() as u64);
 
-    let (groups, stats) = classify(&all_candidates, &all_nav_obs);
+    let (groups, stats) = {
+        let _classify_span = cc_telemetry::span("pipeline.classify");
+        classify(&all_candidates, &all_nav_obs)
+    };
 
     // Index candidates by (walk, step, name) for finding assembly.
+    let _assemble_span = cc_telemetry::span("pipeline.assemble");
     let mut cand_index: BTreeMap<(u32, usize, &str), Vec<&Candidate>> = BTreeMap::new();
     for c in &all_candidates {
         cand_index
@@ -180,6 +190,7 @@ pub fn run_pipeline(dataset: &CrawlDataset) -> PipelineOutput {
         });
     }
 
+    cc_telemetry::counter("pipeline.findings.confirmed", findings.len() as u64);
     PipelineOutput {
         findings,
         groups,

@@ -101,13 +101,18 @@ pub fn crawl_parallel_with_progress(
                 let next_walk = &next_walk;
                 let cfg = cfg.clone();
                 scope.spawn(move || {
+                    // Root span of this worker thread's trace: walk spans
+                    // nest under it.
+                    let _worker_span = cc_telemetry::span("crawl.worker");
                     let walker = Walker::new(web, cfg);
                     let mut shard = CrawlDataset::default();
+                    let mut claimed: u64 = 0;
                     loop {
                         let walk_id = next_walk.fetch_add(1, Ordering::Relaxed);
                         if walk_id >= seeders.len() {
                             break;
                         }
+                        claimed += 1;
                         let walk = walker.walk_public(
                             walk_id as u32,
                             seeders[walk_id].clone(),
@@ -115,6 +120,30 @@ pub fn crawl_parallel_with_progress(
                         );
                         progress.record_walk(worker, walk.steps.len() as u64);
                         shard.walks.push(walk);
+                    }
+                    // Scheduling-dependent readings are gauges (timing
+                    // section), never counters: which worker claimed how
+                    // many walks varies run to run. Starvation compares a
+                    // worker's claims to its fair share — 0.0 is a fair
+                    // split, 1.0 a fully starved worker.
+                    if cc_telemetry::enabled() {
+                        let label = worker.to_string();
+                        let fair = seeders.len() as f64 / par.n_workers as f64;
+                        let starvation = if fair > 0.0 {
+                            (1.0 - claimed as f64 / fair).max(0.0)
+                        } else {
+                            0.0
+                        };
+                        cc_telemetry::gauge_labeled(
+                            "crawl.worker.walks_claimed",
+                            &label,
+                            claimed as f64,
+                        );
+                        cc_telemetry::gauge_labeled(
+                            "crawl.worker.queue_starvation",
+                            &label,
+                            starvation,
+                        );
                     }
                     shard
                 })

@@ -375,13 +375,15 @@ impl<'w> Walker<'w> {
 
     /// Execute one ten-step walk from a seeder.
     fn walk(&self, walk_id: u32, seeder: Url, failures: &mut FailureStats) -> WalkRecord {
+        let _walk_span = cc_telemetry::span("crawl.walk");
+        let walk_started = std::time::Instant::now();
         let browsers = [
             self.make_browser(walk_id, CrawlerName::Safari1),
             self.make_browser(walk_id, CrawlerName::Safari2),
             self.make_browser(walk_id, CrawlerName::Chrome3),
         ];
         let trailing = self.make_browser(walk_id, CrawlerName::Safari1R);
-        match self.cfg.mode {
+        let record = match self.cfg.mode {
             DriverMode::PersistentWorkers => {
                 // The paper's architecture: crawler workers live for the
                 // whole walk; the controller mediates via channels.
@@ -417,7 +419,23 @@ impl<'w> Walker<'w> {
                 };
                 self.walk_with(&mut squad, trailing, walk_id, seeder, failures)
             }
-        }
+        };
+        // Observation-only accounting: totals depend on the seed, never on
+        // which worker ran the walk, so these stay in the deterministic
+        // report section (the duration histogram is timing data).
+        let kind = match &record.termination {
+            WalkTermination::Completed => "completed",
+            WalkTermination::SyncFailure { .. } => "sync_failure",
+            WalkTermination::Divergence { .. } => "divergence",
+            WalkTermination::ConnectFailure { .. } => "connect_failure",
+        };
+        cc_telemetry::event("crawl.walk.terminated", &[("kind", kind)]);
+        cc_telemetry::counter("crawl.steps.recorded", record.steps.len() as u64);
+        cc_telemetry::observe_ms(
+            "crawl.walk_duration",
+            walk_started.elapsed().as_secs_f64() * 1e3,
+        );
+        record
     }
 
     /// The walk loop proper, scheduling-agnostic.
@@ -459,6 +477,7 @@ impl<'w> Walker<'w> {
         };
 
         for step in 0..self.cfg.steps_per_walk {
+            let _step_span = cc_telemetry::span("crawl.step");
             if step > 0 {
                 failures.steps_attempted += 1;
             }

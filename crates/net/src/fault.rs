@@ -80,10 +80,13 @@ impl FaultModel {
     /// `ECONNRESET` dominating as in the paper's error description.
     pub fn attempt(&mut self) -> Result<(), NetError> {
         if !self.rng.chance(self.failure_rate) {
+            cc_telemetry::counter("net.connect.ok", 1);
             return Ok(());
         }
         let draw = self.rng.next();
-        Err(self.error_kind_for(draw))
+        let e = self.error_kind_for(draw);
+        cc_telemetry::counter_labeled("net.fault.injected", &e.to_string(), 1);
+        Err(e)
     }
 
     /// Host-keyed attempt: deterministic per `(salt, host)`.
@@ -92,9 +95,12 @@ impl FaultModel {
         // Map the hash to [0, 1) and compare against the rate.
         let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         if u >= self.failure_rate {
+            cc_telemetry::counter("net.connect.ok", 1);
             Ok(())
         } else {
-            Err(self.error_kind_for(h))
+            let e = self.error_kind_for(h);
+            cc_telemetry::counter_labeled("net.fault.injected", &e.to_string(), 1);
+            Err(e)
         }
     }
 

@@ -37,7 +37,11 @@ impl LatencyModel {
         // Square the uniform draw to skew toward the base (long-tail-ish).
         let u = self.rng.f64();
         let jitter = (u * u * self.jitter_ms as f64) as u64;
-        SimDuration::from_millis(self.base_ms + jitter)
+        let d = SimDuration::from_millis(self.base_ms + jitter);
+        // The *simulated* latency distribution — observation only, the
+        // sampled value itself is untouched.
+        cc_telemetry::observe_ms("net.sim_latency", d.as_millis() as f64);
+        d
     }
 
     /// The paper's fixed ten-second post-navigation observation dwell (§3.1).

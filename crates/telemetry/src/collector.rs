@@ -1,0 +1,207 @@
+//! The thread-safe collector and the exclusive recording session.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::histogram::Histogram;
+use crate::report::{DeterministicSection, RunReport, SpanRollup, TimingSection, WorkerSection};
+use crate::span::SpanStat;
+
+/// Where every recording call lands: name-keyed maps behind mutexes.
+///
+/// Contention is acceptable by design — recording happens at walk/step
+/// granularity (thousands of operations per crawl), not per byte. The
+/// `BTreeMap` keys give the report its stable, diff-friendly ordering.
+#[derive(Debug, Default)]
+pub struct Collector {
+    counters: Mutex<BTreeMap<String, u64>>,
+    events: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Collector {
+    /// Add to a named counter.
+    pub fn add_counter(&self, name: &str, n: u64) {
+        let mut counters = self.counters.lock();
+        match counters.get_mut(name) {
+            Some(v) => *v += n,
+            None => {
+                counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Count one event occurrence, keyed by name and rendered fields.
+    pub fn add_event(&self, name: &str, fields: &[(&str, &str)]) {
+        let key = if fields.is_empty() {
+            name.to_string()
+        } else {
+            let rendered: Vec<String> =
+                fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{name}{{{}}}", rendered.join(","))
+        };
+        let mut events = self.events.lock();
+        *events.entry(key).or_insert(0) += 1;
+    }
+
+    /// Set a named gauge (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauges.lock().insert(name.to_string(), value);
+    }
+
+    /// Record a histogram observation in milliseconds.
+    pub fn observe_ms(&self, name: &str, ms: f64) {
+        let mut hists = self.histograms.lock();
+        hists.entry(name.to_string()).or_default().observe_ms(ms);
+    }
+
+    /// Fold one completed span into its path's rollup.
+    pub fn record_span(&self, path: &str, ns: u64) {
+        let mut spans = self.spans.lock();
+        spans.entry(path.to_string()).or_default().record(ns);
+    }
+
+    /// Snapshot everything into a report (the collector keeps recording).
+    pub fn report(&self, workers: Option<WorkerSection>) -> RunReport {
+        let spans: Vec<SpanRollup> = self
+            .spans
+            .lock()
+            .iter()
+            .map(|(path, s)| SpanRollup {
+                path: path.clone(),
+                count: s.count,
+                total_ms: s.total_ns as f64 / 1e6,
+                mean_ms: if s.count == 0 {
+                    0.0
+                } else {
+                    (s.total_ns as f64 / s.count as f64) / 1e6
+                },
+                min_ms: if s.count == 0 {
+                    0.0
+                } else {
+                    s.min_ns as f64 / 1e6
+                },
+                max_ms: s.max_ns as f64 / 1e6,
+            })
+            .collect();
+        RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            deterministic: DeterministicSection {
+                counters: self.counters.lock().clone(),
+                events: self.events.lock().clone(),
+            },
+            timing: TimingSection {
+                gauges: self.gauges.lock().clone(),
+                histograms: self
+                    .histograms
+                    .lock()
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.summarize()))
+                    .collect(),
+                spans,
+            },
+            workers,
+        }
+    }
+}
+
+/// Serializes sessions: only one recording session exists at a time, so
+/// concurrent tests queue up instead of polluting each other's metrics.
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+/// An exclusive recording session.
+///
+/// [`Session::start`] installs a fresh [`Collector`] as the global sink
+/// (blocking until any other session finishes); dropping the session
+/// uninstalls it. All recording from all threads lands in this session's
+/// collector while it lives.
+pub struct Session {
+    collector: Arc<Collector>,
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl Session {
+    /// Begin recording (blocks while another session is active).
+    pub fn start() -> Session {
+        let exclusive = SESSION_LOCK.lock();
+        let collector = Arc::new(Collector::default());
+        *crate::sink_slot().write() = Some(Arc::clone(&collector));
+        crate::set_enabled(true);
+        Session {
+            collector,
+            _exclusive: exclusive,
+        }
+    }
+
+    /// The session's collector (for direct inspection in tests).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Build the run report collected so far.
+    pub fn report(&self) -> RunReport {
+        self.collector.report(None)
+    }
+
+    /// Build the run report, folding in per-worker crawl progress.
+    pub fn report_with_workers(&self, workers: WorkerSection) -> RunReport {
+        self.collector.report(Some(workers))
+    }
+
+    /// Render the span tree collected so far (the `--trace` output).
+    pub fn render_trace(&self) -> String {
+        crate::span::render_tree(&self.report().timing.spans)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        crate::set_enabled(false);
+        *crate::sink_slot().write() = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_keys_render_fields() {
+        let c = Collector::default();
+        c.add_event("walk.terminated", &[("kind", "sync"), ("retry", "no")]);
+        c.add_event("walk.terminated", &[("kind", "sync"), ("retry", "no")]);
+        c.add_event("bare", &[]);
+        let r = c.report(None);
+        assert_eq!(r.deterministic.events["walk.terminated{kind=sync,retry=no}"], 2);
+        assert_eq!(r.deterministic.events["bare"], 1);
+    }
+
+    #[test]
+    fn concurrent_counter_updates_are_lossless() {
+        let c = Arc::new(Collector::default());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add_counter("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.report(None).deterministic.counters["hits"], 4000);
+    }
+
+    #[test]
+    fn sessions_are_exclusive_and_sequential() {
+        let a = Session::start();
+        a.collector().add_counter("a", 1);
+        drop(a);
+        let b = Session::start();
+        assert!(b.report().deterministic.counters.is_empty());
+    }
+}

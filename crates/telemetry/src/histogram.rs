@@ -1,0 +1,187 @@
+//! Log-bucketed latency histograms.
+//!
+//! The registry stores one [`Histogram`] per metric name: 64 power-of-two
+//! buckets over nanoseconds (sub-microsecond through ~5 centuries), plus
+//! exact count/sum/min/max. Quantiles (p50/p90/p99) are estimated from
+//! the bucket the target rank falls in — the same scheme load-test
+//! harnesses use, trading ≤ √2 relative error for O(1) memory per metric.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets (covers u64 nanoseconds entirely).
+const BUCKETS: usize = 64;
+
+/// A log-bucketed histogram over durations.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+/// Bucket index for a nanosecond value: ⌊log2⌋, so bucket `i` covers
+/// `[2^i, 2^(i+1))` (bucket 0 additionally holds 0 ns).
+fn bucket_index(ns: u64) -> usize {
+    (63 - ns.max(1).leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one observation given in milliseconds.
+    pub fn observe_ms(&mut self, ms: f64) {
+        let ns = if ms.is_finite() && ms > 0.0 {
+            (ms * 1e6).round().min(u64::MAX as f64) as u64
+        } else {
+            0
+        };
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Estimate the `q`-quantile (0 < q ≤ 1) in milliseconds: the
+    /// geometric midpoint of the bucket holding the target rank, clamped
+    /// to the exact observed min/max.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)) is 2^(i+0.5) ns.
+                let mid_ns = 2f64.powf(i as f64 + 0.5);
+                let clamped = mid_ns.clamp(self.min_ns as f64, self.max_ns.max(1) as f64);
+                return clamped / 1e6;
+            }
+        }
+        self.max_ns as f64 / 1e6
+    }
+
+    /// Summarize for the run report.
+    pub fn summarize(&self) -> HistogramSummary {
+        let mean_ms = if self.count == 0 {
+            0.0
+        } else {
+            (self.sum_ns as f64 / self.count as f64) / 1e6
+        };
+        HistogramSummary {
+            count: self.count,
+            mean_ms,
+            min_ms: if self.count == 0 {
+                0.0
+            } else {
+                self.min_ns as f64 / 1e6
+            },
+            max_ms: self.max_ns as f64 / 1e6,
+            p50_ms: self.quantile_ms(0.50),
+            p90_ms: self.quantile_ms(0.90),
+            p99_ms: self.quantile_ms(0.99),
+        }
+    }
+}
+
+/// The report-facing digest of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Arithmetic mean (exact, from the running sum).
+    pub mean_ms: f64,
+    /// Smallest observation (exact).
+    pub min_ms: f64,
+    /// Largest observation (exact).
+    pub max_ms: f64,
+    /// Estimated median.
+    pub p50_ms: f64,
+    /// Estimated 90th percentile.
+    pub p90_ms: f64,
+    /// Estimated 99th percentile.
+    pub p99_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        let s = h.summarize();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ms, 0.0);
+        assert_eq!(s.mean_ms, 0.0);
+        assert_eq!(s.min_ms, 0.0);
+    }
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Histogram::default();
+        for ms in 1..=1000 {
+            h.observe_ms(ms as f64);
+        }
+        let s = h.summarize();
+        assert_eq!(s.count, 1000);
+        assert!((s.mean_ms - 500.5).abs() < 0.01, "mean {}", s.mean_ms);
+        assert_eq!(s.min_ms, 1.0);
+        assert_eq!(s.max_ms, 1000.0);
+        // Log-bucketed estimates: within a factor of √2 of the truth.
+        assert!(s.p50_ms >= 250.0 && s.p50_ms <= 1000.0, "p50 {}", s.p50_ms);
+        assert!(s.p90_ms >= s.p50_ms, "p90 below p50");
+        assert!(s.p99_ms >= s.p90_ms, "p99 below p90");
+        assert!(s.p99_ms <= s.max_ms + 1e-9, "p99 above max");
+    }
+
+    #[test]
+    fn single_observation_quantiles_are_exact() {
+        let mut h = Histogram::default();
+        h.observe_ms(42.0);
+        let s = h.summarize();
+        // min == max == 42 ms, so the clamp pins every quantile.
+        assert_eq!(s.p50_ms, 42.0);
+        assert_eq!(s.p99_ms, 42.0);
+        assert_eq!(s.mean_ms, 42.0);
+    }
+
+    #[test]
+    fn non_finite_and_negative_observations_count_as_zero() {
+        let mut h = Histogram::default();
+        h.observe_ms(f64::NAN);
+        h.observe_ms(-5.0);
+        h.observe_ms(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.summarize().max_ms, 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The machine-readable run report (`--metrics-out`).
+//!
+//! One JSON document per run, split along the determinism boundary:
+//!
+//! * [`DeterministicSection`] — counters and events that depend only on
+//!   seed and configuration. Two runs of the same study must agree here
+//!   regardless of worker count (the telemetry equivalence test asserts
+//!   exactly this).
+//! * [`TimingSection`] — gauges, histogram digests, and span rollups:
+//!   wall-clock facts that differ run to run.
+//! * [`WorkerSection`] — the parallel executor's per-worker progress
+//!   snapshot, folded in from `cc_util::ProgressCounters`.
+
+use std::collections::BTreeMap;
+
+use cc_util::ProgressSnapshot;
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::HistogramSummary;
+
+/// Counters and events whose totals are seed-deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeterministicSection {
+    /// Named monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Aggregated structured events (`name{k=v,...}` → occurrences).
+    pub events: BTreeMap<String, u64>,
+}
+
+/// Wall-clock measurements (legitimately vary run to run).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingSection {
+    /// Last-write-wins gauges (may be scheduling-dependent).
+    pub gauges: BTreeMap<String, f64>,
+    /// Latency histogram digests with p50/p90/p99.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Span-tree rollup, path-sorted (parents precede children).
+    pub spans: Vec<SpanRollup>,
+}
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRollup {
+    /// `/`-joined span path (e.g. `study.crawl/crawl.walk`).
+    pub path: String,
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Total milliseconds across them.
+    pub total_ms: f64,
+    /// Mean milliseconds per span.
+    pub mean_ms: f64,
+    /// Fastest span.
+    pub min_ms: f64,
+    /// Slowest span.
+    pub max_ms: f64,
+}
+
+/// One worker's share of a parallel crawl.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerRow {
+    /// Worker index.
+    pub worker: usize,
+    /// Walks this worker claimed and finished.
+    pub walks: u64,
+    /// Steps this worker completed.
+    pub steps: u64,
+    /// This worker's fraction of all finished walks.
+    pub walk_share: f64,
+}
+
+/// Per-worker crawl progress, from the executor's `ProgressCounters`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerSection {
+    /// Worker threads the crawl ran with.
+    pub n_workers: usize,
+    /// Wall-clock seconds the crawl took.
+    pub elapsed_secs: f64,
+    /// Total walks finished.
+    pub walks: u64,
+    /// Total steps completed.
+    pub steps: u64,
+    /// Walk throughput over the run.
+    pub walks_per_sec: f64,
+    /// Step throughput over the run.
+    pub steps_per_sec: f64,
+    /// Per-worker breakdown.
+    pub per_worker: Vec<WorkerRow>,
+}
+
+impl WorkerSection {
+    /// Fold a progress snapshot into report form.
+    pub fn from_progress(snapshot: &ProgressSnapshot) -> WorkerSection {
+        WorkerSection {
+            n_workers: snapshot.per_worker.len(),
+            elapsed_secs: snapshot.elapsed_secs,
+            walks: snapshot.walks,
+            steps: snapshot.steps,
+            walks_per_sec: snapshot.walks_per_sec,
+            steps_per_sec: snapshot.steps_per_sec,
+            per_worker: snapshot
+                .per_worker
+                .iter()
+                .enumerate()
+                .map(|(worker, w)| WorkerRow {
+                    worker,
+                    walks: w.walks,
+                    steps: w.steps,
+                    walk_share: w.walk_share(snapshot.walks),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The complete run report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Format tag (`cc-telemetry/v1`).
+    pub schema: String,
+    /// Seed-deterministic counters and events.
+    pub deterministic: DeterministicSection,
+    /// Wall-clock gauges, histograms, and span rollups.
+    pub timing: TimingSection,
+    /// Per-worker crawl progress (parallel runs only).
+    pub workers: Option<WorkerSection>,
+}
+
+impl RunReport {
+    /// The current schema tag.
+    pub const SCHEMA: &'static str = "cc-telemetry/v1";
+
+    /// Serialize to pretty JSON (what `--metrics-out` writes).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parse a report back (consumers, CI smoke checks, tests).
+    pub fn from_json(s: &str) -> serde_json::Result<RunReport> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_util::{ProgressCounters, WorkerSnapshot};
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut counters = BTreeMap::new();
+        counters.insert("net.connect.ok".to_string(), 12);
+        let report = RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            deterministic: DeterministicSection {
+                counters,
+                events: BTreeMap::new(),
+            },
+            timing: TimingSection::default(),
+            workers: Some(WorkerSection {
+                n_workers: 2,
+                elapsed_secs: 1.5,
+                walks: 10,
+                steps: 40,
+                walks_per_sec: 6.67,
+                steps_per_sec: 26.67,
+                per_worker: vec![
+                    WorkerRow {
+                        worker: 0,
+                        walks: 6,
+                        steps: 24,
+                        walk_share: 0.6,
+                    },
+                    WorkerRow {
+                        worker: 1,
+                        walks: 4,
+                        steps: 16,
+                        walk_share: 0.4,
+                    },
+                ],
+            }),
+        };
+        let json = report.to_json().unwrap();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(json.contains("cc-telemetry/v1"));
+    }
+
+    #[test]
+    fn worker_section_folds_progress_snapshot() {
+        let p = ProgressCounters::new(2);
+        p.record_walk(0, 3);
+        p.record_walk(0, 5);
+        p.record_walk(1, 2);
+        let section = WorkerSection::from_progress(&p.snapshot());
+        assert_eq!(section.n_workers, 2);
+        assert_eq!(section.walks, 3);
+        assert_eq!(section.steps, 10);
+        assert_eq!(section.per_worker[0].walks, 2);
+        assert!((section.per_worker[0].walk_share - 2.0 / 3.0).abs() < 1e-12);
+        assert!((section.per_worker[1].walk_share - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_share_of_empty_crawl_is_zero_not_nan() {
+        let snap = cc_util::ProgressSnapshot {
+            walks: 0,
+            steps: 0,
+            elapsed_secs: 0.0,
+            walks_per_sec: 0.0,
+            steps_per_sec: 0.0,
+            per_worker: vec![WorkerSnapshot { walks: 0, steps: 0 }],
+        };
+        let section = WorkerSection::from_progress(&snap);
+        assert_eq!(section.per_worker[0].walk_share, 0.0);
+    }
+}

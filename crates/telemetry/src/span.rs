@@ -1,0 +1,170 @@
+//! Hierarchical spans with wall-clock timing.
+//!
+//! A span is a guard: [`crate::span`] pushes the span's name onto a
+//! per-thread stack and starts a timer; dropping the guard pops the stack
+//! and records the elapsed time under the span's **path** — the stack
+//! joined with `/` (e.g. `study.crawl/crawl.walk/crawl.step`). The
+//! collector aggregates per path ([`SpanStat`]): memory stays bounded no
+//! matter how many walks a crawl runs, and the rollup *is* the span tree.
+//!
+//! Each thread owns its stack, so worker-thread spans form their own
+//! trees rooted at whatever span the worker opened first — exactly how
+//! per-worker traces should read.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::collector::Collector;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStat {
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Total nanoseconds across them.
+    pub total_ns: u128,
+    /// Fastest single span.
+    pub min_ns: u64,
+    /// Slowest single span.
+    pub max_ns: u64,
+}
+
+impl Default for SpanStat {
+    fn default() -> Self {
+        SpanStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl SpanStat {
+    /// Fold one completed span into the rollup.
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+/// An open span; records its duration into the collector on drop.
+#[must_use = "a span measures nothing unless the guard lives to the end of the scope"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    collector: Arc<Collector>,
+    path: String,
+    start: Instant,
+    /// Stack depth *before* this span was pushed, used to restore the
+    /// stack even if inner guards leaked.
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// A guard that does nothing (recording off).
+    pub(crate) fn disabled() -> Self {
+        SpanGuard { inner: None }
+    }
+
+    /// Push `name` on this thread's stack and start timing.
+    pub(crate) fn enter(collector: Arc<Collector>, name: &'static str) -> Self {
+        let (path, depth) = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let depth = s.len();
+            s.push(name);
+            (s.join("/"), depth)
+        });
+        SpanGuard {
+            inner: Some(SpanInner {
+                collector,
+                path,
+                start: Instant::now(),
+                depth,
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let ns = inner.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        STACK.with(|s| s.borrow_mut().truncate(inner.depth));
+        inner.collector.record_span(&inner.path, ns);
+    }
+}
+
+/// Render span rollups as an indented tree (the `--trace` output).
+///
+/// `rollups` must be path-sorted (the collector's `BTreeMap` order), so a
+/// parent immediately precedes its children.
+pub fn render_tree(rollups: &[crate::report::SpanRollup]) -> String {
+    let mut out = String::new();
+    for r in rollups {
+        let depth = r.path.matches('/').count();
+        let name = r.path.rsplit('/').next().unwrap_or(&r.path);
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!(
+            "{name}  ×{}  total {:.2}ms  mean {:.3}ms  max {:.3}ms\n",
+            r.count, r.total_ms, r.mean_ms, r.max_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SpanRollup;
+
+    #[test]
+    fn span_stat_tracks_extremes() {
+        let mut s = SpanStat::default();
+        s.record(10);
+        s.record(30);
+        s.record(20);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 60);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 30);
+    }
+
+    #[test]
+    fn tree_rendering_indents_by_path_depth() {
+        let rollups = vec![
+            SpanRollup {
+                path: "study.crawl".into(),
+                count: 1,
+                total_ms: 5.0,
+                mean_ms: 5.0,
+                min_ms: 5.0,
+                max_ms: 5.0,
+            },
+            SpanRollup {
+                path: "study.crawl/crawl.walk".into(),
+                count: 4,
+                total_ms: 4.0,
+                mean_ms: 1.0,
+                min_ms: 0.5,
+                max_ms: 2.0,
+            },
+        ];
+        let text = render_tree(&rollups);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("study.crawl"), "{text}");
+        assert!(lines[1].starts_with("  crawl.walk"), "{text}");
+        assert!(lines[1].contains("×4"), "{text}");
+    }
+}

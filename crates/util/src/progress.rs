@@ -55,15 +55,22 @@ impl ProgressCounters {
 
     /// A consistent-enough view of the counters right now.
     pub fn snapshot(&self) -> ProgressSnapshot {
-        let elapsed = self.started.elapsed().as_secs_f64();
+        self.snapshot_with_elapsed(self.started.elapsed().as_secs_f64())
+    }
+
+    /// [`ProgressCounters::snapshot`] with the elapsed time supplied by the
+    /// caller — the testable core, and what a monitor replaying recorded
+    /// timings uses. Rates are guarded: a zero (coarse clock), negative, or
+    /// non-finite elapsed reports `0.0`, never `inf`/`NaN`.
+    pub fn snapshot_with_elapsed(&self, elapsed_secs: f64) -> ProgressSnapshot {
         let walks = self.walks.load(Ordering::Relaxed);
         let steps = self.steps.load(Ordering::Relaxed);
         ProgressSnapshot {
             walks,
             steps,
-            elapsed_secs: elapsed,
-            walks_per_sec: rate(walks, elapsed),
-            steps_per_sec: rate(steps, elapsed),
+            elapsed_secs,
+            walks_per_sec: rate(walks, elapsed_secs),
+            steps_per_sec: rate(steps, elapsed_secs),
             per_worker: self
                 .per_worker
                 .iter()
@@ -76,8 +83,11 @@ impl ProgressCounters {
     }
 }
 
+/// `count / elapsed`, guarded against the zero-elapsed edge case (a
+/// snapshot taken immediately after construction, or a coarse monotonic
+/// clock reporting 0) and against non-finite elapsed values.
 fn rate(count: u64, elapsed_secs: f64) -> f64 {
-    if elapsed_secs <= 0.0 {
+    if !elapsed_secs.is_finite() || elapsed_secs <= 0.0 {
         0.0
     } else {
         count as f64 / elapsed_secs
@@ -108,6 +118,17 @@ pub struct WorkerSnapshot {
     pub walks: u64,
     /// Steps this worker completed.
     pub steps: u64,
+}
+
+impl WorkerSnapshot {
+    /// This worker's fraction of `total_walks` (0.0 for an empty crawl).
+    pub fn walk_share(&self, total_walks: u64) -> f64 {
+        if total_walks == 0 {
+            0.0
+        } else {
+            self.walks as f64 / total_walks as f64
+        }
+    }
 }
 
 impl ProgressSnapshot {
@@ -178,6 +199,58 @@ mod tests {
         let s = p.snapshot();
         assert_eq!(s.walks, 1);
         assert_eq!(s.per_worker[0].walks, 0);
+    }
+
+    #[test]
+    fn zero_elapsed_reports_zero_rates() {
+        let p = ProgressCounters::new(2);
+        p.record_walk(0, 3);
+        p.record_walk(1, 2);
+        let s = p.snapshot_with_elapsed(0.0);
+        assert_eq!(s.walks, 2);
+        assert_eq!(s.walks_per_sec, 0.0);
+        assert_eq!(s.steps_per_sec, 0.0);
+    }
+
+    #[test]
+    fn degenerate_elapsed_never_yields_nan_or_inf() {
+        let p = ProgressCounters::new(1);
+        p.record_walk(0, 1);
+        for elapsed in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = p.snapshot_with_elapsed(elapsed);
+            assert!(s.walks_per_sec.is_finite(), "elapsed={elapsed}");
+            assert!(s.steps_per_sec.is_finite(), "elapsed={elapsed}");
+        }
+        // A sane elapsed still divides through.
+        let s = p.snapshot_with_elapsed(0.5);
+        assert_eq!(s.walks_per_sec, 2.0);
+        assert_eq!(s.steps_per_sec, 2.0);
+    }
+
+    #[test]
+    fn worker_shares_sum_to_one() {
+        let p = ProgressCounters::new(4);
+        p.record_walk(0, 1);
+        p.record_walk(0, 1);
+        p.record_walk(1, 1);
+        p.record_walk(3, 1);
+        let s = p.snapshot();
+        let shares: Vec<f64> = s
+            .per_worker
+            .iter()
+            .map(|w| w.walk_share(s.walks))
+            .collect();
+        assert_eq!(shares, vec![0.5, 0.25, 0.0, 0.25]);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_crawl_has_zero_shares() {
+        let p = ProgressCounters::new(2);
+        let s = p.snapshot();
+        for w in &s.per_worker {
+            assert_eq!(w.walk_share(s.walks), 0.0);
+        }
     }
 
     #[test]

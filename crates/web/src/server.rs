@@ -202,6 +202,7 @@ impl SimWeb {
 
     /// Answer a request.
     pub fn serve(&self, req: &Request, ctx: &mut ServeCtx<'_>) -> Result<Response, ServeError> {
+        cc_telemetry::counter("web.requests.served", 1);
         let host = req.url.host.as_str().to_string();
         // Tracker endpoints are matched on (fqdn, tracker path); a tracker
         // may share its FQDN with a site (multi-purpose smugglers like
@@ -420,10 +421,12 @@ impl SimWeb {
             .site_for_host(url.host.as_str())
             .ok_or_else(|| ServeError::UnknownHost(url.host.as_str().to_string()))?;
         let page = site.page(&url.path).unwrap_or_else(|| site.landing());
+        cc_telemetry::counter("web.pages.loaded", 1);
 
         // 1. Embedded trackers run: identity get-or-mint, UID collection
         //    from the landing URL, and beacons.
         for tid in &site.embedded_trackers {
+            cc_telemetry::event("web.script.executed", &[("kind", "tracker")]);
             self.run_tracker_script(self.tracker(*tid), site, url, host);
         }
 

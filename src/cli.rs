@@ -51,6 +51,10 @@ pub struct Cli {
     pub workers: Option<usize>,
     /// Output path for subcommands that write a file.
     pub out: Option<String>,
+    /// Write the telemetry run report (JSON) to this path.
+    pub metrics_out: Option<String>,
+    /// Print the human-readable span tree to stderr after the run.
+    pub trace: bool,
 }
 
 /// CLI parse errors (rendered to the user verbatim).
@@ -91,6 +95,11 @@ OPTIONS:
   --parallel       persistent crawler workers on real threads
   --paper-scale    10,000 sites and seeders, as in the paper's §3.1
   --out PATH       output file for crawl/blocklist
+  --metrics-out P  write the telemetry run report (JSON) to P: counters,
+                   latency histograms (p50/p90/p99), span-tree rollups,
+                   and per-worker crawl progress
+  --trace          print the span tree (wall-clock timings per pipeline
+                   stage) to stderr after the run
 ";
 
 /// Parse argv (without the program name).
@@ -104,6 +113,8 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
     let mut crawl = CrawlConfig::default();
     let mut workers = None;
     let mut out = None;
+    let mut metrics_out = None;
+    let mut trace = false;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -152,6 +163,14 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
                         .clone(),
                 )
             }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    it.next()
+                        .ok_or_else(|| CliError("--metrics-out needs a path".into()))?
+                        .clone(),
+                )
+            }
+            "--trace" => trace = true,
             other => return Err(CliError(format!("unknown argument {other:?}"))),
         }
     }
@@ -168,6 +187,8 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         crawl,
         workers,
         out,
+        metrics_out,
+        trace,
     })
 }
 
@@ -195,10 +216,54 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         return Ok(USAGE.to_string());
     }
 
+    // Telemetry is opt-in: a session only exists when a telemetry flag
+    // asked for one, so plain runs pay nothing.
+    let session = if cli.metrics_out.is_some() || cli.trace {
+        Some(cc_telemetry::Session::start())
+    } else {
+        None
+    };
+    // Fail fast on an unwritable report path — before the crawl, not after
+    // an hour of it.
+    if let Some(path) = cli.metrics_out.as_deref() {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| CliError(format!("--metrics-out {path}: not writable: {e}")))?;
+    }
+
     let study = match cli.workers {
         Some(n) => Study::run_parallel(&cli.web, cli.crawl.clone(), n),
         None => Study::run(&cli.web, cli.crawl.clone()),
     };
+
+    let result = execute(cli, &study);
+
+    // Reporting happens after the command executed, so command-phase spans
+    // (the analysis report sections, dataset serialization) are captured.
+    if let Some(session) = &session {
+        if cli.trace {
+            eprint!("{}", session.render_trace());
+        }
+        if let Some(path) = cli.metrics_out.as_deref() {
+            let report = match &study.progress {
+                Some(snapshot) => session
+                    .report_with_workers(cc_telemetry::WorkerSection::from_progress(snapshot)),
+                None => session.report(),
+            };
+            let json = report
+                .to_json()
+                .map_err(|e| CliError(format!("serialize run report: {e}")))?;
+            std::fs::write(path, &json)
+                .map_err(|e| CliError(format!("write {path}: {e}")))?;
+        }
+    }
+    result
+}
+
+/// Run the subcommand against a finished study; returns the text to print.
+fn execute(cli: &Cli, study: &crate::Study) -> Result<String, CliError> {
     match cli.command {
         Command::Help => unreachable!("handled above"),
         Command::Report => Ok(study.report().render()),
@@ -340,6 +405,65 @@ mod tests {
         let cli = parse(&argv("help")).unwrap();
         let out = run(&cli).unwrap();
         assert!(out.contains("USAGE"));
+        assert!(out.contains("--metrics-out"), "help must document telemetry flags");
+        assert!(out.contains("--trace"), "help must document telemetry flags");
+    }
+
+    #[test]
+    fn parse_metrics_flags() {
+        let cli = parse(&argv("report --metrics-out m.json --trace")).unwrap();
+        assert_eq!(cli.metrics_out.as_deref(), Some("m.json"));
+        assert!(cli.trace);
+        let cli = parse(&argv("report")).unwrap();
+        assert!(cli.metrics_out.is_none(), "telemetry is opt-in");
+        assert!(!cli.trace);
+        assert!(parse(&argv("report --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn unwritable_metrics_out_is_rejected_before_the_crawl() {
+        let mut cli =
+            parse(&argv("report --metrics-out /nonexistent-ccrs-dir/m.json")).unwrap();
+        // A paper-scale world would take minutes — the unwritable path must
+        // error out long before the crawl would start.
+        cli.web = cc_web::WebConfig::paper_scale();
+        let start = std::time::Instant::now();
+        let err = run(&cli).unwrap_err();
+        assert!(
+            err.0.contains("--metrics-out") && err.0.contains("not writable"),
+            "unclear error: {err}"
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "rejection should be fail-fast, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn metrics_out_writes_a_parsable_run_report() {
+        let dir = std::env::temp_dir().join("ccrs-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let mut cli = parse(&argv(&format!(
+            "truth --seed 5 --steps 3 --walks 6 --workers 2 --trace --metrics-out {}",
+            path.display()
+        )))
+        .unwrap();
+        cli.web = cc_web::WebConfig::small();
+        run(&cli).unwrap();
+        let report =
+            cc_telemetry::RunReport::from_json(&std::fs::read_to_string(&path).unwrap())
+                .expect("run report parses back");
+        assert_eq!(report.schema, cc_telemetry::RunReport::SCHEMA);
+        assert!(
+            !report.deterministic.counters.is_empty(),
+            "no counters recorded"
+        );
+        assert!(!report.timing.spans.is_empty(), "no spans recorded");
+        let workers = report.workers.expect("parallel run carries worker section");
+        assert_eq!(workers.n_workers, 2);
+        assert_eq!(workers.per_worker.len(), 2);
     }
 
     #[test]

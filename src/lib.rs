@@ -39,13 +39,15 @@ pub use cc_crawler as crawler;
 pub use cc_defense as defense;
 pub use cc_http as http;
 pub use cc_net as net;
+pub use cc_telemetry as telemetry;
 pub use cc_url as url;
 pub use cc_util as util;
 pub use cc_web as web;
 
 use cc_analysis::report::{full_report, AnalysisReport};
 use cc_core::pipeline::PipelineOutput;
-use cc_crawler::{crawl_parallel, CrawlConfig, CrawlDataset, ParallelCrawlConfig, Walker};
+use cc_crawler::{crawl_parallel_instrumented, CrawlConfig, CrawlDataset, ParallelCrawlConfig, Walker};
+use cc_util::ProgressSnapshot;
 use cc_web::{generate, SimWeb, WebConfig};
 
 /// An end-to-end study: world, crawl, and pipeline results in one place.
@@ -56,18 +58,30 @@ pub struct Study {
     pub dataset: CrawlDataset,
     /// The pipeline output (findings, groups, paths).
     pub output: PipelineOutput,
+    /// Final per-worker crawl progress (parallel runs only).
+    pub progress: Option<ProgressSnapshot>,
 }
 
 impl Study {
     /// Run a study with explicit world and crawl configurations.
     pub fn run(web_config: &WebConfig, crawl_config: CrawlConfig) -> Self {
-        let web = generate(web_config);
-        let dataset = Walker::new(&web, crawl_config).crawl();
-        let output = cc_core::run_pipeline(&dataset);
+        let web = {
+            let _span = telemetry::span("study.generate_web");
+            generate(web_config)
+        };
+        let dataset = {
+            let _span = telemetry::span("study.crawl");
+            Walker::new(&web, crawl_config).crawl()
+        };
+        let output = {
+            let _span = telemetry::span("study.pipeline");
+            cc_core::run_pipeline(&dataset)
+        };
         Study {
             web,
             dataset,
             output,
+            progress: None,
         }
     }
 
@@ -81,17 +95,27 @@ impl Study {
         crawl_config: CrawlConfig,
         n_workers: usize,
     ) -> Self {
-        let web = generate(web_config);
-        let dataset = crawl_parallel(
-            &web,
-            &crawl_config,
-            ParallelCrawlConfig::with_workers(n_workers),
-        );
-        let output = cc_core::run_pipeline(&dataset);
+        let web = {
+            let _span = telemetry::span("study.generate_web");
+            generate(web_config)
+        };
+        let (dataset, progress) = {
+            let _span = telemetry::span("study.crawl");
+            crawl_parallel_instrumented(
+                &web,
+                &crawl_config,
+                ParallelCrawlConfig::with_workers(n_workers),
+            )
+        };
+        let output = {
+            let _span = telemetry::span("study.pipeline");
+            cc_core::run_pipeline(&dataset)
+        };
         Study {
             web,
             dataset,
             output,
+            progress: Some(progress),
         }
     }
 
@@ -126,6 +150,7 @@ impl Study {
 
     /// The complete analysis report (every table and figure).
     pub fn report(&self) -> AnalysisReport {
+        let _span = telemetry::span("study.report");
         full_report(&self.web, &self.dataset, &self.output)
     }
 
