@@ -153,6 +153,7 @@ mod tests {
                     })
                     .collect(),
                 termination,
+                recovery: Default::default(),
             });
         }
         ds.failures = FailureStats::default();

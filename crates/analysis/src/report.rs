@@ -3,7 +3,8 @@
 
 use cc_core::pipeline::PipelineOutput;
 use cc_core::ComboClass;
-use cc_crawler::{CrawlDataset, FailureStats};
+use cc_crawler::{CrawlDataset, FailureLedger, FailureStats};
+use cc_net::RecoveryStats;
 use cc_util::Counter;
 use cc_web::SimWeb;
 use serde::{Deserialize, Serialize};
@@ -67,6 +68,11 @@ pub struct AnalysisReport {
     pub fingerprint: FingerprintExperiment,
     /// §3.3 crawl failure accounting.
     pub failures: FailureStats,
+    /// Retry/breaker activity summed over every walk (all zeros when the
+    /// crawl ran with fault tolerance disabled).
+    pub recovery: RecoveryStats,
+    /// Audit trail of walks that ended early (degraded rather than lost).
+    pub ledger: FailureLedger,
     /// CNAME-cloaking findings (§8.3 extension).
     pub cloaked: Vec<CloakedHost>,
     /// Manual-stage counts (§3.7.2: 577 of 1,581 in the paper).
@@ -104,6 +110,8 @@ pub fn full_report(
         bounce: section("report.bounce", || bounce_stats(output)),
         fingerprint: section("report.fingerprint", || fingerprint_experiment(web, output)),
         failures: dataset.failures,
+        recovery: dataset.recovery_totals(),
+        ledger: dataset.ledger.clone(),
         cloaked: section("report.cloaking", || detect_cloaking(web, dataset, output)),
         manual_entered: output.stats.entered_manual,
         manual_removed: output.stats.manual_removed,
@@ -290,6 +298,30 @@ impl AnalysisReport {
             f.connect_failure_rate() * 100.0
         );
 
+        let r = &self.recovery;
+        let _ = writeln!(s, "\n== Fault tolerance ==");
+        let _ = writeln!(
+            s,
+            "  Retries: {} ({} recovered, {} exhausted, {} ms backoff)",
+            r.retries, r.recovered, r.exhausted, r.backoff_ms
+        );
+        let _ = writeln!(
+            s,
+            "  Circuit breaker: {} trips, {} fast-fails",
+            r.breaker_trips, r.breaker_fast_fails
+        );
+        let _ = writeln!(s, "  Degraded walks: {}", self.ledger.len());
+        for e in self.ledger.entries.iter().take(10) {
+            let _ = writeln!(
+                s,
+                "    walk {:>4} from {:<28} {} steps, {:?}",
+                e.walk_id, e.seeder, e.steps_recorded, e.termination
+            );
+        }
+        if self.ledger.len() > 10 {
+            let _ = writeln!(s, "    ... and {} more", self.ledger.len() - 10);
+        }
+
         let _ = writeln!(s, "\n== Manual stage (§3.7.2) ==");
         let _ = writeln!(
             s,
@@ -384,6 +416,7 @@ mod tests {
             "Bounce tracking",
             "Fingerprinting experiment",
             "Crawl failures",
+            "Fault tolerance",
             "Manual stage",
             "Cookie syncing",
             "Failure independence",

@@ -129,8 +129,10 @@ mod tests {
                     }],
                 }],
                 termination: WalkTermination::Completed,
+                recovery: Default::default(),
             }],
             failures: FailureStats::default(),
+            ledger: Default::default(),
         }
     }
 

@@ -11,9 +11,12 @@
 
 use cc_http::{format_cookie_header, header::names, Cookie, Request, RequestKind, SetCookie};
 use cc_net::latency::LatencyModel;
-use cc_net::{FaultModel, NetError, SimClock, SimTime};
+use cc_net::{
+    BreakerPolicy, CircuitBreaker, FaultModel, RecoveryStats, RetryPolicy, SimClock, SimDuration,
+    SimTime,
+};
 use cc_url::Url;
-use cc_util::DetRng;
+use cc_util::{CcError, DetRng};
 use cc_web::server::{LoadedPage, ServeCtx, ServeError};
 use cc_web::{ScriptHost, SimWeb, StorageKind};
 use serde::{Deserialize, Serialize};
@@ -40,30 +43,12 @@ pub struct LoggedRequest {
 
 /// Navigation failure modes — the §3.3 failure taxonomy's "network error"
 /// class plus structural failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum NavError {
-    /// Connection-level failure (ECONNREFUSED and friends).
-    Net(NetError),
-    /// DNS failure.
-    Dns(String),
-    /// Redirect chain exceeded the hop limit.
-    TooManyRedirects(Box<Url>),
-    /// The host is outside the simulated world.
-    UnknownHost(String),
-}
-
-impl std::fmt::Display for NavError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            NavError::Net(e) => write!(f, "network error: {e}"),
-            NavError::Dns(h) => write!(f, "DNS failure for {h}"),
-            NavError::TooManyRedirects(u) => write!(f, "too many redirects at {u}"),
-            NavError::UnknownHost(h) => write!(f, "unknown host {h}"),
-        }
-    }
-}
-
-impl std::error::Error for NavError {}
+///
+/// Since the workspace error redesign this is the shared [`CcError`]
+/// taxonomy (the historical variants — `Net`, `Dns`, `UnknownHost`,
+/// `TooManyRedirects` — render identically); the alias keeps the
+/// navigation layer's vocabulary intact.
+pub type NavError = CcError;
 
 /// The result of a completed navigation.
 #[derive(Debug, Clone)]
@@ -95,6 +80,15 @@ pub struct Browser<'w> {
     pub latency: LatencyModel,
     /// The extension's request log.
     pub request_log: Vec<LoggedRequest>,
+    /// Retry policy applied to transient connection faults.
+    pub retry: RetryPolicy,
+    /// Per-host circuit breakers.
+    pub breaker: CircuitBreaker,
+    /// Backoff-jitter stream (walk-keyed so all crawlers of one walk
+    /// draw identical jitter and stay in step).
+    retry_rng: DetRng,
+    /// Retry/breaker accounting for the current walk.
+    pub recovery: RecoveryStats,
 }
 
 impl<'w> Browser<'w> {
@@ -107,6 +101,7 @@ impl<'w> Browser<'w> {
         fault: FaultModel,
     ) -> Self {
         let latency_rng = profile.rng.fork("latency");
+        let retry_rng = profile.rng.fork("retry");
         Browser {
             web,
             profile,
@@ -115,7 +110,76 @@ impl<'w> Browser<'w> {
             fault,
             latency: LatencyModel::default_web(latency_rng),
             request_log: Vec::new(),
+            retry: RetryPolicy::disabled(),
+            breaker: CircuitBreaker::new(BreakerPolicy::disabled()),
+            retry_rng,
+            recovery: RecoveryStats::default(),
         }
+    }
+
+    /// Enable fault tolerance: retry transient connection faults per
+    /// `retry`, gate hosts through breakers per `breaker`, drawing backoff
+    /// jitter from `retry_rng`.
+    ///
+    /// Pass a *walk-keyed* stream (not a per-profile one) as `retry_rng`
+    /// when several crawlers replay the same walk: identical jitter keeps
+    /// their retry outcomes, and therefore the walk comparison, in step.
+    pub fn with_fault_tolerance(
+        mut self,
+        retry: RetryPolicy,
+        breaker: BreakerPolicy,
+        retry_rng: DetRng,
+    ) -> Self {
+        self.breaker = CircuitBreaker::new(breaker);
+        self.retry = retry;
+        self.retry_rng = retry_rng;
+        self
+    }
+
+    /// One connection to `host`, governed by the breaker and retry policy.
+    ///
+    /// The walk's clock advances by each backoff wait, so a retried
+    /// navigation lands later on the simulated timeline — which is exactly
+    /// how it outlasts a transient outage window.
+    fn connect(&mut self, host: &str) -> Result<(), CcError> {
+        for attempt in 1..=self.retry.attempts.max(1) {
+            if let Err(e) = self.breaker.check(host, self.clock.now()) {
+                self.recovery.breaker_fast_fails += 1;
+                return Err(e);
+            }
+            match self.fault.attempt_host(host, self.clock.now()) {
+                Ok(()) => {
+                    self.breaker.record_success(host);
+                    if attempt > 1 {
+                        self.recovery.recovered += 1;
+                        cc_telemetry::counter("net.retry.recovered", 1);
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    if self.breaker.record_failure(host, e, self.clock.now()) {
+                        self.recovery.breaker_trips += 1;
+                    }
+                    if attempt == self.retry.attempts.max(1) {
+                        if self.retry.enabled() {
+                            self.recovery.exhausted += 1;
+                        }
+                        return Err(e.into());
+                    }
+                    let backoff = self.retry.backoff(attempt, &mut self.retry_rng);
+                    let spent = SimDuration::from_millis(self.recovery.backoff_ms);
+                    if spent + backoff > self.retry.budget {
+                        self.recovery.exhausted += 1;
+                        return Err(e.into());
+                    }
+                    self.clock.advance(backoff);
+                    self.recovery.backoff_ms += backoff.as_millis();
+                    self.recovery.retries += 1;
+                    cc_telemetry::counter("net.retry.attempt", 1);
+                }
+            }
+        }
+        unreachable!("loop always returns")
     }
 
     /// Navigate to a URL, following all redirects, and render the final
@@ -132,7 +196,7 @@ impl<'w> Browser<'w> {
                 .dns
                 .resolve(&host)
                 .map_err(|_| NavError::Dns(host.clone()))?;
-            self.fault.attempt_host(&host).map_err(NavError::Net)?;
+            self.connect(&host)?;
 
             let now = self.clock.now();
             let top_site = current.registered_domain();
@@ -202,7 +266,7 @@ impl<'w> Browser<'w> {
             }
         }
         cc_telemetry::event("browser.redirect_chain.truncated", &[]);
-        Err(NavError::TooManyRedirects(Box::new(current)))
+        Err(NavError::TooManyRedirects(current.to_url_string()))
     }
 
     /// Render the page at `url`: run scripts, log beacons.
@@ -250,6 +314,8 @@ impl<'w> Browser<'w> {
     pub fn reset_for_new_walk(&mut self) {
         self.storage.clear();
         self.request_log.clear();
+        self.recovery = RecoveryStats::default();
+        self.breaker = CircuitBreaker::new(*self.breaker.policy());
     }
 }
 
@@ -428,6 +494,71 @@ mod tests {
         b.fault = FaultModel::new(DetRng::new(1), 1.0);
         let err = b.navigate(web.seeder_urls()[0].clone()).unwrap_err();
         assert!(matches!(err, NavError::Net(_)));
+    }
+
+    #[test]
+    fn retries_recover_a_transient_outage() {
+        use cc_net::{BreakerPolicy, RetryPolicy, SimDuration};
+        let web = generate(&WebConfig::small());
+        let fault = FaultModel::new(DetRng::new(31), 1.0);
+        // No jitter: three backoffs wait exactly 250+500+1000 = 1750 ms.
+        let retry = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::standard()
+        };
+        let seed = web
+            .seeder_urls()
+            .into_iter()
+            .find(|u| match fault.outage_for(u.host.as_str()) {
+                Some(d) => d <= SimDuration::from_millis(1_750),
+                None => false,
+            })
+            .expect("some seeder with an outage the retry budget outlasts");
+        let mut b = Browser::new(
+            &web,
+            Profile::safari("safari-1", 0xF1, DetRng::new(31)),
+            Storage::new(StoragePolicy::Partitioned),
+            SimClock::new(),
+            fault,
+        )
+        .with_fault_tolerance(retry, BreakerPolicy::disabled(), DetRng::new(31).fork("rj"));
+        b.navigate(seed).expect("retry should outlast the outage");
+        assert_eq!(b.recovery.recovered, 1);
+        assert!(b.recovery.retries >= 1);
+        assert_eq!(b.recovery.exhausted, 0);
+    }
+
+    #[test]
+    fn breaker_trips_and_fast_fails_on_a_hard_outage() {
+        use cc_net::{BreakerPolicy, RetryPolicy, SimDuration};
+        let web = generate(&WebConfig::small());
+        let fault = FaultModel::new(DetRng::new(37), 1.0);
+        let seed = web
+            .seeder_urls()
+            .into_iter()
+            .find(|u| match fault.outage_for(u.host.as_str()) {
+                Some(d) => d > SimDuration::from_hours(1),
+                None => false,
+            })
+            .expect("some seeder in hard outage");
+        let retry = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::standard()
+        };
+        let mut b = Browser::new(
+            &web,
+            Profile::safari("safari-1", 0xF1, DetRng::new(37)),
+            Storage::new(StoragePolicy::Partitioned),
+            SimClock::new(),
+            fault,
+        )
+        .with_fault_tolerance(retry, BreakerPolicy::standard(), DetRng::new(37).fork("rj"));
+        let err = b.navigate(seed).unwrap_err();
+        // Three failures trip the breaker; the fourth attempt fails fast.
+        assert!(matches!(err, NavError::BreakerOpen { .. }), "{err}");
+        assert_eq!(b.recovery.breaker_trips, 1);
+        assert_eq!(b.recovery.breaker_fast_fails, 1);
+        assert_eq!(b.recovery.retries, 3);
     }
 
     #[test]

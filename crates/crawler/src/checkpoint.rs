@@ -1,0 +1,200 @@
+//! Crawl checkpoint/resume (`cc-checkpoint/v1`).
+//!
+//! Every walk is a pure function of `(StudyConfig, walk_id)`, so a crawl
+//! interrupted at any point can be resumed from just three things: the
+//! configuration, the set of walks already recorded, and the ground-truth
+//! ledger accumulated so far. A [`CrawlCheckpoint`] bundles exactly that —
+//! the embedded config lets `--resume` refuse a checkpoint produced under
+//! different parameters, and the truth ledger makes the resumed run's
+//! analysis report (not just its dataset) identical to an uninterrupted
+//! run's.
+//!
+//! Checkpoints are written atomically (temp file + rename) so a crash
+//! mid-write never leaves a truncated checkpoint behind.
+
+use std::collections::HashSet;
+
+use cc_util::CcError;
+use cc_web::TruthLog;
+use serde::{Deserialize, Serialize};
+
+use crate::config::StudyConfig;
+use crate::record::CrawlDataset;
+
+/// The checkpoint format identifier. Bump on incompatible change.
+pub const CHECKPOINT_SCHEMA: &str = "cc-checkpoint/v1";
+
+/// A resumable snapshot of a crawl in progress.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrawlCheckpoint {
+    /// Format identifier, always [`CHECKPOINT_SCHEMA`].
+    pub schema: String,
+    /// The configuration the crawl ran under.
+    pub study: StudyConfig,
+    /// Total walks the full crawl comprises.
+    pub total_walks: usize,
+    /// Walks recorded so far (any subset; ids key the remainder).
+    pub partial: CrawlDataset,
+    /// Ground-truth ledger at checkpoint time.
+    pub truth: TruthLog,
+}
+
+impl CrawlCheckpoint {
+    /// Bundle a partial crawl into a checkpoint.
+    pub fn new(study: &StudyConfig, partial: CrawlDataset, truth: TruthLog) -> Self {
+        CrawlCheckpoint {
+            schema: CHECKPOINT_SCHEMA.to_string(),
+            study: study.clone(),
+            total_walks: study.total_walks(),
+            partial,
+            truth,
+        }
+    }
+
+    /// Ids of the walks already recorded.
+    pub fn completed(&self) -> HashSet<u32> {
+        self.partial.walks.iter().map(|w| w.walk_id).collect()
+    }
+
+    /// Ids of the walks still to run, in order.
+    pub fn remaining(&self) -> Vec<u32> {
+        let done = self.completed();
+        (0..self.total_walks as u32)
+            .filter(|id| !done.contains(id))
+            .collect()
+    }
+
+    /// Refuse to resume under a different configuration.
+    pub fn validate_against(&self, study: &StudyConfig) -> Result<(), CcError> {
+        if self.schema != CHECKPOINT_SCHEMA {
+            return Err(CcError::Checkpoint(format!(
+                "unsupported schema {:?} (expected {CHECKPOINT_SCHEMA:?})",
+                self.schema
+            )));
+        }
+        if &self.study != study {
+            return Err(CcError::Checkpoint(
+                "checkpoint was produced under a different study configuration".into(),
+            ));
+        }
+        if self.partial.walks.len() > self.total_walks {
+            return Err(CcError::Checkpoint(format!(
+                "checkpoint holds {} walks but claims a total of {}",
+                self.partial.walks.len(),
+                self.total_walks
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Result<String, CcError> {
+        serde_json::to_string(self).map_err(|e| CcError::Serde(e.to_string()))
+    }
+
+    /// Deserialize from JSON, checking the schema tag first.
+    pub fn from_json(s: &str) -> Result<Self, CcError> {
+        let ck: CrawlCheckpoint =
+            serde_json::from_str(s).map_err(|e| CcError::Checkpoint(e.to_string()))?;
+        if ck.schema != CHECKPOINT_SCHEMA {
+            return Err(CcError::Checkpoint(format!(
+                "unsupported schema {:?} (expected {CHECKPOINT_SCHEMA:?})",
+                ck.schema
+            )));
+        }
+        Ok(ck)
+    }
+
+    /// Write atomically: serialize to `<path>.tmp`, then rename over
+    /// `path`, so an interrupted write never corrupts the previous
+    /// checkpoint.
+    pub fn save(&self, path: &str) -> Result<(), CcError> {
+        let json = self.to_json()?;
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, &json).map_err(|e| CcError::io(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| CcError::io(path, e))?;
+        cc_telemetry::counter("crawl.checkpoint.writes", 1);
+        Ok(())
+    }
+
+    /// Load a checkpoint from disk.
+    pub fn load(path: &str) -> Result<Self, CcError> {
+        let json = std::fs::read_to_string(path).map_err(|e| CcError::io(path, e))?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{WalkRecord, WalkTermination};
+    use cc_net::RecoveryStats;
+
+    fn walk(id: u32) -> WalkRecord {
+        WalkRecord {
+            walk_id: id,
+            seeder: format!("s{id}.com"),
+            steps: Vec::new(),
+            termination: WalkTermination::Completed,
+            recovery: RecoveryStats::default(),
+        }
+    }
+
+    fn study() -> StudyConfig {
+        StudyConfig::builder().walks(5).build().unwrap()
+    }
+
+    #[test]
+    fn remaining_is_the_complement_of_completed() {
+        let mut partial = CrawlDataset::default();
+        partial.walks.push(walk(0));
+        partial.walks.push(walk(3));
+        let ck = CrawlCheckpoint::new(&study(), partial, TruthLog::new());
+        assert_eq!(ck.total_walks, 5);
+        assert_eq!(ck.remaining(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let mut partial = CrawlDataset::default();
+        partial.walks.push(walk(1));
+        let ck = CrawlCheckpoint::new(&study(), partial, TruthLog::new());
+        let back = CrawlCheckpoint::from_json(&ck.to_json().unwrap()).unwrap();
+        assert_eq!(back.schema, CHECKPOINT_SCHEMA);
+        assert_eq!(back.study, ck.study);
+        assert_eq!(back.partial, ck.partial);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let ck = CrawlCheckpoint::new(&study(), CrawlDataset::default(), TruthLog::new());
+        let json = ck.to_json().unwrap().replace("cc-checkpoint/v1", "cc-checkpoint/v0");
+        let err = CrawlCheckpoint::from_json(&json).unwrap_err();
+        assert!(matches!(err, CcError::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let ck = CrawlCheckpoint::new(&study(), CrawlDataset::default(), TruthLog::new());
+        let other = StudyConfig::builder().walks(5).seed(999).build().unwrap();
+        assert!(ck.validate_against(&study()).is_ok());
+        let err = ck.validate_against(&other).unwrap_err();
+        assert!(matches!(err, CcError::Checkpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn save_and_load_round_trip_atomically() {
+        let dir = std::env::temp_dir().join("cc-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.json");
+        let path = path.to_str().unwrap();
+        let mut partial = CrawlDataset::default();
+        partial.walks.push(walk(2));
+        let ck = CrawlCheckpoint::new(&study(), partial, TruthLog::new());
+        ck.save(path).unwrap();
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        let back = CrawlCheckpoint::load(path).unwrap();
+        assert_eq!(back.partial, ck.partial);
+        std::fs::remove_file(path).ok();
+    }
+}

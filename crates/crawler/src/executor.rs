@@ -24,11 +24,14 @@
 //! assert this on serialized JSON.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use cc_util::{ProgressCounters, ProgressSnapshot};
+use cc_util::{CcError, ProgressCounters, ProgressSnapshot};
 use cc_web::SimWeb;
 
-use crate::record::CrawlDataset;
+use crate::checkpoint::CrawlCheckpoint;
+use crate::config::{CheckpointPolicy, StudyConfig};
+use crate::record::{CrawlDataset, FailureStats, WalkRecord};
 use crate::walker::{CrawlConfig, Walker};
 
 /// Configuration of the parallel executor.
@@ -119,6 +122,7 @@ pub fn crawl_parallel_with_progress(
                             &mut shard.failures,
                         );
                         progress.record_walk(worker, walk.steps.len() as u64);
+                        shard.ledger.note(&walk);
                         shard.walks.push(walk);
                     }
                     // Scheduling-dependent readings are gauges (timing
@@ -156,6 +160,174 @@ pub fn crawl_parallel_with_progress(
     });
 
     CrawlDataset::merge(shards)
+}
+
+/// How a [`crawl_study`] run starts and stops.
+#[derive(Debug, Default)]
+pub struct StudyRunOptions {
+    /// Resume from a checkpoint: its walks are kept, the truth ledger is
+    /// restored, and only the remaining walk ids run.
+    pub resume: Option<CrawlCheckpoint>,
+    /// Stop claiming after this many *new* walks (graceful drain): the
+    /// simulated `kill -TERM` used to exercise checkpoint/resume. Because
+    /// walks are claimed in id order, the surviving set is deterministic.
+    pub stop_after: Option<usize>,
+}
+
+/// Shared checkpoint writer: workers report each finished walk; every
+/// `policy.every`-th completion serializes base + accumulated walks to
+/// disk (atomic temp-file + rename).
+struct CheckpointSink<'a> {
+    policy: &'a CheckpointPolicy,
+    study: &'a StudyConfig,
+    web: &'a SimWeb,
+    base: &'a CrawlDataset,
+    acc: Mutex<CrawlDataset>,
+    error: Mutex<Option<CcError>>,
+}
+
+impl CheckpointSink<'_> {
+    fn record(&self, walk: WalkRecord, failures: FailureStats) {
+        let mut acc = self.acc.lock().expect("checkpoint accumulator poisoned");
+        acc.ledger.note(&walk);
+        acc.walks.push(walk);
+        acc.failures.absorb(failures);
+        if acc.walks.len().is_multiple_of(self.policy.every) {
+            let partial = CrawlDataset::merge([self.base.clone(), acc.clone()]);
+            // Write while still holding the lock: checkpoint writes share
+            // one temp file, so concurrent writers would race on the
+            // write-then-rename pair — and serialized writes also keep the
+            // on-disk checkpoint monotonically growing.
+            self.write(partial);
+        }
+    }
+
+    fn write(&self, partial: CrawlDataset) {
+        let ck = CrawlCheckpoint::new(self.study, partial, self.web.truth_snapshot());
+        if let Err(e) = ck.save(&self.policy.path) {
+            self.error
+                .lock()
+                .expect("checkpoint error slot poisoned")
+                .get_or_insert(e);
+        }
+    }
+}
+
+/// Run (or resume) a whole study through the work-stealing executor.
+///
+/// This is the [`StudyConfig`]-driven entry point: worker count, retry and
+/// breaker policies, and the checkpoint schedule all come from the config.
+/// The result is byte-identical to [`Walker::crawl`] with the lowered
+/// [`CrawlConfig`] — at any worker count, and whether the crawl ran
+/// uninterrupted or was killed and resumed.
+pub fn crawl_study(web: &SimWeb, study: &StudyConfig) -> Result<CrawlDataset, CcError> {
+    crawl_study_with_options(web, study, StudyRunOptions::default())
+}
+
+/// [`crawl_study`] with resume / graceful-stop control.
+pub fn crawl_study_with_options(
+    web: &SimWeb,
+    study: &StudyConfig,
+    opts: StudyRunOptions,
+) -> Result<CrawlDataset, CcError> {
+    let progress = ProgressCounters::new(study.workers);
+    crawl_study_with_progress(web, study, opts, &progress)
+}
+
+/// The full study runner, updating caller-owned progress counters.
+pub fn crawl_study_with_progress(
+    web: &SimWeb,
+    study: &StudyConfig,
+    opts: StudyRunOptions,
+    progress: &ProgressCounters,
+) -> Result<CrawlDataset, CcError> {
+    let seeders = web.seeder_urls();
+    let total = study.total_walks().min(seeders.len());
+
+    let (base, mut ids) = match opts.resume {
+        Some(ck) => {
+            ck.validate_against(study)?;
+            // Restore the ground-truth ledger so the resumed run's report
+            // (not only its dataset) matches an uninterrupted run.
+            web.absorb_truth(&ck.truth);
+            let remaining = ck.remaining();
+            cc_telemetry::counter("crawl.resume.walks_restored", ck.partial.walks.len() as u64);
+            cc_telemetry::counter("crawl.resume.walks_remaining", remaining.len() as u64);
+            (ck.partial, remaining)
+        }
+        None => (CrawlDataset::default(), (0..total as u32).collect()),
+    };
+    ids.retain(|&id| (id as usize) < seeders.len());
+    if let Some(n) = opts.stop_after {
+        ids.truncate(n);
+    }
+
+    let sink = study.checkpoint.as_ref().map(|policy| CheckpointSink {
+        policy,
+        study,
+        web,
+        base: &base,
+        acc: Mutex::new(CrawlDataset::default()),
+        error: Mutex::new(None),
+    });
+
+    let next = AtomicUsize::new(0);
+    let ids = &ids;
+    let seeders = &seeders;
+    let shards: Vec<CrawlDataset> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..study.workers)
+            .map(|worker| {
+                let next = &next;
+                let sink = sink.as_ref();
+                let cfg = study.crawl_config();
+                scope.spawn(move || {
+                    let _worker_span = cc_telemetry::span("crawl.worker");
+                    let walker = Walker::new(web, cfg);
+                    let mut shard = CrawlDataset::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= ids.len() {
+                            break;
+                        }
+                        let walk_id = ids[i];
+                        // Fresh per-walk failure accounting so checkpoints
+                        // carry exact counts for exactly the walks they
+                        // hold (sums commute into the same totals).
+                        let mut wf = FailureStats::default();
+                        let walk =
+                            walker.walk_public(walk_id, seeders[walk_id as usize].clone(), &mut wf);
+                        progress.record_walk(worker, walk.steps.len() as u64);
+                        if let Some(s) = sink {
+                            s.record(walk.clone(), wf);
+                        }
+                        shard.failures.absorb(wf);
+                        shard.ledger.note(&walk);
+                        shard.walks.push(walk);
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("crawl worker panicked"))
+            .collect()
+    });
+
+    if let Some(s) = &sink {
+        if let Some(e) = s.error.lock().expect("checkpoint error slot poisoned").take() {
+            return Err(e);
+        }
+    }
+    drop(sink);
+
+    let merged = CrawlDataset::merge(std::iter::once(base).chain(shards));
+    if let Some(policy) = &study.checkpoint {
+        // Final write: a crawl stopped between intervals (or drained by
+        // stop_after) still leaves a current checkpoint behind.
+        CrawlCheckpoint::new(study, merged.clone(), web.truth_snapshot()).save(&policy.path)?;
+    }
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -231,5 +403,108 @@ mod tests {
     #[test]
     fn default_config_uses_available_parallelism() {
         assert!(ParallelCrawlConfig::default().n_workers >= 1);
+    }
+
+    fn faulty_study(workers: usize, checkpoint: Option<(&str, usize)>) -> StudyConfig {
+        use cc_net::{BreakerPolicy, RetryPolicy};
+        let mut b = StudyConfig::builder()
+            .web(WebConfig::small())
+            .seed(5)
+            .steps(3)
+            .walks(12)
+            .failure_rate(0.2)
+            .retry(RetryPolicy::standard())
+            .breaker(BreakerPolicy::standard())
+            .workers(workers);
+        if let Some((path, every)) = checkpoint {
+            b = b.checkpoint(path, every);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn study_runner_matches_serial_walker_under_faults() {
+        let study = faulty_study(4, None);
+        let serial = {
+            let web = generate(&study.web);
+            Walker::new(&web, study.crawl_config()).crawl()
+        };
+        let web = generate(&study.web);
+        let parallel = crawl_study(&web, &study).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(
+            parallel.recovery_totals().retries > 0,
+            "a 20% fault rate with retries enabled should retry somewhere"
+        );
+    }
+
+    #[test]
+    fn killed_and_resumed_crawl_matches_uninterrupted() {
+        let path = std::env::temp_dir().join("cc-exec-kill-resume.json");
+        let path = path.to_str().unwrap().to_string();
+        let study = faulty_study(2, Some((&path, 2)));
+
+        // The uninterrupted reference run (its checkpoint write is
+        // harmless; the kill run below overwrites the file anyway).
+        let web_full = generate(&study.web);
+        let full = crawl_study(&web_full, &study).unwrap();
+
+        // Kill after 5 walks, then resume from the checkpoint on a fresh
+        // world.
+        let web_killed = generate(&study.web);
+        let killed = crawl_study_with_options(
+            &web_killed,
+            &study,
+            StudyRunOptions {
+                stop_after: Some(5),
+                ..StudyRunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(killed.walks.len(), 5, "graceful drain stopped early");
+
+        let ck = CrawlCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.remaining().len(), 12 - 5);
+        let web_resumed = generate(&study.web);
+        let resumed = crawl_study_with_options(
+            &web_resumed,
+            &study,
+            StudyRunOptions {
+                resume: Some(ck),
+                ..StudyRunOptions::default()
+            },
+        )
+        .unwrap();
+
+        assert_eq!(full, resumed, "resumed dataset diverged");
+        assert_eq!(
+            full.to_json().unwrap(),
+            resumed.to_json().unwrap(),
+            "resumed dataset bytes diverged"
+        );
+        // The restored truth ledger converges too, so analysis reports
+        // (precision/recall against ground truth) match.
+        let (ta, tb) = (web_full.truth_snapshot(), web_resumed.truth_snapshot());
+        assert_eq!(ta.len(), tb.len());
+        assert_eq!(ta.uid_count(), tb.uid_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_with_mismatched_config_is_refused() {
+        let study = faulty_study(1, None);
+        let ck = CrawlCheckpoint::new(&study, CrawlDataset::default(), cc_web::TruthLog::new());
+        let other = faulty_study(2, None); // differs in worker count
+        let web = generate(&other.web);
+        let err = crawl_study_with_options(
+            &web,
+            &other,
+            StudyRunOptions {
+                resume: Some(ck),
+                ..StudyRunOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CcError::Checkpoint(_)), "{err}");
     }
 }

@@ -30,6 +30,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
+pub mod config;
 pub mod executor;
 pub mod matching;
 pub mod names;
@@ -37,14 +39,17 @@ pub mod record;
 pub mod shard;
 pub mod walker;
 
+pub use checkpoint::{CrawlCheckpoint, CHECKPOINT_SCHEMA};
+pub use config::{CheckpointPolicy, StudyConfig, StudyConfigBuilder};
 pub use executor::{
-    crawl_parallel, crawl_parallel_instrumented, crawl_parallel_with_progress, ParallelCrawlConfig,
+    crawl_parallel, crawl_parallel_instrumented, crawl_parallel_with_progress, crawl_study,
+    crawl_study_with_options, crawl_study_with_progress, ParallelCrawlConfig, StudyRunOptions,
 };
 pub use matching::{same_element, select_shared};
 pub use names::{CrawlerName, UserId};
 pub use record::{
-    ClickedElement, CrawlDataset, CrawlObservation, FailureStats, StepRecord, WalkRecord,
-    WalkTermination,
+    ClickedElement, CrawlDataset, CrawlObservation, FailureEntry, FailureLedger, FailureStats,
+    StepRecord, WalkRecord, WalkTermination,
 };
 pub use shard::{crawl_sharded, merge, ShardPlan};
 pub use walker::{CrawlConfig, DriverMode, NavigationRewriter, Walker};

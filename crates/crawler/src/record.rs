@@ -7,6 +7,7 @@
 //! ours is serde-serializable for the same purpose.
 
 use cc_browser::StorageSnapshot;
+use cc_net::RecoveryStats;
 use cc_url::Url;
 use cc_web::ElementKind;
 use serde::{Deserialize, Serialize};
@@ -91,6 +92,9 @@ pub struct WalkRecord {
     pub steps: Vec<StepRecord>,
     /// How the walk ended.
     pub termination: WalkTermination,
+    /// Retry/breaker activity across the walk's four crawlers (all zeros
+    /// when fault tolerance is disabled).
+    pub recovery: RecoveryStats,
 }
 
 /// Aggregate failure accounting (the §3.3 evaluation).
@@ -143,6 +147,65 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// One degraded walk in the [`FailureLedger`]: a walk that ended before
+/// its full step count, kept as *partial data* rather than silently
+/// dropped (the paper keeps divergent steps for exactly this reason).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEntry {
+    /// The degraded walk.
+    pub walk_id: u32,
+    /// Its seeder domain.
+    pub seeder: String,
+    /// Steps that were recorded before termination.
+    pub steps_recorded: usize,
+    /// How the walk ended.
+    pub termination: WalkTermination,
+    /// Retry/breaker activity during the walk.
+    pub recovery: RecoveryStats,
+}
+
+/// The audit trail of degraded walks, consumed by the analysis report.
+///
+/// Entries are keyed by global walk id and re-sorted on merge, so the
+/// ledger — like the dataset — is identical for serial and parallel runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FailureLedger {
+    /// Degraded walks, ordered by walk id.
+    pub entries: Vec<FailureEntry>,
+}
+
+impl FailureLedger {
+    /// Record a walk if it degraded (non-`Completed` termination).
+    pub fn note(&mut self, walk: &WalkRecord) {
+        if walk.termination == WalkTermination::Completed {
+            return;
+        }
+        self.entries.push(FailureEntry {
+            walk_id: walk.walk_id,
+            seeder: walk.seeder.clone(),
+            steps_recorded: walk.steps.len(),
+            termination: walk.termination.clone(),
+            recovery: walk.recovery,
+        });
+    }
+
+    /// Fold another ledger in, restoring walk-id order (commutative).
+    pub fn absorb(&mut self, other: FailureLedger) {
+        self.entries.extend(other.entries);
+        self.entries.sort_by_key(|e| e.walk_id);
+    }
+
+    /// Number of degraded walks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether any walk degraded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// A complete crawl: every walk plus the failure accounting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct CrawlDataset {
@@ -150,6 +213,8 @@ pub struct CrawlDataset {
     pub walks: Vec<WalkRecord>,
     /// Failure accounting.
     pub failures: FailureStats,
+    /// Degraded-walk audit trail (empty when every walk completed).
+    pub ledger: FailureLedger,
 }
 
 impl CrawlDataset {
@@ -164,9 +229,19 @@ impl CrawlDataset {
         for part in parts {
             out.walks.extend(part.walks);
             out.failures.absorb(part.failures);
+            out.ledger.absorb(part.ledger);
         }
         out.walks.sort_by_key(|w| w.walk_id);
         out
+    }
+
+    /// Sum of every walk's retry/breaker accounting.
+    pub fn recovery_totals(&self) -> RecoveryStats {
+        let mut total = RecoveryStats::default();
+        for w in &self.walks {
+            total.absorb(&w.recovery);
+        }
+        total
     }
 
     /// Total completed steps across all walks.
@@ -227,6 +302,7 @@ mod tests {
                     observations: vec![obs()],
                 }],
                 termination: WalkTermination::Completed,
+                recovery: RecoveryStats::default(),
             }],
             failures: FailureStats {
                 steps_attempted: 10,
@@ -235,12 +311,46 @@ mod tests {
                 divergence_failures: 0,
                 connect_failures: 0,
             },
+            ledger: FailureLedger::default(),
         };
         let json = ds.to_json().unwrap();
         let back = CrawlDataset::from_json(&json).unwrap();
         assert_eq!(back, ds);
         assert_eq!(back.total_steps(), 1);
         assert_eq!(back.observations().count(), 1);
+        // The released format carries the fault-tolerance fields even for
+        // clean runs, so consumers see an explicit all-zero accounting.
+        assert!(json.contains("recovery") && json.contains("ledger"));
+    }
+
+    #[test]
+    fn ledger_notes_only_degraded_walks_and_merges_sorted() {
+        let walk = |id: u32, termination: WalkTermination| WalkRecord {
+            walk_id: id,
+            seeder: format!("s{id}.com"),
+            steps: Vec::new(),
+            termination,
+            recovery: RecoveryStats {
+                retries: u64::from(id),
+                ..RecoveryStats::default()
+            },
+        };
+        let mut a = FailureLedger::default();
+        a.note(&walk(3, WalkTermination::SyncFailure { step: 1 }));
+        a.note(&walk(1, WalkTermination::Completed)); // not recorded
+        let mut b = FailureLedger::default();
+        b.note(&walk(
+            0,
+            WalkTermination::ConnectFailure {
+                step: 0,
+                error: "network error: ECONNRESET".into(),
+            },
+        ));
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.entries[0].walk_id, 0);
+        assert_eq!(a.entries[1].walk_id, 3);
+        assert_eq!(a.entries[1].recovery.retries, 3);
     }
 
     #[test]

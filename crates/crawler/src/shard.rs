@@ -54,6 +54,7 @@ impl<'w> Walker<'w> {
             .take(end.saturating_sub(start))
         {
             let walk = self.walk_public(walk_id as u32, seeder, &mut dataset.failures);
+            dataset.ledger.note(&walk);
             dataset.walks.push(walk);
         }
         dataset

@@ -22,7 +22,7 @@
 
 use cc_browser::{Browser, Profile, Storage, StoragePolicy};
 use cc_http::RequestKind;
-use cc_net::{FaultModel, SimClock, SimTime};
+use cc_net::{BreakerPolicy, FaultModel, RecoveryStats, RetryPolicy, SimClock, SimTime};
 use cc_url::Url;
 use cc_util::DetRng;
 use cc_web::{ClickTarget, ElementModel, SimWeb};
@@ -63,7 +63,9 @@ impl std::fmt::Debug for NavigationRewriter {
 /// All three modes produce **bit-identical datasets** (every browser owns
 /// its own clock and randomness stream), which the determinism tests
 /// assert; they differ only in concurrency structure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum DriverMode {
     /// Single-threaded deterministic execution (fastest for tests).
     #[default]
@@ -94,6 +96,12 @@ pub struct CrawlConfig {
     pub storage_policy: StoragePolicy,
     /// Machine fingerprint shared by all four crawlers (one machine).
     pub fingerprint: u64,
+    /// Retry policy for transient connection faults. The default is
+    /// [`RetryPolicy::disabled`] so historical datasets stay byte-stable;
+    /// enable via `StudyConfig::builder().retry(..)`.
+    pub retry: RetryPolicy,
+    /// Per-host circuit-breaker policy (disabled by default, same reason).
+    pub breaker: BreakerPolicy,
     /// Optional in-browser defense applied to every click target before
     /// navigation (None = the paper's unprotected measurement).
     pub rewriter: Option<NavigationRewriter>,
@@ -109,6 +117,8 @@ impl Default for CrawlConfig {
             mode: DriverMode::Lockstep,
             storage_policy: StoragePolicy::Partitioned,
             fingerprint: 0x51_AB_17_E5,
+            retry: RetryPolicy::disabled(),
+            breaker: BreakerPolicy::disabled(),
             rewriter: None,
         }
     }
@@ -139,6 +149,9 @@ enum Cmd {
     PageObs(Url),
     /// Ship the browser's storage to the controller (Safari-1R cloning).
     ExportStorage,
+    /// Ship the browser's retry/breaker accounting to the controller
+    /// (end-of-walk recovery rollup).
+    ExportRecovery,
 }
 
 /// A worker→controller event.
@@ -147,6 +160,7 @@ enum Event {
     Leg(Box<CrawlLegAndPage>),
     Obs(Box<(cc_browser::StorageSnapshot, Vec<(String, Url)>)>),
     Storage(Box<Storage>),
+    Recovery(RecoveryStats),
 }
 
 /// Execute one command against one browser — the single implementation all
@@ -166,6 +180,7 @@ fn exec_cmd(b: &mut Browser<'_>, cmd: Cmd) -> Event {
             Event::Obs(Box::new((snapshot, beacons)))
         }
         Cmd::ExportStorage => Event::Storage(Box::new(b.storage.clone())),
+        Cmd::ExportRecovery => Event::Recovery(b.recovery),
     }
 }
 
@@ -304,6 +319,13 @@ fn expect_storage(e: Event) -> Storage {
     }
 }
 
+fn expect_recovery(e: Event) -> RecoveryStats {
+    match e {
+        Event::Recovery(r) => r,
+        _ => unreachable!("protocol violation: expected Recovery"),
+    }
+}
+
 /// Outcome of one crawler finishing one navigation within a step.
 struct CrawlLeg {
     page_url: Url,
@@ -345,6 +367,7 @@ impl<'w> Walker<'w> {
         let limit = self.cfg.max_walks.unwrap_or(seeders.len());
         for (walk_id, seeder) in seeders.into_iter().take(limit).enumerate() {
             let walk = self.walk(walk_id as u32, seeder, &mut dataset.failures);
+            dataset.ledger.note(&walk);
             dataset.walks.push(walk);
         }
         dataset
@@ -359,11 +382,13 @@ impl<'w> Walker<'w> {
         };
         // The fault salt is shared by all four crawlers of a walk: a down
         // site is down for everyone, so connect failures never masquerade
-        // as divergence (§3.3 counts failures per site visited).
-        let fault = FaultModel::new(
-            root.fork_indexed("fault", u64::from(walk_id)),
-            self.cfg.connect_failure_rate,
-        );
+        // as divergence (§3.3 counts failures per site visited). The retry
+        // jitter stream forks off the same walk-keyed stream (forks are
+        // non-consuming, so the salt draw is untouched): all four crawlers
+        // wait identical backoffs and their retry outcomes stay in step.
+        let fault_stream = root.fork_indexed("fault", u64::from(walk_id));
+        let retry_rng = fault_stream.fork("retry");
+        let fault = FaultModel::new(fault_stream, self.cfg.connect_failure_rate);
         Browser::new(
             self.web,
             profile,
@@ -371,6 +396,7 @@ impl<'w> Walker<'w> {
             SimClock::starting_at(SimTime(STUDY_EPOCH_MS)),
             fault,
         )
+        .with_fault_tolerance(self.cfg.retry.clone(), self.cfg.breaker, retry_rng)
     }
 
     /// Execute one ten-step walk from a seeder.
@@ -438,11 +464,34 @@ impl<'w> Walker<'w> {
         record
     }
 
-    /// The walk loop proper, scheduling-agnostic.
+    /// The walk loop plus the end-of-walk recovery rollup: whatever way
+    /// the walk terminated, collect retry/breaker accounting from all four
+    /// crawlers into the record.
     fn walk_with(
         &self,
         squad: &mut Squad<'w, '_>,
         mut trailing: Browser<'w>,
+        walk_id: u32,
+        seeder: Url,
+        failures: &mut FailureStats,
+    ) -> WalkRecord {
+        let mut record = self.walk_inner(squad, &mut trailing, walk_id, seeder, failures);
+        let mut recovery = trailing.recovery;
+        for i in 0..3 {
+            recovery.absorb(&expect_recovery(squad.exec1(i, Cmd::ExportRecovery)));
+        }
+        record.recovery = recovery;
+        if recovery.retries > 0 {
+            cc_telemetry::counter("crawl.walks.with_retries", 1);
+        }
+        record
+    }
+
+    /// The walk loop proper, scheduling-agnostic.
+    fn walk_inner(
+        &self,
+        squad: &mut Squad<'w, '_>,
+        trailing: &mut Browser<'w>,
         walk_id: u32,
         seeder: Url,
         failures: &mut FailureStats,
@@ -456,6 +505,7 @@ impl<'w> Walker<'w> {
             seeder: seeder_domain,
             steps: Vec::new(),
             termination: WalkTermination::Completed,
+            recovery: RecoveryStats::default(),
         };
 
         // Initial parallel load of the seeder page.
@@ -540,7 +590,7 @@ impl<'w> Walker<'w> {
             // Safari-1R replay: become the same user as Safari-1 (clone its
             // post-step state) and repeat the step.
             trailing.storage = expect_storage(squad.exec1(0, Cmd::ExportStorage));
-            let trailing_leg = self.replay_step(&mut trailing, &pages[0].final_url, &targets[0].0);
+            let trailing_leg = self.replay_step(trailing, &pages[0].final_url, &targets[0].0);
 
             // Assemble the step record.
             let mut step_record = StepRecord {

@@ -1,0 +1,282 @@
+//! Per-host circuit breakers.
+//!
+//! A retry policy alone keeps hammering a host that is plainly down. The
+//! [`CircuitBreaker`] cuts that short: after `failure_threshold`
+//! consecutive connection failures against one host it *opens* and every
+//! further attempt fails fast with [`CcError::BreakerOpen`] — no simulated
+//! connection, no backoff wait. After a deterministic `cooldown` on the
+//! simulated clock the breaker *half-opens*, letting exactly one probe
+//! through: success closes it, failure re-opens it for another cooldown.
+//!
+//! Breakers are per-browser (hence per-walk) state driven entirely by the
+//! walk's own deterministic fault stream and simulated clock, so they
+//! never couple walks across workers and the serial ≡ parallel
+//! byte-identity contract holds.
+
+use std::collections::HashMap;
+
+use cc_util::error::{CcError, NetError};
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// When and for how long a breaker trips.
+///
+/// `failure_threshold: 0` disables breakers entirely (every check passes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Consecutive failures on one host that trip its breaker
+    /// (0 = breakers disabled).
+    pub failure_threshold: u32,
+    /// How long an open breaker waits before half-opening.
+    pub cooldown: SimDuration,
+}
+
+impl BreakerPolicy {
+    /// The standard preset: trip after 3 consecutive failures, half-open
+    /// after 2 s of simulated cooldown.
+    pub fn standard() -> Self {
+        BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Breakers disabled: [`CircuitBreaker::check`] always passes.
+    pub fn disabled() -> Self {
+        BreakerPolicy {
+            failure_threshold: 0,
+            cooldown: SimDuration::ZERO,
+        }
+    }
+
+    /// Whether this policy ever trips.
+    pub fn enabled(&self) -> bool {
+        self.failure_threshold > 0
+    }
+
+    /// Validate the policy (builder support).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled() && self.cooldown == SimDuration::ZERO {
+            return Err("breaker cooldown must be > 0 when breakers are enabled".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for BreakerPolicy {
+    /// Defaults to the *enabled* standard preset, mirroring
+    /// `RetryPolicy::default`.
+    fn default() -> Self {
+        BreakerPolicy::standard()
+    }
+}
+
+/// The observable state of one host's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are being counted.
+    Closed,
+    /// Tripped: attempts fail fast until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next attempt is a probe.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone)]
+struct HostBreaker {
+    consecutive: u32,
+    opened_at: Option<SimTime>,
+    probing: bool,
+    last: NetError,
+}
+
+/// Per-host breaker table for one browser.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    hosts: HashMap<String, HostBreaker>,
+}
+
+impl CircuitBreaker {
+    /// A breaker table governed by `policy`.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        CircuitBreaker {
+            policy,
+            hosts: HashMap::new(),
+        }
+    }
+
+    /// The governing policy.
+    pub fn policy(&self) -> &BreakerPolicy {
+        &self.policy
+    }
+
+    /// The current state of `host`'s breaker at instant `now`.
+    pub fn state(&self, host: &str, now: SimTime) -> BreakerState {
+        match self.hosts.get(host).and_then(|h| h.opened_at) {
+            None => BreakerState::Closed,
+            Some(opened) if now >= opened.plus(self.policy.cooldown) => BreakerState::HalfOpen,
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// Gate one connection attempt against `host` at instant `now`.
+    ///
+    /// Open breakers fail fast with [`CcError::BreakerOpen`] (a
+    /// *non-transient* error: the retry loop must not retry it). A
+    /// half-open breaker admits the attempt as a probe.
+    pub fn check(&mut self, host: &str, now: SimTime) -> Result<(), CcError> {
+        if !self.policy.enabled() {
+            return Ok(());
+        }
+        let Some(hb) = self.hosts.get_mut(host) else {
+            return Ok(());
+        };
+        match hb.opened_at {
+            None => Ok(()),
+            Some(opened) if now >= opened.plus(self.policy.cooldown) => {
+                hb.probing = true;
+                Ok(())
+            }
+            Some(_) => {
+                cc_telemetry::counter("net.breaker.fast_fail", 1);
+                Err(CcError::BreakerOpen {
+                    host: host.to_string(),
+                    last: hb.last,
+                })
+            }
+        }
+    }
+
+    /// Record a successful connection to `host`: closes and resets its
+    /// breaker.
+    pub fn record_success(&mut self, host: &str) {
+        if self.policy.enabled() {
+            self.hosts.remove(host);
+        }
+    }
+
+    /// Record a failed connection to `host` at instant `now`. Returns
+    /// `true` if this failure tripped (or re-tripped) the breaker.
+    pub fn record_failure(&mut self, host: &str, err: NetError, now: SimTime) -> bool {
+        if !self.policy.enabled() {
+            return false;
+        }
+        let hb = self.hosts.entry(host.to_string()).or_insert(HostBreaker {
+            consecutive: 0,
+            opened_at: None,
+            probing: false,
+            last: err,
+        });
+        hb.last = err;
+        if hb.probing {
+            // A failed half-open probe re-opens for another cooldown.
+            hb.probing = false;
+            hb.opened_at = Some(now);
+            cc_telemetry::counter("net.breaker.trip", 1);
+            return true;
+        }
+        hb.consecutive += 1;
+        if hb.opened_at.is_none() && hb.consecutive >= self.policy.failure_threshold {
+            hb.opened_at = Some(now);
+            cc_telemetry::counter("net.breaker.trip", 1);
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: NetError = NetError::ConnRefused;
+
+    fn tripped(cb: &mut CircuitBreaker, host: &str, n: u32, now: SimTime) -> bool {
+        (0..n).any(|_| cb.record_failure(host, E, now))
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut cb = CircuitBreaker::new(BreakerPolicy::standard());
+        let t = SimTime::EPOCH;
+        assert!(!cb.record_failure("a.com", E, t));
+        assert!(!cb.record_failure("a.com", E, t));
+        assert_eq!(cb.state("a.com", t), BreakerState::Closed);
+        assert!(cb.record_failure("a.com", E, t));
+        assert_eq!(cb.state("a.com", t), BreakerState::Open);
+        let err = cb.check("a.com", t).unwrap_err();
+        assert!(matches!(err, CcError::BreakerOpen { ref host, last } if host == "a.com" && last == E));
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn success_resets_the_count() {
+        let mut cb = CircuitBreaker::new(BreakerPolicy::standard());
+        let t = SimTime::EPOCH;
+        cb.record_failure("a.com", E, t);
+        cb.record_failure("a.com", E, t);
+        cb.record_success("a.com");
+        assert!(!tripped(&mut cb, "a.com", 2, t), "count restarted");
+        assert_eq!(cb.state("a.com", t), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_opens_on_the_deterministic_schedule() {
+        let pol = BreakerPolicy::standard();
+        let mut cb = CircuitBreaker::new(pol);
+        let t0 = SimTime::EPOCH;
+        assert!(tripped(&mut cb, "a.com", 3, t0));
+        let before = SimTime(pol.cooldown.as_millis() - 1);
+        assert!(cb.check("a.com", before).is_err());
+        let after = t0.plus(pol.cooldown);
+        assert_eq!(cb.state("a.com", after), BreakerState::HalfOpen);
+        assert!(cb.check("a.com", after).is_ok(), "probe admitted");
+    }
+
+    #[test]
+    fn failed_probe_reopens_successful_probe_closes() {
+        let pol = BreakerPolicy::standard();
+        let mut cb = CircuitBreaker::new(pol);
+        let t0 = SimTime::EPOCH;
+        tripped(&mut cb, "a.com", 3, t0);
+        let t1 = t0.plus(pol.cooldown);
+        assert!(cb.check("a.com", t1).is_ok());
+        assert!(cb.record_failure("a.com", E, t1), "failed probe re-trips");
+        assert_eq!(cb.state("a.com", t1), BreakerState::Open);
+
+        let t2 = t1.plus(pol.cooldown);
+        assert!(cb.check("a.com", t2).is_ok());
+        cb.record_success("a.com");
+        assert_eq!(cb.state("a.com", t2), BreakerState::Closed);
+    }
+
+    #[test]
+    fn hosts_are_independent() {
+        let mut cb = CircuitBreaker::new(BreakerPolicy::standard());
+        let t = SimTime::EPOCH;
+        tripped(&mut cb, "down.com", 3, t);
+        assert!(cb.check("up.com", t).is_ok());
+        assert_eq!(cb.state("up.com", t), BreakerState::Closed);
+    }
+
+    #[test]
+    fn disabled_policy_never_trips() {
+        let mut cb = CircuitBreaker::new(BreakerPolicy::disabled());
+        let t = SimTime::EPOCH;
+        assert!(!tripped(&mut cb, "a.com", 100, t));
+        assert!(cb.check("a.com", t).is_ok());
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(BreakerPolicy::standard().validate().is_ok());
+        assert!(BreakerPolicy::disabled().validate().is_ok());
+        let bad = BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: SimDuration::ZERO,
+        };
+        assert!(bad.validate().is_err());
+    }
+}

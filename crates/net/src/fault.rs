@@ -4,63 +4,72 @@
 //! of a network error (ECONNREFUSED, ECONNRESET, etc.) … which occurred on
 //! 3.3% of the sites it attempted to visit", and the paper expects failure
 //! probability to be independent of the walk step. [`FaultModel`] reproduces
-//! exactly that process: an i.i.d. Bernoulli failure per connection attempt,
-//! deterministic given the run seed and attempt sequence.
+//! that process — and, for the fault-tolerance layer, gives every outage a
+//! deterministic *duration* so a retry with backoff can outlast it.
+//!
+//! Both entry points draw from the same deterministic stream construction:
+//! a salted hash over an explicit position (a per-model attempt counter for
+//! [`FaultModel::attempt`], the `(host, sim-time)` pair for
+//! [`FaultModel::attempt_host`]). No draw consumes hidden RNG state, so
+//! cloning a model or interleaving callers can never desynchronize the
+//! fault process — the property the parallel executor relies on.
+
+use std::collections::HashMap;
 
 use cc_util::DetRng;
-use serde::{Deserialize, Serialize};
 
-/// Simulated network error kinds (the classes named in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum NetError {
-    /// Connection refused by the peer.
-    ConnRefused,
-    /// Connection reset mid-handshake.
-    ConnReset,
-    /// Connection timed out.
-    TimedOut,
-    /// Name resolution failed.
-    NameResolution,
-}
+use crate::time::{SimDuration, SimTime};
 
-impl std::fmt::Display for NetError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            NetError::ConnRefused => "ECONNREFUSED",
-            NetError::ConnReset => "ECONNRESET",
-            NetError::TimedOut => "ETIMEDOUT",
-            NetError::NameResolution => "EAI_NONAME",
-        };
-        f.write_str(s)
-    }
-}
+pub use cc_util::error::NetError;
 
-impl std::error::Error for NetError {}
+/// Share of host outages that are *hard* (lasting far beyond any retry
+/// budget), as opposed to transient blips a backoff can outlast.
+const HARD_OUTAGE_SHARE: f64 = 0.25;
 
-/// An i.i.d. connection-fault process.
+/// Hard outages last a simulated day: no retry budget outlasts them.
+const HARD_OUTAGE: SimDuration = SimDuration::from_millis(24 * 60 * 60 * 1000);
+
+/// Transient outages last `TRANSIENT_MIN_MS + h % TRANSIENT_SPREAD_MS`
+/// milliseconds — calibrated so the default retry budget recovers most of
+/// them while a retry-free crawl still observes every one as a failure.
+const TRANSIENT_MIN_MS: u64 = 100;
+const TRANSIENT_SPREAD_MS: u64 = 1_900;
+
+/// An i.i.d. connection-fault process with deterministic outage windows.
 ///
 /// Besides the plain per-attempt draw ([`FaultModel::attempt`]), the model
 /// offers a **host-keyed** mode ([`FaultModel::attempt_host`]): whether a
-/// host is reachable is a deterministic function of `(salt, host)`, so all
+/// host is down is a deterministic function of `(salt, host)`, so all
 /// crawlers sharing a salt observe the *same* outage — matching the paper,
 /// which counts failures per *site visited* (a down site is down for every
-/// crawler that tries it).
+/// crawler that tries it). Each outage additionally has a deterministic
+/// duration, measured from the first failed attempt on this model's
+/// timeline: attempts after the window has passed succeed, which is what
+/// makes retry-with-backoff meaningful.
 #[derive(Debug, Clone)]
 pub struct FaultModel {
-    rng: DetRng,
     salt: u64,
     failure_rate: f64,
+    /// Stream position of the next [`FaultModel::attempt`] draw.
+    attempt_no: u64,
+    /// First failed-attempt instant per down host (outages are measured
+    /// from the first time this model observed them).
+    first_seen: HashMap<String, SimTime>,
 }
 
 impl FaultModel {
     /// Build a fault model with a per-attempt failure probability.
+    ///
+    /// The seed rng only contributes the salt; the model itself never
+    /// holds RNG state (see the module docs).
     pub fn new(rng: DetRng, failure_rate: f64) -> Self {
-        let mut seed_rng = rng.clone();
+        let mut seed_rng = rng;
         let salt = seed_rng.next();
         FaultModel {
-            rng,
             salt,
             failure_rate,
+            attempt_no: 0,
+            first_seen: HashMap::new(),
         }
     }
 
@@ -77,41 +86,89 @@ impl FaultModel {
     /// Decide the fate of one connection attempt.
     ///
     /// Returns `Ok(())` or one of the error kinds, with `ECONNREFUSED` and
-    /// `ECONNRESET` dominating as in the paper's error description.
+    /// `ECONNRESET` dominating as in the paper's error description. Each
+    /// call advances the model's attempt counter by exactly one, so two
+    /// models with the same salt stay in lockstep draw for draw.
     pub fn attempt(&mut self) -> Result<(), NetError> {
-        if !self.rng.chance(self.failure_rate) {
+        let h = mix(self.salt ^ 0xA77E_3F01_D5B2_9C64, self.attempt_no);
+        self.attempt_no += 1;
+        if unit(h) >= self.failure_rate {
             cc_telemetry::counter("net.connect.ok", 1);
             return Ok(());
         }
-        let draw = self.rng.next();
-        let e = self.error_kind_for(draw);
+        let e = error_kind_for(mix(h, 1));
         cc_telemetry::counter_labeled("net.fault.injected", &e.to_string(), 1);
         Err(e)
     }
 
-    /// Host-keyed attempt: deterministic per `(salt, host)`.
-    pub fn attempt_host(&self, host: &str) -> Result<(), NetError> {
+    /// Host-keyed attempt at simulated instant `now`.
+    ///
+    /// Deterministic per `(salt, host)`: the same hosts are down for every
+    /// model sharing a salt. A down host stays down for its outage
+    /// duration (measured from this model's first failed attempt) and
+    /// recovers afterwards.
+    pub fn attempt_host(&mut self, host: &str, now: SimTime) -> Result<(), NetError> {
         let h = host_hash(self.salt, host);
-        // Map the hash to [0, 1) and compare against the rate.
-        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        if u >= self.failure_rate {
+        if unit(h) >= self.failure_rate {
             cc_telemetry::counter("net.connect.ok", 1);
-            Ok(())
-        } else {
-            let e = self.error_kind_for(h);
-            cc_telemetry::counter_labeled("net.fault.injected", &e.to_string(), 1);
-            Err(e)
+            return Ok(());
         }
+        let start = *self.first_seen.entry(host.to_string()).or_insert(now);
+        if now >= start.plus(outage_duration(h)) {
+            cc_telemetry::counter("net.connect.ok", 1);
+            cc_telemetry::counter("net.outage.recovered", 1);
+            return Ok(());
+        }
+        let e = error_kind_for(h);
+        cc_telemetry::counter_labeled("net.fault.injected", &e.to_string(), 1);
+        Err(e)
     }
 
-    fn error_kind_for(&self, h: u64) -> NetError {
-        match h % 20 {
-            0..=8 => NetError::ConnRefused,
-            9..=15 => NetError::ConnReset,
-            16..=18 => NetError::TimedOut,
-            _ => NetError::NameResolution,
-        }
+    /// The outage window for a host, if the model considers it down at
+    /// all: `None` for healthy hosts, otherwise the duration from the
+    /// first failed attempt until recovery. Hard outages effectively never
+    /// recover within a walk.
+    pub fn outage_for(&self, host: &str) -> Option<SimDuration> {
+        let h = host_hash(self.salt, host);
+        (unit(h) < self.failure_rate).then(|| outage_duration(h))
     }
+}
+
+/// Deterministic duration of the outage keyed by `h`.
+fn outage_duration(h: u64) -> SimDuration {
+    let d = mix(h, 0x0D1C_E5EE);
+    if unit(d) < HARD_OUTAGE_SHARE {
+        HARD_OUTAGE
+    } else {
+        SimDuration::from_millis(TRANSIENT_MIN_MS + mix(d, 1) % TRANSIENT_SPREAD_MS)
+    }
+}
+
+/// Map a well-mixed hash to an error kind, `ECONNREFUSED`/`ECONNRESET`
+/// dominating as in the paper.
+fn error_kind_for(h: u64) -> NetError {
+    match h % 20 {
+        0..=8 => NetError::ConnRefused,
+        9..=15 => NetError::ConnReset,
+        16..=18 => NetError::TimedOut,
+        _ => NetError::NameResolution,
+    }
+}
+
+/// Map a hash to `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// SplitMix64-style avalanche of a (key, position) pair: the shared draw
+/// primitive behind both attempt modes.
+#[inline]
+fn mix(key: u64, position: u64) -> u64 {
+    let mut z = key ^ position.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// FNV-1a over the salt and host bytes.
@@ -165,6 +222,20 @@ mod tests {
     }
 
     #[test]
+    fn attempt_is_clone_safe() {
+        // Cloning must not share or fork hidden RNG state: the clone
+        // replays the same stream from its current position.
+        let mut a = FaultModel::new(DetRng::new(21), 0.5);
+        for _ in 0..10 {
+            let _ = a.attempt();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.attempt(), b.attempt());
+        }
+    }
+
+    #[test]
     fn error_kinds_all_occur() {
         let mut fm = FaultModel::new(DetRng::new(11), 1.0);
         let mut seen = std::collections::HashSet::new();
@@ -175,28 +246,24 @@ mod tests {
     }
 
     #[test]
-    fn display_names() {
-        assert_eq!(NetError::ConnRefused.to_string(), "ECONNREFUSED");
-        assert_eq!(NetError::ConnReset.to_string(), "ECONNRESET");
-    }
-
-    #[test]
     fn host_keyed_faults_are_stable_and_shared() {
-        let a = FaultModel::new(DetRng::new(5), 0.5);
-        let b = FaultModel::new(DetRng::new(5), 0.5);
+        let mut a = FaultModel::new(DetRng::new(5), 0.5);
+        let mut b = FaultModel::new(DetRng::new(5), 0.5);
         for host in ["a.com", "b.net", "r.trk.io", "www.shop.world"] {
-            // Same salt (same seed) ⇒ same verdict, call after call and
-            // across crawler instances.
-            assert_eq!(a.attempt_host(host), b.attempt_host(host));
-            assert_eq!(a.attempt_host(host), a.attempt_host(host));
+            // Same salt (same seed) ⇒ same verdict at the same instant,
+            // call after call and across crawler instances.
+            let t = SimTime(1_000);
+            let va = a.attempt_host(host, t);
+            assert_eq!(va, b.attempt_host(host, t));
+            assert_eq!(va, a.attempt_host(host, t));
         }
     }
 
     #[test]
     fn host_keyed_rate_approximately_respected() {
-        let fm = FaultModel::new(DetRng::new(9), 0.033);
+        let mut fm = FaultModel::new(DetRng::new(9), 0.033);
         let fails = (0..50_000)
-            .filter(|i| fm.attempt_host(&format!("site-{i}.com")).is_err())
+            .filter(|i| fm.attempt_host(&format!("site-{i}.com"), SimTime::EPOCH).is_err())
             .count();
         let rate = fails as f64 / 50_000.0;
         assert!((rate - 0.033).abs() < 0.005, "observed {rate}");
@@ -204,14 +271,81 @@ mod tests {
 
     #[test]
     fn different_salts_differ() {
-        let a = FaultModel::new(DetRng::new(1), 0.5);
-        let b = FaultModel::new(DetRng::new(2), 0.5);
+        let mut a = FaultModel::new(DetRng::new(1), 0.5);
+        let mut b = FaultModel::new(DetRng::new(2), 0.5);
         let disagreements = (0..100)
             .filter(|i| {
                 let h = format!("h{i}.com");
-                a.attempt_host(&h).is_ok() != b.attempt_host(&h).is_ok()
+                a.attempt_host(&h, SimTime::EPOCH).is_ok()
+                    != b.attempt_host(&h, SimTime::EPOCH).is_ok()
             })
             .count();
         assert!(disagreements > 10, "salts should decorrelate outages");
+    }
+
+    #[test]
+    fn transient_outages_recover_after_their_window() {
+        let mut fm = FaultModel::new(DetRng::new(13), 1.0);
+        // Find a transiently-down host.
+        let (host, dur) = (0..1_000)
+            .map(|i| format!("t{i}.com"))
+            .find_map(|h| match fm.outage_for(&h) {
+                Some(d) if d < SimDuration::from_secs(60) => Some((h, d)),
+                _ => None,
+            })
+            .expect("some transient outage among 1000 hosts");
+        let t0 = SimTime(500);
+        assert!(fm.attempt_host(&host, t0).is_err(), "down at first attempt");
+        // Still down one millisecond before the window closes…
+        let just_before = SimTime(t0.0 + dur.as_millis() - 1);
+        assert!(fm.attempt_host(&host, just_before).is_err());
+        // …and recovered at the boundary.
+        assert!(fm.attempt_host(&host, t0.plus(dur)).is_ok());
+    }
+
+    #[test]
+    fn hard_outages_do_not_recover_within_a_walk() {
+        let mut fm = FaultModel::new(DetRng::new(17), 1.0);
+        let host = (0..1_000)
+            .map(|i| format!("p{i}.com"))
+            .find(|h| fm.outage_for(h) == Some(HARD_OUTAGE))
+            .expect("some hard outage among 1000 hosts");
+        let t0 = SimTime::EPOCH;
+        assert!(fm.attempt_host(&host, t0).is_err());
+        // An hour of backoff later: still down.
+        assert!(fm
+            .attempt_host(&host, t0.plus(SimDuration::from_hours(1)))
+            .is_err());
+    }
+
+    #[test]
+    fn first_attempt_always_fails_for_down_hosts() {
+        // Without retries the model is indistinguishable from the old
+        // persistent-outage behavior: the first attempt on a down host
+        // fails no matter when it happens.
+        let mut fm = FaultModel::new(DetRng::new(19), 1.0);
+        for i in 0..100 {
+            let host = format!("d{i}.com");
+            assert!(fm.attempt_host(&host, SimTime(i * 977)).is_err());
+        }
+    }
+
+    #[test]
+    fn outage_durations_mix_hard_and_transient() {
+        let fm = FaultModel::new(DetRng::new(23), 1.0);
+        let durations: Vec<SimDuration> = (0..2_000)
+            .filter_map(|i| fm.outage_for(&format!("m{i}.com")))
+            .collect();
+        let hard = durations.iter().filter(|d| **d == HARD_OUTAGE).count();
+        let share = hard as f64 / durations.len() as f64;
+        assert!(
+            (share - HARD_OUTAGE_SHARE).abs() < 0.05,
+            "hard-outage share {share}"
+        );
+        assert!(durations
+            .iter()
+            .filter(|d| **d != HARD_OUTAGE)
+            .all(|d| d.as_millis() >= TRANSIENT_MIN_MS
+                && d.as_millis() < TRANSIENT_MIN_MS + TRANSIENT_SPREAD_MS));
     }
 }

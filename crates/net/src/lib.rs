@@ -11,18 +11,27 @@
 //!   (§8.3): a first-party subdomain aliasing to a tracker domain.
 //! * [`fault`] — connection-fault injection. The paper reports that 3.3% of
 //!   site visits failed with network errors (`ECONNREFUSED`, `ECONNRESET`,
-//!   §3.3); the fault model reproduces that failure process.
+//!   §3.3); the fault model reproduces that failure process, now with
+//!   deterministic per-host outage windows a retry can outlast.
+//! * [`retry`] — deterministic retry/backoff policy ([`RetryPolicy`]) and
+//!   the per-walk [`RecoveryStats`] accounting.
+//! * [`breaker`] — per-host circuit breakers ([`CircuitBreaker`]) that
+//!   fail fast on hosts that keep refusing connections.
 //! * [`latency`] — a simple latency model so benchmark timings have a
 //!   realistic network-shaped component.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod breaker;
 pub mod dns;
 pub mod fault;
 pub mod latency;
+pub mod retry;
 pub mod time;
 
+pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
 pub use dns::{DnsDb, DnsRecord, Resolution};
 pub use fault::{FaultModel, NetError};
+pub use retry::{RecoveryStats, RetryPolicy};
 pub use time::{SimClock, SimDuration, SimTime};

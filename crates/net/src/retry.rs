@@ -1,0 +1,250 @@
+//! Deterministic retry with exponential backoff.
+//!
+//! The paper's crawlers survived the real Web by retrying stalled loads and
+//! re-synchronizing; here the analogue is a [`RetryPolicy`] that a browser
+//! applies to transient connection faults. Everything is deterministic:
+//! backoff jitter comes from a forked [`DetRng`] stream and waits advance
+//! the browser's *simulated* clock, so a crawl with retries enabled is
+//! byte-identical whether it runs serially or on eight workers.
+//!
+//! [`RecoveryStats`] is the per-walk accounting of what the policy did —
+//! the raw material for the crawl-level `FailureLedger`.
+
+use cc_util::DetRng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// How a browser responds to transient connection faults.
+///
+/// `attempts` counts *total* tries including the first, so `attempts: 1`
+/// means "never retry" (see [`RetryPolicy::disabled`], the conservative
+/// default of `CrawlConfig`). Backoff before retry *k* (1-based) is
+///
+/// ```text
+/// base_backoff · multiplier^(k-1) · (1 + jitter · u)     u ∈ [0, 1)
+/// ```
+///
+/// where `u` is drawn from the browser's dedicated retry RNG stream. The
+/// cumulative backoff is capped by `budget`: once a walk has waited that
+/// much simulated time on retries, remaining attempts are forfeited.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total connection attempts per navigation hop (first try included).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimDuration,
+    /// Exponential growth factor between consecutive backoffs.
+    pub multiplier: u32,
+    /// Jitter as a fraction of the deterministic backoff (0 = none).
+    pub jitter: f64,
+    /// Cumulative simulated-time budget for backoff waits per walk.
+    pub budget: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The standard enabled preset: four attempts, 250 ms base backoff
+    /// doubling each retry, 50% jitter, a 10 s per-walk budget.
+    ///
+    /// Calibrated against the fault model's transient outage window
+    /// (100 ms – 2 s): three backoffs cumulatively span ~1.75 s, enough to
+    /// outlast most transient outages while hard outages still exhaust
+    /// the policy quickly.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_backoff: SimDuration::from_millis(250),
+            multiplier: 2,
+            jitter: 0.5,
+            budget: SimDuration::from_secs(10),
+        }
+    }
+
+    /// No retries at all: every connection fault is terminal, exactly the
+    /// pre-fault-tolerance behavior.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_backoff: SimDuration::ZERO,
+            multiplier: 1,
+            jitter: 0.0,
+            budget: SimDuration::ZERO,
+        }
+    }
+
+    /// Whether the policy ever retries.
+    pub fn enabled(&self) -> bool {
+        self.attempts > 1
+    }
+
+    /// The backoff before retry `k` (1-based), drawing jitter from `rng`.
+    ///
+    /// Always consumes exactly one draw when jitter is configured, so the
+    /// retry stream stays aligned across identical runs.
+    pub fn backoff(&self, retry: u32, rng: &mut DetRng) -> SimDuration {
+        let deterministic = self
+            .base_backoff
+            .as_millis()
+            .saturating_mul(u64::from(self.multiplier).saturating_pow(retry.saturating_sub(1)));
+        let jittered = if self.jitter > 0.0 {
+            let u = rng.f64();
+            deterministic + (deterministic as f64 * self.jitter * u) as u64
+        } else {
+            deterministic
+        };
+        SimDuration::from_millis(jittered)
+    }
+
+    /// Validate the policy (builder support).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.attempts == 0 {
+            return Err("retry attempts must be >= 1 (1 = no retries)".into());
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err(format!("retry jitter must be in [0, 1], got {}", self.jitter));
+        }
+        if self.enabled() && self.multiplier == 0 {
+            return Err("retry multiplier must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    /// The default is the *enabled* standard preset — the recommended
+    /// configuration for new studies. `CrawlConfig::default()` opts out
+    /// explicitly via [`RetryPolicy::disabled`] to keep historical
+    /// datasets byte-stable.
+    fn default() -> Self {
+        RetryPolicy::standard()
+    }
+}
+
+/// Per-walk accounting of retry and breaker activity.
+///
+/// Deterministic per walk (everything derives from walk-keyed streams and
+/// the walk's own simulated clock), so it merges commutatively into crawl
+/// totals regardless of worker schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Connection attempts beyond the first, summed over the walk.
+    pub retries: u64,
+    /// Navigation hops that succeeded only after at least one retry.
+    pub recovered: u64,
+    /// Navigation hops that exhausted every attempt (or the budget).
+    pub exhausted: u64,
+    /// Circuit-breaker trips (closed → open transitions).
+    pub breaker_trips: u64,
+    /// Connection attempts skipped because a breaker was open.
+    pub breaker_fast_fails: u64,
+    /// Total simulated time spent waiting in backoff, milliseconds.
+    pub backoff_ms: u64,
+}
+
+impl RecoveryStats {
+    /// Fold another stats block into this one (commutative).
+    pub fn absorb(&mut self, other: &RecoveryStats) {
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+        self.exhausted += other.exhausted;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_fast_fails += other.breaker_fast_fails;
+        self.backoff_ms += other.backoff_ms;
+    }
+
+    /// True when no retry or breaker activity was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_retries() {
+        let p = RetryPolicy::disabled();
+        assert!(!p.enabled());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn standard_is_enabled_and_valid() {
+        let p = RetryPolicy::standard();
+        assert!(p.enabled());
+        assert!(p.validate().is_ok());
+        assert_eq!(p, RetryPolicy::default());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_without_jitter() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::standard()
+        };
+        let mut rng = DetRng::new(1);
+        assert_eq!(p.backoff(1, &mut rng), SimDuration::from_millis(250));
+        assert_eq!(p.backoff(2, &mut rng), SimDuration::from_millis(500));
+        assert_eq!(p.backoff(3, &mut rng), SimDuration::from_millis(1_000));
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy::standard();
+        let mut a = DetRng::new(42).fork("retry");
+        let mut b = DetRng::new(42).fork("retry");
+        for k in 1..=3 {
+            let d = p.backoff(k, &mut a);
+            assert_eq!(d, p.backoff(k, &mut b), "same stream, same backoff");
+            let det = 250u64 << (k - 1);
+            assert!(d.as_millis() >= det && d.as_millis() < det + det / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_policies() {
+        let mut p = RetryPolicy::standard();
+        p.attempts = 0;
+        assert!(p.validate().is_err());
+        let mut p = RetryPolicy::standard();
+        p.jitter = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = RetryPolicy::standard();
+        p.multiplier = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn stats_absorb_commutes() {
+        let a = RecoveryStats {
+            retries: 3,
+            recovered: 1,
+            exhausted: 1,
+            breaker_trips: 1,
+            breaker_fast_fails: 2,
+            backoff_ms: 1_750,
+        };
+        let b = RecoveryStats {
+            retries: 5,
+            recovered: 2,
+            ..RecoveryStats::default()
+        };
+        let mut ab = a;
+        ab.absorb(&b);
+        let mut ba = b;
+        ba.absorb(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.retries, 8);
+        assert!(!ab.is_empty());
+        assert!(RecoveryStats::default().is_empty());
+    }
+
+    #[test]
+    fn policy_round_trips_through_serde() {
+        let p = RetryPolicy::standard();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RetryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

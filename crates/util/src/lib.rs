@@ -17,6 +17,8 @@
 //!   for the synthetic web.
 //! * [`counter`] — counting-map helpers (top-k tallies) used when building
 //!   the paper's tables.
+//! * [`error`] — the workspace error taxonomy ([`CcError`], [`NetError`]):
+//!   typed error classes the fault-tolerance layer can match on.
 //! * [`progress`] — lock-free walk/step throughput counters with
 //!   per-worker snapshots, shared by the parallel crawl executor and its
 //!   monitors.
@@ -25,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod counter;
+pub mod error;
 pub mod ids;
 pub mod progress;
 pub mod rng;
@@ -33,6 +36,7 @@ pub mod strings;
 pub mod zipf;
 
 pub use counter::Counter;
+pub use error::{CcError, NetError};
 pub use progress::{ProgressCounters, ProgressSnapshot, WorkerSnapshot};
 pub use rng::DetRng;
 pub use stats::{two_proportion_z_test, ZTestResult};

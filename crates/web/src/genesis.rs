@@ -33,7 +33,10 @@ use crate::words;
 ///
 /// Defaults are calibrated so a medium crawl reproduces the paper's headline
 /// shape (≈8% of unique URL paths with UID smuggling, ≈2.7% bounce-only).
-#[derive(Debug, Clone)]
+///
+/// Serde-able so a `StudyConfig` (and therefore a crawl checkpoint) can
+/// embed the exact world it was built for.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WebConfig {
     /// Master seed; every other stream forks from it.
     pub seed: u64,

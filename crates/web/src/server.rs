@@ -188,6 +188,15 @@ impl SimWeb {
         self.truth.lock().clone()
     }
 
+    /// Fold a previously snapshotted ledger back in (checkpoint resume).
+    ///
+    /// `TruthLog::note` commutes and is idempotent for identical mints, so
+    /// absorbing a checkpoint's ledger and then re-running the remaining
+    /// walks converges to the same ledger an uninterrupted crawl builds.
+    pub fn absorb_truth(&self, log: &TruthLog) {
+        self.truth.lock().merge(log);
+    }
+
     /// Seeder URLs, most popular first — the walk starting points (§3.1).
     pub fn seeder_urls(&self) -> Vec<Url> {
         self.seeders

@@ -10,7 +10,7 @@
 //! `--paper-scale` uses 10,000 seeder domains as in §3.1 (takes a few
 //! minutes); the default uses 1,000 seeders and finishes in seconds.
 
-use cc_crawler::{CrawlConfig, DriverMode};
+use cc_crawler::{DriverMode, StudyConfig};
 use cc_web::WebConfig;
 use crumbcruncher::Study;
 
@@ -26,18 +26,19 @@ fn main() {
             ..WebConfig::default()
         }
     };
-    let crawl_config = CrawlConfig {
-        seed: 0xC0FFEE,
-        mode: DriverMode::PersistentWorkers,
-        ..CrawlConfig::default()
-    };
+    let config = StudyConfig::builder()
+        .web(web_config)
+        .seed(0xC0FFEE)
+        .mode(DriverMode::PersistentWorkers)
+        .build()
+        .expect("static configuration is valid");
 
     eprintln!(
         "Generating a {}-site web and crawling {} seeders with 4 synchronized crawlers…",
-        web_config.n_sites, web_config.n_seeders
+        config.web.n_sites, config.web.n_seeders
     );
     let t0 = std::time::Instant::now();
-    let study = Study::run(&web_config, crawl_config);
+    let study = Study::from_config(&config).expect("study runs");
     eprintln!("…done in {:.1?}\n", t0.elapsed());
 
     let report = study.report();

@@ -10,15 +10,17 @@
 //! crumbcruncher blocklist  [opts] --out F    run + emit the released blocklist bundle
 //! crumbcruncher defense    [opts]            score the §7 defenses on a fresh crawl
 //! crumbcruncher truth      [opts]            precision/recall against ground truth
-//!
-//! options: --seed N  --sites N  --seeders N  --steps N  --walks N
-//!          --workers N  --parallel  --paper-scale  --out PATH
 //! ```
 //!
+//! Parsing is a thin layer over [`StudyConfig`]: every flag sets one field
+//! of the unified study configuration, and the parsed config is validated
+//! by [`StudyConfig::validate`] — the CLI adds no policy of its own.
 //! Argument parsing is hand-rolled (the workspace's dependency budget is
 //! deliberately small) and lives in the library so it can be unit-tested.
 
-use cc_crawler::CrawlConfig;
+use cc_crawler::{CheckpointPolicy, CrawlCheckpoint, StudyConfig, StudyRunOptions};
+use cc_net::{BreakerPolicy, RetryPolicy};
+use cc_util::CcError;
 use cc_web::WebConfig;
 
 /// Which subcommand to run.
@@ -38,17 +40,23 @@ pub enum Command {
     Help,
 }
 
-/// Parsed CLI invocation.
+/// Parsed CLI invocation: a subcommand plus the [`StudyConfig`] it runs
+/// against, with the few flags that are about *this invocation* rather
+/// than the study itself (output paths, resume source, telemetry).
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Subcommand.
     pub command: Command,
-    /// World configuration.
-    pub web: WebConfig,
-    /// Crawl configuration.
-    pub crawl: CrawlConfig,
-    /// Worker threads for the parallel executor (`None` = serial crawl).
+    /// The unified study configuration every flag parses into.
+    pub study: StudyConfig,
+    /// Worker count as given on the command line (`None` = flag absent;
+    /// controls whether the telemetry report carries a worker section).
     pub workers: Option<usize>,
+    /// Resume the crawl from this checkpoint file.
+    pub resume: Option<String>,
+    /// Stop after this many new walks (graceful drain, for exercising
+    /// checkpoint/resume).
+    pub kill_after: Option<usize>,
     /// Output path for subcommands that write a file.
     pub out: Option<String>,
     /// Write the telemetry run report (JSON) to this path.
@@ -56,18 +64,6 @@ pub struct Cli {
     /// Print the human-readable span tree to stderr after the run.
     pub trace: bool,
 }
-
-/// CLI parse errors (rendered to the user verbatim).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(pub String);
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
-    }
-}
-
-impl std::error::Error for CliError {}
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -94,6 +90,23 @@ OPTIONS:
                    results are bit-identical to the serial crawl
   --parallel       persistent crawler workers on real threads
   --paper-scale    10,000 sites and seeders, as in the paper's §3.1
+
+FAULT TOLERANCE:
+  --failure-rate F     per-connection failure probability in [0, 1]
+                       (default 0.033, the paper's observed rate)
+  --retries N          retry failed connections up to N attempts with
+                       deterministic exponential backoff (0/1 = off)
+  --breaker N          trip a per-host circuit breaker after N consecutive
+                       failures (0 = off; default off)
+  --checkpoint PATH    write a resumable crawl checkpoint to PATH
+  --checkpoint-every K checkpoint every K completed walks (default 100;
+                       requires --checkpoint)
+  --resume PATH        resume a killed crawl from its checkpoint; the final
+                       dataset is identical to an uninterrupted run
+  --kill-after N       stop the crawl gracefully after N new walks (writes
+                       a final checkpoint when --checkpoint is set)
+
+TELEMETRY:
   --out PATH       output file for crawl/blocklist
   --metrics-out P  write the telemetry run report (JSON) to P: counters,
                    latency histograms (p50/p90/p99), span-tree rollups,
@@ -103,15 +116,21 @@ OPTIONS:
 ";
 
 /// Parse argv (without the program name).
-pub fn parse(args: &[String]) -> Result<Cli, CliError> {
+pub fn parse(args: &[String]) -> Result<Cli, CcError> {
     let mut command = None;
-    let mut web = WebConfig {
-        n_sites: 2_000,
-        n_seeders: 1_000,
-        ..WebConfig::default()
+    let mut study = StudyConfig {
+        web: WebConfig {
+            n_sites: 2_000,
+            n_seeders: 1_000,
+            ..WebConfig::default()
+        },
+        ..StudyConfig::default()
     };
-    let mut crawl = CrawlConfig::default();
     let mut workers = None;
+    let mut resume = None;
+    let mut kill_after = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut checkpoint_every: Option<usize> = None;
     let mut out = None;
     let mut metrics_out = None;
     let mut trace = false;
@@ -121,7 +140,7 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
         match arg.as_str() {
             "report" | "crawl" | "blocklist" | "defense" | "truth" | "help" => {
                 if command.is_some() {
-                    return Err(CliError(format!("unexpected second command {arg:?}")));
+                    return Err(CcError::cli(format!("unexpected second command {arg:?}")));
                 }
                 command = Some(match arg.as_str() {
                     "report" => Command::Report,
@@ -134,13 +153,13 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
             }
             "--seed" => {
                 let v = numeric(&mut it, "--seed")?;
-                web.seed = v;
-                crawl.seed = v;
+                study.web.seed = v;
+                study.seed = v;
             }
-            "--sites" => web.n_sites = numeric(&mut it, "--sites")? as usize,
-            "--seeders" => web.n_seeders = numeric(&mut it, "--seeders")? as usize,
-            "--steps" => crawl.steps_per_walk = numeric(&mut it, "--steps")? as usize,
-            "--walks" => crawl.max_walks = Some(numeric(&mut it, "--walks")? as usize),
+            "--sites" => study.web.n_sites = numeric(&mut it, "--sites")? as usize,
+            "--seeders" => study.web.n_seeders = numeric(&mut it, "--seeders")? as usize,
+            "--steps" => study.steps = numeric(&mut it, "--steps")? as usize,
+            "--walks" => study.walks = Some(numeric(&mut it, "--walks")? as usize),
             "--workers" => {
                 let n = numeric(&mut it, "--workers")? as usize;
                 // 0 means "use every CPU", like `make -j` without a count.
@@ -150,42 +169,75 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
                     n
                 });
             }
-            "--parallel" => crawl.mode = cc_crawler::DriverMode::PersistentWorkers,
+            "--parallel" => study.mode = cc_crawler::DriverMode::PersistentWorkers,
             "--paper-scale" => {
-                let seed = web.seed;
-                web = WebConfig::paper_scale();
-                web.seed = seed;
+                let seed = study.web.seed;
+                study.web = WebConfig::paper_scale();
+                study.web.seed = seed;
             }
-            "--out" => {
-                out = Some(
-                    it.next()
-                        .ok_or_else(|| CliError("--out needs a path".into()))?
-                        .clone(),
-                )
+            "--failure-rate" => study.failure_rate = float(&mut it, "--failure-rate")?,
+            "--retries" => {
+                let n = numeric(&mut it, "--retries")? as u32;
+                study.retry = if n <= 1 {
+                    RetryPolicy::disabled()
+                } else {
+                    RetryPolicy {
+                        attempts: n,
+                        ..RetryPolicy::standard()
+                    }
+                };
             }
-            "--metrics-out" => {
-                metrics_out = Some(
-                    it.next()
-                        .ok_or_else(|| CliError("--metrics-out needs a path".into()))?
-                        .clone(),
-                )
+            "--breaker" => {
+                let n = numeric(&mut it, "--breaker")? as u32;
+                study.breaker = if n == 0 {
+                    BreakerPolicy::disabled()
+                } else {
+                    BreakerPolicy {
+                        failure_threshold: n,
+                        ..BreakerPolicy::standard()
+                    }
+                };
             }
+            "--checkpoint" => checkpoint_path = Some(path_arg(&mut it, "--checkpoint")?),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(numeric(&mut it, "--checkpoint-every")? as usize)
+            }
+            "--resume" => resume = Some(path_arg(&mut it, "--resume")?),
+            "--kill-after" => kill_after = Some(numeric(&mut it, "--kill-after")? as usize),
+            "--out" => out = Some(path_arg(&mut it, "--out")?),
+            "--metrics-out" => metrics_out = Some(path_arg(&mut it, "--metrics-out")?),
             "--trace" => trace = true,
-            other => return Err(CliError(format!("unknown argument {other:?}"))),
+            other => return Err(CcError::cli(format!("unknown argument {other:?}"))),
         }
     }
 
-    let command = command.ok_or_else(|| CliError("no command given".into()))?;
+    study.workers = workers.unwrap_or(1);
+    match (checkpoint_path, checkpoint_every) {
+        (Some(path), every) => {
+            study.checkpoint = Some(CheckpointPolicy {
+                path,
+                every: every.unwrap_or(100),
+            })
+        }
+        (None, Some(_)) => {
+            return Err(CcError::cli("--checkpoint-every requires --checkpoint PATH"))
+        }
+        (None, None) => {}
+    }
+    study.validate()?;
+
+    let command = command.ok_or_else(|| CcError::cli("no command given"))?;
     if matches!(command, Command::Crawl | Command::Blocklist) && out.is_none() {
-        return Err(CliError(
+        return Err(CcError::cli(
             format!("{command:?} requires --out PATH").to_lowercase(),
         ));
     }
     Ok(Cli {
         command,
-        web,
-        crawl,
+        study,
         workers,
+        resume,
+        kill_after,
         out,
         metrics_out,
         trace,
@@ -195,21 +247,43 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
 fn numeric(
     it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
     flag: &str,
-) -> Result<u64, CliError> {
+) -> Result<u64, CcError> {
     let raw = it
         .next()
-        .ok_or_else(|| CliError(format!("{flag} needs a number")))?;
+        .ok_or_else(|| CcError::cli(format!("{flag} needs a number")))?;
     let raw = raw.trim();
     let parsed = if let Some(hex) = raw.strip_prefix("0x") {
         u64::from_str_radix(hex, 16)
     } else {
         raw.parse()
     };
-    parsed.map_err(|_| CliError(format!("{flag}: {raw:?} is not a number")))
+    parsed.map_err(|_| CcError::cli(format!("{flag}: {raw:?} is not a number")))
+}
+
+fn float(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    flag: &str,
+) -> Result<f64, CcError> {
+    let raw = it
+        .next()
+        .ok_or_else(|| CcError::cli(format!("{flag} needs a number")))?;
+    raw.trim()
+        .parse()
+        .map_err(|_| CcError::cli(format!("{flag}: {raw:?} is not a number")))
+}
+
+fn path_arg(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    flag: &str,
+) -> Result<String, CcError> {
+    Ok(it
+        .next()
+        .ok_or_else(|| CcError::cli(format!("{flag} needs a path")))?
+        .clone())
 }
 
 /// Execute a parsed invocation; returns the text to print.
-pub fn run(cli: &Cli) -> Result<String, CliError> {
+pub fn run(cli: &Cli) -> Result<String, CcError> {
     use crate::Study;
 
     if cli.command == Command::Help {
@@ -230,13 +304,17 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             .create(true)
             .append(true)
             .open(path)
-            .map_err(|e| CliError(format!("--metrics-out {path}: not writable: {e}")))?;
+            .map_err(|e| CcError::cli(format!("--metrics-out {path}: not writable: {e}")))?;
     }
 
-    let study = match cli.workers {
-        Some(n) => Study::run_parallel(&cli.web, cli.crawl.clone(), n),
-        None => Study::run(&cli.web, cli.crawl.clone()),
+    let mut opts = StudyRunOptions {
+        stop_after: cli.kill_after,
+        ..StudyRunOptions::default()
     };
+    if let Some(path) = cli.resume.as_deref() {
+        opts.resume = Some(CrawlCheckpoint::load(path)?);
+    }
+    let study = Study::from_config_with_options(&cli.study, opts)?;
 
     let result = execute(cli, &study);
 
@@ -247,23 +325,25 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             eprint!("{}", session.render_trace());
         }
         if let Some(path) = cli.metrics_out.as_deref() {
+            // Per-worker progress is reported only when parallelism was
+            // asked for — a plain serial run keeps its historical report
+            // shape.
             let report = match &study.progress {
-                Some(snapshot) => session
+                Some(snapshot) if cli.workers.is_some() => session
                     .report_with_workers(cc_telemetry::WorkerSection::from_progress(snapshot)),
-                None => session.report(),
+                _ => session.report(),
             };
             let json = report
                 .to_json()
-                .map_err(|e| CliError(format!("serialize run report: {e}")))?;
-            std::fs::write(path, &json)
-                .map_err(|e| CliError(format!("write {path}: {e}")))?;
+                .map_err(|e| CcError::Serde(format!("serialize run report: {e}")))?;
+            std::fs::write(path, &json).map_err(|e| CcError::io(path, e))?;
         }
     }
     result
 }
 
 /// Run the subcommand against a finished study; returns the text to print.
-fn execute(cli: &Cli, study: &crate::Study) -> Result<String, CliError> {
+fn execute(cli: &Cli, study: &crate::Study) -> Result<String, CcError> {
     match cli.command {
         Command::Help => unreachable!("handled above"),
         Command::Report => Ok(study.report().render()),
@@ -271,9 +351,9 @@ fn execute(cli: &Cli, study: &crate::Study) -> Result<String, CliError> {
             let json = study
                 .dataset
                 .to_json()
-                .map_err(|e| CliError(format!("serialize dataset: {e}")))?;
+                .map_err(|e| CcError::Serde(format!("serialize dataset: {e}")))?;
             let path = cli.out.as_deref().expect("validated in parse");
-            std::fs::write(path, &json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+            std::fs::write(path, &json).map_err(|e| CcError::io(path, e))?;
             Ok(format!(
                 "wrote {} walks ({} bytes) to {path}\n",
                 study.dataset.walks.len(),
@@ -284,9 +364,9 @@ fn execute(cli: &Cli, study: &crate::Study) -> Result<String, CliError> {
             let artifacts = cc_defense::artifacts::BlocklistArtifacts::from_output(&study.output);
             let json = artifacts
                 .to_json()
-                .map_err(|e| CliError(format!("serialize blocklist: {e}")))?;
+                .map_err(|e| CcError::Serde(format!("serialize blocklist: {e}")))?;
             let path = cli.out.as_deref().expect("validated in parse");
-            std::fs::write(path, &json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+            std::fs::write(path, &json).map_err(|e| CcError::io(path, e))?;
             Ok(format!(
                 "released {} token names and {} tracker domains to {path}\n",
                 artifacts.token_names.len(),
@@ -337,9 +417,13 @@ mod tests {
     fn parse_report_defaults() {
         let cli = parse(&argv("report")).unwrap();
         assert_eq!(cli.command, Command::Report);
-        assert_eq!(cli.web.n_sites, 2_000);
-        assert_eq!(cli.crawl.steps_per_walk, 10);
+        assert_eq!(cli.study.web.n_sites, 2_000);
+        assert_eq!(cli.study.steps, 10);
         assert!(cli.out.is_none());
+        assert!(!cli.study.retry.enabled(), "fault tolerance is opt-in");
+        assert!(!cli.study.breaker.enabled());
+        assert!(cli.study.checkpoint.is_none());
+        assert!(cli.resume.is_none());
     }
 
     #[test]
@@ -349,13 +433,13 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(cli.command, Command::Crawl);
-        assert_eq!(cli.web.seed, 0xAB);
-        assert_eq!(cli.crawl.seed, 0xAB);
-        assert_eq!(cli.web.n_sites, 500);
-        assert_eq!(cli.web.n_seeders, 100);
-        assert_eq!(cli.crawl.steps_per_walk, 4);
-        assert_eq!(cli.crawl.max_walks, Some(20));
-        assert_eq!(cli.crawl.mode, cc_crawler::DriverMode::PersistentWorkers);
+        assert_eq!(cli.study.web.seed, 0xAB);
+        assert_eq!(cli.study.seed, 0xAB);
+        assert_eq!(cli.study.web.n_sites, 500);
+        assert_eq!(cli.study.web.n_seeders, 100);
+        assert_eq!(cli.study.steps, 4);
+        assert_eq!(cli.study.walks, Some(20));
+        assert_eq!(cli.study.mode, cc_crawler::DriverMode::PersistentWorkers);
         assert_eq!(cli.out.as_deref(), Some("d.json"));
     }
 
@@ -363,8 +447,10 @@ mod tests {
     fn parse_workers() {
         let cli = parse(&argv("report --workers 4")).unwrap();
         assert_eq!(cli.workers, Some(4));
+        assert_eq!(cli.study.workers, 4);
         let cli = parse(&argv("report")).unwrap();
         assert_eq!(cli.workers, None, "serial crawl by default");
+        assert_eq!(cli.study.workers, 1);
         let cli = parse(&argv("report --workers 0")).unwrap();
         assert!(cli.workers.unwrap() >= 1, "0 resolves to available CPUs");
         assert!(parse(&argv("report --workers")).is_err());
@@ -372,21 +458,62 @@ mod tests {
     }
 
     #[test]
+    fn parse_fault_tolerance_flags() {
+        let cli = parse(&argv(
+            "report --failure-rate 0.2 --retries 4 --breaker 3 \
+             --checkpoint ck.json --checkpoint-every 100 --kill-after 50",
+        ))
+        .unwrap();
+        assert_eq!(cli.study.failure_rate, 0.2);
+        assert!(cli.study.retry.enabled());
+        assert_eq!(cli.study.retry.attempts, 4);
+        assert!(cli.study.breaker.enabled());
+        assert_eq!(cli.study.breaker.failure_threshold, 3);
+        let ck = cli.study.checkpoint.as_ref().unwrap();
+        assert_eq!(ck.path, "ck.json");
+        assert_eq!(ck.every, 100);
+        assert_eq!(cli.kill_after, Some(50));
+
+        let cli = parse(&argv("report --retries 0")).unwrap();
+        assert!(!cli.study.retry.enabled(), "--retries 0 disables retries");
+        let cli = parse(&argv("report --checkpoint ck.json")).unwrap();
+        assert_eq!(
+            cli.study.checkpoint.unwrap().every,
+            100,
+            "default interval"
+        );
+        let cli = parse(&argv("report --resume ck.json")).unwrap();
+        assert_eq!(cli.resume.as_deref(), Some("ck.json"));
+    }
+
+    #[test]
+    fn parse_rejects_invalid_fault_tolerance() {
+        assert!(parse(&argv("report --failure-rate 1.5")).is_err());
+        assert!(parse(&argv("report --failure-rate banana")).is_err());
+        assert!(
+            parse(&argv("report --checkpoint-every 10")).is_err(),
+            "--checkpoint-every without --checkpoint"
+        );
+        assert!(parse(&argv("report --checkpoint")).is_err());
+        assert!(parse(&argv("report --resume")).is_err());
+    }
+
+    #[test]
     fn workers_report_matches_serial_report() {
         let web = cc_web::WebConfig::small();
         let base = "truth --steps 3 --walks 8";
         let mut serial = parse(&argv(base)).unwrap();
-        serial.web = web.clone();
+        serial.study.web = web.clone();
         let mut parallel = parse(&argv(&format!("{base} --workers 3"))).unwrap();
-        parallel.web = web;
+        parallel.study.web = web;
         assert_eq!(run(&serial).unwrap(), run(&parallel).unwrap());
     }
 
     #[test]
     fn parse_paper_scale_preserves_seed() {
         let cli = parse(&argv("report --seed 42 --paper-scale")).unwrap();
-        assert_eq!(cli.web.seed, 42);
-        assert_eq!(cli.web.n_seeders, 10_000);
+        assert_eq!(cli.study.web.seed, 42);
+        assert_eq!(cli.study.web.n_seeders, 10_000);
     }
 
     #[test]
@@ -407,6 +534,8 @@ mod tests {
         assert!(out.contains("USAGE"));
         assert!(out.contains("--metrics-out"), "help must document telemetry flags");
         assert!(out.contains("--trace"), "help must document telemetry flags");
+        assert!(out.contains("--retries"), "help must document fault tolerance");
+        assert!(out.contains("--resume"), "help must document fault tolerance");
     }
 
     #[test]
@@ -426,11 +555,11 @@ mod tests {
             parse(&argv("report --metrics-out /nonexistent-ccrs-dir/m.json")).unwrap();
         // A paper-scale world would take minutes — the unwritable path must
         // error out long before the crawl would start.
-        cli.web = cc_web::WebConfig::paper_scale();
+        cli.study.web = cc_web::WebConfig::paper_scale();
         let start = std::time::Instant::now();
-        let err = run(&cli).unwrap_err();
+        let err = run(&cli).unwrap_err().to_string();
         assert!(
-            err.0.contains("--metrics-out") && err.0.contains("not writable"),
+            err.contains("--metrics-out") && err.contains("not writable"),
             "unclear error: {err}"
         );
         assert!(
@@ -450,7 +579,7 @@ mod tests {
             path.display()
         )))
         .unwrap();
-        cli.web = cc_web::WebConfig::small();
+        cli.study.web = cc_web::WebConfig::small();
         run(&cli).unwrap();
         let report =
             cc_telemetry::RunReport::from_json(&std::fs::read_to_string(&path).unwrap())
@@ -469,7 +598,7 @@ mod tests {
     #[test]
     fn truth_command_end_to_end() {
         let mut cli = parse(&argv("truth --seed 9 --sites 60 --seeders 10 --steps 3")).unwrap();
-        cli.web = cc_web::WebConfig {
+        cli.study.web = cc_web::WebConfig {
             seed: 9,
             n_sites: 60,
             n_seeders: 10,
@@ -496,5 +625,43 @@ mod tests {
             cc_defense::artifacts::BlocklistArtifacts::from_json(&content).is_ok(),
             "released bundle should parse back"
         );
+    }
+
+    #[test]
+    fn kill_and_resume_through_the_cli_match_an_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("ccrs-cli-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("ck.json");
+        let full_out = dir.join("full.json");
+        let resumed_out = dir.join("resumed.json");
+        let base = format!(
+            "crawl --seed 11 --steps 3 --walks 10 --failure-rate 0.2 --retries 3 \
+             --workers 2 --checkpoint {} --checkpoint-every 2",
+            ck.display()
+        );
+
+        let mut full = parse(&argv(&format!("{base} --out {}", full_out.display()))).unwrap();
+        full.study.web = cc_web::WebConfig::small();
+        run(&full).unwrap();
+
+        let mut killed =
+            parse(&argv(&format!("{base} --kill-after 4 --out {}", dir.join("k.json").display())))
+                .unwrap();
+        killed.study.web = cc_web::WebConfig::small();
+        run(&killed).unwrap();
+
+        let mut resumed = parse(&argv(&format!(
+            "{base} --resume {} --out {}",
+            ck.display(),
+            resumed_out.display()
+        )))
+        .unwrap();
+        resumed.study.web = cc_web::WebConfig::small();
+        run(&resumed).unwrap();
+
+        let full_json = std::fs::read_to_string(&full_out).unwrap();
+        let resumed_json = std::fs::read_to_string(&resumed_out).unwrap();
+        assert_eq!(full_json, resumed_json, "resumed dataset bytes diverged");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

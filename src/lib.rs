@@ -46,8 +46,11 @@ pub use cc_web as web;
 
 use cc_analysis::report::{full_report, AnalysisReport};
 use cc_core::pipeline::PipelineOutput;
-use cc_crawler::{crawl_parallel_instrumented, CrawlConfig, CrawlDataset, ParallelCrawlConfig, Walker};
-use cc_util::ProgressSnapshot;
+use cc_crawler::{
+    crawl_parallel_instrumented, crawl_study_with_progress, CrawlCheckpoint, CrawlConfig,
+    CrawlDataset, ParallelCrawlConfig, StudyConfig, StudyRunOptions, Walker,
+};
+use cc_util::{CcError, ProgressCounters, ProgressSnapshot};
 use cc_web::{generate, SimWeb, WebConfig};
 
 /// An end-to-end study: world, crawl, and pipeline results in one place.
@@ -117,6 +120,54 @@ impl Study {
             output,
             progress: Some(progress),
         }
+    }
+
+    /// Run a study from a unified [`StudyConfig`]: world, crawl, worker
+    /// count, fault-tolerance policies, and checkpoint schedule all come
+    /// from the one serde-able value.
+    pub fn from_config(study: &StudyConfig) -> Result<Self, CcError> {
+        Self::from_config_with_options(study, StudyRunOptions::default())
+    }
+
+    /// [`Study::from_config`] with resume / graceful-stop control.
+    pub fn from_config_with_options(
+        study: &StudyConfig,
+        opts: StudyRunOptions,
+    ) -> Result<Self, CcError> {
+        let web = {
+            let _span = telemetry::span("study.generate_web");
+            generate(&study.web)
+        };
+        let progress = ProgressCounters::new(study.workers);
+        let dataset = {
+            let _span = telemetry::span("study.crawl");
+            crawl_study_with_progress(&web, study, opts, &progress)?
+        };
+        let output = {
+            let _span = telemetry::span("study.pipeline");
+            cc_core::run_pipeline(&dataset)
+        };
+        Ok(Study {
+            web,
+            dataset,
+            output,
+            progress: Some(progress.snapshot()),
+        })
+    }
+
+    /// Resume a checkpointed crawl from `path` and finish the study. The
+    /// checkpoint must have been produced under the same `study`
+    /// configuration; the result is identical to an uninterrupted
+    /// [`Study::from_config`] run.
+    pub fn resume(study: &StudyConfig, path: &str) -> Result<Self, CcError> {
+        let ck = CrawlCheckpoint::load(path)?;
+        Self::from_config_with_options(
+            study,
+            StudyRunOptions {
+                resume: Some(ck),
+                ..StudyRunOptions::default()
+            },
+        )
     }
 
     /// A small, fast study for demos and tests (≈ seconds).

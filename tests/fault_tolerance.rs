@@ -1,0 +1,178 @@
+//! Fault-tolerance acceptance tests: deterministic retries, circuit
+//! breakers, and checkpoint/resume must never change *what* a crawl
+//! observes — only how resilient the run is.
+//!
+//! The two load-bearing properties:
+//!
+//! 1. With a 20% connection-failure rate and retries enabled, serial and
+//!    1/2/4/8-worker crawls are byte-identical.
+//! 2. A crawl killed after K walks and resumed from its checkpoint yields
+//!    the same dataset — and the same analysis report — as an
+//!    uninterrupted run.
+
+use cc_crawler::{crawl_study, CrawlCheckpoint, StudyConfig, Walker};
+use cc_net::{BreakerPolicy, RetryPolicy};
+use cc_web::{generate, WebConfig};
+use crumbcruncher::Study;
+use proptest::prelude::*;
+
+fn faulty_config(workers: usize) -> StudyConfig {
+    StudyConfig::builder()
+        .web(WebConfig::small())
+        .seed(13)
+        .steps(4)
+        .walks(12)
+        .failure_rate(0.2)
+        .retry(RetryPolicy::standard())
+        .breaker(BreakerPolicy::standard())
+        .workers(workers)
+        .build()
+        .unwrap()
+}
+
+fn temp_path(name: &str) -> String {
+    let dir = std::env::temp_dir().join("ccrs-fault-tolerance");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+#[test]
+fn serial_and_parallel_crawls_are_byte_identical_under_faults() {
+    let serial_json = {
+        let config = faulty_config(1);
+        let web = generate(&config.web);
+        let dataset = Walker::new(&web, config.crawl_config()).crawl();
+        assert!(
+            dataset.recovery_totals().retries > 0,
+            "a 20% fault rate with retries enabled should retry somewhere"
+        );
+        dataset.to_json().unwrap()
+    };
+    for workers in [1, 2, 4, 8] {
+        let config = faulty_config(workers);
+        let web = generate(&config.web);
+        let dataset = crawl_study(&web, &config).unwrap();
+        assert_eq!(
+            serial_json,
+            dataset.to_json().unwrap(),
+            "dataset diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn killed_and_resumed_study_produces_an_identical_report() {
+    let path = temp_path("kill-resume-report.json");
+    let config = StudyConfig {
+        checkpoint: Some(cc_crawler::CheckpointPolicy {
+            path: path.clone(),
+            every: 3,
+        }),
+        ..faulty_config(2)
+    };
+
+    let full = Study::from_config(&config).unwrap();
+
+    let killed = Study::from_config_with_options(
+        &config,
+        cc_crawler::StudyRunOptions {
+            stop_after: Some(5),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(killed.dataset.walks.len(), 5, "graceful drain stopped early");
+
+    let resumed = Study::resume(&config, &path).unwrap();
+
+    assert_eq!(
+        full.dataset.to_json().unwrap(),
+        resumed.dataset.to_json().unwrap(),
+        "resumed dataset bytes diverged"
+    );
+    // Report identity is the stronger claim: it also exercises the restored
+    // ground-truth ledger (precision/recall) and the failure ledger.
+    assert_eq!(
+        full.report().render(),
+        resumed.report().render(),
+        "resumed analysis report diverged"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn degraded_walks_are_ledgered_not_lost() {
+    let config = faulty_config(1);
+    let web = generate(&config.web);
+    let dataset = crawl_study(&web, &config).unwrap();
+    let degraded = dataset
+        .walks
+        .iter()
+        .filter(|w| !matches!(w.termination, cc_crawler::WalkTermination::Completed))
+        .count();
+    assert_eq!(
+        dataset.ledger.len(),
+        degraded,
+        "every early-terminated walk gets a ledger entry"
+    );
+    for entry in &dataset.ledger.entries {
+        let walk = dataset
+            .walks
+            .iter()
+            .find(|w| w.walk_id == entry.walk_id)
+            .expect("ledger entries reference recorded walks");
+        assert_eq!(entry.steps_recorded, walk.steps.len());
+        assert_eq!(entry.termination, walk.termination);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Kill the crawl at any point, resume at any worker count: the final
+    /// dataset is always byte-identical to the uninterrupted run.
+    #[test]
+    fn resume_equivalence_holds_for_any_kill_point(
+        kill_after in 1usize..11,
+        workers in 1usize..5,
+    ) {
+        let path = temp_path(&format!("prop-{kill_after}-{workers}.json"));
+        let config = StudyConfig {
+            checkpoint: Some(cc_crawler::CheckpointPolicy {
+                path: path.clone(),
+                every: 2,
+            }),
+            ..faulty_config(workers)
+        };
+
+        let web_full = generate(&config.web);
+        let full = crawl_study(&web_full, &config).unwrap();
+
+        let web_killed = generate(&config.web);
+        cc_crawler::crawl_study_with_options(
+            &web_killed,
+            &config,
+            cc_crawler::StudyRunOptions {
+                stop_after: Some(kill_after),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        let ck = CrawlCheckpoint::load(&path).unwrap();
+        prop_assert_eq!(ck.partial.walks.len(), kill_after);
+        let web_resumed = generate(&config.web);
+        let resumed = cc_crawler::crawl_study_with_options(
+            &web_resumed,
+            &config,
+            cc_crawler::StudyRunOptions {
+                resume: Some(ck),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        prop_assert_eq!(full.to_json().unwrap(), resumed.to_json().unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+}
