@@ -90,7 +90,7 @@ pub fn detect_cookie_sync(dataset: &CrawlDataset) -> CookieSyncReport {
                 sites_by_value
                     .entry(v.to_string())
                     .or_default()
-                    .insert(top_site.clone());
+                    .insert(top_site.to_string());
             }
         }
         for (value, domains) in receivers {

@@ -124,7 +124,7 @@ mod tests {
                         dest_snapshot: None,
                         beacons: beacons
                             .into_iter()
-                            .map(|(site, u)| (site.to_string(), url(u)))
+                            .map(|(site, u)| (site.into(), url(u)))
                             .collect(),
                     }],
                 }],

@@ -16,7 +16,7 @@ use cc_net::{
     SimTime,
 };
 use cc_url::Url;
-use cc_util::{CcError, DetRng};
+use cc_util::{CcError, DetRng, IStr};
 use cc_web::server::{LoadedPage, ServeCtx, ServeError};
 use cc_web::{ScriptHost, SimWeb, StorageKind};
 use serde::{Deserialize, Serialize};
@@ -38,7 +38,8 @@ pub struct LoggedRequest {
     /// When it was issued.
     pub at: SimTime,
     /// The top-level site (registered domain) at the time of the request.
-    pub top_site: String,
+    /// Interned: the vocabulary is the world's registered domains.
+    pub top_site: IStr,
 }
 
 /// Navigation failure modes — the §3.3 failure taxonomy's "network error"
@@ -191,15 +192,14 @@ impl<'w> Browser<'w> {
         let mut referer: Option<String> = None;
 
         for _ in 0..MAX_REDIRECTS {
-            let host = current.host.as_str().to_string();
             self.web
                 .dns
-                .resolve(&host)
-                .map_err(|_| NavError::Dns(host.clone()))?;
-            self.connect(&host)?;
+                .resolve(current.host.as_str())
+                .map_err(|_| NavError::Dns(current.host.as_str().to_string()))?;
+            self.connect(current.host.as_str())?;
 
             let now = self.clock.now();
-            let top_site = current.registered_domain();
+            let top_site = current.registered_domain_interned();
             let cookies: Vec<Cookie> = self
                 .storage
                 .cookies_for(&top_site, &top_site, now)
@@ -273,7 +273,7 @@ impl<'w> Browser<'w> {
     fn render(&mut self, url: &Url) -> Result<LoadedPage, NavError> {
         let _render_span = cc_telemetry::span("browser.render");
         let now = self.clock.now();
-        let partition = url.registered_domain();
+        let partition = url.registered_domain_interned();
         let mut host = PageHost {
             url: url.clone(),
             partition: partition.clone(),
@@ -317,12 +317,44 @@ impl<'w> Browser<'w> {
         self.recovery = RecoveryStats::default();
         self.breaker = CircuitBreaker::new(*self.breaker.policy());
     }
+
+    /// Rebind this browser to a new walk: fresh profile, clock, and fault
+    /// process; fault-tolerance state reset; storage and request log
+    /// cleared.
+    ///
+    /// Observationally identical to a fresh
+    /// `Browser::new(..).with_fault_tolerance(..)` — profile forks are
+    /// non-consuming, so the latency stream drawn here matches the one a
+    /// fresh construction would draw — while reusing this browser's
+    /// allocations (storage maps, the request-log buffer) across walks.
+    /// This is what lets the crawl executor keep one browser set per
+    /// worker instead of constructing four browsers per walk.
+    pub fn prepare_walk(
+        &mut self,
+        profile: Profile,
+        clock: SimClock,
+        fault: FaultModel,
+        retry: RetryPolicy,
+        breaker: BreakerPolicy,
+        retry_rng: DetRng,
+    ) {
+        self.latency = LatencyModel::default_web(profile.rng.fork("latency"));
+        self.profile = profile;
+        self.clock = clock;
+        self.fault = fault;
+        self.retry = retry;
+        self.breaker = CircuitBreaker::new(breaker);
+        self.retry_rng = retry_rng;
+        self.recovery = RecoveryStats::default();
+        self.storage.clear();
+        self.request_log.clear();
+    }
 }
 
 /// The [`ScriptHost`] adapter binding page scripts to browser storage.
 struct PageHost<'a> {
     url: Url,
-    partition: String,
+    partition: IStr,
     storage: &'a mut Storage,
     rng: &'a mut DetRng,
     fingerprint: u64,
@@ -454,9 +486,9 @@ mod tests {
             seed: 0xAD5EED,
             ..WebConfig::small()
         });
-        let clickable = web.seeder_urls().into_iter().find_map(|seed_url| {
+        let clickable = web.seeder_urls().iter().find_map(|seed_url| {
             let mut b = make_browser(&web, 3);
-            let out = b.navigate(seed_url).unwrap();
+            let out = b.navigate(seed_url.clone()).unwrap();
             let click = out.page.elements.iter().find_map(|e| {
                 if e.kind == ElementKind::Iframe {
                     match &e.target {
@@ -508,11 +540,12 @@ mod tests {
         };
         let seed = web
             .seeder_urls()
-            .into_iter()
+            .iter()
             .find(|u| match fault.outage_for(u.host.as_str()) {
                 Some(d) => d <= SimDuration::from_millis(1_750),
                 None => false,
             })
+            .cloned()
             .expect("some seeder with an outage the retry budget outlasts");
         let mut b = Browser::new(
             &web,
@@ -535,11 +568,12 @@ mod tests {
         let fault = FaultModel::new(DetRng::new(37), 1.0);
         let seed = web
             .seeder_urls()
-            .into_iter()
+            .iter()
             .find(|u| match fault.outage_for(u.host.as_str()) {
                 Some(d) => d > SimDuration::from_hours(1),
                 None => false,
             })
+            .cloned()
             .expect("some seeder in hard outage");
         let retry = RetryPolicy {
             jitter: 0.0,

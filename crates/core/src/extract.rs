@@ -12,6 +12,10 @@
 //! of §3.7.2 compare tokens *by name* across crawlers.
 
 use cc_url::percent::{decode_component, looks_encoded};
+use std::borrow::Cow;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Recursion budget: protects against adversarial nesting.
 const MAX_DEPTH: usize = 8;
@@ -28,37 +32,73 @@ pub struct Extracted {
 
 /// Extract all leaf tokens from one name-value pair.
 pub fn extract_tokens(name: &str, value: &str) -> Vec<Extracted> {
-    let mut out = Vec::new();
-    walk(name, value, 0, &mut out);
-    out
+    let mut sink = Sink::default();
+    walk(name, value, 0, &mut sink);
+    sink.out
 }
 
-fn push(out: &mut Vec<Extracted>, name: &str, value: &str) {
-    if value.is_empty() {
-        return;
-    }
-    let e = Extracted {
-        name: name.to_string(),
-        value: value.to_string(),
-    };
-    if !out.contains(&e) {
-        out.push(e);
+/// Order-preserving deduplicating collector.
+///
+/// Leaves are kept in first-seen order, with membership answered by a hash
+/// index into the output vector instead of the former O(n²) `Vec::contains`
+/// scan. The index stores positions rather than copies, so each surviving
+/// leaf is allocated exactly once; hash collisions fall back to a content
+/// compare against the indexed entries.
+#[derive(Default)]
+struct Sink {
+    out: Vec<Extracted>,
+    index: HashMap<u64, Vec<u32>>,
+}
+
+impl Sink {
+    fn push(&mut self, name: &str, value: &str) {
+        if value.is_empty() {
+            return;
+        }
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        value.hash(&mut h);
+        let slots = self.index.entry(h.finish()).or_default();
+        if slots.iter().any(|&i| {
+            let e = &self.out[i as usize];
+            e.name == name && e.value == value
+        }) {
+            return;
+        }
+        slots.push(self.out.len() as u32);
+        self.out.push(Extracted {
+            name: name.to_string(),
+            value: value.to_string(),
+        });
     }
 }
 
-fn walk(name: &str, value: &str, depth: usize, out: &mut Vec<Extracted>) {
+/// Decode a query component, borrowing when decoding is a no-op.
+///
+/// `decode_component` only rewrites `%XX` escapes and `+`; anything without
+/// those bytes decodes to itself, which covers the overwhelming majority of
+/// real segments — no allocation there.
+fn decode_cow(s: &str) -> Cow<'_, str> {
+    if s.bytes().any(|b| b == b'%' || b == b'+') {
+        Cow::Owned(decode_component(s))
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+fn walk(name: &str, value: &str, depth: usize, sink: &mut Sink) {
     if depth >= MAX_DEPTH || value.is_empty() {
-        push(out, name, value);
+        sink.push(name, value);
         return;
     }
 
     // A URL value surfaces whole (the URL heuristic will discard it) and
     // additionally contributes its own query-parameter tokens.
     if value.starts_with("http://") || value.starts_with("https://") {
-        push(out, name, value);
+        sink.push(name, value);
         if let Ok(u) = cc_url::Url::parse(value) {
             for (k, v) in u.query() {
-                walk(k, v, depth + 1, out);
+                walk(k, v, depth + 1, sink);
             }
         }
         return;
@@ -68,21 +108,27 @@ fn walk(name: &str, value: &str, depth: usize, out: &mut Vec<Extracted>) {
     let trimmed = value.trim();
     if trimmed.starts_with('{') || trimmed.starts_with('[') {
         if let Ok(json) = serde_json::from_str::<serde_json::Value>(trimmed) {
-            walk_json(name, &json, depth + 1, out);
+            walk_json(name, &json, depth + 1, sink);
             return;
         }
     }
 
     // URL-encoded k=v(&k=v)* payload? Require at least one '=' to avoid
-    // shredding ordinary values containing '&'.
+    // shredding ordinary values containing '&'. Segments are split and
+    // decoded lazily so unencoded keys/values recurse as borrows of the
+    // input rather than fresh allocations.
     if value.contains('=') && is_query_ish(value) {
-        for (k, v) in cc_url::parse_query(value) {
+        for piece in value.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = match piece.split_once('=') {
+                Some((k, v)) => (decode_cow(k), decode_cow(v)),
+                None => (decode_cow(piece), Cow::Borrowed("")),
+            };
             if v.is_empty() {
                 // A bare token segment; treat the key as a value under the
                 // outer name (e.g. flag-style params).
-                walk(name, &k, depth + 1, out);
+                walk(name, &k, depth + 1, sink);
             } else {
-                walk(&k, &v, depth + 1, out);
+                walk(&k, &v, depth + 1, sink);
             }
         }
         return;
@@ -92,12 +138,12 @@ fn walk(name: &str, value: &str, depth: usize, out: &mut Vec<Extracted>) {
     if looks_encoded(value) {
         let decoded = decode_component(value);
         if decoded != value {
-            walk(name, &decoded, depth + 1, out);
+            walk(name, &decoded, depth + 1, sink);
             return;
         }
     }
 
-    push(out, name, value);
+    sink.push(name, value);
 }
 
 /// Heuristic: does this look like a query string rather than a value that
@@ -114,19 +160,19 @@ fn is_query_ish(value: &str) -> bool {
     })
 }
 
-fn walk_json(name: &str, json: &serde_json::Value, depth: usize, out: &mut Vec<Extracted>) {
+fn walk_json(name: &str, json: &serde_json::Value, depth: usize, sink: &mut Sink) {
     match json {
-        serde_json::Value::String(s) => walk(name, s, depth, out),
-        serde_json::Value::Number(n) => push(out, name, &n.to_string()),
+        serde_json::Value::String(s) => walk(name, s, depth, sink),
+        serde_json::Value::Number(n) => sink.push(name, &n.to_string()),
         serde_json::Value::Bool(_) | serde_json::Value::Null => {}
         serde_json::Value::Array(items) => {
             for item in items {
-                walk_json(name, item, depth, out);
+                walk_json(name, item, depth, sink);
             }
         }
         serde_json::Value::Object(map) => {
             for (k, v) in map {
-                walk_json(k, v, depth, out);
+                walk_json(k, v, depth, sink);
             }
         }
     }
@@ -240,6 +286,39 @@ mod tests {
         assert_eq!(out.len(), 2);
         let out2 = extract_tokens("d", "a=same1234&a=same1234");
         assert_eq!(out2.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_heavy_nested_extraction_keeps_first_seen_order() {
+        // A nested payload where almost every leaf repeats: the dedup must
+        // keep exactly the first occurrence of each (name, value) pair and
+        // preserve the order those first occurrences were encountered in.
+        let payload = concat!(
+            r#"{"ids":["aaaa1111","bbbb2222","aaaa1111","cccc3333","bbbb2222"],"#,
+            r#""blob":"u=aaaa1111&v=dddd4444&u=aaaa1111&w=u%3Daaaa1111","#,
+            r#""ids2":["cccc3333","eeee5555"]}"#
+        );
+        let out = extract_tokens("d", payload);
+        let pairs: Vec<(&str, &str)> = out
+            .iter()
+            .map(|e| (e.name.as_str(), e.value.as_str()))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("ids", "aaaa1111"),
+                ("ids", "bbbb2222"),
+                ("ids", "cccc3333"),
+                ("u", "aaaa1111"),
+                ("v", "dddd4444"),
+                // "w=u%3Daaaa1111" decodes to "u=aaaa1111" and recurses, so
+                // it collapses into the ("u", "aaaa1111") already seen; the
+                // repeated value under the *new* name "ids2" survives, since
+                // dedup is on the (name, value) pair.
+                ("ids2", "cccc3333"),
+                ("ids2", "eeee5555"),
+            ]
+        );
     }
 
     #[test]

@@ -133,7 +133,7 @@ mod tests {
     fn walk(id: u32) -> WalkRecord {
         WalkRecord {
             walk_id: id,
-            seeder: format!("s{id}.com"),
+            seeder: format!("s{id}.com").into(),
             steps: Vec::new(),
             termination: WalkTermination::Completed,
             recovery: RecoveryStats::default(),

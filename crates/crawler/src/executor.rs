@@ -2,11 +2,13 @@
 //!
 //! The paper scales its crawl by running twelve EC2 instances over disjoint
 //! seeder ranges (§3.8, modeled by [`crate::shard`]). This module scales
-//! the *same* crawl over threads instead: workers share one atomic walk
-//! index and claim the next unstarted walk as soon as they finish their
-//! current one, so long walks and short walks balance automatically — no
-//! worker idles while another still holds a backlog, the dynamic-stealing
-//! property static per-shard ranges lack.
+//! the *same* crawl over threads instead, through a [`WalkQueue`]: each
+//! worker first drains a small contiguous block reserved for it, then
+//! claims adaptive batches from the shared tail as soon as it finishes,
+//! so long walks and short walks balance automatically — no worker idles
+//! while another still holds a backlog, the dynamic-stealing property
+//! static per-shard ranges lack — while the reservation bounds how
+//! lopsided the claim distribution can get (see [`WalkQueue`]).
 //!
 //! Determinism is preserved by construction, not by scheduling:
 //!
@@ -59,6 +61,95 @@ impl Default for ParallelCrawlConfig {
     }
 }
 
+/// The shared walk queue: per-worker reserved prefixes plus a batched
+/// common tail.
+///
+/// The former design was a single `fetch_add(1)` per walk, which is
+/// maximally dynamic but lets scheduling luck hand one worker a wildly
+/// skewed share — starvation gauges up to ~0.4 on short queues. This
+/// queue splits the index range `0..total` in two:
+///
+/// * indices `0 .. reserve × n_workers` are **reserved**: worker `w` owns
+///   the contiguous block `w×reserve .. (w+1)×reserve` (a quarter of its
+///   fair share) and drains it without touching shared state;
+/// * the remaining tail is claimed in batches sized
+///   `remaining / (2 × n_workers)`, clamped to `1..=8` — large batches
+///   while the tail is long (fewer contended claims), single walks near
+///   the end (stragglers balance).
+///
+/// Every worker therefore executes at least its reserved quarter-share,
+/// so the `crawl.worker.queue_starvation` gauge is bounded by ~0.75 by
+/// construction instead of by scheduling luck. Which worker runs which
+/// walk still varies run to run — outputs don't care, because walks are
+/// keyed by global id and merged order-independently.
+struct WalkQueue {
+    total: usize,
+    n_workers: usize,
+    reserve: usize,
+    next: AtomicUsize,
+}
+
+impl WalkQueue {
+    fn new(total: usize, n_workers: usize) -> Self {
+        let n_workers = n_workers.max(1);
+        let reserve = total / (4 * n_workers);
+        WalkQueue {
+            total,
+            n_workers,
+            reserve,
+            next: AtomicUsize::new(reserve * n_workers),
+        }
+    }
+
+    /// Worker `w`'s view of the queue: an iterator over the indices it
+    /// claims.
+    fn worker(&self, w: usize) -> WorkerClaims<'_> {
+        WorkerClaims {
+            queue: self,
+            reserved: (w * self.reserve)..((w + 1) * self.reserve),
+            batch: 0..0,
+        }
+    }
+}
+
+/// One worker's claim stream: reserved block first, then shared batches.
+struct WorkerClaims<'q> {
+    queue: &'q WalkQueue,
+    reserved: std::ops::Range<usize>,
+    batch: std::ops::Range<usize>,
+}
+
+impl Iterator for WorkerClaims<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if let Some(i) = self.reserved.next() {
+            return Some(i);
+        }
+        if let Some(i) = self.batch.next() {
+            return Some(i);
+        }
+        loop {
+            let start = self.queue.next.load(Ordering::Relaxed);
+            if start >= self.queue.total {
+                return None;
+            }
+            let remaining = self.queue.total - start;
+            let size = (remaining / (2 * self.queue.n_workers)).clamp(1, 8).min(remaining);
+            if self
+                .queue
+                .next
+                .compare_exchange(start, start + size, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.batch = start..start + size;
+                return self.batch.next();
+            }
+            // Lost the race; retry with the new head.
+        }
+    }
+}
+
 /// Crawl every walk of `cfg` using `par.n_workers` work-stealing workers.
 ///
 /// Returns a dataset bit-identical to `Walker::new(web, cfg).crawl()`.
@@ -92,29 +183,22 @@ pub fn crawl_parallel_with_progress(
     let seeders = web.seeder_urls();
     let limit = cfg.max_walks.unwrap_or(seeders.len()).min(seeders.len());
 
-    // The work queue is just an index: claiming walk i is one fetch_add.
-    // Walks are claimed in id order, so early (often longer) walks start
-    // first and stragglers fill the tail — classic self-balancing.
-    let next_walk = AtomicUsize::new(0);
+    let queue = WalkQueue::new(limit, par.n_workers);
     let seeders = &seeders[..limit];
 
     let shards: Vec<CrawlDataset> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..par.n_workers)
             .map(|worker| {
-                let next_walk = &next_walk;
+                let queue = &queue;
                 let cfg = cfg.clone();
                 scope.spawn(move || {
                     // Root span of this worker thread's trace: walk spans
                     // nest under it.
                     let _worker_span = cc_telemetry::span("crawl.worker");
-                    let walker = Walker::new(web, cfg);
+                    let mut walker = Walker::new(web, cfg);
                     let mut shard = CrawlDataset::default();
                     let mut claimed: u64 = 0;
-                    loop {
-                        let walk_id = next_walk.fetch_add(1, Ordering::Relaxed);
-                        if walk_id >= seeders.len() {
-                            break;
-                        }
+                    for walk_id in queue.worker(worker) {
                         claimed += 1;
                         let walk = walker.walk_public(
                             walk_id as u32,
@@ -271,24 +355,19 @@ pub fn crawl_study_with_progress(
         error: Mutex::new(None),
     });
 
-    let next = AtomicUsize::new(0);
+    let queue = WalkQueue::new(ids.len(), study.workers);
     let ids = &ids;
-    let seeders = &seeders;
     let shards: Vec<CrawlDataset> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..study.workers)
             .map(|worker| {
-                let next = &next;
+                let queue = &queue;
                 let sink = sink.as_ref();
                 let cfg = study.crawl_config();
                 scope.spawn(move || {
                     let _worker_span = cc_telemetry::span("crawl.worker");
-                    let walker = Walker::new(web, cfg);
+                    let mut walker = Walker::new(web, cfg);
                     let mut shard = CrawlDataset::default();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= ids.len() {
-                            break;
-                        }
+                    for i in queue.worker(worker) {
                         let walk_id = ids[i];
                         // Fresh per-walk failure accounting so checkpoints
                         // carry exact counts for exactly the walks they

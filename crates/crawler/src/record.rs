@@ -9,6 +9,7 @@
 use cc_browser::StorageSnapshot;
 use cc_net::RecoveryStats;
 use cc_url::Url;
+use cc_util::IStr;
 use cc_web::ElementKind;
 use serde::{Deserialize, Serialize};
 
@@ -42,8 +43,9 @@ pub struct CrawlObservation {
     /// First-party storage on the destination after load.
     pub dest_snapshot: Option<StorageSnapshot>,
     /// Beacon/subresource requests observed during the step, with the
-    /// top-level site they were sent from.
-    pub beacons: Vec<(String, Url)>,
+    /// top-level site they were sent from (interned: the vocabulary is
+    /// the world's registered domains).
+    pub beacons: Vec<(IStr, Url)>,
 }
 
 /// One step of a walk: observations from every crawler that executed it.
@@ -86,8 +88,8 @@ pub enum WalkTermination {
 pub struct WalkRecord {
     /// Walk number.
     pub walk_id: u32,
-    /// The seeder domain the walk started from.
-    pub seeder: String,
+    /// The seeder domain the walk started from (interned).
+    pub seeder: IStr,
     /// Completed steps.
     pub steps: Vec<StepRecord>,
     /// How the walk ended.
@@ -154,8 +156,8 @@ fn ratio(num: u64, den: u64) -> f64 {
 pub struct FailureEntry {
     /// The degraded walk.
     pub walk_id: u32,
-    /// Its seeder domain.
-    pub seeder: String,
+    /// Its seeder domain (interned; shares the walk record's handle).
+    pub seeder: IStr,
     /// Steps that were recorded before termination.
     pub steps_recorded: usize,
     /// How the walk ended.
@@ -225,13 +227,23 @@ impl CrawlDataset {
     /// commutatively — so a merged parallel crawl is byte-identical to
     /// the serial crawl of the same walk set.
     pub fn merge(parts: impl IntoIterator<Item = CrawlDataset>) -> CrawlDataset {
+        let parts: Vec<CrawlDataset> = parts.into_iter().collect();
         let mut out = CrawlDataset::default();
+        // One allocation for the merged vectors instead of doubling-growth
+        // reallocations as shards stream in.
+        out.walks
+            .reserve(parts.iter().map(|p| p.walks.len()).sum());
+        out.ledger
+            .entries
+            .reserve(parts.iter().map(|p| p.ledger.len()).sum());
         for part in parts {
             out.walks.extend(part.walks);
             out.failures.absorb(part.failures);
             out.ledger.absorb(part.ledger);
         }
-        out.walks.sort_by_key(|w| w.walk_id);
+        // Walk ids are globally unique, so the faster unstable sort is
+        // still deterministic.
+        out.walks.sort_unstable_by_key(|w| w.walk_id);
         out
     }
 
@@ -327,7 +339,7 @@ mod tests {
     fn ledger_notes_only_degraded_walks_and_merges_sorted() {
         let walk = |id: u32, termination: WalkTermination| WalkRecord {
             walk_id: id,
-            seeder: format!("s{id}.com"),
+            seeder: format!("s{id}.com").into(),
             steps: Vec::new(),
             termination,
             recovery: RecoveryStats {

@@ -44,16 +44,16 @@ impl ShardPlan {
 impl<'w> Walker<'w> {
     /// Crawl one contiguous range of seeders `[start, end)`, using the
     /// *global* walk ids so the result merges losslessly with other shards.
-    pub fn crawl_range(&self, start: usize, end: usize) -> CrawlDataset {
+    pub fn crawl_range(&mut self, start: usize, end: usize) -> CrawlDataset {
         let mut dataset = CrawlDataset::default();
         let seeders = self.web().seeder_urls();
         for (walk_id, seeder) in seeders
-            .into_iter()
+            .iter()
             .enumerate()
             .skip(start)
             .take(end.saturating_sub(start))
         {
-            let walk = self.walk_public(walk_id as u32, seeder, &mut dataset.failures);
+            let walk = self.walk_public(walk_id as u32, seeder.clone(), &mut dataset.failures);
             dataset.ledger.note(&walk);
             dataset.walks.push(walk);
         }
@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn merge_is_order_insensitive() {
         let web = generate(&WebConfig::small());
-        let w = Walker::new(&web, cfg());
+        let mut w = Walker::new(&web, cfg());
         let a = w.crawl_range(0, 5);
         let b = w.crawl_range(5, 10);
         let ab = merge(vec![a.clone(), b.clone()]);

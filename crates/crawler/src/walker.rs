@@ -24,7 +24,7 @@ use cc_browser::{Browser, Profile, Storage, StoragePolicy};
 use cc_http::RequestKind;
 use cc_net::{BreakerPolicy, FaultModel, RecoveryStats, RetryPolicy, SimClock, SimTime};
 use cc_url::Url;
-use cc_util::DetRng;
+use cc_util::{DetRng, IStr};
 use cc_web::{ClickTarget, ElementModel, SimWeb};
 
 use crate::matching::{find_matching, select_shared};
@@ -132,6 +132,20 @@ pub const STUDY_EPOCH_MS: u64 = 1_635_000_000_000;
 pub struct Walker<'w> {
     web: &'w SimWeb,
     cfg: CrawlConfig,
+    /// Reusable per-worker browser set. Between walks the browsers are
+    /// rebound via [`Browser::prepare_walk`] — observationally identical
+    /// to fresh construction, but the storage maps and request-log
+    /// buffers keep their allocations, which removes most of the fixed
+    /// per-walk overhead the executor pays on top of the walk itself.
+    pool: Option<Box<WalkPool<'w>>>,
+}
+
+/// The four browsers of one walk, reused across walks by inline driver
+/// modes (`Lockstep`, `ScopedThreads`). `PersistentWorkers` moves its
+/// browsers into worker threads, so it always constructs fresh ones.
+struct WalkPool<'w> {
+    browsers: [Browser<'w>; 3],
+    trailing: Browser<'w>,
 }
 
 /// A controller→worker command (all-owned data: channel-safe).
@@ -147,7 +161,8 @@ enum Cmd {
     },
     /// Snapshot the page without clicking (sync-failure bookkeeping).
     PageObs(Url),
-    /// Ship the browser's storage to the controller (Safari-1R cloning).
+    /// Ship a clone of the browser's storage to the controller (Safari-1R
+    /// cloning).
     ExportStorage,
     /// Ship the browser's retry/breaker accounting to the controller
     /// (end-of-walk recovery rollup).
@@ -158,7 +173,7 @@ enum Cmd {
 enum Event {
     Nav(Box<Result<cc_browser::NavigationOutcome, cc_browser::NavError>>),
     Leg(Box<CrawlLegAndPage>),
-    Obs(Box<(cc_browser::StorageSnapshot, Vec<(String, Url)>)>),
+    Obs(Box<(cc_browser::StorageSnapshot, Vec<(IStr, Url)>)>),
     Storage(Box<Storage>),
     Recovery(RecoveryStats),
 }
@@ -175,7 +190,7 @@ fn exec_cmd(b: &mut Browser<'_>, cmd: Cmd) -> Event {
             target,
         } => Event::Leg(Box::new(click_leg(b, page_url, kind, xpath, target))),
         Cmd::PageObs(page_url) => {
-            let snapshot = b.snapshot(&page_url.registered_domain());
+            let snapshot = b.snapshot(&page_url.registered_domain_interned());
             let beacons = drain_beacons(b);
             Event::Obs(Box::new((snapshot, beacons)))
         }
@@ -192,17 +207,21 @@ fn click_leg(
     xpath: String,
     target: Url,
 ) -> CrawlLegAndPage {
-    let page_snapshot = b.snapshot(&page_url.registered_domain());
+    let page_snapshot = b.snapshot(&page_url.registered_domain_interned());
     let clicked = Some(ClickedElement { kind, xpath });
     match b.navigate(target) {
-        Ok(out) => {
-            let dest_snapshot = Some(b.snapshot(&out.final_url.registered_domain()));
+        Ok(mut out) => {
+            let dest_snapshot = Some(b.snapshot(&out.final_url.registered_domain_interned()));
             let beacons = drain_beacons(b);
+            // The hop list is only needed in the record; the outcome that
+            // continues the walk only needs the final URL and page, so the
+            // hops move rather than copy.
+            let nav_hops = std::mem::take(&mut out.hops);
             CrawlLeg {
                 page_url,
                 page_snapshot,
                 clicked,
-                nav_hops: out.hops.clone(),
+                nav_hops,
                 final_url: Some(out.final_url.clone()),
                 dest_snapshot,
                 beacons,
@@ -305,7 +324,7 @@ fn expect_leg(e: Event) -> CrawlLegAndPage {
     }
 }
 
-fn expect_obs(e: Event) -> (cc_browser::StorageSnapshot, Vec<(String, Url)>) {
+fn expect_obs(e: Event) -> (cc_browser::StorageSnapshot, Vec<(IStr, Url)>) {
     match e {
         Event::Obs(o) => *o,
         _ => unreachable!("protocol violation: expected Obs"),
@@ -334,14 +353,18 @@ struct CrawlLeg {
     nav_hops: Vec<Url>,
     final_url: Option<Url>,
     dest_snapshot: Option<cc_browser::StorageSnapshot>,
-    beacons: Vec<(String, Url)>,
+    beacons: Vec<(IStr, Url)>,
     error: Option<String>,
 }
 
 impl<'w> Walker<'w> {
     /// Build a walker over a world.
     pub fn new(web: &'w SimWeb, cfg: CrawlConfig) -> Self {
-        Walker { web, cfg }
+        Walker {
+            web,
+            cfg,
+            pool: None,
+        }
     }
 
     /// The world this walker crawls.
@@ -351,7 +374,7 @@ impl<'w> Walker<'w> {
 
     /// Run one walk by global id (the sharding entry point).
     pub(crate) fn walk_public(
-        &self,
+        &mut self,
         walk_id: u32,
         seeder: Url,
         failures: &mut FailureStats,
@@ -361,19 +384,22 @@ impl<'w> Walker<'w> {
 
     /// Run the full crawl: one walk per seeder (§3.1's depth-first
     /// strategy: maximize distinct pages, one click per page).
-    pub fn crawl(&self) -> CrawlDataset {
+    pub fn crawl(&mut self) -> CrawlDataset {
         let mut dataset = CrawlDataset::default();
         let seeders = self.web.seeder_urls();
         let limit = self.cfg.max_walks.unwrap_or(seeders.len());
-        for (walk_id, seeder) in seeders.into_iter().take(limit).enumerate() {
-            let walk = self.walk(walk_id as u32, seeder, &mut dataset.failures);
+        for (walk_id, seeder) in seeders.iter().take(limit).enumerate() {
+            let walk = self.walk(walk_id as u32, seeder.clone(), &mut dataset.failures);
             dataset.ledger.note(&walk);
             dataset.walks.push(walk);
         }
         dataset
     }
 
-    fn make_browser(&self, walk_id: u32, crawler: CrawlerName) -> Browser<'w> {
+    /// The per-walk deterministic streams: profile (with its embedded RNG
+    /// stream), fault process, and retry-jitter stream. Keyed only by the
+    /// global walk id and crawler name, never by worker identity.
+    fn walk_streams(&self, walk_id: u32, crawler: CrawlerName) -> (Profile, FaultModel, DetRng) {
         let root = DetRng::new(self.cfg.seed);
         let stream = root.fork_indexed("walk-crawler", u64::from(walk_id) * 16 + crawler as u64);
         let profile = match crawler {
@@ -389,6 +415,11 @@ impl<'w> Walker<'w> {
         let fault_stream = root.fork_indexed("fault", u64::from(walk_id));
         let retry_rng = fault_stream.fork("retry");
         let fault = FaultModel::new(fault_stream, self.cfg.connect_failure_rate);
+        (profile, fault, retry_rng)
+    }
+
+    fn make_browser(&self, walk_id: u32, crawler: CrawlerName) -> Browser<'w> {
+        let (profile, fault, retry_rng) = self.walk_streams(walk_id, crawler);
         Browser::new(
             self.web,
             profile,
@@ -399,20 +430,58 @@ impl<'w> Walker<'w> {
         .with_fault_tolerance(self.cfg.retry.clone(), self.cfg.breaker, retry_rng)
     }
 
+    /// Rebind one pooled browser to a new walk (same streams as
+    /// [`Self::make_browser`], fresh per-walk state, kept allocations).
+    fn rebind_browser(&self, b: &mut Browser<'w>, walk_id: u32, crawler: CrawlerName) {
+        let (profile, fault, retry_rng) = self.walk_streams(walk_id, crawler);
+        b.prepare_walk(
+            profile,
+            SimClock::starting_at(SimTime(STUDY_EPOCH_MS)),
+            fault,
+            self.cfg.retry.clone(),
+            self.cfg.breaker,
+            retry_rng,
+        );
+    }
+
+    /// Take the reusable browser pool, rebound to `walk_id` (building it
+    /// on the first walk). The caller puts it back after the walk.
+    fn take_pool(&mut self, walk_id: u32) -> Box<WalkPool<'w>> {
+        match self.pool.take() {
+            Some(mut pool) => {
+                for (b, name) in pool.browsers.iter_mut().zip(CrawlerName::PARALLEL) {
+                    self.rebind_browser(b, walk_id, name);
+                }
+                self.rebind_browser(&mut pool.trailing, walk_id, CrawlerName::Safari1R);
+                pool
+            }
+            None => Box::new(WalkPool {
+                browsers: [
+                    self.make_browser(walk_id, CrawlerName::Safari1),
+                    self.make_browser(walk_id, CrawlerName::Safari2),
+                    self.make_browser(walk_id, CrawlerName::Chrome3),
+                ],
+                trailing: self.make_browser(walk_id, CrawlerName::Safari1R),
+            }),
+        }
+    }
+
     /// Execute one ten-step walk from a seeder.
-    fn walk(&self, walk_id: u32, seeder: Url, failures: &mut FailureStats) -> WalkRecord {
+    fn walk(&mut self, walk_id: u32, seeder: Url, failures: &mut FailureStats) -> WalkRecord {
         let _walk_span = cc_telemetry::span("crawl.walk");
         let walk_started = std::time::Instant::now();
-        let browsers = [
-            self.make_browser(walk_id, CrawlerName::Safari1),
-            self.make_browser(walk_id, CrawlerName::Safari2),
-            self.make_browser(walk_id, CrawlerName::Chrome3),
-        ];
-        let trailing = self.make_browser(walk_id, CrawlerName::Safari1R);
         let record = match self.cfg.mode {
             DriverMode::PersistentWorkers => {
                 // The paper's architecture: crawler workers live for the
-                // whole walk; the controller mediates via channels.
+                // whole walk; the controller mediates via channels. The
+                // browsers move into their threads, so this mode always
+                // constructs them fresh.
+                let browsers = [
+                    self.make_browser(walk_id, CrawlerName::Safari1),
+                    self.make_browser(walk_id, CrawlerName::Safari2),
+                    self.make_browser(walk_id, CrawlerName::Chrome3),
+                ];
+                let mut trailing = self.make_browser(walk_id, CrawlerName::Safari1R);
                 crossbeam::thread::scope(|scope| {
                     let workers = browsers
                         .into_iter()
@@ -433,17 +502,21 @@ impl<'w> Walker<'w> {
                         })
                         .collect();
                     let mut squad = Squad::Channels { workers };
-                    self.walk_with(&mut squad, trailing, walk_id, seeder, failures)
+                    self.walk_with(&mut squad, &mut trailing, walk_id, seeder, failures)
                 })
                 .expect("crawler worker panicked")
             }
             mode => {
-                let mut browsers = browsers;
-                let mut squad = Squad::Inline {
-                    browsers: &mut browsers,
-                    scoped: mode == DriverMode::ScopedThreads,
+                let mut pool = self.take_pool(walk_id);
+                let record = {
+                    let mut squad = Squad::Inline {
+                        browsers: &mut pool.browsers,
+                        scoped: mode == DriverMode::ScopedThreads,
+                    };
+                    self.walk_with(&mut squad, &mut pool.trailing, walk_id, seeder, failures)
                 };
-                self.walk_with(&mut squad, trailing, walk_id, seeder, failures)
+                self.pool = Some(pool);
+                record
             }
         };
         // Observation-only accounting: totals depend on the seed, never on
@@ -470,12 +543,12 @@ impl<'w> Walker<'w> {
     fn walk_with(
         &self,
         squad: &mut Squad<'w, '_>,
-        mut trailing: Browser<'w>,
+        trailing: &mut Browser<'w>,
         walk_id: u32,
         seeder: Url,
         failures: &mut FailureStats,
     ) -> WalkRecord {
-        let mut record = self.walk_inner(squad, &mut trailing, walk_id, seeder, failures);
+        let mut record = self.walk_inner(squad, trailing, walk_id, seeder, failures);
         let mut recovery = trailing.recovery;
         for i in 0..3 {
             recovery.absorb(&expect_recovery(squad.exec1(i, Cmd::ExportRecovery)));
@@ -496,7 +569,7 @@ impl<'w> Walker<'w> {
         seeder: Url,
         failures: &mut FailureStats,
     ) -> WalkRecord {
-        let seeder_domain = seeder.registered_domain();
+        let seeder_domain = seeder.registered_domain_interned();
         let mut controller_rng =
             DetRng::new(self.cfg.seed).fork_indexed("controller", walk_id.into());
 
@@ -531,7 +604,7 @@ impl<'w> Walker<'w> {
             if step > 0 {
                 failures.steps_attempted += 1;
             }
-            let current_domain = pages[0].final_url.registered_domain();
+            let current_domain = pages[0].final_url.registered_domain_interned();
 
             // Controller rendezvous: match the three element lists.
             let lists = [
@@ -548,8 +621,10 @@ impl<'w> Walker<'w> {
             };
 
             // Resolve per-crawler click targets (through the installed
-            // defense, when any).
-            let mut targets: Vec<Option<(ElementModel, Url)>> = Vec::with_capacity(3);
+            // defense, when any). Elements are borrowed from the live
+            // pages — only the navigation URL is owned, because the
+            // rewriter may produce a fresh one.
+            let mut targets: Vec<Option<(&ElementModel, Url)>> = Vec::with_capacity(3);
             for (i, page) in pages.iter().enumerate() {
                 let el = &page.page.elements[shared.indices[i]];
                 match &el.target {
@@ -558,7 +633,7 @@ impl<'w> Walker<'w> {
                             Some(r) => r.rewrite(u),
                             None => u.clone(),
                         };
-                        targets.push(Some((el.clone(), u)))
+                        targets.push(Some((el, u)))
                     }
                     ClickTarget::Inert => targets.push(None),
                 }
@@ -571,7 +646,7 @@ impl<'w> Walker<'w> {
                 record.steps.push(page_only_step(squad, step, &pages));
                 return record;
             }
-            let targets: Vec<(ElementModel, Url)> =
+            let targets: Vec<(&ElementModel, Url)> =
                 targets.into_iter().map(Option::unwrap).collect();
 
             // All three click in parallel.
@@ -590,7 +665,7 @@ impl<'w> Walker<'w> {
             // Safari-1R replay: become the same user as Safari-1 (clone its
             // post-step state) and repeat the step.
             trailing.storage = expect_storage(squad.exec1(0, Cmd::ExportStorage));
-            let trailing_leg = self.replay_step(trailing, &pages[0].final_url, &targets[0].0);
+            let trailing_leg = self.replay_step(trailing, &pages[0].final_url, targets[0].0);
 
             // Assemble the step record.
             let mut step_record = StepRecord {
@@ -660,31 +735,34 @@ impl<'w> Walker<'w> {
     ) -> CrawlLeg {
         match trailing.navigate(page_url.clone()) {
             Ok(out) => {
-                let page_snapshot = trailing.snapshot(&out.final_url.registered_domain());
+                let page_snapshot = trailing.snapshot(&out.final_url.registered_domain_interned());
                 let matched = find_matching(reference, &out.page.elements);
-                let click = matched.and_then(|idx| match &out.page.elements[idx].target {
-                    ClickTarget::Navigate(u) => {
-                        let u = match &self.cfg.rewriter {
-                            Some(r) => r.rewrite(u),
-                            None => u.clone(),
-                        };
-                        Some((out.page.elements[idx].clone(), u))
+                // Only the clicked element's kind and xpath survive into
+                // the record; cloning the whole model (href, geometry)
+                // would be waste.
+                let click = matched.and_then(|idx| {
+                    let el = &out.page.elements[idx];
+                    match &el.target {
+                        ClickTarget::Navigate(u) => {
+                            let u = match &self.cfg.rewriter {
+                                Some(r) => r.rewrite(u),
+                                None => u.clone(),
+                            };
+                            Some((el.kind, el.xpath.clone(), u))
+                        }
+                        ClickTarget::Inert => None,
                     }
-                    ClickTarget::Inert => None,
                 });
                 match click {
-                    Some((el, url)) => match trailing.navigate(url) {
+                    Some((kind, xpath, url)) => match trailing.navigate(url) {
                         Ok(out2) => CrawlLeg {
                             page_url: page_url.clone(),
                             page_snapshot,
-                            clicked: Some(ClickedElement {
-                                kind: el.kind,
-                                xpath: el.xpath,
-                            }),
+                            clicked: Some(ClickedElement { kind, xpath }),
                             nav_hops: out2.hops,
                             final_url: Some(out2.final_url.clone()),
                             dest_snapshot: Some(
-                                trailing.snapshot(&out2.final_url.registered_domain()),
+                                trailing.snapshot(&out2.final_url.registered_domain_interned()),
                             ),
                             beacons: drain_beacons(trailing),
                             error: None,
@@ -786,14 +864,20 @@ fn observation(crawler: CrawlerName, leg: CrawlLeg) -> CrawlObservation {
 }
 
 /// Pull accumulated beacon (subresource) requests out of the browser log.
-fn drain_beacons(b: &mut Browser<'_>) -> Vec<(String, Url)> {
-    let beacons = b
-        .request_log
-        .iter()
-        .filter(|r| r.kind == RequestKind::Subresource)
-        .map(|r| (r.top_site.clone(), r.url.clone()))
-        .collect();
-    b.request_log.retain(|r| r.kind != RequestKind::Subresource);
+///
+/// The log is taken whole and repartitioned by move — the former
+/// filter-then-retain pair cloned every beacon's URL and top site only to
+/// drop the originals one statement later.
+fn drain_beacons(b: &mut Browser<'_>) -> Vec<(IStr, Url)> {
+    let log = std::mem::take(&mut b.request_log);
+    let mut beacons = Vec::new();
+    for r in log {
+        if r.kind == RequestKind::Subresource {
+            beacons.push((r.top_site, r.url));
+        } else {
+            b.request_log.push(r);
+        }
+    }
     beacons
 }
 

@@ -37,15 +37,37 @@ impl Collector {
 
     /// Count one event occurrence, keyed by name and rendered fields.
     pub fn add_event(&self, name: &str, fields: &[(&str, &str)]) {
-        let key = if fields.is_empty() {
-            name.to_string()
-        } else {
-            let rendered: Vec<String> =
-                fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
-            format!("{name}{{{}}}", rendered.join(","))
-        };
-        let mut events = self.events.lock();
-        *events.entry(key).or_insert(0) += 1;
+        // Events fire on the per-script/per-step hot path, so the rendered
+        // key is built in a reusable thread-local buffer and only copied
+        // into the map the first time a given key is seen.
+        thread_local! {
+            static KEY_BUF: std::cell::RefCell<String> =
+                const { std::cell::RefCell::new(String::new()) };
+        }
+        KEY_BUF.with(|buf| {
+            let mut buf = buf.borrow_mut();
+            buf.clear();
+            buf.push_str(name);
+            if !fields.is_empty() {
+                buf.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    buf.push_str(k);
+                    buf.push('=');
+                    buf.push_str(v);
+                }
+                buf.push('}');
+            }
+            let mut events = self.events.lock();
+            match events.get_mut(buf.as_str()) {
+                Some(v) => *v += 1,
+                None => {
+                    events.insert(buf.clone(), 1);
+                }
+            }
+        });
     }
 
     /// Set a named gauge (last write wins).

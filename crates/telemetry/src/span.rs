@@ -18,7 +18,12 @@ use std::time::Instant;
 use crate::collector::Collector;
 
 thread_local! {
-    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    // The span path as a single reusable `/`-joined buffer. Entering a span
+    // appends its name; dropping truncates back. This replaces the former
+    // Vec<&str> stack + `join("/")` per enter — the same path strings with
+    // zero steady-state allocation, which matters because `crawl.step` and
+    // `browser.navigate` spans open thousands of times per second.
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
 }
 
 /// Aggregated timing for one span path.
@@ -63,11 +68,13 @@ pub struct SpanGuard {
 
 struct SpanInner {
     collector: Arc<Collector>,
-    path: String,
     start: Instant,
-    /// Stack depth *before* this span was pushed, used to restore the
-    /// stack even if inner guards leaked.
-    depth: usize,
+    /// Path-buffer length *before* this span's segment was appended, used
+    /// to restore the buffer even if inner guards leaked.
+    prev_len: usize,
+    /// Path-buffer length including this span's segment; `&PATH[..path_len]`
+    /// is this span's full path regardless of what descendants appended.
+    path_len: usize,
 }
 
 impl SpanGuard {
@@ -76,20 +83,23 @@ impl SpanGuard {
         SpanGuard { inner: None }
     }
 
-    /// Push `name` on this thread's stack and start timing.
+    /// Append `name` to this thread's path buffer and start timing.
     pub(crate) fn enter(collector: Arc<Collector>, name: &'static str) -> Self {
-        let (path, depth) = STACK.with(|s| {
-            let mut s = s.borrow_mut();
-            let depth = s.len();
-            s.push(name);
-            (s.join("/"), depth)
+        let (prev_len, path_len) = PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            let prev_len = p.len();
+            if prev_len > 0 {
+                p.push('/');
+            }
+            p.push_str(name);
+            (prev_len, p.len())
         });
         SpanGuard {
             inner: Some(SpanInner {
                 collector,
-                path,
                 start: Instant::now(),
-                depth,
+                prev_len,
+                path_len,
             }),
         }
     }
@@ -101,8 +111,12 @@ impl Drop for SpanGuard {
             return;
         };
         let ns = inner.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        STACK.with(|s| s.borrow_mut().truncate(inner.depth));
-        inner.collector.record_span(&inner.path, ns);
+        PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            let end = inner.path_len.min(p.len());
+            inner.collector.record_span(&p[..end], ns);
+            p.truncate(inner.prev_len);
+        });
     }
 }
 

@@ -6,13 +6,22 @@
 //! owns a normalized (lowercased) FQDN and exposes both views.
 
 use crate::psl;
+use cc_util::{intern, IStr};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
 
 /// A validated, lowercase host name (FQDN).
+///
+/// Hosts are drawn from the generated world's bounded vocabulary, so the
+/// inner storage is an interned handle ([`IStr`]): cloning a `Host` — which
+/// the crawler does on every request-log entry and navigation hop — is a
+/// refcount bump, and equality between two copies of the same host is a
+/// pointer compare. Serialization is unchanged (a plain string).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(transparent)]
-pub struct Host(String);
+pub struct Host(IStr);
 
 /// Errors from [`Host::parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,7 +52,17 @@ impl Host {
         if raw.is_empty() {
             return Err(HostError::Empty);
         }
-        let lower = raw.to_ascii_lowercase();
+        // Hot path: hosts produced by the world generator are already
+        // lowercase, so normalization is usually a no-op — validate in place
+        // and only allocate for mixed-case input.
+        let needs_lowering = raw.bytes().any(|b| b.is_ascii_uppercase());
+        let lowered;
+        let lower: &str = if needs_lowering {
+            lowered = raw.to_ascii_lowercase();
+            &lowered
+        } else {
+            raw
+        };
         for c in lower.chars() {
             if !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-') {
                 return Err(HostError::BadChar(c));
@@ -58,7 +77,7 @@ impl Host {
                 return Err(HostError::BadLabel(label.to_string()));
             }
         }
-        Ok(Host(lower))
+        Ok(Host(intern(lower)))
     }
 
     /// The full FQDN as a string slice.
@@ -68,19 +87,46 @@ impl Host {
 
     /// The registered domain (eTLD+1) of this host.
     pub fn registered_domain(&self) -> String {
-        psl::registered_domain(&self.0)
+        self.registered_domain_interned().as_str().to_string()
+    }
+
+    /// The registered domain as an interned handle.
+    ///
+    /// The public-suffix walk runs once per distinct host for the life of
+    /// the process; every later call is a shared-map lookup returning a
+    /// refcount bump. This is the form the hot paths (navigation partition
+    /// keys, cookie jars, observation records) use.
+    pub fn registered_domain_interned(&self) -> IStr {
+        static CACHE: OnceLock<RwLock<HashMap<IStr, IStr>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+        if let Some(rd) = cache
+            .read()
+            .expect("rd cache poisoned")
+            .get(self.0.as_str())
+        {
+            return rd.clone();
+        }
+        let rd = intern(&psl::registered_domain(&self.0));
+        cache
+            .write()
+            .expect("rd cache poisoned")
+            .insert(self.0.clone(), rd.clone());
+        rd
     }
 
     /// Whether two hosts share a registered domain — i.e. are the *same*
     /// first-party context in the paper's sense.
     pub fn same_site(&self, other: &Host) -> bool {
-        self.registered_domain() == other.registered_domain()
+        self.registered_domain_interned() == other.registered_domain_interned()
     }
 
     /// Whether `self` is a subdomain of (or equal to) `parent`.
     pub fn is_subdomain_of(&self, parent: &str) -> bool {
         let parent = parent.to_ascii_lowercase();
-        self.0 == parent || self.0.ends_with(&format!(".{parent}"))
+        self.0.as_str() == parent
+            || (self.0.len() > parent.len()
+                && self.0.ends_with(parent.as_str())
+                && self.0.as_bytes()[self.0.len() - parent.len() - 1] == b'.')
     }
 
     /// The dot-separated labels, leftmost first.

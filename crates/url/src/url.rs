@@ -146,9 +146,35 @@ impl Url {
         Url::build(Scheme::Https, host, path)
     }
 
+    /// Construct a URL from an already-validated [`Host`], skipping the
+    /// parse/validation pass of [`Url::build`]. This is the hot-path
+    /// constructor: the simulated web builds thousands of URLs per second
+    /// from hosts it already validated at world-assembly time.
+    pub fn from_host(scheme: Scheme, host: Host, path: &str) -> Self {
+        let path = if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("/{path}")
+        };
+        Url {
+            scheme,
+            host,
+            port: None,
+            path,
+            query: Vec::new(),
+            fragment: None,
+        }
+    }
+
     /// The registered domain (eTLD+1) of the URL's host.
     pub fn registered_domain(&self) -> String {
         self.host.registered_domain()
+    }
+
+    /// The registered domain as an interned handle (allocation-free after
+    /// the first lookup for a given host).
+    pub fn registered_domain_interned(&self) -> cc_util::IStr {
+        self.host.registered_domain_interned()
     }
 
     /// Whether two URLs belong to the same first-party context.

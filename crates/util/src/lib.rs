@@ -17,6 +17,10 @@
 //!   for the synthetic web.
 //! * [`counter`] — counting-map helpers (top-k tallies) used when building
 //!   the paper's tables.
+//! * [`intern`] — a deterministic string interner ([`IStr`]) for
+//!   bounded-vocabulary hot strings (hosts, registered domains, labels):
+//!   clone is a refcount bump, equality is usually a pointer compare, and
+//!   serde output is byte-identical to a plain `String`.
 //! * [`error`] — the workspace error taxonomy ([`CcError`], [`NetError`]):
 //!   typed error classes the fault-tolerance layer can match on.
 //! * [`progress`] — lock-free walk/step throughput counters with
@@ -29,6 +33,7 @@
 pub mod counter;
 pub mod error;
 pub mod ids;
+pub mod intern;
 pub mod progress;
 pub mod rng;
 pub mod stats;
@@ -37,6 +42,7 @@ pub mod zipf;
 
 pub use counter::Counter;
 pub use error::{CcError, NetError};
+pub use intern::{intern, IStr, Interner};
 pub use progress::{ProgressCounters, ProgressSnapshot, WorkerSnapshot};
 pub use rng::DetRng;
 pub use stats::{two_proportion_z_test, ZTestResult};

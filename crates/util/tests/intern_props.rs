@@ -1,0 +1,75 @@
+//! Property-based tests for the string interner: intern/resolve must
+//! round-trip, and interned strings must be indistinguishable from owned
+//! `String`s in every observable way (equality, ordering, hashing, serde).
+
+use cc_util::{intern, IStr, Interner};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn hash_of<T: Hash>(t: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn intern_resolve_round_trips(s in "\\PC{0,64}") {
+        let i = intern(&s);
+        prop_assert_eq!(i.as_str(), s.as_str());
+        prop_assert_eq!(&i, s.as_str());
+    }
+
+    #[test]
+    fn reinterning_is_canonical(s in "\\PC{0,64}") {
+        let a = intern(&s);
+        let b = intern(&s);
+        prop_assert!(IStr::ptr_eq(&a, &b));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_matches_string_equality(a in "\\PC{0,32}", b in "\\PC{0,32}") {
+        let ia = intern(&a);
+        let ib = intern(&b);
+        prop_assert_eq!(ia == ib, a == b);
+    }
+
+    #[test]
+    fn ordering_matches_string_ordering(a in "\\PC{0,32}", b in "\\PC{0,32}") {
+        prop_assert_eq!(intern(&a).cmp(&intern(&b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn hash_matches_str_hash(s in "\\PC{0,64}") {
+        // Required for Borrow<str> lookups in HashMap<IStr, _>.
+        prop_assert_eq!(hash_of(&intern(&s)), hash_of(&s.as_str()));
+    }
+
+    #[test]
+    fn serde_is_byte_identical_to_string(s in "\\PC{0,64}") {
+        let as_istr = serde_json::to_string(&intern(&s)).unwrap();
+        let as_string = serde_json::to_string(&s).unwrap();
+        prop_assert_eq!(&as_istr, &as_string);
+        let back: IStr = serde_json::from_str(&as_istr).unwrap();
+        prop_assert_eq!(back.as_str(), s.as_str());
+    }
+
+    #[test]
+    fn local_interner_dedupes(strings in prop::collection::vec("\\PC{0,16}", 0..32)) {
+        let table = Interner::new();
+        let mut distinct: Vec<&str> = strings.iter().map(|s| s.as_str()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        for s in &strings {
+            let _ = table.intern(s);
+        }
+        prop_assert_eq!(table.len(), distinct.len());
+        // Every handle resolves to its own content even after dedup.
+        for s in &strings {
+            let handle = table.intern(s);
+            prop_assert_eq!(handle.as_str(), s.as_str());
+        }
+    }
+}

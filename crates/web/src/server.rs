@@ -14,9 +14,11 @@ use parking_lot::Mutex;
 
 use cc_http::{header::names, parse_cookie_header, Cookie, PageBody, Request, Response, SetCookie};
 use cc_net::{DnsDb, SimTime};
-use cc_url::Url;
-use cc_util::{ids, DetRng};
+use cc_url::{Host, Scheme, Url};
+use cc_util::{ids, DetRng, IStr, Zipf};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 use crate::campaign::{Campaign, CampaignId, UidSpan};
 use crate::element::{BBox, ClickTarget, ElementKind, ElementModel};
@@ -102,6 +104,97 @@ pub struct SimWeb {
     site_by_fqdn: HashMap<String, SiteId>,
     tracker_by_fqdn: HashMap<String, TrackerId>,
     truth: Mutex<TruthLog>,
+    prepared: Prepared,
+    render_cache_enabled: AtomicBool,
+}
+
+/// Precomputed, immutable derivatives of the world data: validated hosts,
+/// beacon/sync/click URL bases, cookie-name strings, and lazily-built page
+/// render skeletons. Everything here is a pure function of the world, so it
+/// can be shared freely across crawl workers without affecting determinism —
+/// the per-visit randomness (churn, rotation, jitter, minting) still runs on
+/// every load.
+#[derive(Debug)]
+struct Prepared {
+    sites: Vec<PreparedSite>,
+    trackers: Vec<PreparedTracker>,
+    campaigns: Vec<PreparedCampaign>,
+    /// `pages[site][page]`: lock-free lazily-initialized render skeletons.
+    /// A skeleton is a pure function of immutable world data, so concurrent
+    /// first-initialization by racing workers is benign — every thread
+    /// computes the identical value.
+    pages: Vec<Vec<OnceLock<PreparedPage>>>,
+    seeders: Vec<Url>,
+}
+
+#[derive(Debug)]
+struct PreparedSite {
+    /// Validated `www.<domain>` host.
+    www_host: Host,
+    own_uid_cookie: String,
+    session_cookie: String,
+}
+
+#[derive(Debug)]
+struct PreparedTracker {
+    /// Validated tracker FQDN.
+    host: Host,
+    /// Registered domain of the FQDN — the storage-partition owner key.
+    owner_rd: IStr,
+    uid_storage_key: String,
+    received_uid_key: String,
+    /// `https://<fqdn>/b` with no query yet.
+    beacon_base: Url,
+    /// One `https://<partner>/sync?pid=<self>` base per sync partner, in
+    /// partner order, with the announcing tracker's `pid` already set.
+    sync_bases: Vec<Url>,
+}
+
+#[derive(Debug)]
+struct PreparedCampaign {
+    /// The deterministic prefix of the click URL: destination (plus
+    /// `cc_dest`/`cc_chain`/`cc_cid` routing when the campaign has hops).
+    /// Only this much is cacheable — the owner-UID, word, timestamp, and
+    /// session parameters must append *after* it in the original order,
+    /// and some of them are minted per render.
+    click_base: Url,
+    /// `dest_url.to_url_string()`, noted as `UrlValue` truth on every
+    /// render (the ledger mint must still fire per load).
+    dest_string: String,
+}
+
+/// The deterministic skeleton of one page's rendered elements: everything
+/// `render_elements` used to recompute per load that does not depend on the
+/// visiting profile's RNG or storage. Geometry stores `y_base` (the jitter
+/// is per-load), targets store the undecorated URL (decoration is per-load
+/// state), and ad slots store the Zipf sampler (the sample is per-load).
+#[derive(Debug, Clone)]
+struct PreparedPage {
+    links: Vec<PreparedLink>,
+    slots: Vec<PreparedSlot>,
+}
+
+#[derive(Debug, Clone)]
+struct PreparedLink {
+    /// The href as rendered in the DOM (shim or direct destination).
+    href: Url,
+    xpath: String,
+    x: i32,
+    y_base: i32,
+    w: i32,
+    h: i32,
+}
+
+#[derive(Debug, Clone)]
+struct PreparedSlot {
+    /// Rotation sampler over the slot's campaigns (`None` when empty —
+    /// the slot is inert).
+    zipf: Option<Zipf>,
+    xpath: String,
+    x: i32,
+    y_base: i32,
+    w: i32,
+    h: i32,
 }
 
 // The parallel crawl executor shares one `&SimWeb` across worker threads;
@@ -139,7 +232,98 @@ impl SimWeb {
             dns.register(&t.fqdn);
             tracker_by_fqdn.insert(t.fqdn.clone(), t.id);
         }
+        let prepared_sites: Vec<PreparedSite> = sites
+            .iter()
+            .map(|s| PreparedSite {
+                www_host: Host::parse(&s.www_fqdn()).expect("site fqdn is a valid host"),
+                own_uid_cookie: s.own_uid_cookie_name(),
+                session_cookie: s.session_cookie_name(),
+            })
+            .collect();
+        let prepared_trackers: Vec<PreparedTracker> = trackers
+            .iter()
+            .map(|t| {
+                let host = Host::parse(&t.fqdn).expect("tracker fqdn is a valid host");
+                PreparedTracker {
+                    owner_rd: host.registered_domain_interned(),
+                    uid_storage_key: t.uid_storage_key(),
+                    received_uid_key: t.received_uid_key(),
+                    beacon_base: Url::from_host(Scheme::Https, host.clone(), "/b"),
+                    sync_bases: t
+                        .sync_partners
+                        .iter()
+                        .map(|pid| {
+                            let partner = &trackers[pid.0 as usize];
+                            let mut sync = Url::https(&partner.fqdn, "/sync");
+                            sync.query_set("pid", &t.id.0.to_string());
+                            sync
+                        })
+                        .collect(),
+                    host,
+                }
+            })
+            .collect();
+        let prepared_campaigns: Vec<PreparedCampaign> = campaigns
+            .iter()
+            .map(|c| {
+                let dest_site = &sites[c.destination.0 as usize];
+                let dest_url = Url::from_host(
+                    Scheme::Https,
+                    prepared_sites[c.destination.0 as usize].www_host.clone(),
+                    &c.landing_path,
+                );
+                debug_assert_eq!(dest_url.host.as_str(), dest_site.www_fqdn());
+                let dest_string = dest_url.to_url_string();
+                let hops = c.hops();
+                let click_base = if let Some(first) = hops.first() {
+                    let mut u = Url::from_host(
+                        Scheme::Https,
+                        prepared_trackers[first.0 as usize].host.clone(),
+                        "/click",
+                    );
+                    u.query_set(P_DEST, &dest_string);
+                    u.query_set(
+                        P_CHAIN,
+                        &hops[1..]
+                            .iter()
+                            .map(|t| trackers[t.0 as usize].fqdn.clone())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    );
+                    u.query_set(P_CID, &c.id.0.to_string());
+                    u
+                } else {
+                    dest_url
+                };
+                PreparedCampaign {
+                    click_base,
+                    dest_string,
+                }
+            })
+            .collect();
+        let prepared_pages: Vec<Vec<OnceLock<PreparedPage>>> = sites
+            .iter()
+            .map(|s| s.pages.iter().map(|_| OnceLock::new()).collect())
+            .collect();
+        let prepared_seeders: Vec<Url> = seeders
+            .iter()
+            .map(|id| {
+                Url::from_host(
+                    Scheme::Https,
+                    prepared_sites[id.0 as usize].www_host.clone(),
+                    "/",
+                )
+            })
+            .collect();
         SimWeb {
+            prepared: Prepared {
+                sites: prepared_sites,
+                trackers: prepared_trackers,
+                campaigns: prepared_campaigns,
+                pages: prepared_pages,
+                seeders: prepared_seeders,
+            },
+            render_cache_enabled: AtomicBool::new(true),
             sites,
             trackers,
             orgs,
@@ -198,11 +382,22 @@ impl SimWeb {
     }
 
     /// Seeder URLs, most popular first — the walk starting points (§3.1).
-    pub fn seeder_urls(&self) -> Vec<Url> {
-        self.seeders
-            .iter()
-            .map(|id| Url::https(&self.site(*id).www_fqdn(), "/"))
-            .collect()
+    /// Built once at assembly; callers clone the entries they launch from.
+    pub fn seeder_urls(&self) -> &[Url] {
+        &self.prepared.seeders
+    }
+
+    /// Toggle the page-render skeleton cache (on by default).
+    ///
+    /// With the cache off, every `load_page` rebuilds the deterministic
+    /// skeleton from scratch, exactly like the pre-cache implementation.
+    /// The equivalence property — cached and uncached loads produce
+    /// byte-identical pages, beacons, and responses — is what
+    /// `tests/render_cache.rs` asserts; this switch exists so that test
+    /// (and any debugging session that distrusts the cache) can run the
+    /// uncached path.
+    pub fn set_render_cache(&self, enabled: bool) {
+        self.render_cache_enabled.store(enabled, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------------
@@ -212,24 +407,24 @@ impl SimWeb {
     /// Answer a request.
     pub fn serve(&self, req: &Request, ctx: &mut ServeCtx<'_>) -> Result<Response, ServeError> {
         cc_telemetry::counter("web.requests.served", 1);
-        let host = req.url.host.as_str().to_string();
+        let host = req.url.host.as_str();
         // Tracker endpoints are matched on (fqdn, tracker path); a tracker
         // may share its FQDN with a site (multi-purpose smugglers like
         // www.facebook.com), in which case non-tracker paths fall through
         // to the site.
-        if let Some(tid) = self.tracker_by_fqdn.get(&host) {
+        if let Some(tid) = self.tracker_by_fqdn.get(host) {
             if Self::is_tracker_path(&req.url.path) {
                 return Ok(self.serve_tracker(self.tracker(*tid), req, ctx));
             }
         }
-        if let Some(sid) = self.site_by_fqdn.get(&host) {
+        if let Some(sid) = self.site_by_fqdn.get(host) {
             return Ok(self.serve_site(self.site(*sid), req, ctx));
         }
-        if self.tracker_by_fqdn.contains_key(&host) {
+        if self.tracker_by_fqdn.contains_key(host) {
             // Tracker-only host hit on a non-tracker path.
             return Ok(Response::not_found());
         }
-        Err(ServeError::UnknownHost(host))
+        Err(ServeError::UnknownHost(host.to_string()))
     }
 
     fn is_tracker_path(path: &str) -> bool {
@@ -237,6 +432,7 @@ impl SimWeb {
     }
 
     fn serve_site(&self, site: &Site, req: &Request, ctx: &mut ServeCtx<'_>) -> Response {
+        let prep = &self.prepared.sites[site.id.0 as usize];
         let cookies = request_cookies(req);
         let mut resp = Response::page();
         if site.sets_session_cookie {
@@ -245,9 +441,9 @@ impl SimWeb {
             // Safari-1R) observe *different* values.
             let sid = ids::generate_session_id(ctx.rng);
             self.note_truth(&sid, TokenTruth::SessionId);
-            resp = resp.with_set_cookie(SetCookie::session(site.session_cookie_name(), sid));
+            resp = resp.with_set_cookie(SetCookie::session(prep.session_cookie.as_str(), sid));
         }
-        if site.sets_own_uid && !has_cookie(&cookies, &site.own_uid_cookie_name()) {
+        if site.sets_own_uid && !has_cookie(&cookies, &prep.own_uid_cookie) {
             let uid = ids::generate_uid(ctx.rng);
             self.note_truth(
                 &uid,
@@ -257,7 +453,7 @@ impl SimWeb {
                 },
             );
             resp = resp.with_set_cookie(SetCookie::persistent(
-                site.own_uid_cookie_name(),
+                prep.own_uid_cookie.as_str(),
                 uid,
                 cc_net::SimDuration::from_days(365),
             ));
@@ -429,18 +625,38 @@ impl SimWeb {
         let site = self
             .site_for_host(url.host.as_str())
             .ok_or_else(|| ServeError::UnknownHost(url.host.as_str().to_string()))?;
-        let page = site.page(&url.path).unwrap_or_else(|| site.landing());
+        // Same resolution as `Site::page` falling back to `Site::landing`,
+        // but by index so the render-skeleton cache can be addressed.
+        let page_idx = site
+            .pages
+            .iter()
+            .position(|p| p.path == url.path)
+            .unwrap_or(0);
+        let page = &site.pages[page_idx];
         cc_telemetry::counter("web.pages.loaded", 1);
 
         // 1. Embedded trackers run: identity get-or-mint, UID collection
         //    from the landing URL, and beacons.
         for tid in &site.embedded_trackers {
             cc_telemetry::event("web.script.executed", &[("kind", "tracker")]);
-            self.run_tracker_script(self.tracker(*tid), site, url, host);
+            self.run_tracker_script(self.tracker(*tid), url, host);
         }
 
-        // 2. Build this load's elements.
-        let elements = self.render_elements(site, page, url, host);
+        // 2. Build this load's elements from the page's cached (or, with
+        //    the cache disabled, freshly built) deterministic skeleton.
+        let elements = if page.volatile {
+            self.render_volatile(host)
+        } else {
+            let fresh;
+            let skeleton: &PreparedPage = if self.render_cache_enabled.load(Ordering::Relaxed) {
+                self.prepared.pages[site.id.0 as usize][page_idx]
+                    .get_or_init(|| self.build_page_skeleton(page))
+            } else {
+                fresh = self.build_page_skeleton(page);
+                &fresh
+            };
+            self.render_elements(site, page, skeleton, host)
+        };
 
         Ok(LoadedPage {
             url: url.clone(),
@@ -452,9 +668,10 @@ impl SimWeb {
     /// Get-or-mint a tracker's UID for the current partition, honoring the
     /// tracker's storage preference and fingerprinting behavior.
     fn tracker_partition_uid(&self, tracker: &Tracker, host: &mut dyn ScriptHost) -> String {
-        let key = tracker.uid_storage_key();
-        let owner = cc_url::registered_domain(&tracker.fqdn);
-        if let Some(v) = host.storage_get_owned(&owner, &key) {
+        let prep = &self.prepared.trackers[tracker.id.0 as usize];
+        let key = prep.uid_storage_key.as_str();
+        let owner = prep.owner_rd.as_str();
+        if let Some(v) = host.storage_get_owned(owner, key) {
             return v;
         }
         let uid = if tracker.fingerprints {
@@ -474,25 +691,20 @@ impl SimWeb {
         } else {
             StorageKind::Cookie(Some(tracker.uid_lifetime))
         };
-        host.storage_set_owned(&owner, &key, &uid, kind);
+        host.storage_set_owned(owner, key, &uid, kind);
         uid
     }
 
-    fn run_tracker_script(
-        &self,
-        tracker: &Tracker,
-        _site: &Site,
-        url: &Url,
-        host: &mut dyn ScriptHost,
-    ) {
+    fn run_tracker_script(&self, tracker: &Tracker, url: &Url, host: &mut dyn ScriptHost) {
         let uid = self.tracker_partition_uid(tracker, host);
+        let prep = &self.prepared.trackers[tracker.id.0 as usize];
 
         // Smugglers harvest their own UID parameter from the landing URL —
         // the collection end of link decoration (§2 step 3).
         if tracker.smuggles() {
             if let Some(v) = url.query_get(&tracker.uid_param) {
                 host.storage_set(
-                    &tracker.received_uid_key(),
+                    &prep.received_uid_key,
                     v,
                     StorageKind::Cookie(Some(tracker.uid_lifetime)),
                 );
@@ -504,7 +716,7 @@ impl SimWeb {
         // (Figure 6).
         let page_url_string = url.to_url_string();
         self.note_truth(&page_url_string, TokenTruth::UrlValue);
-        let mut beacon = Url::https(&tracker.fqdn, "/b");
+        let mut beacon = prep.beacon_base.clone();
         beacon.query_set(&tracker.uid_param, &uid);
         beacon.query_set(P_BEACON_URL, &page_url_string);
         host.send_beacon(beacon);
@@ -512,13 +724,10 @@ impl SimWeb {
         // Cookie syncing (§8.2): announce our UID for this user to each
         // partner. Because the UID came from partitioned storage, the
         // shared knowledge is scoped to this top-level site — the
-        // limitation that drove trackers to UID smuggling (§2).
-        for pid in &tracker.sync_partners {
-            let partner = self.tracker(*pid);
-            let mut sync = Url::https(&partner.fqdn, "/sync");
-            // Real sync endpoints identify the announcing network by a
-            // short numeric partner id.
-            sync.query_set("pid", &tracker.id.0.to_string());
+        // limitation that drove trackers to UID smuggling (§2). The base
+        // carries the announcing network's short numeric partner id.
+        for sync_base in &prep.sync_bases {
+            let mut sync = sync_base.clone();
             sync.query_set(&tracker.uid_param, &uid);
             host.send_beacon(sync);
         }
@@ -531,8 +740,12 @@ impl SimWeb {
         let n = host.rng().range(2, 5) as usize;
         let mut elements = Vec::new();
         for _ in 0..n {
-            let target_site = self.site(SiteId(host.rng().index(self.sites.len()) as u32));
-            let href = Url::https(&target_site.www_fqdn(), "/");
+            let target_idx = host.rng().index(self.sites.len());
+            let href = Url::from_host(
+                Scheme::Https,
+                self.prepared.sites[target_idx].www_host.clone(),
+                "/",
+            );
             let nonce = host.rng().next();
             elements.push(ElementModel {
                 kind: ElementKind::Anchor,
@@ -551,42 +764,99 @@ impl SimWeb {
         elements
     }
 
+    /// Build the deterministic render skeleton for a non-volatile page:
+    /// destination/shim URLs, x-paths, and geometry bases that the old
+    /// implementation recomputed on all 23k+ loads per crawl. Per-load
+    /// randomness (churn, decoration, rotation, jitter) is deliberately
+    /// absent — it runs in [`Self::render_elements`] on every visit, in the
+    /// exact draw order the uncached implementation used.
+    fn build_page_skeleton(&self, page: &Page) -> PreparedPage {
+        let links = page
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, link)| {
+                let dest_url = Url::from_host(
+                    Scheme::Https,
+                    self.prepared.sites[link.to.0 as usize].www_host.clone(),
+                    &link.to_path,
+                );
+                // The href as rendered in the DOM (shims carry the
+                // destination in a query parameter, like l.instagram.com/?u=…).
+                let href = match link.via_shim {
+                    Some(shim) => {
+                        let mut u = Url::from_host(
+                            Scheme::Https,
+                            self.prepared.trackers[shim.0 as usize].host.clone(),
+                            "/shim",
+                        );
+                        u.query_set(P_DEST, &dest_url.to_url_string());
+                        u
+                    }
+                    None => dest_url,
+                };
+                // Geometry is a deterministic function of the link's index,
+                // so the same link renders identically on every crawler
+                // while *different* links stay distinguishable to heuristic
+                // 2. Only the y-coordinate floats per load — which the
+                // heuristic deliberately ignores (§3.3).
+                let i32i = i as i32;
+                PreparedLink {
+                    href,
+                    xpath: format!("/html/body/div[1]/ul/li[{}]/a", i + 1),
+                    x: 16 + 250 * (i32i % 3),
+                    y_base: 120 + 60 * i32i,
+                    w: 160 + (37 * i32i) % 120,
+                    h: 24 + (i32i % 2) * 8,
+                }
+            })
+            .collect();
+        let slots = page
+            .ad_slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                // Standard IAB ad sizes, chosen per slot: the same slot is
+                // the same size on every crawler even when its *content*
+                // differs — which is exactly why matched iframes can still
+                // lead to different destinations (§3.3's divergence cases).
+                const AD_SIZES: [(i32, i32); 4] = [(300, 250), (728, 90), (160, 600), (320, 50)];
+                let (w, h) = AD_SIZES[slot.slot_id as usize % AD_SIZES.len()];
+                PreparedSlot {
+                    zipf: (!slot.campaigns.is_empty())
+                        .then(|| Zipf::new(slot.campaigns.len(), self.rotation_zipf)),
+                    xpath: format!("/html/body/div[2]/div[{}]/iframe", slot.slot_id),
+                    x: 300 + 10 * (slot.slot_id as i32 % 7),
+                    y_base: 90 + 280 * i as i32,
+                    w,
+                    h,
+                }
+            })
+            .collect();
+        PreparedPage { links, slots }
+    }
+
     fn render_elements(
         &self,
         site: &Site,
         page: &Page,
-        url: &Url,
+        skeleton: &PreparedPage,
         host: &mut dyn ScriptHost,
     ) -> Vec<ElementModel> {
-        if page.volatile {
-            return self.render_volatile(host);
-        }
-        let mut elements = Vec::new();
+        let mut elements = Vec::with_capacity(skeleton.links.len() + skeleton.slots.len());
+        let site_prep = &self.prepared.sites[site.id.0 as usize];
 
-        for (i, link) in page.links.iter().enumerate() {
+        for (link, prep) in page.links.iter().zip(&skeleton.links) {
             if host.rng().chance(page.element_churn) {
                 continue; // dynamic widget absent from this load
             }
-            let dest_site = self.site(link.to);
-            let dest_url = Url::https(&dest_site.www_fqdn(), &link.to_path);
-
-            // The href as rendered in the DOM (shims carry the destination
-            // in a query parameter, like l.instagram.com/?u=…).
-            let href = match link.via_shim {
-                Some(shim) => {
-                    let mut u = Url::https(&self.tracker(shim).fqdn, "/shim");
-                    u.query_set(P_DEST, &dest_url.to_url_string());
-                    u
-                }
-                None => dest_url.clone(),
-            };
 
             // Click-time decoration (§2 step 1).
-            let mut target = href.clone();
+            let mut target = prep.href.clone();
             match link.decoration {
                 LinkDecoration::None => {}
                 LinkDecoration::SiteOwnUid => {
-                    if let Some(uid) = host.storage_get(&site.own_uid_cookie_name()) {
+                    if let Some(uid) = host.storage_get(&site_prep.own_uid_cookie) {
                         target.query_set(P_SITE_REF_UID, &uid);
                     }
                 }
@@ -597,53 +867,42 @@ impl SimWeb {
                 }
             }
 
-            // Geometry is a deterministic function of the link's index, so
-            // the same link renders identically on every crawler while
-            // *different* links stay distinguishable to heuristic 2. Only
-            // the y-coordinate floats per load — which the heuristic
-            // deliberately ignores (§3.3).
             let y_jitter = host.rng().range(0, 30) as i32;
-            let i32i = i as i32;
             elements.push(ElementModel {
                 kind: ElementKind::Anchor,
                 attr_names: vec!["href".into(), "class".into()],
                 bbox: BBox {
-                    x: 16 + 250 * (i32i % 3),
-                    y: 120 + 60 * i32i + y_jitter,
-                    w: 160 + (37 * i32i) % 120,
-                    h: 24 + (i32i % 2) * 8,
+                    x: prep.x,
+                    y: prep.y_base + y_jitter,
+                    w: prep.w,
+                    h: prep.h,
                 },
-                xpath: format!("/html/body/div[1]/ul/li[{}]/a", i + 1),
-                href: Some(href),
+                xpath: prep.xpath.clone(),
+                href: Some(prep.href.clone()),
                 target: ClickTarget::Navigate(target),
             });
         }
 
-        for (i, slot) in page.ad_slots.iter().enumerate() {
+        for (slot, prep) in page.ad_slots.iter().zip(&skeleton.slots) {
             if host.rng().chance(page.element_churn) {
                 continue;
             }
-            let target = if slot.campaigns.is_empty() {
-                ClickTarget::Inert
-            } else {
-                // Dynamic ad rotation: every load samples independently —
-                // the root cause of single-crawler observations (§3.7.2).
-                // Rotation is Zipf-skewed toward the slot's primary
-                // campaign, so parallel crawlers usually (not always)
-                // agree — keeping divergence near the paper's 1.8%.
-                let zipf = cc_util::Zipf::new(slot.campaigns.len(), self.rotation_zipf);
-                let idx = zipf.sample(host.rng());
-                let campaign = self
-                    .campaign(slot.campaigns[idx])
-                    .expect("slot references a valid campaign");
-                ClickTarget::Navigate(self.campaign_click_url(campaign, url, host))
+            let target = match &prep.zipf {
+                None => ClickTarget::Inert,
+                Some(zipf) => {
+                    // Dynamic ad rotation: every load samples independently
+                    // — the root cause of single-crawler observations
+                    // (§3.7.2). Rotation is Zipf-skewed toward the slot's
+                    // primary campaign, so parallel crawlers usually (not
+                    // always) agree — keeping divergence near the paper's
+                    // 1.8%.
+                    let idx = zipf.sample(host.rng());
+                    let campaign = self
+                        .campaign(slot.campaigns[idx])
+                        .expect("slot references a valid campaign");
+                    ClickTarget::Navigate(self.campaign_click_url(campaign, host))
+                }
             };
-            // Standard IAB ad sizes, chosen per slot: the same slot is the
-            // same size on every crawler even when its *content* differs —
-            // which is exactly why matched iframes can still lead to
-            // different destinations (§3.3's divergence cases).
-            const AD_SIZES: [(i32, i32); 4] = [(300, 250), (728, 90), (160, 600), (320, 50)];
-            let (w, h) = AD_SIZES[slot.slot_id as usize % AD_SIZES.len()];
             let y_jitter = host.rng().range(0, 30) as i32;
             elements.push(ElementModel {
                 kind: ElementKind::Iframe,
@@ -654,12 +913,12 @@ impl SimWeb {
                     "data-slot".into(),
                 ],
                 bbox: BBox {
-                    x: 300 + 10 * (slot.slot_id as i32 % 7),
-                    y: 90 + 280 * i as i32 + y_jitter,
-                    w,
-                    h,
+                    x: prep.x,
+                    y: prep.y_base + y_jitter,
+                    w: prep.w,
+                    h: prep.h,
                 },
-                xpath: format!("/html/body/div[2]/div[{}]/iframe", slot.slot_id),
+                xpath: prep.xpath.clone(),
                 href: None,
                 target,
             });
@@ -668,36 +927,16 @@ impl SimWeb {
         elements
     }
 
-    /// Build the fully decorated click URL for a campaign ad as rendered on
-    /// the page at `page_url`.
-    fn campaign_click_url(
-        &self,
-        campaign: &Campaign,
-        _page_url: &Url,
-        host: &mut dyn ScriptHost,
-    ) -> Url {
-        let dest_site = self.site(campaign.destination);
-        let dest_url = Url::https(&dest_site.www_fqdn(), &campaign.landing_path);
-        let dest_string = dest_url.to_url_string();
-        self.note_truth(&dest_string, TokenTruth::UrlValue);
-
-        let hops = campaign.hops();
-        let mut click = if let Some(first) = hops.first() {
-            let mut u = Url::https(&self.tracker(*first).fqdn, "/click");
-            u.query_set(P_DEST, &dest_string);
-            u.query_set(
-                P_CHAIN,
-                &hops[1..]
-                    .iter()
-                    .map(|t| self.tracker(*t).fqdn.clone())
-                    .collect::<Vec<_>>()
-                    .join(","),
-            );
-            u.query_set(P_CID, &campaign.id.0.to_string());
-            u
-        } else {
-            dest_url
-        };
+    /// Build the fully decorated click URL for a campaign ad.
+    ///
+    /// The routing prefix (`cc_dest`/`cc_chain`/`cc_cid`) comes from the
+    /// campaign's cached base; the volatile suffix — owner UID, word
+    /// params, timestamp, session id — appends per render in the original
+    /// parameter order, and the truth-ledger mints still fire per render.
+    fn campaign_click_url(&self, campaign: &Campaign, host: &mut dyn ScriptHost) -> Url {
+        let prep = &self.prepared.campaigns[campaign.id.0 as usize];
+        self.note_truth(&prep.dest_string, TokenTruth::UrlValue);
+        let mut click = prep.click_base.clone();
 
         // The owner's UID enters at the originator when the span says so.
         if campaign.span.starts_at_originator() && campaign.span.smuggles() {
