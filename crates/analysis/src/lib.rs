@@ -35,7 +35,7 @@ pub mod summary;
 pub mod third_party;
 
 pub use redirectors::{classify_redirectors, RedirectorClass, RedirectorProfile};
-pub use report::AnalysisReport;
+pub use report::{section_by_slug, AnalysisReport, ReportSection};
 pub use summary::{summarize, Summary};
 
 /// Extract the FQDN from a `host/path` string (the `url_path` unit).

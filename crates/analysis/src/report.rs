@@ -5,7 +5,7 @@ use cc_core::pipeline::PipelineOutput;
 use cc_core::ComboClass;
 use cc_crawler::{CrawlDataset, FailureLedger, FailureStats};
 use cc_net::RecoveryStats;
-use cc_util::Counter;
+use cc_util::{CcError, Counter};
 use cc_web::SimWeb;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -85,6 +85,121 @@ pub struct AnalysisReport {
     pub step_failures: StepFailureReport,
 }
 
+/// The addressable sections of an [`AnalysisReport`].
+///
+/// Each section has a stable kebab-case [`slug`](ReportSection::slug)
+/// (the `cc-serve` `/report/{section}` address) and a
+/// [`heading`](ReportSection::heading) (the text renderer's `== … ==`
+/// banner). Both surfaces draw from this one enum, so the HTTP API and
+/// the rendered report can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReportSection {
+    /// Table 1: UID counts per crawler-profile combination.
+    Table1,
+    /// Table 2: the summary statistics block.
+    Summary,
+    /// Table 3: top redirectors.
+    Table3,
+    /// Figure 4: top organizations.
+    Orgs,
+    /// Figure 5: site categories.
+    Categories,
+    /// Figure 6: third parties receiving UIDs.
+    ThirdParties,
+    /// Figure 7: redirectors per smuggling URL path.
+    Fig7,
+    /// Figure 8: UIDs per path portion.
+    Fig8,
+    /// Bounce-tracking comparison (§8).
+    Bounce,
+    /// Fingerprinting experiment (§3.5).
+    Fingerprint,
+    /// Crawl failure accounting (§3.3).
+    Failures,
+    /// Retry/breaker activity plus the degraded-walk ledger.
+    FaultTolerance,
+    /// Manual filtering stage counts (§3.7.2).
+    Manual,
+    /// Cookie-sync analysis (§8.2).
+    CookieSync,
+    /// Failure independence across walk steps (§3.3).
+    StepFailures,
+    /// CNAME-cloaking findings (§8.3 extension).
+    Cloaking,
+}
+
+impl ReportSection {
+    /// Every section, in report order.
+    pub const ALL: [ReportSection; 16] = [
+        ReportSection::Table1,
+        ReportSection::Summary,
+        ReportSection::Table3,
+        ReportSection::Orgs,
+        ReportSection::Categories,
+        ReportSection::ThirdParties,
+        ReportSection::Fig7,
+        ReportSection::Fig8,
+        ReportSection::Bounce,
+        ReportSection::Fingerprint,
+        ReportSection::Failures,
+        ReportSection::FaultTolerance,
+        ReportSection::Manual,
+        ReportSection::CookieSync,
+        ReportSection::StepFailures,
+        ReportSection::Cloaking,
+    ];
+
+    /// The stable kebab-case slug this section is addressed by.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ReportSection::Table1 => "table-1",
+            ReportSection::Summary => "summary",
+            ReportSection::Table3 => "table-3",
+            ReportSection::Orgs => "orgs",
+            ReportSection::Categories => "categories",
+            ReportSection::ThirdParties => "third-parties",
+            ReportSection::Fig7 => "fig-7",
+            ReportSection::Fig8 => "fig-8",
+            ReportSection::Bounce => "bounce",
+            ReportSection::Fingerprint => "fingerprint",
+            ReportSection::Failures => "failures",
+            ReportSection::FaultTolerance => "fault-tolerance",
+            ReportSection::Manual => "manual",
+            ReportSection::CookieSync => "cookie-sync",
+            ReportSection::StepFailures => "step-failures",
+            ReportSection::Cloaking => "cloaking",
+        }
+    }
+
+    /// The text renderer's banner for this section (printed as
+    /// `== heading ==`).
+    pub fn heading(&self) -> &'static str {
+        match self {
+            ReportSection::Table1 => "Table 1: crawler combinations of identified UIDs",
+            ReportSection::Summary => "Table 2: summary",
+            ReportSection::Table3 => "Table 3: top redirectors (* = multi-purpose)",
+            ReportSection::Orgs => "Figure 4: top organizations",
+            ReportSection::Categories => "Figure 5: categories (originators / destinations)",
+            ReportSection::ThirdParties => "Figure 6: third parties receiving UIDs",
+            ReportSection::Fig7 => "Figure 7: redirectors per smuggling URL path",
+            ReportSection::Fig8 => "Figure 8: UIDs per path portion",
+            ReportSection::Bounce => "Bounce tracking (§8)",
+            ReportSection::Fingerprint => "Fingerprinting experiment (§3.5)",
+            ReportSection::Failures => "Crawl failures (§3.3)",
+            ReportSection::FaultTolerance => "Fault tolerance",
+            ReportSection::Manual => "Manual stage (§3.7.2)",
+            ReportSection::CookieSync => "Cookie syncing (§8.2)",
+            ReportSection::StepFailures => "Failure independence across steps (§3.3)",
+            ReportSection::Cloaking => "CNAME cloaking (§8.3 extension)",
+        }
+    }
+}
+
+/// Look up a section by its kebab-case slug.
+pub fn section_by_slug(slug: &str) -> Option<ReportSection> {
+    ReportSection::ALL.into_iter().find(|s| s.slug() == slug)
+}
+
 /// Build the complete report.
 pub fn full_report(
     web: &SimWeb,
@@ -131,16 +246,72 @@ pub fn full_report(
 }
 
 impl AnalysisReport {
+    /// The JSON value of one section — the same bytes `/report/{slug}`
+    /// serves.
+    pub fn section_value(&self, section: ReportSection) -> Result<serde_json::Value, CcError> {
+        let serde = |e: serde_json::Error| CcError::Serde(e.to_string());
+        Ok(match section {
+            ReportSection::Table1 => serde_json::to_value(&self.table1).map_err(serde)?,
+            ReportSection::Summary => serde_json::to_value(&self.summary).map_err(serde)?,
+            ReportSection::Table3 => serde_json::to_value(&self.table3).map_err(serde)?,
+            ReportSection::Orgs => serde_json::to_value(&self.orgs).map_err(serde)?,
+            ReportSection::Categories => serde_json::to_value(&self.categories).map_err(serde)?,
+            ReportSection::ThirdParties => {
+                serde_json::to_value(&self.third_parties).map_err(serde)?
+            }
+            ReportSection::Fig7 => serde_json::to_value(&self.fig7).map_err(serde)?,
+            ReportSection::Fig8 => serde_json::to_value(&self.fig8).map_err(serde)?,
+            ReportSection::Bounce => serde_json::to_value(&self.bounce).map_err(serde)?,
+            ReportSection::Fingerprint => serde_json::to_value(&self.fingerprint).map_err(serde)?,
+            ReportSection::Failures => serde_json::to_value(&self.failures).map_err(serde)?,
+            ReportSection::FaultTolerance => {
+                let mut m = serde_json::Map::new();
+                m.insert(
+                    "recovery".into(),
+                    serde_json::to_value(&self.recovery).map_err(serde)?,
+                );
+                m.insert(
+                    "ledger".into(),
+                    serde_json::to_value(&self.ledger).map_err(serde)?,
+                );
+                serde_json::Value::Object(m)
+            }
+            ReportSection::Manual => {
+                let mut m = serde_json::Map::new();
+                m.insert(
+                    "entered".into(),
+                    serde_json::to_value(&self.manual_entered).map_err(serde)?,
+                );
+                m.insert(
+                    "removed".into(),
+                    serde_json::to_value(&self.manual_removed).map_err(serde)?,
+                );
+                serde_json::Value::Object(m)
+            }
+            ReportSection::CookieSync => serde_json::to_value(&self.cookie_sync).map_err(serde)?,
+            ReportSection::StepFailures => {
+                serde_json::to_value(&self.step_failures).map_err(serde)?
+            }
+            ReportSection::Cloaking => serde_json::to_value(&self.cloaked).map_err(serde)?,
+        })
+    }
+
+    /// [`Self::section_value`] serialized to a JSON string.
+    pub fn section_json(&self, section: ReportSection) -> Result<String, CcError> {
+        serde_json::to_string(&self.section_value(section)?)
+            .map_err(|e| CcError::Serde(e.to_string()))
+    }
+
     /// Render the report as paper-style text tables.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "== Table 1: crawler combinations of identified UIDs ==");
+        let _ = writeln!(s, "== {} ==", ReportSection::Table1.heading());
         for (combo, count) in &self.table1.rows {
             let _ = writeln!(s, "  {:<48} {:>6}", combo.label(), count);
         }
 
         let sm = &self.summary;
-        let _ = writeln!(s, "\n== Table 2: summary ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::Summary.heading());
         let _ = writeln!(
             s,
             "  Unique URL Paths                    {:>8}",
@@ -187,7 +358,7 @@ impl AnalysisReport {
             sm.smuggling_rate()
         );
 
-        let _ = writeln!(s, "\n== Table 3: top redirectors (* = multi-purpose) ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::Table3.heading());
         for r in &self.table3 {
             let _ = writeln!(
                 s,
@@ -199,7 +370,7 @@ impl AnalysisReport {
             );
         }
 
-        let _ = writeln!(s, "\n== Figure 4: top organizations ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::Orgs.heading());
         let _ = writeln!(s, "  Originators:");
         for (org, n) in &self.orgs.originators {
             let _ = writeln!(s, "    {org:<40} {n:>5}");
@@ -209,10 +380,7 @@ impl AnalysisReport {
             let _ = writeln!(s, "    {org:<40} {n:>5}");
         }
 
-        let _ = writeln!(
-            s,
-            "\n== Figure 5: categories (originators / destinations) =="
-        );
+        let _ = writeln!(s, "\n== {} ==", ReportSection::Categories.heading());
         for (cat, n) in &self.categories.originators {
             let dest = self
                 .categories
@@ -224,7 +392,7 @@ impl AnalysisReport {
             let _ = writeln!(s, "  {:<32} {:>4} / {:>4}", cat.label(), n, dest);
         }
 
-        let _ = writeln!(s, "\n== Figure 6: third parties receiving UIDs ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::ThirdParties.heading());
         for r in &self.third_parties {
             let _ = writeln!(
                 s,
@@ -233,7 +401,7 @@ impl AnalysisReport {
             );
         }
 
-        let _ = writeln!(s, "\n== Figure 7: redirectors per smuggling URL path ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::Fig7.heading());
         for b in &self.fig7 {
             let _ = writeln!(
                 s,
@@ -246,7 +414,7 @@ impl AnalysisReport {
             );
         }
 
-        let _ = writeln!(s, "\n== Figure 8: UIDs per path portion ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::Fig8.heading());
         for b in &self.fig8 {
             let _ = writeln!(
                 s,
@@ -258,7 +426,7 @@ impl AnalysisReport {
             );
         }
 
-        let _ = writeln!(s, "\n== Bounce tracking (§8) ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::Bounce.heading());
         let _ = writeln!(s, "  Bounce-only paths: {}", self.bounce.bounce_rate());
         let _ = writeln!(
             s,
@@ -267,7 +435,7 @@ impl AnalysisReport {
         );
 
         let fp = &self.fingerprint;
-        let _ = writeln!(s, "\n== Fingerprinting experiment (§3.5) ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::Fingerprint.heading());
         let _ = writeln!(
             s,
             "  Smuggling from fingerprinting sites: {}",
@@ -285,7 +453,7 @@ impl AnalysisReport {
         let _ = writeln!(s, "  Estimated missed cases: {:.1}", fp.estimated_missed);
 
         let f = &self.failures;
-        let _ = writeln!(s, "\n== Crawl failures (§3.3) ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::Failures.heading());
         let _ = writeln!(
             s,
             "  Sync failures:    {:.1}%",
@@ -299,7 +467,7 @@ impl AnalysisReport {
         );
 
         let r = &self.recovery;
-        let _ = writeln!(s, "\n== Fault tolerance ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::FaultTolerance.heading());
         let _ = writeln!(
             s,
             "  Retries: {} ({} recovered, {} exhausted, {} ms backoff)",
@@ -322,14 +490,14 @@ impl AnalysisReport {
             let _ = writeln!(s, "    ... and {} more", self.ledger.len() - 10);
         }
 
-        let _ = writeln!(s, "\n== Manual stage (§3.7.2) ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::Manual.heading());
         let _ = writeln!(
             s,
             "  {} of {} candidate tokens removed by hand",
             self.manual_removed, self.manual_entered
         );
 
-        let _ = writeln!(s, "\n== Cookie syncing (§8.2) ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::CookieSync.heading());
         let _ = writeln!(
             s,
             "  {} synced values across {} tracker pairs ({} crossed top-level sites)",
@@ -338,7 +506,7 @@ impl AnalysisReport {
             self.cookie_sync.cross_site_values
         );
 
-        let _ = writeln!(s, "\n== Failure independence across steps (§3.3) ==");
+        let _ = writeln!(s, "\n== {} ==", ReportSection::StepFailures.heading());
         for row in &self.step_failures.rows {
             let _ = writeln!(
                 s,
@@ -352,7 +520,7 @@ impl AnalysisReport {
         let _ = writeln!(s, "  chi-square vs pooled rate: {:.1}", self.step_failures.chi_square);
 
         if !self.cloaked.is_empty() {
-            let _ = writeln!(s, "\n== CNAME cloaking (§8.3 extension) ==");
+            let _ = writeln!(s, "\n== {} ==", ReportSection::Cloaking.heading());
             for c in &self.cloaked {
                 let _ = writeln!(s, "  {} -> {}", c.host, c.canonical);
             }
@@ -422,6 +590,66 @@ mod tests {
             "Failure independence",
         ] {
             assert!(text.contains(section), "missing section {section}");
+        }
+    }
+
+    #[test]
+    fn slugs_are_unique_kebab_case_and_round_trip() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in ReportSection::ALL {
+            let slug = s.slug();
+            assert!(seen.insert(slug), "duplicate slug {slug}");
+            assert!(!slug.is_empty());
+            assert!(
+                slug.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "slug {slug:?} is not kebab-case"
+            );
+            assert!(!slug.starts_with('-') && !slug.ends_with('-'));
+            assert_eq!(section_by_slug(slug), Some(s));
+        }
+        assert_eq!(section_by_slug("no-such-section"), None);
+        assert_eq!(section_by_slug("Table-1"), None, "slugs are case-sensitive");
+    }
+
+    #[test]
+    fn renderer_banners_and_sections_are_exhaustive() {
+        let text = report().render();
+        let banners: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("== ").and_then(|l| l.strip_suffix(" ==")))
+            .collect();
+        // Every banner the renderer prints is an addressable section...
+        for b in &banners {
+            assert!(
+                ReportSection::ALL.iter().any(|s| s.heading() == *b),
+                "renderer banner {b:?} has no ReportSection"
+            );
+        }
+        // ...and every section appears in the render (cloaking only when
+        // there are findings to print).
+        for s in ReportSection::ALL {
+            if s == ReportSection::Cloaking {
+                continue;
+            }
+            assert!(
+                banners.contains(&s.heading()),
+                "section {s:?} missing from render"
+            );
+        }
+    }
+
+    #[test]
+    fn every_section_serves_valid_json() {
+        let r = report();
+        for s in ReportSection::ALL {
+            let json = r.section_json(s).unwrap();
+            let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+            assert_eq!(
+                serde_json::to_string(&value).unwrap(),
+                json,
+                "section {s:?} JSON is not canonical"
+            );
         }
     }
 

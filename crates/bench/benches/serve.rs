@@ -1,0 +1,139 @@
+//! Serving-layer benches: cc-serve request throughput under cc-loadgen.
+//!
+//! Criterion samples the single-request round-trip over a keep-alive
+//! loopback connection (parse + route + precomputed-body write), then a
+//! goose-style load run drives the full mixed task set with 4 concurrent
+//! users and writes the machine-readable `BENCH_serve.json` artifact.
+//! The artifact's floor is asserted here: at least 2,000 req/s aggregate
+//! and zero 5xx / transport errors, since the run stays below the
+//! server's shed threshold.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use cc_bench::fixture;
+use cc_http::{Request, Response};
+use cc_loadgen::{run_load, LoadConfig};
+use cc_serve::{ServeConfig, Server, ServerHandle, ServingIndex};
+use cc_url::Url;
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+/// The benchmark floor: a precomputed-body server on loopback has no
+/// business serving fewer requests per second than this.
+const MIN_RPS: f64 = 2_000.0;
+
+fn start_server() -> ServerHandle {
+    let f = fixture();
+    let index = ServingIndex::build(&f.web, &f.dataset, &f.output).expect("index builds");
+    Server::start(
+        index,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            max_inflight: 256,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+/// Single-request latency over one keep-alive connection, per endpoint
+/// family: the cached fast path (`/healthz`), the biggest precomputed
+/// body (`/report`), and the assembled-per-request path (`/smugglers`).
+fn bench_round_trip(c: &mut Criterion) {
+    let handle = start_server();
+    let addr = handle.addr();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    let mut group = c.benchmark_group("serve");
+    for path in ["/healthz", "/report", "/smugglers?role=dedicated&limit=10"] {
+        let req = Request::navigation(
+            Url::parse(&format!("http://{addr}{path}")).expect("request url"),
+        );
+        let label = path.split('?').next().unwrap_or(path).trim_start_matches('/');
+        group.bench_function(format!("round_trip/{label}"), |b| {
+            b.iter(|| {
+                req.write_to(&mut writer).expect("request writes");
+                let resp = Response::read_from(&mut reader).expect("response reads");
+                assert!(resp.status.is_success());
+                black_box(resp.body.wire_bytes().len())
+            })
+        });
+    }
+    group.finish();
+    drop(reader);
+    drop(writer);
+    handle.shutdown();
+}
+
+/// The load run: the `mixed` task set, 4 users on keep-alive
+/// connections, request-bounded for a deterministic task sequence.
+/// Writes `BENCH_serve.json` and asserts the floor.
+fn load_report() {
+    let handle = start_server();
+    let mut cfg = LoadConfig::new(handle.addr().to_string());
+    cfg.users = 4;
+    cfg.requests_per_user = 2_000;
+    cfg.seed = 0xBE7C4;
+    let report = run_load(&cfg).expect("load run completes");
+    let metrics = handle.shutdown();
+
+    let a = &report.aggregate;
+    println!("\nserve load (mixed task set, {} users x {} requests):", report.users, report.requests_per_user);
+    println!(
+        "  {:.0} req/s — ok {}  304 {}  4xx {}  5xx {}  transport {}",
+        report.throughput_rps, a.ok, a.not_modified, a.client_errors, a.server_errors,
+        a.transport_errors
+    );
+    println!(
+        "  latency p50 {:.3}ms  p90 {:.3}ms  p99 {:.3}ms",
+        a.latency.p50_ms, a.latency.p90_ms, a.latency.p99_ms
+    );
+
+    // Client-side and server-side accounting must agree before the
+    // artifact is worth anything.
+    let served = metrics
+        .deterministic
+        .counters
+        .get("serve.requests")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        served >= report.total_requests,
+        "server saw {served} requests, loadgen sent {}",
+        report.total_requests
+    );
+    assert!(
+        !metrics.deterministic.counters.contains_key("serve.5xx"),
+        "server recorded 5xx responses below the shed threshold"
+    );
+    report
+        .assert_floor(MIN_RPS)
+        .expect("throughput floor / zero-error gate");
+
+    let json = report.to_json().expect("artifact serializes");
+    // Anchor to the workspace root, not the bench CWD, so the artifact
+    // lands at a stable path (`cargo bench` runs from crates/bench).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("BENCH_serve.json writes");
+    println!("  wrote BENCH_serve.json (floor {MIN_RPS:.0} req/s: ok)");
+}
+
+criterion_group! {
+    name = serve;
+    config = Criterion::default().sample_size(30);
+    targets = bench_round_trip
+}
+
+fn main() {
+    serve();
+    load_report();
+}

@@ -41,6 +41,59 @@ pub struct CheckpointPolicy {
     pub every: usize,
 }
 
+/// How the `serve` subcommand exposes a finished study over HTTP.
+///
+/// Lowered into `cc-serve`'s server configuration by the CLI; kept here
+/// so one serde-able [`StudyConfig`] describes the whole deployment,
+/// crawl and serving alike.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServePolicy {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Server worker threads (each owns one connection session).
+    pub workers: usize,
+    /// Admission bound: connections beyond `inflight + queued` are shed
+    /// with `503`.
+    pub max_inflight: usize,
+    /// Keep-alive idle timeout per connection, in milliseconds.
+    pub keep_alive_ms: u64,
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        ServePolicy {
+            addr: "127.0.0.1:8040".into(),
+            workers: 8,
+            max_inflight: 64,
+            keep_alive_ms: 5_000,
+        }
+    }
+}
+
+impl ServePolicy {
+    /// Check the policy for nonsense (mirrors `cc-serve`'s own
+    /// validation, which cannot be referenced from here without a
+    /// dependency cycle).
+    pub fn validate(&self) -> Result<(), CcError> {
+        if self.addr.is_empty() {
+            return Err(CcError::Config("serve.addr must not be empty".into()));
+        }
+        if self.workers == 0 {
+            return Err(CcError::Config("serve.workers must be at least 1".into()));
+        }
+        if self.max_inflight < self.workers {
+            return Err(CcError::Config(format!(
+                "serve.max_inflight ({}) must be at least serve.workers ({})",
+                self.max_inflight, self.workers
+            )));
+        }
+        if self.keep_alive_ms == 0 {
+            return Err(CcError::Config("serve.keep_alive_ms must be nonzero".into()));
+        }
+        Ok(())
+    }
+}
+
 /// Everything a study needs, in one serde-able value.
 ///
 /// Construct through [`StudyConfig::builder`]; `build()` validates the
@@ -71,6 +124,8 @@ pub struct StudyConfig {
     pub workers: usize,
     /// Checkpoint schedule (`None` = no checkpointing).
     pub checkpoint: Option<CheckpointPolicy>,
+    /// How the `serve` subcommand exposes the finished study.
+    pub serve: ServePolicy,
 }
 
 impl StudyConfig {
@@ -152,6 +207,7 @@ impl StudyConfig {
                 return bad("checkpoint interval must be >= 1 walk".into());
             }
         }
+        self.serve.validate()?;
         Ok(())
     }
 }
@@ -171,6 +227,7 @@ impl Default for StudyConfig {
             breaker: BreakerPolicy::disabled(),
             workers: 1,
             checkpoint: None,
+            serve: ServePolicy::default(),
         }
     }
 }
@@ -267,6 +324,12 @@ impl StudyConfigBuilder {
         self
     }
 
+    /// How the `serve` subcommand exposes the finished study.
+    pub fn serve(mut self, serve: ServePolicy) -> Self {
+        self.cfg.serve = serve;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<StudyConfig, CcError> {
         self.cfg.validate()?;
@@ -318,6 +381,17 @@ mod tests {
         let mut bad_retry = RetryPolicy::standard();
         bad_retry.jitter = 7.0;
         assert!(StudyConfig::builder().retry(bad_retry).build().is_err());
+        let zero_workers = ServePolicy {
+            workers: 0,
+            ..ServePolicy::default()
+        };
+        assert!(StudyConfig::builder().serve(zero_workers).build().is_err());
+        let starved = ServePolicy {
+            workers: 8,
+            max_inflight: 2,
+            ..ServePolicy::default()
+        };
+        assert!(StudyConfig::builder().serve(starved).build().is_err());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod shard;
 pub mod walker;
 
 pub use checkpoint::{CrawlCheckpoint, CHECKPOINT_SCHEMA};
-pub use config::{CheckpointPolicy, StudyConfig, StudyConfigBuilder};
+pub use config::{CheckpointPolicy, ServePolicy, StudyConfig, StudyConfigBuilder};
 pub use executor::{
     crawl_parallel, crawl_parallel_instrumented, crawl_parallel_with_progress, crawl_study,
     crawl_study_with_options, crawl_study_with_progress, ParallelCrawlConfig, StudyRunOptions,

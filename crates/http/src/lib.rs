@@ -13,7 +13,10 @@
 //!   SameSite);
 //! * [`message`] — [`Request`] and [`Response`] plus redirect constructors;
 //! * [`date`] — RFC 1123 HTTP dates, so real-world `Expires` headers can
-//!   be replayed through the pipeline.
+//!   be replayed through the pipeline;
+//! * [`wire`] — HTTP/1.1 byte codecs (`Request::read_from`,
+//!   `Response::write_to`, …) so the same message model can travel over
+//!   real sockets between `cc-serve` and `cc-loadgen`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,8 +26,10 @@ pub mod date;
 pub mod header;
 pub mod message;
 pub mod status;
+pub mod wire;
 
 pub use cookie::{format_cookie_header, parse_cookie_header, Cookie, SameSite, SetCookie};
 pub use header::HeaderMap;
 pub use message::{Method, PageBody, Request, RequestKind, Response};
 pub use status::StatusCode;
+pub use wire::WireError;

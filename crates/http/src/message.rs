@@ -106,6 +106,22 @@ pub enum PageBody {
     ScriptRedirect(Url),
     /// No meaningful body (beacon endpoints, errors).
     Empty,
+    /// Literal payload bytes (UTF-8). The serving layer (`cc-serve`) uses
+    /// this for JSON responses; the crawl simulator never produces it, so
+    /// released datasets are unchanged.
+    Raw(String),
+}
+
+impl PageBody {
+    /// The literal bytes this body puts on the wire. Simulator bodies
+    /// ([`PageBody::Page`], [`PageBody::ScriptRedirect`]) have no byte
+    /// representation and frame as empty.
+    pub fn wire_bytes(&self) -> &[u8] {
+        match self {
+            PageBody::Raw(s) => s.as_bytes(),
+            _ => &[],
+        }
+    }
 }
 
 /// An HTTP response.
@@ -161,6 +177,27 @@ impl Response {
             headers: HeaderMap::new(),
             set_cookies: Vec::new(),
             body: PageBody::ScriptRedirect(target),
+        }
+    }
+
+    /// A response carrying literal payload bytes (the serving layer's
+    /// constructor; `Content-Type` is the caller's business).
+    pub fn raw(status: StatusCode, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: HeaderMap::new(),
+            set_cookies: Vec::new(),
+            body: PageBody::Raw(body.into()),
+        }
+    }
+
+    /// An empty-bodied response with the given status.
+    pub fn status_only(status: StatusCode) -> Self {
+        Response {
+            status,
+            headers: HeaderMap::new(),
+            set_cookies: Vec::new(),
+            body: PageBody::Empty,
         }
     }
 

@@ -11,6 +11,8 @@ pub struct StatusCode(pub u16);
 impl StatusCode {
     /// 200 OK.
     pub const OK: StatusCode = StatusCode(200);
+    /// 204 No Content.
+    pub const NO_CONTENT: StatusCode = StatusCode(204);
     /// 301 Moved Permanently.
     pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
     /// 302 Found.
@@ -21,14 +23,31 @@ impl StatusCode {
     pub const TEMPORARY_REDIRECT: StatusCode = StatusCode(307);
     /// 308 Permanent Redirect.
     pub const PERMANENT_REDIRECT: StatusCode = StatusCode(308);
+    /// 304 Not Modified (conditional revalidation hit).
+    pub const NOT_MODIFIED: StatusCode = StatusCode(304);
+    /// 400 Bad Request.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
     /// 404 Not Found.
     pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 405 Method Not Allowed.
+    pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
+    /// 411 Length Required (a framed body without `Content-Length`).
+    pub const LENGTH_REQUIRED: StatusCode = StatusCode(411);
+    /// 413 Content Too Large.
+    pub const CONTENT_TOO_LARGE: StatusCode = StatusCode(413);
+    /// 431 Request Header Fields Too Large.
+    pub const HEADER_FIELDS_TOO_LARGE: StatusCode = StatusCode(431);
     /// 500 Internal Server Error.
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable (load shedding).
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
 
     /// Whether this is a 3xx redirect code.
+    ///
+    /// 304 is excluded: it is a conditional-revalidation response, not a
+    /// navigation, and never carries a `Location`.
     pub fn is_redirect(&self) -> bool {
-        (300..400).contains(&self.0)
+        (300..400).contains(&self.0) && self.0 != 304
     }
 
     /// Whether this is a 2xx success code.
@@ -36,17 +55,35 @@ impl StatusCode {
         (200..300).contains(&self.0)
     }
 
+    /// Whether this is a 4xx client error.
+    pub fn is_client_error(&self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// Whether this is a 5xx server error.
+    pub fn is_server_error(&self) -> bool {
+        (500..600).contains(&self.0)
+    }
+
     /// Canonical reason phrase for the codes the simulator uses.
     pub fn reason(&self) -> &'static str {
         match self.0 {
             200 => "OK",
+            204 => "No Content",
             301 => "Moved Permanently",
             302 => "Found",
             303 => "See Other",
+            304 => "Not Modified",
             307 => "Temporary Redirect",
             308 => "Permanent Redirect",
+            400 => "Bad Request",
             404 => "Not Found",
+            405 => "Method Not Allowed",
+            411 => "Length Required",
+            413 => "Content Too Large",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -69,6 +106,32 @@ mod tests {
         assert!(StatusCode(399).is_redirect());
         assert!(!StatusCode::OK.is_redirect());
         assert!(!StatusCode::NOT_FOUND.is_redirect());
+        assert!(
+            !StatusCode::NOT_MODIFIED.is_redirect(),
+            "304 is a revalidation hit, not a navigation"
+        );
+    }
+
+    #[test]
+    fn error_classification() {
+        assert!(StatusCode::BAD_REQUEST.is_client_error());
+        assert!(StatusCode::LENGTH_REQUIRED.is_client_error());
+        assert!(StatusCode::HEADER_FIELDS_TOO_LARGE.is_client_error());
+        assert!(!StatusCode::OK.is_client_error());
+        assert!(StatusCode::SERVICE_UNAVAILABLE.is_server_error());
+        assert!(StatusCode::INTERNAL_SERVER_ERROR.is_server_error());
+        assert!(!StatusCode::NOT_FOUND.is_server_error());
+    }
+
+    #[test]
+    fn serving_reason_phrases() {
+        assert_eq!(StatusCode::NOT_MODIFIED.to_string(), "304 Not Modified");
+        assert_eq!(StatusCode::SERVICE_UNAVAILABLE.to_string(), "503 Service Unavailable");
+        assert_eq!(StatusCode::LENGTH_REQUIRED.to_string(), "411 Length Required");
+        assert_eq!(
+            StatusCode::HEADER_FIELDS_TOO_LARGE.to_string(),
+            "431 Request Header Fields Too Large"
+        );
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! HTTP/1.1 wire codecs for [`Request`] and [`Response`].
+//!
+//! Until the serving layer existed, cc-http messages only ever traveled
+//! in-process between the simulated browser and the synthetic web. This
+//! module gives the same message model a real byte representation so
+//! `cc-serve` can speak HTTP/1.1 over `TcpListener` sockets and
+//! `cc-loadgen` can drive it: request/status line, CRLF-terminated
+//! headers, and `Content-Length`-framed bodies.
+//!
+//! ## Framing contract
+//!
+//! * Bodies are framed exclusively by `Content-Length` (no chunked
+//!   encoding): responses must carry the header (missing → 411-class
+//!   [`WireError::LengthRequired`]); requests without it have a
+//!   zero-length body, per RFC 7230 §3.3.3.
+//! * A zero-length body decodes to [`PageBody::Empty`]; a non-empty body
+//!   decodes to [`PageBody::Raw`]. The simulator-only bodies
+//!   ([`PageBody::Page`], [`PageBody::ScriptRedirect`]) have no byte form
+//!   and frame as empty — the serving layer never produces them.
+//! * The `host` header and `content-length` are *framing* metadata: the
+//!   codec reconstructs the request [`Url`] from `host` + origin-form
+//!   target and computes `content-length` from the body, so neither
+//!   appears in the decoded [`HeaderMap`]. Everything else round-trips
+//!   byte-for-byte in order.
+//! * Header names are lowercased on decode (the [`HeaderMap`] invariant),
+//!   so `parse(serialize(m))` is the identity and `serialize(parse(b))`
+//!   is the canonical (lowercased) form of `b`.
+//!
+//! ## Limits
+//!
+//! Reads are bounded — [`MAX_LINE_BYTES`] per line (overflow →
+//! [`WireError::HeaderTooLarge`], the 431 class), [`MAX_HEADERS`] header
+//! entries, [`MAX_BODY_BYTES`] body bytes — so a malformed or malicious
+//! peer cannot make the server allocate unboundedly. Every decode error
+//! maps to the response status the server should shed it with via
+//! [`WireError::status`].
+
+use std::io::{BufRead, ErrorKind, Read, Write};
+
+use cc_url::percent::encode_component;
+use cc_url::Url;
+
+use crate::cookie::SetCookie;
+use crate::header::{names, HeaderMap};
+use crate::message::{Method, PageBody, Request, RequestKind, Response};
+use crate::status::StatusCode;
+
+/// Longest accepted request/status/header line, in bytes (RFC 9110
+/// recommends at least 8000).
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Most header entries accepted per message.
+pub const MAX_HEADERS: usize = 128;
+
+/// Largest accepted `Content-Length`.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Everything that can go wrong reading or writing a wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection cleanly before sending any byte of
+    /// a message (normal keep-alive termination, not an error to report).
+    Closed,
+    /// The read timed out (idle keep-alive connection).
+    TimedOut,
+    /// The connection died mid-message.
+    Truncated,
+    /// Underlying I/O failure.
+    Io(String),
+    /// Unparsable request line.
+    BadRequestLine(String),
+    /// Unparsable status line.
+    BadStatusLine(String),
+    /// A method outside the model (only GET/POST exist).
+    UnsupportedMethod(String),
+    /// An HTTP version other than 1.0/1.1.
+    UnsupportedVersion(String),
+    /// A header line without a `name: value` shape.
+    BadHeader(String),
+    /// A line exceeded [`MAX_LINE_BYTES`].
+    HeaderTooLarge,
+    /// More than [`MAX_HEADERS`] header entries.
+    TooManyHeaders,
+    /// A framed body without a `Content-Length` header.
+    LengthRequired,
+    /// `Content-Length` was not a decimal length.
+    BadLength(String),
+    /// `Content-Length` exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+    /// The body was not valid UTF-8 (the model carries text payloads).
+    BodyNotUtf8,
+    /// The request target / host did not assemble into a valid URL.
+    BadTarget(String),
+}
+
+impl WireError {
+    /// The response status a server should answer this decode error with.
+    pub fn status(&self) -> StatusCode {
+        match self {
+            WireError::HeaderTooLarge | WireError::TooManyHeaders => {
+                StatusCode::HEADER_FIELDS_TOO_LARGE
+            }
+            WireError::LengthRequired => StatusCode::LENGTH_REQUIRED,
+            WireError::BodyTooLarge(_) => StatusCode::CONTENT_TOO_LARGE,
+            WireError::UnsupportedMethod(_) => StatusCode::METHOD_NOT_ALLOWED,
+            WireError::Io(_) | WireError::Closed | WireError::TimedOut | WireError::Truncated => {
+                StatusCode::INTERNAL_SERVER_ERROR
+            }
+            _ => StatusCode::BAD_REQUEST,
+        }
+    }
+
+    /// Whether this is a peer-behavior error worth answering at all (a
+    /// closed/timed-out/truncated connection has no one left to answer).
+    pub fn is_answerable(&self) -> bool {
+        !matches!(
+            self,
+            WireError::Closed | WireError::TimedOut | WireError::Truncated | WireError::Io(_)
+        )
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::TimedOut => write!(f, "read timed out"),
+            WireError::Truncated => write!(f, "connection died mid-message"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::BadRequestLine(l) => write!(f, "bad request line {l:?}"),
+            WireError::BadStatusLine(l) => write!(f, "bad status line {l:?}"),
+            WireError::UnsupportedMethod(m) => write!(f, "unsupported method {m:?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            WireError::BadHeader(l) => write!(f, "bad header line {l:?}"),
+            WireError::HeaderTooLarge => write!(f, "header line over {MAX_LINE_BYTES} bytes"),
+            WireError::TooManyHeaders => write!(f, "more than {MAX_HEADERS} headers"),
+            WireError::LengthRequired => write!(f, "missing content-length"),
+            WireError::BadLength(v) => write!(f, "bad content-length {v:?}"),
+            WireError::BodyTooLarge(n) => write!(f, "body of {n} bytes over {MAX_BODY_BYTES}"),
+            WireError::BodyNotUtf8 => write!(f, "body is not valid UTF-8"),
+            WireError::BadTarget(t) => write!(f, "bad request target {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn io_error(e: std::io::Error) -> WireError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => WireError::TimedOut,
+        ErrorKind::UnexpectedEof => WireError::Truncated,
+        _ => WireError::Io(e.to_string()),
+    }
+}
+
+/// Read one CRLF-terminated line, bounded by [`MAX_LINE_BYTES`].
+/// `Ok(None)` means clean EOF before the first byte.
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, WireError> {
+    let mut buf = Vec::with_capacity(128);
+    let mut bounded = r.take(MAX_LINE_BYTES as u64 + 1);
+    let n = bounded.read_until(b'\n', &mut buf).map_err(io_error)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        // Either the line overflowed the cap or the peer died mid-line.
+        return if n > MAX_LINE_BYTES {
+            Err(WireError::HeaderTooLarge)
+        } else {
+            Err(WireError::Truncated)
+        };
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map(Some).map_err(|e| {
+        WireError::BadHeader(String::from_utf8_lossy(e.as_bytes()).into_owned())
+    })
+}
+
+/// Read header lines up to the blank separator into a [`HeaderMap`].
+fn read_headers(r: &mut impl BufRead) -> Result<HeaderMap, WireError> {
+    let mut headers = HeaderMap::new();
+    loop {
+        let line = read_line(r)?.ok_or(WireError::Truncated)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(WireError::TooManyHeaders);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| WireError::BadHeader(line.clone()))?;
+        let name = name.trim();
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err(WireError::BadHeader(line.clone()));
+        }
+        headers.append(name, value.trim());
+    }
+}
+
+/// Pull the body length out of the header map, removing the framing
+/// header. `required` enforces the 411 rule.
+fn take_content_length(headers: &mut HeaderMap, required: bool) -> Result<usize, WireError> {
+    let Some(raw) = headers.get("content-length").map(str::to_string) else {
+        return if required {
+            Err(WireError::LengthRequired)
+        } else {
+            Ok(0)
+        };
+    };
+    headers.remove("content-length");
+    let len: usize = raw
+        .trim()
+        .parse()
+        .map_err(|_| WireError::BadLength(raw.clone()))?;
+    if len > MAX_BODY_BYTES {
+        return Err(WireError::BodyTooLarge(len));
+    }
+    Ok(len)
+}
+
+fn read_body(r: &mut impl BufRead, len: usize) -> Result<PageBody, WireError> {
+    if len == 0 {
+        return Ok(PageBody::Empty);
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).map_err(io_error)?;
+    String::from_utf8(buf)
+        .map(PageBody::Raw)
+        .map_err(|_| WireError::BodyNotUtf8)
+}
+
+/// The origin-form request target (`/path?query`) of a URL, encoded the
+/// same way [`Url::to_url_string`] encodes its query.
+fn origin_form(url: &Url) -> String {
+    let mut out = url.path.clone();
+    let query = url.query();
+    if !query.is_empty() {
+        out.push('?');
+        let encoded: Vec<String> = query
+            .iter()
+            .map(|(k, v)| {
+                if v.is_empty() {
+                    encode_component(k)
+                } else {
+                    format!("{}={}", encode_component(k), encode_component(v))
+                }
+            })
+            .collect();
+        out.push_str(&encoded.join("&"));
+    }
+    out
+}
+
+/// The `host` header value of a URL (`host[:port]`).
+fn host_header(url: &Url) -> String {
+    match url.port {
+        Some(p) => format!("{}:{p}", url.host),
+        None => url.host.to_string(),
+    }
+}
+
+impl Request {
+    /// Decode one request from the reader.
+    ///
+    /// [`WireError::Closed`] means the peer ended the connection cleanly
+    /// between messages (the keep-alive exit path).
+    pub fn read_from(r: &mut impl BufRead) -> Result<Request, WireError> {
+        let line = read_line(r)?.ok_or(WireError::Closed)?;
+        let mut parts = line.split(' ');
+        let (method_str, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+            _ => return Err(WireError::BadRequestLine(line.clone())),
+        };
+        if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+            return Err(WireError::UnsupportedVersion(version.to_string()));
+        }
+        let method = match method_str {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            other => return Err(WireError::UnsupportedMethod(other.to_string())),
+        };
+        let mut headers = read_headers(r)?;
+        let host = headers
+            .get("host")
+            .map(str::to_string)
+            .ok_or_else(|| WireError::BadTarget("missing host header".into()))?;
+        headers.remove("host");
+        // Requests carry no body in the model; per RFC 7230 §3.3.3 a
+        // request without `content-length` has a zero-length body (so a
+        // bare `curl -X POST` works), and any declared bytes are drained
+        // so the next keep-alive request starts on a message boundary.
+        let body_len = take_content_length(&mut headers, false)?;
+        read_body(r, body_len)?;
+        if !target.starts_with('/') {
+            return Err(WireError::BadTarget(target.to_string()));
+        }
+        let url = Url::parse(&format!("http://{host}{target}"))
+            .map_err(|e| WireError::BadTarget(format!("{host}{target}: {e}")))?;
+        Ok(Request {
+            method,
+            url,
+            headers,
+            kind: RequestKind::Navigation,
+        })
+    }
+
+    /// Encode this request onto the writer (HTTP/1.1, origin-form target,
+    /// `host` derived from the URL, zero-length body).
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), WireError> {
+        let mut out = String::with_capacity(256);
+        out.push_str(self.method.as_str());
+        out.push(' ');
+        out.push_str(&origin_form(&self.url));
+        out.push_str(" HTTP/1.1\r\nhost: ");
+        out.push_str(&host_header(&self.url));
+        out.push_str("\r\n");
+        for (name, value) in self.headers.iter() {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        if self.method == Method::Post {
+            out.push_str("content-length: 0\r\n");
+        }
+        out.push_str("\r\n");
+        w.write_all(out.as_bytes()).map_err(io_error)?;
+        w.flush().map_err(io_error)
+    }
+}
+
+impl Response {
+    /// Decode one response from the reader. Responses must be
+    /// `Content-Length`-framed; `Set-Cookie` headers that parse are
+    /// mirrored into [`Response::set_cookies`].
+    pub fn read_from(r: &mut impl BufRead) -> Result<Response, WireError> {
+        let line = read_line(r)?.ok_or(WireError::Closed)?;
+        let mut parts = line.splitn(3, ' ');
+        let (version, code) = match (parts.next(), parts.next()) {
+            (Some(v), Some(c)) => (v, c),
+            _ => return Err(WireError::BadStatusLine(line.clone())),
+        };
+        if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+            return Err(WireError::UnsupportedVersion(version.to_string()));
+        }
+        let status = code
+            .parse::<u16>()
+            .map(StatusCode)
+            .map_err(|_| WireError::BadStatusLine(line.clone()))?;
+        let mut headers = read_headers(r)?;
+        let body_len = take_content_length(&mut headers, true)?;
+        let body = read_body(r, body_len)?;
+        let set_cookies: Vec<SetCookie> = headers
+            .get_all(names::SET_COOKIE)
+            .into_iter()
+            .filter_map(SetCookie::parse)
+            .collect();
+        Ok(Response {
+            status,
+            headers,
+            set_cookies,
+            body,
+        })
+    }
+
+    /// Encode this response onto the writer with `Content-Length`
+    /// framing. Any `content-length` already in the header map is
+    /// ignored — the length always comes from the body.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), WireError> {
+        let body = self.body.wire_bytes();
+        let mut out = String::with_capacity(128 + body.len());
+        out.push_str("HTTP/1.1 ");
+        out.push_str(&self.status.0.to_string());
+        out.push(' ');
+        out.push_str(self.status.reason());
+        out.push_str("\r\n");
+        for (name, value) in self.headers.iter() {
+            if name == "content-length" {
+                continue;
+            }
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("content-length: ");
+        out.push_str(&body.len().to_string());
+        out.push_str("\r\n\r\n");
+        w.write_all(out.as_bytes()).map_err(io_error)?;
+        w.write_all(body).map_err(io_error)?;
+        w.flush().map_err(io_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
+        Request::read_from(&mut BufReader::new(bytes))
+    }
+
+    fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
+        Response::read_from(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request::navigation(
+            Url::parse("http://127.0.0.1:8080/report/summary?limit=5").unwrap(),
+        )
+        .with_user_agent("cc-loadgen/1");
+        let mut bytes = Vec::new();
+        req.write_to(&mut bytes).unwrap();
+        let back = decode_request(&bytes).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut resp = Response::raw(StatusCode::OK, "{\"ok\":true}");
+        resp.headers.set(names::CONTENT_TYPE, "application/json");
+        resp.headers.set("etag", "\"abc123\"");
+        let mut bytes = Vec::new();
+        resp.write_to(&mut bytes).unwrap();
+        let back = decode_response(&bytes).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn missing_length_is_411_class() {
+        let err =
+            decode_response(b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\n\r\n").unwrap_err();
+        assert_eq!(err, WireError::LengthRequired);
+        assert_eq!(err.status(), StatusCode::LENGTH_REQUIRED);
+    }
+
+    #[test]
+    fn oversized_header_line_is_431_class() {
+        let mut raw = b"GET / HTTP/1.1\r\nhost: a.com\r\nx-big: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_LINE_BYTES + 1));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let err = decode_request(&raw).unwrap_err();
+        assert_eq!(err, WireError::HeaderTooLarge);
+        assert_eq!(err.status(), StatusCode::HEADER_FIELDS_TOO_LARGE);
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert_eq!(decode_request(b"").unwrap_err(), WireError::Closed);
+        assert!(!WireError::Closed.is_answerable());
+    }
+
+    #[test]
+    fn bodyless_post_decodes_with_or_without_length() {
+        // RFC 7230 §3.3.3: a request without content-length has a
+        // zero-length body — a bare `curl -X POST` sends exactly this.
+        let bare = decode_request(b"POST /shutdown HTTP/1.1\r\nhost: a.com\r\n\r\n").unwrap();
+        assert_eq!(bare.method, Method::Post);
+        assert_eq!(bare.url.path, "/shutdown");
+        let explicit =
+            decode_request(b"POST /shutdown HTTP/1.1\r\nhost: a.com\r\ncontent-length: 0\r\n\r\n")
+                .unwrap();
+        assert_eq!(explicit, bare);
+    }
+}

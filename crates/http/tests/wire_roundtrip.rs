@@ -1,0 +1,217 @@
+//! Wire-codec round-trip and robustness tests (satellite 1 of the serving
+//! subsystem): parse↔serialize identity over header order and case,
+//! `Content-Length` edge cases, and fuzz-style decoding that must never
+//! panic on malformed input.
+
+use std::io::BufReader;
+
+use cc_http::wire::{WireError, MAX_LINE_BYTES};
+use cc_http::{HeaderMap, Method, PageBody, Request, Response, SetCookie, StatusCode};
+use cc_url::Url;
+use proptest::prelude::*;
+
+fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
+    Request::read_from(&mut BufReader::new(bytes))
+}
+
+fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
+    Response::read_from(&mut BufReader::new(bytes))
+}
+
+fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    req.write_to(&mut out).unwrap();
+    out
+}
+
+fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    resp.write_to(&mut out).unwrap();
+    out
+}
+
+#[test]
+fn request_identity_preserves_header_order() {
+    let url = Url::parse("http://127.0.0.1:9000/smugglers?role=dedicated&limit=3").unwrap();
+    let mut forward = Request::navigation(url.clone());
+    forward.headers.append("x-first", "1");
+    forward.headers.append("x-second", "2");
+    forward.headers.append("accept", "application/json");
+
+    let mut reversed = Request::navigation(url);
+    reversed.headers.append("accept", "application/json");
+    reversed.headers.append("x-second", "2");
+    reversed.headers.append("x-first", "1");
+
+    let forward_back = decode_request(&encode_request(&forward)).unwrap();
+    let reversed_back = decode_request(&encode_request(&reversed)).unwrap();
+    assert_eq!(forward_back, forward);
+    assert_eq!(reversed_back, reversed);
+    // Order is data, not noise: the two encodings differ.
+    assert_ne!(encode_request(&forward), encode_request(&reversed));
+}
+
+#[test]
+fn decode_is_case_insensitive_and_canonicalizing() {
+    let raw = b"GET /report HTTP/1.1\r\n\
+                HOST: Example.com:8080\r\n\
+                Accept: application/json\r\n\
+                X-MiXeD-CaSe: kept\r\n\r\n";
+    let req = decode_request(raw).unwrap();
+    assert_eq!(req.url.host.as_str(), "example.com");
+    assert_eq!(req.url.port, Some(8080));
+    assert_eq!(req.headers.get("accept"), Some("application/json"));
+    assert_eq!(req.headers.get("x-mixed-case"), Some("kept"));
+    // Names are canonicalized to lowercase, so serialize∘parse is a
+    // fixed point even though the input was mixed-case.
+    let once = encode_request(&req);
+    let twice = encode_request(&decode_request(&once).unwrap());
+    assert_eq!(once, twice);
+    assert!(std::str::from_utf8(&once).unwrap().contains("x-mixed-case: kept\r\n"));
+}
+
+#[test]
+fn response_zero_length_body_round_trips_as_empty() {
+    let resp = Response::status_only(StatusCode::NO_CONTENT);
+    let bytes = encode_response(&resp);
+    assert!(std::str::from_utf8(&bytes).unwrap().contains("content-length: 0\r\n"));
+    let back = decode_response(&bytes).unwrap();
+    assert_eq!(back.body, PageBody::Empty);
+    assert_eq!(back, resp);
+}
+
+#[test]
+fn response_missing_content_length_is_411() {
+    let err = decode_response(b"HTTP/1.1 200 OK\r\netag: \"x\"\r\n\r\n").unwrap_err();
+    assert_eq!(err, WireError::LengthRequired);
+    assert_eq!(err.status(), StatusCode::LENGTH_REQUIRED);
+}
+
+#[test]
+fn request_missing_content_length_means_empty_body() {
+    // RFC 7230 §3.3.3: requests default to a zero-length body, so a bare
+    // `curl -X POST http://…/shutdown` (which sends no content-length)
+    // decodes cleanly instead of earning a 411.
+    let req = decode_request(b"POST /shutdown HTTP/1.1\r\nhost: a.com\r\n\r\n").unwrap();
+    assert_eq!(req.url.path, "/shutdown");
+    assert_eq!(req.method, Method::Post);
+}
+
+#[test]
+fn oversized_header_line_is_431_for_both_codecs() {
+    let huge = "x".repeat(MAX_LINE_BYTES + 10);
+    let req_raw = format!("GET / HTTP/1.1\r\nhost: a.com\r\nx-big: {huge}\r\n\r\n");
+    let err = decode_request(req_raw.as_bytes()).unwrap_err();
+    assert_eq!(err, WireError::HeaderTooLarge);
+    assert_eq!(err.status(), StatusCode::HEADER_FIELDS_TOO_LARGE);
+
+    let resp_raw = format!("HTTP/1.1 200 OK\r\nx-big: {huge}\r\ncontent-length: 0\r\n\r\n");
+    let err = decode_response(resp_raw.as_bytes()).unwrap_err();
+    assert_eq!(err.status(), StatusCode::HEADER_FIELDS_TOO_LARGE);
+}
+
+#[test]
+fn set_cookie_headers_reconstruct_parsed_cookies() {
+    let resp = Response::raw(StatusCode::OK, "ok")
+        .with_set_cookie(SetCookie::session("sid", "abc"))
+        .with_set_cookie(SetCookie::session("uid", "xyz"));
+    let back = decode_response(&encode_response(&resp)).unwrap();
+    assert_eq!(back.set_cookies.len(), 2);
+    assert_eq!(back, resp);
+}
+
+#[test]
+fn pipelined_messages_decode_in_sequence() {
+    let mut bytes = encode_request(&Request::navigation(
+        Url::parse("http://h.test/healthz").unwrap(),
+    ));
+    bytes.extend(encode_request(&Request::navigation(
+        Url::parse("http://h.test/report").unwrap(),
+    )));
+    let mut reader = BufReader::new(bytes.as_slice());
+    let first = Request::read_from(&mut reader).unwrap();
+    let second = Request::read_from(&mut reader).unwrap();
+    assert_eq!(first.url.path, "/healthz");
+    assert_eq!(second.url.path, "/report");
+    // Clean EOF after the final message is the keep-alive exit signal.
+    assert_eq!(Request::read_from(&mut reader).unwrap_err(), WireError::Closed);
+}
+
+/// Build a header list safe for identity testing: names from a charset
+/// that cannot collide with framing headers (`host`, `content-length`,
+/// `set-cookie`), values without edge whitespace.
+fn build_headers(pairs: &[(String, String)]) -> HeaderMap {
+    let mut headers = HeaderMap::new();
+    for (name, value) in pairs {
+        headers.append(name, value.trim());
+    }
+    headers
+}
+
+proptest! {
+    #[test]
+    fn request_round_trip_identity(
+        path_seg in "[a-z0-9]{1,12}",
+        q_key in "[a-z0-9]{1,8}",
+        q_val in "[a-z0-9]{0,8}",
+        port in 1024u16..65535,
+        pairs in proptest::collection::vec(("[a-d0-9-]{1,10}", "\\PC{0,32}"), 0..8),
+    ) {
+        let url = Url::parse(&format!(
+            "http://svc.test:{port}/{path_seg}?{q_key}={q_val}"
+        )).unwrap();
+        let mut req = Request::navigation(url);
+        req.headers = build_headers(&pairs);
+        let back = decode_request(&encode_request(&req)).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_round_trip_identity(
+        code in 200u16..600,
+        body in "\\PC{0,64}",
+        pairs in proptest::collection::vec(("[a-d0-9-]{1,10}", "\\PC{0,32}"), 0..8),
+    ) {
+        let mut resp = if body.is_empty() {
+            Response::status_only(StatusCode(code))
+        } else {
+            Response::raw(StatusCode(code), body)
+        };
+        resp.headers = build_headers(&pairs);
+        let back = decode_response(&encode_response(&resp)).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn arbitrary_input_never_panics_either_codec(garbage in "\\PC{0,128}") {
+        let _ = decode_request(garbage.as_bytes());
+        let _ = decode_response(garbage.as_bytes());
+    }
+
+    #[test]
+    fn malformed_framing_never_panics(
+        lines in proptest::collection::vec("\\PC{0,40}", 0..10),
+        trailer in "\\PC{0,40}",
+    ) {
+        // Random CRLF-framed lines, with and without a terminating blank
+        // line, exercise the header loop and body framing paths.
+        let mut raw = lines.join("\r\n");
+        raw.push_str("\r\n\r\n");
+        raw.push_str(&trailer);
+        let _ = decode_request(raw.as_bytes());
+        let _ = decode_response(raw.as_bytes());
+    }
+
+    #[test]
+    fn truncated_valid_messages_never_panic(cut in 0usize..200) {
+        let resp = Response::raw(StatusCode::OK, "{\"walks\":[1,2,3]}");
+        let bytes = encode_response(&resp);
+        let cut = cut.min(bytes.len());
+        let result = decode_response(&bytes[..cut]);
+        if cut == bytes.len() {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+}

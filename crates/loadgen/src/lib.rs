@@ -1,0 +1,26 @@
+//! # cc-loadgen
+//!
+//! A goose-style load generator for `cc-serve`: N client threads (the
+//! "users") execute a weighted task set over real loopback sockets,
+//! speaking the `cc-http` wire codecs, and fold their results into a
+//! [`LoadReport`] — per-endpoint throughput, p50/p90/p99 latency via
+//! `cc-telemetry` histograms, and error/shed rates. The report
+//! serializes to `BENCH_serve.json`, and
+//! [`LoadReport::assert_floor`] enforces the benchmark floor
+//! (aggregate req/s minimum, zero 5xx below the shed threshold).
+//!
+//! Everything is deterministic in *shape*: each user forks its own
+//! [`DetRng`](cc_util::DetRng) stream from the run seed, so the request
+//! sequence for a given `(seed, mix, users, requests)` tuple never
+//! changes — only the measured latencies do.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mix;
+pub mod report;
+pub mod runner;
+
+pub use mix::{TaskKind, TaskMix, WeightedTask};
+pub use report::{LoadReport, TaskStats, LOAD_SCHEMA};
+pub use runner::{run_load, LoadConfig};

@@ -1,0 +1,153 @@
+//! Weighted task sets — the goose-style description of *what* load to
+//! generate.
+//!
+//! A [`TaskMix`] is a named list of weighted endpoint tasks. Each
+//! simulated user draws tasks from the mix with probability
+//! proportional to weight, using its own deterministic RNG stream, so a
+//! given `(mix, seed, users, requests)` tuple always produces the same
+//! request sequence.
+
+use cc_util::DetRng;
+
+/// The endpoint families a task can exercise. Parameterized kinds
+/// (sections, domains, walk ids) draw their parameter from the server's
+/// `/catalog` at run start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /report`, revalidating with `If-None-Match` once the ETag is
+    /// known (mirrors a well-behaved polling client).
+    Report,
+    /// `GET /report/{section}` over the catalog's section slugs.
+    ReportSection,
+    /// `GET /smugglers` with randomized role/limit parameters.
+    Smugglers,
+    /// `GET /uids/{domain}` over the catalog's domain list.
+    Uids,
+    /// `GET /walks/{id}` over the catalog's walk ids.
+    Walks,
+    /// `GET /catalog`.
+    Catalog,
+    /// `GET /metrics` (the live, uncached endpoint).
+    Metrics,
+}
+
+impl TaskKind {
+    /// Stable name used as the per-task stats key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskKind::Healthz => "healthz",
+            TaskKind::Report => "report",
+            TaskKind::ReportSection => "report-section",
+            TaskKind::Smugglers => "smugglers",
+            TaskKind::Uids => "uids",
+            TaskKind::Walks => "walks",
+            TaskKind::Catalog => "catalog",
+            TaskKind::Metrics => "metrics",
+        }
+    }
+}
+
+/// One task and its draw weight.
+#[derive(Debug, Clone)]
+pub struct WeightedTask {
+    /// The endpoint family.
+    pub kind: TaskKind,
+    /// Relative draw weight (0 is allowed and never drawn).
+    pub weight: u64,
+}
+
+/// A named, weighted task set.
+#[derive(Debug, Clone)]
+pub struct TaskMix {
+    /// Mix name (recorded in the load report).
+    pub name: String,
+    /// The weighted tasks.
+    pub tasks: Vec<WeightedTask>,
+}
+
+impl TaskMix {
+    /// The named mixes the CLI accepts.
+    pub const NAMES: [&'static str; 3] = ["mixed", "reports", "lookups"];
+
+    /// Look up a predefined mix by name.
+    ///
+    /// * `mixed` — a broad blend of every endpoint (the benchmark mix);
+    /// * `reports` — report-reading clients (full report + sections,
+    ///   heavy revalidation);
+    /// * `lookups` — point queries (`/uids`, `/walks`, `/smugglers`).
+    pub fn named(name: &str) -> Option<TaskMix> {
+        let tasks = match name {
+            "mixed" => vec![
+                WeightedTask { kind: TaskKind::Healthz, weight: 10 },
+                WeightedTask { kind: TaskKind::Report, weight: 10 },
+                WeightedTask { kind: TaskKind::ReportSection, weight: 25 },
+                WeightedTask { kind: TaskKind::Smugglers, weight: 20 },
+                WeightedTask { kind: TaskKind::Uids, weight: 15 },
+                WeightedTask { kind: TaskKind::Walks, weight: 15 },
+                WeightedTask { kind: TaskKind::Catalog, weight: 3 },
+                WeightedTask { kind: TaskKind::Metrics, weight: 2 },
+            ],
+            "reports" => vec![
+                WeightedTask { kind: TaskKind::Report, weight: 40 },
+                WeightedTask { kind: TaskKind::ReportSection, weight: 55 },
+                WeightedTask { kind: TaskKind::Healthz, weight: 5 },
+            ],
+            "lookups" => vec![
+                WeightedTask { kind: TaskKind::Uids, weight: 35 },
+                WeightedTask { kind: TaskKind::Walks, weight: 35 },
+                WeightedTask { kind: TaskKind::Smugglers, weight: 30 },
+            ],
+            _ => return None,
+        };
+        Some(TaskMix {
+            name: name.to_string(),
+            tasks,
+        })
+    }
+
+    /// Draw one task, weight-proportionally.
+    pub fn pick(&self, rng: &mut DetRng) -> &WeightedTask {
+        let total: u64 = self.tasks.iter().map(|t| t.weight).sum();
+        debug_assert!(total > 0, "task mix has zero total weight");
+        let mut roll = rng.below(total.max(1));
+        for task in &self.tasks {
+            if roll < task.weight {
+                return task;
+            }
+            roll -= task.weight;
+        }
+        // Unreachable with a positive total; fall back to the last task.
+        self.tasks.last().expect("task mix is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_mixes_exist_and_unknown_is_none() {
+        for name in TaskMix::NAMES {
+            let mix = TaskMix::named(name).unwrap();
+            assert_eq!(mix.name, name);
+            assert!(!mix.tasks.is_empty());
+            assert!(mix.tasks.iter().map(|t| t.weight).sum::<u64>() > 0);
+        }
+        assert!(TaskMix::named("nope").is_none());
+    }
+
+    #[test]
+    fn picks_follow_weights_deterministically() {
+        let mix = TaskMix::named("mixed").unwrap();
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        let seq_a: Vec<&'static str> = (0..50).map(|_| mix.pick(&mut a).kind.name()).collect();
+        let seq_b: Vec<&'static str> = (0..50).map(|_| mix.pick(&mut b).kind.name()).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same sequence");
+        // Over 50 draws of an 8-way mix, more than one kind must appear.
+        let distinct: std::collections::BTreeSet<_> = seq_a.iter().collect();
+        assert!(distinct.len() > 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! The load-test result artifact (`cc-loadgen/v1`, a.k.a.
+//! `BENCH_serve.json`).
+
+use cc_telemetry::HistogramSummary;
+use cc_util::CcError;
+use serde::{Deserialize, Serialize};
+
+/// The artifact format identifier.
+pub const LOAD_SCHEMA: &str = "cc-loadgen/v1";
+
+/// Outcome counts and latency for one task (or the aggregate).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskStats {
+    /// Task name (an endpoint family, or `"aggregate"`).
+    pub name: String,
+    /// Requests attempted.
+    pub requests: u64,
+    /// `2xx` responses.
+    pub ok: u64,
+    /// `304` revalidation hits.
+    pub not_modified: u64,
+    /// `4xx` responses.
+    pub client_errors: u64,
+    /// `5xx` responses (includes shed `503`s).
+    pub server_errors: u64,
+    /// `503`s specifically (the server's shed signal).
+    pub shed: u64,
+    /// Requests that died on the socket (connect/read/write failures
+    /// after one reconnect attempt).
+    pub transport_errors: u64,
+    /// Latency digest (p50/p90/p99 from the telemetry histogram).
+    pub latency: HistogramSummary,
+    /// Per-task throughput over the whole run window.
+    pub throughput_rps: f64,
+}
+
+/// The complete load-generation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Always [`LOAD_SCHEMA`].
+    pub schema: String,
+    /// The `host:port` the load was aimed at.
+    pub target: String,
+    /// Concurrent simulated users (client threads).
+    pub users: usize,
+    /// Requests each user issued.
+    pub requests_per_user: usize,
+    /// The task-mix name.
+    pub mix: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Wall-clock duration of the request phase, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Total requests attempted across all users.
+    pub total_requests: u64,
+    /// Aggregate throughput (requests per second).
+    pub throughput_rps: f64,
+    /// Per-task breakdown, ordered by task name.
+    pub tasks: Vec<TaskStats>,
+    /// The aggregate over all tasks.
+    pub aggregate: TaskStats,
+}
+
+impl LoadReport {
+    /// Serialize for `BENCH_serve.json`.
+    pub fn to_json(&self) -> Result<String, CcError> {
+        serde_json::to_string_pretty(self).map_err(|e| CcError::Serde(e.to_string()))
+    }
+
+    /// Deserialize, checking the schema tag.
+    pub fn from_json(s: &str) -> Result<LoadReport, CcError> {
+        let r: LoadReport = serde_json::from_str(s).map_err(|e| CcError::Serde(e.to_string()))?;
+        if r.schema != LOAD_SCHEMA {
+            return Err(CcError::Serde(format!(
+                "unsupported schema {:?} (expected {LOAD_SCHEMA:?})",
+                r.schema
+            )));
+        }
+        Ok(r)
+    }
+
+    /// Enforce the benchmark floor: aggregate throughput at least
+    /// `min_rps`, and — because the run is meant to stay below the shed
+    /// threshold — zero `5xx` and zero transport errors.
+    pub fn assert_floor(&self, min_rps: f64) -> Result<(), CcError> {
+        if self.throughput_rps < min_rps {
+            return Err(CcError::cli(format!(
+                "throughput {:.0} req/s below the {min_rps:.0} req/s floor",
+                self.throughput_rps
+            )));
+        }
+        if self.aggregate.server_errors > 0 {
+            return Err(CcError::cli(format!(
+                "{} server errors (5xx) under non-overload conditions",
+                self.aggregate.server_errors
+            )));
+        }
+        if self.aggregate.transport_errors > 0 {
+            return Err(CcError::cli(format!(
+                "{} transport errors during the run",
+                self.aggregate.transport_errors
+            )));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,376 @@
+//! The load-generation engine: N user threads, each with its own
+//! deterministic RNG stream and keep-alive connection, drawing tasks
+//! from the weighted mix and recording outcomes into per-task
+//! histograms that are merged after the join.
+
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use cc_http::wire::WireError;
+use cc_http::{Request, Response};
+use cc_telemetry::Histogram;
+use cc_url::Url;
+use cc_util::{CcError, DetRng};
+
+use crate::mix::{TaskKind, TaskMix};
+use crate::report::{LoadReport, TaskStats, LOAD_SCHEMA};
+
+/// Load-run parameters (lowered from the CLI / `StudyConfig`).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// `host:port` of a running cc-serve instance.
+    pub target: String,
+    /// Concurrent simulated users. Keep at or below the server's worker
+    /// count: each user holds a keep-alive connection, and the server is
+    /// thread-per-session.
+    pub users: usize,
+    /// Requests per user (the run is request-bounded, not time-bounded,
+    /// so results are deterministic in shape).
+    pub requests_per_user: usize,
+    /// The weighted task mix.
+    pub mix: TaskMix,
+    /// RNG seed; same seed, same request sequence per user.
+    pub seed: u64,
+    /// Socket connect/read/write timeout, in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl LoadConfig {
+    /// A config with the standard `mixed` task set.
+    pub fn new(target: impl Into<String>) -> LoadConfig {
+        LoadConfig {
+            target: target.into(),
+            users: 4,
+            requests_per_user: 250,
+            mix: TaskMix::named("mixed").expect("mixed mix exists"),
+            seed: 1,
+            timeout_ms: 5_000,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CcError> {
+        if self.users == 0 {
+            return Err(CcError::cli("loadgen users must be at least 1"));
+        }
+        if self.requests_per_user == 0 {
+            return Err(CcError::cli("loadgen requests per user must be at least 1"));
+        }
+        if self.mix.tasks.iter().map(|t| t.weight).sum::<u64>() == 0 {
+            return Err(CcError::cli("task mix has zero total weight"));
+        }
+        Ok(())
+    }
+}
+
+/// What the server advertises in `/catalog`: the parameter pools for
+/// section/domain/walk tasks.
+#[derive(Debug, Clone, Default)]
+struct Catalog {
+    sections: Vec<String>,
+    walks: Vec<u64>,
+    domains: Vec<String>,
+}
+
+impl Catalog {
+    fn parse(body: &str) -> Result<Catalog, CcError> {
+        let v: serde_json::Value =
+            serde_json::from_str(body).map_err(|e| CcError::Serde(e.to_string()))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| CcError::Serde("catalog is not an object".into()))?;
+        let strings = |key: &str| -> Vec<String> {
+            obj.get(key)
+                .and_then(|s| s.as_array())
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|x| x.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let walks = obj
+            .get("walks")
+            .and_then(|s| s.as_array())
+            .map(|a| {
+                a.iter()
+                    .filter_map(|x| x.as_u64())
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(Catalog {
+            sections: strings("sections"),
+            walks,
+            domains: strings("domains"),
+        })
+    }
+}
+
+/// One keep-alive client connection speaking the cc-http wire codecs.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    timeout: Duration,
+    target: String,
+}
+
+impl Client {
+    fn connect(target: &str, timeout: Duration) -> Result<Client, CcError> {
+        let stream = TcpStream::connect(target).map_err(|e| CcError::io(target, e))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| CcError::io(target, e))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| CcError::io(target, e))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().map_err(|e| CcError::io(target, e))?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            timeout,
+            target: target.to_string(),
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        req.write_to(&mut self.writer)?;
+        Response::read_from(&mut self.reader)
+    }
+
+    /// Issue a request, transparently reconnecting once if the
+    /// keep-alive connection has gone away (idle timeout, server drain).
+    fn call_with_reconnect(&mut self, req: &Request) -> Result<Response, WireError> {
+        match self.call(req) {
+            Ok(r) => Ok(r),
+            Err(WireError::Closed | WireError::Truncated | WireError::Io(_)) => {
+                let fresh = Client::connect(&self.target, self.timeout)
+                    .map_err(|e| WireError::Io(e.to_string()))?;
+                *self = fresh;
+                self.call(req)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Per-task accumulation inside one user thread.
+#[derive(Default)]
+struct TaskAccum {
+    requests: u64,
+    ok: u64,
+    not_modified: u64,
+    client_errors: u64,
+    server_errors: u64,
+    shed: u64,
+    transport_errors: u64,
+    latency: Histogram,
+}
+
+impl TaskAccum {
+    fn merge(&mut self, other: &TaskAccum) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.not_modified += other.not_modified;
+        self.client_errors += other.client_errors;
+        self.server_errors += other.server_errors;
+        self.shed += other.shed;
+        self.transport_errors += other.transport_errors;
+        self.latency.merge(&other.latency);
+    }
+
+    fn stats(&self, name: &str, elapsed_s: f64) -> TaskStats {
+        TaskStats {
+            name: name.to_string(),
+            requests: self.requests,
+            ok: self.ok,
+            not_modified: self.not_modified,
+            client_errors: self.client_errors,
+            server_errors: self.server_errors,
+            shed: self.shed,
+            transport_errors: self.transport_errors,
+            latency: self.latency.summarize(),
+            throughput_rps: if elapsed_s > 0.0 {
+                self.requests as f64 / elapsed_s
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+fn build_url(target: &str, path_and_query: &str) -> Result<Url, CcError> {
+    Url::parse(&format!("http://{target}{path_and_query}"))
+        .map_err(|e| CcError::cli(format!("bad request url {path_and_query:?}: {e}")))
+}
+
+/// One user's whole request loop. Returns per-task accumulators.
+fn user_loop(
+    cfg: &LoadConfig,
+    catalog: &Catalog,
+    user: u64,
+) -> Result<BTreeMap<&'static str, TaskAccum>, CcError> {
+    let mut rng = DetRng::new(cfg.seed).fork_indexed("loadgen.user", user);
+    let timeout = Duration::from_millis(cfg.timeout_ms);
+    let mut client = Client::connect(&cfg.target, timeout)?;
+    let mut accum: BTreeMap<&'static str, TaskAccum> = BTreeMap::new();
+    let mut report_etag: Option<String> = None;
+
+    for _ in 0..cfg.requests_per_user {
+        let task = cfg.mix.pick(&mut rng);
+        // Parameterized tasks degrade to /healthz when the catalog has
+        // no parameters for them (tiny datasets).
+        let (kind, path) = match task.kind {
+            TaskKind::Healthz => (TaskKind::Healthz, "/healthz".to_string()),
+            TaskKind::Report => (TaskKind::Report, "/report".to_string()),
+            TaskKind::Catalog => (TaskKind::Catalog, "/catalog".to_string()),
+            TaskKind::Metrics => (TaskKind::Metrics, "/metrics".to_string()),
+            TaskKind::ReportSection => match catalog.sections.is_empty() {
+                true => (TaskKind::Healthz, "/healthz".to_string()),
+                false => (
+                    TaskKind::ReportSection,
+                    format!("/report/{}", rng.pick(&catalog.sections)),
+                ),
+            },
+            TaskKind::Uids => match catalog.domains.is_empty() {
+                true => (TaskKind::Healthz, "/healthz".to_string()),
+                false => (TaskKind::Uids, format!("/uids/{}", rng.pick(&catalog.domains))),
+            },
+            TaskKind::Walks => match catalog.walks.is_empty() {
+                true => (TaskKind::Healthz, "/healthz".to_string()),
+                false => (TaskKind::Walks, format!("/walks/{}", rng.pick(&catalog.walks))),
+            },
+            TaskKind::Smugglers => {
+                let limit = rng.range(1, 25);
+                let path = match rng.below(3) {
+                    0 => format!("/smugglers?limit={limit}"),
+                    1 => format!("/smugglers?role=dedicated&limit={limit}"),
+                    _ => format!("/smugglers?role=multi&limit={limit}"),
+                };
+                (TaskKind::Smugglers, path)
+            }
+        };
+
+        let mut req = Request::navigation(build_url(&cfg.target, &path)?)
+            .with_user_agent("cc-loadgen/0.1");
+        // Poll the report like a caching client: revalidate with the
+        // last seen ETag about a third of the time.
+        if kind == TaskKind::Report {
+            if let Some(etag) = &report_etag {
+                if rng.chance(0.33) {
+                    req.headers.set("if-none-match", etag.clone());
+                }
+            }
+        }
+
+        let entry = accum.entry(kind.name()).or_default();
+        entry.requests += 1;
+        let start = Instant::now();
+        match client.call_with_reconnect(&req) {
+            Ok(resp) => {
+                entry.latency.observe_ms(start.elapsed().as_secs_f64() * 1e3);
+                let code = resp.status.0;
+                if resp.status.is_success() {
+                    entry.ok += 1;
+                } else if code == 304 {
+                    entry.not_modified += 1;
+                } else if resp.status.is_client_error() {
+                    entry.client_errors += 1;
+                } else if resp.status.is_server_error() {
+                    entry.server_errors += 1;
+                    if code == 503 {
+                        entry.shed += 1;
+                    }
+                }
+                if kind == TaskKind::Report {
+                    if let Some(etag) = resp.headers.get("etag") {
+                        report_etag = Some(etag.to_string());
+                    }
+                }
+            }
+            Err(_) => {
+                entry.transport_errors += 1;
+                // Leave the connection for the next iteration's
+                // reconnect path.
+            }
+        }
+    }
+    Ok(accum)
+}
+
+/// Run the load: fetch the catalog, spawn the users, merge their stats.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, CcError> {
+    cfg.validate()?;
+    let timeout = Duration::from_millis(cfg.timeout_ms);
+
+    // One priming request discovers the parameter pools.
+    let mut primer = Client::connect(&cfg.target, timeout)?;
+    let catalog_req =
+        Request::navigation(build_url(&cfg.target, "/catalog")?).with_user_agent("cc-loadgen/0.1");
+    let catalog_resp = primer
+        .call(&catalog_req)
+        .map_err(|e| CcError::cli(format!("catalog fetch from {} failed: {e}", cfg.target)))?;
+    if !catalog_resp.status.is_success() {
+        return Err(CcError::cli(format!(
+            "catalog fetch returned {}",
+            catalog_resp.status
+        )));
+    }
+    let catalog = Catalog::parse(std::str::from_utf8(catalog_resp.body.wire_bytes()).map_err(
+        |_| CcError::Serde("catalog body is not UTF-8".into()),
+    )?)?;
+    drop(primer);
+
+    let started = Instant::now();
+    let mut merged: BTreeMap<&'static str, TaskAccum> = BTreeMap::new();
+    let mut failures: Vec<CcError> = Vec::new();
+    std::thread::scope(|scope| {
+        let catalog = &catalog;
+        let handles: Vec<_> = (0..cfg.users as u64)
+            .map(|u| scope.spawn(move || user_loop(cfg, catalog, u)))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(Ok(accum)) => {
+                    for (name, a) in &accum {
+                        merged.entry(name).or_default().merge(a);
+                    }
+                }
+                Ok(Err(e)) => failures.push(e),
+                Err(_) => failures.push(CcError::cli("a load user thread panicked")),
+            }
+        }
+    });
+    if let Some(e) = failures.into_iter().next() {
+        return Err(e);
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut aggregate = TaskAccum::default();
+    for a in merged.values() {
+        aggregate.merge(a);
+    }
+    let tasks: Vec<TaskStats> = merged
+        .iter()
+        .map(|(name, a)| a.stats(name, elapsed_s))
+        .collect();
+    let total_requests = aggregate.requests;
+    Ok(LoadReport {
+        schema: LOAD_SCHEMA.to_string(),
+        target: cfg.target.clone(),
+        users: cfg.users,
+        requests_per_user: cfg.requests_per_user,
+        mix: cfg.mix.name.clone(),
+        seed: cfg.seed,
+        elapsed_ms: elapsed_s * 1e3,
+        total_requests,
+        throughput_rps: if elapsed_s > 0.0 {
+            total_requests as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        tasks,
+        aggregate: aggregate.stats("aggregate", elapsed_s),
+    })
+}

@@ -1,0 +1,37 @@
+//! # cc-serve
+//!
+//! A std-only HTTP/1.1 query server over *finished* crawl datasets: the
+//! layer that turns the study's analysis outputs (smuggler rankings, UID
+//! classifications, path shapes, walk records) from files on disk into a
+//! service real consumers can hit.
+//!
+//! Three pieces:
+//!
+//! * [`index`] — [`ServingIndex`](index::ServingIndex): loads a
+//!   [`CrawlCheckpoint`](cc_crawler::CrawlCheckpoint), reruns the
+//!   deterministic pipeline + report, and precomputes every response body
+//!   with a strong ETag. The index is immutable after construction, so
+//!   the hot path is a hash lookup + socket write with no locking.
+//! * [`server`] — [`Server`](server::Server): a `TcpListener` accept
+//!   loop feeding a fixed worker thread pool through a bounded queue.
+//!   Load above `max_inflight` is shed with `503`; shutdown (via
+//!   `POST /shutdown` or [`ServerHandle::shutdown`](server::ServerHandle))
+//!   stops accepting, drains in-flight connections, and joins cleanly.
+//! * [`router`] — maps decoded [`Request`](cc_http::Request)s to cached
+//!   bodies, handles `If-None-Match` → `304`, and records per-endpoint
+//!   telemetry into the server's private
+//!   [`Collector`](cc_telemetry::Collector) (served live at `/metrics`).
+//!
+//! Endpoints: `GET /healthz`, `/report`, `/report/{section}`,
+//! `/smugglers?role=dedicated|multi&limit=N`, `/uids/{domain}`,
+//! `/walks/{id}`, `/catalog`, `/metrics`, and `POST /shutdown`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod index;
+pub mod router;
+pub mod server;
+
+pub use index::{etag_for, CachedBody, ServingIndex, SmugglerRole};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,180 @@
+//! Request routing: path dispatch, conditional revalidation, and error
+//! shaping.
+//!
+//! Every data endpoint resolves to a precomputed [`CachedBody`] (or an
+//! assembled one, for `/smugglers`); the router's only work is matching
+//! the path, comparing `If-None-Match` against the strong ETag, and
+//! choosing between the full `200` and an empty `304`.
+
+use cc_http::{Request, Response, StatusCode};
+
+use crate::index::{CachedBody, SmugglerRole};
+use crate::server::{json_string, Shared};
+
+/// Default `/smugglers` row cap when `limit` is absent.
+const DEFAULT_SMUGGLER_LIMIT: usize = 20;
+
+/// A routed request: the metrics label, the response, and whether this
+/// request triggers shutdown.
+pub(crate) struct Routed {
+    pub(crate) label: &'static str,
+    pub(crate) response: Response,
+    pub(crate) shutdown: bool,
+}
+
+impl Routed {
+    fn new(label: &'static str, response: Response) -> Routed {
+        Routed {
+            label,
+            response,
+            shutdown: false,
+        }
+    }
+}
+
+/// Dispatch one decoded request.
+pub(crate) fn route(req: &Request, shared: &Shared) -> Routed {
+    let path = req.url.path.as_str();
+    let is_get = req.method == cc_http::Method::Get;
+    let is_post = req.method == cc_http::Method::Post;
+
+    if path == "/shutdown" {
+        if !is_post {
+            return Routed::new("shutdown", method_not_allowed("POST"));
+        }
+        let mut resp = Response::raw(StatusCode::OK, "{\"status\":\"shutting down\"}");
+        resp.headers.set("content-type", "application/json");
+        return Routed {
+            label: "shutdown",
+            response: resp,
+            shutdown: true,
+        };
+    }
+    if !is_get {
+        return Routed::new("other", method_not_allowed("GET"));
+    }
+
+    if path == "/metrics" {
+        // Live, never cached: the snapshot changes with every request.
+        let body = shared
+            .collector
+            .report(None)
+            .to_json()
+            .unwrap_or_else(|_| "{\"error\":\"metrics serialization failed\"}".into());
+        let mut resp = Response::raw(StatusCode::OK, body);
+        resp.headers.set("content-type", "application/json");
+        return Routed::new("metrics", resp);
+    }
+
+    if path == "/smugglers" {
+        return smugglers(req, shared);
+    }
+
+    // Everything else is a precomputed body (or a 404).
+    let label = match path {
+        "/healthz" => "healthz",
+        "/report" => "report",
+        "/catalog" => "catalog",
+        p if p.starts_with("/report/") => "report-section",
+        p if p.starts_with("/walks/") => "walks",
+        p if p.starts_with("/uids/") => "uids",
+        _ => "other",
+    };
+    match shared.index.lookup(path) {
+        Some(cached) => Routed::new(label, conditional(req, cached)),
+        None => Routed::new(label, not_found(path)),
+    }
+}
+
+/// `/smugglers?role=dedicated|multi&limit=N`: assembled per request from
+/// presliced rows, still ETagged so clients can revalidate.
+fn smugglers(req: &Request, shared: &Shared) -> Routed {
+    let mut role = None;
+    let mut limit = DEFAULT_SMUGGLER_LIMIT;
+    for (key, value) in req.url.query() {
+        match key.as_str() {
+            "role" => match SmugglerRole::parse(value) {
+                Some(r) => role = Some(r),
+                None => {
+                    return Routed::new(
+                        "smugglers",
+                        bad_request(&format!(
+                            "unknown role {value:?} (expected dedicated or multi)"
+                        )),
+                    )
+                }
+            },
+            "limit" => match value.parse::<usize>() {
+                Ok(n) => limit = n,
+                Err(_) => {
+                    return Routed::new(
+                        "smugglers",
+                        bad_request(&format!("limit {value:?} is not a number")),
+                    )
+                }
+            },
+            _ => {
+                return Routed::new(
+                    "smugglers",
+                    bad_request(&format!("unknown query parameter {key:?}")),
+                )
+            }
+        }
+    }
+    let assembled = shared.index.smugglers(role, limit);
+    Routed::new("smugglers", conditional(req, &assembled))
+}
+
+/// Serve a cached body, honoring `If-None-Match`.
+fn conditional(req: &Request, cached: &CachedBody) -> Response {
+    if if_none_match_hits(req, &cached.etag) {
+        let mut resp = Response::status_only(StatusCode::NOT_MODIFIED);
+        resp.headers.set("etag", cached.etag.clone());
+        return resp;
+    }
+    let mut resp = Response::raw(StatusCode::OK, cached.body.clone());
+    resp.headers.set("content-type", "application/json");
+    resp.headers.set("etag", cached.etag.clone());
+    resp
+}
+
+/// Strong comparison against a (possibly list-valued) `If-None-Match`.
+fn if_none_match_hits(req: &Request, etag: &str) -> bool {
+    req.headers
+        .get("if-none-match")
+        .map(|header| {
+            header
+                .split(',')
+                .map(str::trim)
+                .any(|candidate| candidate == "*" || candidate == etag)
+        })
+        .unwrap_or(false)
+}
+
+fn not_found(path: &str) -> Response {
+    let mut resp = Response::raw(
+        StatusCode::NOT_FOUND,
+        format!("{{\"error\":\"not found\",\"path\":{}}}", json_string(path)),
+    );
+    resp.headers.set("content-type", "application/json");
+    resp
+}
+
+fn bad_request(msg: &str) -> Response {
+    let mut resp = Response::raw(
+        StatusCode::BAD_REQUEST,
+        format!("{{\"error\":{}}}", json_string(msg)),
+    );
+    resp.headers.set("content-type", "application/json");
+    resp
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    let mut resp = Response::raw(
+        StatusCode::METHOD_NOT_ALLOWED,
+        format!("{{\"error\":\"method not allowed\",\"allow\":{}}}", json_string(allow)),
+    );
+    resp.headers.set("content-type", "application/json");
+    resp.headers.set("allow", allow);
+    resp
+}

@@ -1,0 +1,417 @@
+//! The HTTP/1.1 server: accept loop, bounded queue, worker pool,
+//! backpressure, and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One accept thread plus a fixed pool of `workers` threads. The accept
+//! thread never parses HTTP: it either enqueues the connection or sheds
+//! it with an immediate `503` when `inflight + queued` would exceed
+//! `max_inflight`. Workers pull connections off the queue and own them
+//! for a full keep-alive session (thread-per-connection-session), so
+//! `workers` bounds concurrent *sessions* and `max_inflight` bounds
+//! total admitted load.
+//!
+//! ## Shutdown
+//!
+//! The crates forbid `unsafe`, so there is no signal handler; shutdown
+//! is a flag flipped by `POST /shutdown` or
+//! [`ServerHandle::shutdown`]. The accept thread then closes the
+//! listener (new connects are refused by the OS), workers finish the
+//! request in flight, answer queued connections with
+//! `Connection: close`, and exit; [`ServerHandle::wait`] joins them all
+//! and returns.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cc_http::{Request, Response, StatusCode};
+use cc_telemetry::{Collector, RunReport};
+use cc_util::CcError;
+
+use crate::index::ServingIndex;
+use crate::router::{self, Routed};
+
+/// Server knobs (lowered from `StudyConfig.serve` by the CLI).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (each owns one connection session at a time).
+    pub workers: usize,
+    /// Admission bound: connections beyond `inflight + queued` are shed
+    /// with `503`.
+    pub max_inflight: usize,
+    /// Keep-alive idle timeout per connection, in milliseconds.
+    pub keep_alive_ms: u64,
+    /// Test hook: artificial per-request handling delay, for
+    /// deterministic overload/drain tests. Zero in production.
+    pub debug_delay_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_inflight: 64,
+            keep_alive_ms: 5_000,
+            debug_delay_ms: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate knob ranges.
+    pub fn validate(&self) -> Result<(), CcError> {
+        if self.workers == 0 {
+            return Err(CcError::Config("serve.workers must be at least 1".into()));
+        }
+        if self.max_inflight < self.workers {
+            return Err(CcError::Config(format!(
+                "serve.max_inflight ({}) must be at least serve.workers ({})",
+                self.max_inflight, self.workers
+            )));
+        }
+        if self.keep_alive_ms == 0 {
+            return Err(CcError::Config("serve.keep_alive_ms must be nonzero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// State shared by the accept thread, the workers, and the handle.
+pub(crate) struct Shared {
+    pub(crate) index: ServingIndex,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) collector: Arc<Collector>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) inflight: AtomicUsize,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+}
+
+impl Shared {
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    fn admitted_load(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst) + self.queue.lock().expect("queue lock").len()
+    }
+}
+
+/// The server factory.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the accept thread and worker pool, and return a
+    /// handle. The index is immutable from here on; all serving state
+    /// lives behind the handle.
+    pub fn start(index: ServingIndex, cfg: ServeConfig) -> Result<ServerHandle, CcError> {
+        cfg.validate()?;
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| CcError::io(&cfg.addr, e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| CcError::io(&cfg.addr, e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| CcError::io(&cfg.addr, e))?;
+
+        let shared = Arc::new(Shared {
+            index,
+            cfg: cfg.clone(),
+            collector: Arc::new(Collector::default()),
+            stop: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+        });
+
+        let mut threads = Vec::with_capacity(cfg.workers + 1);
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("cc-serve-accept".into())
+                    .spawn(move || accept_loop(listener, &shared))
+                    .map_err(|e| CcError::io("spawn accept thread", e))?,
+            );
+        }
+        for i in 0..cfg.workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| CcError::io("spawn worker thread", e))?,
+            );
+        }
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+/// A running server: its bound address, its telemetry, and its lifecycle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot the server's own telemetry (the `/metrics` payload).
+    pub fn metrics(&self) -> RunReport {
+        self.shared.collector.report(None)
+    }
+
+    /// Whether shutdown has been requested (by [`Self::shutdown`] or
+    /// `POST /shutdown`).
+    pub fn stop_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown and block until every thread has drained and
+    /// joined.
+    pub fn shutdown(self) -> RunReport {
+        self.shared.request_stop();
+        self.wait()
+    }
+
+    /// Block until the server stops (e.g. via `POST /shutdown`), joining
+    /// all threads; returns the final telemetry snapshot.
+    pub fn wait(mut self) -> RunReport {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.collector.report(None)
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted sockets must not inherit the listener's
+                // nonblocking mode.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                if shared.admitted_load() >= shared.cfg.max_inflight {
+                    shed(stream, shared);
+                } else {
+                    shared
+                        .queue
+                        .lock()
+                        .expect("queue lock")
+                        .push_back(stream);
+                    shared.queue_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => break,
+        }
+    }
+    // Dropping the listener here closes the socket: from this point new
+    // connects are refused by the OS while workers drain.
+    drop(listener);
+    shared.queue_cv.notify_all();
+}
+
+/// Answer an over-capacity connection with `503` and close it. Runs on
+/// the accept thread; the write is a handful of bytes to a
+/// freshly-accepted socket, so it cannot stall the loop meaningfully.
+fn shed(mut stream: TcpStream, shared: &Shared) {
+    shared.collector.add_counter("serve.shed", 1);
+    let mut resp = Response::raw(
+        StatusCode::SERVICE_UNAVAILABLE,
+        "{\"error\":\"overloaded\"}",
+    );
+    resp.headers.set("content-type", "application/json");
+    resp.headers.set("connection", "close");
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = resp.write_to(&mut stream);
+    // The shed connection's request bytes are still unread; see
+    // `lingering_close`.
+    lingering_close(&mut stream);
+}
+
+/// Half-close the write side and drain (bounded) whatever the client
+/// already sent. Closing a socket with unread data in the receive queue
+/// makes the kernel send `RST`, which on most stacks destroys the
+/// response we just wrote before the peer can read it. Used on paths
+/// that answer without consuming the full request (shed, parse errors).
+fn lingering_close(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 64 * 1024 {
+        match std::io::Read::read(stream, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(c) = queue.pop_front() {
+                    break Some(c);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("queue lock");
+                queue = guard;
+            }
+        };
+        match conn {
+            Some(stream) => handle_connection(stream, shared),
+            // Stop requested and the queue is empty: drained.
+            None => break,
+        }
+    }
+}
+
+/// Serve one connection's full keep-alive session.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    shared.inflight.fetch_add(1, Ordering::SeqCst);
+    shared
+        .collector
+        .set_gauge("serve.inflight", shared.inflight.load(Ordering::SeqCst) as f64);
+    shared.collector.add_counter("serve.sessions", 1);
+    serve_session(stream, shared);
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    shared
+        .collector
+        .set_gauge("serve.inflight", shared.inflight.load(Ordering::SeqCst) as f64);
+}
+
+fn serve_session(stream: TcpStream, shared: &Shared) {
+    let keep_alive = Duration::from_millis(shared.cfg.keep_alive_ms);
+    if stream.set_read_timeout(Some(keep_alive)).is_err()
+        || stream.set_write_timeout(Some(keep_alive)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+
+    loop {
+        match Request::read_from(&mut reader) {
+            Ok(req) => {
+                let start = Instant::now();
+                if shared.cfg.debug_delay_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(shared.cfg.debug_delay_ms));
+                }
+                let Routed {
+                    label,
+                    mut response,
+                    shutdown,
+                } = router::route(&req, shared);
+                // Close after this response if the client asked to, or if
+                // we are draining (stop requested or triggered right now).
+                let close = shutdown
+                    || shared.stop.load(Ordering::SeqCst)
+                    || req
+                        .headers
+                        .get("connection")
+                        .is_some_and(|c| c.eq_ignore_ascii_case("close"));
+                if close {
+                    response.headers.set("connection", "close");
+                }
+                let write_ok = response.write_to(&mut writer).is_ok();
+                record_request(shared, label, &response, start);
+                if shutdown {
+                    // Respond first, then flip the flag: the client that
+                    // asked for shutdown always gets its 200.
+                    shared.request_stop();
+                }
+                if !write_ok || close {
+                    break;
+                }
+            }
+            Err(e) if e.is_answerable() => {
+                // Malformed input: answer with the mapped status and
+                // close — never panic, never hang.
+                shared
+                    .collector
+                    .add_event("serve.rejected", &[("status", e.status().reason())]);
+                let mut resp = Response::raw(
+                    e.status(),
+                    format!("{{\"error\":{}}}", json_string(&e.to_string())),
+                );
+                resp.headers.set("content-type", "application/json");
+                resp.headers.set("connection", "close");
+                let _ = resp.write_to(&mut writer);
+                // The request that provoked the error may be partly
+                // unread; closing now would RST the connection and
+                // destroy the response in flight.
+                lingering_close(&mut writer);
+                break;
+            }
+            // Clean close, idle timeout, or a dead peer: nothing to say.
+            Err(_) => break,
+        }
+    }
+    let _ = writer.flush();
+}
+
+fn record_request(shared: &Shared, label: &'static str, response: &Response, start: Instant) {
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let c = &shared.collector;
+    c.add_counter("serve.requests", 1);
+    c.add_event("serve.requests.by_route", &[("route", label)]);
+    c.observe_ms("serve.latency", ms);
+    c.observe_ms(&format!("serve.latency.{label}"), ms);
+    if response.status == StatusCode::NOT_MODIFIED {
+        c.add_counter("serve.revalidated_304", 1);
+    }
+    if response.status.is_server_error() {
+        c.add_counter("serve.5xx", 1);
+    }
+}
+
+/// Minimal JSON string escaping for error bodies.
+pub(crate) fn json_string(s: &str) -> String {
+    serde_json::to_string(s).unwrap_or_else(|_| "\"error\"".into())
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("stopped", &self.stop_requested())
+            .finish()
+    }
+}

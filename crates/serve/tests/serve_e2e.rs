@@ -1,0 +1,336 @@
+//! End-to-end server tests over real loopback sockets: endpoint
+//! behavior, ETag revalidation, byte-identity with the offline report,
+//! and the satellite coverage for graceful shutdown (in-flight
+//! connections complete, new connects refused) and overload (503 + shed
+//! counter, never a hang).
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cc_crawler::{CrawlConfig, Walker};
+use cc_http::wire::WireError;
+use cc_http::{Method, Request, Response};
+use cc_serve::{ServeConfig, Server, ServerHandle, ServingIndex};
+use cc_url::Url;
+use cc_web::{generate, WebConfig};
+
+fn small_study() -> (cc_web::SimWeb, cc_crawler::CrawlDataset, cc_core::pipeline::PipelineOutput) {
+    let web = generate(&WebConfig::small());
+    let ds = Walker::new(
+        &web,
+        CrawlConfig {
+            seed: 5,
+            steps_per_walk: 5,
+            max_walks: Some(15),
+            connect_failure_rate: 0.0,
+            ..CrawlConfig::default()
+        },
+    )
+    .crawl();
+    let out = cc_core::run_pipeline(&ds);
+    (web, ds, out)
+}
+
+fn start(cfg: ServeConfig) -> ServerHandle {
+    let (web, ds, out) = small_study();
+    let index = ServingIndex::build(&web, &ds, &out).unwrap();
+    Server::start(index, cfg).unwrap()
+}
+
+/// A tiny blocking test client over the wire codecs.
+struct TestClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: SocketAddr,
+}
+
+impl TestClient {
+    fn connect(addr: SocketAddr) -> TestClient {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        TestClient {
+            reader,
+            writer: stream,
+            addr,
+        }
+    }
+
+    fn request(&mut self, path: &str) -> Request {
+        Request::navigation(Url::parse(&format!("http://{}{}", self.addr, path)).unwrap())
+    }
+
+    fn get(&mut self, path: &str) -> Response {
+        let req = self.request(path);
+        self.send(&req)
+    }
+
+    fn send(&mut self, req: &Request) -> Response {
+        req.write_to(&mut self.writer).unwrap();
+        Response::read_from(&mut self.reader).unwrap()
+    }
+
+    fn body_str(resp: &Response) -> String {
+        String::from_utf8(resp.body.wire_bytes().to_vec()).unwrap()
+    }
+}
+
+#[test]
+fn endpoints_serve_expected_json() {
+    let handle = start(ServeConfig::default());
+    let mut client = TestClient::connect(handle.addr());
+
+    let health = client.get("/healthz");
+    assert_eq!(health.status.0, 200);
+    assert!(TestClient::body_str(&health).contains("\"status\":\"ok\""));
+    assert_eq!(health.headers.get("content-type"), Some("application/json"));
+
+    // The served report is byte-identical to the offline serialization
+    // of the same study.
+    let (web, ds, out) = small_study();
+    let offline = serde_json::to_string(&cc_analysis::report::full_report(&web, &ds, &out)).unwrap();
+    let report = client.get("/report");
+    assert_eq!(report.status.0, 200);
+    assert_eq!(TestClient::body_str(&report), offline);
+
+    let section = client.get("/report/summary");
+    assert_eq!(section.status.0, 200);
+    assert!(TestClient::body_str(&section).contains("unique_url_paths"));
+    assert_eq!(client.get("/report/not-a-section").status.0, 404);
+
+    let smugglers = client.get("/smugglers?role=dedicated&limit=3");
+    assert_eq!(smugglers.status.0, 200);
+    assert!(TestClient::body_str(&smugglers).contains("\"role\":\"dedicated\""));
+    assert_eq!(client.get("/smugglers?role=bogus").status.0, 400);
+    assert_eq!(client.get("/smugglers?limit=many").status.0, 400);
+
+    let catalog = client.get("/catalog");
+    let catalog_body = TestClient::body_str(&catalog);
+    assert!(catalog_body.contains("\"sections\":[\"table-1\""));
+
+    let walk = client.get("/walks/0");
+    assert_eq!(walk.status.0, 200);
+    assert!(TestClient::body_str(&walk).contains("\"walk_id\":0"));
+    assert_eq!(client.get("/walks/999999").status.0, 404);
+
+    let metrics = client.get("/metrics");
+    assert_eq!(metrics.status.0, 200);
+    let run_report = cc_telemetry::RunReport::from_json(&TestClient::body_str(&metrics)).unwrap();
+    assert!(run_report.deterministic.counters["serve.requests"] >= 1);
+
+    // Wrong method on a data endpoint.
+    let mut post = client.request("/report");
+    post.method = Method::Post;
+    assert_eq!(client.send(&post).status.0, 405);
+
+    let final_metrics = handle.shutdown();
+    assert!(final_metrics.deterministic.counters["serve.requests"] >= 10);
+}
+
+#[test]
+fn etag_revalidation_round_trip() {
+    let handle = start(ServeConfig::default());
+    let mut client = TestClient::connect(handle.addr());
+
+    let first = client.get("/report");
+    let etag = first.headers.get("etag").expect("report has etag").to_string();
+    assert!(etag.starts_with('"') && etag.ends_with('"'), "strong etag, got {etag}");
+
+    // Matching If-None-Match: 304, empty body, same etag echoed.
+    let mut revalidate = client.request("/report");
+    revalidate.headers.set("if-none-match", etag.clone());
+    let not_modified = client.send(&revalidate);
+    assert_eq!(not_modified.status.0, 304);
+    assert!(not_modified.body.wire_bytes().is_empty());
+    assert_eq!(not_modified.headers.get("etag"), Some(etag.as_str()));
+
+    // A stale ETag gets the full body again.
+    let mut stale = client.request("/report");
+    stale.headers.set("if-none-match", "\"0000000000000000\"");
+    assert_eq!(client.send(&stale).status.0, 200);
+
+    // List form and wildcard both revalidate.
+    let mut listed = client.request("/report");
+    listed
+        .headers
+        .set("if-none-match", format!("\"other\", {etag}"));
+    assert_eq!(client.send(&listed).status.0, 304);
+    let mut wildcard = client.request("/healthz");
+    wildcard.headers.set("if-none-match", "*");
+    assert_eq!(client.send(&wildcard).status.0, 304);
+
+    let metrics = handle.shutdown();
+    assert!(metrics.deterministic.counters["serve.revalidated_304"] >= 3);
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_and_refuses_new_connects() {
+    // Two workers, slowed handling: connections pile up in the queue so
+    // shutdown has real work to drain.
+    let handle = start(ServeConfig {
+        workers: 2,
+        max_inflight: 16,
+        debug_delay_ms: 150,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // K connections with a request in flight.
+    const K: usize = 4;
+    let workers: Vec<_> = (0..K)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = TestClient::connect(addr);
+                let mut req = c.request("/healthz");
+                req.headers.set("connection", "close");
+                c.send(&req).status.0
+            })
+        })
+        .collect();
+
+    // Give the K requests time to be accepted, then ask for shutdown.
+    std::thread::sleep(Duration::from_millis(50));
+    let shutdown_status = std::thread::spawn(move || {
+        let mut c = TestClient::connect(addr);
+        let mut req = c.request("/shutdown");
+        req.method = Method::Post;
+        c.send(&req).status.0
+    });
+
+    // Every in-flight connection completes with a real response.
+    for w in workers {
+        assert_eq!(w.join().unwrap(), 200, "in-flight request dropped");
+    }
+    assert_eq!(shutdown_status.join().unwrap(), 200);
+
+    let metrics = handle.wait();
+    assert_eq!(metrics.deterministic.counters["serve.requests"], K as u64 + 1);
+
+    // The listener is gone: new connections are refused (or, at worst,
+    // immediately closed without an HTTP response).
+    std::thread::sleep(Duration::from_millis(50));
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(stream) => {
+            stream
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let req =
+                Request::navigation(Url::parse(&format!("http://{addr}/healthz")).unwrap());
+            let mut w = stream;
+            let outcome = req
+                .write_to(&mut w)
+                .and_then(|_| Response::read_from(&mut reader));
+            assert!(outcome.is_err(), "server answered after shutdown");
+        }
+    }
+}
+
+#[test]
+fn overload_sheds_503_and_counts_never_hangs() {
+    // One worker, slow handling, admission bound of 2: the first
+    // connection occupies the worker, the second queues, the third must
+    // be shed immediately with a 503.
+    let handle = start(ServeConfig {
+        workers: 1,
+        max_inflight: 2,
+        debug_delay_ms: 400,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    let first = std::thread::spawn(move || {
+        let mut c = TestClient::connect(addr);
+        let mut req = c.request("/report");
+        req.headers.set("connection", "close");
+        c.send(&req).status.0
+    });
+    std::thread::sleep(Duration::from_millis(100)); // worker picks up #1
+    let second = std::thread::spawn(move || {
+        let mut c = TestClient::connect(addr);
+        let mut req = c.request("/healthz");
+        req.headers.set("connection", "close");
+        c.send(&req).status.0
+    });
+    std::thread::sleep(Duration::from_millis(100)); // #2 sits in the queue
+
+    // Above the admission bound: an immediate 503, well before the
+    // worker frees up (i.e. no hang waiting behind the queue).
+    let mut shed_client = TestClient::connect(addr);
+    let started = std::time::Instant::now();
+    let shed_resp = shed_client.get("/healthz");
+    assert_eq!(shed_resp.status.0, 503);
+    assert!(
+        started.elapsed() < Duration::from_millis(300),
+        "shed response was not immediate ({:?})",
+        started.elapsed()
+    );
+    assert!(TestClient::body_str(&shed_resp).contains("overloaded"));
+
+    // The admitted connections still complete normally.
+    assert_eq!(first.join().unwrap(), 200);
+    assert_eq!(second.join().unwrap(), 200);
+
+    let metrics = handle.shutdown();
+    assert_eq!(metrics.deterministic.counters["serve.shed"], 1);
+    assert_eq!(metrics.deterministic.counters["serve.requests"], 2);
+}
+
+#[test]
+fn malformed_requests_get_mapped_statuses() {
+    let handle = start(ServeConfig::default());
+    let addr = handle.addr();
+
+    // Oversized header line → 431.
+    {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        use std::io::Write as _;
+        let huge = "x".repeat(9000);
+        write!(w, "GET /healthz HTTP/1.1\r\nhost: a\r\nbig: {huge}\r\n\r\n").unwrap();
+        let resp = Response::read_from(&mut reader).unwrap();
+        assert_eq!(resp.status.0, 431);
+    }
+
+    // Unsupported method → 405 with a close.
+    {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        use std::io::Write as _;
+        write!(w, "DELETE /report HTTP/1.1\r\nhost: a\r\n\r\n").unwrap();
+        let resp = Response::read_from(&mut reader).unwrap();
+        assert_eq!(resp.status.0, 405);
+        assert_eq!(resp.headers.get("connection"), Some("close"));
+        // And the server closed the connection after answering.
+        assert_eq!(
+            Response::read_from(&mut reader).unwrap_err(),
+            WireError::Closed
+        );
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn invalid_config_is_rejected() {
+    let (web, ds, out) = small_study();
+    let index = ServingIndex::build(&web, &ds, &out).unwrap();
+    let bad = ServeConfig {
+        workers: 4,
+        max_inflight: 2,
+        ..ServeConfig::default()
+    };
+    assert!(Server::start(index, bad).is_err());
+}

@@ -59,6 +59,18 @@ impl Histogram {
         self.count
     }
 
+    /// Fold another histogram's observations into this one (used to merge
+    /// per-thread latency histograms into an aggregate).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// Estimate the `q`-quantile (0 < q ≤ 1) in milliseconds: the
     /// geometric midpoint of the bucket holding the target rank, clamped
     /// to the exact observed min/max.
@@ -173,6 +185,26 @@ mod tests {
         assert_eq!(s.p50_ms, 42.0);
         assert_eq!(s.p99_ms, 42.0);
         assert_eq!(s.mean_ms, 42.0);
+    }
+
+    #[test]
+    fn merge_matches_interleaved_observation() {
+        let mut all = Histogram::default();
+        let mut left = Histogram::default();
+        let mut right = Histogram::default();
+        for ms in 1..=100 {
+            all.observe_ms(ms as f64);
+            if ms % 2 == 0 {
+                left.observe_ms(ms as f64);
+            } else {
+                right.observe_ms(ms as f64);
+            }
+        }
+        let mut merged = Histogram::default();
+        merged.merge(&left);
+        merged.merge(&right);
+        merged.merge(&Histogram::default()); // empty merge is a no-op
+        assert_eq!(merged.summarize(), all.summarize());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! crumbcruncher blocklist  [opts] --out F    run + emit the released blocklist bundle
 //! crumbcruncher defense    [opts]            score the §7 defenses on a fresh crawl
 //! crumbcruncher truth      [opts]            precision/recall against ground truth
+//! crumbcruncher serve      [opts]            serve the results over HTTP (cc-serve)
+//! crumbcruncher loadgen    [opts] --target A generate load against a serve instance
 //! ```
 //!
 //! Parsing is a thin layer over [`StudyConfig`]: every flag sets one field
@@ -36,6 +38,10 @@ pub enum Command {
     Defense,
     /// Score the pipeline against ground truth.
     Truth,
+    /// Serve a finished study (or a checkpoint) over HTTP.
+    Serve,
+    /// Generate load against a running serve instance.
+    Loadgen,
     /// Print usage.
     Help,
 }
@@ -63,6 +69,24 @@ pub struct Cli {
     pub metrics_out: Option<String>,
     /// Print the human-readable span tree to stderr after the run.
     pub trace: bool,
+    /// `report`: print the analysis report as canonical JSON (the same
+    /// bytes a serve instance answers on `/report`).
+    pub json: bool,
+    /// `serve`: build the index from this crawl checkpoint instead of
+    /// running a fresh study.
+    pub load: Option<String>,
+    /// `serve`: write the bound address (with the real port) here.
+    pub addr_file: Option<String>,
+    /// `loadgen`: the serve instance to aim at.
+    pub target: Option<String>,
+    /// `loadgen`: concurrent users.
+    pub users: Option<usize>,
+    /// `loadgen`: requests per user.
+    pub duration_requests: Option<usize>,
+    /// `loadgen`: task-mix name.
+    pub mix: Option<String>,
+    /// `loadgen`: write the load report (`BENCH_serve.json`) here.
+    pub bench_out: Option<String>,
 }
 
 /// Usage text.
@@ -78,6 +102,9 @@ COMMANDS:
   blocklist   run the pipeline and write the released blocklist bundle (requires --out)
   defense     score the §7 countermeasures against a fresh crawl
   truth       score the pipeline against the simulator's ground truth
+  serve       serve the analysis over HTTP: /report, /smugglers, /uids/{domain},
+              /walks/{id}, /metrics (runs a study, or loads one with --load)
+  loadgen     drive a running serve instance with weighted load (requires --target)
   help        print this message
 
 OPTIONS:
@@ -105,6 +132,23 @@ FAULT TOLERANCE:
                        dataset is identical to an uninterrupted run
   --kill-after N       stop the crawl gracefully after N new walks (writes
                        a final checkpoint when --checkpoint is set)
+
+SERVING:
+  --load PATH          serve from a finished crawl checkpoint instead of crawling
+  --addr HOST:PORT     bind address (default 127.0.0.1:8040; port 0 = ephemeral)
+  --serve-workers N    server worker threads (default 8)
+  --max-inflight N     admission bound; connections beyond it are shed with 503
+  --addr-file PATH     write the bound address (with the real port) to PATH
+  --json               report: print the analysis as canonical JSON — byte-identical
+                       to what a serve instance answers on /report
+
+LOAD GENERATION:
+  --target HOST:PORT      the serve instance to aim at (required for loadgen)
+  --users N               concurrent users, one keep-alive connection each
+                          (default 4; keep at or below the server's workers)
+  --duration-requests N   requests per user (default 250)
+  --mix NAME              task mix: mixed | reports | lookups (default mixed)
+  --bench-out PATH        write the load report JSON (BENCH_serve.json shape)
 
 TELEMETRY:
   --out PATH       output file for crawl/blocklist
@@ -134,11 +178,30 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
     let mut out = None;
     let mut metrics_out = None;
     let mut trace = false;
+    let mut json = false;
+    let mut load = None;
+    let mut addr_file = None;
+    let mut target = None;
+    let mut users = None;
+    let mut duration_requests = None;
+    let mut mix = None;
+    let mut bench_out = None;
+
+    // Every flag sets exactly one thing; a repeated flag is always a
+    // mistake (usually an edited command line), so reject it by name
+    // instead of silently letting the last occurrence win.
+    let mut seen_flags: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
+        if arg.starts_with("--") && !seen_flags.insert(arg.as_str()) {
+            return Err(CcError::cli(format!(
+                "duplicate flag {arg}: each flag may be given at most once"
+            )));
+        }
         match arg.as_str() {
-            "report" | "crawl" | "blocklist" | "defense" | "truth" | "help" => {
+            "report" | "crawl" | "blocklist" | "defense" | "truth" | "serve" | "loadgen"
+            | "help" => {
                 if command.is_some() {
                     return Err(CcError::cli(format!("unexpected second command {arg:?}")));
                 }
@@ -148,6 +211,8 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
                     "blocklist" => Command::Blocklist,
                     "defense" => Command::Defense,
                     "truth" => Command::Truth,
+                    "serve" => Command::Serve,
+                    "loadgen" => Command::Loadgen,
                     _ => Command::Help,
                 });
             }
@@ -207,6 +272,23 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
             "--out" => out = Some(path_arg(&mut it, "--out")?),
             "--metrics-out" => metrics_out = Some(path_arg(&mut it, "--metrics-out")?),
             "--trace" => trace = true,
+            "--json" => json = true,
+            "--load" => load = Some(path_arg(&mut it, "--load")?),
+            "--addr" => study.serve.addr = path_arg(&mut it, "--addr")?,
+            "--serve-workers" => {
+                study.serve.workers = numeric(&mut it, "--serve-workers")? as usize
+            }
+            "--max-inflight" => {
+                study.serve.max_inflight = numeric(&mut it, "--max-inflight")? as usize
+            }
+            "--addr-file" => addr_file = Some(path_arg(&mut it, "--addr-file")?),
+            "--target" => target = Some(path_arg(&mut it, "--target")?),
+            "--users" => users = Some(numeric(&mut it, "--users")? as usize),
+            "--duration-requests" => {
+                duration_requests = Some(numeric(&mut it, "--duration-requests")? as usize)
+            }
+            "--mix" => mix = Some(path_arg(&mut it, "--mix")?),
+            "--bench-out" => bench_out = Some(path_arg(&mut it, "--bench-out")?),
             other => return Err(CcError::cli(format!("unknown argument {other:?}"))),
         }
     }
@@ -232,6 +314,17 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
             format!("{command:?} requires --out PATH").to_lowercase(),
         ));
     }
+    if command == Command::Loadgen && target.is_none() {
+        return Err(CcError::cli("loadgen requires --target HOST:PORT"));
+    }
+    if let Some(name) = mix.as_deref() {
+        if cc_loadgen::TaskMix::named(name).is_none() {
+            return Err(CcError::cli(format!(
+                "unknown mix {name:?} (expected one of {:?})",
+                cc_loadgen::TaskMix::NAMES
+            )));
+        }
+    }
     Ok(Cli {
         command,
         study,
@@ -241,6 +334,14 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
         out,
         metrics_out,
         trace,
+        json,
+        load,
+        addr_file,
+        target,
+        users,
+        duration_requests,
+        mix,
+        bench_out,
     })
 }
 
@@ -288,6 +389,15 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
 
     if cli.command == Command::Help {
         return Ok(USAGE.to_string());
+    }
+    // Serving and load generation manage their own lifecycles (a server
+    // blocks until shutdown; loadgen talks to a remote process), so they
+    // bypass the study-then-report flow below.
+    if cli.command == Command::Serve {
+        return run_serve(cli);
+    }
+    if cli.command == Command::Loadgen {
+        return run_loadgen(cli);
     }
 
     // Telemetry is opt-in: a session only exists when a telemetry flag
@@ -342,10 +452,101 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
     result
 }
 
+/// Run the `serve` subcommand: build the index (from a checkpoint or a
+/// fresh study), start the server, and block until it is shut down via
+/// `POST /shutdown`.
+fn run_serve(cli: &Cli) -> Result<String, CcError> {
+    let index = match cli.load.as_deref() {
+        Some(path) => cc_serve::ServingIndex::from_checkpoint_path(path)?,
+        None => {
+            let study = crate::Study::from_config(&cli.study)?;
+            cc_serve::ServingIndex::build(&study.web, &study.dataset, &study.output)?
+        }
+    };
+    let (walks, findings) = (index.walks(), index.findings());
+    let policy = &cli.study.serve;
+    let handle = cc_serve::Server::start(
+        index,
+        cc_serve::ServeConfig {
+            addr: policy.addr.clone(),
+            workers: policy.workers,
+            max_inflight: policy.max_inflight,
+            keep_alive_ms: policy.keep_alive_ms,
+            debug_delay_ms: 0,
+        },
+    )?;
+    let addr = handle.addr();
+    if let Some(path) = cli.addr_file.as_deref() {
+        std::fs::write(path, addr.to_string()).map_err(|e| CcError::io(path, e))?;
+    }
+    eprintln!(
+        "cc-serve listening on http://{addr} — {walks} walks, {findings} findings; \
+         POST /shutdown to stop"
+    );
+
+    let metrics = handle.wait();
+    if let Some(path) = cli.metrics_out.as_deref() {
+        let json = metrics
+            .to_json()
+            .map_err(|e| CcError::Serde(format!("serialize serve metrics: {e}")))?;
+        std::fs::write(path, &json).map_err(|e| CcError::io(path, e))?;
+    }
+    let requests = metrics
+        .deterministic
+        .counters
+        .get("serve.requests")
+        .copied()
+        .unwrap_or(0);
+    Ok(format!("shut down cleanly after {requests} requests\n"))
+}
+
+/// Run the `loadgen` subcommand against an already-running serve
+/// instance.
+fn run_loadgen(cli: &Cli) -> Result<String, CcError> {
+    let target = cli.target.clone().expect("validated in parse");
+    let mut cfg = cc_loadgen::LoadConfig::new(target);
+    cfg.mix = cc_loadgen::TaskMix::named(cli.mix.as_deref().unwrap_or("mixed"))
+        .expect("validated in parse");
+    cfg.seed = cli.study.seed;
+    if let Some(u) = cli.users {
+        cfg.users = u;
+    }
+    if let Some(r) = cli.duration_requests {
+        cfg.requests_per_user = r;
+    }
+
+    let report = cc_loadgen::run_load(&cfg)?;
+    if let Some(path) = cli.bench_out.as_deref() {
+        std::fs::write(path, report.to_json()?).map_err(|e| CcError::io(path, e))?;
+    }
+    let a = &report.aggregate;
+    Ok(format!(
+        "{} requests ({} users x {}) in {:.0} ms — {:.0} req/s\n\
+         ok {}  304 {}  4xx {}  5xx {} (shed {})  transport {}\n\
+         latency p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms\n",
+        report.total_requests,
+        report.users,
+        report.requests_per_user,
+        report.elapsed_ms,
+        report.throughput_rps,
+        a.ok,
+        a.not_modified,
+        a.client_errors,
+        a.server_errors,
+        a.shed,
+        a.transport_errors,
+        a.latency.p50_ms,
+        a.latency.p90_ms,
+        a.latency.p99_ms,
+    ))
+}
+
 /// Run the subcommand against a finished study; returns the text to print.
 fn execute(cli: &Cli, study: &crate::Study) -> Result<String, CcError> {
     match cli.command {
-        Command::Help => unreachable!("handled above"),
+        Command::Help | Command::Serve | Command::Loadgen => unreachable!("handled above"),
+        Command::Report if cli.json => serde_json::to_string(&study.report())
+            .map_err(|e| CcError::Serde(format!("serialize report: {e}"))),
         Command::Report => Ok(study.report().render()),
         Command::Crawl => {
             let json = study
@@ -507,6 +708,155 @@ mod tests {
         let mut parallel = parse(&argv(&format!("{base} --workers 3"))).unwrap();
         parallel.study.web = web;
         assert_eq!(run(&serial).unwrap(), run(&parallel).unwrap());
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected_by_name() {
+        let err = parse(&argv("report --seed 1 --seed 2")).unwrap_err().to_string();
+        assert!(err.contains("duplicate flag --seed"), "unhelpful error: {err}");
+        let err = parse(&argv("crawl --out a.json --out b.json"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate flag --out"), "unhelpful error: {err}");
+        let err = parse(&argv("report --trace --trace")).unwrap_err().to_string();
+        assert!(err.contains("duplicate flag --trace"), "unhelpful error: {err}");
+        // A value that happens to equal a flag's spelling is a value,
+        // not a second occurrence.
+        let cli = parse(&argv("crawl --out --seed --seed 3")).unwrap();
+        assert_eq!(cli.out.as_deref(), Some("--seed"));
+        assert_eq!(cli.study.seed, 3);
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let cli = parse(&argv(
+            "serve --addr 127.0.0.1:0 --serve-workers 2 --max-inflight 8 \
+             --load ck.json --addr-file addr.txt",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.study.serve.addr, "127.0.0.1:0");
+        assert_eq!(cli.study.serve.workers, 2);
+        assert_eq!(cli.study.serve.max_inflight, 8);
+        assert_eq!(cli.load.as_deref(), Some("ck.json"));
+        assert_eq!(cli.addr_file.as_deref(), Some("addr.txt"));
+
+        let cli = parse(&argv("serve")).unwrap();
+        assert_eq!(cli.study.serve.addr, "127.0.0.1:8040");
+        assert_eq!(cli.study.serve.workers, 8);
+        assert!(cli.load.is_none());
+
+        assert!(
+            parse(&argv("serve --serve-workers 8 --max-inflight 2")).is_err(),
+            "admission bound below the worker count is nonsense"
+        );
+    }
+
+    #[test]
+    fn parse_loadgen_flags() {
+        let cli = parse(&argv(
+            "loadgen --target 127.0.0.1:9 --users 2 --duration-requests 50 \
+             --mix lookups --bench-out BENCH_serve.json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Loadgen);
+        assert_eq!(cli.target.as_deref(), Some("127.0.0.1:9"));
+        assert_eq!(cli.users, Some(2));
+        assert_eq!(cli.duration_requests, Some(50));
+        assert_eq!(cli.mix.as_deref(), Some("lookups"));
+        assert_eq!(cli.bench_out.as_deref(), Some("BENCH_serve.json"));
+
+        assert!(parse(&argv("loadgen")).is_err(), "loadgen requires --target");
+        let err = parse(&argv("loadgen --target 127.0.0.1:9 --mix chaos"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("chaos"), "unhelpful mix error: {err}");
+    }
+
+    #[test]
+    fn serve_and_loadgen_end_to_end_through_the_cli() {
+        let dir = std::env::temp_dir().join("ccrs-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr.txt");
+        let bench = dir.join("BENCH_serve.json");
+        std::fs::remove_file(&addr_file).ok();
+
+        // The server: a small fresh study on an ephemeral port.
+        let mut serve_cli = parse(&argv(&format!(
+            "serve --seed 5 --steps 5 --walks 15 --addr 127.0.0.1:0 \
+             --serve-workers 4 --addr-file {}",
+            addr_file.display()
+        )))
+        .unwrap();
+        serve_cli.study.web = cc_web::WebConfig::small();
+        let server = std::thread::spawn(move || run(&serve_cli));
+
+        // Wait for the addr file to appear (the crawl takes a moment).
+        let addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "server never came up");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        };
+
+        // Drive it through the loadgen subcommand.
+        let loadgen_cli = parse(&argv(&format!(
+            "loadgen --target {addr} --users 2 --duration-requests 30 --bench-out {}",
+            bench.display()
+        )))
+        .unwrap();
+        let summary = run(&loadgen_cli).unwrap();
+        assert!(summary.contains("60 requests"), "unexpected summary: {summary}");
+        let bench_report = crate::loadgen::LoadReport::from_json(
+            &std::fs::read_to_string(&bench).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(bench_report.total_requests, 60);
+        assert_eq!(bench_report.aggregate.server_errors, 0);
+        assert_eq!(bench_report.aggregate.transport_errors, 0);
+
+        // The served /report is byte-identical to `report --json` of the
+        // same study.
+        let mut report_cli =
+            parse(&argv("report --json --seed 5 --steps 5 --walks 15")).unwrap();
+        report_cli.study.web = cc_web::WebConfig::small();
+        let offline = run(&report_cli).unwrap();
+        let served = {
+            use std::io::{BufReader, Write};
+            let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            write!(stream, "GET /report HTTP/1.1\r\nhost: {addr}\r\n\r\n").unwrap();
+            let resp = crate::http::Response::read_from(&mut reader).unwrap();
+            assert_eq!(resp.status.0, 200);
+            String::from_utf8(resp.body.wire_bytes().to_vec()).unwrap()
+        };
+        assert_eq!(served, offline, "served report diverged from the offline one");
+
+        // Shut the server down over the wire and join the serve command.
+        {
+            use std::io::Write;
+            let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+            write!(
+                stream,
+                "POST /shutdown HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\n\r\n"
+            )
+            .unwrap();
+        }
+        let farewell = server.join().unwrap().unwrap();
+        assert!(
+            farewell.contains("shut down cleanly"),
+            "unexpected serve output: {farewell}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`core`] — the analysis pipeline ([`cc_core`]);
 //! * [`analysis`] — tables and figures ([`cc_analysis`]);
 //! * [`defense`] — the §7 countermeasures ([`cc_defense`]);
+//! * [`serve`] — the HTTP query/serving layer ([`cc_serve`]);
+//! * [`loadgen`] — the goose-style load generator ([`cc_loadgen`]);
 //! * plus the low-level substrates [`url`], [`net`], [`http`], [`util`].
 //!
 //! [`Study`] wires the whole thing together:
@@ -38,7 +40,9 @@ pub use cc_core as core;
 pub use cc_crawler as crawler;
 pub use cc_defense as defense;
 pub use cc_http as http;
+pub use cc_loadgen as loadgen;
 pub use cc_net as net;
+pub use cc_serve as serve;
 pub use cc_telemetry as telemetry;
 pub use cc_url as url;
 pub use cc_util as util;
