@@ -16,6 +16,7 @@
 //! | [`failures`] | §3.3's failure-independence-across-steps expectation |
 //! | [`cname`] | §8.3 extension: CNAME-cloaking detection |
 //! | [`cookie_sync`] | §8.2 related work: cookie-sync detection and the partitioning limit |
+//! | [`species`] | Evasion-species precision/recall × defense matrix (DESIGN §5f) |
 //! | [`report`] | Rendering everything as paper-style text tables |
 
 #![warn(missing_docs)]
@@ -31,11 +32,13 @@ pub mod orgs;
 pub mod paths;
 pub mod redirectors;
 pub mod report;
+pub mod species;
 pub mod summary;
 pub mod third_party;
 
 pub use redirectors::{classify_redirectors, RedirectorClass, RedirectorProfile};
 pub use report::{section_by_slug, AnalysisReport, ReportSection};
+pub use species::{species_evasion, SpeciesEvasion, SpeciesRow};
 pub use summary::{summarize, Summary};
 
 /// Extract the FQDN from a `host/path` string (the `url_path` unit).

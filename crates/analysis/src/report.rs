@@ -19,6 +19,7 @@ use crate::fingerprint::{fingerprint_experiment, FingerprintExperiment};
 use crate::orgs::{figure4, OrgAppearances};
 use crate::paths::{figure7, figure8, Fig7Bar, Fig8Bar};
 use crate::redirectors::{table3, Table3Row};
+use crate::species::{species_evasion, SpeciesEvasion};
 use crate::summary::{summarize, Summary};
 use crate::third_party::{figure6, ThirdPartyRow};
 
@@ -83,6 +84,10 @@ pub struct AnalysisReport {
     pub cookie_sync: CookieSyncReport,
     /// Failure independence across walk steps (§3.3's expectation).
     pub step_failures: StepFailureReport,
+    /// Species-evasion matrix (empty for worlds without evasion species;
+    /// defaulted so pre-species serialized reports still deserialize).
+    #[serde(default)]
+    pub species: SpeciesEvasion,
 }
 
 /// The addressable sections of an [`AnalysisReport`].
@@ -126,11 +131,14 @@ pub enum ReportSection {
     StepFailures,
     /// CNAME-cloaking findings (§8.3 extension).
     Cloaking,
+    /// Species-evasion matrix: per-species precision/recall × defense
+    /// defeat rates from ground truth (DESIGN §5f).
+    SpeciesEvasion,
 }
 
 impl ReportSection {
     /// Every section, in report order.
-    pub const ALL: [ReportSection; 16] = [
+    pub const ALL: [ReportSection; 17] = [
         ReportSection::Table1,
         ReportSection::Summary,
         ReportSection::Table3,
@@ -147,6 +155,7 @@ impl ReportSection {
         ReportSection::CookieSync,
         ReportSection::StepFailures,
         ReportSection::Cloaking,
+        ReportSection::SpeciesEvasion,
     ];
 
     /// The stable kebab-case slug this section is addressed by.
@@ -168,6 +177,7 @@ impl ReportSection {
             ReportSection::CookieSync => "cookie-sync",
             ReportSection::StepFailures => "step-failures",
             ReportSection::Cloaking => "cloaking",
+            ReportSection::SpeciesEvasion => "species-evasion",
         }
     }
 
@@ -191,13 +201,43 @@ impl ReportSection {
             ReportSection::CookieSync => "Cookie syncing (§8.2)",
             ReportSection::StepFailures => "Failure independence across steps (§3.3)",
             ReportSection::Cloaking => "CNAME cloaking (§8.3 extension)",
+            ReportSection::SpeciesEvasion => "Species evasion (ground truth)",
         }
     }
 }
 
+/// Build the slug → section table, failing on a duplicate slug.
+///
+/// `section_by_slug` used to scan [`ReportSection::ALL`] linearly and
+/// silently return the *first* match — a new section accidentally reusing
+/// an existing slug would shadow it and every `/report/{slug}` request
+/// would serve the wrong bytes. Construction now rejects duplicates.
+pub fn build_slug_registry(
+    sections: &[ReportSection],
+) -> Result<std::collections::BTreeMap<&'static str, ReportSection>, CcError> {
+    let mut m = std::collections::BTreeMap::new();
+    for s in sections {
+        if let Some(prev) = m.insert(s.slug(), *s) {
+            return Err(CcError::Config(format!(
+                "duplicate report-section slug {:?} ({prev:?} vs {s:?})",
+                s.slug()
+            )));
+        }
+    }
+    Ok(m)
+}
+
+fn slug_registry() -> &'static std::collections::BTreeMap<&'static str, ReportSection> {
+    static REGISTRY: std::sync::OnceLock<std::collections::BTreeMap<&'static str, ReportSection>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        build_slug_registry(&ReportSection::ALL).expect("ReportSection slugs are unique")
+    })
+}
+
 /// Look up a section by its kebab-case slug.
 pub fn section_by_slug(slug: &str) -> Option<ReportSection> {
-    ReportSection::ALL.into_iter().find(|s| s.slug() == slug)
+    slug_registry().get(slug).copied()
 }
 
 /// Build the complete report.
@@ -231,6 +271,7 @@ pub fn full_report(
         manual_entered: output.stats.entered_manual,
         manual_removed: output.stats.manual_removed,
         cookie_sync: section("report.cookie_sync", || detect_cookie_sync(dataset)),
+        species: section("report.species", || species_evasion(web, output)),
         step_failures: section("report.step_failures", || {
             failures_by_step(
                 dataset,
@@ -293,6 +334,7 @@ impl AnalysisReport {
                 serde_json::to_value(&self.step_failures).map_err(serde)?
             }
             ReportSection::Cloaking => serde_json::to_value(&self.cloaked).map_err(serde)?,
+            ReportSection::SpeciesEvasion => serde_json::to_value(&self.species).map_err(serde)?,
         })
     }
 
@@ -525,6 +567,30 @@ impl AnalysisReport {
                 let _ = writeln!(s, "  {} -> {}", c.host, c.canonical);
             }
         }
+
+        if !self.species.is_empty() {
+            let _ = writeln!(s, "\n== {} ==", ReportSection::SpeciesEvasion.heading());
+            for r in &self.species.rows {
+                let _ = writeln!(
+                    s,
+                    "  {:<16} {:>2} trackers {:>4} findings  P {:.2}  R {:.2}  \
+                     evades strip {:>3.0}% debounce {:>3.0}%  itp-flag {:>3.0}%  defeats: {}",
+                    r.species,
+                    r.trackers,
+                    r.findings,
+                    r.precision,
+                    r.recall,
+                    r.strip_evasion * 100.0,
+                    r.debounce_evasion * 100.0,
+                    r.itp_flag_rate * 100.0,
+                    if r.defeats.is_empty() {
+                        "-".to_string()
+                    } else {
+                        r.defeats.join(", ")
+                    }
+                );
+            }
+        }
         s
     }
 }
@@ -626,10 +692,10 @@ mod tests {
                 "renderer banner {b:?} has no ReportSection"
             );
         }
-        // ...and every section appears in the render (cloaking only when
-        // there are findings to print).
+        // ...and every section appears in the render (cloaking and the
+        // species matrix only when there are findings to print).
         for s in ReportSection::ALL {
-            if s == ReportSection::Cloaking {
+            if matches!(s, ReportSection::Cloaking | ReportSection::SpeciesEvasion) {
                 continue;
             }
             assert!(
@@ -637,6 +703,60 @@ mod tests {
                 "section {s:?} missing from render"
             );
         }
+    }
+
+    #[test]
+    fn species_section_renders_when_species_present() {
+        let web = generate(&WebConfig::small().all_species());
+        let ds = Walker::new(
+            &web,
+            CrawlConfig {
+                seed: 5,
+                steps_per_walk: 5,
+                max_walks: Some(20),
+                connect_failure_rate: 0.0,
+                ..CrawlConfig::default()
+            },
+        )
+        .crawl();
+        let out = cc_core::run_pipeline(&ds);
+        let r = full_report(&web, &ds, &out);
+        assert!(!r.species.is_empty());
+        assert!(r
+            .render()
+            .contains(ReportSection::SpeciesEvasion.heading()));
+        // Baseline render stays species-free.
+        assert!(!report()
+            .render()
+            .contains(ReportSection::SpeciesEvasion.heading()));
+    }
+
+    #[test]
+    fn slug_registry_rejects_duplicates() {
+        let ok = build_slug_registry(&ReportSection::ALL).unwrap();
+        assert_eq!(ok.len(), ReportSection::ALL.len());
+        let err = build_slug_registry(&[ReportSection::Table1, ReportSection::Table1]);
+        assert!(
+            matches!(err, Err(cc_util::CcError::Config(ref m)) if m.contains("table-1")),
+            "duplicate slug must be a constructor error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn pre_species_reports_still_deserialize() {
+        let r = report();
+        let v = serde_json::to_value(&r).unwrap();
+        // A report serialized before the species field existed.
+        let pruned: serde_json::Map = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .filter(|(k, _)| k.as_str() != "species")
+            .map(|(k, val)| (k.clone(), val.clone()))
+            .collect();
+        let back: AnalysisReport =
+            serde_json::from_value(serde_json::Value::Object(pruned)).unwrap();
+        assert!(back.species.is_empty());
     }
 
     #[test]

@@ -49,6 +49,42 @@ impl TruthScore {
     }
 }
 
+/// Evaluate classified groups against the truth ledger, **per tracker**.
+///
+/// Only groups whose truth label is `Uid { tracker: Some(id) }` attribute
+/// to a tracker — which is exactly what the species-evasion matrix needs:
+/// every species UID carries its minting tracker, so per-species
+/// precision/recall falls out of grouping these scorecards by
+/// `TrackerKind`. Site-owned UIDs (`tracker: None`), non-UID labels, and
+/// unlabeled groups have no tracker to charge and are skipped; false
+/// positives against a *specific* tracker cannot be attributed from the
+/// ledger alone (the ledger knows what a value is, not who the classifier
+/// blamed), so callers combine this with the aggregate [`score`].
+pub fn score_by_tracker(
+    groups: &[TokenGroup],
+    truth: &TruthLog,
+) -> std::collections::BTreeMap<cc_web::TrackerId, TruthScore> {
+    let mut by_tracker: std::collections::BTreeMap<cc_web::TrackerId, TruthScore> =
+        std::collections::BTreeMap::new();
+    for g in groups {
+        let label = g.values.values().flatten().find_map(|v| truth.get(v));
+        let Some(TokenTruth::Uid {
+            tracker: Some(tid),
+            fingerprint_based,
+        }) = label
+        else {
+            continue;
+        };
+        let s = by_tracker.entry(tid).or_default();
+        match g.verdict {
+            Verdict::Uid => s.true_positives += 1,
+            Verdict::Discarded(_) if fingerprint_based => s.fingerprint_misses += 1,
+            Verdict::Discarded(_) => s.false_negatives += 1,
+        }
+    }
+    by_tracker
+}
+
 /// Evaluate classified groups against the truth ledger.
 pub fn score(groups: &[TokenGroup], truth: &TruthLog) -> TruthScore {
     let mut s = TruthScore::default();
@@ -149,5 +185,60 @@ mod tests {
         let s = TruthScore::default();
         assert_eq!(s.precision(), 1.0);
         assert_eq!(s.recall(), 1.0);
+    }
+
+    #[test]
+    fn per_tracker_attribution() {
+        let mut truth = TruthLog::new();
+        truth.note(
+            "t1-uid-a",
+            TokenTruth::Uid {
+                tracker: Some(TrackerId(1)),
+                fingerprint_based: false,
+            },
+        );
+        truth.note(
+            "t1-uid-b",
+            TokenTruth::Uid {
+                tracker: Some(TrackerId(1)),
+                fingerprint_based: false,
+            },
+        );
+        truth.note(
+            "t2-fp-uid",
+            TokenTruth::Uid {
+                tracker: Some(TrackerId(2)),
+                fingerprint_based: true,
+            },
+        );
+        truth.note(
+            "site-uid",
+            TokenTruth::Uid {
+                tracker: None,
+                fingerprint_based: false,
+            },
+        );
+        truth.note("session", TokenTruth::SessionId);
+
+        let groups = vec![
+            group("t1-uid-a", Verdict::Uid),
+            group(
+                "t1-uid-b",
+                Verdict::Discarded(DiscardReason::SameAcrossUsers),
+            ),
+            group("t2-fp-uid", Verdict::Discarded(DiscardReason::Manual)),
+            group("site-uid", Verdict::Uid),    // no tracker → skipped
+            group("session", Verdict::Uid),     // non-UID truth → skipped
+            group("never-minted", Verdict::Uid), // unlabeled → skipped
+        ];
+        let by = score_by_tracker(&groups, &truth);
+        assert_eq!(by.len(), 2);
+        let t1 = by[&TrackerId(1)];
+        assert_eq!(t1.true_positives, 1);
+        assert_eq!(t1.false_negatives, 1);
+        assert!((t1.recall() - 0.5).abs() < 1e-12);
+        let t2 = by[&TrackerId(2)];
+        assert_eq!(t2.fingerprint_misses, 1);
+        assert_eq!(t2.true_positives, 0);
     }
 }

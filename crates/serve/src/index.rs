@@ -99,6 +99,11 @@ impl ServingIndex {
     pub fn from_checkpoint_path(path: &str) -> Result<ServingIndex, CcError> {
         let ck = CrawlCheckpoint::load(path)?;
         let web = generate(&ck.study.web);
+        // The regenerated world's ledger is empty (truth accumulates
+        // during the crawl); restore the checkpointed ledger so
+        // ground-truth-scored sections (species evasion) serve the same
+        // bytes as the offline report of the original run.
+        web.absorb_truth(&ck.truth);
         let output = cc_core::run_pipeline(&ck.partial);
         Self::build(&web, &ck.partial, &output)
     }

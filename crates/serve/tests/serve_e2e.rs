@@ -107,6 +107,12 @@ fn endpoints_serve_expected_json() {
     assert_eq!(client.get("/smugglers?role=bogus").status.0, 400);
     assert_eq!(client.get("/smugglers?limit=many").status.0, 400);
 
+    // The species-evasion route exists on every study; a baseline world
+    // serves the empty matrix.
+    let species = client.get("/report/species-evasion");
+    assert_eq!(species.status.0, 200);
+    assert!(TestClient::body_str(&species).contains("\"rows\":[]"));
+
     let catalog = client.get("/catalog");
     let catalog_body = TestClient::body_str(&catalog);
     assert!(catalog_body.contains("\"sections\":[\"table-1\""));
@@ -164,6 +170,58 @@ fn etag_revalidation_round_trip() {
 
     let metrics = handle.shutdown();
     assert!(metrics.deterministic.counters["serve.revalidated_304"] >= 3);
+}
+
+#[test]
+fn species_evasion_section_is_served_byte_identically_with_etag() {
+    // An all-species study: the species-evasion matrix is non-empty, the
+    // served bytes match the offline serialization exactly, and the new
+    // route participates in ETag revalidation like every other section.
+    let web = generate(&WebConfig::small().all_species());
+    let ds = Walker::new(
+        &web,
+        CrawlConfig {
+            seed: 5,
+            steps_per_walk: 5,
+            max_walks: Some(15),
+            connect_failure_rate: 0.0,
+            ..CrawlConfig::default()
+        },
+    )
+    .crawl();
+    let out = cc_core::run_pipeline(&ds);
+    let offline = cc_analysis::report::full_report(&web, &ds, &out)
+        .section_json(cc_analysis::ReportSection::SpeciesEvasion)
+        .unwrap();
+
+    let index = ServingIndex::build(&web, &ds, &out).unwrap();
+    let handle = Server::start(index, ServeConfig::default()).unwrap();
+    let mut client = TestClient::connect(handle.addr());
+
+    let resp = client.get("/report/species-evasion");
+    assert_eq!(resp.status.0, 200);
+    let body = TestClient::body_str(&resp);
+    assert_eq!(body, offline, "served section diverged from the offline bytes");
+    for label in ["bounce-remint", "etag-respawn", "consent-gated", "spa-pushstate", "cname-cloaked"]
+    {
+        assert!(body.contains(label), "matrix is missing the {label} row");
+    }
+
+    // ETag round trip on the species route.
+    let etag = resp.headers.get("etag").expect("section has etag").to_string();
+    let mut revalidate = client.request("/report/species-evasion");
+    revalidate.headers.set("if-none-match", etag.clone());
+    let not_modified = client.send(&revalidate);
+    assert_eq!(not_modified.status.0, 304);
+    assert!(not_modified.body.wire_bytes().is_empty());
+    assert_eq!(not_modified.headers.get("etag"), Some(etag.as_str()));
+
+    let mut stale = client.request("/report/species-evasion");
+    stale.headers.set("if-none-match", "\"0000000000000000\"");
+    assert_eq!(client.send(&stale).status.0, 200);
+
+    let metrics = handle.shutdown();
+    assert!(metrics.deterministic.counters["serve.revalidated_304"] >= 1);
 }
 
 #[test]

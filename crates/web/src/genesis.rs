@@ -90,6 +90,25 @@ pub struct WebConfig {
     /// loading the same slot agree on the ad more often (lower divergence,
     /// §3.3's 1.8%), lower ⇒ more single-crawler dynamic cases (§3.7.2).
     pub slot_rotation_zipf: f64,
+    /// Bounce-to-remint evasion trackers ([`TrackerKind::RemintBouncer`]).
+    /// All five species counts default to zero, and species generation
+    /// draws exclusively from fresh named RNG streams — so worlds with the
+    /// species disabled are byte-identical to pre-species worlds (and old
+    /// serialized configs deserialize with the species off).
+    #[serde(default)]
+    pub n_remint: usize,
+    /// ETag/cache-respawn evasion trackers ([`TrackerKind::EtagRespawner`]).
+    #[serde(default)]
+    pub n_etag: usize,
+    /// Consent-gated evasion trackers ([`TrackerKind::ConsentGated`]).
+    #[serde(default)]
+    pub n_consent: usize,
+    /// SPA-pushState evasion trackers ([`TrackerKind::SpaPushState`]).
+    #[serde(default)]
+    pub n_spa: usize,
+    /// CNAME-cloaked sync trackers ([`TrackerKind::CnameCloaked`]).
+    #[serde(default)]
+    pub n_cname: usize,
 }
 
 impl Default for WebConfig {
@@ -117,6 +136,11 @@ impl Default for WebConfig {
             max_hops: 8,
             p_volatile_page: 0.085,
             slot_rotation_zipf: 0.3,
+            n_remint: 0,
+            n_etag: 0,
+            n_consent: 0,
+            n_spa: 0,
+            n_cname: 0,
         }
     }
 }
@@ -134,6 +158,24 @@ impl WebConfig {
             campaigns_per_network: 5,
             ..WebConfig::default()
         }
+    }
+
+    /// Enable every evasion species (DESIGN §5f) at a small test-friendly
+    /// scale on top of an existing configuration.
+    pub fn all_species(self) -> Self {
+        WebConfig {
+            n_remint: 2,
+            n_etag: 2,
+            n_consent: 2,
+            n_spa: 2,
+            n_cname: 2,
+            ..self
+        }
+    }
+
+    /// Whether any evasion species is enabled.
+    pub fn species_enabled(&self) -> bool {
+        self.n_remint + self.n_etag + self.n_consent + self.n_spa + self.n_cname > 0
     }
 
     /// Paper-scale world (10,000 seeders — §3.1).
@@ -434,6 +476,7 @@ impl Generator {
                 sets_session_cookie: rng.chance(self.cfg.p_session_cookie),
                 fingerprints,
                 login_needs_uid: i % 97 == 13, // a sparse sprinkling of login pages
+                consent_banner: false, // planted by the species phase
             });
         }
         // The social site always has its own UID (the app-button case).
@@ -757,6 +800,13 @@ impl Generator {
         }
 
         // ------------------------------------------------------------
+        // 4b. Evasion species (DESIGN §5f). Every stream below is fresh,
+        // so configurations with all species counts at zero generate
+        // worlds byte-identical to pre-species ones.
+        // ------------------------------------------------------------
+        self.build_species(&dest_weights, &analytics);
+
+        // ------------------------------------------------------------
         // 5. Seeders and final assembly.
         // ------------------------------------------------------------
         let seeders: Vec<SiteId> = (0..self.cfg.n_seeders.min(self.cfg.n_sites))
@@ -827,6 +877,316 @@ impl Generator {
             out.push((key, value));
         }
         out
+    }
+
+    /// Plant the five evasion-aware species (DESIGN §5f): their trackers,
+    /// campaigns, consent banners, and the page elements that expose them
+    /// to the crawlers. Runs only when a species count is non-zero.
+    fn build_species(&mut self, dest_weights: &[f64], analytics: &[TrackerId]) {
+        if !self.cfg.species_enabled() {
+            return;
+        }
+        let tlds = ["com", "net", "io", "co"];
+        // Running species index: keys the per-tracker placement streams
+        // and slot ids so adding one species never reshuffles another.
+        let mut sidx: u64 = 0;
+
+        // Consent banners: most sites show one and this crawler persona
+        // accepts, minting the first-party consent cookie the gated
+        // species checks at click time.
+        if self.cfg.n_consent > 0 {
+            let mut rng = self.rng.fork("species-consent-banners");
+            for s in self.sites.iter_mut() {
+                s.consent_banner = rng.chance(0.7);
+            }
+        }
+
+        // Bounce-to-remint: a redirector that drops the incoming UID and
+        // re-mints from its own durable first-party identity mid-chain.
+        // Its parameter name is custom, so no blocklist matches it.
+        for i in 0..self.cfg.n_remint {
+            let mut rng = self.rng.fork_indexed("tracker-remint", i as u64);
+            let tld = *rng.pick(&tlds);
+            let base = words::domain_name(&mut rng, tld);
+            let name = base.split('.').next().unwrap_or("remint").to_string();
+            let org = self.new_org(format!("{name} Exchange"));
+            self.orgs[org.0 as usize].add_domain(&cc_url::registered_domain(&base));
+            let id = TrackerId(self.trackers.len() as u32);
+            self.trackers.push(Tracker {
+                id,
+                name,
+                org,
+                fqdn: words::tracker_fqdn(&mut rng, &base),
+                kind: TrackerKind::RemintBouncer,
+                uid_param: format!("{}_rid", words::word(&mut rng)),
+                fingerprints: false,
+                uid_lifetime: SimDuration::from_days(365),
+                uses_local_storage: false,
+                in_disconnect: false,
+                in_easylist: false,
+                benign_role_share: 0.0,
+                js_redirect: rng.chance(0.3),
+                sync_partners: Vec::new(),
+            });
+            let cluster = self.species_campaigns(id, i, "remint-campaign", dest_weights);
+            self.species_slots(&cluster, sidx);
+            sidx += 1;
+        }
+
+        // ETag/cache respawning: an embedded tracker whose UID survives a
+        // purge of its own storage via a first-party cache-validator copy.
+        // Disconnect lists it — respawn, not list gaps, is its evasion.
+        for i in 0..self.cfg.n_etag {
+            let mut rng = self.rng.fork_indexed("tracker-etag", i as u64);
+            let tld = *rng.pick(&tlds);
+            let base = words::domain_name(&mut rng, tld);
+            let name = base.split('.').next().unwrap_or("cachepx").to_string();
+            let org = self.new_org(format!("{name} CDN"));
+            self.orgs[org.0 as usize].add_domain(&cc_url::registered_domain(&base));
+            let id = TrackerId(self.trackers.len() as u32);
+            self.trackers.push(Tracker {
+                id,
+                name,
+                org,
+                fqdn: words::tracker_fqdn(&mut rng, &base),
+                kind: TrackerKind::EtagRespawner,
+                uid_param: "click_id".into(),
+                fingerprints: false,
+                uid_lifetime: SimDuration::from_days(730),
+                uses_local_storage: false,
+                in_disconnect: true,
+                in_easylist: false,
+                benign_role_share: 0.0,
+                js_redirect: false,
+                sync_partners: Vec::new(),
+            });
+            self.species_links(id, sidx, dest_weights);
+            sidx += 1;
+        }
+
+        // Consent-gated smuggling: a redirector network that decorates
+        // only from partitions where the consent cookie exists — and is
+        // absent from Disconnect/EasyList because "the user agreed".
+        for i in 0..self.cfg.n_consent {
+            let mut rng = self.rng.fork_indexed("tracker-consent", i as u64);
+            let tld = *rng.pick(&tlds);
+            let base = words::domain_name(&mut rng, tld);
+            let name = base.split('.').next().unwrap_or("cmp").to_string();
+            let org = self.new_org(format!("{name} CMP"));
+            self.orgs[org.0 as usize].add_domain(&cc_url::registered_domain(&base));
+            let id = TrackerId(self.trackers.len() as u32);
+            self.trackers.push(Tracker {
+                id,
+                name,
+                org,
+                fqdn: words::tracker_fqdn(&mut rng, &base),
+                kind: TrackerKind::ConsentGated,
+                uid_param: "sub_id".into(),
+                fingerprints: false,
+                uid_lifetime: SimDuration::from_days(365),
+                uses_local_storage: false,
+                in_disconnect: false,
+                in_easylist: false,
+                benign_role_share: 0.0,
+                js_redirect: rng.chance(0.3),
+                sync_partners: Vec::new(),
+            });
+            let cluster = self.species_campaigns(id, i, "consent-campaign", dest_weights);
+            self.species_slots(&cluster, sidx);
+            sidx += 1;
+        }
+
+        // SPA pushState: decorates outbound links *directly* (no shim, no
+        // redirect hop), so the navigation-hop detector sees an empty
+        // redirector set. localStorage SDK, well-known parameter.
+        for i in 0..self.cfg.n_spa {
+            let mut rng = self.rng.fork_indexed("tracker-spa", i as u64);
+            let tld = *rng.pick(&tlds);
+            let base = words::domain_name(&mut rng, tld);
+            let name = format!("{}-sdk", base.split('.').next().unwrap_or("spa"));
+            let org = self.new_org(format!("{name} Labs"));
+            self.orgs[org.0 as usize].add_domain(&cc_url::registered_domain(&base));
+            let id = TrackerId(self.trackers.len() as u32);
+            self.trackers.push(Tracker {
+                id,
+                name,
+                org,
+                fqdn: format!("cdn.{base}"),
+                kind: TrackerKind::SpaPushState,
+                uid_param: "tduid".into(),
+                fingerprints: false,
+                uid_lifetime: SimDuration::from_days(365),
+                uses_local_storage: true,
+                in_disconnect: false,
+                in_easylist: false,
+                benign_role_share: 0.0,
+                js_redirect: false,
+                sync_partners: Vec::new(),
+            });
+            self.species_links(id, sidx, dest_weights);
+            sidx += 1;
+        }
+
+        // Server-side CNAME-cloaked sync: served from a first-party-looking
+        // subdomain of one host site (same registered domain, same org),
+        // decorating under an innocuous custom parameter and syncing
+        // server-side with an analytics partner.
+        let seeder_count = self.cfg.n_seeders.min(self.sites.len()).max(1);
+        for i in 0..self.cfg.n_cname {
+            let mut rng = self.rng.fork_indexed("tracker-cname", i as u64);
+            let host_idx = (6 + i * 7) % seeder_count;
+            let host_domain = self.sites[host_idx].domain.clone();
+            let host_org = self.sites[host_idx].org;
+            let name = format!(
+                "{}-metrics",
+                host_domain.split('.').next().unwrap_or("host")
+            );
+            let id = TrackerId(self.trackers.len() as u32);
+            let mut sync_partners = Vec::new();
+            if !analytics.is_empty() {
+                sync_partners.push(analytics[rng.index(analytics.len())]);
+            }
+            self.trackers.push(Tracker {
+                id,
+                name,
+                org: host_org,
+                fqdn: format!("metrics.{host_domain}"),
+                kind: TrackerKind::CnameCloaked,
+                uid_param: format!("{}_ref", words::word(&mut rng)),
+                fingerprints: false,
+                uid_lifetime: SimDuration::from_days(730),
+                uses_local_storage: false,
+                in_disconnect: false,
+                in_easylist: false,
+                benign_role_share: 0.0,
+                js_redirect: false,
+                sync_partners,
+            });
+            self.species_host_links(id, host_idx, sidx, dest_weights);
+            sidx += 1;
+        }
+    }
+
+    /// A small sibling cluster of campaigns for a chain-borne species
+    /// (remint / consent-gated): one-hop chains owned by the species
+    /// tracker, full span, destination embedding the owner for harvest.
+    fn species_campaigns(
+        &mut self,
+        owner: TrackerId,
+        i: usize,
+        stream: &str,
+        dest_weights: &[f64],
+    ) -> Vec<CampaignId> {
+        let n = (self.cfg.campaigns_per_network / 2).max(2);
+        let mut out = Vec::new();
+        for j in 0..n {
+            let mut rng = self.rng.fork_indexed(stream, (i * 1_000 + j) as u64);
+            let destination = SiteId(rng.weighted_index(dest_weights) as u32);
+            let word_params = self.gen_word_params(&mut rng);
+            let cid = CampaignId(self.campaigns.len() as u32);
+            self.campaigns.push(Campaign {
+                id: cid,
+                owner,
+                hops: vec![owner],
+                destination,
+                landing_path: format!("/landing/{j}"),
+                span: UidSpan::Full,
+                word_params,
+                add_timestamp: rng.chance(0.5),
+                add_session_id: rng.chance(0.1),
+            });
+            let dsite = &mut self.sites[destination.0 as usize];
+            if !dsite.embedded_trackers.contains(&owner) {
+                dsite.embedded_trackers.push(owner);
+            }
+            out.push(cid);
+        }
+        out
+    }
+
+    /// Put a species campaign cluster in an ad slot on most seeder landing
+    /// pages so short crawls reliably encounter it.
+    fn species_slots(&mut self, cluster: &[CampaignId], sidx: u64) {
+        let mut rng = self.rng.fork_indexed("species-slots", sidx);
+        let seeder_count = self.cfg.n_seeders.min(self.sites.len()).max(1);
+        for si in 0..seeder_count {
+            if !rng.chance(0.6) {
+                continue;
+            }
+            if let Some(p0) = self.sites[si].pages.first_mut() {
+                p0.ad_slots.push(AdSlot {
+                    slot_id: 900 + sidx as u32,
+                    campaigns: cluster.to_vec(),
+                });
+            }
+        }
+    }
+
+    /// Scatter direct (shimless) decorated links for an embedded species
+    /// (ETag respawn / SPA) across seeder landing pages; destinations
+    /// embed the tracker so the decorated UID is harvested on arrival.
+    fn species_links(&mut self, tid: TrackerId, sidx: u64, dest_weights: &[f64]) {
+        let mut rng = self.rng.fork_indexed("species-links", sidx);
+        let n_sites = self.sites.len();
+        let seeder_count = self.cfg.n_seeders.min(n_sites).max(1);
+        for si in 0..seeder_count {
+            if !rng.chance(0.5) {
+                continue;
+            }
+            let mut dest = rng.weighted_index(dest_weights);
+            if dest == si {
+                dest = (dest + 1) % n_sites;
+            }
+            if !self.sites[si].embedded_trackers.contains(&tid) {
+                self.sites[si].embedded_trackers.push(tid);
+            }
+            let dsite = &mut self.sites[dest];
+            if !dsite.embedded_trackers.contains(&tid) {
+                dsite.embedded_trackers.push(tid);
+            }
+            if let Some(p0) = self.sites[si].pages.first_mut() {
+                p0.links.push(StaticLink {
+                    to: SiteId(dest as u32),
+                    to_path: "/".into(),
+                    via_shim: None,
+                    decoration: LinkDecoration::Tracker(tid),
+                });
+            }
+        }
+    }
+
+    /// Direct decorated links for the CNAME-cloaked species: only its one
+    /// host site carries them (the tracker *is* that site's subdomain).
+    fn species_host_links(
+        &mut self,
+        tid: TrackerId,
+        host_idx: usize,
+        sidx: u64,
+        dest_weights: &[f64],
+    ) {
+        let mut rng = self.rng.fork_indexed("species-links", 10_000 + sidx);
+        let n_sites = self.sites.len();
+        if !self.sites[host_idx].embedded_trackers.contains(&tid) {
+            self.sites[host_idx].embedded_trackers.push(tid);
+        }
+        for _ in 0..3 {
+            let mut dest = rng.weighted_index(dest_weights);
+            if dest == host_idx {
+                dest = (dest + 1) % n_sites;
+            }
+            let dsite = &mut self.sites[dest];
+            if !dsite.embedded_trackers.contains(&tid) {
+                dsite.embedded_trackers.push(tid);
+            }
+            for page in self.sites[host_idx].pages.iter_mut() {
+                page.links.push(StaticLink {
+                    to: SiteId(dest as u32),
+                    to_path: "/".into(),
+                    via_shim: None,
+                    decoration: LinkDecoration::Tracker(tid),
+                });
+            }
+        }
     }
 }
 
@@ -990,6 +1350,61 @@ mod tests {
             }
         }
         assert!(found, "no decorated family interlink generated");
+    }
+
+    #[test]
+    fn species_phase_appends_without_disturbing_the_base_world() {
+        let base = generate(&WebConfig::small());
+        let with = generate(&WebConfig::small().all_species());
+        // Base entities are a strict prefix: species generation only
+        // appends trackers/campaigns on fresh streams.
+        assert_eq!(base.trackers.len() + 10, with.trackers.len());
+        for (a, b) in base.trackers.iter().zip(&with.trackers) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in base.campaigns.iter().zip(&with.campaigns) {
+            assert_eq!(a, b);
+        }
+        assert!(with.campaigns.len() > base.campaigns.len());
+        assert_eq!(base.sites.len(), with.sites.len());
+        for kind in TrackerKind::SPECIES {
+            assert_eq!(
+                with.trackers.iter().filter(|t| t.kind == kind).count(),
+                2,
+                "{kind:?}"
+            );
+        }
+        assert!(with.sites.iter().any(|s| s.consent_banner));
+        assert!(base.sites.iter().all(|s| !s.consent_banner));
+        // DNS covers the species endpoints too.
+        for t in &with.trackers {
+            assert!(with.dns.resolve(&t.fqdn).is_ok(), "{}", t.fqdn);
+        }
+    }
+
+    #[test]
+    fn cname_species_lives_on_its_host_sites_subdomain() {
+        let web = generate(&WebConfig::small().all_species());
+        let cloaked: Vec<_> = web
+            .trackers
+            .iter()
+            .filter(|t| t.kind == TrackerKind::CnameCloaked)
+            .collect();
+        assert!(!cloaked.is_empty());
+        for t in cloaked {
+            assert!(t.fqdn.starts_with("metrics."), "{}", t.fqdn);
+            let rd = cc_url::registered_domain(&t.fqdn);
+            let host = web
+                .sites
+                .iter()
+                .find(|s| s.domain == rd)
+                .expect("cloaked tracker has a host site");
+            assert_eq!(host.org, t.org, "cloak shares the host's org");
+            // The host carries direct (shimless) decorated links.
+            assert!(host.pages.iter().any(|p| p.links.iter().any(|l| {
+                l.via_shim.is_none() && l.decoration == LinkDecoration::Tracker(t.id)
+            })));
+        }
     }
 
     #[test]

@@ -221,6 +221,13 @@ impl TruthLog {
     pub fn uid_count(&self) -> usize {
         self.entries.values().filter(|t| t.is_uid()).count()
     }
+
+    /// Iterate over `(value, label)` pairs, in unspecified order. Lets
+    /// evaluation harnesses census the ledger (e.g. UIDs per tracker)
+    /// without coupling to its storage.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, TokenTruth)> + '_ {
+        self.entries.iter().map(|(v, t)| (v.as_str(), *t))
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,7 @@ use crate::element::{BBox, ClickTarget, ElementKind, ElementModel};
 use crate::entity::Organization;
 use crate::script::{ScriptHost, StorageKind, TokenTruth, TruthLog};
 use crate::site::{LinkDecoration, Page, Site, SiteId};
-use crate::tracker::{Tracker, TrackerId};
+use crate::tracker::{Tracker, TrackerId, TrackerKind};
 
 /// Internal routing parameter: the final destination URL.
 pub const P_DEST: &str = "cc_dest";
@@ -44,6 +44,11 @@ pub const P_TIMESTAMP: &str = "ts";
 /// Beacon parameter carrying the full page URL (the accidental-leak vector
 /// of Figure 6).
 pub const P_BEACON_URL: &str = "u";
+/// First-party consent cookie minted when a site's banner is accepted
+/// (the gate the consent-gated species checks at click time).
+pub const CONSENT_COOKIE: &str = "cc_consent";
+/// Value of the consent cookie.
+pub const CONSENT_VALUE: &str = "granted";
 
 /// Per-request server context supplied by the caller (the browser).
 pub struct ServeCtx<'a> {
@@ -458,6 +463,17 @@ impl SimWeb {
                 cc_net::SimDuration::from_days(365),
             ));
         }
+        if site.consent_banner && !has_cookie(&cookies, CONSENT_COOKIE) {
+            // The crawler persona accepts the banner: a first-party consent
+            // cookie appears in this partition, which is what the
+            // consent-gated species checks before decorating.
+            self.note_truth(CONSENT_VALUE, TokenTruth::Internal);
+            resp = resp.with_set_cookie(SetCookie::persistent(
+                CONSENT_COOKIE,
+                CONSENT_VALUE.to_string(),
+                cc_net::SimDuration::from_days(365),
+            ));
+        }
         resp
     }
 
@@ -578,6 +594,18 @@ impl SimWeb {
                     payload.retain(|(k, _)| *k != injector_param);
                 }
             }
+            // Bounce-to-remint species: whatever UID arrived with the click
+            // dies here, and the hop re-mints from its own durable
+            // first-party identity. Rewriting the click URL upstream is
+            // useless — the value that reaches the destination is born
+            // mid-chain.
+            if tracker.kind == TrackerKind::RemintBouncer && c.span.smuggles() {
+                let owner_param = self.tracker(c.owner).uid_param.clone();
+                payload.retain(|(k, _)| *k != owner_param && *k != tracker.uid_param);
+                if let Some(uid) = &own_uid {
+                    payload.push((tracker.uid_param.clone(), uid.clone()));
+                }
+            }
         }
 
         // Build the onward URL.
@@ -696,8 +724,36 @@ impl SimWeb {
     }
 
     fn run_tracker_script(&self, tracker: &Tracker, url: &Url, host: &mut dyn ScriptHost) {
+        // ETag/cache-respawn species: if our own copy was purged but the
+        // first-party cache-validator copy survived, revalidation brings
+        // the *identical* UID back before the get-or-mint below runs.
+        if tracker.kind == TrackerKind::EtagRespawner {
+            let prep = &self.prepared.trackers[tracker.id.0 as usize];
+            if host
+                .storage_get_owned(prep.owner_rd.as_str(), &prep.uid_storage_key)
+                .is_none()
+            {
+                if let Some(v) = host.storage_get(&tracker.etag_validator_key()) {
+                    host.storage_set_owned(
+                        prep.owner_rd.as_str(),
+                        &prep.uid_storage_key,
+                        &v,
+                        StorageKind::Cookie(Some(tracker.uid_lifetime)),
+                    );
+                }
+            }
+        }
         let uid = self.tracker_partition_uid(tracker, host);
         let prep = &self.prepared.trackers[tracker.id.0 as usize];
+        if tracker.kind == TrackerKind::EtagRespawner {
+            // Dual-write the validator under the embedding site's own
+            // keyspace — a purge of the tracker's domain never touches it.
+            host.storage_set(
+                &tracker.etag_validator_key(),
+                &uid,
+                StorageKind::Cookie(Some(tracker.uid_lifetime)),
+            );
+        }
 
         // Smugglers harvest their own UID parameter from the landing URL —
         // the collection end of link decoration (§2 step 3).
@@ -941,8 +997,14 @@ impl SimWeb {
         // The owner's UID enters at the originator when the span says so.
         if campaign.span.starts_at_originator() && campaign.span.smuggles() {
             let owner = self.tracker(campaign.owner);
-            let uid = self.tracker_partition_uid(owner, host);
-            click.query_set(&owner.uid_param, &uid);
+            // Consent-gated species: without the first-party consent cookie
+            // in this partition, the owner withholds decoration entirely.
+            let consent_withheld = owner.kind == TrackerKind::ConsentGated
+                && host.storage_get(CONSENT_COOKIE).is_none();
+            if !consent_withheld {
+                let uid = self.tracker_partition_uid(owner, host);
+                click.query_set(&owner.uid_param, &uid);
+            }
         }
 
         for (k, v) in &campaign.word_params {
@@ -1100,6 +1162,7 @@ mod tests {
             sets_session_cookie: true,
             fingerprints: false,
             login_needs_uid: false,
+            consent_banner: false,
         };
         let shop = Site {
             id: SiteId(1),
@@ -1119,6 +1182,7 @@ mod tests {
             sets_session_cookie: false,
             fingerprints: false,
             login_needs_uid: false,
+            consent_banner: false,
         };
 
         SimWeb::assemble(
@@ -1405,5 +1469,209 @@ mod tests {
         let req = Request::navigation(Url::parse("https://adclick.g.clicktrk.net/click").unwrap());
         let resp = web.serve(&req, &mut ctx).unwrap();
         assert_eq!(resp.status, cc_http::StatusCode::NOT_FOUND);
+    }
+
+    /// Hand-built world exercising the evasion species' server behaviors:
+    /// a consent-bannered portal embedding an ETag respawner, plus a
+    /// remint bouncer and a consent-gated network each owning a one-hop
+    /// Full-span campaign to the store.
+    fn species_world() -> SimWeb {
+        let orgs = vec![
+            Organization::new(OrgId(0), "PortalCo"),
+            Organization::new(OrgId(1), "StoreCo"),
+            Organization::new(OrgId(2), "RemintCo"),
+            Organization::new(OrgId(3), "CacheCo"),
+            Organization::new(OrgId(4), "ConsentCo"),
+        ];
+        let base = |id: u32, name: &str, org: u32, fqdn: &str, kind, param: &str| Tracker {
+            id: TrackerId(id),
+            name: name.into(),
+            org: OrgId(org),
+            fqdn: fqdn.into(),
+            kind,
+            uid_param: param.into(),
+            fingerprints: false,
+            uid_lifetime: SimDuration::from_days(365),
+            uses_local_storage: false,
+            in_disconnect: false,
+            in_easylist: false,
+            benign_role_share: 0.0,
+            js_redirect: false,
+            sync_partners: Vec::new(),
+        };
+        let remint = base(
+            0,
+            "Remintly",
+            2,
+            "r.remintly.net",
+            TrackerKind::RemintBouncer,
+            "rmt_rid",
+        );
+        let etag = base(
+            1,
+            "EdgeCache",
+            3,
+            "cdn.edgecache.net",
+            TrackerKind::EtagRespawner,
+            "click_id",
+        );
+        let consent = base(
+            2,
+            "Consentix",
+            4,
+            "go.consentix.net",
+            TrackerKind::ConsentGated,
+            "sub_id",
+        );
+        let camp = |id: u32, owner: u32, landing: &str| Campaign {
+            id: CampaignId(id),
+            owner: TrackerId(owner),
+            hops: vec![TrackerId(owner)],
+            destination: SiteId(1),
+            landing_path: landing.into(),
+            span: UidSpan::Full,
+            word_params: vec![],
+            add_timestamp: false,
+            add_session_id: false,
+        };
+        let page = Page {
+            path: "/".into(),
+            links: vec![],
+            ad_slots: vec![],
+            element_churn: 0.0,
+            volatile: false,
+        };
+        let portal = Site {
+            id: SiteId(0),
+            domain: "portal.com".into(),
+            org: OrgId(0),
+            category: Category::NewsWeatherInformation,
+            rank: 0,
+            pages: vec![page.clone()],
+            embedded_trackers: vec![TrackerId(1)],
+            sets_own_uid: false,
+            sets_session_cookie: false,
+            fingerprints: false,
+            login_needs_uid: false,
+            consent_banner: true,
+        };
+        let store = Site {
+            id: SiteId(1),
+            domain: "store.com".into(),
+            org: OrgId(1),
+            category: Category::Shopping,
+            rank: 1,
+            pages: vec![page],
+            embedded_trackers: vec![],
+            sets_own_uid: false,
+            sets_session_cookie: false,
+            fingerprints: false,
+            login_needs_uid: false,
+            consent_banner: false,
+        };
+        SimWeb::assemble(
+            vec![portal, store],
+            vec![remint, etag, consent],
+            orgs,
+            vec![camp(0, 0, "/l0"), camp(1, 2, "/l1")],
+            vec![SiteId(0)],
+        )
+    }
+
+    #[test]
+    fn consent_banner_sets_first_party_cookie_once() {
+        let web = species_world();
+        let mut rng = DetRng::new(3);
+        let mut ctx = ServeCtx {
+            rng: &mut rng,
+            now: SimTime::EPOCH,
+        };
+        let url = Url::parse("https://www.portal.com/").unwrap();
+        let resp = web.serve(&Request::navigation(url.clone()), &mut ctx).unwrap();
+        let consent = resp
+            .set_cookies
+            .iter()
+            .find(|sc| sc.cookie.name == CONSENT_COOKIE)
+            .expect("banner accepted on first visit");
+        assert_eq!(consent.cookie.value, CONSENT_VALUE);
+        // A returning (consented) partition sees no banner.
+        let mut req = Request::navigation(url);
+        req.headers
+            .set(names::COOKIE, format!("{CONSENT_COOKIE}={CONSENT_VALUE}"));
+        let resp2 = web.serve(&req, &mut ctx).unwrap();
+        assert!(resp2
+            .set_cookies
+            .iter()
+            .all(|sc| sc.cookie.name != CONSENT_COOKIE));
+    }
+
+    #[test]
+    fn consent_gated_species_withholds_decoration_without_consent() {
+        let web = species_world();
+        let campaign = web.campaign(CampaignId(1)).unwrap();
+        let mut host = TestHost::new("https://www.portal.com/", 17);
+        let bare = web.campaign_click_url(campaign, &mut host);
+        assert_eq!(
+            bare.query_get("sub_id"),
+            None,
+            "no consent cookie → no decoration"
+        );
+        host.storage
+            .insert(CONSENT_COOKIE.into(), CONSENT_VALUE.into());
+        let decorated = web.campaign_click_url(campaign, &mut host);
+        let uid = decorated.query_get("sub_id").expect("consented → decorated");
+        assert_eq!(host.storage.get("_consentix_uid").unwrap(), uid);
+    }
+
+    #[test]
+    fn remint_bouncer_replaces_click_uid_with_its_own_mid_chain() {
+        let web = species_world();
+        let campaign = web.campaign(CampaignId(0)).unwrap();
+        let mut host = TestHost::new("https://www.portal.com/", 23);
+        let click = web.campaign_click_url(campaign, &mut host);
+        let click_uid = click.query_get("rmt_rid").expect("Full span decorates").to_string();
+
+        let mut rng = DetRng::new(29);
+        let mut ctx = ServeCtx {
+            rng: &mut rng,
+            now: SimTime::EPOCH,
+        };
+        let resp = web.serve(&Request::navigation(click), &mut ctx).unwrap();
+        let onward = resp.redirect_target().expect("302 to destination");
+        assert_eq!(onward.host.as_str(), "www.store.com");
+        let onward_uid = onward.query_get("rmt_rid").expect("re-minted UID rides on");
+        // The value that reaches the destination is NOT the one decorated
+        // at the originator — it was born mid-chain from the hop's own
+        // durable first-party identity.
+        assert_ne!(onward_uid, click_uid);
+        let ruid = resp
+            .set_cookies
+            .iter()
+            .find(|sc| sc.cookie.name == "_ruid")
+            .expect("hop minted a durable identity");
+        assert_eq!(onward_uid, ruid.cookie.value);
+    }
+
+    #[test]
+    fn etag_respawner_revives_identical_uid_after_purge() {
+        let web = species_world();
+        let mut host = TestHost::new("https://www.portal.com/", 31);
+        web.load_page(&host.url.clone(), &mut host).unwrap();
+        let uid = host.storage.get("_edgecache_uid").cloned().expect("uid minted");
+        let validator = host
+            .storage
+            .get("_etv_edgecache")
+            .cloned()
+            .expect("validator dual-written");
+        assert_eq!(uid, validator);
+        // An ITP-style purge clears the tracker's own storage — but not
+        // the first-party cache-validator copy.
+        host.storage.remove("_edgecache_uid");
+        web.load_page(&host.url.clone(), &mut host).unwrap();
+        assert_eq!(
+            host.storage.get("_edgecache_uid"),
+            Some(&uid),
+            "revalidation respawns the identical UID"
+        );
     }
 }

@@ -107,6 +107,11 @@ pub struct Site {
     /// Whether the landing page is a login page that *needs* its UID query
     /// parameter (the breakage experiment of §6).
     pub login_needs_uid: bool,
+    /// Whether the site shows a consent banner that (in this model) the
+    /// crawler persona accepts, setting a first-party consent cookie. The
+    /// consent-gated species only smuggles from consenting partitions.
+    #[serde(default)]
+    pub consent_banner: bool,
 }
 
 impl Site {
@@ -133,6 +138,12 @@ impl Site {
     /// Name of the site's session cookie.
     pub fn session_cookie_name(&self) -> String {
         "_sessid".to_string()
+    }
+
+    /// Name of the first-party consent cookie set when the banner is
+    /// accepted.
+    pub fn consent_cookie_name(&self) -> String {
+        "cc_consent".to_string()
     }
 }
 
@@ -168,6 +179,7 @@ mod tests {
             sets_session_cookie: false,
             fingerprints: false,
             login_needs_uid: false,
+            consent_banner: false,
         }
     }
 
@@ -185,5 +197,6 @@ mod tests {
         let s = site();
         assert_eq!(s.own_uid_cookie_name(), "_site_uid");
         assert_eq!(s.session_cookie_name(), "_sessid");
+        assert_eq!(s.consent_cookie_name(), "cc_consent");
     }
 }

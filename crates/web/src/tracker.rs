@@ -21,7 +21,7 @@ use crate::entity::OrgId;
 pub struct TrackerId(pub u32);
 
 /// The role a tracker plays in the ecosystem.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TrackerKind {
     /// Redirector-only domain whose sole purpose is UID smuggling
     /// (`adclick.g.doubleclick.net`, `btds.zog.link`, …).
@@ -36,6 +36,62 @@ pub enum TrackerKind {
     /// Passive third party: receives beacon requests from pages (and,
     /// accidentally, leaked UIDs — Fig. 6) but never redirects.
     Analytics,
+    /// Evasion species ("Trackers Bounce Back"): a bounce hop that *drops*
+    /// the partition-scoped UID minted at the originator and re-mints a
+    /// fresh value from its own durable first-party identity mid-chain —
+    /// so stripping the click URL never touches the value that actually
+    /// reaches the destination.
+    RemintBouncer,
+    /// Evasion species: ETag/cache-style respawning. The tracker mirrors
+    /// its partition UID into a first-party "cache validator" key owned by
+    /// the embedding site; when an ITP-style purge clears the tracker's
+    /// own storage, the next page load revalidates against the cache copy
+    /// and respawns the identical UID.
+    EtagRespawner,
+    /// Evasion species: smuggles only after a consent banner granted
+    /// consent on the originator site — unlisted by Disconnect/EasyList
+    /// because "the user agreed", so list-based defenses never fire.
+    ConsentGated,
+    /// Evasion species: SPA-style pushState navigation. The decorated
+    /// navigation goes straight origin → destination with zero redirect
+    /// hops, so Safari's navigation-hop detector (ITP rule 1) never sees a
+    /// redirector to classify.
+    SpaPushState,
+    /// Evasion species: server-side CNAME-cloaked sync. Served from a
+    /// first-party-looking subdomain of the host site (same registered
+    /// domain, same org) under an innocuous parameter name no blocklist
+    /// carries, with server-side partner sync — link-decoration stripping
+    /// has nothing to match.
+    CnameCloaked,
+}
+
+impl TrackerKind {
+    /// The five evasion-aware species, in report order.
+    pub const SPECIES: [TrackerKind; 5] = [
+        TrackerKind::RemintBouncer,
+        TrackerKind::EtagRespawner,
+        TrackerKind::ConsentGated,
+        TrackerKind::SpaPushState,
+        TrackerKind::CnameCloaked,
+    ];
+
+    /// Stable kebab-case label for an evasion species; `None` for the
+    /// baseline paper kinds.
+    pub fn species_label(&self) -> Option<&'static str> {
+        match self {
+            TrackerKind::RemintBouncer => Some("bounce-remint"),
+            TrackerKind::EtagRespawner => Some("etag-respawn"),
+            TrackerKind::ConsentGated => Some("consent-gated"),
+            TrackerKind::SpaPushState => Some("spa-pushstate"),
+            TrackerKind::CnameCloaked => Some("cname-cloaked"),
+            _ => None,
+        }
+    }
+
+    /// Whether this kind is one of the evasion species.
+    pub fn is_species(&self) -> bool {
+        self.species_label().is_some()
+    }
 }
 
 /// A tracker: an ad-tech (or adjacent) endpoint with one or more FQDNs.
@@ -93,6 +149,8 @@ impl Tracker {
             TrackerKind::DedicatedSmuggler
                 | TrackerKind::MultiPurposeSmuggler
                 | TrackerKind::BounceTracker
+                | TrackerKind::RemintBouncer
+                | TrackerKind::ConsentGated
         )
     }
 
@@ -100,7 +158,23 @@ impl Tracker {
     pub fn smuggles(&self) -> bool {
         matches!(
             self.kind,
-            TrackerKind::DedicatedSmuggler | TrackerKind::MultiPurposeSmuggler
+            TrackerKind::DedicatedSmuggler
+                | TrackerKind::MultiPurposeSmuggler
+                | TrackerKind::RemintBouncer
+                | TrackerKind::EtagRespawner
+                | TrackerKind::ConsentGated
+                | TrackerKind::SpaPushState
+                | TrackerKind::CnameCloaked
+        )
+    }
+
+    /// First-party storage key for the ETag-respawn species' "cache
+    /// validator" copy (lives under the *embedding site's* keyspace, which
+    /// an ITP-style purge of the tracker's domain never touches).
+    pub fn etag_validator_key(&self) -> String {
+        format!(
+            "_etv_{}",
+            self.name.to_ascii_lowercase().replace([' ', '.'], "_")
         )
     }
 
@@ -187,6 +261,30 @@ mod tests {
         let t = tracker(TrackerKind::DedicatedSmuggler);
         assert_eq!(t.uid_storage_key(), "_acme_ads_uid");
         assert_eq!(t.received_uid_key(), "_acme_ads_rcv");
+    }
+
+    #[test]
+    fn species_predicates_and_labels() {
+        for kind in TrackerKind::SPECIES {
+            assert!(kind.is_species());
+            assert!(tracker(kind).smuggles(), "{kind:?} must smuggle");
+        }
+        let labels: std::collections::HashSet<_> = TrackerKind::SPECIES
+            .iter()
+            .map(|k| k.species_label().unwrap())
+            .collect();
+        assert_eq!(labels.len(), TrackerKind::SPECIES.len());
+        assert!(!TrackerKind::DedicatedSmuggler.is_species());
+        // Only the chain-participating species answer navigation hops.
+        assert!(tracker(TrackerKind::RemintBouncer).is_redirector());
+        assert!(tracker(TrackerKind::ConsentGated).is_redirector());
+        assert!(!tracker(TrackerKind::EtagRespawner).is_redirector());
+        assert!(!tracker(TrackerKind::SpaPushState).is_redirector());
+        assert!(!tracker(TrackerKind::CnameCloaked).is_redirector());
+        assert_eq!(
+            tracker(TrackerKind::EtagRespawner).etag_validator_key(),
+            "_etv_acme_ads"
+        );
     }
 
     #[test]

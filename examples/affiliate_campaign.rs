@@ -65,6 +65,7 @@ fn site(id: u32, domain: &str, org: OrgId, category: cc_web::Category, pages: Ve
         sets_session_cookie: false,
         fingerprints: false,
         login_needs_uid: false,
+        consent_banner: false,
     }
 }
 

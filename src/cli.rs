@@ -113,6 +113,9 @@ OPTIONS:
   --seeders N      number of seeder domains / walks (default 1000)
   --steps N        steps per walk (default 10)
   --walks N        cap the number of walks
+  --species LIST   plant evasion-aware tracker species in the world:
+                   'all' or a comma list of remint,etag,consent,spa,cname
+                   (two trackers per named species; see DESIGN.md §5f)
   --workers N      crawl with N work-stealing worker threads (0 = one per CPU);
                    results are bit-identical to the serial crawl
   --parallel       persistent crawler workers on real threads
@@ -235,6 +238,10 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
                 });
             }
             "--parallel" => study.mode = cc_crawler::DriverMode::PersistentWorkers,
+            "--species" => {
+                let spec = path_arg(&mut it, "--species")?;
+                apply_species(&mut study.web, &spec)?;
+            }
             "--paper-scale" => {
                 let seed = study.web.seed;
                 study.web = WebConfig::paper_scale();
@@ -343,6 +350,33 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
         mix,
         bench_out,
     })
+}
+
+/// Apply a `--species` spec to the web config: `all` plants every species,
+/// a comma list plants the named ones. Each named species gets the same
+/// two-tracker population `WebConfig::all_species` uses, so `--species all`
+/// and `--species remint,etag,consent,spa,cname` are the same world.
+fn apply_species(web: &mut WebConfig, spec: &str) -> Result<(), CcError> {
+    if spec.trim() == "all" {
+        *web = std::mem::take(web).all_species();
+        return Ok(());
+    }
+    for name in spec.split(',') {
+        match name.trim() {
+            "remint" => web.n_remint = 2,
+            "etag" => web.n_etag = 2,
+            "consent" => web.n_consent = 2,
+            "spa" => web.n_spa = 2,
+            "cname" => web.n_cname = 2,
+            other => {
+                return Err(CcError::cli(format!(
+                    "--species: unknown species {other:?} \
+                     (expected 'all' or a comma list of remint,etag,consent,spa,cname)"
+                )))
+            }
+        }
+    }
+    Ok(())
 }
 
 fn numeric(
@@ -857,6 +891,38 @@ mod tests {
             "unexpected serve output: {farewell}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_species_flag() {
+        let cli = parse(&argv("report --species all")).unwrap();
+        assert!(cli.study.web.species_enabled());
+        assert_eq!(cli.study.web.n_remint, 2);
+        assert_eq!(cli.study.web.n_etag, 2);
+        assert_eq!(cli.study.web.n_consent, 2);
+        assert_eq!(cli.study.web.n_spa, 2);
+        assert_eq!(cli.study.web.n_cname, 2);
+        assert_eq!(cli.study.web.n_sites, 2_000, "world scale is untouched");
+
+        let cli = parse(&argv("report --species remint,spa")).unwrap();
+        assert_eq!(cli.study.web.n_remint, 2);
+        assert_eq!(cli.study.web.n_spa, 2);
+        assert_eq!(cli.study.web.n_etag, 0);
+        assert_eq!(cli.study.web.n_consent, 0);
+        assert_eq!(cli.study.web.n_cname, 0);
+
+        // The comma list and 'all' describe the same world.
+        let listed = parse(&argv("report --species remint,etag,consent,spa,cname")).unwrap();
+        let all = parse(&argv("report --species all")).unwrap();
+        assert_eq!(listed.study.web, all.study.web);
+
+        let cli = parse(&argv("report")).unwrap();
+        assert!(!cli.study.web.species_enabled(), "species are opt-in");
+
+        let err = parse(&argv("report --species werewolf")).unwrap_err().to_string();
+        assert!(err.contains("werewolf"), "unhelpful error: {err}");
+        assert!(parse(&argv("report --species")).is_err());
+        assert!(parse(&argv("report --species all --species all")).is_err());
     }
 
     #[test]

@@ -17,8 +17,12 @@ use crumbcruncher::Study;
 use proptest::prelude::*;
 
 fn faulty_config(workers: usize) -> StudyConfig {
+    faulty_config_for(WebConfig::small(), workers)
+}
+
+fn faulty_config_for(web: WebConfig, workers: usize) -> StudyConfig {
     StudyConfig::builder()
-        .web(WebConfig::small())
+        .web(web)
         .seed(13)
         .steps(4)
         .walks(12)
@@ -96,6 +100,71 @@ fn killed_and_resumed_study_produces_an_identical_report() {
         full.report().render(),
         resumed.report().render(),
         "resumed analysis report diverged"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn all_species_crawl_is_fault_and_parallelism_invariant() {
+    // Same contract as above, with every evasion species planted: faults,
+    // retries, worker counts, and a kill/resume cycle must not perturb a
+    // single byte of the dataset — or of the ground-truth ledger the
+    // species-evasion matrix is scored against.
+    let species_web = WebConfig::small().all_species();
+
+    let (serial_json, serial_truth) = {
+        let config = faulty_config_for(species_web.clone(), 1);
+        let web = generate(&config.web);
+        let dataset = Walker::new(&web, config.crawl_config()).crawl();
+        (
+            dataset.to_json().unwrap(),
+            serde_json::to_string(&web.truth_snapshot()).unwrap(),
+        )
+    };
+    for workers in [1, 2, 4, 8] {
+        let config = faulty_config_for(species_web.clone(), workers);
+        let web = generate(&config.web);
+        let dataset = crawl_study(&web, &config).unwrap();
+        assert_eq!(
+            serial_json,
+            dataset.to_json().unwrap(),
+            "species dataset diverged at {workers} workers"
+        );
+        assert_eq!(
+            serial_truth,
+            serde_json::to_string(&web.truth_snapshot()).unwrap(),
+            "species truth ledger diverged at {workers} workers"
+        );
+    }
+
+    // Kill after 5 walks, resume from the checkpoint: identical bytes.
+    let path = temp_path("species-kill-resume.json");
+    let config = StudyConfig {
+        checkpoint: Some(cc_crawler::CheckpointPolicy {
+            path: path.clone(),
+            every: 2,
+        }),
+        ..faulty_config_for(species_web, 2)
+    };
+    let killed = Study::from_config_with_options(
+        &config,
+        cc_crawler::StudyRunOptions {
+            stop_after: Some(5),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(killed.dataset.walks.len(), 5);
+    let resumed = Study::resume(&config, &path).unwrap();
+    assert_eq!(
+        serial_json,
+        resumed.dataset.to_json().unwrap(),
+        "species resumed dataset diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        serial_truth,
+        serde_json::to_string(&resumed.web.truth_snapshot()).unwrap(),
+        "species resumed truth ledger diverged"
     );
     std::fs::remove_file(&path).ok();
 }

@@ -32,7 +32,15 @@ fn crawl_cfg(seed: u64) -> CrawlConfig {
 /// regenerated per crawl (the truth ledger accumulates on a `SimWeb`), so
 /// each run serializes its own world's ledger.
 fn crawl_artifacts(seed: u64, workers: Option<usize>) -> (String, String, String) {
-    let web: SimWeb = generate(&world(seed));
+    world_artifacts(&world(seed), seed, workers)
+}
+
+fn world_artifacts(
+    world: &WebConfig,
+    seed: u64,
+    workers: Option<usize>,
+) -> (String, String, String) {
+    let web: SimWeb = generate(world);
     let cfg = crawl_cfg(seed);
     let dataset: CrawlDataset = match workers {
         None => Walker::new(&web, cfg).crawl(),
@@ -62,6 +70,40 @@ fn parallel_crawl_json_is_byte_identical_to_serial() {
             assert_eq!(
                 truth, pt,
                 "truth ledger diverged: seed {seed}, {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_species_parallel_crawl_is_byte_identical_to_serial() {
+    // The evasion species route through every nonstandard code path the
+    // crawler has — consent cookies, mid-chain reminting, first-party
+    // validator writes, shimless SPA links, cloaked subdomains — and all
+    // of them must stay deterministic under work stealing.
+    for seed in WORLD_SEEDS {
+        let cfg = WebConfig {
+            seed,
+            ..WebConfig::small().all_species()
+        };
+        let (walks, failures, truth) = world_artifacts(&cfg, seed, None);
+        assert!(
+            truth.contains("bounce-remint") || truth.len() > 2,
+            "species world seed {seed} minted nothing"
+        );
+        for workers in [1, 2, 4, 8] {
+            let (pw, pf, pt) = world_artifacts(&cfg, seed, Some(workers));
+            assert_eq!(
+                walks, pw,
+                "species walk records diverged: seed {seed}, {workers} workers"
+            );
+            assert_eq!(
+                failures, pf,
+                "species failure stats diverged: seed {seed}, {workers} workers"
+            );
+            assert_eq!(
+                truth, pt,
+                "species truth ledger diverged: seed {seed}, {workers} workers"
             );
         }
     }

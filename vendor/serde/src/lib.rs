@@ -74,3 +74,19 @@ pub fn de_field<T: Deserialize>(map: &Map, name: &str) -> Result<T, DeError> {
             .map_err(|_| DeError(format!("missing field `{name}`"))),
     }
 }
+
+/// Deserialize one `#[serde(default)]` field of a JSON object: a missing
+/// (or null) field falls back to `Default::default()` instead of erroring,
+/// which is how new fields stay readable from data serialized before they
+/// existed.
+pub fn de_field_or_default<T: Deserialize + Default>(
+    map: &Map,
+    name: &str,
+) -> Result<T, DeError> {
+    match map.get(name) {
+        Some(v) if !v.is_null() => {
+            T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}")))
+        }
+        _ => Ok(T::default()),
+    }
+}

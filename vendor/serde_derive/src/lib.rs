@@ -41,8 +41,16 @@ struct TypeDef {
     kind: Kind,
 }
 
+/// One named struct field: its identifier and whether `#[serde(default)]`
+/// lets deserialization fall back to `Default::default()` when the field
+/// is missing (or null) in the input.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
@@ -117,6 +125,21 @@ fn parse(input: TokenStream) -> TypeDef {
     }
 }
 
+fn attr_is_serde_default(attr: &TokenStream) -> bool {
+    let mut iter = attr.clone().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
 fn attr_is_serde_transparent(attr: &TokenStream) -> bool {
     let mut iter = attr.clone().into_iter();
     match iter.next() {
@@ -187,19 +210,23 @@ fn count_top_level_fields(body: TokenStream) -> usize {
     split_top_level(body).len()
 }
 
-/// Extract field names from a named-field body: for each comma-separated
+/// Extract fields from a named-field body: for each comma-separated
 /// segment, the identifier immediately before the first top-level `:`
-/// (skipping attributes and visibility).
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// (skipping attributes and visibility), plus whether any attribute is
+/// `#[serde(default)]`.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     split_top_level(body)
         .into_iter()
         .map(|segment| {
             let mut name = None;
+            let mut default = false;
             let mut toks = segment.into_iter().peekable();
             while let Some(tok) = toks.next() {
                 match tok {
                     TokenTree::Punct(p) if p.as_char() == '#' => {
-                        toks.next(); // the `[...]` group
+                        if let Some(TokenTree::Group(g)) = toks.next() {
+                            default |= attr_is_serde_default(&g.stream());
+                        }
                     }
                     TokenTree::Punct(p) if p.as_char() == ':' => break,
                     TokenTree::Ident(id) if id.to_string() == "pub" => {
@@ -213,7 +240,10 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
                     _ => {}
                 }
             }
-            name.expect("serde_derive: field without a name")
+            Field {
+                name: name.expect("serde_derive: field without a name"),
+                default,
+            }
         })
         .collect()
 }
@@ -240,7 +270,12 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
                         fields = VariantFields::Tuple(count_top_level_fields(g.stream()));
                     }
                     TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
-                        fields = VariantFields::Named(parse_named_fields(g.stream()));
+                        fields = VariantFields::Named(
+                            parse_named_fields(g.stream())
+                                .into_iter()
+                                .map(|f| f.name)
+                                .collect(),
+                        );
                     }
                     _ => {}
                 }
@@ -269,11 +304,12 @@ fn gen_serialize(def: &TypeDef) -> String {
             format!("::serde::Value::Array(vec![{}])", items.join(", "))
         }
         Kind::NamedStruct(fields) if def.transparent && fields.len() == 1 => {
-            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
         }
         Kind::NamedStruct(fields) => {
             let mut s = String::from("{ let mut m = ::serde::Map::new();\n");
             for f in fields {
+                let f = &f.name;
                 s.push_str(&format!(
                     "m.insert(::std::string::String::from(\"{f}\"), \
                      ::serde::Serialize::to_value(&self.{f}));\n"
@@ -362,12 +398,15 @@ fn gen_deserialize(def: &TypeDef) -> String {
         }
         Kind::NamedStruct(fields) if def.transparent && fields.len() == 1 => format!(
             "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})",
-            f = fields[0]
+            f = fields[0].name
         ),
         Kind::NamedStruct(fields) => {
             let items: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::de_field(m, \"{f}\")?"))
+                .map(|f| {
+                    let helper = if f.default { "de_field_or_default" } else { "de_field" };
+                    format!("{f}: ::serde::{helper}(m, \"{f}\")?", f = f.name)
+                })
                 .collect();
             format!(
                 "let m = v.as_object().ok_or_else(|| \
