@@ -24,6 +24,11 @@ use std::hint::black_box;
 /// business serving fewer requests per second than this.
 const MIN_RPS: f64 = 2_000.0;
 
+/// Tail-latency SLO for the same run: aggregate p99 at or under this.
+/// Loopback round trips sit well under a millisecond; 50ms absorbs CI
+/// scheduler noise while still catching a real serving regression.
+const MAX_P99_MS: f64 = 50.0;
+
 fn start_server() -> ServerHandle {
     let f = fixture();
     let index = ServingIndex::build(&f.web, &f.dataset, &f.output).expect("index builds");
@@ -118,6 +123,18 @@ fn load_report() {
     report
         .assert_floor(MIN_RPS)
         .expect("throughput floor / zero-error gate");
+    report
+        .assert_p99_slo(MAX_P99_MS)
+        .expect("p99 latency SLO gate");
+    assert!(
+        !report.timeline.is_empty(),
+        "load report carries no latency timeline"
+    );
+    println!(
+        "  timeline: {} snapshots, final p99 {:.3}ms (SLO {MAX_P99_MS:.0}ms: ok)",
+        report.timeline.len(),
+        report.timeline.last().map(|s| s.p99_ms).unwrap_or(0.0)
+    );
 
     let json = report.to_json().expect("artifact serializes");
     // Anchor to the workspace root, not the bench CWD, so the artifact

@@ -7,7 +7,11 @@
 //! `cc-telemetry` histograms, and error/shed rates. The report
 //! serializes to `BENCH_serve.json`, and
 //! [`LoadReport::assert_floor`] enforces the benchmark floor
-//! (aggregate req/s minimum, zero 5xx below the shed threshold).
+//! (aggregate req/s minimum, zero 5xx below the shed threshold) while
+//! [`LoadReport::assert_p99_slo`] gates tail latency. A monitor thread
+//! also folds periodic cumulative [`LatencySnapshot`]s into
+//! [`LoadReport::timeline`], so the artifact carries the latency
+//! *trajectory*, not just the endpoint digest.
 //!
 //! Everything is deterministic in *shape*: each user forks its own
 //! [`DetRng`](cc_util::DetRng) stream from the run seed, so the request
@@ -22,5 +26,5 @@ pub mod report;
 pub mod runner;
 
 pub use mix::{TaskKind, TaskMix, WeightedTask};
-pub use report::{LoadReport, TaskStats, LOAD_SCHEMA};
+pub use report::{LatencySnapshot, LoadReport, TaskStats, LOAD_SCHEMA};
 pub use runner::{run_load, LoadConfig};

@@ -34,6 +34,26 @@ pub struct TaskStats {
     pub throughput_rps: f64,
 }
 
+/// One point in the run's latency time-series: the cumulative latency
+/// digest as of `t_ms` into the request phase. Cumulative (not
+/// per-window) quantiles keep the series monotone-sample-count and make
+/// the last point agree with the aggregate digest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Milliseconds since the request phase started.
+    pub t_ms: f64,
+    /// Requests completed so far (across all users).
+    pub requests: u64,
+    /// Cumulative median latency.
+    pub p50_ms: f64,
+    /// Cumulative 90th-percentile latency.
+    pub p90_ms: f64,
+    /// Cumulative 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Worst latency seen so far.
+    pub max_ms: f64,
+}
+
 /// The complete load-generation result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LoadReport {
@@ -59,6 +79,10 @@ pub struct LoadReport {
     pub tasks: Vec<TaskStats>,
     /// The aggregate over all tasks.
     pub aggregate: TaskStats,
+    /// Periodic cumulative latency snapshots over the run (empty in
+    /// artifacts written before the field existed).
+    #[serde(default)]
+    pub timeline: Vec<LatencySnapshot>,
 }
 
 impl LoadReport {
@@ -99,6 +123,19 @@ impl LoadReport {
             return Err(CcError::cli(format!(
                 "{} transport errors during the run",
                 self.aggregate.transport_errors
+            )));
+        }
+        Ok(())
+    }
+
+    /// Enforce the latency SLO: aggregate p99 at or under `max_p99_ms`.
+    /// Gated separately from [`Self::assert_floor`] because CI wants to
+    /// report "too slow" and "too few" as distinct failures.
+    pub fn assert_p99_slo(&self, max_p99_ms: f64) -> Result<(), CcError> {
+        let p99 = self.aggregate.latency.p99_ms;
+        if p99 > max_p99_ms {
+            return Err(CcError::cli(format!(
+                "aggregate p99 latency {p99:.3}ms exceeds the {max_p99_ms:.3}ms SLO"
             )));
         }
         Ok(())

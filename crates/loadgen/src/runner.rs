@@ -6,6 +6,8 @@
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use cc_http::wire::WireError;
@@ -15,7 +17,45 @@ use cc_url::Url;
 use cc_util::{CcError, DetRng};
 
 use crate::mix::{TaskKind, TaskMix};
-use crate::report::{LoadReport, TaskStats, LOAD_SCHEMA};
+use crate::report::{LatencySnapshot, LoadReport, TaskStats, LOAD_SCHEMA};
+
+/// How often the monitor thread folds a [`LatencySnapshot`] into the
+/// run's timeline.
+const SNAPSHOT_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The live cross-user latency view the monitor thread samples: one
+/// histogram fed by every user alongside their private per-task ones.
+/// Contention is negligible next to a socket round-trip.
+struct LiveLatency {
+    latency: Mutex<Histogram>,
+    requests: AtomicU64,
+}
+
+impl LiveLatency {
+    fn new() -> LiveLatency {
+        LiveLatency {
+            latency: Mutex::new(Histogram::default()),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    fn observe_ms(&self, ms: f64) {
+        self.latency.lock().expect("live latency lock").observe_ms(ms);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, t_ms: f64) -> LatencySnapshot {
+        let summary = self.latency.lock().expect("live latency lock").summarize();
+        LatencySnapshot {
+            t_ms,
+            requests: self.requests.load(Ordering::Relaxed),
+            p50_ms: summary.p50_ms,
+            p90_ms: summary.p90_ms,
+            p99_ms: summary.p99_ms,
+            max_ms: summary.max_ms,
+        }
+    }
+}
 
 /// Load-run parameters (lowered from the CLI / `StudyConfig`).
 #[derive(Debug, Clone)]
@@ -209,6 +249,7 @@ fn build_url(target: &str, path_and_query: &str) -> Result<Url, CcError> {
 fn user_loop(
     cfg: &LoadConfig,
     catalog: &Catalog,
+    live: &LiveLatency,
     user: u64,
 ) -> Result<BTreeMap<&'static str, TaskAccum>, CcError> {
     let mut rng = DetRng::new(cfg.seed).fork_indexed("loadgen.user", user);
@@ -269,7 +310,9 @@ fn user_loop(
         let start = Instant::now();
         match client.call_with_reconnect(&req) {
             Ok(resp) => {
-                entry.latency.observe_ms(start.elapsed().as_secs_f64() * 1e3);
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                entry.latency.observe_ms(ms);
+                live.observe_ms(ms);
                 let code = resp.status.0;
                 if resp.status.is_success() {
                     entry.ok += 1;
@@ -323,13 +366,28 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, CcError> {
     drop(primer);
 
     let started = Instant::now();
+    let live = LiveLatency::new();
+    let monitor_stop = AtomicBool::new(false);
     let mut merged: BTreeMap<&'static str, TaskAccum> = BTreeMap::new();
     let mut failures: Vec<CcError> = Vec::new();
+    let mut timeline: Vec<LatencySnapshot> = Vec::new();
     std::thread::scope(|scope| {
         let catalog = &catalog;
+        let live = &live;
         let handles: Vec<_> = (0..cfg.users as u64)
-            .map(|u| scope.spawn(move || user_loop(cfg, catalog, u)))
+            .map(|u| scope.spawn(move || user_loop(cfg, catalog, live, u)))
             .collect();
+        // The monitor thread folds cumulative latency snapshots into the
+        // timeline while the users run.
+        let monitor_stop = &monitor_stop;
+        let monitor = scope.spawn(move || {
+            let mut series = Vec::new();
+            while !monitor_stop.load(Ordering::SeqCst) {
+                std::thread::sleep(SNAPSHOT_INTERVAL);
+                series.push(live.snapshot(started.elapsed().as_secs_f64() * 1e3));
+            }
+            series
+        });
         for h in handles {
             match h.join() {
                 Ok(Ok(accum)) => {
@@ -341,11 +399,16 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, CcError> {
                 Err(_) => failures.push(CcError::cli("a load user thread panicked")),
             }
         }
+        monitor_stop.store(true, Ordering::SeqCst);
+        timeline = monitor.join().unwrap_or_default();
     });
     if let Some(e) = failures.into_iter().next() {
         return Err(e);
     }
     let elapsed_s = started.elapsed().as_secs_f64();
+    // Close the series with a final post-join snapshot so the last point
+    // always matches the aggregate digest, even for sub-interval runs.
+    timeline.push(live.snapshot(elapsed_s * 1e3));
 
     let mut aggregate = TaskAccum::default();
     for a in merged.values() {
@@ -372,5 +435,6 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, CcError> {
         },
         tasks,
         aggregate: aggregate.stats("aggregate", elapsed_s),
+        timeline,
     })
 }

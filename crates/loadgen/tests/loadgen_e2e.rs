@@ -155,3 +155,49 @@ fn bad_target_and_bad_config_fail_cleanly() {
     assert!(run_load(&zero).is_err());
     handle.shutdown();
 }
+
+#[test]
+fn timeline_tracks_the_run_and_slo_gates_both_ways() {
+    let handle = start_server(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    let mut cfg = LoadConfig::new(handle.addr().to_string());
+    cfg.users = 2;
+    cfg.requests_per_user = 80;
+    let report = run_load(&cfg).unwrap();
+    handle.shutdown();
+
+    // The final post-join snapshot always exists, even on a run shorter
+    // than the monitor interval, and agrees with the aggregate digest.
+    assert!(!report.timeline.is_empty());
+    let last = report.timeline.last().unwrap();
+    assert_eq!(last.requests, report.aggregate.latency.count);
+    assert_eq!(last.p99_ms, report.aggregate.latency.p99_ms);
+    assert_eq!(last.max_ms, report.aggregate.latency.max_ms);
+
+    // Cumulative snapshots: time and request counts are monotone.
+    for pair in report.timeline.windows(2) {
+        assert!(pair[1].t_ms >= pair[0].t_ms);
+        assert!(pair[1].requests >= pair[0].requests);
+        assert!(pair[1].max_ms >= pair[0].max_ms);
+    }
+
+    // SLO gate: a generous bound passes, an impossible one fails.
+    report.assert_p99_slo(60_000.0).unwrap();
+    let err = report.assert_p99_slo(0.0).unwrap_err();
+    assert!(err.to_string().contains("SLO"), "{err}");
+
+    // The timeline survives the artifact round trip, and artifacts
+    // written before the field existed still parse (empty timeline).
+    let round: LoadReport = LoadReport::from_json(&report.to_json().unwrap()).unwrap();
+    assert_eq!(round.timeline.len(), report.timeline.len());
+    // `timeline` is the struct's last field, so compact serialization
+    // ends with `,"timeline":[...]}` — drop it to fabricate a pre-field
+    // artifact.
+    let compact = serde_json::to_string(&report).unwrap();
+    let cut = compact.rfind(",\"timeline\":").expect("timeline key present");
+    let legacy_json = format!("{}}}", &compact[..cut]);
+    let legacy = LoadReport::from_json(&legacy_json).unwrap();
+    assert!(legacy.timeline.is_empty());
+}

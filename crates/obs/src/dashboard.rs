@@ -1,0 +1,707 @@
+//! The single-file HTML run dashboard (`--dashboard-out run.html`).
+//!
+//! Renders a [`SnapshotRing`]'s retained window into one self-contained
+//! HTML document, goose-graph style: stat tiles up top, four hand-rolled
+//! SVG time-series below (throughput, latency quantiles, inflight,
+//! queue starvation — separate charts because their units differ; never
+//! a dual axis), the raw samples inline as a JSON `<script>` block, and
+//! a `<details>` data table. No external assets, no fetches: the file
+//! can be attached to a CI run or mailed around and still render.
+//!
+//! The charts are drawn server-side in Rust so the document works with
+//! scripting disabled; a small inline script progressively adds a hover
+//! crosshair + tooltip from the embedded JSON. Colors come from a
+//! validated categorical palette carried as CSS custom properties, with
+//! dark-mode values under both `prefers-color-scheme` and a
+//! `[data-theme="dark"]` scope.
+
+use std::fmt::Write as _;
+
+use cc_telemetry::ObsSample;
+
+/// Chart canvas geometry (SVG user units; the inline script mirrors
+/// these when mapping pointer coordinates back to sample indices).
+const W: f64 = 720.0;
+const H: f64 = 220.0;
+const ML: f64 = 56.0;
+const MR: f64 = 14.0;
+const MT: f64 = 14.0;
+const MB: f64 = 30.0;
+
+/// Data table rows are decimated to at most this many (evenly strided)
+/// so a long run's dashboard stays a reasonably sized file.
+const MAX_TABLE_ROWS: usize = 240;
+
+struct Series<'a> {
+    label: &'a str,
+    /// CSS custom property carrying the series color (`--s1`, `--s2`).
+    var: &'a str,
+    values: Vec<f64>,
+}
+
+struct Chart<'a> {
+    title: &'a str,
+    unit: &'a str,
+    series: Vec<Series<'a>>,
+}
+
+/// Render the dashboard document for one run.
+///
+/// `title` is the run label shown in the header (HTML-escaped here);
+/// `samples` is the ring's window in push order (oldest first, as
+/// [`cc_telemetry::SnapshotRing::snapshot`] returns it).
+pub fn render_dashboard(title: &str, samples: &[ObsSample]) -> String {
+    let charts = build_charts(samples);
+    let ts: Vec<f64> = samples.iter().map(|s| s.t_s).collect();
+
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n");
+    let _ = writeln!(out, "<title>{} — cc-obs run dashboard</title>", escape(title));
+    out.push_str("<style>\n");
+    out.push_str(STYLE);
+    out.push_str("</style>\n</head>\n<body>\n");
+
+    let _ = writeln!(
+        out,
+        "<header>\n<h1>{}</h1>\n<p class=\"sub\">cc-obs run dashboard · {} samples</p>\n</header>",
+        escape(title),
+        samples.len()
+    );
+
+    render_stat_tiles(&mut out, samples);
+
+    if samples.is_empty() {
+        out.push_str(
+            "<p class=\"empty\">No samples were recorded — the run finished before \
+             the first sampling interval, or the sampler was not attached.</p>\n",
+        );
+    } else {
+        for (i, chart) in charts.iter().enumerate() {
+            render_chart(&mut out, chart, &ts, i);
+        }
+        render_table(&mut out, samples);
+    }
+
+    render_data_block(&mut out, samples, &charts, &ts);
+    out.push_str("<script>\n");
+    out.push_str(SCRIPT);
+    out.push_str("</script>\n</body>\n</html>\n");
+    out
+}
+
+/// The fixed chart set. Units are never mixed on one axis: walks/s and
+/// steps/s share events/s, p50 and p99 share ms, and inflight vs.
+/// starvation get separate single-series charts.
+fn build_charts(samples: &[ObsSample]) -> Vec<Chart<'static>> {
+    vec![
+        Chart {
+            title: "Throughput",
+            unit: "events/s",
+            series: vec![
+                Series {
+                    label: "walks/s",
+                    var: "--s1",
+                    values: samples.iter().map(|s| s.walks_per_sec).collect(),
+                },
+                Series {
+                    label: "steps/s",
+                    var: "--s2",
+                    values: samples.iter().map(|s| s.steps_per_sec).collect(),
+                },
+            ],
+        },
+        Chart {
+            title: "Latency quantiles",
+            unit: "ms",
+            series: vec![
+                Series {
+                    label: "p50",
+                    var: "--s1",
+                    values: samples.iter().map(|s| s.latency_p50_ms).collect(),
+                },
+                Series {
+                    label: "p99",
+                    var: "--s2",
+                    values: samples.iter().map(|s| s.latency_p99_ms).collect(),
+                },
+            ],
+        },
+        Chart {
+            title: "Inflight requests",
+            unit: "requests",
+            series: vec![Series {
+                label: "inflight",
+                var: "--s1",
+                values: samples.iter().map(|s| s.inflight).collect(),
+            }],
+        },
+        Chart {
+            title: "Worker queue starvation",
+            unit: "starved polls (worst worker)",
+            series: vec![Series {
+                label: "starvation",
+                var: "--s1",
+                values: samples.iter().map(|s| s.starvation).collect(),
+            }],
+        },
+    ]
+}
+
+fn render_stat_tiles(out: &mut String, samples: &[ObsSample]) {
+    let last = samples.last().copied().unwrap_or_default();
+    out.push_str("<section class=\"tiles\">\n");
+    for (label, value) in [
+        ("walks", fmt_count(last.walks as f64)),
+        ("steps", fmt_count(last.steps as f64)),
+        ("walks/s", fmt_num(last.walks_per_sec)),
+        ("p99 latency", format!("{} ms", fmt_num(last.latency_p99_ms))),
+        ("duration", fmt_time(last.t_s)),
+    ] {
+        let _ = writeln!(
+            out,
+            "<div class=\"tile\"><div class=\"tile-v\">{value}</div><div class=\"tile-l\">{label}</div></div>"
+        );
+    }
+    out.push_str("</section>\n");
+}
+
+fn render_chart(out: &mut String, chart: &Chart<'_>, ts: &[f64], index: usize) {
+    let y_max = chart
+        .series
+        .iter()
+        .flat_map(|s| s.values.iter())
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0_f64, f64::max);
+    let (y_top, y_ticks) = nice_axis(y_max);
+    let t0 = ts.first().copied().unwrap_or(0.0);
+    let t1 = ts.last().copied().unwrap_or(0.0);
+    let plot_w = W - ML - MR;
+    let plot_h = H - MT - MB;
+
+    let x_of = |t: f64| {
+        if t1 > t0 {
+            ML + (t - t0) / (t1 - t0) * plot_w
+        } else {
+            ML + plot_w / 2.0
+        }
+    };
+    let y_of = |v: f64| {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        MT + plot_h - (v / y_top) * plot_h
+    };
+
+    out.push_str("<figure class=\"chart\">\n<figcaption>\n");
+    let _ = writeln!(
+        out,
+        "<span class=\"chart-title\">{}</span> <span class=\"chart-unit\">{}</span>",
+        escape(chart.title),
+        escape(chart.unit)
+    );
+    if chart.series.len() >= 2 {
+        out.push_str("<span class=\"legend\">");
+        for s in &chart.series {
+            let _ = write!(
+                out,
+                "<span class=\"key\"><span class=\"swatch\" style=\"background:var({})\"></span>{}</span>",
+                s.var,
+                escape(s.label)
+            );
+        }
+        out.push_str("</span>\n");
+    }
+    out.push_str("</figcaption>\n");
+    let _ = writeln!(
+        out,
+        "<div class=\"chart-box\"><svg class=\"cc-chart\" data-chart=\"{index}\" viewBox=\"0 0 {W} {H}\" \
+         role=\"img\" aria-label=\"{}\" preserveAspectRatio=\"xMidYMid meet\">",
+        escape(chart.title)
+    );
+
+    // Horizontal gridlines + y labels (recessive; baseline heavier).
+    for tick in &y_ticks {
+        let y = y_of(*tick);
+        let class = if *tick == 0.0 { "baseline" } else { "grid" };
+        let _ = writeln!(
+            out,
+            "<line class=\"{class}\" x1=\"{ML}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\"/>",
+            W - MR
+        );
+        let _ = writeln!(
+            out,
+            "<text class=\"ylab\" x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+            ML - 6.0,
+            y + 3.5,
+            fmt_num(*tick)
+        );
+    }
+    // X (time) labels.
+    for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let t = t0 + (t1 - t0) * frac;
+        let _ = writeln!(
+            out,
+            "<text class=\"xlab\" x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+            x_of(t),
+            H - 10.0,
+            fmt_time(t)
+        );
+    }
+
+    for s in &chart.series {
+        if ts.len() == 1 {
+            let _ = writeln!(
+                out,
+                "<circle class=\"mark\" cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" style=\"fill:var({})\"/>",
+                x_of(t0),
+                y_of(s.values[0]),
+                s.var
+            );
+            continue;
+        }
+        let mut points = String::with_capacity(ts.len() * 12);
+        for (t, v) in ts.iter().zip(&s.values) {
+            let _ = write!(points, "{:.1},{:.1} ", x_of(*t), y_of(*v));
+        }
+        let _ = writeln!(
+            out,
+            "<polyline class=\"line\" style=\"stroke:var({})\" points=\"{}\"/>",
+            s.var,
+            points.trim_end()
+        );
+    }
+
+    // Hover affordances (crosshair + capture rect), driven by the script.
+    let _ = writeln!(
+        out,
+        "<line class=\"cc-cross\" x1=\"0\" y1=\"{MT}\" x2=\"0\" y2=\"{:.1}\" style=\"display:none\"/>",
+        MT + plot_h
+    );
+    let _ = writeln!(
+        out,
+        "<rect class=\"cc-capture\" x=\"{ML}\" y=\"{MT}\" width=\"{plot_w:.1}\" height=\"{plot_h:.1}\"/>"
+    );
+    out.push_str("</svg>\n<div class=\"cc-tip\" hidden></div>\n</div>\n</figure>\n");
+}
+
+fn render_table(out: &mut String, samples: &[ObsSample]) {
+    let stride = samples.len().div_ceil(MAX_TABLE_ROWS).max(1);
+    out.push_str("<details class=\"table-view\">\n<summary>Data table</summary>\n");
+    if stride > 1 {
+        let _ = writeln!(
+            out,
+            "<p class=\"sub\">Showing every {stride}th of {} samples (full data in the embedded JSON block).</p>",
+            samples.len()
+        );
+    }
+    out.push_str(
+        "<table>\n<thead><tr><th>t</th><th>walks</th><th>steps</th><th>walks/s</th>\
+         <th>steps/s</th><th>inflight</th><th>starvation</th><th>p50 ms</th><th>p99 ms</th></tr></thead>\n<tbody>\n",
+    );
+    for s in samples.iter().step_by(stride) {
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            fmt_time(s.t_s),
+            s.walks,
+            s.steps,
+            fmt_num(s.walks_per_sec),
+            fmt_num(s.steps_per_sec),
+            fmt_num(s.inflight),
+            fmt_num(s.starvation),
+            fmt_num(s.latency_p50_ms),
+            fmt_num(s.latency_p99_ms),
+        );
+    }
+    out.push_str("</tbody>\n</table>\n</details>\n");
+}
+
+/// Embed the raw samples plus the per-chart series the hover script
+/// reads. `</` is escaped so no sample content can ever close the
+/// script element early.
+fn render_data_block(out: &mut String, samples: &[ObsSample], charts: &[Chart<'_>], ts: &[f64]) {
+    let mut json = String::from("{\"schema\":\"cc-obs/v1\",\"samples\":");
+    json.push_str(&serde_json::to_string(samples).unwrap_or_else(|_| "[]".into()));
+    json.push_str(",\"t\":");
+    json.push_str(&serde_json::to_string(ts).unwrap_or_else(|_| "[]".into()));
+    json.push_str(",\"charts\":[");
+    for (i, c) in charts.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"title\":{},\"unit\":{},\"series\":[",
+            serde_json::to_string(c.title).unwrap_or_else(|_| "\"\"".into()),
+            serde_json::to_string(c.unit).unwrap_or_else(|_| "\"\"".into())
+        );
+        for (j, s) in c.series.iter().enumerate() {
+            if j > 0 {
+                json.push(',');
+            }
+            let _ = write!(
+                json,
+                "{{\"label\":{},\"values\":{}}}",
+                serde_json::to_string(s.label).unwrap_or_else(|_| "\"\"".into()),
+                serde_json::to_string(&s.values).unwrap_or_else(|_| "[]".into())
+            );
+        }
+        json.push_str("]}");
+    }
+    json.push_str("]}");
+    let _ = writeln!(
+        out,
+        "<script type=\"application/json\" id=\"cc-obs-data\">{}</script>",
+        json.replace("</", "<\\/")
+    );
+}
+
+/// Round the axis top up to a tick multiple and return (top, tick
+/// positions including 0). `max <= 0` falls back to a unit axis so an
+/// all-zero series still draws a sensible frame.
+fn nice_axis(max: f64) -> (f64, Vec<f64>) {
+    let max = if max.is_finite() && max > 0.0 { max } else { 1.0 };
+    let step = nice_step(max / 4.0);
+    let n = (max / step).ceil().max(1.0);
+    let top = step * n;
+    let ticks = (0..=n as usize).map(|i| step * i as f64).collect();
+    (top, ticks)
+}
+
+/// Snap a raw interval up to the nearest 1/2/5 × 10^k.
+fn nice_step(raw: f64) -> f64 {
+    let raw = if raw.is_finite() && raw > 0.0 { raw } else { 0.25 };
+    let mag = 10f64.powf(raw.log10().floor());
+    let n = raw / mag;
+    let m = if n <= 1.0 {
+        1.0
+    } else if n <= 2.0 {
+        2.0
+    } else if n <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    m * mag
+}
+
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".into();
+    }
+    let a = v.abs();
+    let s = if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else if a == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{v:.3}")
+    };
+    trim_zeros(s)
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1_000_000.0 {
+        trim_zeros(format!("{:.2}", v / 1_000_000.0)) + "M"
+    } else if v >= 10_000.0 {
+        trim_zeros(format!("{:.1}", v / 1_000.0)) + "k"
+    } else {
+        format!("{}", v as u64)
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    let secs = if secs.is_finite() && secs > 0.0 { secs } else { 0.0 };
+    if secs >= 120.0 {
+        format!("{}m{:02.0}s", (secs / 60.0) as u64, secs % 60.0)
+    } else if secs >= 10.0 {
+        trim_zeros(format!("{secs:.1}")) + "s"
+    } else {
+        trim_zeros(format!("{secs:.2}")) + "s"
+    }
+}
+
+fn trim_zeros(s: String) -> String {
+    if s.contains('.') {
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Palette + layout tokens. The series colors are the first two slots of
+/// a validated categorical palette (adjacent-pair CVD separation and
+/// contrast checked against both surfaces); every piece of text wears an
+/// ink token, never a series color. Dark mode is its own selected set of
+/// steps, reachable via the OS preference or `data-theme="dark"`.
+const STYLE: &str = r#":root {
+  --surface: #fcfcfb;
+  --ink: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --s1: #2a78d6;
+  --s2: #eb6834;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19;
+    --ink: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --s1: #3987e5;
+    --s2: #d95926;
+  }
+}
+[data-theme="dark"] {
+  --surface: #1a1a19;
+  --ink: #ffffff;
+  --ink-2: #c3c2b7;
+  --muted: #898781;
+  --grid: #2c2c2a;
+  --baseline: #383835;
+  --s1: #3987e5;
+  --s2: #d95926;
+}
+body {
+  margin: 0 auto;
+  padding: 24px 20px 48px;
+  max-width: 820px;
+  background: var(--surface);
+  color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0; }
+.sub { color: var(--ink-2); margin: 2px 0 0; font-size: 13px; }
+.empty { color: var(--ink-2); }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 20px 0; }
+.tile {
+  flex: 1 1 120px;
+  border: 1px solid var(--grid);
+  border-radius: 8px;
+  padding: 10px 14px;
+}
+.tile-v { font-size: 22px; font-weight: 600; font-variant-numeric: tabular-nums; }
+.tile-l { color: var(--ink-2); font-size: 12px; }
+.chart { margin: 26px 0 0; }
+figcaption { display: flex; align-items: baseline; gap: 8px; margin-bottom: 4px; }
+.chart-title { font-weight: 600; }
+.chart-unit { color: var(--muted); font-size: 12px; }
+.legend { margin-left: auto; display: flex; gap: 12px; font-size: 12px; color: var(--ink-2); }
+.key { display: inline-flex; align-items: center; gap: 5px; }
+.swatch { width: 10px; height: 10px; border-radius: 2px; display: inline-block; }
+.chart-box { position: relative; }
+svg.cc-chart { width: 100%; height: auto; display: block; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.baseline { stroke: var(--baseline); stroke-width: 1.5; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+.ylab { fill: var(--ink-2); font-size: 10px; text-anchor: end; font-variant-numeric: tabular-nums; }
+.xlab { fill: var(--ink-2); font-size: 10px; text-anchor: middle; font-variant-numeric: tabular-nums; }
+.cc-cross { stroke: var(--baseline); stroke-width: 1; stroke-dasharray: 3 3; pointer-events: none; }
+.cc-capture { fill: transparent; }
+.cc-tip {
+  position: absolute;
+  pointer-events: none;
+  background: var(--surface);
+  color: var(--ink);
+  border: 1px solid var(--baseline);
+  border-radius: 6px;
+  padding: 6px 9px;
+  font-size: 12px;
+  box-shadow: 0 2px 8px rgba(0, 0, 0, 0.12);
+  white-space: nowrap;
+}
+.cc-tip .t { color: var(--ink-2); }
+.cc-tip .k { display: inline-block; width: 8px; height: 8px; border-radius: 2px; margin-right: 5px; }
+.table-view { margin-top: 28px; }
+.table-view summary { cursor: pointer; color: var(--ink-2); }
+table { border-collapse: collapse; margin-top: 10px; font-variant-numeric: tabular-nums; font-size: 12px; }
+th, td { text-align: right; padding: 3px 10px; border-bottom: 1px solid var(--grid); }
+th { color: var(--ink-2); font-weight: 600; }
+"#;
+
+/// The progressive hover layer: crosshair + tooltip per chart, reading
+/// the embedded JSON. Geometry constants mirror the Rust renderer's.
+const SCRIPT: &str = r#"(function () {
+  var el = document.getElementById('cc-obs-data');
+  if (!el) return;
+  var data;
+  try { data = JSON.parse(el.textContent); } catch (e) { return; }
+  if (!data.t || data.t.length === 0) return;
+  var ML = 56, MR = 14, MT = 14, MB = 30, W = 720, H = 220;
+  var plotW = W - ML - MR;
+  var t0 = data.t[0], t1 = data.t[data.t.length - 1];
+  var vars = ['--s1', '--s2'];
+  document.querySelectorAll('svg.cc-chart').forEach(function (svg) {
+    var chart = data.charts[+svg.dataset.chart];
+    if (!chart) return;
+    var box = svg.parentElement;
+    var tip = box.querySelector('.cc-tip');
+    var cross = svg.querySelector('.cc-cross');
+    function hide() { tip.hidden = true; cross.style.display = 'none'; }
+    svg.addEventListener('mouseleave', hide);
+    svg.addEventListener('mousemove', function (ev) {
+      var r = svg.getBoundingClientRect();
+      var fx = (ev.clientX - r.left) * (W / r.width);
+      if (fx < ML || fx > W - MR) { hide(); return; }
+      var i = 0;
+      if (t1 > t0) {
+        var tt = t0 + ((fx - ML) / plotW) * (t1 - t0);
+        var lo = 0, hi = data.t.length - 1;
+        while (lo < hi) {
+          var mid = (lo + hi) >> 1;
+          if (data.t[mid] < tt) lo = mid + 1; else hi = mid;
+        }
+        i = lo;
+        if (i > 0 && tt - data.t[i - 1] < data.t[i] - tt) i = i - 1;
+      }
+      var x = t1 > t0 ? ML + ((data.t[i] - t0) / (t1 - t0)) * plotW : ML + plotW / 2;
+      cross.setAttribute('x1', x);
+      cross.setAttribute('x2', x);
+      cross.style.display = '';
+      var html = '<div class="t">t = ' + data.t[i].toFixed(2) + 's</div>';
+      chart.series.forEach(function (s, j) {
+        html += '<div><span class="k" style="background:var(' + (vars[j] || vars[0]) +
+          ')"></span>' + s.label + ': ' + (+s.values[i]).toFixed(2) + '</div>';
+      });
+      tip.innerHTML = html;
+      tip.hidden = false;
+      var px = (x / W) * r.width + 12;
+      if (px > r.width - 150) px = px - 170;
+      tip.style.left = px + 'px';
+      tip.style.top = ((ev.clientY - r.top) * (H / r.height) / H) * r.height + 'px';
+    });
+  });
+})();
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, walks: u64) -> ObsSample {
+        ObsSample {
+            t_s: t,
+            walks,
+            steps: walks * 4,
+            walks_per_sec: walks as f64 / t.max(0.1),
+            steps_per_sec: walks as f64 * 4.0 / t.max(0.1),
+            inflight: 3.0,
+            starvation: 1.0,
+            latency_p50_ms: 12.0,
+            latency_p99_ms: 48.0,
+        }
+    }
+
+    #[test]
+    fn dashboard_is_self_contained_html() {
+        let samples: Vec<ObsSample> = (1..=20).map(|i| sample(i as f64, i * 10)).collect();
+        let html = render_dashboard("smoke run", &samples);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        // No external assets of any kind.
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+        assert!(!html.contains("<link"));
+        assert!(!html.contains("src="));
+        // All four charts, each with its polylines.
+        for title in [
+            "Throughput",
+            "Latency quantiles",
+            "Inflight requests",
+            "Worker queue starvation",
+        ] {
+            assert!(html.contains(title), "missing chart {title}");
+        }
+        assert_eq!(html.matches("<polyline").count(), 6); // 2 + 2 + 1 + 1
+        // Legends only on the two-series charts.
+        assert_eq!(html.matches("class=\"legend\"").count(), 2);
+        // Table view exists.
+        assert!(html.contains("<table>"));
+        assert!(html.contains("Data table"));
+        // Dark mode under both scopes.
+        assert!(html.contains("prefers-color-scheme: dark"));
+        assert!(html.contains("[data-theme=\"dark\"]"));
+    }
+
+    #[test]
+    fn embedded_json_parses_and_round_trips_samples() {
+        let samples: Vec<ObsSample> = (1..=5).map(|i| sample(i as f64, i)).collect();
+        let html = render_dashboard("json check", &samples);
+        let start = html.find("id=\"cc-obs-data\">").expect("data block") + "id=\"cc-obs-data\">".len();
+        let end = start + html[start..].find("</script>").expect("block end");
+        let json = html[start..end].replace("<\\/", "</");
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let obj = v.as_object().expect("object root");
+        assert_eq!(obj.get("schema").and_then(|s| s.as_str()), Some("cc-obs/v1"));
+        let raw_samples = obj.get("samples").and_then(|s| s.as_array()).unwrap();
+        assert_eq!(raw_samples.len(), 5);
+        assert_eq!(obj.get("t").and_then(|t| t.as_array()).unwrap().len(), 5);
+        assert_eq!(obj.get("charts").and_then(|c| c.as_array()).unwrap().len(), 4);
+        let back: Vec<ObsSample> =
+            serde_json::from_str(&serde_json::to_string(raw_samples).unwrap()).unwrap();
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn empty_run_renders_placeholder_not_charts() {
+        let html = render_dashboard("empty", &[]);
+        assert!(html.contains("No samples were recorded"));
+        assert!(!html.contains("<polyline"));
+        assert!(html.contains("<!DOCTYPE html>"));
+    }
+
+    #[test]
+    fn single_sample_draws_point_markers() {
+        let html = render_dashboard("one", &[sample(1.0, 3)]);
+        assert!(html.contains("<circle class=\"mark\""));
+        assert!(!html.contains("<polyline"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let html = render_dashboard("<script>alert(1)</script>", &[]);
+        assert!(!html.contains("<script>alert"));
+        assert!(html.contains("&lt;script&gt;alert(1)&lt;/script&gt;"));
+    }
+
+    #[test]
+    fn long_runs_decimate_the_table() {
+        let samples: Vec<ObsSample> = (1..=1000).map(|i| sample(i as f64, i)).collect();
+        let html = render_dashboard("long", &samples);
+        assert!(html.contains("Showing every 5th of 1000 samples"));
+        assert!(html.matches("<tr><td>").count() <= MAX_TABLE_ROWS);
+    }
+
+    #[test]
+    fn nice_axis_covers_max_and_starts_at_zero() {
+        for max in [0.0, 0.7, 1.0, 3.2, 47.0, 999.0, 12_345.0] {
+            let (top, ticks) = nice_axis(max);
+            assert!(top >= max, "top {top} < max {max}");
+            assert_eq!(ticks[0], 0.0);
+            assert!((ticks.last().unwrap() - top).abs() < 1e-9);
+            assert!(ticks.len() >= 2 && ticks.len() <= 8, "{max} -> {ticks:?}");
+        }
+    }
+}

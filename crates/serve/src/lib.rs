@@ -24,7 +24,9 @@
 //!
 //! Endpoints: `GET /healthz`, `/report`, `/report/{section}`,
 //! `/smugglers?role=dedicated|multi&limit=N`, `/uids/{domain}`,
-//! `/walks/{id}`, `/catalog`, `/metrics`, and `POST /shutdown`.
+//! `/walks/{id}`, `/catalog`, `/metrics`, `/metrics.prom` (Prometheus
+//! text exposition), `/logs` (deterministic head-sampled request log),
+//! and `POST /shutdown`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,4 +36,4 @@ pub mod router;
 pub mod server;
 
 pub use index::{etag_for, CachedBody, ServingIndex, SmugglerRole};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{RequestLogEntry, ServeConfig, Server, ServerHandle};

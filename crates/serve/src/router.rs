@@ -56,14 +56,35 @@ pub(crate) fn route(req: &Request, shared: &Shared) -> Routed {
 
     if path == "/metrics" {
         // Live, never cached: the snapshot changes with every request.
-        let body = shared
-            .collector
-            .report(None)
-            .to_json()
-            .unwrap_or_else(|_| "{\"error\":\"metrics serialization failed\"}".into());
-        let mut resp = Response::raw(StatusCode::OK, body);
-        resp.headers.set("content-type", "application/json");
+        // A serialization failure is a real 500, not a 200 with an error
+        // body — scrapers alert on status codes, not on body contents.
+        let resp = match shared.collector.report(None).to_json() {
+            Ok(body) => live(StatusCode::OK, body, "application/json"),
+            Err(e) => live(
+                StatusCode::INTERNAL_SERVER_ERROR,
+                format!(
+                    "{{\"error\":\"metrics serialization failed\",\"detail\":{}}}",
+                    json_string(&e.to_string())
+                ),
+                "application/json",
+            ),
+        };
         return Routed::new("metrics", resp);
+    }
+
+    if path == "/metrics.prom" {
+        let text = cc_telemetry::render_prometheus(&shared.collector.report(None));
+        return Routed::new(
+            "metrics",
+            live(StatusCode::OK, text, "text/plain; version=0.0.4; charset=utf-8"),
+        );
+    }
+
+    if path == "/logs" {
+        return Routed::new(
+            "logs",
+            live(StatusCode::OK, shared.request_log_json(), "application/json"),
+        );
     }
 
     if path == "/smugglers" {
@@ -123,6 +144,16 @@ fn smugglers(req: &Request, shared: &Shared) -> Routed {
     }
     let assembled = shared.index.smugglers(role, limit);
     Routed::new("smugglers", conditional(req, &assembled))
+}
+
+/// A live (never-cacheable) response: explicit content type plus
+/// `Cache-Control: no-store`, so no intermediary replays a stale
+/// snapshot of a moving value.
+fn live(status: StatusCode, body: String, content_type: &str) -> Response {
+    let mut resp = Response::raw(status, body);
+    resp.headers.set("content-type", content_type);
+    resp.headers.set("cache-control", "no-store");
+    resp
 }
 
 /// Serve a cached body, honoring `If-None-Match`.

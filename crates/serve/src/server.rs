@@ -24,7 +24,7 @@
 use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -83,6 +83,30 @@ impl ServeConfig {
     }
 }
 
+/// How many requests the structured log retains. Head sampling (the
+/// first N requests, in admission order) is deterministic for a given
+/// request sequence, unlike rate- or reservoir-sampling: two identical
+/// load runs produce identical log sets.
+pub(crate) const REQUEST_LOG_HEAD: usize = 128;
+
+/// One sampled request, as served at `/logs`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RequestLogEntry {
+    /// 1-based position in the server's request sequence.
+    pub seq: u64,
+    /// Request method (`GET`, `POST`).
+    pub method: String,
+    /// Request path (no query — UIDs may ride in query strings, and the
+    /// log should not become a UID store).
+    pub path: String,
+    /// The route label the request resolved to.
+    pub route: String,
+    /// Response status code.
+    pub status: u16,
+    /// Handling time in microseconds.
+    pub duration_us: u64,
+}
+
 /// State shared by the accept thread, the workers, and the handle.
 pub(crate) struct Shared {
     pub(crate) index: ServingIndex,
@@ -90,6 +114,10 @@ pub(crate) struct Shared {
     pub(crate) collector: Arc<Collector>,
     pub(crate) stop: AtomicBool,
     pub(crate) inflight: AtomicUsize,
+    /// Monotone request sequence (drives head sampling).
+    request_seq: AtomicU64,
+    /// The first [`REQUEST_LOG_HEAD`] requests, in admission order.
+    request_log: Mutex<Vec<RequestLogEntry>>,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
 }
@@ -102,6 +130,18 @@ impl Shared {
 
     fn admitted_load(&self) -> usize {
         self.inflight.load(Ordering::SeqCst) + self.queue.lock().expect("queue lock").len()
+    }
+
+    /// The `/logs` body: sampling metadata plus the retained entries.
+    pub(crate) fn request_log_json(&self) -> String {
+        let log = self.request_log.lock().expect("request log lock");
+        let entries = serde_json::to_string(&*log).unwrap_or_else(|_| "[]".into());
+        format!(
+            "{{\"sampling\":\"head\",\"head\":{},\"total_requests\":{},\"entries\":{}}}",
+            REQUEST_LOG_HEAD,
+            self.request_seq.load(Ordering::SeqCst),
+            entries
+        )
     }
 }
 
@@ -129,6 +169,8 @@ impl Server {
             collector: Arc::new(Collector::default()),
             stop: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
+            request_seq: AtomicU64::new(0),
+            request_log: Mutex::new(Vec::new()),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
         });
@@ -351,7 +393,7 @@ fn serve_session(stream: TcpStream, shared: &Shared) {
                     response.headers.set("connection", "close");
                 }
                 let write_ok = response.write_to(&mut writer).is_ok();
-                record_request(shared, label, &response, start);
+                record_request(shared, label, &req, &response, start);
                 if shutdown {
                     // Respond first, then flip the flag: the client that
                     // asked for shutdown always gets its 200.
@@ -387,11 +429,25 @@ fn serve_session(stream: TcpStream, shared: &Shared) {
     let _ = writer.flush();
 }
 
-fn record_request(shared: &Shared, label: &'static str, response: &Response, start: Instant) {
-    let ms = start.elapsed().as_secs_f64() * 1e3;
+/// Per-request accounting: the RED triple (rate via `serve.requests`,
+/// errors via per-status-class events, duration via the latency
+/// histograms), plus the deterministic head-sampled request log.
+fn record_request(
+    shared: &Shared,
+    label: &'static str,
+    req: &Request,
+    response: &Response,
+    start: Instant,
+) {
+    let elapsed = start.elapsed();
+    let ms = elapsed.as_secs_f64() * 1e3;
     let c = &shared.collector;
     c.add_counter("serve.requests", 1);
     c.add_event("serve.requests.by_route", &[("route", label)]);
+    c.add_event(
+        "serve.requests.by_class",
+        &[("class", status_class(response.status))],
+    );
     c.observe_ms("serve.latency", ms);
     c.observe_ms(&format!("serve.latency.{label}"), ms);
     if response.status == StatusCode::NOT_MODIFIED {
@@ -399,6 +455,35 @@ fn record_request(shared: &Shared, label: &'static str, response: &Response, sta
     }
     if response.status.is_server_error() {
         c.add_counter("serve.5xx", 1);
+    }
+
+    let seq = shared.request_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    if seq as usize <= REQUEST_LOG_HEAD {
+        let entry = RequestLogEntry {
+            seq,
+            method: format!("{:?}", req.method).to_ascii_uppercase(),
+            path: req.url.path.clone(),
+            route: label.to_string(),
+            status: response.status.0,
+            duration_us: elapsed.as_micros() as u64,
+        };
+        let mut log = shared.request_log.lock().expect("request log lock");
+        // Over-admission race (two requests fetch seq before either
+        // pushes) cannot overfill: the bound is rechecked under the lock.
+        if log.len() < REQUEST_LOG_HEAD {
+            log.push(entry);
+        }
+    }
+}
+
+/// `2xx` / `3xx` / `4xx` / `5xx` bucket for the RED error breakdown.
+fn status_class(status: StatusCode) -> &'static str {
+    match status.0 / 100 {
+        1 => "1xx",
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        _ => "5xx",
     }
 }
 

@@ -392,3 +392,105 @@ fn invalid_config_is_rejected() {
     };
     assert!(Server::start(index, bad).is_err());
 }
+
+#[test]
+fn observability_endpoints_serve_prom_and_sampled_logs() {
+    let handle = start(ServeConfig::default());
+    let mut client = TestClient::connect(handle.addr());
+
+    // Generate a little traffic first, including an error and a query.
+    assert_eq!(client.get("/healthz").status.0, 200);
+    assert_eq!(client.get("/no-such-path").status.0, 404);
+    assert_eq!(client.get("/smugglers?role=dedicated&limit=2").status.0, 200);
+
+    // Live endpoints carry explicit content types and are never
+    // cacheable.
+    let metrics = client.get("/metrics");
+    assert_eq!(metrics.status.0, 200);
+    assert_eq!(metrics.headers.get("content-type"), Some("application/json"));
+    assert_eq!(metrics.headers.get("cache-control"), Some("no-store"));
+
+    let prom = client.get("/metrics.prom");
+    assert_eq!(prom.status.0, 200);
+    assert_eq!(
+        prom.headers.get("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8")
+    );
+    assert_eq!(prom.headers.get("cache-control"), Some("no-store"));
+    let text = TestClient::body_str(&prom);
+    let stats = cc_telemetry::parse_exposition(&text).expect("valid exposition");
+    assert!(stats.families >= 3 && stats.samples >= 5, "{stats:?}");
+    assert!(text.contains("cc_counter_total{name=\"serve.requests\"}"));
+    // RED error breakdown: the 404 above shows up as a 4xx-class event.
+    assert!(text.contains("class=4xx"), "missing status-class event:\n{text}");
+
+    // The head-sampled log: admission order, full fidelity for the first
+    // requests, query strings stripped.
+    let logs = client.get("/logs");
+    assert_eq!(logs.status.0, 200);
+    assert_eq!(logs.headers.get("cache-control"), Some("no-store"));
+    let body = TestClient::body_str(&logs);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let obj = v.as_object().unwrap();
+    assert_eq!(obj.get("sampling").and_then(|s| s.as_str()), Some("head"));
+    let entries = obj.get("entries").and_then(|e| e.as_array()).unwrap();
+    assert!(entries.len() >= 5, "expected the whole head so far, got {}", entries.len());
+    let first = entries[0].as_object().unwrap();
+    assert_eq!(first.get("seq").and_then(|s| s.as_f64()), Some(1.0));
+    assert_eq!(first.get("path").and_then(|s| s.as_str()), Some("/healthz"));
+    assert_eq!(first.get("method").and_then(|s| s.as_str()), Some("GET"));
+    assert_eq!(first.get("status").and_then(|s| s.as_f64()), Some(200.0));
+    let third = entries[2].as_object().unwrap();
+    assert_eq!(third.get("path").and_then(|s| s.as_str()), Some("/smugglers"));
+    assert!(!body.contains("role=dedicated"), "query must be stripped from logs");
+
+    handle.shutdown();
+}
+
+#[test]
+fn request_log_head_sampling_is_bounded_and_deterministic() {
+    let run = || {
+        let handle = start(ServeConfig {
+            workers: 1, // single worker => fully deterministic admission order
+            ..ServeConfig::default()
+        });
+        let mut client = TestClient::connect(handle.addr());
+        for i in 0..140 {
+            let path = if i % 3 == 0 { "/healthz" } else { "/catalog" };
+            assert_eq!(client.get(path).status.0, 200);
+        }
+        let body = TestClient::body_str(&client.get("/logs"));
+        handle.shutdown();
+        body
+    };
+    let body = run();
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let obj = v.as_object().unwrap();
+    // 140 requests recorded before /logs itself (its own accounting
+    // lands after the response body is built), but only the first 128
+    // are retained.
+    assert_eq!(obj.get("head").and_then(|h| h.as_f64()), Some(128.0));
+    assert_eq!(obj.get("total_requests").and_then(|t| t.as_f64()), Some(140.0));
+    let entries = obj.get("entries").and_then(|e| e.as_array()).unwrap();
+    assert_eq!(entries.len(), 128);
+
+    // Identical run => identical sampled set (modulo durations).
+    let routes = |body: &str| -> Vec<(f64, String)> {
+        let v: serde_json::Value = serde_json::from_str(body).unwrap();
+        v.as_object()
+            .unwrap()
+            .get("entries")
+            .and_then(|e| e.as_array())
+            .unwrap()
+            .iter()
+            .map(|e| {
+                let o = e.as_object().unwrap();
+                (
+                    o.get("seq").and_then(|s| s.as_f64()).unwrap(),
+                    o.get("path").and_then(|p| p.as_str()).unwrap().to_string(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(routes(&body), routes(&run()));
+}

@@ -1,26 +1,59 @@
 //! The thread-safe collector and the exclusive recording session.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::histogram::Histogram;
 use crate::report::{DeterministicSection, RunReport, SpanRollup, TimingSection, WorkerSection};
 use crate::span::SpanStat;
+use crate::trace_export::TraceSpan;
 
 /// Where every recording call lands: name-keyed maps behind mutexes.
 ///
 /// Contention is acceptable by design — recording happens at walk/step
 /// granularity (thousands of operations per crawl), not per byte. The
 /// `BTreeMap` keys give the report its stable, diff-friendly ordering.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Collector {
     counters: Mutex<BTreeMap<String, u64>>,
     events: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<BTreeMap<String, SpanStat>>,
+    /// Monotonic completion tick: orders span paths by first completion
+    /// for the `--trace` tree.
+    span_tick: AtomicU64,
+    /// When this collector was created — the zero point for trace-span
+    /// start offsets.
+    epoch: Instant,
+    /// Whether individual spans are captured for chrome-trace export
+    /// (off by default: capture stores one record per completed span).
+    trace_capture: AtomicBool,
+    trace_spans: Mutex<Vec<TraceSpan>>,
+    /// Track id → track name (the root segment of the first span the
+    /// thread completed), for chrome-trace thread-name metadata.
+    trace_tracks: Mutex<BTreeMap<u32, String>>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector {
+            counters: Mutex::default(),
+            events: Mutex::default(),
+            gauges: Mutex::default(),
+            histograms: Mutex::default(),
+            spans: Mutex::default(),
+            span_tick: AtomicU64::new(0),
+            epoch: Instant::now(),
+            trace_capture: AtomicBool::new(false),
+            trace_spans: Mutex::default(),
+            trace_tracks: Mutex::default(),
+        }
+    }
 }
 
 impl Collector {
@@ -81,10 +114,87 @@ impl Collector {
         hists.entry(name.to_string()).or_default().observe_ms(ms);
     }
 
-    /// Fold one completed span into its path's rollup.
-    pub fn record_span(&self, path: &str, ns: u64) {
+    /// Summarized snapshot of one live histogram, if it exists (the
+    /// sampler's latency-quantile source — reads never block recording
+    /// for long; the map lock covers one summarize).
+    pub fn histogram_summary(&self, name: &str) -> Option<crate::HistogramSummary> {
+        self.histograms.lock().get(name).map(Histogram::summarize)
+    }
+
+    /// Read one gauge value, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.lock().get(name).copied()
+    }
+
+    /// Maximum over all gauges whose name starts with `prefix` (the
+    /// sampler's worst-worker-starvation read).
+    pub fn gauge_prefix_max(&self, prefix: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Fold one completed span into its path's rollup. `self_ns` is the
+    /// span's duration minus its children's.
+    pub fn record_span(&self, path: &str, ns: u64, self_ns: u64) {
+        let tick = self.span_tick.fetch_add(1, Ordering::Relaxed);
         let mut spans = self.spans.lock();
-        spans.entry(path.to_string()).or_default().record(ns);
+        spans
+            .entry(path.to_string())
+            .or_default()
+            .record(ns, self_ns, tick);
+    }
+
+    /// Whether individual-span capture (chrome-trace export) is on.
+    pub fn trace_capture_enabled(&self) -> bool {
+        self.trace_capture.load(Ordering::Relaxed)
+    }
+
+    /// Turn individual-span capture on or off. Capture stores one record
+    /// per completed span, so leave it off unless a trace export was
+    /// requested.
+    pub fn set_trace_capture(&self, on: bool) {
+        self.trace_capture.store(on, Ordering::Relaxed);
+    }
+
+    /// Record one completed span as an individual trace event (called by
+    /// the span guard when capture is on).
+    pub fn record_trace_span(
+        &self,
+        path: &str,
+        track: u32,
+        start: Instant,
+        dur_ns: u64,
+        self_ns: u64,
+    ) {
+        let start_us = start
+            .checked_duration_since(self.epoch)
+            .map_or(0, |d| d.as_micros().min(u64::MAX as u128) as u64);
+        {
+            let mut tracks = self.trace_tracks.lock();
+            tracks.entry(track).or_insert_with(|| {
+                let root = path.split('/').next().unwrap_or(path);
+                format!("{root} [track {track}]")
+            });
+        }
+        self.trace_spans.lock().push(TraceSpan {
+            path: path.to_string(),
+            track,
+            start_us,
+            dur_ns,
+            self_ns,
+        });
+    }
+
+    /// Snapshot the captured trace spans and the track-name table.
+    pub fn trace_snapshot(&self) -> (Vec<TraceSpan>, BTreeMap<u32, String>) {
+        (
+            self.trace_spans.lock().clone(),
+            self.trace_tracks.lock().clone(),
+        )
     }
 
     /// Snapshot everything into a report (the collector keeps recording).
@@ -97,6 +207,7 @@ impl Collector {
                 path: path.clone(),
                 count: s.count,
                 total_ms: s.total_ns as f64 / 1e6,
+                self_ms: s.self_ns as f64 / 1e6,
                 mean_ms: if s.count == 0 {
                     0.0
                 } else {
@@ -108,6 +219,7 @@ impl Collector {
                     s.min_ns as f64 / 1e6
                 },
                 max_ms: s.max_ns as f64 / 1e6,
+                first_seen: s.first_seen,
             })
             .collect();
         RunReport {
@@ -159,9 +271,25 @@ impl Session {
         }
     }
 
+    /// [`Session::start`] with individual-span capture enabled, for
+    /// chrome-trace export (`--trace-out`).
+    pub fn start_with_trace() -> Session {
+        let session = Session::start();
+        session.collector.set_trace_capture(true);
+        session
+    }
+
     /// The session's collector (for direct inspection in tests).
     pub fn collector(&self) -> &Collector {
         &self.collector
+    }
+
+    /// A shareable handle to the session's collector — what a live
+    /// observer thread holds to serve `/metrics` while the session runs.
+    /// The handle stays readable after the session ends (recording stops,
+    /// the data remains).
+    pub fn shared_collector(&self) -> Arc<Collector> {
+        Arc::clone(&self.collector)
     }
 
     /// Build the run report collected so far.
@@ -177,6 +305,14 @@ impl Session {
     /// Render the span tree collected so far (the `--trace` output).
     pub fn render_trace(&self) -> String {
         crate::span::render_tree(&self.report().timing.spans)
+    }
+
+    /// Render the captured spans as chrome-trace (`trace_event`) JSON,
+    /// loadable in Perfetto / `chrome://tracing`. Non-empty only when the
+    /// session was started with [`Session::start_with_trace`].
+    pub fn chrome_trace(&self) -> String {
+        let (spans, tracks) = self.collector.trace_snapshot();
+        crate::trace_export::chrome_trace_json(&spans, &tracks)
     }
 }
 
@@ -225,5 +361,59 @@ mod tests {
         drop(a);
         let b = Session::start();
         assert!(b.report().deterministic.counters.is_empty());
+    }
+
+    #[test]
+    fn span_rollups_carry_self_time_and_first_seen() {
+        let c = Collector::default();
+        c.record_span("outer", 100, 40);
+        c.record_span("outer/inner", 60, 60);
+        let r = c.report(None);
+        let outer = r.timing.spans.iter().find(|s| s.path == "outer").unwrap();
+        assert!((outer.self_ms - 40.0 / 1e6).abs() < 1e-12);
+        assert_eq!(outer.first_seen, 0);
+    }
+
+    #[test]
+    fn trace_capture_is_off_by_default_and_records_when_on() {
+        let c = Collector::default();
+        assert!(!c.trace_capture_enabled());
+        c.record_trace_span("study.crawl", 1, Instant::now(), 1_000, 800);
+        // record_trace_span is the low-level entry; the guard gates on
+        // trace_capture_enabled, but direct records always land.
+        let (spans, tracks) = c.trace_snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].path, "study.crawl");
+        assert_eq!(spans[0].self_ns, 800);
+        assert_eq!(tracks[&1], "study.crawl [track 1]");
+    }
+
+    #[test]
+    fn session_with_trace_captures_individual_spans() {
+        let session = Session::start_with_trace();
+        {
+            let _outer = crate::span("trace.outer");
+            let _inner = crate::span("trace.inner");
+        }
+        let (spans, tracks) = session.collector().trace_snapshot();
+        assert_eq!(spans.len(), 2, "{spans:?}");
+        // Children drop first, so the inner span is captured first.
+        assert_eq!(spans[0].path, "trace.outer/trace.inner");
+        assert_eq!(spans[1].path, "trace.outer");
+        assert!(spans[1].dur_ns >= spans[0].dur_ns);
+        assert!(
+            spans[1].self_ns <= spans[1].dur_ns - spans[0].dur_ns + 1_000_000,
+            "outer self time should exclude the inner span: {spans:?}"
+        );
+        assert_eq!(tracks.len(), 1, "one thread, one track");
+        drop(session);
+
+        // A plain session does not capture.
+        let session = Session::start();
+        {
+            let _s = crate::span("trace.untraced");
+        }
+        let (spans, _) = session.collector().trace_snapshot();
+        assert!(spans.is_empty());
     }
 }

@@ -44,8 +44,11 @@
 
 pub mod collector;
 pub mod histogram;
+pub mod prom;
 pub mod report;
+pub mod ring;
 pub mod span;
+pub mod trace_export;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -54,10 +57,13 @@ use parking_lot::RwLock;
 
 pub use collector::{Collector, Session};
 pub use histogram::{Histogram, HistogramSummary};
+pub use prom::{parse_exposition, render_prometheus, ExpositionStats};
 pub use report::{
     DeterministicSection, RunReport, SpanRollup, TimingSection, WorkerRow, WorkerSection,
 };
+pub use ring::{ObsSample, SnapshotRing};
 pub use span::SpanGuard;
+pub use trace_export::{chrome_trace_json, TraceSpan};
 
 /// Fast-path switch: `false` means every recording call returns
 /// immediately.

@@ -1,0 +1,536 @@
+//! Prometheus text exposition — `/metrics.prom` and `cc report --prom`.
+//!
+//! Renders a [`RunReport`] in the [Prometheus text exposition format]
+//! (version 0.0.4), the lingua franca every metrics scraper understands.
+//! Internal metric names are dot-joined strings (`net.connect.ok`,
+//! `serve.latency.route.report`), which are not valid Prometheus metric
+//! names — so the encoder groups signals into a small set of **fixed
+//! metric families with stable label sets**, carrying the internal name
+//! as a `name` label:
+//!
+//! | family | type | labels |
+//! |---|---|---|
+//! | `cc_counter_total` | counter | `name` |
+//! | `cc_event_total` | counter | `name`, `fields` |
+//! | `cc_gauge` | gauge | `name` |
+//! | `cc_latency_ms{,_sum,_count}` | summary | `name` (+ `quantile`) |
+//! | `cc_latency_ms_min` / `_max` | gauge | `name` |
+//! | `cc_span_ms_total` / `cc_span_self_ms_total` / `cc_span_count_total` | counter | `path` |
+//! | `cc_worker_walks_total` / `cc_worker_steps_total` | counter | `worker` |
+//! | `cc_crawl_walks_total` / `cc_crawl_steps_total` | counter | — |
+//! | `cc_crawl_elapsed_seconds` / `cc_crawl_walks_per_second` / `cc_crawl_steps_per_second` | gauge | — |
+//!
+//! Event keys are stored internally as `name{k=v,...}`; the rendered
+//! fields go into a single `fields` label so the family's label set stays
+//! fixed no matter which event fires.
+//!
+//! [`parse_exposition`] is the matching line-format validator: CI and the
+//! e2e tests round-trip every exposition through it, so a malformed line
+//! can't quietly ship.
+//!
+//! [Prometheus text exposition format]:
+//! https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use crate::report::RunReport;
+
+/// Escape a label value per the exposition spec (`\\`, `\"`, `\n`).
+fn push_label_value(out: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render a float the way Prometheus expects (plain decimal; counters and
+/// gauges are both float-valued in the text format).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn sample1(out: &mut String, family: &str, label: &str, value: &str, v: f64) {
+    out.push_str(family);
+    out.push('{');
+    out.push_str(label);
+    out.push_str("=\"");
+    push_label_value(out, value);
+    out.push_str("\"} ");
+    out.push_str(&fmt_value(v));
+    out.push('\n');
+}
+
+fn header(out: &mut String, family: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {family} {help}");
+    let _ = writeln!(out, "# TYPE {family} {kind}");
+}
+
+/// Render a full run report as Prometheus text exposition.
+pub fn render_prometheus(report: &RunReport) -> String {
+    let mut out = String::with_capacity(4096);
+
+    if !report.deterministic.counters.is_empty() {
+        header(
+            &mut out,
+            "cc_counter_total",
+            "counter",
+            "Deterministic named counters.",
+        );
+        for (name, v) in &report.deterministic.counters {
+            sample1(&mut out, "cc_counter_total", "name", name, *v as f64);
+        }
+    }
+
+    if !report.deterministic.events.is_empty() {
+        header(
+            &mut out,
+            "cc_event_total",
+            "counter",
+            "Structured event occurrences, fields rendered as one label.",
+        );
+        for (key, v) in &report.deterministic.events {
+            let (name, fields) = match key.split_once('{') {
+                Some((name, rest)) => (name, rest.strip_suffix('}').unwrap_or(rest)),
+                None => (key.as_str(), ""),
+            };
+            out.push_str("cc_event_total{name=\"");
+            push_label_value(&mut out, name);
+            out.push_str("\",fields=\"");
+            push_label_value(&mut out, fields);
+            out.push_str("\"} ");
+            out.push_str(&fmt_value(*v as f64));
+            out.push('\n');
+        }
+    }
+
+    if !report.timing.gauges.is_empty() {
+        header(
+            &mut out,
+            "cc_gauge",
+            "gauge",
+            "Last-write-wins gauges (scheduling-dependent).",
+        );
+        for (name, v) in &report.timing.gauges {
+            sample1(&mut out, "cc_gauge", "name", name, *v);
+        }
+    }
+
+    if !report.timing.histograms.is_empty() {
+        header(
+            &mut out,
+            "cc_latency_ms",
+            "summary",
+            "Latency digests (milliseconds) with p50/p90/p99.",
+        );
+        for (name, h) in &report.timing.histograms {
+            for (q, v) in [(0.5, h.p50_ms), (0.9, h.p90_ms), (0.99, h.p99_ms)] {
+                out.push_str("cc_latency_ms{name=\"");
+                push_label_value(&mut out, name);
+                let _ = write!(out, "\",quantile=\"{q}\"}} ");
+                out.push_str(&fmt_value(v));
+                out.push('\n');
+            }
+            sample1(
+                &mut out,
+                "cc_latency_ms_sum",
+                "name",
+                name,
+                h.mean_ms * h.count as f64,
+            );
+            sample1(&mut out, "cc_latency_ms_count", "name", name, h.count as f64);
+        }
+        header(
+            &mut out,
+            "cc_latency_ms_min",
+            "gauge",
+            "Fastest observation per histogram (milliseconds).",
+        );
+        for (name, h) in &report.timing.histograms {
+            sample1(&mut out, "cc_latency_ms_min", "name", name, h.min_ms);
+        }
+        header(
+            &mut out,
+            "cc_latency_ms_max",
+            "gauge",
+            "Slowest observation per histogram (milliseconds).",
+        );
+        for (name, h) in &report.timing.histograms {
+            sample1(&mut out, "cc_latency_ms_max", "name", name, h.max_ms);
+        }
+    }
+
+    if !report.timing.spans.is_empty() {
+        header(
+            &mut out,
+            "cc_span_ms_total",
+            "counter",
+            "Total milliseconds per span path (children included).",
+        );
+        for s in &report.timing.spans {
+            sample1(&mut out, "cc_span_ms_total", "path", &s.path, s.total_ms);
+        }
+        header(
+            &mut out,
+            "cc_span_self_ms_total",
+            "counter",
+            "Self milliseconds per span path (children excluded).",
+        );
+        for s in &report.timing.spans {
+            sample1(&mut out, "cc_span_self_ms_total", "path", &s.path, s.self_ms);
+        }
+        header(
+            &mut out,
+            "cc_span_count_total",
+            "counter",
+            "Completed spans per path.",
+        );
+        for s in &report.timing.spans {
+            sample1(&mut out, "cc_span_count_total", "path", &s.path, s.count as f64);
+        }
+    }
+
+    if let Some(w) = &report.workers {
+        header(
+            &mut out,
+            "cc_worker_walks_total",
+            "counter",
+            "Walks finished per worker.",
+        );
+        for row in &w.per_worker {
+            sample1(
+                &mut out,
+                "cc_worker_walks_total",
+                "worker",
+                &row.worker.to_string(),
+                row.walks as f64,
+            );
+        }
+        header(
+            &mut out,
+            "cc_worker_steps_total",
+            "counter",
+            "Steps completed per worker.",
+        );
+        for row in &w.per_worker {
+            sample1(
+                &mut out,
+                "cc_worker_steps_total",
+                "worker",
+                &row.worker.to_string(),
+                row.steps as f64,
+            );
+        }
+        header(&mut out, "cc_crawl_walks_total", "counter", "Total walks finished.");
+        let _ = writeln!(out, "cc_crawl_walks_total {}", fmt_value(w.walks as f64));
+        header(&mut out, "cc_crawl_steps_total", "counter", "Total steps completed.");
+        let _ = writeln!(out, "cc_crawl_steps_total {}", fmt_value(w.steps as f64));
+        header(
+            &mut out,
+            "cc_crawl_elapsed_seconds",
+            "gauge",
+            "Wall-clock crawl duration so far.",
+        );
+        let _ = writeln!(out, "cc_crawl_elapsed_seconds {}", fmt_value(w.elapsed_secs));
+        header(
+            &mut out,
+            "cc_crawl_walks_per_second",
+            "gauge",
+            "Walk throughput over the run.",
+        );
+        let _ = writeln!(out, "cc_crawl_walks_per_second {}", fmt_value(w.walks_per_sec));
+        header(
+            &mut out,
+            "cc_crawl_steps_per_second",
+            "gauge",
+            "Step throughput over the run.",
+        );
+        let _ = writeln!(out, "cc_crawl_steps_per_second {}", fmt_value(w.steps_per_sec));
+    }
+
+    out
+}
+
+/// What [`parse_exposition`] found in a valid document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// `# TYPE`-declared metric families.
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Validate `{k="v",...}` starting at `rest[0] == '{'`; returns the text
+/// after the closing brace.
+fn parse_labels(rest: &str, lineno: usize) -> Result<&str, String> {
+    let mut rest = &rest[1..];
+    loop {
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok(after);
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {lineno}: label without '='"))?;
+        let label = &rest[..eq];
+        if !valid_label_name(label) {
+            return Err(format!("line {lineno}: invalid label name {label:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {lineno}: label value must be quoted"))?;
+        // Scan the escaped value for the closing quote.
+        let mut chars = rest.char_indices();
+        let close = loop {
+            match chars.next() {
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '\\' | '"' | 'n')) => {}
+                    _ => return Err(format!("line {lineno}: bad escape in label value")),
+                },
+                Some((i, '"')) => break i,
+                Some(_) => {}
+                None => return Err(format!("line {lineno}: unterminated label value")),
+            }
+        };
+        rest = &rest[close + 1..];
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after;
+        } else if !rest.starts_with('}') {
+            return Err(format!("line {lineno}: expected ',' or '}}' after label"));
+        }
+    }
+}
+
+/// Strict line-format check for a text exposition document (the CI
+/// round-trip gate). Verifies comment structure, metric/label name
+/// charsets, label-value escaping, numeric sample values, and that every
+/// sample belongs to a `# TYPE`-declared family (modulo the summary /
+/// histogram `_sum`/`_count`/`_bucket` suffixes).
+pub fn parse_exposition(text: &str) -> Result<ExpositionStats, String> {
+    let mut families: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let (kind, rest) = comment
+                .split_once(' ')
+                .ok_or_else(|| format!("line {lineno}: bare comment"))?;
+            match kind {
+                "HELP" => {
+                    let name = rest.split(' ').next().unwrap_or("");
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {lineno}: HELP for invalid name {name:?}"));
+                    }
+                }
+                "TYPE" => {
+                    let mut parts = rest.splitn(2, ' ');
+                    let name = parts.next().unwrap_or("");
+                    let ty = parts.next().unwrap_or("");
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {lineno}: TYPE for invalid name {name:?}"));
+                    }
+                    if !matches!(ty, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                        return Err(format!("line {lineno}: unknown metric type {ty:?}"));
+                    }
+                    families.push(name.to_string());
+                }
+                other => {
+                    return Err(format!("line {lineno}: unknown comment kind {other:?}"));
+                }
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {lineno}: sample without value"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: invalid metric name {name:?}"));
+        }
+        let base = ["_sum", "_count", "_bucket"]
+            .iter()
+            .find_map(|suf| name.strip_suffix(suf))
+            .filter(|base| families.iter().any(|f| f == base))
+            .unwrap_or(name);
+        if !families.iter().any(|f| f == base) {
+            return Err(format!("line {lineno}: sample {name:?} has no # TYPE"));
+        }
+        let mut rest = &line[name_end..];
+        if rest.starts_with('{') {
+            rest = parse_labels(rest, lineno)?;
+        }
+        let value = rest
+            .strip_prefix(' ')
+            .ok_or_else(|| format!("line {lineno}: expected space before value"))?;
+        if !matches!(value, "NaN" | "+Inf" | "-Inf") && value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: unparseable value {value:?}"));
+        }
+        samples += 1;
+    }
+    Ok(ExpositionStats {
+        families: families.len(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::report::{WorkerRow, WorkerSection};
+    use crate::RunReport;
+    use std::collections::BTreeMap;
+
+    fn sample_report() -> RunReport {
+        let mut counters = BTreeMap::new();
+        counters.insert("net.connect.ok".to_string(), 12);
+        let mut events = BTreeMap::new();
+        events.insert("walk.terminated{kind=sync,retry=no}".to_string(), 2);
+        events.insert("bare".to_string(), 1);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("crawl.starvation".to_string(), 0.25);
+        let mut h = Histogram::default();
+        h.observe_ms(1.0);
+        h.observe_ms(4.0);
+        let mut histograms = BTreeMap::new();
+        histograms.insert("serve.latency".to_string(), h.summarize());
+        RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            deterministic: crate::DeterministicSection { counters, events },
+            timing: crate::TimingSection {
+                gauges,
+                histograms,
+                spans: vec![crate::SpanRollup {
+                    path: "study.crawl/crawl.walk".to_string(),
+                    count: 4,
+                    total_ms: 8.0,
+                    self_ms: 6.0,
+                    mean_ms: 2.0,
+                    min_ms: 1.0,
+                    max_ms: 3.0,
+                    first_seen: 1,
+                }],
+            },
+            workers: Some(WorkerSection {
+                n_workers: 1,
+                elapsed_secs: 2.0,
+                walks: 4,
+                steps: 16,
+                walks_per_sec: 2.0,
+                steps_per_sec: 8.0,
+                per_worker: vec![WorkerRow {
+                    worker: 0,
+                    walks: 4,
+                    steps: 16,
+                    walk_share: 1.0,
+                }],
+            }),
+        }
+    }
+
+    #[test]
+    fn exposition_round_trips_the_validator() {
+        let text = render_prometheus(&sample_report());
+        let stats = parse_exposition(&text).expect("valid exposition");
+        assert!(stats.families >= 10, "{stats:?}\n{text}");
+        assert!(stats.samples >= 20, "{stats:?}\n{text}");
+        assert!(text.contains("cc_counter_total{name=\"net.connect.ok\"} 12\n"));
+        assert!(
+            text.contains("cc_event_total{name=\"walk.terminated\",fields=\"kind=sync,retry=no\"} 2\n")
+        );
+        assert!(text.contains("cc_event_total{name=\"bare\",fields=\"\"} 1\n"));
+        assert!(text.contains("cc_latency_ms{name=\"serve.latency\",quantile=\"0.5\"}"));
+        assert!(text.contains("cc_latency_ms_count{name=\"serve.latency\"} 2\n"));
+        assert!(text.contains("cc_span_self_ms_total{path=\"study.crawl/crawl.walk\"} 6\n"));
+        assert!(text.contains("cc_worker_walks_total{worker=\"0\"} 4\n"));
+        assert!(text.contains("cc_crawl_walks_total 4\n"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_but_valid() {
+        let report = RunReport {
+            schema: RunReport::SCHEMA.to_string(),
+            deterministic: crate::DeterministicSection::default(),
+            timing: crate::TimingSection::default(),
+            workers: None,
+        };
+        let text = render_prometheus(&report);
+        let stats = parse_exposition(&text).expect("valid");
+        assert_eq!(stats.samples, 0);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut report = sample_report();
+        report
+            .deterministic
+            .counters
+            .insert("odd\"name\\with\nstuff".to_string(), 1);
+        let text = render_prometheus(&report);
+        parse_exposition(&text).expect("escaped label value stays valid");
+        assert!(text.contains("cc_counter_total{name=\"odd\\\"name\\\\with\\nstuff\"} 1\n"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(parse_exposition("cc_undeclared 1\n").is_err(), "no TYPE");
+        assert!(
+            parse_exposition("# TYPE cc_x counter\ncc_x notanumber\n").is_err(),
+            "bad value"
+        );
+        assert!(
+            parse_exposition("# TYPE cc_x counter\ncc_x{a=b} 1\n").is_err(),
+            "unquoted label"
+        );
+        assert!(
+            parse_exposition("# TYPE cc_x wat\n").is_err(),
+            "unknown type"
+        );
+        assert!(
+            parse_exposition("# TYPE cc_x counter\ncc_x{a=\"unterminated} 1\n").is_err(),
+            "unterminated label value"
+        );
+        assert!(parse_exposition("# WAT hm ok\n").is_err(), "unknown comment");
+    }
+
+    #[test]
+    fn validator_accepts_suffixed_summary_samples() {
+        let text = "# TYPE cc_latency_ms summary\n\
+                    cc_latency_ms{name=\"x\",quantile=\"0.5\"} 1.5\n\
+                    cc_latency_ms_sum{name=\"x\"} 3\n\
+                    cc_latency_ms_count{name=\"x\"} 2\n";
+        let stats = parse_exposition(text).expect("valid");
+        assert_eq!(stats.samples, 3);
+        assert_eq!(stats.families, 1);
+    }
+}

@@ -47,12 +47,19 @@ pub struct SpanRollup {
     pub count: u64,
     /// Total milliseconds across them.
     pub total_ms: f64,
+    /// Milliseconds spent at this path itself, children excluded (the
+    /// hot-span column; absent in pre-v1.1 reports, defaulting to 0).
+    #[serde(default)]
+    pub self_ms: f64,
     /// Mean milliseconds per span.
     pub mean_ms: f64,
     /// Fastest span.
     pub min_ms: f64,
     /// Slowest span.
     pub max_ms: f64,
+    /// First-completion tick (render ordering; 0 in pre-v1.1 reports).
+    #[serde(default)]
+    pub first_seen: u64,
 }
 
 /// One worker's share of a parallel crawl.

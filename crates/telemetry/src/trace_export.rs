@@ -1,0 +1,201 @@
+//! chrome-trace (`trace_event` JSON) export — the `--trace-out` format.
+//!
+//! Emits the [Trace Event Format] consumed by Perfetto and
+//! `chrome://tracing`: one complete-duration (`"ph":"X"`) event per
+//! captured span, with microsecond start/duration, the span's exact
+//! **self time** in `args`, and one metadata (`"ph":"M"`) `thread_name`
+//! event per track so worker threads render as named rows.
+//!
+//! Tracks are per *recording thread* (see `span::thread_track_id`): a
+//! serial crawl produces one track, an N-worker crawl produces one track
+//! per worker plus the coordinator — which is exactly the view the
+//! multi-core profiling work needs.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! The encoder is hand-rolled (like the rest of the workspace's wire
+//! formats) so it has no opinion about the vendored `serde_json`'s float
+//! rendering; tests parse its output back through `serde_json` to prove
+//! it stays valid JSON.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One captured span occurrence (the raw material for one `"X"` event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// `/`-joined span path (becomes the event name's last segment).
+    pub path: String,
+    /// Track (thread) id the span completed on; `tid` in the output.
+    pub track: u32,
+    /// Start offset from the collector's epoch, in microseconds.
+    pub start_us: u64,
+    /// Total duration in nanoseconds (children included).
+    pub dur_ns: u64,
+    /// Self duration in nanoseconds (children excluded).
+    pub self_ns: u64,
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render captured spans as a complete chrome-trace JSON document.
+///
+/// Events are ordered: all `thread_name` metadata first (Perfetto reads
+/// them regardless of position; leading keeps the file skimmable), then
+/// spans in completion order. Durations are microseconds with nanosecond
+/// precision kept as fractions, which both consumers accept.
+pub fn chrome_trace_json(spans: &[TraceSpan], tracks: &BTreeMap<u32, String>) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (tid, name) in tracks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{tid}");
+        out.push_str(",\"args\":{\"name\":\"");
+        push_json_escaped(&mut out, name);
+        out.push_str("\"}}");
+    }
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+        out.push_str("{\"ph\":\"X\",\"name\":\"");
+        push_json_escaped(&mut out, name);
+        out.push_str("\",\"cat\":\"span\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{}", s.track);
+        let _ = write!(out, ",\"ts\":{}", s.start_us);
+        let _ = write!(out, ",\"dur\":{}", format_us(s.dur_ns));
+        out.push_str(",\"args\":{\"path\":\"");
+        push_json_escaped(&mut out, &s.path);
+        out.push_str("\",\"self_us\":");
+        let _ = write!(out, "{}", format_us(s.self_ns));
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds → microseconds as a plain JSON number with up to 3
+/// fractional digits and no trailing zeros (`1500` ns → `1.5`).
+fn format_us(ns: u64) -> String {
+    let whole = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        return whole.to_string();
+    }
+    let mut s = format!("{whole}.{frac:03}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(path: &str, track: u32, start_us: u64, dur_ns: u64, self_ns: u64) -> TraceSpan {
+        TraceSpan {
+            path: path.to_string(),
+            track,
+            start_us,
+            dur_ns,
+            self_ns,
+        }
+    }
+
+    #[test]
+    fn format_us_keeps_sub_microsecond_precision() {
+        assert_eq!(format_us(0), "0");
+        assert_eq!(format_us(1_000), "1");
+        assert_eq!(format_us(1_500), "1.5");
+        assert_eq!(format_us(1_234), "1.234");
+        assert_eq!(format_us(999), "0.999");
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_events() {
+        let mut tracks = BTreeMap::new();
+        tracks.insert(1, "study.crawl [track 1]".to_string());
+        tracks.insert(2, "crawl.walk [track 2]".to_string());
+        let spans = vec![
+            span("study.crawl/crawl.walk", 2, 10, 2_500, 1_500),
+            span("study.crawl", 1, 0, 5_000, 2_500),
+        ];
+        let json = chrome_trace_json(&spans, &tracks);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v
+            .as_object()
+            .and_then(|o| o.get("traceEvents"))
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 4, "2 metadata + 2 spans");
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.as_object().and_then(|o| o.get("ph")).and_then(|p| p.as_str()) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.as_object().and_then(|o| o.get("ph")).and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        let walk = xs
+            .iter()
+            .find(|e| {
+                e.as_object().and_then(|o| o.get("name")).and_then(|n| n.as_str())
+                    == Some("crawl.walk")
+            })
+            .expect("walk event");
+        let obj = walk.as_object().unwrap();
+        assert_eq!(obj.get("tid").and_then(|t| t.as_f64()), Some(2.0));
+        assert_eq!(obj.get("ts").and_then(|t| t.as_f64()), Some(10.0));
+        assert_eq!(obj.get("dur").and_then(|t| t.as_f64()), Some(2.5));
+        let args = obj.get("args").and_then(|a| a.as_object()).unwrap();
+        assert_eq!(args.get("self_us").and_then(|s| s.as_f64()), Some(1.5));
+        assert_eq!(
+            args.get("path").and_then(|p| p.as_str()),
+            Some("study.crawl/crawl.walk")
+        );
+    }
+
+    #[test]
+    fn empty_capture_is_still_a_valid_document() {
+        let json = chrome_trace_json(&[], &BTreeMap::new());
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v
+            .as_object()
+            .and_then(|o| o.get("traceEvents"))
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn names_with_quotes_are_escaped() {
+        let spans = vec![span("odd\"name", 1, 0, 1_000, 1_000)];
+        let json = chrome_trace_json(&spans, &BTreeMap::new());
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON despite quote");
+        assert!(v.as_object().is_some());
+    }
+}

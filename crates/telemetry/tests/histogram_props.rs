@@ -1,0 +1,176 @@
+//! Histogram edge cases and merge laws.
+//!
+//! The Prometheus encoder and the run dashboard both consume
+//! [`HistogramSummary`] digests, so the digest's behavior at the edges —
+//! empty, single-sample, bucket-boundary, saturating values — and the
+//! algebraic soundness of [`Histogram::merge`] are load-bearing. The
+//! merge-associativity property in particular is what lets per-thread
+//! histograms fold in any order without changing a single reported
+//! quantile.
+
+use cc_telemetry::{Histogram, HistogramSummary};
+use proptest::prelude::*;
+
+fn hist_of(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &ms in samples {
+        h.observe_ms(ms);
+    }
+    h
+}
+
+fn merged(parts: &[&Histogram]) -> Histogram {
+    let mut out = Histogram::default();
+    for p in parts {
+        out.merge(p);
+    }
+    out
+}
+
+/// Every observable fact about a histogram: the digest plus a quantile
+/// sweep (two histograms agreeing here are interchangeable to every
+/// consumer in the workspace).
+fn observe_all(h: &Histogram) -> (HistogramSummary, Vec<u64>) {
+    let sweep = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        .iter()
+        .map(|&q| h.quantile_ms(q).to_bits())
+        .collect();
+    (h.summarize(), sweep)
+}
+
+#[test]
+fn empty_summary_is_all_zero_and_renders() {
+    let s = Histogram::default().summarize();
+    assert_eq!(s.count, 0);
+    assert_eq!(s.mean_ms, 0.0);
+    assert_eq!(s.min_ms, 0.0);
+    assert_eq!(s.max_ms, 0.0);
+    assert_eq!(s.p50_ms, 0.0);
+    assert_eq!(s.p90_ms, 0.0);
+    assert_eq!(s.p99_ms, 0.0);
+    // No NaN can leak into JSON or the exposition.
+    let json = serde_json::to_string(&s).unwrap();
+    assert!(!json.contains("NaN"), "{json}");
+}
+
+#[test]
+fn single_sample_pins_every_quantile() {
+    for ms in [0.000_001, 0.5, 1.0, 42.0, 1e9] {
+        let h = hist_of(&[ms]);
+        let s = h.summarize();
+        assert_eq!(s.count, 1);
+        assert!((s.p50_ms - ms).abs() < ms * 1e-9 + 1e-12, "p50 {} vs {ms}", s.p50_ms);
+        assert_eq!(s.p50_ms, s.p99_ms, "min==max clamp must pin quantiles");
+        assert_eq!(s.min_ms, s.max_ms);
+    }
+}
+
+#[test]
+fn bucket_boundary_values_stay_bracketed() {
+    // Exact powers of two in nanoseconds sit on bucket edges; the
+    // quantile estimate must still land inside [min, max].
+    for exp in [0u32, 1, 10, 20, 30, 40] {
+        let ms = (1u64 << exp) as f64 / 1e6;
+        let h = hist_of(&[ms, ms, ms]);
+        let s = h.summarize();
+        assert!(
+            s.p50_ms >= s.min_ms && s.p50_ms <= s.max_ms,
+            "p50 {} outside [{}, {}] at 2^{exp}ns",
+            s.p50_ms,
+            s.min_ms,
+            s.max_ms
+        );
+        assert!(s.p99_ms <= s.max_ms + 1e-12);
+    }
+}
+
+#[test]
+fn saturating_observations_land_in_the_top_bucket() {
+    // Anything ≥ u64::MAX ns saturates instead of wrapping; quantiles
+    // stay finite and ordered.
+    let huge = u64::MAX as f64 / 1e6;
+    let h = hist_of(&[huge, huge * 10.0, f64::MAX]);
+    let s = h.summarize();
+    assert_eq!(s.count, 3);
+    assert!(s.max_ms.is_finite());
+    assert!(s.p99_ms.is_finite());
+    assert!(s.p50_ms <= s.p90_ms && s.p90_ms <= s.p99_ms);
+    assert!(s.p99_ms <= s.max_ms + 1e-3);
+}
+
+#[test]
+fn zero_and_negative_samples_do_not_poison_quantiles() {
+    let h = hist_of(&[-1.0, 0.0, f64::NAN, 5.0]);
+    let s = h.summarize();
+    assert_eq!(s.count, 4);
+    assert_eq!(s.min_ms, 0.0);
+    assert_eq!(s.max_ms, 5.0);
+    assert!(s.p50_ms >= 0.0 && s.p50_ms <= 5.0);
+}
+
+proptest! {
+    /// (a ⊕ b) ⊕ c ≡ a ⊕ (b ⊕ c) — merge order can't change anything a
+    /// consumer can observe.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0.0f64..10_000.0, 0..40),
+        b in prop::collection::vec(0.0f64..10_000.0, 0..40),
+        c in prop::collection::vec(0.0f64..10_000.0, 0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let left = merged(&[&merged(&[&ha, &hb]), &hc]);
+        let right = merged(&[&ha, &merged(&[&hb, &hc])]);
+        prop_assert_eq!(observe_all(&left), observe_all(&right));
+    }
+
+    /// Merge is commutative and the empty histogram is its identity.
+    #[test]
+    fn merge_is_commutative_with_identity(
+        a in prop::collection::vec(0.0f64..10_000.0, 0..40),
+        b in prop::collection::vec(0.0f64..10_000.0, 0..40),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(
+            observe_all(&merged(&[&ha, &hb])),
+            observe_all(&merged(&[&hb, &ha]))
+        );
+        prop_assert_eq!(
+            observe_all(&merged(&[&ha, &Histogram::default()])),
+            observe_all(&ha)
+        );
+    }
+
+    /// Merging shards is indistinguishable from observing the union.
+    #[test]
+    fn merge_matches_union(
+        samples in prop::collection::vec(0.0f64..10_000.0, 0..80),
+        split in 0usize..80,
+    ) {
+        let split = split.min(samples.len());
+        let whole = hist_of(&samples);
+        let parts = merged(&[&hist_of(&samples[..split]), &hist_of(&samples[split..])]);
+        prop_assert_eq!(observe_all(&whole), observe_all(&parts));
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        samples in prop::collection::vec(0.000_1f64..100_000.0, 1..60),
+    ) {
+        let h = hist_of(&samples);
+        let s = h.summarize();
+        prop_assert!(s.p50_ms <= s.p90_ms + 1e-12);
+        prop_assert!(s.p90_ms <= s.p99_ms + 1e-12);
+        prop_assert!(s.p50_ms + 1e-12 >= s.min_ms);
+        prop_assert!(s.p99_ms <= s.max_ms + 1e-12);
+        // Log buckets promise ≤ √2 relative error against the true value.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let true_p50 = sorted[(sorted.len() - 1) / 2];
+        prop_assert!(
+            s.p50_ms <= true_p50 * 2.0_f64.sqrt() * 1.01 + 1e-9
+                && s.p50_ms >= true_p50 / (2.0_f64.sqrt() * 1.01) - 1e-9,
+            "p50 {} vs true {}", s.p50_ms, true_p50
+        );
+    }
+}

@@ -94,8 +94,9 @@ fn rate(count: u64, elapsed_secs: f64) -> f64 {
     }
 }
 
-/// Point-in-time progress reading.
-#[derive(Debug, Clone, PartialEq)]
+/// Point-in-time progress reading. Serializable because the live
+/// observer (`cc-obs`) serves it as the `/progress` JSON body.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ProgressSnapshot {
     /// Walks finished so far.
     pub walks: u64,
@@ -112,7 +113,7 @@ pub struct ProgressSnapshot {
 }
 
 /// One worker's share in a snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct WorkerSnapshot {
     /// Walks this worker finished.
     pub walks: u64,

@@ -69,6 +69,19 @@ pub struct Cli {
     pub metrics_out: Option<String>,
     /// Print the human-readable span tree to stderr after the run.
     pub trace: bool,
+    /// Write the run's spans as chrome-trace (`trace_event`) JSON here.
+    pub trace_out: Option<String>,
+    /// Print the telemetry run report in Prometheus text exposition
+    /// format instead of the command's normal output.
+    pub prom: bool,
+    /// Serve `/progress`, `/metrics`, `/metrics.prom`, and `/timeseries`
+    /// from a background observer thread while the study runs.
+    pub obs_addr: Option<String>,
+    /// Write the observer's bound address (with the real port) here.
+    pub obs_addr_file: Option<String>,
+    /// Render the run's snapshot ring into a self-contained HTML
+    /// dashboard at this path when the study finishes.
+    pub dashboard_out: Option<String>,
     /// `report`: print the analysis report as canonical JSON (the same
     /// bytes a serve instance answers on `/report`).
     pub json: bool,
@@ -160,6 +173,25 @@ TELEMETRY:
                    and per-worker crawl progress
   --trace          print the span tree (wall-clock timings per pipeline
                    stage) to stderr after the run
+  --trace-out P    write the run's spans as chrome-trace JSON to P, one
+                   track per crawl worker — load it in Perfetto or
+                   chrome://tracing
+  --prom           print the telemetry run report in Prometheus text
+                   exposition format instead of the command's output
+                   (e.g. 'report --prom' for a scrape-able run summary)
+
+OBSERVABILITY (watch the crawl while it runs):
+  --obs-addr HOST:PORT  serve live observability over HTTP from a
+                        background thread during the study: /progress
+                        (per-worker walk counts), /metrics (run report
+                        JSON), /metrics.prom (Prometheus exposition),
+                        /timeseries (snapshot ring). Observation-only:
+                        results are byte-identical with it on or off
+  --obs-addr-file PATH  write the observer's bound address (with the
+                        real port) to PATH (requires --obs-addr)
+  --dashboard-out PATH  write a self-contained single-file HTML
+                        dashboard (throughput, latency quantiles,
+                        inflight, starvation over time) when the run ends
 ";
 
 /// Parse argv (without the program name).
@@ -181,6 +213,11 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
     let mut out = None;
     let mut metrics_out = None;
     let mut trace = false;
+    let mut trace_out = None;
+    let mut prom = false;
+    let mut obs_addr = None;
+    let mut obs_addr_file = None;
+    let mut dashboard_out = None;
     let mut json = false;
     let mut load = None;
     let mut addr_file = None;
@@ -279,6 +316,11 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
             "--out" => out = Some(path_arg(&mut it, "--out")?),
             "--metrics-out" => metrics_out = Some(path_arg(&mut it, "--metrics-out")?),
             "--trace" => trace = true,
+            "--trace-out" => trace_out = Some(path_arg(&mut it, "--trace-out")?),
+            "--prom" => prom = true,
+            "--obs-addr" => obs_addr = Some(path_arg(&mut it, "--obs-addr")?),
+            "--obs-addr-file" => obs_addr_file = Some(path_arg(&mut it, "--obs-addr-file")?),
+            "--dashboard-out" => dashboard_out = Some(path_arg(&mut it, "--dashboard-out")?),
             "--json" => json = true,
             "--load" => load = Some(path_arg(&mut it, "--load")?),
             "--addr" => study.serve.addr = path_arg(&mut it, "--addr")?,
@@ -324,6 +366,27 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
     if command == Command::Loadgen && target.is_none() {
         return Err(CcError::cli("loadgen requires --target HOST:PORT"));
     }
+    if obs_addr_file.is_some() && obs_addr.is_none() {
+        return Err(CcError::cli("--obs-addr-file requires --obs-addr HOST:PORT"));
+    }
+    // The observability plane watches a study run; serve and loadgen have
+    // their own metrics surfaces (cc-serve's /metrics, BENCH_serve.json).
+    if matches!(command, Command::Serve | Command::Loadgen | Command::Help) {
+        for (flag, set) in [
+            ("--obs-addr", obs_addr.is_some()),
+            ("--trace-out", trace_out.is_some()),
+            ("--dashboard-out", dashboard_out.is_some()),
+            ("--prom", prom),
+        ] {
+            if set {
+                return Err(CcError::cli(format!(
+                    "{flag} applies to study commands (report/crawl/blocklist/defense/truth), \
+                     not {command:?}"
+                )
+                .to_lowercase()));
+            }
+        }
+    }
     if let Some(name) = mix.as_deref() {
         if cc_loadgen::TaskMix::named(name).is_none() {
             return Err(CcError::cli(format!(
@@ -341,6 +404,11 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
         out,
         metrics_out,
         trace,
+        trace_out,
+        prom,
+        obs_addr,
+        obs_addr_file,
+        dashboard_out,
         json,
         load,
         addr_file,
@@ -434,21 +502,36 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
         return run_loadgen(cli);
     }
 
-    // Telemetry is opt-in: a session only exists when a telemetry flag
-    // asked for one, so plain runs pay nothing.
-    let session = if cli.metrics_out.is_some() || cli.trace {
+    // Telemetry is opt-in: a session only exists when a telemetry or
+    // observability flag asked for one, so plain runs pay nothing. The
+    // chrome-trace export additionally needs span capture turned on.
+    let wants_session = cli.metrics_out.is_some()
+        || cli.trace
+        || cli.trace_out.is_some()
+        || cli.prom
+        || cli.obs_addr.is_some()
+        || cli.dashboard_out.is_some();
+    let session = if cli.trace_out.is_some() {
+        Some(cc_telemetry::Session::start_with_trace())
+    } else if wants_session {
         Some(cc_telemetry::Session::start())
     } else {
         None
     };
-    // Fail fast on an unwritable report path — before the crawl, not after
-    // an hour of it.
-    if let Some(path) = cli.metrics_out.as_deref() {
-        std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(|e| CcError::cli(format!("--metrics-out {path}: not writable: {e}")))?;
+    // Fail fast on unwritable artifact paths — before the crawl, not
+    // after an hour of it.
+    for (flag, path) in [
+        ("--metrics-out", cli.metrics_out.as_deref()),
+        ("--trace-out", cli.trace_out.as_deref()),
+        ("--dashboard-out", cli.dashboard_out.as_deref()),
+    ] {
+        if let Some(path) = path {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| CcError::cli(format!("{flag} {path}: not writable: {e}")))?;
+        }
     }
 
     let mut opts = StudyRunOptions {
@@ -458,17 +541,78 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
     if let Some(path) = cli.resume.as_deref() {
         opts.resume = Some(CrawlCheckpoint::load(path)?);
     }
-    let study = Study::from_config_with_options(&cli.study, opts)?;
+
+    // The observability plane: caller-owned progress counters shared with
+    // the crawl, a bounded snapshot ring, a periodic sampler, and the
+    // HTTP observer thread. All strictly observation-only — the crawl
+    // result is byte-identical with every piece on or off.
+    let progress = std::sync::Arc::new(cc_util::ProgressCounters::new(cli.study.workers));
+    let ring = std::sync::Arc::new(cc_telemetry::SnapshotRing::new(2_400));
+    let collector = session.as_ref().map(|s| s.shared_collector());
+    let obs_started = std::time::Instant::now();
+    let observer = match cli.obs_addr.as_deref() {
+        Some(addr) => {
+            let sources = cc_obs::ObsSources {
+                collector: collector.clone(),
+                progress: Some(std::sync::Arc::clone(&progress)),
+                ring: Some(std::sync::Arc::clone(&ring)),
+            };
+            let handle = cc_obs::Observer::start(addr, sources)?;
+            if let Some(path) = cli.obs_addr_file.as_deref() {
+                std::fs::write(path, handle.addr().to_string())
+                    .map_err(|e| CcError::io(path, e))?;
+            }
+            Some(handle)
+        }
+        None => None,
+    };
+    let sampler = if observer.is_some() || cli.dashboard_out.is_some() {
+        Some(cc_obs::Sampler::start(
+            cc_obs::SamplerConfig::default(),
+            std::sync::Arc::clone(&ring),
+            collector.clone(),
+            Some(std::sync::Arc::clone(&progress)),
+        ))
+    } else {
+        None
+    };
+
+    let study = Study::from_config_with_progress(&cli.study, opts, &progress)?;
 
     let result = execute(cli, &study);
 
+    // Wind the plane down: one final sample so the dashboard's last point
+    // reflects the finished run, then stop the sampler and observer.
+    if sampler.is_some() {
+        ring.push(cc_obs::take_sample(
+            obs_started.elapsed().as_secs_f64(),
+            collector.as_deref(),
+            Some(&progress),
+        ));
+    }
+    if let Some(s) = sampler {
+        s.shutdown();
+    }
+    if let Some(o) = observer {
+        o.shutdown();
+    }
+    if let Some(path) = cli.dashboard_out.as_deref() {
+        let title = format!("crumbcruncher — seed {:#x}", cli.study.seed);
+        let html = cc_obs::render_dashboard(&title, &ring.snapshot());
+        std::fs::write(path, &html).map_err(|e| CcError::io(path, e))?;
+    }
+
     // Reporting happens after the command executed, so command-phase spans
     // (the analysis report sections, dataset serialization) are captured.
+    let mut result = result;
     if let Some(session) = &session {
         if cli.trace {
             eprint!("{}", session.render_trace());
         }
-        if let Some(path) = cli.metrics_out.as_deref() {
+        if let Some(path) = cli.trace_out.as_deref() {
+            std::fs::write(path, session.chrome_trace()).map_err(|e| CcError::io(path, e))?;
+        }
+        if cli.metrics_out.is_some() || cli.prom {
             // Per-worker progress is reported only when parallelism was
             // asked for — a plain serial run keeps its historical report
             // shape.
@@ -477,10 +621,17 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
                     .report_with_workers(cc_telemetry::WorkerSection::from_progress(snapshot)),
                 _ => session.report(),
             };
-            let json = report
-                .to_json()
-                .map_err(|e| CcError::Serde(format!("serialize run report: {e}")))?;
-            std::fs::write(path, &json).map_err(|e| CcError::io(path, e))?;
+            if let Some(path) = cli.metrics_out.as_deref() {
+                let json = report
+                    .to_json()
+                    .map_err(|e| CcError::Serde(format!("serialize run report: {e}")))?;
+                std::fs::write(path, &json).map_err(|e| CcError::io(path, e))?;
+            }
+            if cli.prom && result.is_ok() {
+                // `report --prom`: the scrape-able exposition *is* the
+                // command output, so nothing else pollutes stdout.
+                result = Ok(cc_telemetry::render_prometheus(&report));
+            }
         }
     }
     result
@@ -963,6 +1114,45 @@ mod tests {
         assert!(cli.metrics_out.is_none(), "telemetry is opt-in");
         assert!(!cli.trace);
         assert!(parse(&argv("report --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let cli = parse(&argv(
+            "crawl --out d.json --obs-addr 127.0.0.1:0 --obs-addr-file oa.txt \
+             --trace-out trace.json --dashboard-out run.html",
+        ))
+        .unwrap();
+        assert_eq!(cli.obs_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cli.obs_addr_file.as_deref(), Some("oa.txt"));
+        assert_eq!(cli.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(cli.dashboard_out.as_deref(), Some("run.html"));
+        assert!(!cli.prom);
+
+        let cli = parse(&argv("report --prom")).unwrap();
+        assert!(cli.prom);
+
+        let cli = parse(&argv("report")).unwrap();
+        assert!(cli.obs_addr.is_none(), "observability is opt-in");
+        assert!(cli.trace_out.is_none());
+        assert!(cli.dashboard_out.is_none());
+
+        // An addr file without an observer to bind is a mistake.
+        let err = parse(&argv("report --obs-addr-file oa.txt")).unwrap_err().to_string();
+        assert!(err.contains("--obs-addr"), "unhelpful error: {err}");
+        // The plane watches study runs, not serve/loadgen sessions.
+        for bad in [
+            "serve --obs-addr 127.0.0.1:0",
+            "loadgen --target 127.0.0.1:9 --dashboard-out run.html",
+            "serve --prom",
+            "help --trace-out t.json",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err().to_string();
+            assert!(err.contains("study commands"), "{bad}: {err}");
+        }
+        assert!(parse(&argv("report --obs-addr")).is_err());
+        assert!(parse(&argv("report --trace-out")).is_err());
+        assert!(parse(&argv("report --dashboard-out")).is_err());
     }
 
     #[test]

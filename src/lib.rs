@@ -15,6 +15,7 @@
 //! * [`core`] — the analysis pipeline ([`cc_core`]);
 //! * [`analysis`] — tables and figures ([`cc_analysis`]);
 //! * [`defense`] — the §7 countermeasures ([`cc_defense`]);
+//! * [`obs`] — the live observability plane ([`cc_obs`]);
 //! * [`serve`] — the HTTP query/serving layer ([`cc_serve`]);
 //! * [`loadgen`] — the goose-style load generator ([`cc_loadgen`]);
 //! * plus the low-level substrates [`url`], [`net`], [`http`], [`util`].
@@ -42,6 +43,7 @@ pub use cc_defense as defense;
 pub use cc_http as http;
 pub use cc_loadgen as loadgen;
 pub use cc_net as net;
+pub use cc_obs as obs;
 pub use cc_serve as serve;
 pub use cc_telemetry as telemetry;
 pub use cc_url as url;
@@ -138,14 +140,34 @@ impl Study {
         study: &StudyConfig,
         opts: StudyRunOptions,
     ) -> Result<Self, CcError> {
+        let progress = ProgressCounters::new(study.workers);
+        Self::from_config_with_progress(study, opts, &progress)
+    }
+
+    /// [`Study::from_config_with_options`] counting progress into
+    /// caller-owned [`ProgressCounters`]. This is the observability hook:
+    /// the caller can hand clones of the same counters to an observer
+    /// thread (e.g. `cc-obs`) and watch the crawl live while it runs.
+    /// The counters must have been sized for `study.workers`.
+    pub fn from_config_with_progress(
+        study: &StudyConfig,
+        opts: StudyRunOptions,
+        progress: &ProgressCounters,
+    ) -> Result<Self, CcError> {
+        if progress.n_workers() != study.workers {
+            return Err(CcError::cli(format!(
+                "progress counters sized for {} workers, study has {}",
+                progress.n_workers(),
+                study.workers
+            )));
+        }
         let web = {
             let _span = telemetry::span("study.generate_web");
             generate(&study.web)
         };
-        let progress = ProgressCounters::new(study.workers);
         let dataset = {
             let _span = telemetry::span("study.crawl");
-            crawl_study_with_progress(&web, study, opts, &progress)?
+            crawl_study_with_progress(&web, study, opts, progress)?
         };
         let output = {
             let _span = telemetry::span("study.pipeline");
