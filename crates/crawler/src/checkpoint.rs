@@ -13,6 +13,7 @@
 //! mid-write never leaves a truncated checkpoint behind.
 
 use std::collections::HashSet;
+use std::path::Path;
 
 use cc_util::CcError;
 use cc_web::TruthLog;
@@ -105,21 +106,27 @@ impl CrawlCheckpoint {
         Ok(ck)
     }
 
-    /// Write atomically: serialize to `<path>.tmp`, then rename over
-    /// `path`, so an interrupted write never corrupts the previous
-    /// checkpoint.
-    pub fn save(&self, path: &str) -> Result<(), CcError> {
+    /// Write atomically: serialize to a `.tmp`-suffixed sibling, then
+    /// rename over `path`, so an interrupted write never corrupts the
+    /// previous checkpoint (and a follower polling the file never reads
+    /// a torn one).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CcError> {
+        let path = path.as_ref();
         let json = self.to_json()?;
-        let tmp = format!("{path}.tmp");
-        std::fs::write(&tmp, &json).map_err(|e| CcError::io(&tmp, e))?;
-        std::fs::rename(&tmp, path).map_err(|e| CcError::io(path, e))?;
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &json).map_err(|e| CcError::io(tmp.display().to_string(), e))?;
+        std::fs::rename(&tmp, path).map_err(|e| CcError::io(path.display().to_string(), e))?;
         cc_telemetry::counter("crawl.checkpoint.writes", 1);
         Ok(())
     }
 
     /// Load a checkpoint from disk.
-    pub fn load(path: &str) -> Result<Self, CcError> {
-        let json = std::fs::read_to_string(path).map_err(|e| CcError::io(path, e))?;
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CcError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CcError::io(path.display().to_string(), e))?;
         Self::from_json(&json)
     }
 }

@@ -26,7 +26,7 @@
 //! assert this on serialized JSON.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use cc_util::{CcError, ProgressCounters, ProgressSnapshot};
 use cc_web::SimWeb;
@@ -246,6 +246,48 @@ pub fn crawl_parallel_with_progress(
     CrawlDataset::merge(shards)
 }
 
+/// A consumer of in-memory crawl snapshots — the in-process twin of the
+/// checkpoint file. The executor hands each subscribed sink a complete
+/// [`CrawlCheckpoint`] (config + walks so far + truth ledger) every
+/// [`PublishPolicy::every`] walks, plus a final one after the last walk.
+///
+/// Snapshots are **monotone**: each one's walk set is a superset of the
+/// previous one's, and the final snapshot holds the whole study. A sink
+/// that only keeps the latest snapshot it has seen (coalescing) loses
+/// nothing — that is what lets cc-serve's `IndexPublisher` fold batches
+/// into fresh `ServingIndex` epochs without ever blocking a crawl worker.
+pub trait SnapshotSink: Send + Sync {
+    /// Receive a snapshot of the crawl so far. Called from whichever
+    /// worker thread completed the triggering walk, under the executor's
+    /// accumulator lock — implementations must hand off quickly (queue,
+    /// don't build).
+    fn publish(&self, snapshot: CrawlCheckpoint);
+}
+
+/// Publish a merged snapshot to `sink` every `every` walks (same hook
+/// family as [`CheckpointPolicy`], but in-memory instead of on-disk).
+#[derive(Clone)]
+pub struct PublishPolicy {
+    /// Snapshot cadence, in completed walks (must be ≥ 1).
+    pub every: usize,
+    /// Where snapshots go.
+    pub sink: Arc<dyn SnapshotSink>,
+}
+
+impl PublishPolicy {
+    /// Publish to `sink` every `every` walks (panics on a zero cadence).
+    pub fn new(every: usize, sink: Arc<dyn SnapshotSink>) -> PublishPolicy {
+        assert!(every > 0, "publish cadence must be at least one walk");
+        PublishPolicy { every, sink }
+    }
+}
+
+impl std::fmt::Debug for PublishPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PublishPolicy").field("every", &self.every).finish()
+    }
+}
+
 /// How a [`crawl_study`] run starts and stops.
 #[derive(Debug, Default)]
 pub struct StudyRunOptions {
@@ -256,13 +298,20 @@ pub struct StudyRunOptions {
     /// simulated `kill -TERM` used to exercise checkpoint/resume. Because
     /// walks are claimed in id order, the surviving set is deterministic.
     pub stop_after: Option<usize>,
+    /// Publish in-memory snapshots while the crawl runs (the live-serving
+    /// hook; independent of the on-disk [`CheckpointPolicy`]).
+    pub publish: Option<PublishPolicy>,
 }
 
-/// Shared checkpoint writer: workers report each finished walk; every
-/// `policy.every`-th completion serializes base + accumulated walks to
-/// disk (atomic temp-file + rename).
-struct CheckpointSink<'a> {
-    policy: &'a CheckpointPolicy,
+/// Shared per-walk sink: workers report each finished walk into one
+/// accumulator; every `checkpoint.every`-th completion serializes
+/// base + accumulated walks to disk (atomic temp-file + rename), and
+/// every `publish.every`-th completion hands the same merged snapshot to
+/// the in-memory [`SnapshotSink`]. One accumulator serves both cadences,
+/// so a walk is counted exactly once however many sinks are subscribed.
+struct WalkSinks<'a> {
+    checkpoint: Option<&'a CheckpointPolicy>,
+    publish: Option<&'a PublishPolicy>,
     study: &'a StudyConfig,
     web: &'a SimWeb,
     base: &'a CrawlDataset,
@@ -270,29 +319,46 @@ struct CheckpointSink<'a> {
     error: Mutex<Option<CcError>>,
 }
 
-impl CheckpointSink<'_> {
+impl WalkSinks<'_> {
+    fn active(&self) -> bool {
+        self.checkpoint.is_some() || self.publish.is_some()
+    }
+
     fn record(&self, walk: WalkRecord, failures: FailureStats) {
-        let mut acc = self.acc.lock().expect("checkpoint accumulator poisoned");
+        let mut acc = self.acc.lock().expect("walk-sink accumulator poisoned");
         acc.ledger.note(&walk);
         acc.walks.push(walk);
         acc.failures.absorb(failures);
-        if acc.walks.len().is_multiple_of(self.policy.every) {
+        let done = acc.walks.len();
+        let save_due = self.checkpoint.is_some_and(|p| done.is_multiple_of(p.every));
+        let publish_due = self.publish.is_some_and(|p| done.is_multiple_of(p.every));
+        if save_due || publish_due {
             let partial = CrawlDataset::merge([self.base.clone(), acc.clone()]);
-            // Write while still holding the lock: checkpoint writes share
+            // Emit while still holding the lock: checkpoint writes share
             // one temp file, so concurrent writers would race on the
-            // write-then-rename pair — and serialized writes also keep the
-            // on-disk checkpoint monotonically growing.
-            self.write(partial);
+            // write-then-rename pair — and serialized emission also keeps
+            // both the on-disk checkpoint and the published snapshot
+            // stream monotonically growing.
+            self.emit(partial, save_due, publish_due);
         }
     }
 
-    fn write(&self, partial: CrawlDataset) {
+    fn emit(&self, partial: CrawlDataset, save: bool, publish: bool) {
         let ck = CrawlCheckpoint::new(self.study, partial, self.web.truth_snapshot());
-        if let Err(e) = ck.save(&self.policy.path) {
-            self.error
-                .lock()
-                .expect("checkpoint error slot poisoned")
-                .get_or_insert(e);
+        if save {
+            if let Some(policy) = self.checkpoint {
+                if let Err(e) = ck.save(&policy.path) {
+                    self.error
+                        .lock()
+                        .expect("walk-sink error slot poisoned")
+                        .get_or_insert(e);
+                }
+            }
+        }
+        if publish {
+            if let Some(policy) = self.publish {
+                policy.sink.publish(ck);
+            }
         }
     }
 }
@@ -304,22 +370,119 @@ impl CheckpointSink<'_> {
 /// The result is byte-identical to [`Walker::crawl`] with the lowered
 /// [`CrawlConfig`] — at any worker count, and whether the crawl ran
 /// uninterrupted or was killed and resumed.
+///
+/// For resume / graceful-stop / snapshot-publishing / progress control,
+/// chain options onto [`StudyRun`] instead.
 pub fn crawl_study(web: &SimWeb, study: &StudyConfig) -> Result<CrawlDataset, CcError> {
-    crawl_study_with_options(web, study, StudyRunOptions::default())
+    StudyRun::new(web, study).run()
 }
 
-/// [`crawl_study`] with resume / graceful-stop control.
+/// A configured study run: the builder face of the executor.
+///
+/// Replaces the widening `crawl_study_with_options` /
+/// `crawl_study_with_progress` parameter lists — chain exactly the
+/// options a call site needs:
+///
+/// ```ignore
+/// let dataset = StudyRun::new(&web, &study)
+///     .resume(checkpoint)
+///     .progress(&counters)
+///     .publish(PublishPolicy::new(25, publisher))
+///     .run()?;
+/// ```
+#[derive(Debug)]
+#[must_use = "a StudyRun does nothing until .run() is called"]
+pub struct StudyRun<'a> {
+    web: &'a SimWeb,
+    study: &'a StudyConfig,
+    opts: StudyRunOptions,
+    progress: Option<&'a ProgressCounters>,
+}
+
+impl<'a> StudyRun<'a> {
+    /// A run of `study` over `web` with default options (fresh start, no
+    /// publishing, internal progress counters).
+    pub fn new(web: &'a SimWeb, study: &'a StudyConfig) -> StudyRun<'a> {
+        StudyRun {
+            web,
+            study,
+            opts: StudyRunOptions::default(),
+            progress: None,
+        }
+    }
+
+    /// Resume from `checkpoint`: its walks are kept, the truth ledger
+    /// restored, and only the remaining walk ids run.
+    pub fn resume(mut self, checkpoint: CrawlCheckpoint) -> Self {
+        self.opts.resume = Some(checkpoint);
+        self
+    }
+
+    /// Stop claiming after `n` *new* walks (deterministic graceful drain).
+    pub fn stop_after(mut self, n: usize) -> Self {
+        self.opts.stop_after = Some(n);
+        self
+    }
+
+    /// Publish in-memory [`CrawlCheckpoint`] snapshots to `policy.sink`
+    /// every `policy.every` walks, plus a final complete one.
+    pub fn publish(mut self, policy: PublishPolicy) -> Self {
+        self.opts.publish = Some(policy);
+        self
+    }
+
+    /// Replace the whole option block at once (the escape hatch shims
+    /// lower onto).
+    pub fn options(mut self, opts: StudyRunOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Update caller-owned progress counters (so a monitor thread can
+    /// snapshot the live crawl). Must be sized to `study.workers`.
+    pub fn progress(mut self, progress: &'a ProgressCounters) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Execute the run.
+    pub fn run(self) -> Result<CrawlDataset, CcError> {
+        match self.progress {
+            Some(p) => run_study(self.web, self.study, self.opts, p),
+            None => {
+                let progress = ProgressCounters::new(self.study.workers);
+                run_study(self.web, self.study, self.opts, &progress)
+            }
+        }
+    }
+}
+
+/// Deprecated shim over [`StudyRun`].
+#[deprecated(since = "0.8.0", note = "use StudyRun::new(web, study).options(opts).run()")]
 pub fn crawl_study_with_options(
     web: &SimWeb,
     study: &StudyConfig,
     opts: StudyRunOptions,
 ) -> Result<CrawlDataset, CcError> {
-    let progress = ProgressCounters::new(study.workers);
-    crawl_study_with_progress(web, study, opts, &progress)
+    StudyRun::new(web, study).options(opts).run()
 }
 
-/// The full study runner, updating caller-owned progress counters.
+/// Deprecated shim over [`StudyRun`].
+#[deprecated(
+    since = "0.8.0",
+    note = "use StudyRun::new(web, study).options(opts).progress(progress).run()"
+)]
 pub fn crawl_study_with_progress(
+    web: &SimWeb,
+    study: &StudyConfig,
+    opts: StudyRunOptions,
+    progress: &ProgressCounters,
+) -> Result<CrawlDataset, CcError> {
+    StudyRun::new(web, study).options(opts).progress(progress).run()
+}
+
+/// The study runner proper (every public entry point lowers to this).
+fn run_study(
     web: &SimWeb,
     study: &StudyConfig,
     opts: StudyRunOptions,
@@ -346,14 +509,16 @@ pub fn crawl_study_with_progress(
         ids.truncate(n);
     }
 
-    let sink = study.checkpoint.as_ref().map(|policy| CheckpointSink {
-        policy,
+    let sinks = WalkSinks {
+        checkpoint: study.checkpoint.as_ref(),
+        publish: opts.publish.as_ref(),
         study,
         web,
         base: &base,
         acc: Mutex::new(CrawlDataset::default()),
         error: Mutex::new(None),
-    });
+    };
+    let sinks = sinks.active().then_some(&sinks);
 
     let queue = WalkQueue::new(ids.len(), study.workers);
     let ids = &ids;
@@ -361,7 +526,6 @@ pub fn crawl_study_with_progress(
         let handles: Vec<_> = (0..study.workers)
             .map(|worker| {
                 let queue = &queue;
-                let sink = sink.as_ref();
                 let cfg = study.crawl_config();
                 scope.spawn(move || {
                     let _worker_span = cc_telemetry::span("crawl.worker");
@@ -376,7 +540,7 @@ pub fn crawl_study_with_progress(
                         let walk =
                             walker.walk_public(walk_id, seeders[walk_id as usize].clone(), &mut wf);
                         progress.record_walk(worker, walk.steps.len() as u64);
-                        if let Some(s) = sink {
+                        if let Some(s) = sinks {
                             s.record(walk.clone(), wf);
                         }
                         shard.failures.absorb(wf);
@@ -393,18 +557,24 @@ pub fn crawl_study_with_progress(
             .collect()
     });
 
-    if let Some(s) = &sink {
-        if let Some(e) = s.error.lock().expect("checkpoint error slot poisoned").take() {
+    if let Some(s) = sinks {
+        if let Some(e) = s.error.lock().expect("walk-sink error slot poisoned").take() {
             return Err(e);
         }
     }
-    drop(sink);
 
     let merged = CrawlDataset::merge(std::iter::once(base).chain(shards));
-    if let Some(policy) = &study.checkpoint {
-        // Final write: a crawl stopped between intervals (or drained by
-        // stop_after) still leaves a current checkpoint behind.
-        CrawlCheckpoint::new(study, merged.clone(), web.truth_snapshot()).save(&policy.path)?;
+    if study.checkpoint.is_some() || opts.publish.is_some() {
+        // Final emission: a crawl stopped between intervals (or drained by
+        // stop_after) still leaves a current checkpoint behind, and
+        // subscribers always see one snapshot holding every walk run.
+        let final_ck = CrawlCheckpoint::new(study, merged.clone(), web.truth_snapshot());
+        if let Some(policy) = &study.checkpoint {
+            final_ck.save(&policy.path)?;
+        }
+        if let Some(policy) = &opts.publish {
+            policy.sink.publish(final_ck);
+        }
     }
     Ok(merged)
 }
@@ -531,29 +701,13 @@ mod tests {
         // Kill after 5 walks, then resume from the checkpoint on a fresh
         // world.
         let web_killed = generate(&study.web);
-        let killed = crawl_study_with_options(
-            &web_killed,
-            &study,
-            StudyRunOptions {
-                stop_after: Some(5),
-                ..StudyRunOptions::default()
-            },
-        )
-        .unwrap();
+        let killed = StudyRun::new(&web_killed, &study).stop_after(5).run().unwrap();
         assert_eq!(killed.walks.len(), 5, "graceful drain stopped early");
 
         let ck = CrawlCheckpoint::load(&path).unwrap();
         assert_eq!(ck.remaining().len(), 12 - 5);
         let web_resumed = generate(&study.web);
-        let resumed = crawl_study_with_options(
-            &web_resumed,
-            &study,
-            StudyRunOptions {
-                resume: Some(ck),
-                ..StudyRunOptions::default()
-            },
-        )
-        .unwrap();
+        let resumed = StudyRun::new(&web_resumed, &study).resume(ck).run().unwrap();
 
         assert_eq!(full, resumed, "resumed dataset diverged");
         assert_eq!(
@@ -575,15 +729,77 @@ mod tests {
         let ck = CrawlCheckpoint::new(&study, CrawlDataset::default(), cc_web::TruthLog::new());
         let other = faulty_study(2, None); // differs in worker count
         let web = generate(&other.web);
-        let err = crawl_study_with_options(
-            &web,
-            &other,
-            StudyRunOptions {
-                resume: Some(ck),
-                ..StudyRunOptions::default()
-            },
-        )
-        .unwrap_err();
+        let err = StudyRun::new(&web, &other).resume(ck).run().unwrap_err();
         assert!(matches!(err, CcError::Checkpoint(_)), "{err}");
+    }
+
+    /// Collects every published snapshot for inspection.
+    struct RecordingSink {
+        snapshots: Mutex<Vec<CrawlCheckpoint>>,
+    }
+
+    impl SnapshotSink for RecordingSink {
+        fn publish(&self, snapshot: CrawlCheckpoint) {
+            self.snapshots.lock().unwrap().push(snapshot);
+        }
+    }
+
+    #[test]
+    fn published_snapshots_are_monotone_and_end_complete() {
+        let study = faulty_study(3, None);
+        let sink = Arc::new(RecordingSink {
+            snapshots: Mutex::new(Vec::new()),
+        });
+        let web = generate(&study.web);
+        let ds = StudyRun::new(&web, &study)
+            .publish(PublishPolicy::new(4, Arc::clone(&sink) as Arc<dyn SnapshotSink>))
+            .run()
+            .unwrap();
+
+        let snaps = sink.snapshots.lock().unwrap();
+        assert!(!snaps.is_empty(), "a 12-walk study publishing every 4 must snapshot");
+        let mut last = 0usize;
+        for s in snaps.iter() {
+            assert!(s.partial.walks.len() >= last, "snapshot walk counts regressed");
+            last = s.partial.walks.len();
+            assert_eq!(s.total_walks, 12);
+            s.validate_against(&study).expect("snapshot carries the study config");
+        }
+        let final_snap = snaps.last().unwrap();
+        assert_eq!(final_snap.partial.walks.len(), ds.walks.len());
+        assert_eq!(
+            final_snap.partial.to_json().unwrap(),
+            ds.to_json().unwrap(),
+            "final published snapshot must hold the exact final dataset"
+        );
+    }
+
+    #[test]
+    fn publishing_does_not_perturb_crawl_bytes() {
+        struct NullSink;
+        impl SnapshotSink for NullSink {
+            fn publish(&self, _snapshot: CrawlCheckpoint) {}
+        }
+        let study = faulty_study(2, None);
+        let web_plain = generate(&study.web);
+        let plain = crawl_study(&web_plain, &study).unwrap();
+        let web_pub = generate(&study.web);
+        let published = StudyRun::new(&web_pub, &study)
+            .publish(PublishPolicy::new(1, Arc::new(NullSink)))
+            .run()
+            .unwrap();
+        assert_eq!(plain.to_json().unwrap(), published.to_json().unwrap());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run_the_study() {
+        let study = faulty_study(2, None);
+        let web_a = generate(&study.web);
+        let via_builder = crawl_study(&web_a, &study).unwrap();
+        let web_b = generate(&study.web);
+        let via_shim =
+            crawl_study_with_options(&web_b, &study, StudyRunOptions::default()).unwrap();
+        assert_eq!(via_builder, via_shim);
     }
 }

@@ -26,5 +26,5 @@ pub mod report;
 pub mod runner;
 
 pub use mix::{TaskKind, TaskMix, WeightedTask};
-pub use report::{LatencySnapshot, LoadReport, TaskStats, LOAD_SCHEMA};
+pub use report::{EpochStats, LatencySnapshot, LoadReport, TaskStats, LOAD_SCHEMA};
 pub use runner::{run_load, LoadConfig};

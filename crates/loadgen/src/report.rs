@@ -54,6 +54,57 @@ pub struct LatencySnapshot {
     pub max_ms: f64,
 }
 
+/// What the `X-Cc-Epoch` response header did over the run. Against a
+/// static index every response carries the same epoch; against a
+/// followed or live-served crawl the epoch advances — and must only ever
+/// advance, which is what `regressions` checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Responses that carried an `X-Cc-Epoch` header.
+    pub observed: u64,
+    /// Lowest epoch seen (0 when nothing was observed).
+    pub min: u64,
+    /// Highest epoch seen.
+    pub max: u64,
+    /// Times a user saw an epoch *lower* than one it had already seen.
+    /// Always 0 against a correct server: epoch swaps are monotone, so no
+    /// client ever travels back in time.
+    pub regressions: u64,
+}
+
+impl EpochStats {
+    /// Record one response's epoch (in arrival order for one user).
+    pub fn record(&mut self, epoch: u64) {
+        if self.observed == 0 {
+            self.min = epoch;
+            self.max = epoch;
+        } else {
+            if epoch < self.max {
+                self.regressions += 1;
+            }
+            self.min = self.min.min(epoch);
+            self.max = self.max.max(epoch);
+        }
+        self.observed += 1;
+    }
+
+    /// Fold another user's stats in. Regressions were each witnessed by
+    /// some user's arrival order, so they sum.
+    pub fn merge(&mut self, other: &EpochStats) {
+        if other.observed == 0 {
+            return;
+        }
+        if self.observed == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.observed += other.observed;
+        self.regressions += other.regressions;
+    }
+}
+
 /// The complete load-generation result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LoadReport {
@@ -83,6 +134,10 @@ pub struct LoadReport {
     /// artifacts written before the field existed).
     #[serde(default)]
     pub timeline: Vec<LatencySnapshot>,
+    /// Served-epoch coverage (zeroed in artifacts written before the
+    /// field existed).
+    #[serde(default)]
+    pub epochs: EpochStats,
 }
 
 impl LoadReport {

@@ -17,7 +17,7 @@ use cc_url::Url;
 use cc_util::{CcError, DetRng};
 
 use crate::mix::{TaskKind, TaskMix};
-use crate::report::{LatencySnapshot, LoadReport, TaskStats, LOAD_SCHEMA};
+use crate::report::{EpochStats, LatencySnapshot, LoadReport, TaskStats, LOAD_SCHEMA};
 
 /// How often the monitor thread folds a [`LatencySnapshot`] into the
 /// run's timeline.
@@ -245,18 +245,20 @@ fn build_url(target: &str, path_and_query: &str) -> Result<Url, CcError> {
         .map_err(|e| CcError::cli(format!("bad request url {path_and_query:?}: {e}")))
 }
 
-/// One user's whole request loop. Returns per-task accumulators.
+/// One user's whole request loop. Returns per-task accumulators plus
+/// this user's view of the served epochs.
 fn user_loop(
     cfg: &LoadConfig,
     catalog: &Catalog,
     live: &LiveLatency,
     user: u64,
-) -> Result<BTreeMap<&'static str, TaskAccum>, CcError> {
+) -> Result<(BTreeMap<&'static str, TaskAccum>, EpochStats), CcError> {
     let mut rng = DetRng::new(cfg.seed).fork_indexed("loadgen.user", user);
     let timeout = Duration::from_millis(cfg.timeout_ms);
     let mut client = Client::connect(&cfg.target, timeout)?;
     let mut accum: BTreeMap<&'static str, TaskAccum> = BTreeMap::new();
     let mut report_etag: Option<String> = None;
+    let mut epochs = EpochStats::default();
 
     for _ in 0..cfg.requests_per_user {
         let task = cfg.mix.pick(&mut rng);
@@ -331,6 +333,16 @@ fn user_loop(
                         report_etag = Some(etag.to_string());
                     }
                 }
+                // Every cc-serve response advertises the epoch it was
+                // answered from; watching it is how a followed crawl's
+                // freshness (and monotonicity) gets asserted.
+                if let Some(epoch) = resp
+                    .headers
+                    .get("x-cc-epoch")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                {
+                    epochs.record(epoch);
+                }
             }
             Err(_) => {
                 entry.transport_errors += 1;
@@ -339,7 +351,7 @@ fn user_loop(
             }
         }
     }
-    Ok(accum)
+    Ok((accum, epochs))
 }
 
 /// Run the load: fetch the catalog, spawn the users, merge their stats.
@@ -371,6 +383,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, CcError> {
     let mut merged: BTreeMap<&'static str, TaskAccum> = BTreeMap::new();
     let mut failures: Vec<CcError> = Vec::new();
     let mut timeline: Vec<LatencySnapshot> = Vec::new();
+    let mut epochs = EpochStats::default();
     std::thread::scope(|scope| {
         let catalog = &catalog;
         let live = &live;
@@ -390,10 +403,11 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, CcError> {
         });
         for h in handles {
             match h.join() {
-                Ok(Ok(accum)) => {
+                Ok(Ok((accum, user_epochs))) => {
                     for (name, a) in &accum {
                         merged.entry(name).or_default().merge(a);
                     }
+                    epochs.merge(&user_epochs);
                 }
                 Ok(Err(e)) => failures.push(e),
                 Err(_) => failures.push(CcError::cli("a load user thread panicked")),
@@ -436,5 +450,6 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, CcError> {
         tasks,
         aggregate: aggregate.stats("aggregate", elapsed_s),
         timeline,
+        epochs,
     })
 }

@@ -49,6 +49,12 @@ pub struct ObsSources {
     pub progress: Option<Arc<ProgressCounters>>,
     /// The sampler's ring (`/timeseries`, and the dashboard at exit).
     pub ring: Option<Arc<SnapshotRing>>,
+    /// The currently served index epoch, when the crawl is also being
+    /// served live (`crawl --serve-addr`): cc-serve's `IndexHandle`
+    /// shares its epoch cell so `/progress` can report how far the
+    /// *served* view lags the crawl without this crate depending on
+    /// cc-serve.
+    pub epoch: Option<Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl std::fmt::Debug for ObsSources {
@@ -57,6 +63,7 @@ impl std::fmt::Debug for ObsSources {
             .field("collector", &self.collector.is_some())
             .field("progress", &self.progress.is_some())
             .field("ring", &self.ring.is_some())
+            .field("epoch", &self.epoch.is_some())
             .finish()
     }
 }

@@ -173,8 +173,26 @@ fn handle(req: &Request, sources: &ObsSources) -> Response {
     match req.url.path.as_str() {
         "/healthz" => json_response(StatusCode::OK, "{\"status\":\"ok\"}".to_string()),
         "/progress" => match &sources.progress {
-            Some(progress) => match serde_json::to_string_pretty(&progress.snapshot()) {
-                Ok(body) => json_response(StatusCode::OK, body),
+            Some(progress) => match serde_json::to_value(&progress.snapshot()) {
+                // When the crawl is also served live, splice the served
+                // epoch in so one endpoint answers "how far along is the
+                // crawl AND how fresh is the served view".
+                Ok(mut value) => {
+                    if let (Some(cell), serde_json::Value::Object(map)) =
+                        (&sources.epoch, &mut value)
+                    {
+                        map.insert(
+                            "serve_epoch".into(),
+                            serde_json::Value::Number(serde_json::Number::U64(
+                                cell.load(Ordering::Relaxed),
+                            )),
+                        );
+                    }
+                    match serde_json::to_string_pretty(&value) {
+                        Ok(body) => json_response(StatusCode::OK, body),
+                        Err(e) => serialization_failure("progress", &e),
+                    }
+                }
                 Err(e) => serialization_failure("progress", &e),
             },
             None => missing_source("progress"),

@@ -44,6 +44,7 @@ fn full_sources() -> (ObsSources, Arc<Collector>, Arc<ProgressCounters>, Arc<Sna
         collector: Some(Arc::clone(&collector)),
         progress: Some(Arc::clone(&progress)),
         ring: Some(Arc::clone(&ring)),
+        epoch: None,
     };
     (sources, collector, progress, ring)
 }

@@ -13,6 +13,7 @@
 //! are verifiable against the offline artifact.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 
 use cc_analysis::report::{full_report, AnalysisReport, ReportSection};
 use cc_analysis::{classify_redirectors, RedirectorClass};
@@ -23,6 +24,50 @@ use cc_web::{generate, SimWeb};
 
 /// The serving schema identifier (in `/healthz` and `/catalog`).
 pub const SERVE_SCHEMA: &str = "cc-serve/v1";
+
+/// The instant epoch 0 maps to in `Last-Modified` headers: midnight GMT,
+/// 1 Nov 2022 (the month the source paper appeared at IMC). Epochs are
+/// logical, not wall-clock, so the header must be a *deterministic*
+/// function of the epoch number — each epoch advances it by one second,
+/// which keeps the `X-Cc-Epoch`/`Last-Modified` pair monotone without
+/// reading a real clock anywhere in the serving path.
+const EPOCH_BASE_UNIX_SECS: u64 = 1_667_260_800;
+
+/// Render a Unix timestamp as an RFC 9110 `IMF-fixdate`
+/// (`Tue, 01 Nov 2022 00:00:00 GMT`).
+pub fn http_date(unix_secs: u64) -> String {
+    const DAYS: [&str; 7] = ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"];
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    let days = unix_secs / 86_400;
+    let secs = unix_secs % 86_400;
+    let weekday = DAYS[((days + 4) % 7) as usize]; // 1970-01-01 was a Thursday.
+    // Civil-from-days (Hinnant's algorithm), valid for the whole u64 era
+    // range we can reach.
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!(
+        "{weekday}, {day:02} {} {year} {:02}:{:02}:{:02} GMT",
+        MONTHS[(month - 1) as usize],
+        secs / 3_600,
+        (secs / 60) % 60,
+        secs % 60
+    )
+}
+
+/// The deterministic `Last-Modified` value for an epoch.
+pub fn last_modified_for_epoch(epoch: u64) -> String {
+    http_date(EPOCH_BASE_UNIX_SECS.saturating_add(epoch))
+}
 
 /// Strong ETag for a body: FNV-1a over the bytes, quoted per RFC 9110.
 pub fn etag_for(body: &str) -> String {
@@ -79,6 +124,14 @@ impl SmugglerRole {
 
 /// The immutable route table: every fixed path's precomputed body, plus
 /// the presliced rows `/smugglers` responses are assembled from.
+///
+/// An index is one **epoch** of a (possibly still running) crawl: it
+/// carries its epoch number, the deterministic `Last-Modified` value
+/// derived from it, and the walk total of the study it indexes, so
+/// `/progress` can report walks-indexed vs walks-total without any
+/// mutable state. Epoch metadata never reaches the cached bodies — the
+/// final epoch of a followed crawl is byte-identical to an offline
+/// build over the same walks.
 #[derive(Debug)]
 pub struct ServingIndex {
     routes: BTreeMap<String, CachedBody>,
@@ -86,6 +139,9 @@ pub struct ServingIndex {
     multi_rows: Vec<String>,
     walks: usize,
     findings: usize,
+    epoch: u64,
+    last_modified: String,
+    total_walks: usize,
 }
 
 impl ServingIndex {
@@ -96,19 +152,46 @@ impl ServingIndex {
     /// the offline `report` command produces from the same file.
     ///
     /// [`StudyConfig`]: cc_crawler::StudyConfig
-    pub fn from_checkpoint_path(path: &str) -> Result<ServingIndex, CcError> {
+    pub fn from_checkpoint_path(path: impl AsRef<Path>) -> Result<ServingIndex, CcError> {
         let ck = CrawlCheckpoint::load(path)?;
+        Self::from_checkpoint(&ck, 1)
+    }
+
+    /// Build one epoch from an in-memory checkpoint snapshot: the web is
+    /// regenerated from the embedded config, the checkpointed truth
+    /// ledger restored, and the pipeline + report rerun over the
+    /// snapshotted walks. This is the one code path both offline serving
+    /// (epoch 1 over a finished checkpoint) and followed crawls (one
+    /// call per published snapshot) go through — which is what makes the
+    /// final followed epoch byte-identical to the offline index.
+    pub fn from_checkpoint(ck: &CrawlCheckpoint, epoch: u64) -> Result<ServingIndex, CcError> {
         let web = generate(&ck.study.web);
+        Self::fold_with_web(&web, ck, epoch)
+    }
+
+    /// [`Self::from_checkpoint`] over a caller-owned world: the
+    /// incremental builder regenerates the web once and reuses it across
+    /// epochs, absorbing each snapshot's truth ledger into it. Absorbing
+    /// is monotone and idempotent (each snapshot's ledger is a superset
+    /// of the previous one's), so a cached world converges to exactly the
+    /// ledger a fresh [`generate`] + absorb of the same snapshot yields.
+    pub fn fold_with_web(
+        web: &SimWeb,
+        ck: &CrawlCheckpoint,
+        epoch: u64,
+    ) -> Result<ServingIndex, CcError> {
         // The regenerated world's ledger is empty (truth accumulates
         // during the crawl); restore the checkpointed ledger so
         // ground-truth-scored sections (species evasion) serve the same
         // bytes as the offline report of the original run.
         web.absorb_truth(&ck.truth);
         let output = cc_core::run_pipeline(&ck.partial);
-        Self::build(&web, &ck.partial, &output)
+        let mut index = Self::build(web, &ck.partial, &output)?;
+        index.set_epoch(epoch, ck.total_walks);
+        Ok(index)
     }
 
-    /// Build the index from an already-materialized study.
+    /// Build the index from an already-materialized study (epoch 1).
     pub fn build(
         web: &SimWeb,
         dataset: &CrawlDataset,
@@ -229,12 +312,31 @@ impl ServingIndex {
             multi_rows,
             walks,
             findings,
+            epoch: 1,
+            last_modified: last_modified_for_epoch(1),
+            total_walks: walks,
         })
+    }
+
+    /// Stamp this snapshot's epoch metadata (the incremental builder
+    /// numbers epochs; `total` is the study's full walk count so
+    /// `/progress` can report indexed-vs-total).
+    pub(crate) fn set_epoch(&mut self, epoch: u64, total: usize) {
+        self.epoch = epoch;
+        self.last_modified = last_modified_for_epoch(epoch);
+        self.total_walks = total.max(self.walks);
     }
 
     /// Look up a precomputed body by exact path.
     pub fn lookup(&self, path: &str) -> Option<&CachedBody> {
         self.routes.get(path)
+    }
+
+    /// Every precomputed route, in path order (the byte-identity suites
+    /// compare a followed crawl's final epoch against an offline build
+    /// route by route).
+    pub fn routes(&self) -> impl Iterator<Item = (&str, &CachedBody)> {
+        self.routes.iter().map(|(p, b)| (p.as_str(), b))
     }
 
     /// Assemble a `/smugglers` body: `role = None` means both classes
@@ -270,6 +372,28 @@ impl ServingIndex {
     /// Number of UID findings indexed.
     pub fn findings(&self) -> usize {
         self.findings
+    }
+
+    /// This snapshot's epoch number (1 for an offline build; a followed
+    /// crawl increments it with every published batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The deterministic `Last-Modified` header value for this epoch.
+    pub fn last_modified(&self) -> &str {
+        &self.last_modified
+    }
+
+    /// Total walks the underlying study comprises (equals [`Self::walks`]
+    /// once the crawl has finished).
+    pub fn total_walks(&self) -> usize {
+        self.total_walks
+    }
+
+    /// Whether every walk of the study is indexed.
+    pub fn complete(&self) -> bool {
+        self.walks >= self.total_walks
     }
 }
 

@@ -8,7 +8,7 @@
 
 use cc_http::{Request, Response, StatusCode};
 
-use crate::index::{CachedBody, SmugglerRole};
+use crate::index::{CachedBody, ServingIndex, SmugglerRole, SERVE_SCHEMA};
 use crate::server::{json_string, Shared};
 
 /// Default `/smugglers` row cap when `limit` is absent.
@@ -33,7 +33,24 @@ impl Routed {
 }
 
 /// Dispatch one decoded request.
+///
+/// The index snapshot is taken **once**, up front: every body, ETag, and
+/// header in this response comes from the same epoch, even if a
+/// publisher swaps in a new one mid-request. The epoch rides on every
+/// response as `X-Cc-Epoch`, so clients (cc-loadgen's freshness
+/// assertions) can watch a followed crawl advance without parsing
+/// bodies.
 pub(crate) fn route(req: &Request, shared: &Shared) -> Routed {
+    let index = shared.handle.current();
+    let mut routed = route_inner(req, shared, &index);
+    routed
+        .response
+        .headers
+        .set("x-cc-epoch", index.epoch().to_string());
+    routed
+}
+
+fn route_inner(req: &Request, shared: &Shared, index: &ServingIndex) -> Routed {
     let path = req.url.path.as_str();
     let is_get = req.method == cc_http::Method::Get;
     let is_post = req.method == cc_http::Method::Post;
@@ -87,8 +104,23 @@ pub(crate) fn route(req: &Request, shared: &Shared) -> Routed {
         );
     }
 
+    if path == "/progress" {
+        // Live, never cached: how much of the crawl this epoch has
+        // indexed. For a static index this reports 1 epoch, complete.
+        let body = format!(
+            "{{\"schema\":\"{SERVE_SCHEMA}\",\"epoch\":{},\"swaps\":{},\
+             \"walks_indexed\":{},\"walks_total\":{},\"complete\":{}}}",
+            index.epoch(),
+            shared.handle.swaps(),
+            index.walks(),
+            index.total_walks(),
+            index.complete()
+        );
+        return Routed::new("progress", live(StatusCode::OK, body, "application/json"));
+    }
+
     if path == "/smugglers" {
-        return smugglers(req, shared);
+        return smugglers(req, index);
     }
 
     // Everything else is a precomputed body (or a 404).
@@ -101,15 +133,15 @@ pub(crate) fn route(req: &Request, shared: &Shared) -> Routed {
         p if p.starts_with("/uids/") => "uids",
         _ => "other",
     };
-    match shared.index.lookup(path) {
-        Some(cached) => Routed::new(label, conditional(req, cached)),
+    match index.lookup(path) {
+        Some(cached) => Routed::new(label, conditional(req, cached, index)),
         None => Routed::new(label, not_found(path)),
     }
 }
 
 /// `/smugglers?role=dedicated|multi&limit=N`: assembled per request from
 /// presliced rows, still ETagged so clients can revalidate.
-fn smugglers(req: &Request, shared: &Shared) -> Routed {
+fn smugglers(req: &Request, index: &ServingIndex) -> Routed {
     let mut role = None;
     let mut limit = DEFAULT_SMUGGLER_LIMIT;
     for (key, value) in req.url.query() {
@@ -142,8 +174,8 @@ fn smugglers(req: &Request, shared: &Shared) -> Routed {
             }
         }
     }
-    let assembled = shared.index.smugglers(role, limit);
-    Routed::new("smugglers", conditional(req, &assembled))
+    let assembled = index.smugglers(role, limit);
+    Routed::new("smugglers", conditional(req, &assembled, index))
 }
 
 /// A live (never-cacheable) response: explicit content type plus
@@ -156,16 +188,20 @@ fn live(status: StatusCode, body: String, content_type: &str) -> Response {
     resp
 }
 
-/// Serve a cached body, honoring `If-None-Match`.
-fn conditional(req: &Request, cached: &CachedBody) -> Response {
+/// Serve a cached body, honoring `If-None-Match`. Cached responses carry
+/// the epoch's deterministic `Last-Modified` (on the `304` too, per RFC
+/// 9110 §15.4.5 a revalidation must repeat the validator headers).
+fn conditional(req: &Request, cached: &CachedBody, index: &ServingIndex) -> Response {
     if if_none_match_hits(req, &cached.etag) {
         let mut resp = Response::status_only(StatusCode::NOT_MODIFIED);
         resp.headers.set("etag", cached.etag.clone());
+        resp.headers.set("last-modified", index.last_modified());
         return resp;
     }
     let mut resp = Response::raw(StatusCode::OK, cached.body.clone());
     resp.headers.set("content-type", "application/json");
     resp.headers.set("etag", cached.etag.clone());
+    resp.headers.set("last-modified", index.last_modified());
     resp
 }
 

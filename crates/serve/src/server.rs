@@ -28,11 +28,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use cc_crawler::CrawlCheckpoint;
 use cc_http::{Request, Response, StatusCode};
 use cc_telemetry::{Collector, RunReport};
 use cc_util::CcError;
 
-use crate::index::ServingIndex;
+use crate::handle::{FollowConfig, IndexHandle, IndexSource};
+use crate::publish::IncrementalIndexBuilder;
 use crate::router::{self, Routed};
 
 /// Server knobs (lowered from `StudyConfig.serve` by the CLI).
@@ -109,7 +111,7 @@ pub struct RequestLogEntry {
 
 /// State shared by the accept thread, the workers, and the handle.
 pub(crate) struct Shared {
-    pub(crate) index: ServingIndex,
+    pub(crate) handle: IndexHandle,
     pub(crate) cfg: ServeConfig,
     pub(crate) collector: Arc<Collector>,
     pub(crate) stop: AtomicBool,
@@ -150,10 +152,33 @@ pub struct Server;
 
 impl Server {
     /// Bind, spawn the accept thread and worker pool, and return a
-    /// handle. The index is immutable from here on; all serving state
-    /// lives behind the handle.
-    pub fn start(index: ServingIndex, cfg: ServeConfig) -> Result<ServerHandle, CcError> {
+    /// handle.
+    ///
+    /// `source` is anything convertible to an [`IndexSource`]: a plain
+    /// [`ServingIndex`](crate::index::ServingIndex) (static, one-epoch
+    /// serving — the pre-redesign behavior), a [`FollowConfig`] (poll a
+    /// checkpoint file and fold each growth into a fresh epoch), or an
+    /// externally-owned [`IndexHandle`] (an in-process publisher drives
+    /// the epochs). Each snapshot is immutable; the server only ever
+    /// *swaps* which snapshot readers see.
+    pub fn start(
+        source: impl Into<IndexSource>,
+        cfg: ServeConfig,
+    ) -> Result<ServerHandle, CcError> {
         cfg.validate()?;
+        let (handle, follow) = match source.into() {
+            IndexSource::Static(index) => (IndexHandle::new(index), None),
+            IndexSource::Handle(handle) => (handle, None),
+            IndexSource::Follow(fc) => {
+                let ck = wait_for_checkpoint(&fc)?;
+                let mut builder = IncrementalIndexBuilder::new(&ck.study);
+                let initial = builder
+                    .fold(&ck)?
+                    .expect("the first fold always yields an epoch");
+                (IndexHandle::new(initial), Some((fc, builder)))
+            }
+        };
+
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| CcError::io(&cfg.addr, e))?;
         let addr = listener
@@ -164,7 +189,7 @@ impl Server {
             .map_err(|e| CcError::io(&cfg.addr, e))?;
 
         let shared = Arc::new(Shared {
-            index,
+            handle,
             cfg: cfg.clone(),
             collector: Arc::new(Collector::default()),
             stop: AtomicBool::new(false),
@@ -174,8 +199,10 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
         });
+        // Epoch swaps from here on land in this server's RED metrics.
+        shared.handle.attach_collector(Arc::clone(&shared.collector));
 
-        let mut threads = Vec::with_capacity(cfg.workers + 1);
+        let mut threads = Vec::with_capacity(cfg.workers + 2);
         {
             let shared = Arc::clone(&shared);
             threads.push(
@@ -194,12 +221,91 @@ impl Server {
                     .map_err(|e| CcError::io("spawn worker thread", e))?,
             );
         }
+        if let Some((fc, builder)) = follow {
+            if !shared.handle.current().complete() {
+                let shared = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("cc-serve-follow".into())
+                        .spawn(move || follow_loop(&shared, fc, builder))
+                        .map_err(|e| CcError::io("spawn follow thread", e))?,
+                );
+            }
+        }
 
         Ok(ServerHandle {
             addr,
             shared,
             threads,
         })
+    }
+}
+
+/// Wait (bounded by `wait_ms`) for the followed checkpoint file to appear
+/// and parse — the crawl being followed may not have written its first
+/// batch yet. Checkpoint writes are atomic (temp file + rename), so a
+/// successful load is never a torn read.
+fn wait_for_checkpoint(fc: &FollowConfig) -> Result<CrawlCheckpoint, CcError> {
+    let deadline = Instant::now() + Duration::from_millis(fc.wait_ms);
+    loop {
+        match CrawlCheckpoint::load(&fc.path) {
+            Ok(ck) => return Ok(ck),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(fc.poll_ms.clamp(1, 250)));
+            }
+        }
+    }
+}
+
+/// A cheap change fingerprint for the followed file (length + mtime):
+/// reloading and re-folding only happens when it moves.
+fn checkpoint_fingerprint(path: &std::path::Path) -> Option<(u64, std::time::SystemTime)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.len(), meta.modified().ok()?))
+}
+
+/// The `--follow` poller: watch the checkpoint file, fold every growth
+/// into a fresh epoch, and stop once the crawl is complete (or the
+/// server shuts down). Fold errors (a config swap under our feet, a
+/// transient read failure) never take the server down — the last good
+/// epoch keeps serving.
+fn follow_loop(shared: &Shared, fc: FollowConfig, mut builder: IncrementalIndexBuilder) {
+    let poll = Duration::from_millis(fc.poll_ms.max(1));
+    // No baseline: the file may have grown between the initial fold in
+    // `Server::start` and this thread coming up, so the first poll always
+    // reloads (an unchanged snapshot folds to `None`, which is free).
+    let mut fingerprint = None;
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(poll);
+        let current = checkpoint_fingerprint(&fc.path);
+        if current.is_none() || current == fingerprint {
+            continue;
+        }
+        let ck = match CrawlCheckpoint::load(&fc.path) {
+            Ok(ck) => ck,
+            // Leave the fingerprint unmoved so the load is retried.
+            Err(_) => continue,
+        };
+        fingerprint = current;
+        match builder.fold(&ck) {
+            Ok(Some(index)) => {
+                let complete = index.complete();
+                shared.handle.publish(index);
+                if complete {
+                    break;
+                }
+            }
+            // A snapshot that didn't grow: nothing to do.
+            Ok(None) => {}
+            Err(_) => {
+                shared
+                    .collector
+                    .add_event("serve.follow.rejected", &[("path", "checkpoint")]);
+            }
+        }
     }
 }
 
@@ -219,6 +325,14 @@ impl ServerHandle {
     /// Snapshot the server's own telemetry (the `/metrics` payload).
     pub fn metrics(&self) -> RunReport {
         self.shared.collector.report(None)
+    }
+
+    /// The epoch-swappable handle this server reads through. Useful for
+    /// watching a followed crawl advance (epoch/swap counts) or for
+    /// inspecting the currently served snapshot without an HTTP round
+    /// trip.
+    pub fn index_handle(&self) -> IndexHandle {
+        self.shared.handle.clone()
     }
 
     /// Whether shutdown has been requested (by [`Self::shutdown`] or

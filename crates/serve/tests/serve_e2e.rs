@@ -448,6 +448,201 @@ fn observability_endpoints_serve_prom_and_sampled_logs() {
 }
 
 #[test]
+fn epoch_metadata_rides_on_every_response() {
+    let handle = start(ServeConfig::default());
+    let mut client = TestClient::connect(handle.addr());
+
+    // A static index is exactly one epoch (1), with the deterministic
+    // epoch-derived Last-Modified on every cached body.
+    let report = client.get("/report");
+    assert_eq!(report.headers.get("x-cc-epoch"), Some("1"));
+    let lm = report
+        .headers
+        .get("last-modified")
+        .expect("cached bodies carry last-modified")
+        .to_string();
+    assert_eq!(lm, cc_serve::last_modified_for_epoch(1));
+
+    // The 304 repeats the validator headers (RFC 9110 §15.4.5).
+    let etag = report.headers.get("etag").unwrap().to_string();
+    let mut revalidate = client.request("/report");
+    revalidate.headers.set("if-none-match", etag);
+    let not_modified = client.send(&revalidate);
+    assert_eq!(not_modified.status.0, 304);
+    assert_eq!(not_modified.headers.get("last-modified"), Some(lm.as_str()));
+    assert_eq!(not_modified.headers.get("x-cc-epoch"), Some("1"));
+
+    // Live endpoints are stamped too: a scraper can tell which epoch
+    // answered without touching a cached route.
+    assert_eq!(client.get("/metrics").headers.get("x-cc-epoch"), Some("1"));
+    assert_eq!(client.get("/no-such-path").headers.get("x-cc-epoch"), Some("1"));
+
+    // /progress: one complete epoch, zero swaps.
+    let progress = client.get("/progress");
+    assert_eq!(progress.status.0, 200);
+    assert_eq!(progress.headers.get("cache-control"), Some("no-store"));
+    let v: serde_json::Value =
+        serde_json::from_str(&TestClient::body_str(&progress)).unwrap();
+    let o = v.as_object().unwrap();
+    assert_eq!(o.get("epoch").and_then(|x| x.as_u64()), Some(1));
+    assert_eq!(o.get("swaps").and_then(|x| x.as_u64()), Some(0));
+    assert_eq!(
+        o.get("walks_indexed").and_then(|x| x.as_u64()),
+        o.get("walks_total").and_then(|x| x.as_u64())
+    );
+    assert_eq!(o.get("complete").and_then(|x| x.as_bool()), Some(true));
+
+    handle.shutdown();
+}
+
+#[test]
+fn live_epoch_swaps_advance_clients_without_reconnecting() {
+    use cc_crawler::{PublishPolicy, SnapshotSink, StudyRun};
+    use std::sync::{Arc, Mutex};
+
+    // Record the executor's published snapshots (every 5 walks) so the
+    // test can replay them through the incremental builder.
+    struct Rec(Mutex<Vec<cc_crawler::CrawlCheckpoint>>);
+    impl SnapshotSink for Rec {
+        fn publish(&self, snapshot: cc_crawler::CrawlCheckpoint) {
+            self.0.lock().unwrap().push(snapshot);
+        }
+    }
+    let study = cc_crawler::StudyConfig::builder()
+        .web(WebConfig::small())
+        .seed(5)
+        .steps(5)
+        .walks(15)
+        .workers(2)
+        .build()
+        .unwrap();
+    let rec = Arc::new(Rec(Mutex::new(Vec::new())));
+    let web = generate(&study.web);
+    StudyRun::new(&web, &study)
+        .publish(PublishPolicy::new(
+            5,
+            Arc::clone(&rec) as Arc<dyn SnapshotSink>,
+        ))
+        .run()
+        .unwrap();
+    let snapshots = std::mem::take(&mut *rec.0.lock().unwrap());
+    assert!(snapshots.len() >= 3, "expected batches at 5/10/15 walks");
+
+    // Serve the warming epoch, then swap in each folded snapshot while a
+    // single keep-alive client keeps reading.
+    let mut builder = cc_serve::IncrementalIndexBuilder::new(&study);
+    let index_handle = cc_serve::IndexHandle::new(builder.warming().unwrap());
+    let server = Server::start(index_handle.clone(), ServeConfig::default()).unwrap();
+    let mut client = TestClient::connect(server.addr());
+
+    let warm = client.get("/report");
+    assert_eq!(warm.headers.get("x-cc-epoch"), Some("0"));
+    let mut last_etag = warm.headers.get("etag").unwrap().to_string();
+    let mut last_epoch = 0u64;
+    let mut last_lm = warm.headers.get("last-modified").unwrap().to_string();
+
+    for ck in &snapshots {
+        let Some(index) = builder.fold(ck).unwrap() else {
+            continue; // a coalesced duplicate (the final complete snapshot)
+        };
+        index_handle.publish(index);
+        let resp = client.get("/report");
+        let epoch: u64 = resp.headers.get("x-cc-epoch").unwrap().parse().unwrap();
+        let etag = resp.headers.get("etag").unwrap().to_string();
+        let lm = resp.headers.get("last-modified").unwrap().to_string();
+        assert!(epoch > last_epoch, "epochs must advance monotonically");
+        assert_ne!(etag, last_etag, "new walks must change the report etag");
+        assert_ne!(lm, last_lm, "last-modified advances with the epoch");
+        last_epoch = epoch;
+        last_etag = etag;
+        last_lm = lm;
+    }
+    assert!(last_epoch >= 3, "every growing snapshot became an epoch");
+
+    // /progress reflects the final epoch and a complete crawl.
+    let progress: serde_json::Value =
+        serde_json::from_str(&TestClient::body_str(&client.get("/progress"))).unwrap();
+    let o = progress.as_object().unwrap();
+    assert_eq!(o.get("epoch").and_then(|x| x.as_u64()), Some(last_epoch));
+    assert_eq!(o.get("swaps").and_then(|x| x.as_u64()), Some(last_epoch));
+    assert_eq!(o.get("walks_indexed").and_then(|x| x.as_u64()), Some(15));
+    assert_eq!(o.get("complete").and_then(|x| x.as_bool()), Some(true));
+
+    // The swap telemetry is wired into the server's collector.
+    let metrics = server.shutdown();
+    assert_eq!(
+        metrics.deterministic.counters["serve.epoch.swaps"],
+        last_epoch
+    );
+    assert_eq!(
+        metrics.timing.gauges["serve.epoch.current"],
+        last_epoch as f64
+    );
+}
+
+#[test]
+fn follow_source_reaches_the_offline_bytes_and_never_regresses() {
+    use cc_crawler::StudyRun;
+
+    // A crawl that checkpoints every 4 walks; the server follows the
+    // checkpoint file as it grows.
+    let dir = std::env::temp_dir().join("ccrs-serve-follow");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("follow.ccp").to_str().unwrap().to_string();
+    std::fs::remove_file(&path).ok();
+    let study = cc_crawler::StudyConfig::builder()
+        .web(WebConfig::small())
+        .seed(5)
+        .steps(5)
+        .walks(12)
+        .workers(2)
+        .checkpoint(path.clone(), 4)
+        .build()
+        .unwrap();
+
+    // Start the follower before the file exists: it must wait for the
+    // crawl's first batch rather than failing.
+    let follow = cc_serve::FollowConfig {
+        path: path.clone().into(),
+        poll_ms: 10,
+        wait_ms: 30_000,
+    };
+    let started = std::thread::spawn({
+        let follow = follow.clone();
+        move || Server::start(follow, ServeConfig::default()).unwrap()
+    });
+    let web = generate(&study.web);
+    StudyRun::new(&web, &study).run().unwrap();
+    let server = started.join().unwrap();
+
+    // Wait (bounded) for the follower to fold the final checkpoint.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let index_handle = server.index_handle();
+    while !index_handle.current().complete() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "follower never reached the complete epoch"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The final followed epoch serves byte-identical bodies to an
+    // offline index over the same checkpoint.
+    let offline = cc_serve::ServingIndex::from_checkpoint_path(&path).unwrap();
+    let served = index_handle.current();
+    for (route, cached) in offline.routes() {
+        let live = served.lookup(route).expect("followed index is missing a route");
+        assert_eq!(live.body, cached.body, "body diverged on {route}");
+        assert_eq!(live.etag, cached.etag, "etag diverged on {route}");
+    }
+    assert_eq!(served.walks(), 12);
+    assert!(served.epoch() >= 1);
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn request_log_head_sampling_is_bounded_and_deterministic() {
     let run = || {
         let handle = start(ServeConfig {

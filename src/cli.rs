@@ -88,8 +88,19 @@ pub struct Cli {
     /// `serve`: build the index from this crawl checkpoint instead of
     /// running a fresh study.
     pub load: Option<String>,
+    /// `serve`: follow a (possibly still growing) checkpoint file — every
+    /// growth becomes a fresh served epoch until the crawl completes.
+    pub follow: Option<String>,
     /// `serve`: write the bound address (with the real port) here.
     pub addr_file: Option<String>,
+    /// `crawl`: serve the crawl live over HTTP at this address while it
+    /// runs (in-process epoch publishing).
+    pub serve_addr: Option<String>,
+    /// `crawl`: write the live server's bound address here.
+    pub serve_addr_file: Option<String>,
+    /// `crawl`: publish a fresh serving epoch every K completed walks
+    /// (default 25; requires `--serve-addr`).
+    pub publish_every: Option<usize>,
     /// `loadgen`: the serve instance to aim at.
     pub target: Option<String>,
     /// `loadgen`: concurrent users.
@@ -151,12 +162,26 @@ FAULT TOLERANCE:
 
 SERVING:
   --load PATH          serve from a finished crawl checkpoint instead of crawling
+  --follow PATH        serve a crawl *as it runs*: poll its checkpoint file and
+                       swap in a fresh epoch whenever it grows (X-Cc-Epoch /
+                       Last-Modified advance monotonically; /progress reports
+                       walks indexed vs total). The final epoch is byte-identical
+                       to --load of the finished checkpoint
   --addr HOST:PORT     bind address (default 127.0.0.1:8040; port 0 = ephemeral)
   --serve-workers N    server worker threads (default 8)
   --max-inflight N     admission bound; connections beyond it are shed with 503
   --addr-file PATH     write the bound address (with the real port) to PATH
   --json               report: print the analysis as canonical JSON — byte-identical
                        to what a serve instance answers on /report
+
+LIVE SERVING (crawl):
+  --serve-addr HOST:PORT  serve the crawl over HTTP *while it runs*, in-process:
+                          starts at a warming epoch 0, then swaps in a fresh
+                          immutable index epoch as walk batches land; keeps
+                          serving the final epoch after the crawl until
+                          POST /shutdown
+  --serve-addr-file PATH  write the live server's bound address to PATH
+  --publish-every K       publish an epoch every K completed walks (default 25)
 
 LOAD GENERATION:
   --target HOST:PORT      the serve instance to aim at (required for loadgen)
@@ -220,7 +245,11 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
     let mut dashboard_out = None;
     let mut json = false;
     let mut load = None;
+    let mut follow = None;
     let mut addr_file = None;
+    let mut serve_addr = None;
+    let mut serve_addr_file = None;
+    let mut publish_every = None;
     let mut target = None;
     let mut users = None;
     let mut duration_requests = None;
@@ -323,7 +352,15 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
             "--dashboard-out" => dashboard_out = Some(path_arg(&mut it, "--dashboard-out")?),
             "--json" => json = true,
             "--load" => load = Some(path_arg(&mut it, "--load")?),
+            "--follow" => follow = Some(path_arg(&mut it, "--follow")?),
             "--addr" => study.serve.addr = path_arg(&mut it, "--addr")?,
+            "--serve-addr" => serve_addr = Some(path_arg(&mut it, "--serve-addr")?),
+            "--serve-addr-file" => {
+                serve_addr_file = Some(path_arg(&mut it, "--serve-addr-file")?)
+            }
+            "--publish-every" => {
+                publish_every = Some(numeric(&mut it, "--publish-every")? as usize)
+            }
             "--serve-workers" => {
                 study.serve.workers = numeric(&mut it, "--serve-workers")? as usize
             }
@@ -369,6 +406,35 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
     if obs_addr_file.is_some() && obs_addr.is_none() {
         return Err(CcError::cli("--obs-addr-file requires --obs-addr HOST:PORT"));
     }
+    if follow.is_some() {
+        if command != Command::Serve {
+            return Err(CcError::cli("--follow applies to the serve command"));
+        }
+        if load.is_some() {
+            return Err(CcError::cli(
+                "--load and --follow are mutually exclusive: --load serves a finished \
+                 checkpoint, --follow tracks a growing one",
+            ));
+        }
+    }
+    if serve_addr.is_some() && command != Command::Crawl {
+        return Err(CcError::cli(
+            "--serve-addr applies to the crawl command (serve the crawl as it runs)",
+        ));
+    }
+    if serve_addr.is_none() {
+        for (flag, set) in [
+            ("--serve-addr-file", serve_addr_file.is_some()),
+            ("--publish-every", publish_every.is_some()),
+        ] {
+            if set {
+                return Err(CcError::cli(format!("{flag} requires --serve-addr HOST:PORT")));
+            }
+        }
+    }
+    if publish_every == Some(0) {
+        return Err(CcError::cli("--publish-every must be at least 1"));
+    }
     // The observability plane watches a study run; serve and loadgen have
     // their own metrics surfaces (cc-serve's /metrics, BENCH_serve.json).
     if matches!(command, Command::Serve | Command::Loadgen | Command::Help) {
@@ -411,7 +477,11 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
         dashboard_out,
         json,
         load,
+        follow,
         addr_file,
+        serve_addr,
+        serve_addr_file,
+        publish_every,
         target,
         users,
         duration_requests,
@@ -542,6 +612,43 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
         opts.resume = Some(CrawlCheckpoint::load(path)?);
     }
 
+    // Live serving (`crawl --serve-addr`): start the server on a warming
+    // epoch-0 index *before* the crawl, wire an in-process publisher into
+    // the executor, and keep serving the final epoch after the crawl
+    // completes until POST /shutdown.
+    let live = match cli.serve_addr.as_deref() {
+        Some(addr) => {
+            let builder = cc_serve::IncrementalIndexBuilder::new(&cli.study);
+            let index_handle = cc_serve::IndexHandle::new(builder.warming()?);
+            let publisher = std::sync::Arc::new(cc_serve::IndexPublisher::start(
+                builder,
+                index_handle.clone(),
+            ));
+            let policy = &cli.study.serve;
+            let server = cc_serve::Server::start(
+                index_handle.clone(),
+                cc_serve::ServeConfig {
+                    addr: addr.to_string(),
+                    workers: policy.workers,
+                    max_inflight: policy.max_inflight,
+                    keep_alive_ms: policy.keep_alive_ms,
+                    debug_delay_ms: 0,
+                },
+            )?;
+            if let Some(path) = cli.serve_addr_file.as_deref() {
+                std::fs::write(path, server.addr().to_string())
+                    .map_err(|e| CcError::io(path, e))?;
+            }
+            eprintln!(
+                "cc-serve following the crawl on http://{} — epoch 0 (warming); \
+                 POST /shutdown to stop",
+                server.addr()
+            );
+            Some((server, publisher, index_handle))
+        }
+        None => None,
+    };
+
     // The observability plane: caller-owned progress counters shared with
     // the crawl, a bounded snapshot ring, a periodic sampler, and the
     // HTTP observer thread. All strictly observation-only — the crawl
@@ -556,6 +663,7 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
                 collector: collector.clone(),
                 progress: Some(std::sync::Arc::clone(&progress)),
                 ring: Some(std::sync::Arc::clone(&ring)),
+                epoch: live.as_ref().map(|(_, _, handle)| handle.epoch_cell()),
             };
             let handle = cc_obs::Observer::start(addr, sources)?;
             if let Some(path) = cli.obs_addr_file.as_deref() {
@@ -577,7 +685,35 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
         None
     };
 
-    let study = Study::from_config_with_progress(&cli.study, opts, &progress)?;
+    let mut study_builder = Study::builder(&cli.study).options(opts).progress(&progress);
+    if let Some((_, publisher, _)) = &live {
+        study_builder = study_builder.index_publisher(
+            cli.publish_every.unwrap_or(25),
+            std::sync::Arc::clone(publisher) as std::sync::Arc<dyn cc_crawler::SnapshotSink>,
+        );
+    }
+    let study = match study_builder.run() {
+        Ok(study) => study,
+        Err(e) => {
+            // A failed crawl must not leave a half-warm server running.
+            if let Some((server, publisher, _)) = live {
+                let _ = publisher.finish();
+                server.shutdown();
+            }
+            return Err(e);
+        }
+    };
+    // Crawl complete: close the publishing queue so the indexer folds the
+    // executor's final (complete) snapshot into the last epoch. The
+    // server keeps answering on it until POST /shutdown, below.
+    if let Some((_, publisher, handle)) = &live {
+        publisher.finish()?;
+        eprintln!(
+            "crawl complete — serving final epoch {} ({} walks); POST /shutdown to stop",
+            handle.epoch(),
+            handle.current().walks()
+        );
+    }
 
     let result = execute(cli, &study);
 
@@ -634,24 +770,38 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
             }
         }
     }
+    // A live-served crawl stays up after its artifacts are written, so
+    // consumers can read the final epoch at their leisure; block until a
+    // client posts /shutdown. On a failed command, fold the server
+    // instead of hanging.
+    if let Some((server, _, _)) = live {
+        if result.is_ok() {
+            server.wait();
+        } else {
+            server.shutdown();
+        }
+    }
     result
 }
 
-/// Run the `serve` subcommand: build the index (from a checkpoint or a
-/// fresh study), start the server, and block until it is shut down via
+/// Run the `serve` subcommand: resolve the [`cc_serve::IndexSource`]
+/// (a finished checkpoint, a followed growing checkpoint, or a fresh
+/// study), start the server, and block until it is shut down via
 /// `POST /shutdown`.
 fn run_serve(cli: &Cli) -> Result<String, CcError> {
-    let index = match cli.load.as_deref() {
-        Some(path) => cc_serve::ServingIndex::from_checkpoint_path(path)?,
-        None => {
+    let source: cc_serve::IndexSource = match (cli.load.as_deref(), cli.follow.as_deref()) {
+        (Some(path), None) => cc_serve::ServingIndex::from_checkpoint_path(path)?.into(),
+        (None, Some(path)) => cc_serve::IndexSource::follow(path),
+        (None, None) => {
             let study = crate::Study::from_config(&cli.study)?;
-            cc_serve::ServingIndex::build(&study.web, &study.dataset, &study.output)?
+            cc_serve::ServingIndex::build(&study.web, &study.dataset, &study.output)?.into()
         }
+        (Some(_), Some(_)) => unreachable!("--load/--follow exclusivity validated in parse"),
     };
-    let (walks, findings) = (index.walks(), index.findings());
+    let following = matches!(source, cc_serve::IndexSource::Follow(_));
     let policy = &cli.study.serve;
     let handle = cc_serve::Server::start(
-        index,
+        source,
         cc_serve::ServeConfig {
             addr: policy.addr.clone(),
             workers: policy.workers,
@@ -664,10 +814,24 @@ fn run_serve(cli: &Cli) -> Result<String, CcError> {
     if let Some(path) = cli.addr_file.as_deref() {
         std::fs::write(path, addr.to_string()).map_err(|e| CcError::io(path, e))?;
     }
-    eprintln!(
-        "cc-serve listening on http://{addr} — {walks} walks, {findings} findings; \
-         POST /shutdown to stop"
-    );
+    let index = handle.index_handle().current();
+    if following {
+        eprintln!(
+            "cc-serve listening on http://{addr} — following {}, epoch {} ({} of {} walks); \
+             POST /shutdown to stop",
+            cli.follow.as_deref().unwrap_or_default(),
+            index.epoch(),
+            index.walks(),
+            index.total_walks(),
+        );
+    } else {
+        eprintln!(
+            "cc-serve listening on http://{addr} — {} walks, {} findings; \
+             POST /shutdown to stop",
+            index.walks(),
+            index.findings(),
+        );
+    }
 
     let metrics = handle.wait();
     if let Some(path) = cli.metrics_out.as_deref() {
@@ -705,10 +869,12 @@ fn run_loadgen(cli: &Cli) -> Result<String, CcError> {
         std::fs::write(path, report.to_json()?).map_err(|e| CcError::io(path, e))?;
     }
     let a = &report.aggregate;
+    let e = &report.epochs;
     Ok(format!(
         "{} requests ({} users x {}) in {:.0} ms — {:.0} req/s\n\
          ok {}  304 {}  4xx {}  5xx {} (shed {})  transport {}\n\
-         latency p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms\n",
+         latency p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms\n\
+         epochs {}..{} ({} observed, {} regressions)\n",
         report.total_requests,
         report.users,
         report.requests_per_user,
@@ -723,6 +889,10 @@ fn run_loadgen(cli: &Cli) -> Result<String, CcError> {
         a.latency.p50_ms,
         a.latency.p90_ms,
         a.latency.p99_ms,
+        e.min,
+        e.max,
+        e.observed,
+        e.regressions,
     ))
 }
 
@@ -935,6 +1105,48 @@ mod tests {
             parse(&argv("serve --serve-workers 8 --max-inflight 2")).is_err(),
             "admission bound below the worker count is nonsense"
         );
+    }
+
+    #[test]
+    fn parse_live_serving_flags() {
+        let cli = parse(&argv(
+            "crawl --out ds.json --serve-addr 127.0.0.1:0 --serve-addr-file addr.txt \
+             --publish-every 10",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Crawl);
+        assert_eq!(cli.serve_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cli.serve_addr_file.as_deref(), Some("addr.txt"));
+        assert_eq!(cli.publish_every, Some(10));
+
+        let cli = parse(&argv("serve --follow ck.ccp")).unwrap();
+        assert_eq!(cli.follow.as_deref(), Some("ck.ccp"));
+        assert!(cli.load.is_none());
+
+        let err = parse(&argv("serve --follow a.ccp --load b.ccp"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("mutually exclusive"), "unhelpful error: {err}");
+        assert!(
+            parse(&argv("report --follow ck.ccp")).is_err(),
+            "--follow only makes sense for serve"
+        );
+        assert!(
+            parse(&argv("serve --serve-addr 127.0.0.1:0")).is_err(),
+            "--serve-addr is the crawl command's live-serving flag"
+        );
+        assert!(
+            parse(&argv("crawl --out ds.json --serve-addr-file addr.txt")).is_err(),
+            "--serve-addr-file without --serve-addr has nothing to write"
+        );
+        assert!(
+            parse(&argv("crawl --out ds.json --publish-every 5")).is_err(),
+            "--publish-every without --serve-addr publishes to nobody"
+        );
+        let err = parse(&argv("crawl --out ds.json --serve-addr 127.0.0.1:0 --publish-every 0"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("at least 1"), "unhelpful error: {err}");
     }
 
     #[test]

@@ -50,11 +50,14 @@ pub use cc_url as url;
 pub use cc_util as util;
 pub use cc_web as web;
 
+use std::path::Path;
+use std::sync::Arc;
+
 use cc_analysis::report::{full_report, AnalysisReport};
 use cc_core::pipeline::PipelineOutput;
 use cc_crawler::{
-    crawl_parallel_instrumented, crawl_study_with_progress, CrawlCheckpoint, CrawlConfig,
-    CrawlDataset, ParallelCrawlConfig, StudyConfig, StudyRunOptions, Walker,
+    crawl_parallel_instrumented, CrawlCheckpoint, CrawlConfig, CrawlDataset, ParallelCrawlConfig,
+    PublishPolicy, SnapshotSink, StudyConfig, StudyRun, StudyRunOptions, Walker,
 };
 use cc_util::{CcError, ProgressCounters, ProgressSnapshot};
 use cc_web::{generate, SimWeb, WebConfig};
@@ -131,69 +134,60 @@ impl Study {
     /// Run a study from a unified [`StudyConfig`]: world, crawl, worker
     /// count, fault-tolerance policies, and checkpoint schedule all come
     /// from the one serde-able value.
+    ///
+    /// For resume / graceful-stop / progress / live-publishing control,
+    /// chain options onto [`Study::builder`] instead.
     pub fn from_config(study: &StudyConfig) -> Result<Self, CcError> {
-        Self::from_config_with_options(study, StudyRunOptions::default())
+        Self::builder(study).run()
     }
 
-    /// [`Study::from_config`] with resume / graceful-stop control.
+    /// A configured study run over a [`StudyConfig`] — the builder face
+    /// of the facade, replacing the old widening
+    /// `from_config_with_options` / `from_config_with_progress` family:
+    ///
+    /// ```ignore
+    /// let study = Study::builder(&config)
+    ///     .progress(Arc::clone(&counters))
+    ///     .index_publisher(25, publisher)
+    ///     .run()?;
+    /// ```
+    pub fn builder(study: &StudyConfig) -> StudyBuilder<'_> {
+        StudyBuilder {
+            study,
+            opts: StudyRunOptions::default(),
+            progress: None,
+        }
+    }
+
+    /// Deprecated shim over [`Study::builder`].
+    #[deprecated(since = "0.8.0", note = "use Study::builder(study).options(opts).run()")]
     pub fn from_config_with_options(
         study: &StudyConfig,
         opts: StudyRunOptions,
     ) -> Result<Self, CcError> {
-        let progress = ProgressCounters::new(study.workers);
-        Self::from_config_with_progress(study, opts, &progress)
+        Self::builder(study).options(opts).run()
     }
 
-    /// [`Study::from_config_with_options`] counting progress into
-    /// caller-owned [`ProgressCounters`]. This is the observability hook:
-    /// the caller can hand clones of the same counters to an observer
-    /// thread (e.g. `cc-obs`) and watch the crawl live while it runs.
-    /// The counters must have been sized for `study.workers`.
-    pub fn from_config_with_progress(
-        study: &StudyConfig,
+    /// Deprecated shim over [`Study::builder`].
+    #[deprecated(
+        since = "0.8.0",
+        note = "use Study::builder(study).options(opts).progress(progress).run()"
+    )]
+    pub fn from_config_with_progress<'a>(
+        study: &'a StudyConfig,
         opts: StudyRunOptions,
-        progress: &ProgressCounters,
+        progress: &'a ProgressCounters,
     ) -> Result<Self, CcError> {
-        if progress.n_workers() != study.workers {
-            return Err(CcError::cli(format!(
-                "progress counters sized for {} workers, study has {}",
-                progress.n_workers(),
-                study.workers
-            )));
-        }
-        let web = {
-            let _span = telemetry::span("study.generate_web");
-            generate(&study.web)
-        };
-        let dataset = {
-            let _span = telemetry::span("study.crawl");
-            crawl_study_with_progress(&web, study, opts, progress)?
-        };
-        let output = {
-            let _span = telemetry::span("study.pipeline");
-            cc_core::run_pipeline(&dataset)
-        };
-        Ok(Study {
-            web,
-            dataset,
-            output,
-            progress: Some(progress.snapshot()),
-        })
+        Self::builder(study).options(opts).progress(progress).run()
     }
 
     /// Resume a checkpointed crawl from `path` and finish the study. The
     /// checkpoint must have been produced under the same `study`
     /// configuration; the result is identical to an uninterrupted
     /// [`Study::from_config`] run.
-    pub fn resume(study: &StudyConfig, path: &str) -> Result<Self, CcError> {
+    pub fn resume(study: &StudyConfig, path: impl AsRef<Path>) -> Result<Self, CcError> {
         let ck = CrawlCheckpoint::load(path)?;
-        Self::from_config_with_options(
-            study,
-            StudyRunOptions {
-                resume: Some(ck),
-                ..StudyRunOptions::default()
-            },
-        )
+        Self::builder(study).resume(ck).run()
     }
 
     /// A small, fast study for demos and tests (≈ seconds).
@@ -235,6 +229,150 @@ impl Study {
     pub fn truth_score(&self) -> cc_core::truth_eval::TruthScore {
         cc_core::truth_eval::score(&self.output.groups, &self.web.truth_snapshot())
     }
+}
+
+/// A configured facade-level study run (from [`Study::builder`]).
+///
+/// Collapses the old `from_config` / `from_config_with_options` /
+/// `from_config_with_progress` family — and the widening parameter lists
+/// they forced — into chained options:
+///
+/// * [`StudyBuilder::progress`] — count into caller-owned
+///   [`ProgressCounters`] (the observability hook: hand clones of the
+///   same counters to a cc-obs observer and watch the crawl live);
+/// * [`StudyBuilder::resume`] / [`StudyBuilder::stop_after`] —
+///   checkpoint/resume and deterministic graceful drain;
+/// * [`StudyBuilder::index_publisher`] — publish in-memory crawl
+///   snapshots every K walks to a [`SnapshotSink`] (cc-serve's
+///   `IndexPublisher` folds them into live `ServingIndex` epochs);
+/// * the on-disk checkpoint sink stays configured where it always was,
+///   in [`StudyConfig::checkpoint`] — [`StudyBuilder::checkpoint_sink`]
+///   is a per-run override for callers that don't want to mutate the
+///   shared config.
+#[derive(Debug)]
+#[must_use = "a StudyBuilder does nothing until .run() is called"]
+pub struct StudyBuilder<'a> {
+    study: &'a StudyConfig,
+    opts: StudyRunOptions,
+    progress: Option<&'a ProgressCounters>,
+}
+
+impl<'a> StudyBuilder<'a> {
+    /// Replace the whole executor option block at once (the escape hatch
+    /// the deprecated shims lower onto).
+    pub fn options(mut self, opts: StudyRunOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Resume from a checkpoint produced under the same configuration.
+    pub fn resume(mut self, checkpoint: CrawlCheckpoint) -> Self {
+        self.opts.resume = Some(checkpoint);
+        self
+    }
+
+    /// Stop claiming after `n` new walks (deterministic graceful drain —
+    /// the simulated `kill -TERM` the fault-tolerance suites use).
+    pub fn stop_after(mut self, n: usize) -> Self {
+        self.opts.stop_after = Some(n);
+        self
+    }
+
+    /// Count progress into caller-owned counters (must be sized for
+    /// `study.workers`; validated in [`StudyBuilder::run`]).
+    pub fn progress(mut self, progress: &'a ProgressCounters) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Publish an in-memory crawl snapshot to `sink` every `every` walks
+    /// (plus a final complete one) while the crawl runs.
+    pub fn index_publisher(mut self, every: usize, sink: Arc<dyn SnapshotSink>) -> Self {
+        self.opts.publish = Some(PublishPolicy::new(every, sink));
+        self
+    }
+
+    /// Override the on-disk checkpoint schedule for this run only (the
+    /// config's own [`StudyConfig::checkpoint`] stays untouched).
+    pub fn checkpoint_sink(self, path: impl Into<String>, every: usize) -> StudyBuilderOwned<'a> {
+        StudyBuilderOwned {
+            study: {
+                let mut s = self.study.clone();
+                s.checkpoint = Some(cc_crawler::CheckpointPolicy {
+                    path: path.into(),
+                    every,
+                });
+                s
+            },
+            opts: self.opts,
+            progress: self.progress,
+        }
+    }
+
+    /// Execute: generate the world, run the crawl through the
+    /// work-stealing executor, and run the analysis pipeline.
+    pub fn run(self) -> Result<Study, CcError> {
+        run_facade_study(self.study, self.opts, self.progress)
+    }
+}
+
+/// A [`StudyBuilder`] whose config was copied to apply a per-run
+/// override (see [`StudyBuilder::checkpoint_sink`]).
+#[derive(Debug)]
+#[must_use = "a StudyBuilder does nothing until .run() is called"]
+pub struct StudyBuilderOwned<'a> {
+    study: StudyConfig,
+    opts: StudyRunOptions,
+    progress: Option<&'a ProgressCounters>,
+}
+
+impl StudyBuilderOwned<'_> {
+    /// Execute: see [`StudyBuilder::run`].
+    pub fn run(self) -> Result<Study, CcError> {
+        run_facade_study(&self.study, self.opts, self.progress)
+    }
+}
+
+fn run_facade_study(
+    study: &StudyConfig,
+    opts: StudyRunOptions,
+    progress: Option<&ProgressCounters>,
+) -> Result<Study, CcError> {
+    if let Some(p) = progress {
+        if p.n_workers() != study.workers {
+            return Err(CcError::cli(format!(
+                "progress counters sized for {} workers, study has {}",
+                p.n_workers(),
+                study.workers
+            )));
+        }
+    }
+    let web = {
+        let _span = telemetry::span("study.generate_web");
+        generate(&study.web)
+    };
+    let owned_progress;
+    let progress = match progress {
+        Some(p) => p,
+        None => {
+            owned_progress = ProgressCounters::new(study.workers);
+            &owned_progress
+        }
+    };
+    let dataset = {
+        let _span = telemetry::span("study.crawl");
+        StudyRun::new(&web, study).options(opts).progress(progress).run()?
+    };
+    let output = {
+        let _span = telemetry::span("study.pipeline");
+        cc_core::run_pipeline(&dataset)
+    };
+    Ok(Study {
+        web,
+        dataset,
+        output,
+        progress: Some(progress.snapshot()),
+    })
 }
 
 #[cfg(test)]

@@ -77,14 +77,7 @@ fn killed_and_resumed_study_produces_an_identical_report() {
 
     let full = Study::from_config(&config).unwrap();
 
-    let killed = Study::from_config_with_options(
-        &config,
-        cc_crawler::StudyRunOptions {
-            stop_after: Some(5),
-            ..Default::default()
-        },
-    )
-    .unwrap();
+    let killed = Study::builder(&config).stop_after(5).run().unwrap();
     assert_eq!(killed.dataset.walks.len(), 5, "graceful drain stopped early");
 
     let resumed = Study::resume(&config, &path).unwrap();
@@ -146,14 +139,7 @@ fn all_species_crawl_is_fault_and_parallelism_invariant() {
         }),
         ..faulty_config_for(species_web, 2)
     };
-    let killed = Study::from_config_with_options(
-        &config,
-        cc_crawler::StudyRunOptions {
-            stop_after: Some(5),
-            ..Default::default()
-        },
-    )
-    .unwrap();
+    let killed = Study::builder(&config).stop_after(5).run().unwrap();
     assert_eq!(killed.dataset.walks.len(), 5);
     let resumed = Study::resume(&config, &path).unwrap();
     assert_eq!(
@@ -218,28 +204,18 @@ proptest! {
         let full = crawl_study(&web_full, &config).unwrap();
 
         let web_killed = generate(&config.web);
-        cc_crawler::crawl_study_with_options(
-            &web_killed,
-            &config,
-            cc_crawler::StudyRunOptions {
-                stop_after: Some(kill_after),
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        cc_crawler::StudyRun::new(&web_killed, &config)
+            .stop_after(kill_after)
+            .run()
+            .unwrap();
 
         let ck = CrawlCheckpoint::load(&path).unwrap();
         prop_assert_eq!(ck.partial.walks.len(), kill_after);
         let web_resumed = generate(&config.web);
-        let resumed = cc_crawler::crawl_study_with_options(
-            &web_resumed,
-            &config,
-            cc_crawler::StudyRunOptions {
-                resume: Some(ck),
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let resumed = cc_crawler::StudyRun::new(&web_resumed, &config)
+            .resume(ck)
+            .run()
+            .unwrap();
 
         prop_assert_eq!(full.to_json().unwrap(), resumed.to_json().unwrap());
         std::fs::remove_file(&path).ok();

@@ -1,0 +1,223 @@
+//! Serve-while-crawling acceptance tests — the endgame contract of the
+//! incremental serving redesign:
+//!
+//! 1. The **final live epoch** published by an in-process crawl is
+//!    byte-identical (every route body and ETag) to an offline
+//!    [`ServingIndex`] built from the finished checkpoint, at 1/2/4/8
+//!    workers.
+//! 2. A **followed checkpoint** survives a kill/resume of the crawl
+//!    behind it: epochs stay monotone and the final epoch reaches the
+//!    same offline bytes.
+//! 3. **Load during the crawl** never sees a 5xx or an epoch regression:
+//!    swaps are invisible to clients except as fresher data.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cc_crawler::{SnapshotSink, StudyConfig};
+use cc_serve::{
+    FollowConfig, IncrementalIndexBuilder, IndexHandle, IndexPublisher, ServeConfig, Server,
+    ServingIndex,
+};
+use cc_web::WebConfig;
+use crumbcruncher::Study;
+
+const WALKS: usize = 12;
+
+fn config(workers: usize) -> StudyConfig {
+    StudyConfig::builder()
+        .web(WebConfig::small())
+        .seed(7)
+        .steps(4)
+        .walks(WALKS)
+        .workers(workers)
+        .build()
+        .unwrap()
+}
+
+fn temp_path(name: &str) -> String {
+    let dir = std::env::temp_dir().join("ccrs-serve-while-crawl");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+/// Every route's `(body, etag)`, keyed by path — the byte-identity unit.
+fn route_bytes(index: &ServingIndex) -> BTreeMap<String, (String, String)> {
+    index
+        .routes()
+        .map(|(route, cached)| (route.to_string(), (cached.body.clone(), cached.etag.clone())))
+        .collect()
+}
+
+/// The offline comparator: crawl to a checkpoint, build the one-epoch
+/// index from the finished file.
+fn offline_bytes() -> BTreeMap<String, (String, String)> {
+    let path = temp_path("offline-baseline.ccp");
+    let study = StudyConfig {
+        checkpoint: Some(cc_crawler::CheckpointPolicy {
+            path: path.clone(),
+            every: 100,
+        }),
+        ..config(1)
+    };
+    Study::from_config(&study).unwrap();
+    let index = ServingIndex::from_checkpoint_path(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    route_bytes(&index)
+}
+
+#[test]
+fn final_live_epoch_matches_offline_bytes_at_every_worker_count() {
+    let offline = offline_bytes();
+    for workers in [1, 2, 4, 8] {
+        let study = config(workers);
+        let builder = IncrementalIndexBuilder::new(&study);
+        let handle = IndexHandle::new(builder.warming().unwrap());
+        let publisher = Arc::new(IndexPublisher::start(builder, handle.clone()));
+
+        Study::builder(&study)
+            .index_publisher(3, Arc::clone(&publisher) as Arc<dyn SnapshotSink>)
+            .run()
+            .unwrap();
+        publisher.finish().unwrap();
+
+        let final_epoch = handle.current();
+        assert!(final_epoch.complete(), "final epoch indexes the whole crawl");
+        assert_eq!(final_epoch.walks(), WALKS);
+        assert!(handle.swaps() >= 2, "a 12-walk crawl publishing every 3 swaps epochs");
+        assert_eq!(
+            route_bytes(&final_epoch),
+            offline,
+            "live final epoch diverged from the offline index at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn followed_checkpoint_survives_kill_and_resume_with_monotone_epochs() {
+    let path = temp_path("kill-resume-follow.ccp");
+    std::fs::remove_file(&path).ok();
+    let study = StudyConfig {
+        checkpoint: Some(cc_crawler::CheckpointPolicy {
+            path: path.clone(),
+            every: 2,
+        }),
+        ..config(2)
+    };
+
+    // The follower starts before the checkpoint file exists; it must
+    // wait for the crawl's first batch.
+    let follow = FollowConfig {
+        path: path.clone().into(),
+        poll_ms: 10,
+        wait_ms: 30_000,
+    };
+    let starting = std::thread::spawn(move || {
+        Server::start(follow, ServeConfig::default()).unwrap()
+    });
+
+    // Kill the crawl after 5 walks (a final checkpoint is written), let
+    // the follower catch up to the partial state.
+    Study::builder(&study).stop_after(5).run().unwrap();
+    let server = starting.join().unwrap();
+    let handle = server.index_handle();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while handle.current().walks() < 5 {
+        assert!(Instant::now() < deadline, "follower never saw the killed state");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let epoch_at_kill = handle.epoch();
+    assert!(epoch_at_kill >= 1);
+    assert!(!handle.current().complete(), "5 of 12 walks is not complete");
+
+    // Resume. The follower must ride the growing checkpoint to the
+    // complete epoch without ever moving backwards.
+    let resumed = Study::resume(&study, &path).unwrap();
+    assert_eq!(resumed.dataset.walks.len(), WALKS);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !handle.current().complete() {
+        assert!(Instant::now() < deadline, "follower never reached the complete epoch");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        handle.epoch() > epoch_at_kill,
+        "the resumed walks must advance the epoch past the kill point"
+    );
+
+    // Byte identity with the offline build of the same finished file.
+    let offline = ServingIndex::from_checkpoint_path(&path).unwrap();
+    assert_eq!(
+        route_bytes(&handle.current()),
+        route_bytes(&offline),
+        "followed final epoch diverged from the offline index"
+    );
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_during_the_crawl_sees_no_5xx_and_no_epoch_regression() {
+    let study = config(2);
+    let builder = IncrementalIndexBuilder::new(&study);
+    let handle = IndexHandle::new(builder.warming().unwrap());
+    let publisher = Arc::new(IndexPublisher::start(builder, handle.clone()));
+    let server = Server::start(
+        handle.clone(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let target = server.addr().to_string();
+
+    let load = |requests: usize| {
+        let mut cfg = cc_loadgen::LoadConfig::new(target.clone());
+        cfg.users = 2;
+        cfg.requests_per_user = requests;
+        cfg.seed = 7;
+        cc_loadgen::run_load(&cfg).unwrap()
+    };
+
+    // Phase 1 — warming: the server answers from epoch 0 before the
+    // crawl has published anything.
+    let warming = load(15);
+    assert_eq!(warming.aggregate.server_errors, 0, "5xx during warming");
+    assert_eq!(warming.aggregate.transport_errors, 0);
+    assert_eq!(warming.epochs.regressions, 0);
+    assert_eq!(warming.epochs.max, 0, "nothing published yet");
+
+    // Phase 2 — load while the crawl runs and epochs swap underneath.
+    let crawl = {
+        let study = study.clone();
+        let publisher = Arc::clone(&publisher);
+        std::thread::spawn(move || {
+            Study::builder(&study)
+                .index_publisher(1, publisher as Arc<dyn SnapshotSink>)
+                .run()
+                .map(|_| ())
+        })
+    };
+    let during = load(150);
+    crawl.join().unwrap().unwrap();
+    publisher.finish().unwrap();
+
+    assert_eq!(during.aggregate.server_errors, 0, "5xx while epochs swapped");
+    assert_eq!(during.aggregate.transport_errors, 0);
+    assert_eq!(during.epochs.regressions, 0, "a client saw time move backwards");
+    assert!(during.epochs.observed > 0);
+
+    // Phase 3 — after the crawl: every response comes from the final
+    // epoch, which is complete.
+    let after = load(15);
+    assert_eq!(after.aggregate.server_errors, 0);
+    assert_eq!(after.epochs.regressions, 0);
+    assert_eq!(after.epochs.min, after.epochs.max, "final epoch is stable");
+    assert_eq!(after.epochs.max, handle.epoch());
+    assert!(after.epochs.max >= during.epochs.max, "epochs are monotone across runs");
+    assert!(handle.current().complete());
+
+    server.shutdown();
+}
