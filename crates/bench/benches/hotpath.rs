@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Instant;
 
-use cc_bench::medium_web;
+use cc_bench::{contention, detected_cores, medium_web};
 use cc_core::extract::{extract_tokens, Extracted};
 use cc_crawler::{crawl_parallel, CrawlConfig, ParallelCrawlConfig, Walker};
 use cc_net::SimTime;
@@ -286,6 +286,8 @@ struct PerWalkSection {
     overhead_ratio: f64,
 }
 
+/// Schema `cc-bench/hotpath/v2` is a strict superset of v1 (adds the
+/// `contention` section; everything else is unchanged).
 #[derive(Serialize)]
 struct HotpathArtifact {
     schema: &'static str,
@@ -293,10 +295,13 @@ struct HotpathArtifact {
     extraction: ExtractionSection,
     page_load: PageLoadSection,
     per_walk: PerWalkSection,
+    /// Telemetry counter hot path: pre-sharding global string-keyed map
+    /// vs the per-worker sharded registry path, raced across 4 threads.
+    contention: contention::ContentionResult,
 }
 
 fn hotpath_report() {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = detected_cores();
 
     // Extraction throughput: the ≥2× acceptance bar for the sink rewrite.
     let fixture = duplicate_heavy_fixture();
@@ -373,8 +378,29 @@ fn hotpath_report() {
     let par_ds = par_ds.expect("at least one parallel run");
     assert_eq!(serial_ds, par_ds, "1-worker executor diverged from serial");
 
+    // Telemetry counter hot path: 4 threads hammering one counter through
+    // the legacy global string-keyed path vs the sharded registry path.
+    // Even on one core the sharded path must win (no mutex, no map probe,
+    // no key rendering per increment); contention on a multi-core host
+    // only widens the gap.
+    let contention = contention::race(4, 200_000);
+    println!(
+        "contention: string path {:.3}s, sharded path {:.3}s over {} threads x {} ops -> {:.1}x",
+        contention.string_path_secs,
+        contention.sharded_path_secs,
+        contention.threads,
+        contention.ops_per_thread,
+        contention.speedup
+    );
+    assert!(
+        contention.speedup >= 1.5,
+        "sharded telemetry hot path must be ≥1.5x the string-keyed map \
+         path under threaded load, got {:.2}x",
+        contention.speedup
+    );
+
     let artifact = HotpathArtifact {
-        schema: "cc-bench/hotpath/v1",
+        schema: "cc-bench/hotpath/v2",
         cpu_cores: cores,
         extraction: ExtractionSection {
             fixture_bytes: fixture.len(),
@@ -397,6 +423,7 @@ fn hotpath_report() {
             executor_1w_ms_per_walk: par_ms,
             overhead_ratio: par_ms / serial_ms,
         },
+        contention,
     };
     let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");

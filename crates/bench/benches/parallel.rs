@@ -11,12 +11,16 @@
 //!
 //! The speedup run also records itself through the `cc-telemetry` metrics
 //! registry and writes a machine-readable `BENCH_parallel.json` artifact
-//! (serial baseline, per-worker-count timings and speedups, and the full
-//! telemetry run report), so the perf trajectory across PRs is diffable.
+//! (schema `cc-bench/parallel/v2`: serial baseline, per-worker-count
+//! timings, speedups and per-core scaling efficiency, the telemetry
+//! hot-path contention race, and the full telemetry run report), so the
+//! perf trajectory across PRs is diffable. On a host with ≥4 cores the
+//! 4-worker run is additionally gated at ≥0.8× per-core efficiency;
+//! smaller hosts skip that gate with a notice.
 
 use std::time::Instant;
 
-use cc_bench::medium_web;
+use cc_bench::{contention, detected_cores, medium_web};
 use cc_crawler::{crawl_parallel, CrawlConfig, ParallelCrawlConfig, Walker};
 use cc_telemetry::{RunReport, Session};
 use criterion::{criterion_group, Criterion};
@@ -77,6 +81,11 @@ struct SpeedupRow {
     speedup_vs_serial: f64,
     /// Wall-clock speedup relative to the 1-worker parallel run.
     speedup_vs_one_worker: f64,
+    /// Per-core scaling efficiency: `speedup_vs_serial` divided by the
+    /// cores this run could actually use (`min(workers, cpu_cores)`).
+    /// 1.0 = perfect linear scaling; on a 1-core host every run's
+    /// denominator is 1, so this degenerates to the overhead check.
+    scaling_efficiency: f64,
     /// Worst per-worker queue starvation for this run (0 = every worker
     /// claimed its fair share of walks, 1 = a worker claimed nothing).
     max_starvation: f64,
@@ -110,6 +119,12 @@ fn span_mean_delta(before: (u64, f64), after: (u64, f64)) -> f64 {
 }
 
 /// The machine-readable perf artifact the speedup run writes.
+///
+/// Schema `cc-bench/parallel/v2` is a strict superset of v1: every v1
+/// field is still present with the same meaning, so v1 readers that
+/// ignore unknown fields keep working. v2 adds `scaling_efficiency`
+/// per run and the `contention` section, and `cpu_cores` now honors
+/// the `CC_BENCH_CORES` override.
 #[derive(Serialize)]
 struct BenchArtifact {
     schema: &'static str,
@@ -121,6 +136,10 @@ struct BenchArtifact {
     /// reference for each row's `walk_span_mean_ms`.
     serial_walk_span_mean_ms: f64,
     runs: Vec<SpeedupRow>,
+    /// Telemetry hot-path contention race: legacy string-keyed map path
+    /// vs the per-worker sharded registry path, same thread count as
+    /// the widest crawl run.
+    contention: contention::ContentionResult,
     /// The full telemetry run report for the whole sweep (crawl counters,
     /// latency histograms, span rollups).
     telemetry: RunReport,
@@ -133,7 +152,7 @@ struct BenchArtifact {
 fn speedup_report() {
     let web = medium_web();
     let cfg = crawl_cfg();
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = detected_cores();
     let session = Session::start();
 
     // Best-of-N wall-clock: a single 250-walk crawl takes ~100ms, so one
@@ -219,29 +238,75 @@ fn speedup_report() {
         );
 
         let base = *one_worker_secs.get_or_insert(secs);
+        let usable_cores = workers.min(cores).max(1);
+        let scaling_efficiency = (serial_secs / secs) / usable_cores as f64;
         rows.push(SpeedupRow {
             workers,
             secs,
             speedup_vs_serial: serial_secs / secs,
             speedup_vs_one_worker: base / secs,
+            scaling_efficiency,
             max_starvation,
             walk_span_mean_ms,
         });
         println!(
-            "  {workers} worker(s): {secs:7.3}s  speedup {:.2}x  starvation {max_starvation:.2}  walk span {walk_span_mean_ms:.2}ms  ({} walks, identical output)",
+            "  {workers} worker(s): {secs:7.3}s  speedup {:.2}x  efficiency {scaling_efficiency:.2}  starvation {max_starvation:.2}  walk span {walk_span_mean_ms:.2}ms  ({} walks, identical output)",
             base / secs,
             ds.walks.len(),
         );
     }
 
+    // Per-core scaling gate: on a host with ≥4 cores the 4-worker run
+    // must keep at least 0.8× efficiency per core. On smaller hosts the
+    // denominator would be the core count, turning this into a noisy
+    // duplicate of the overhead gate — skip it with a notice instead.
+    if cores >= 4 {
+        let four = rows
+            .iter()
+            .find(|r| r.workers == 4)
+            .expect("4-worker row exists");
+        assert!(
+            four.scaling_efficiency >= 0.8,
+            "4-worker per-core scaling efficiency {:.3} fell below the \
+             0.8x bar on a {cores}-core host",
+            four.scaling_efficiency
+        );
+        println!(
+            "  scaling gate: 4-worker efficiency {:.2} >= 0.80 on {cores} cores",
+            four.scaling_efficiency
+        );
+    } else {
+        println!(
+            "  scaling gate: skipped ({cores} core(s) < 4 — efficiency \
+             numbers above are overhead checks, not scaling checks)"
+        );
+    }
+
+    // Telemetry hot-path contention: race the widest worker count
+    // through the legacy string-keyed path and the sharded id path.
+    let contention = contention::race(
+        WORKER_COUNTS[WORKER_COUNTS.len() - 1],
+        200_000,
+    );
+    println!(
+        "  telemetry contention ({} threads x {} ops): string path {:.3}s, \
+         sharded path {:.3}s -> {:.1}x",
+        contention.threads,
+        contention.ops_per_thread,
+        contention.string_path_secs,
+        contention.sharded_path_secs,
+        contention.speedup
+    );
+
     let artifact = BenchArtifact {
-        schema: "cc-bench/parallel/v1",
+        schema: "cc-bench/parallel/v2",
         bench: "crawl_250_walks",
         cpu_cores: cores,
         walks: serial_ds.walks.len(),
         serial_baseline_secs: serial_secs,
         serial_walk_span_mean_ms,
         runs: rows,
+        contention,
         telemetry: session.report(),
     };
     let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");

@@ -9,7 +9,7 @@
 //! executes the destination page's scripts (storage reads/writes, beacons)
 //! through the [`ScriptHost`] interface.
 
-use cc_http::{format_cookie_header, header::names, Cookie, Request, RequestKind, SetCookie};
+use cc_http::{header::names, Request, RequestKind, SetCookie};
 use cc_net::latency::LatencyModel;
 use cc_net::{
     BreakerPolicy, CircuitBreaker, FaultModel, RecoveryStats, RetryPolicy, SimClock, SimDuration,
@@ -153,7 +153,7 @@ impl<'w> Browser<'w> {
                     self.breaker.record_success(host);
                     if attempt > 1 {
                         self.recovery.recovered += 1;
-                        cc_telemetry::counter("net.retry.recovered", 1);
+                        cc_telemetry::counter_id(cc_telemetry::CounterId::NET_RETRY_RECOVERED, 1);
                     }
                     return Ok(());
                 }
@@ -176,7 +176,7 @@ impl<'w> Browser<'w> {
                     self.clock.advance(backoff);
                     self.recovery.backoff_ms += backoff.as_millis();
                     self.recovery.retries += 1;
-                    cc_telemetry::counter("net.retry.attempt", 1);
+                    cc_telemetry::counter_id(cc_telemetry::CounterId::NET_RETRY_ATTEMPT, 1);
                 }
             }
         }
@@ -190,6 +190,9 @@ impl<'w> Browser<'w> {
         let mut hops = Vec::new();
         let mut current = url;
         let mut referer: Option<String> = None;
+        // Scratch for the rendered Cookie: header, reused across hops so
+        // a redirect chain costs one buffer, not one per hop.
+        let mut cookie_buf = String::new();
 
         for _ in 0..MAX_REDIRECTS {
             self.web
@@ -200,18 +203,16 @@ impl<'w> Browser<'w> {
 
             let now = self.clock.now();
             let top_site = current.registered_domain_interned();
-            let cookies: Vec<Cookie> = self
-                .storage
-                .cookies_for(&top_site, &top_site, now)
-                .into_iter()
-                .map(|(n, v)| Cookie::new(n, v))
-                .collect();
 
             let mut req =
                 Request::navigation(current.clone()).with_user_agent(&self.profile.user_agent);
-            if !cookies.is_empty() {
-                req.headers
-                    .set(names::COOKIE, format_cookie_header(&cookies));
+            cookie_buf.clear();
+            if self
+                .storage
+                .cookie_header_into(&top_site, &top_site, now, &mut cookie_buf)
+                > 0
+            {
+                req.headers.set(names::COOKIE, cookie_buf.as_str());
             }
             if let Some(r) = &referer {
                 req.headers.set(names::REFERER, r.clone());
@@ -252,10 +253,19 @@ impl<'w> Browser<'w> {
                     // Arrived: render the page.
                     let page = self.render(&current)?;
                     self.clock.advance(LatencyModel::page_dwell());
-                    cc_telemetry::counter("browser.navigations.completed", 1);
-                    cc_telemetry::counter("browser.nav_hops.total", hops.len() as u64);
+                    cc_telemetry::counter_id(
+                        cc_telemetry::CounterId::BROWSER_NAVIGATIONS_COMPLETED,
+                        1,
+                    );
+                    cc_telemetry::counter_id(
+                        cc_telemetry::CounterId::BROWSER_NAV_HOPS_TOTAL,
+                        hops.len() as u64,
+                    );
                     if hops.len() > 1 {
-                        cc_telemetry::counter("browser.redirect_chains.followed", 1);
+                        cc_telemetry::counter_id(
+                            cc_telemetry::CounterId::BROWSER_REDIRECT_CHAINS_FOLLOWED,
+                            1,
+                        );
                     }
                     return Ok(NavigationOutcome {
                         hops,
@@ -265,7 +275,7 @@ impl<'w> Browser<'w> {
                 }
             }
         }
-        cc_telemetry::event("browser.redirect_chain.truncated", &[]);
+        cc_telemetry::event_id(cc_telemetry::EventId::BROWSER_REDIRECT_CHAIN_TRUNCATED);
         Err(NavError::TooManyRedirects(current.to_url_string()))
     }
 

@@ -9,6 +9,7 @@
 
 use cc_http::SetCookie;
 use cc_net::SimTime;
+use cc_util::IStr;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -51,7 +52,13 @@ impl StoredCookie {
 /// Key of a storage area: `(partition, domain)`.
 ///
 /// Under the flat policy the partition component is always empty.
-type AreaKey = (String, String);
+///
+/// Both components are registered domains — a bounded vocabulary — so
+/// they are interned: building a key for a lookup costs two
+/// thread-local cache hits instead of two heap copies, and `IStr`
+/// orders by content, so the map iterates in the same deterministic
+/// order as `String` keys would.
+type AreaKey = (IStr, IStr);
 
 /// A snapshot of the first-party storage visible on one page: what
 /// CrumbCruncher records at each walk step (§3.1: "all first-party cookies
@@ -110,8 +117,8 @@ impl Storage {
 
     fn area(&self, top_site: &str, domain: &str) -> AreaKey {
         match self.policy.0 {
-            StoragePolicy::Partitioned => (top_site.to_string(), domain.to_string()),
-            StoragePolicy::Flat => (String::new(), domain.to_string()),
+            StoragePolicy::Partitioned => (IStr::new(top_site), IStr::new(domain)),
+            StoragePolicy::Flat => (IStr::default(), IStr::new(domain)),
         }
     }
 
@@ -149,6 +156,39 @@ impl Storage {
                     .collect()
             })
             .unwrap_or_default()
+    }
+
+    /// Render the `Cookie:` header for `host_domain` as a first party
+    /// under `top_site` directly into `buf`, returning the number of
+    /// cookies written.
+    ///
+    /// Hot-path variant of [`Storage::cookies_for`] +
+    /// [`cc_http::format_cookie_header`]: the browser calls this once
+    /// per navigation hop, and writing into a caller-owned scratch
+    /// buffer avoids cloning every name/value pair into an intermediate
+    /// `Vec` just to join it again. Rendering order matches
+    /// `cookies_for` exactly (the area map's name order).
+    pub fn cookie_header_into(
+        &self,
+        top_site: &str,
+        host_domain: &str,
+        now: SimTime,
+        buf: &mut String,
+    ) -> usize {
+        let key = self.area(top_site, host_domain);
+        let mut written = 0;
+        if let Some(area) = self.cookies.get(&key) {
+            for (name, c) in area.iter().filter(|(_, c)| !c.expired(now)) {
+                if written > 0 {
+                    buf.push_str("; ");
+                }
+                buf.push_str(name);
+                buf.push('=');
+                buf.push_str(&c.value);
+                written += 1;
+            }
+        }
+        written
     }
 
     /// Read one cookie value.

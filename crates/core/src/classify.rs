@@ -221,7 +221,7 @@ pub fn classify(
             Verdict::Discarded(_) => stats.programmatic += 1,
         }
         match verdict {
-            Verdict::Uid => cc_telemetry::counter("classify.uid_confirmed", 1),
+            Verdict::Uid => cc_telemetry::counter_id(cc_telemetry::CounterId::CLASSIFY_UID_CONFIRMED, 1),
             Verdict::Discarded(reason) => cc_telemetry::event(
                 "classify.token_rejected",
                 &[("heuristic", discard_reason_label(reason))],

@@ -192,6 +192,12 @@ pub fn crawl_parallel_with_progress(
                 let queue = &queue;
                 let cfg = cfg.clone();
                 scope.spawn(move || {
+                    // Per-worker telemetry shard: every ID-addressed
+                    // counter/event/histogram touch in the walk loop stays
+                    // thread-private until the shard drains at worker
+                    // exit. Declared before the span so the worker span
+                    // drops (and records) into the shard, not after it.
+                    let _telemetry_shard = cc_telemetry::worker_shard();
                     // Root span of this worker thread's trace: walk spans
                     // nest under it.
                     let _worker_span = cc_telemetry::span("crawl.worker");
@@ -528,6 +534,9 @@ fn run_study(
                 let queue = &queue;
                 let cfg = study.crawl_config();
                 scope.spawn(move || {
+                    // Shard before span: the worker span must drop into
+                    // the shard before the shard drains.
+                    let _telemetry_shard = cc_telemetry::worker_shard();
                     let _worker_span = cc_telemetry::span("crawl.worker");
                     let mut walker = Walker::new(web, cfg);
                     let mut shard = CrawlDataset::default();

@@ -523,15 +523,20 @@ impl<'w> Walker<'w> {
         // which worker ran the walk, so these stay in the deterministic
         // report section (the duration histogram is timing data).
         let kind = match &record.termination {
-            WalkTermination::Completed => "completed",
-            WalkTermination::SyncFailure { .. } => "sync_failure",
-            WalkTermination::Divergence { .. } => "divergence",
-            WalkTermination::ConnectFailure { .. } => "connect_failure",
+            WalkTermination::Completed => cc_telemetry::EventId::CRAWL_WALK_COMPLETED,
+            WalkTermination::SyncFailure { .. } => cc_telemetry::EventId::CRAWL_WALK_SYNC_FAILURE,
+            WalkTermination::Divergence { .. } => cc_telemetry::EventId::CRAWL_WALK_DIVERGENCE,
+            WalkTermination::ConnectFailure { .. } => {
+                cc_telemetry::EventId::CRAWL_WALK_CONNECT_FAILURE
+            }
         };
-        cc_telemetry::event("crawl.walk.terminated", &[("kind", kind)]);
-        cc_telemetry::counter("crawl.steps.recorded", record.steps.len() as u64);
-        cc_telemetry::observe_ms(
-            "crawl.walk_duration",
+        cc_telemetry::event_id(kind);
+        cc_telemetry::counter_id(
+            cc_telemetry::CounterId::CRAWL_STEPS_RECORDED,
+            record.steps.len() as u64,
+        );
+        cc_telemetry::observe_ms_id(
+            cc_telemetry::HistogramId::CRAWL_WALK_DURATION,
             walk_started.elapsed().as_secs_f64() * 1e3,
         );
         record
@@ -555,7 +560,7 @@ impl<'w> Walker<'w> {
         }
         record.recovery = recovery;
         if recovery.retries > 0 {
-            cc_telemetry::counter("crawl.walks.with_retries", 1);
+            cc_telemetry::counter_id(cc_telemetry::CounterId::CRAWL_WALKS_WITH_RETRIES, 1);
         }
         record
     }

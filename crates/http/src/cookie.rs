@@ -75,11 +75,21 @@ pub fn parse_cookie_header(header: &str) -> Vec<Cookie> {
 
 /// Serialize cookies into a `Cookie:` header value.
 pub fn format_cookie_header(cookies: &[Cookie]) -> String {
-    cookies
-        .iter()
-        .map(Cookie::to_string)
-        .collect::<Vec<_>>()
-        .join("; ")
+    let mut out = String::with_capacity(
+        cookies
+            .iter()
+            .map(|c| c.name.len() + c.value.len() + 3)
+            .sum(),
+    );
+    for (i, c) in cookies.iter().enumerate() {
+        if i > 0 {
+            out.push_str("; ");
+        }
+        out.push_str(&c.name);
+        out.push('=');
+        out.push_str(&c.value);
+    }
+    out
 }
 
 /// A `Set-Cookie` directive: a cookie plus storage attributes.

@@ -140,7 +140,7 @@ impl CircuitBreaker {
                 Ok(())
             }
             Some(_) => {
-                cc_telemetry::counter("net.breaker.fast_fail", 1);
+                cc_telemetry::counter_id(cc_telemetry::CounterId::NET_BREAKER_FAST_FAIL, 1);
                 Err(CcError::BreakerOpen {
                     host: host.to_string(),
                     last: hb.last,
@@ -174,13 +174,13 @@ impl CircuitBreaker {
             // A failed half-open probe re-opens for another cooldown.
             hb.probing = false;
             hb.opened_at = Some(now);
-            cc_telemetry::counter("net.breaker.trip", 1);
+            cc_telemetry::counter_id(cc_telemetry::CounterId::NET_BREAKER_TRIP, 1);
             return true;
         }
         hb.consecutive += 1;
         if hb.opened_at.is_none() && hb.consecutive >= self.policy.failure_threshold {
             hb.opened_at = Some(now);
-            cc_telemetry::counter("net.breaker.trip", 1);
+            cc_telemetry::counter_id(cc_telemetry::CounterId::NET_BREAKER_TRIP, 1);
             return true;
         }
         false

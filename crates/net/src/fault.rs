@@ -93,11 +93,11 @@ impl FaultModel {
         let h = mix(self.salt ^ 0xA77E_3F01_D5B2_9C64, self.attempt_no);
         self.attempt_no += 1;
         if unit(h) >= self.failure_rate {
-            cc_telemetry::counter("net.connect.ok", 1);
+            cc_telemetry::counter_id(cc_telemetry::CounterId::NET_CONNECT_OK, 1);
             return Ok(());
         }
         let e = error_kind_for(mix(h, 1));
-        cc_telemetry::counter_labeled("net.fault.injected", &e.to_string(), 1);
+        cc_telemetry::counter_id(fault_counter(e), 1);
         Err(e)
     }
 
@@ -110,17 +110,17 @@ impl FaultModel {
     pub fn attempt_host(&mut self, host: &str, now: SimTime) -> Result<(), NetError> {
         let h = host_hash(self.salt, host);
         if unit(h) >= self.failure_rate {
-            cc_telemetry::counter("net.connect.ok", 1);
+            cc_telemetry::counter_id(cc_telemetry::CounterId::NET_CONNECT_OK, 1);
             return Ok(());
         }
         let start = *self.first_seen.entry(host.to_string()).or_insert(now);
         if now >= start.plus(outage_duration(h)) {
-            cc_telemetry::counter("net.connect.ok", 1);
-            cc_telemetry::counter("net.outage.recovered", 1);
+            cc_telemetry::counter_id(cc_telemetry::CounterId::NET_CONNECT_OK, 1);
+            cc_telemetry::counter_id(cc_telemetry::CounterId::NET_OUTAGE_RECOVERED, 1);
             return Ok(());
         }
         let e = error_kind_for(h);
-        cc_telemetry::counter_labeled("net.fault.injected", &e.to_string(), 1);
+        cc_telemetry::counter_id(fault_counter(e), 1);
         Err(e)
     }
 
@@ -141,6 +141,18 @@ fn outage_duration(h: u64) -> SimDuration {
         HARD_OUTAGE
     } else {
         SimDuration::from_millis(TRANSIENT_MIN_MS + mix(d, 1) % TRANSIENT_SPREAD_MS)
+    }
+}
+
+/// The pre-registered counter for an injected fault kind — replaces the
+/// old `counter_labeled("net.fault.injected", &e.to_string(), 1)`, which
+/// allocated the `Display` string and a formatted key on every injection.
+fn fault_counter(e: NetError) -> cc_telemetry::CounterId {
+    match e {
+        NetError::ConnRefused => cc_telemetry::CounterId::NET_FAULT_ECONNREFUSED,
+        NetError::ConnReset => cc_telemetry::CounterId::NET_FAULT_ECONNRESET,
+        NetError::TimedOut => cc_telemetry::CounterId::NET_FAULT_ETIMEDOUT,
+        NetError::NameResolution => cc_telemetry::CounterId::NET_FAULT_EAI_NONAME,
     }
 }
 

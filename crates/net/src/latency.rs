@@ -40,7 +40,10 @@ impl LatencyModel {
         let d = SimDuration::from_millis(self.base_ms + jitter);
         // The *simulated* latency distribution — observation only, the
         // sampled value itself is untouched.
-        cc_telemetry::observe_ms("net.sim_latency", d.as_millis() as f64);
+        cc_telemetry::observe_ms_id(
+            cc_telemetry::HistogramId::NET_SIM_LATENCY,
+            d.as_millis() as f64,
+        );
         d
     }
 

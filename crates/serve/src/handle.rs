@@ -106,8 +106,8 @@ impl IndexHandle {
         self.inner.epoch.store(epoch, Ordering::Release);
         self.inner.swaps.fetch_add(1, Ordering::AcqRel);
         if let Some(c) = self.inner.collector.lock().expect("collector slot poisoned").as_ref() {
-            c.add_counter("serve.epoch.swaps", 1);
-            c.set_gauge("serve.epoch.current", epoch as f64);
+            c.add_counter_id(cc_telemetry::CounterId::SERVE_EPOCH_SWAPS, 1);
+            c.set_gauge_id(cc_telemetry::GaugeId::SERVE_EPOCH_CURRENT, epoch as f64);
         }
         epoch
     }
@@ -134,7 +134,7 @@ impl IndexHandle {
     /// gauge) into `collector` from now on, and seed the gauge with the
     /// current epoch.
     pub fn attach_collector(&self, collector: Arc<Collector>) {
-        collector.set_gauge("serve.epoch.current", self.epoch() as f64);
+        collector.set_gauge_id(cc_telemetry::GaugeId::SERVE_EPOCH_CURRENT, self.epoch() as f64);
         *self.inner.collector.lock().expect("collector slot poisoned") = Some(collector);
     }
 }

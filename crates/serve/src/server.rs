@@ -397,7 +397,9 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 /// the accept thread; the write is a handful of bytes to a
 /// freshly-accepted socket, so it cannot stall the loop meaningfully.
 fn shed(mut stream: TcpStream, shared: &Shared) {
-    shared.collector.add_counter("serve.shed", 1);
+    shared
+        .collector
+        .add_counter_id(cc_telemetry::CounterId::SERVE_SHED, 1);
     let mut resp = Response::raw(
         StatusCode::SERVICE_UNAVAILABLE,
         "{\"error\":\"overloaded\"}",
@@ -430,6 +432,12 @@ fn lingering_close(stream: &mut TcpStream) {
 }
 
 fn worker_loop(shared: &Shared) {
+    // This worker's private telemetry shard: per-request counters and
+    // latency observations stay thread-local for the server's lifetime
+    // and drain into the shared collector when the worker exits. Live
+    // reads (/metrics, the obs sampler) see unflushed shard totals
+    // through the collector's merged views.
+    let _telemetry_shard = shared.collector.install_worker_shard();
     loop {
         let conn = {
             let mut queue = shared.queue.lock().expect("queue lock");
@@ -458,15 +466,19 @@ fn worker_loop(shared: &Shared) {
 /// Serve one connection's full keep-alive session.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     shared.inflight.fetch_add(1, Ordering::SeqCst);
+    shared.collector.set_gauge_id(
+        cc_telemetry::GaugeId::SERVE_INFLIGHT,
+        shared.inflight.load(Ordering::SeqCst) as f64,
+    );
     shared
         .collector
-        .set_gauge("serve.inflight", shared.inflight.load(Ordering::SeqCst) as f64);
-    shared.collector.add_counter("serve.sessions", 1);
+        .add_counter_id(cc_telemetry::CounterId::SERVE_SESSIONS, 1);
     serve_session(stream, shared);
     shared.inflight.fetch_sub(1, Ordering::SeqCst);
-    shared
-        .collector
-        .set_gauge("serve.inflight", shared.inflight.load(Ordering::SeqCst) as f64);
+    shared.collector.set_gauge_id(
+        cc_telemetry::GaugeId::SERVE_INFLIGHT,
+        shared.inflight.load(Ordering::SeqCst) as f64,
+    );
 }
 
 fn serve_session(stream: TcpStream, shared: &Shared) {
@@ -556,19 +568,19 @@ fn record_request(
     let elapsed = start.elapsed();
     let ms = elapsed.as_secs_f64() * 1e3;
     let c = &shared.collector;
-    c.add_counter("serve.requests", 1);
+    c.add_counter_id(cc_telemetry::CounterId::SERVE_REQUESTS, 1);
     c.add_event("serve.requests.by_route", &[("route", label)]);
     c.add_event(
         "serve.requests.by_class",
         &[("class", status_class(response.status))],
     );
-    c.observe_ms("serve.latency", ms);
+    c.observe_ms_id(cc_telemetry::HistogramId::SERVE_LATENCY, ms);
     c.observe_ms(&format!("serve.latency.{label}"), ms);
     if response.status == StatusCode::NOT_MODIFIED {
-        c.add_counter("serve.revalidated_304", 1);
+        c.add_counter_id(cc_telemetry::CounterId::SERVE_REVALIDATED_304, 1);
     }
     if response.status.is_server_error() {
-        c.add_counter("serve.5xx", 1);
+        c.add_counter_id(cc_telemetry::CounterId::SERVE_5XX, 1);
     }
 
     let seq = shared.request_seq.fetch_add(1, Ordering::SeqCst) + 1;

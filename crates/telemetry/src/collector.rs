@@ -8,15 +8,54 @@ use std::time::Instant;
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::histogram::Histogram;
+use crate::registry::{CounterId, EventId, GaugeId, HistogramId};
 use crate::report::{DeterministicSection, RunReport, SpanRollup, TimingSection, WorkerSection};
+use crate::shard::{with_active_shard, AtomicHistogram, CounterCell, ShardGuard, WorkerCollector};
 use crate::span::SpanStat;
 use crate::trace_export::TraceSpan;
 
-/// Where every recording call lands: name-keyed maps behind mutexes.
+/// One gauge slot: last-written value (as `f64` bits) plus whether it was
+/// ever set. Gauges are not sharded — last-write-wins across workers must
+/// follow real wall-clock ordering — but a set is still a lock-free store
+/// with no `String` key allocation.
+#[derive(Debug, Default)]
+struct GaugeCell {
+    bits: AtomicU64,
+    set: AtomicBool,
+}
+
+impl GaugeCell {
+    fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+        self.set.store(true, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> Option<f64> {
+        if self.set.load(Ordering::Relaxed) {
+            Some(f64::from_bits(self.bits.load(Ordering::Relaxed)))
+        } else {
+            None
+        }
+    }
+}
+
+/// Where every recording call lands.
 ///
-/// Contention is acceptable by design — recording happens at walk/step
-/// granularity (thousands of operations per crawl), not per byte. The
-/// `BTreeMap` keys give the report its stable, diff-friendly ordering.
+/// Two planes coexist:
+///
+/// * **ID slots** (hot path): metrics pre-registered in
+///   [`crate::registry`] live in dense ID-indexed arrays of atomic cells,
+///   and worker threads holding a [`ShardGuard`] write to private
+///   [`WorkerCollector`] shards that drain into those slots. No lock, no
+///   map lookup, no allocation per touch.
+/// * **Name-keyed maps** (cold path): everything else — dynamic labels,
+///   per-worker gauges, ad-hoc test metrics — lands in the original
+///   mutex-guarded `BTreeMap`s. String-keyed calls whose name turns out
+///   to be registered are transparently redirected to the ID slots, so a
+///   metric's totals can never split across the two planes.
+///
+/// Reports merge both planes back into one name-sorted view, preserving
+/// the `cc-telemetry/v1` shape byte-for-byte.
 #[derive(Debug)]
 pub struct Collector {
     counters: Mutex<BTreeMap<String, u64>>,
@@ -24,6 +63,16 @@ pub struct Collector {
     gauges: Mutex<BTreeMap<String, f64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<BTreeMap<String, SpanStat>>,
+    /// ID-indexed hot-path slots (shared fallback when a thread has no
+    /// shard, and the destination shards drain into).
+    counter_slots: Vec<CounterCell>,
+    event_slots: Vec<AtomicU64>,
+    gauge_slots: Vec<GaugeCell>,
+    hist_slots: Vec<AtomicHistogram>,
+    /// Live worker shards. The mutex serializes shard drains against
+    /// report snapshots: a report sees every observation exactly once,
+    /// either still in a shard or already drained into the slots.
+    shards: Mutex<Vec<Arc<WorkerCollector>>>,
     /// Monotonic completion tick: orders span paths by first completion
     /// for the `--trace` tree.
     span_tick: AtomicU64,
@@ -47,6 +96,13 @@ impl Default for Collector {
             gauges: Mutex::default(),
             histograms: Mutex::default(),
             spans: Mutex::default(),
+            counter_slots: (0..CounterId::count()).map(|_| CounterCell::default()).collect(),
+            event_slots: (0..EventId::count()).map(|_| AtomicU64::new(0)).collect(),
+            gauge_slots: (0..GaugeId::count()).map(|_| GaugeCell::default()).collect(),
+            hist_slots: (0..HistogramId::count())
+                .map(|_| AtomicHistogram::default())
+                .collect(),
+            shards: Mutex::default(),
             span_tick: AtomicU64::new(0),
             epoch: Instant::now(),
             trace_capture: AtomicBool::new(false),
@@ -57,8 +113,71 @@ impl Default for Collector {
 }
 
 impl Collector {
-    /// Add to a named counter.
+    /// This collector's identity, for shard-ownership checks.
+    fn addr(&self) -> usize {
+        self as *const Collector as usize
+    }
+
+    /// Add to a pre-registered counter: the thread's shard if it owns one
+    /// for this collector, else the shared lock-free slot.
+    pub fn add_counter_id(&self, id: CounterId, n: u64) {
+        if with_active_shard(self.addr(), |s| s.add_counter(id, n)).is_none() {
+            self.counter_slots[id.index()].add(n);
+        }
+    }
+
+    /// Count one occurrence of a pre-registered event.
+    pub fn add_event_id(&self, id: EventId) {
+        if with_active_shard(self.addr(), |s| s.add_event(id)).is_none() {
+            self.event_slots[id.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Set a pre-registered gauge (last write wins; never sharded, so
+    /// cross-worker write ordering is real wall-clock ordering).
+    pub fn set_gauge_id(&self, id: GaugeId, value: f64) {
+        self.gauge_slots[id.index()].set(value);
+    }
+
+    /// Record into a pre-registered histogram.
+    pub fn observe_ms_id(&self, id: HistogramId, ms: f64) {
+        if with_active_shard(self.addr(), |s| s.observe_ms(id, ms)).is_none() {
+            self.hist_slots[id.index()].observe_ms(ms);
+        }
+    }
+
+    /// Register a fresh worker shard for this collector and bind it to the
+    /// calling thread. While the returned guard lives, this thread's
+    /// ID-addressed recording against this collector is contention-free;
+    /// dropping the guard drains the shard back into the shared slots.
+    pub fn install_worker_shard(self: &Arc<Self>) -> ShardGuard {
+        let shard = Arc::new(WorkerCollector::default());
+        self.shards.lock().push(Arc::clone(&shard));
+        ShardGuard::bind(Arc::clone(self), shard)
+    }
+
+    /// Fold a worker shard's totals into the shared slots and unregister
+    /// it. Runs under the shard-registry lock so it can never interleave
+    /// with a report snapshot.
+    pub(crate) fn drain_worker_shard(&self, shard: &Arc<WorkerCollector>) {
+        let mut shards = self.shards.lock();
+        shards.retain(|s| !Arc::ptr_eq(s, shard));
+        let mut spans = self.spans.lock();
+        shard.drain_into(
+            &self.counter_slots,
+            &self.event_slots,
+            &self.hist_slots,
+            &mut spans,
+        );
+    }
+
+    /// Add to a named counter. Registered names are redirected to their
+    /// ID slot so a metric's totals never split across planes; everything
+    /// else takes the map (cold) path.
     pub fn add_counter(&self, name: &str, n: u64) {
+        if let Some(id) = CounterId::from_name(name) {
+            return self.add_counter_id(id, n);
+        }
         let mut counters = self.counters.lock();
         match counters.get_mut(name) {
             Some(v) => *v += n,
@@ -93,6 +212,9 @@ impl Collector {
                 }
                 buf.push('}');
             }
+            if let Some(id) = EventId::from_name(buf.as_str()) {
+                return self.add_event_id(id);
+            }
             let mut events = self.events.lock();
             match events.get_mut(buf.as_str()) {
                 Some(v) => *v += 1,
@@ -105,42 +227,99 @@ impl Collector {
 
     /// Set a named gauge (last write wins).
     pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(id) = GaugeId::from_name(name) {
+            return self.set_gauge_id(id, value);
+        }
         self.gauges.lock().insert(name.to_string(), value);
     }
 
     /// Record a histogram observation in milliseconds.
     pub fn observe_ms(&self, name: &str, ms: f64) {
+        if let Some(id) = HistogramId::from_name(name) {
+            return self.observe_ms_id(id, ms);
+        }
         let mut hists = self.histograms.lock();
         hists.entry(name.to_string()).or_default().observe_ms(ms);
     }
 
+    /// The merged view of one registered histogram: the shared slot plus
+    /// every live shard's unflushed observations.
+    fn merged_histogram(&self, id: HistogramId) -> Option<Histogram> {
+        let shards = self.shards.lock();
+        self.merged_histogram_locked(&shards, id)
+    }
+
+    /// [`Collector::merged_histogram`] with the shard registry already
+    /// locked by the caller (the registry mutex is not reentrant).
+    fn merged_histogram_locked(
+        &self,
+        shards: &[Arc<WorkerCollector>],
+        id: HistogramId,
+    ) -> Option<Histogram> {
+        let slot = &self.hist_slots[id.index()];
+        let mut merged: Option<Histogram> = if slot.is_empty() {
+            None
+        } else {
+            Some(slot.snapshot())
+        };
+        for shard in shards.iter() {
+            if let Some(h) = shard.histogram_view(id) {
+                match merged.as_mut() {
+                    Some(m) => m.merge(&h),
+                    None => merged = Some(h),
+                }
+            }
+        }
+        merged
+    }
+
     /// Summarized snapshot of one live histogram, if it exists (the
     /// sampler's latency-quantile source — reads never block recording
-    /// for long; the map lock covers one summarize).
+    /// for long; registered names read lock-free slots plus live shards,
+    /// the rest a short map lock).
     pub fn histogram_summary(&self, name: &str) -> Option<crate::HistogramSummary> {
+        if let Some(id) = HistogramId::from_name(name) {
+            return self.merged_histogram(id).map(|h| h.summarize());
+        }
         self.histograms.lock().get(name).map(Histogram::summarize)
     }
 
     /// Read one gauge value, if set.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        if let Some(id) = GaugeId::from_name(name) {
+            return self.gauge_slots[id.index()].get();
+        }
         self.gauges.lock().get(name).copied()
     }
 
     /// Maximum over all gauges whose name starts with `prefix` (the
-    /// sampler's worst-worker-starvation read).
+    /// sampler's worst-worker-starvation read). Spans both planes: slot
+    /// gauges and map gauges.
     pub fn gauge_prefix_max(&self, prefix: &str) -> Option<f64> {
+        let slot_max = GaugeId::ALL
+            .iter()
+            .filter(|id| id.name().starts_with(prefix))
+            .filter_map(|id| self.gauge_slots[id.index()].get())
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
         self.gauges
             .lock()
             .range(prefix.to_string()..)
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(_, v)| *v)
-            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+            .fold(slot_max, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Fold one completed span into its path's rollup. `self_ns` is the
     /// span's duration minus its children's.
+    ///
+    /// The completion tick always comes from the collector-wide counter —
+    /// a single uncontended `fetch_add` — so first-completion ordering
+    /// stays global even when the rollup itself lands in a worker shard.
     pub fn record_span(&self, path: &str, ns: u64, self_ns: u64) {
         let tick = self.span_tick.fetch_add(1, Ordering::Relaxed);
+        if with_active_shard(self.addr(), |s| s.record_span(path, ns, self_ns, tick)).is_some() {
+            return;
+        }
         let mut spans = self.spans.lock();
         spans
             .entry(path.to_string())
@@ -198,10 +377,67 @@ impl Collector {
     }
 
     /// Snapshot everything into a report (the collector keeps recording).
+    ///
+    /// Both planes merge back into one name-sorted view: the cold maps
+    /// are cloned, then every registered ID folds in its shared slot plus
+    /// any live shards. The shard-registry lock is held across the whole
+    /// ID merge, so a concurrently draining shard is seen exactly once —
+    /// still live, or already in the slots.
     pub fn report(&self, workers: Option<WorkerSection>) -> RunReport {
-        let spans: Vec<SpanRollup> = self
-            .spans
+        let shards = self.shards.lock();
+
+        let mut counters = self.counters.lock().clone();
+        for &id in CounterId::ALL {
+            let (mut value, mut touched) = self.counter_slots[id.index()].load();
+            for shard in shards.iter() {
+                let (v, t) = shard.counter_view(id);
+                value += v;
+                touched |= t;
+            }
+            if value > 0 || touched {
+                counters.insert(id.name().to_string(), value);
+            }
+        }
+
+        let mut events = self.events.lock().clone();
+        for &id in EventId::ALL {
+            let mut value = self.event_slots[id.index()].load(Ordering::Relaxed);
+            for shard in shards.iter() {
+                value += shard.event_view(id);
+            }
+            if value > 0 {
+                events.insert(id.name().to_string(), value);
+            }
+        }
+
+        let mut gauges = self.gauges.lock().clone();
+        for &id in GaugeId::ALL {
+            if let Some(v) = self.gauge_slots[id.index()].get() {
+                gauges.insert(id.name().to_string(), v);
+            }
+        }
+
+        let mut histograms: BTreeMap<String, crate::HistogramSummary> = self
+            .histograms
             .lock()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summarize()))
+            .collect();
+        for &id in HistogramId::ALL {
+            if let Some(h) = self.merged_histogram_locked(&shards, id) {
+                histograms.insert(id.name().to_string(), h.summarize());
+            }
+        }
+
+        let mut span_map = self.spans.lock().clone();
+        for shard in shards.iter() {
+            for (path, stat) in shard.spans_view() {
+                span_map.entry(path).or_default().merge(&stat);
+            }
+        }
+        drop(shards);
+
+        let spans: Vec<SpanRollup> = span_map
             .iter()
             .map(|(path, s)| SpanRollup {
                 path: path.clone(),
@@ -224,18 +460,10 @@ impl Collector {
             .collect();
         RunReport {
             schema: RunReport::SCHEMA.to_string(),
-            deterministic: DeterministicSection {
-                counters: self.counters.lock().clone(),
-                events: self.events.lock().clone(),
-            },
+            deterministic: DeterministicSection { counters, events },
             timing: TimingSection {
-                gauges: self.gauges.lock().clone(),
-                histograms: self
-                    .histograms
-                    .lock()
-                    .iter()
-                    .map(|(k, h)| (k.clone(), h.summarize()))
-                    .collect(),
+                gauges,
+                histograms,
                 spans,
             },
             workers,

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Number of power-of-two buckets (covers u64 nanoseconds entirely).
-const BUCKETS: usize = 64;
+pub(crate) const BUCKETS: usize = 64;
 
 /// A log-bucketed histogram over durations.
 #[derive(Debug, Clone)]
@@ -35,18 +35,25 @@ impl Default for Histogram {
 
 /// Bucket index for a nanosecond value: ⌊log2⌋, so bucket `i` covers
 /// `[2^i, 2^(i+1))` (bucket 0 additionally holds 0 ns).
-fn bucket_index(ns: u64) -> usize {
+pub(crate) fn bucket_index(ns: u64) -> usize {
     (63 - ns.max(1).leading_zeros()) as usize
+}
+
+/// Observation milliseconds → nanoseconds, with the non-finite/negative
+/// clamp every recording path (plain or atomic) must share so sharded and
+/// unsharded runs bucket identically.
+pub(crate) fn ms_to_ns(ms: f64) -> u64 {
+    if ms.is_finite() && ms > 0.0 {
+        (ms * 1e6).round().min(u64::MAX as f64) as u64
+    } else {
+        0
+    }
 }
 
 impl Histogram {
     /// Record one observation given in milliseconds.
     pub fn observe_ms(&mut self, ms: f64) {
-        let ns = if ms.is_finite() && ms > 0.0 {
-            (ms * 1e6).round().min(u64::MAX as f64) as u64
-        } else {
-            0
-        };
+        let ns = ms_to_ns(ms);
         self.buckets[bucket_index(ns)] += 1;
         self.count += 1;
         self.sum_ns += u128::from(ns);
@@ -57,6 +64,24 @@ impl Histogram {
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Rebuild a histogram from raw parts (the snapshot path out of the
+    /// atomic ID-slot histograms).
+    pub(crate) fn from_parts(
+        buckets: [u64; BUCKETS],
+        count: u64,
+        sum_ns: u128,
+        min_ns: u64,
+        max_ns: u64,
+    ) -> Histogram {
+        Histogram {
+            buckets,
+            count,
+            sum_ns,
+            min_ns,
+            max_ns,
+        }
     }
 
     /// Fold another histogram's observations into this one (used to merge

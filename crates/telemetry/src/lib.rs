@@ -45,8 +45,10 @@
 pub mod collector;
 pub mod histogram;
 pub mod prom;
+pub mod registry;
 pub mod report;
 pub mod ring;
+pub mod shard;
 pub mod span;
 pub mod trace_export;
 
@@ -58,10 +60,12 @@ use parking_lot::RwLock;
 pub use collector::{Collector, Session};
 pub use histogram::{Histogram, HistogramSummary};
 pub use prom::{parse_exposition, render_prometheus, ExpositionStats};
+pub use registry::{CounterId, EventId, GaugeId, HistogramId};
 pub use report::{
     DeterministicSection, RunReport, SpanRollup, TimingSection, WorkerRow, WorkerSection,
 };
 pub use ring::{ObsSample, SnapshotRing};
+pub use shard::{ShardGuard, WorkerCollector};
 pub use span::SpanGuard;
 pub use trace_export::{chrome_trace_json, TraceSpan};
 
@@ -146,6 +150,50 @@ pub fn observe_ms(name: &str, ms: f64) {
 pub fn event(name: &str, fields: &[(&str, &str)]) {
     if let Some(c) = sink() {
         c.add_event(name, fields);
+    }
+}
+
+/// Add `n` to a pre-registered counter (hot path: no allocation, no map
+/// lookup; contention-free while the thread holds a [`worker_shard`]).
+pub fn counter_id(id: CounterId, n: u64) {
+    if let Some(c) = sink() {
+        c.add_counter_id(id, n);
+    }
+}
+
+/// Count one occurrence of a pre-registered event (hot path).
+pub fn event_id(id: EventId) {
+    if let Some(c) = sink() {
+        c.add_event_id(id);
+    }
+}
+
+/// Set a pre-registered gauge (lock-free slot; no `String` key per set).
+pub fn gauge_id(id: GaugeId, value: f64) {
+    if let Some(c) = sink() {
+        c.set_gauge_id(id, value);
+    }
+}
+
+/// Record into a pre-registered histogram (hot path).
+pub fn observe_ms_id(id: HistogramId, ms: f64) {
+    if let Some(c) = sink() {
+        c.observe_ms_id(id, ms);
+    }
+}
+
+/// Bind a private [`WorkerCollector`] shard for the active session to the
+/// calling thread. While the returned guard lives, ID-addressed recording
+/// from this thread touches no shared state; the shard drains into the
+/// session's collector when the guard drops. A no-op guard is returned
+/// when recording is off.
+///
+/// Declare the guard **before** any span guards on the same thread, so
+/// spans drop (and record into the shard) before the shard drains.
+pub fn worker_shard() -> shard::ShardGuard {
+    match sink() {
+        Some(c) => c.install_worker_shard(),
+        None => shard::ShardGuard::disabled(),
     }
 }
 

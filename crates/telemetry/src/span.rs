@@ -103,6 +103,18 @@ impl SpanStat {
         self.max_ns = self.max_ns.max(ns);
         self.first_seen = self.first_seen.min(tick);
     }
+
+    /// Fold another rollup for the same path into this one (worker-shard
+    /// drains). Ticks come from the collector-wide counter, so the min
+    /// keeps first-completion ordering across shards.
+    pub fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.self_ns += other.self_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.first_seen = self.first_seen.min(other.first_seen);
+    }
 }
 
 /// An open span; records its duration into the collector on drop.

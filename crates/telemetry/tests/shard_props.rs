@@ -1,0 +1,233 @@
+//! Shard-merge determinism laws.
+//!
+//! The worker-shard plane is only sound if it is *invisible* in the
+//! deterministic report section: any split of the same recording stream
+//! across any number of worker shards, drained in any order, must render
+//! byte-for-byte the same counters/events JSON as one unsharded
+//! collector fed through the legacy string API. These properties drive
+//! real threads through the public API (shard guards are thread-bound)
+//! with a controlled drain permutation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cc_telemetry::{Collector, CounterId, EventId, GaugeId, HistogramId};
+use proptest::prelude::*;
+
+/// One hot-path recording operation, addressed by registry index.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Counter(usize, u64),
+    Event(usize),
+    Histogram(usize, u64),
+}
+
+fn counter_id(i: usize) -> CounterId {
+    CounterId::ALL[i % CounterId::ALL.len()]
+}
+
+fn event_id(i: usize) -> EventId {
+    EventId::ALL[i % EventId::ALL.len()]
+}
+
+fn histogram_id(i: usize) -> HistogramId {
+    HistogramId::ALL[i % HistogramId::ALL.len()]
+}
+
+fn apply_id(c: &Collector, op: Op) {
+    match op {
+        Op::Counter(i, n) => c.add_counter_id(counter_id(i), n),
+        Op::Event(i) => c.add_event_id(event_id(i)),
+        Op::Histogram(i, ms) => c.observe_ms_id(histogram_id(i), ms as f64),
+    }
+}
+
+fn apply_named(c: &Collector, op: Op) {
+    match op {
+        Op::Counter(i, n) => c.add_counter(counter_id(i).name(), n),
+        Op::Event(i) => {
+            // The string API renders `name{k=v}` keys itself, so feed it
+            // the bare name and fields for keys that carry them.
+            let name = event_id(i).name();
+            match name.split_once('{') {
+                Some((base, fields)) => {
+                    let fields = fields.trim_end_matches('}');
+                    let pairs: Vec<(&str, &str)> = fields
+                        .split(',')
+                        .map(|f| f.split_once('=').unwrap())
+                        .collect();
+                    c.add_event(base, &pairs);
+                }
+                None => c.add_event(name, &[]),
+            }
+        }
+        Op::Histogram(i, ms) => c.observe_ms(histogram_id(i).name(), ms as f64),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..3, 0usize..64, 0u64..2_000).prop_map(|(kind, i, n)| match kind {
+        0 => Op::Counter(i, n % 5),
+        1 => Op::Event(i),
+        _ => Op::Histogram(i, n + 1),
+    })
+}
+
+/// Deterministic-section bytes, exactly as `--metrics-out` renders them.
+fn det_json(c: &Collector) -> String {
+    serde_json::to_string_pretty(&c.report(None).deterministic).expect("serialize")
+}
+
+/// Histogram counts by name (timing values differ, counts must not).
+fn hist_counts(c: &Collector) -> Vec<(String, u64)> {
+    c.report(None)
+        .timing
+        .histograms
+        .iter()
+        .map(|(k, v)| (k.clone(), v.count))
+        .collect()
+}
+
+/// Run each worker's ops in its own thread through its own shard, then
+/// drain the shards in exactly `drain_order` (worker indices).
+fn sharded_run(ops_per_worker: &[Vec<Op>], drain_order: &[usize]) -> Arc<Collector> {
+    let collector = Arc::new(Collector::default());
+    let rank_of_worker: Vec<usize> = (0..ops_per_worker.len())
+        .map(|w| drain_order.iter().position(|&d| d == w).expect("permutation"))
+        .collect();
+    let turn = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for (worker, ops) in ops_per_worker.iter().enumerate() {
+            let collector = Arc::clone(&collector);
+            let turn = &turn;
+            let my_rank = rank_of_worker[worker];
+            scope.spawn(move || {
+                {
+                    let _shard = collector.install_worker_shard();
+                    for &op in ops {
+                        apply_id(&collector, op);
+                    }
+                    // Hold the shard until it is this worker's turn to
+                    // drain, forcing the permuted merge order.
+                    while turn.load(Ordering::Acquire) != my_rank {
+                        std::thread::yield_now();
+                    }
+                }
+                turn.fetch_add(1, Ordering::Release);
+            });
+        }
+    });
+    collector
+}
+
+/// Derive a permutation of `0..n` from an arbitrary seed (Fisher–Yates
+/// over a splitmix-style stream).
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    /// Any worker split + any drain order ≡ one unsharded collector fed
+    /// through the legacy string API, byte-for-byte.
+    #[test]
+    fn shard_merge_matches_global_collector(
+        ops_per_worker in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 0..25),
+            1..5,
+        ),
+        drain_seed in 0u64..u64::MAX,
+    ) {
+        let reference = Collector::default();
+        for ops in &ops_per_worker {
+            for &op in ops {
+                apply_named(&reference, op);
+            }
+        }
+
+        let drain_order = permutation(ops_per_worker.len(), drain_seed);
+        let sharded = sharded_run(&ops_per_worker, &drain_order);
+
+        prop_assert_eq!(det_json(&sharded), det_json(&reference));
+        prop_assert_eq!(hist_counts(&sharded), hist_counts(&reference));
+    }
+
+    /// Two different drain permutations of the same per-worker streams
+    /// agree with each other too (no privileged merge order).
+    #[test]
+    fn drain_order_is_immaterial(
+        ops_per_worker in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 0..20),
+            2..5,
+        ),
+        seed_a in 0u64..u64::MAX,
+        seed_b in 0u64..u64::MAX,
+    ) {
+        let a = sharded_run(&ops_per_worker, &permutation(ops_per_worker.len(), seed_a));
+        let b = sharded_run(&ops_per_worker, &permutation(ops_per_worker.len(), seed_b));
+        prop_assert_eq!(det_json(&a), det_json(&b));
+    }
+
+    /// Registry IDs round-trip through their names, and arbitrary other
+    /// names never resolve to an ID (so the cold path stays cold).
+    #[test]
+    fn registry_ids_round_trip(i in 0usize..64, noise in "[a-z.]{0,24}") {
+        let c = counter_id(i);
+        prop_assert_eq!(CounterId::from_name(c.name()), Some(c));
+        let e = event_id(i);
+        prop_assert_eq!(EventId::from_name(e.name()), Some(e));
+        let h = histogram_id(i);
+        prop_assert_eq!(HistogramId::from_name(h.name()), Some(h));
+        let g = GaugeId::ALL[i % GaugeId::ALL.len()];
+        prop_assert_eq!(GaugeId::from_name(g.name()), Some(g));
+
+        // A name resolves to an ID only when it is exactly that ID's
+        // registered name — lookups can never alias.
+        if let Some(id) = CounterId::from_name(&noise) {
+            prop_assert_eq!(id.name(), noise);
+        }
+    }
+}
+
+/// Zero-value counter touches must still render as 0-valued entries, from
+/// either plane, because the legacy map did so.
+#[test]
+fn zero_touched_counters_render_from_both_planes() {
+    let direct = Collector::default();
+    direct.add_counter("crawl.steps.recorded", 0);
+    assert_eq!(
+        direct.report(None).deterministic.counters["crawl.steps.recorded"],
+        0
+    );
+
+    let sharded = sharded_run(&[vec![Op::Counter(15, 0)]], &[0]);
+    assert_eq!(CounterId::ALL[15].name(), "crawl.steps.recorded");
+    assert_eq!(
+        sharded.report(None).deterministic.counters["crawl.steps.recorded"],
+        0
+    );
+}
+
+/// A report taken *while* shards are still live sees their unflushed
+/// totals merged in, and the final drained report agrees with it.
+#[test]
+fn live_shards_are_visible_to_reports() {
+    let collector = Arc::new(Collector::default());
+    let mid_run: String;
+    {
+        let _shard = collector.install_worker_shard();
+        collector.add_counter_id(CounterId::NET_CONNECT_OK, 7);
+        collector.add_event_id(EventId::WEB_SCRIPT_EXECUTED_TRACKER);
+        mid_run = det_json(&collector);
+    }
+    assert_eq!(mid_run, det_json(&collector), "drain changed the report");
+    assert_eq!(
+        collector.report(None).deterministic.counters["net.connect.ok"],
+        7
+    );
+}

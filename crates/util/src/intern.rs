@@ -23,11 +23,26 @@
 //! unbounded inputs would leak for the life of the process.
 
 use std::borrow::Borrow;
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Upper bound on per-thread read-through cache entries. The bounded
+/// vocabulary (hostnames, domains, labels) stays far under this; the cap
+/// only fires if a caller violates the cardinality rule, in which case
+/// we drop the whole cache rather than pick eviction victims.
+const LOCAL_CACHE_CAP: usize = 8192;
+
+thread_local! {
+    /// Per-thread read-through cache over the global interner. Holds
+    /// clones of canonical `Arc<str>`s keyed by content, probed with
+    /// `&str` through `Borrow<str>` — a hit costs one hash of a small
+    /// string and zero locks.
+    static LOCAL_CACHE: RefCell<HashSet<IStr>> = RefCell::new(HashSet::new());
+}
 
 /// An interned, immutable, cheaply clonable string.
 ///
@@ -39,8 +54,28 @@ pub struct IStr(Arc<str>);
 
 impl IStr {
     /// Intern `s` in the process-global table and return a shared handle.
+    ///
+    /// Repeat hits are served from a thread-local read-through cache:
+    /// after a worker thread has seen a string once, re-interning it
+    /// never touches a shard lock again. The cache holds clones of the
+    /// canonical `Arc`s, so every path still hands out the same
+    /// allocation (pointer equality across threads is preserved).
     pub fn new(s: &str) -> Self {
-        global().intern(s)
+        LOCAL_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(hit) = cache.get(s) {
+                return hit.clone();
+            }
+            let interned = global().intern(s);
+            // The vocabulary rule (bounded inputs only) bounds the global
+            // table; the cap below is just belt-and-braces so a rogue
+            // caller can't bloat every thread too.
+            if cache.len() >= LOCAL_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(interned.clone());
+            interned
+        })
     }
 
     /// View the interned text.
@@ -314,6 +349,21 @@ mod tests {
         assert_eq!(json, serde_json::to_string("t0.example").unwrap());
         let back: IStr = serde_json::from_str(&json).unwrap();
         assert!(IStr::ptr_eq(&a, &back));
+    }
+
+    #[test]
+    fn thread_cache_preserves_cross_thread_sharing() {
+        // The read-through cache must hand out the *canonical* Arc, so
+        // handles interned on different threads still share one
+        // allocation.
+        let here = intern("cache.cross-thread.example");
+        let there = std::thread::spawn(|| intern("cache.cross-thread.example"))
+            .join()
+            .unwrap();
+        assert!(IStr::ptr_eq(&here, &there));
+        // And repeat interns on the same thread are cache hits that
+        // still alias the same allocation.
+        assert!(IStr::ptr_eq(&here, &intern("cache.cross-thread.example")));
     }
 
     #[test]

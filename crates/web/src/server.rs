@@ -411,7 +411,7 @@ impl SimWeb {
 
     /// Answer a request.
     pub fn serve(&self, req: &Request, ctx: &mut ServeCtx<'_>) -> Result<Response, ServeError> {
-        cc_telemetry::counter("web.requests.served", 1);
+        cc_telemetry::counter_id(cc_telemetry::CounterId::WEB_REQUESTS_SERVED, 1);
         let host = req.url.host.as_str();
         // Tracker endpoints are matched on (fqdn, tracker path); a tracker
         // may share its FQDN with a site (multi-purpose smugglers like
@@ -661,12 +661,12 @@ impl SimWeb {
             .position(|p| p.path == url.path)
             .unwrap_or(0);
         let page = &site.pages[page_idx];
-        cc_telemetry::counter("web.pages.loaded", 1);
+        cc_telemetry::counter_id(cc_telemetry::CounterId::WEB_PAGES_LOADED, 1);
 
         // 1. Embedded trackers run: identity get-or-mint, UID collection
         //    from the landing URL, and beacons.
         for tid in &site.embedded_trackers {
-            cc_telemetry::event("web.script.executed", &[("kind", "tracker")]);
+            cc_telemetry::event_id(cc_telemetry::EventId::WEB_SCRIPT_EXECUTED_TRACKER);
             self.run_tracker_script(self.tracker(*tid), url, host);
         }
 
