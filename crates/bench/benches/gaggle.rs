@@ -1,0 +1,225 @@
+//! Gaggle benches: distributed assembled-walk throughput at 1/2/4 workers
+//! vs the single-process parallel crawl, plus the wire overhead the
+//! cc-gaggle/v1 framing adds per assembled walk.
+//!
+//! Workers run as in-process threads speaking real TCP to the manager on
+//! loopback — same codec, leases, and heartbeats as separate processes,
+//! without fork/exec noise polluting the timings. Every distributed run is
+//! asserted byte-identical to the single-process dataset before its timing
+//! is recorded, so the artifact can never report a fast-but-wrong run.
+//!
+//! The speedup run writes `BENCH_gaggle.json` (schema `cc-bench/gaggle/v1`:
+//! single-process baseline, per-worker-count timings and speedups, frame
+//! and byte counters with per-walk overhead) so the distributed perf
+//! trajectory across PRs is diffable.
+
+use std::time::Instant;
+
+use cc_bench::detected_cores;
+use cc_crawler::StudyConfig;
+use cc_gaggle::{run_worker, GaggleConfig, Manager, ManagerOptions, ManagerOutcome, WorkerConfig};
+use cc_web::WebConfig;
+use criterion::{criterion_group, Criterion};
+use serde::Serialize;
+use std::hint::black_box;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const WALKS: usize = 250;
+
+fn study() -> StudyConfig {
+    StudyConfig::builder()
+        .web(WebConfig {
+            seed: 0x9A7A11E1,
+            n_sites: 800,
+            n_seeders: 250,
+            ..WebConfig::default()
+        })
+        .seed(0x9A7A11E1)
+        .steps(5)
+        .walks(WALKS)
+        .workers(4)
+        .build()
+        .expect("bench study config is valid")
+}
+
+/// One full distributed run: manager + `n_workers` loopback-TCP worker
+/// threads, timed end to end (world generation through final assembly —
+/// the same span the single-process baseline covers).
+fn run_gaggle(n_workers: usize) -> (f64, ManagerOutcome) {
+    let cfg = GaggleConfig {
+        bind: "127.0.0.1:0".into(),
+        workers_expected: n_workers,
+        lease_walks: 25,
+        lease_timeout_ms: 10_000,
+    };
+    let start = Instant::now();
+    let manager =
+        Manager::start(&study(), cfg, ManagerOptions::default()).expect("manager starts");
+    let addr = manager.addr().to_string();
+    let workers: Vec<_> = (0..n_workers)
+        .map(|i| {
+            let connect = addr.clone();
+            std::thread::spawn(move || {
+                run_worker(&WorkerConfig {
+                    connect,
+                    label: format!("bench-{i}"),
+                })
+            })
+        })
+        .collect();
+    let outcome = manager.join().expect("gaggle run completes");
+    for handle in workers {
+        handle
+            .join()
+            .expect("worker thread joins")
+            .expect("worker finishes cleanly");
+    }
+    (start.elapsed().as_secs_f64(), outcome)
+}
+
+/// Single-process reference: world generation plus the `--workers 4`
+/// parallel crawl, the run every gaggle must reproduce byte for byte.
+fn run_single_process() -> (f64, String) {
+    let study = study();
+    let start = Instant::now();
+    let web = cc_web::generate(&study.web);
+    let dataset = cc_crawler::crawl_study(&web, &study).expect("single-process crawl runs");
+    let secs = start.elapsed().as_secs_f64();
+    (secs, dataset.to_json().expect("dataset serializes"))
+}
+
+/// One Criterion target per worker count — each iteration is a complete
+/// manager lifecycle (bind, handshake, leases, assembly, teardown).
+fn bench_gaggle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaggle");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        group.bench_function(format!("assemble_{WALKS}_walks/{workers}_workers"), |b| {
+            b.iter(|| {
+                let (_, outcome) = run_gaggle(black_box(workers));
+                black_box(outcome.dataset.total_steps())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One row of the `BENCH_gaggle.json` artifact.
+#[derive(Serialize)]
+struct GaggleRow {
+    workers: usize,
+    secs: f64,
+    /// Walks assembled per second of wall clock, the gaggle's headline.
+    assembled_walks_per_sec: f64,
+    /// Wall-clock speedup relative to the single-process crawl.
+    speedup_vs_single_process: f64,
+    leases_issued: u64,
+    frames_sent: u64,
+    frames_received: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+    /// Total wire bytes (both directions) divided by assembled walks —
+    /// what each walk costs in framing, shard JSON, and heartbeats.
+    frame_overhead_bytes_per_walk: f64,
+}
+
+/// The machine-readable perf artifact the speedup run writes.
+#[derive(Serialize)]
+struct BenchArtifact {
+    schema: &'static str,
+    bench: &'static str,
+    cpu_cores: usize,
+    walks: usize,
+    single_process_secs: f64,
+    single_process_walks_per_sec: f64,
+    runs: Vec<GaggleRow>,
+}
+
+/// Speedup table + wire-overhead accounting, with an in-bench
+/// byte-identity assertion per worker count, written to `BENCH_gaggle.json`.
+fn speedup_report() {
+    let cores = detected_cores();
+
+    // Best-of-N wall clock: the minimum over a few runs is the standard
+    // noise-robust estimator on a busy CI box.
+    const TIMING_RUNS: usize = 3;
+
+    let mut single_secs = f64::INFINITY;
+    let mut single_json = String::new();
+    for _ in 0..TIMING_RUNS {
+        let (secs, json) = run_single_process();
+        single_secs = single_secs.min(secs);
+        single_json = json;
+    }
+    let single_wps = WALKS as f64 / single_secs;
+    println!("\ngaggle throughput ({WALKS} walks, {cores} CPU core(s)):");
+    println!("  single-process: {single_secs:7.3}s  {single_wps:8.1} walks/s");
+
+    let mut rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        let mut secs = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..TIMING_RUNS {
+            let (run_secs, outcome) = run_gaggle(workers);
+            assert_eq!(
+                single_json,
+                outcome.dataset.to_json().expect("dataset serializes"),
+                "{workers}-worker gaggle diverged from the single-process crawl"
+            );
+            secs = secs.min(run_secs);
+            last = Some(outcome);
+        }
+        let outcome = last.expect("at least one gaggle run");
+        let stats = outcome.stats;
+        let walks = outcome.dataset.walks.len();
+        let wire_bytes = stats.bytes_sent + stats.bytes_received;
+        let row = GaggleRow {
+            workers,
+            secs,
+            assembled_walks_per_sec: walks as f64 / secs,
+            speedup_vs_single_process: single_secs / secs,
+            leases_issued: stats.leases_issued,
+            frames_sent: stats.frames_sent,
+            frames_received: stats.frames_received,
+            bytes_sent: stats.bytes_sent,
+            bytes_received: stats.bytes_received,
+            frame_overhead_bytes_per_walk: wire_bytes as f64 / walks.max(1) as f64,
+        };
+        println!(
+            "  {workers} worker(s): {secs:7.3}s  {:8.1} walks/s  speedup {:.2}x  {} leases  {} frames  {:.0} wire bytes/walk  (identical output)",
+            row.assembled_walks_per_sec,
+            row.speedup_vs_single_process,
+            row.leases_issued,
+            stats.frames_sent + stats.frames_received,
+            row.frame_overhead_bytes_per_walk,
+        );
+        rows.push(row);
+    }
+
+    let artifact = BenchArtifact {
+        schema: "cc-bench/gaggle/v1",
+        bench: "assemble_250_walks",
+        cpu_cores: cores,
+        walks: WALKS,
+        single_process_secs: single_secs,
+        single_process_walks_per_sec: single_wps,
+        runs: rows,
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("artifact serializes");
+    // Anchor to the workspace root, not the bench CWD, so the artifact
+    // lands at a stable path (`cargo bench` runs from crates/bench).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gaggle.json");
+    std::fs::write(path, &json).expect("BENCH_gaggle.json writes");
+    println!("  wrote BENCH_gaggle.json");
+}
+
+criterion_group! {
+    name = gaggle;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gaggle
+}
+
+fn main() {
+    gaggle();
+    speedup_report();
+}

@@ -463,28 +463,89 @@ impl<'a> StudyRun<'a> {
     }
 }
 
-/// Deprecated shim over [`StudyRun`].
-#[deprecated(since = "0.8.0", note = "use StudyRun::new(web, study).options(opts).run()")]
-pub fn crawl_study_with_options(
-    web: &SimWeb,
-    study: &StudyConfig,
-    opts: StudyRunOptions,
-) -> Result<CrawlDataset, CcError> {
-    StudyRun::new(web, study).options(opts).run()
+/// Crawl exactly the given walk ids of `study` over `web`.
+///
+/// This is the **lease-ranged** entry point the cc-gaggle worker runs on
+/// each lease: the manager partitions the walk-id space, and each worker
+/// crawls its slice through the same work-stealing executor (with
+/// `study.workers` threads) that a single-process run uses. Because every
+/// walk is a pure function of `(study, walk_id)`, shards produced from
+/// disjoint leases merge byte-identically to one uninterrupted run —
+/// whatever the lease sizes, interleaving, or re-issue history.
+///
+/// Unlike [`crawl_study`], the returned dataset holds *only* the requested
+/// ids (no resume base), and no checkpoint or publish sinks fire: the
+/// lease holder owns transport, the lessor owns durability. Ids outside
+/// the seeder range are skipped, matching [`run_study`]'s clamping.
+pub fn crawl_walk_ids(web: &SimWeb, study: &StudyConfig, ids: &[u32]) -> CrawlDataset {
+    let progress = ProgressCounters::new(study.workers);
+    crawl_walk_ids_with_progress(web, study, ids, &progress)
 }
 
-/// Deprecated shim over [`StudyRun`].
-#[deprecated(
-    since = "0.8.0",
-    note = "use StudyRun::new(web, study).options(opts).progress(progress).run()"
-)]
-pub fn crawl_study_with_progress(
+/// [`crawl_walk_ids`], updating caller-owned progress counters (sized to
+/// `study.workers`).
+pub fn crawl_walk_ids_with_progress(
     web: &SimWeb,
     study: &StudyConfig,
-    opts: StudyRunOptions,
+    ids: &[u32],
     progress: &ProgressCounters,
-) -> Result<CrawlDataset, CcError> {
-    StudyRun::new(web, study).options(opts).progress(progress).run()
+) -> CrawlDataset {
+    let seeders = web.seeder_urls();
+    let mut ids: Vec<u32> = ids.to_vec();
+    ids.retain(|&id| (id as usize) < seeders.len());
+    let shards = crawl_ids_sharded(web, study, &ids, progress, None);
+    CrawlDataset::merge(shards)
+}
+
+/// The shared shard loop: crawl `ids` over `study.workers` work-stealing
+/// threads and return the per-worker shards (unmerged, so callers choose
+/// whether a resume base joins the merge).
+fn crawl_ids_sharded(
+    web: &SimWeb,
+    study: &StudyConfig,
+    ids: &[u32],
+    progress: &ProgressCounters,
+    sinks: Option<&WalkSinks<'_>>,
+) -> Vec<CrawlDataset> {
+    let seeders = web.seeder_urls();
+    let queue = WalkQueue::new(ids.len(), study.workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..study.workers)
+            .map(|worker| {
+                let queue = &queue;
+                let cfg = study.crawl_config();
+                scope.spawn(move || {
+                    // Shard before span: the worker span must drop into
+                    // the shard before the shard drains.
+                    let _telemetry_shard = cc_telemetry::worker_shard();
+                    let _worker_span = cc_telemetry::span("crawl.worker");
+                    let mut walker = Walker::new(web, cfg);
+                    let mut shard = CrawlDataset::default();
+                    for i in queue.worker(worker) {
+                        let walk_id = ids[i];
+                        // Fresh per-walk failure accounting so checkpoints
+                        // carry exact counts for exactly the walks they
+                        // hold (sums commute into the same totals).
+                        let mut wf = FailureStats::default();
+                        let walk =
+                            walker.walk_public(walk_id, seeders[walk_id as usize].clone(), &mut wf);
+                        progress.record_walk(worker, walk.steps.len() as u64);
+                        if let Some(s) = sinks {
+                            s.record(walk.clone(), wf);
+                        }
+                        shard.failures.absorb(wf);
+                        shard.ledger.note(&walk);
+                        shard.walks.push(walk);
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("crawl worker panicked"))
+            .collect()
+    })
 }
 
 /// The study runner proper (every public entry point lowers to this).
@@ -526,45 +587,7 @@ fn run_study(
     };
     let sinks = sinks.active().then_some(&sinks);
 
-    let queue = WalkQueue::new(ids.len(), study.workers);
-    let ids = &ids;
-    let shards: Vec<CrawlDataset> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..study.workers)
-            .map(|worker| {
-                let queue = &queue;
-                let cfg = study.crawl_config();
-                scope.spawn(move || {
-                    // Shard before span: the worker span must drop into
-                    // the shard before the shard drains.
-                    let _telemetry_shard = cc_telemetry::worker_shard();
-                    let _worker_span = cc_telemetry::span("crawl.worker");
-                    let mut walker = Walker::new(web, cfg);
-                    let mut shard = CrawlDataset::default();
-                    for i in queue.worker(worker) {
-                        let walk_id = ids[i];
-                        // Fresh per-walk failure accounting so checkpoints
-                        // carry exact counts for exactly the walks they
-                        // hold (sums commute into the same totals).
-                        let mut wf = FailureStats::default();
-                        let walk =
-                            walker.walk_public(walk_id, seeders[walk_id as usize].clone(), &mut wf);
-                        progress.record_walk(worker, walk.steps.len() as u64);
-                        if let Some(s) = sinks {
-                            s.record(walk.clone(), wf);
-                        }
-                        shard.failures.absorb(wf);
-                        shard.ledger.note(&walk);
-                        shard.walks.push(walk);
-                    }
-                    shard
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("crawl worker panicked"))
-            .collect()
-    });
+    let shards = crawl_ids_sharded(web, study, &ids, progress, sinks);
 
     if let Some(s) = sinks {
         if let Some(e) = s.error.lock().expect("walk-sink error slot poisoned").take() {
@@ -801,14 +824,30 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_run_the_study() {
+    fn lease_partitions_merge_to_the_full_study() {
         let study = faulty_study(2, None);
-        let web_a = generate(&study.web);
-        let via_builder = crawl_study(&web_a, &study).unwrap();
-        let web_b = generate(&study.web);
-        let via_shim =
-            crawl_study_with_options(&web_b, &study, StudyRunOptions::default()).unwrap();
-        assert_eq!(via_builder, via_shim);
+        let web_full = generate(&study.web);
+        let full = crawl_study(&web_full, &study).unwrap();
+
+        // Crawl the same study as three disjoint leases (uneven sizes, out
+        // of order) on a fresh world and merge the shards — the gaggle
+        // manager's exact recipe.
+        let web_leased = generate(&study.web);
+        let leases: [&[u32]; 3] = [&[7, 8, 9, 10, 11], &[0, 1, 2], &[3, 4, 5, 6]];
+        let shards: Vec<CrawlDataset> = leases
+            .iter()
+            .map(|ids| crawl_walk_ids(&web_leased, &study, ids))
+            .collect();
+        let merged = CrawlDataset::merge(shards);
+        assert_eq!(full, merged, "lease-partitioned crawl diverged");
+        assert_eq!(full.to_json().unwrap(), merged.to_json().unwrap());
+    }
+
+    #[test]
+    fn out_of_range_lease_ids_are_skipped() {
+        let study = faulty_study(1, None);
+        let web = generate(&study.web);
+        let ds = crawl_walk_ids(&web, &study, &[0, 1, 9_999_999]);
+        assert_eq!(ds.walks.len(), 2);
     }
 }

@@ -43,10 +43,9 @@ pub use checkpoint::{CrawlCheckpoint, CHECKPOINT_SCHEMA};
 pub use config::{CheckpointPolicy, ServePolicy, StudyConfig, StudyConfigBuilder};
 pub use executor::{
     crawl_parallel, crawl_parallel_instrumented, crawl_parallel_with_progress, crawl_study,
-    ParallelCrawlConfig, PublishPolicy, SnapshotSink, StudyRun, StudyRunOptions,
+    crawl_walk_ids, crawl_walk_ids_with_progress, ParallelCrawlConfig, PublishPolicy,
+    SnapshotSink, StudyRun, StudyRunOptions,
 };
-#[allow(deprecated)]
-pub use executor::{crawl_study_with_options, crawl_study_with_progress};
 pub use matching::{same_element, select_shared};
 pub use names::{CrawlerName, UserId};
 pub use record::{

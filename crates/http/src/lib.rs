@@ -32,4 +32,4 @@ pub use cookie::{format_cookie_header, parse_cookie_header, Cookie, SameSite, Se
 pub use header::HeaderMap;
 pub use message::{Method, PageBody, Request, RequestKind, Response};
 pub use status::StatusCode;
-pub use wire::WireError;
+pub use wire::{classify_io, IoFault, WireError};

@@ -145,11 +145,45 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Transport-level classification of a read/write [`std::io::Error`],
+/// shared by every framed codec in the workspace: the HTTP/1.1 codec here
+/// and the length-prefixed `cc-gaggle/v1` codec map the same error kinds
+/// the same way, so timeout-retry loops behave identically across
+/// protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// `WouldBlock` / `TimedOut` — a socket read deadline fired; the
+    /// connection is healthy and the read can be retried.
+    TimedOut,
+    /// `UnexpectedEof` — the peer died mid-message.
+    Truncated,
+    /// `ConnectionReset` / `ConnectionAborted` / `BrokenPipe` — the peer
+    /// went away between messages.
+    Disconnected,
+    /// Anything else.
+    Other,
+}
+
+/// Classify an I/O error kind into the transport fault classes framed
+/// codecs care about (the mapping [`WireError`]'s `io_error` lowers onto).
+pub fn classify_io(kind: ErrorKind) -> IoFault {
+    match kind {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => IoFault::TimedOut,
+        ErrorKind::UnexpectedEof => IoFault::Truncated,
+        ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted | ErrorKind::BrokenPipe => {
+            IoFault::Disconnected
+        }
+        _ => IoFault::Other,
+    }
+}
+
 fn io_error(e: std::io::Error) -> WireError {
-    match e.kind() {
-        ErrorKind::WouldBlock | ErrorKind::TimedOut => WireError::TimedOut,
-        ErrorKind::UnexpectedEof => WireError::Truncated,
-        _ => WireError::Io(e.to_string()),
+    match classify_io(e.kind()) {
+        IoFault::TimedOut => WireError::TimedOut,
+        IoFault::Truncated => WireError::Truncated,
+        // HTTP treats a reset between messages like any other I/O failure
+        // (clean keep-alive termination reaches Closed via the EOF path).
+        IoFault::Disconnected | IoFault::Other => WireError::Io(e.to_string()),
     }
 }
 

@@ -277,29 +277,50 @@ fn follow_loop(shared: &Shared, fc: FollowConfig, mut builder: IncrementalIndexB
     // No baseline: the file may have grown between the initial fold in
     // `Server::start` and this thread coming up, so the first poll always
     // reloads (an unchanged snapshot folds to `None`, which is free).
-    let mut fingerprint = None;
+    let mut fingerprint: Option<(u64, std::time::SystemTime)> = None;
     while !shared.stop.load(Ordering::SeqCst) {
         std::thread::sleep(poll);
-        let current = checkpoint_fingerprint(&fc.path);
-        if current.is_none() || current == fingerprint {
+        let Some(current) = checkpoint_fingerprint(&fc.path) else {
             continue;
+        };
+        if Some(current) == fingerprint {
+            continue;
+        }
+        // A same-length replacement whose mtime went *backwards* is not
+        // growth: the file was rewritten under clock skew (an NTP step,
+        // a restored backup, a copy that preserved timestamps). Still a
+        // change — it must be re-folded, never silently skipped — but
+        // worth flagging: the wall clock around this file is not
+        // trustworthy.
+        if let Some((len, mtime)) = fingerprint {
+            if current.0 == len && current.1 < mtime {
+                shared
+                    .collector
+                    .add_event("serve.follow.clock_skew", &[("path", "checkpoint")]);
+            }
         }
         let ck = match CrawlCheckpoint::load(&fc.path) {
             Ok(ck) => ck,
             // Leave the fingerprint unmoved so the load is retried.
             Err(_) => continue,
         };
-        fingerprint = current;
         match builder.fold(&ck) {
             Ok(Some(index)) => {
+                fingerprint = Some(current);
                 let complete = index.complete();
                 shared.handle.publish(index);
                 if complete {
                     break;
                 }
             }
-            // A snapshot that didn't grow: nothing to do.
-            Ok(None) => {}
+            // A snapshot that didn't grow: nothing to fold, but the file
+            // was read successfully — remember it so an unchanged file
+            // stops being re-parsed every poll.
+            Ok(None) => fingerprint = Some(current),
+            // The fingerprint stays unmoved on a failed fold: if the
+            // file settles back into a foldable state (e.g. a config
+            // swap under our feet is swapped back), the next poll
+            // re-reads it instead of skipping it as already-seen.
             Err(_) => {
                 shared
                     .collector

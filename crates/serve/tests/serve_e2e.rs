@@ -643,6 +643,99 @@ fn follow_source_reaches_the_offline_bytes_and_never_regresses() {
 }
 
 #[test]
+fn follow_refolds_a_clock_skewed_checkpoint_rewrite() {
+    use cc_crawler::StudyRun;
+    use std::fs::FileTimes;
+
+    // A followed checkpoint rewritten in place with the same length but
+    // an *older* mtime (an NTP step, a restored backup, a
+    // timestamp-preserving copy) is still a change: it must be re-read
+    // and flagged as clock skew, never skipped as already-seen.
+    let dir = std::env::temp_dir().join("ccrs-serve-follow-skew");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("skew.ccp");
+    std::fs::remove_file(&path).ok();
+    let study = cc_crawler::StudyConfig::builder()
+        .web(WebConfig::small())
+        .seed(5)
+        .steps(3)
+        .walks(12)
+        .checkpoint(path.to_str().unwrap(), 3)
+        .build()
+        .unwrap();
+    let web = generate(&study.web);
+
+    // A partial crawl leaves a 6-walk checkpoint; the follower keeps
+    // polling because the crawl is not complete.
+    StudyRun::new(&web, &study).stop_after(6).run().unwrap();
+    let follow = cc_serve::FollowConfig {
+        path: path.clone(),
+        poll_ms: 10,
+        wait_ms: 30_000,
+    };
+    let server = Server::start(follow, ServeConfig::default()).unwrap();
+    let index_handle = server.index_handle();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while index_handle.current().walks() < 6 {
+        assert!(std::time::Instant::now() < deadline, "partial epoch never served");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Rewrite the same bytes, then step the mtime backwards — further
+    // back each attempt so it is older than whatever fingerprint the
+    // poller has recorded, until the skew is noticed.
+    let bytes = std::fs::read(&path).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut step = 1u64;
+    loop {
+        std::fs::write(&path, &bytes).unwrap();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        let skewed = std::time::SystemTime::now() - Duration::from_secs(600 * step);
+        f.set_times(FileTimes::new().set_modified(skewed)).unwrap();
+        step += 1;
+        std::thread::sleep(Duration::from_millis(50));
+        let seen = server
+            .metrics()
+            .deterministic
+            .events
+            .keys()
+            .any(|k| k.starts_with("serve.follow.clock_skew"));
+        if seen {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "clock-skewed rewrite was never detected"
+        );
+    }
+
+    // The follower is still live after the skew: finishing the crawl
+    // (resumed from the checkpoint) folds through to the complete epoch.
+    let ck = cc_crawler::CrawlCheckpoint::load(path.to_str().unwrap()).unwrap();
+    StudyRun::new(&web, &study).resume(ck).run().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !index_handle.current().complete() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "follower never folded the finished crawl after the skewed rewrite"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(index_handle.current().walks(), 12);
+
+    let metrics = server.shutdown();
+    assert!(
+        metrics
+            .deterministic
+            .events
+            .keys()
+            .any(|k| k.starts_with("serve.follow.clock_skew")),
+        "clock-skew event missing from the run report"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn request_log_head_sampling_is_bounded_and_deterministic() {
     let run = || {
         let handle = start(ServeConfig {

@@ -118,6 +118,17 @@ declare_ids! {
     SERVE_5XX => "serve.5xx",
     SERVE_SHED => "serve.shed",
     SERVE_EPOCH_SWAPS => "serve.epoch.swaps",
+    GAGGLE_LEASES_ISSUED => "gaggle.leases.issued",
+    GAGGLE_LEASES_COMPLETED => "gaggle.leases.completed",
+    GAGGLE_LEASES_EXPIRED => "gaggle.leases.expired",
+    GAGGLE_LEASES_REISSUED => "gaggle.leases.reissued",
+    GAGGLE_WORKERS_CONNECTED => "gaggle.workers.connected",
+    GAGGLE_WORKERS_DISCONNECTED => "gaggle.workers.disconnected",
+    GAGGLE_FRAMES_SENT => "gaggle.frames.sent",
+    GAGGLE_FRAMES_RECEIVED => "gaggle.frames.received",
+    GAGGLE_BYTES_SENT => "gaggle.bytes.sent",
+    GAGGLE_BYTES_RECEIVED => "gaggle.bytes.received",
+    GAGGLE_RESULTS_DROPPED_STALE => "gaggle.results.dropped_stale",
 }
 
 declare_ids! {

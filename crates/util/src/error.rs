@@ -86,6 +86,9 @@ pub enum CcError {
     Serde(String),
     /// Checkpoint file problems: bad schema, config mismatch, truncation.
     Checkpoint(String),
+    /// Wire-protocol violation on a framed connection (bad magic, unknown
+    /// frame type, oversized or truncated payload, version mismatch).
+    Protocol(String),
 }
 
 impl CcError {
@@ -129,6 +132,7 @@ impl std::fmt::Display for CcError {
             CcError::Io { path, msg } => write!(f, "{path}: {msg}"),
             CcError::Serde(m) => write!(f, "serialization error: {m}"),
             CcError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            CcError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
@@ -172,6 +176,13 @@ mod tests {
         }
         .is_transient());
         assert!(!CcError::Config("bad".into()).is_transient());
+        assert!(!CcError::Protocol("bad magic".into()).is_transient());
+    }
+
+    #[test]
+    fn protocol_errors_render_with_prefix() {
+        let e = CcError::Protocol("unknown frame type 0x7f".into());
+        assert_eq!(e.to_string(), "protocol error: unknown frame type 0x7f");
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use category::Category;
 pub use element::{BBox, ClickTarget, ElementKind, ElementModel};
 pub use entity::{OrgId, Organization};
 pub use genesis::{generate, WebConfig};
-pub use script::{ScriptHost, StorageKind, TruthLog};
+pub use script::{ScriptHost, StorageKind, TokenTruth, TruthLog};
 pub use server::{LoadedPage, ServeCtx, SimWeb};
 pub use site::{Site, SiteId};
 pub use tracker::{Tracker, TrackerId, TrackerKind};

@@ -163,7 +163,7 @@ impl TokenTruth {
 }
 
 /// A ledger mapping minted token values to their ground truth.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TruthLog {
     entries: HashMap<String, TokenTruth>,
 }

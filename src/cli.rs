@@ -12,6 +12,7 @@
 //! crumbcruncher truth      [opts]            precision/recall against ground truth
 //! crumbcruncher serve      [opts]            serve the results over HTTP (cc-serve)
 //! crumbcruncher loadgen    [opts] --target A generate load against a serve instance
+//! crumbcruncher gaggle     manager|worker    distributed crawl over TCP (cc-gaggle)
 //! ```
 //!
 //! Parsing is a thin layer over [`StudyConfig`]: every flag sets one field
@@ -42,8 +43,19 @@ pub enum Command {
     Serve,
     /// Generate load against a running serve instance.
     Loadgen,
+    /// Distributed crawling: lease walks to workers over TCP (cc-gaggle).
+    Gaggle,
     /// Print usage.
     Help,
+}
+
+/// Which side of the gaggle wire a `gaggle` invocation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaggleRole {
+    /// Bind, partition the walk-id space into leases, assemble shards.
+    Manager,
+    /// Dial a manager and crawl the leases it streams.
+    Worker,
 }
 
 /// Parsed CLI invocation: a subcommand plus the [`StudyConfig`] it runs
@@ -111,6 +123,22 @@ pub struct Cli {
     pub mix: Option<String>,
     /// `loadgen`: write the load report (`BENCH_serve.json`) here.
     pub bench_out: Option<String>,
+    /// `gaggle`: which side of the wire this invocation is.
+    pub gaggle_role: Option<GaggleRole>,
+    /// `gaggle manager`: bind address (default `127.0.0.1:0`, ephemeral).
+    pub bind: Option<String>,
+    /// `gaggle worker`: the manager address to dial.
+    pub connect: Option<String>,
+    /// `gaggle manager`: planned worker count (sizes progress slots).
+    pub workers_expected: Option<usize>,
+    /// Walk ids per lease (`gaggle manager` / `crawl --gaggle`).
+    pub lease_walks: Option<usize>,
+    /// Lease deadline in milliseconds, renewed by worker heartbeats
+    /// (`gaggle manager` / `crawl --gaggle`).
+    pub lease_timeout_ms: Option<u64>,
+    /// `crawl`: run the crawl as a gaggle, spawning N local worker
+    /// processes against an in-process manager.
+    pub gaggle: Option<usize>,
 }
 
 /// Usage text.
@@ -129,6 +157,8 @@ COMMANDS:
   serve       serve the analysis over HTTP: /report, /smugglers, /uids/{domain},
               /walks/{id}, /metrics (runs a study, or loads one with --load)
   loadgen     drive a running serve instance with weighted load (requires --target)
+  gaggle      distributed crawling: 'gaggle manager' leases the walk-id space to
+              workers over TCP; 'gaggle worker' dials in and crawls the leases
   help        print this message
 
 OPTIONS:
@@ -182,6 +212,27 @@ LIVE SERVING (crawl):
                           POST /shutdown
   --serve-addr-file PATH  write the live server's bound address to PATH
   --publish-every K       publish an epoch every K completed walks (default 25)
+
+DISTRIBUTED CRAWLING (gaggle):
+  gaggle manager [study opts]  own the study: lease walks out, assemble shards;
+                               the final dataset, report, and checkpoint are
+                               byte-identical to a single-process run at any
+                               worker count, even after a worker is killed
+  gaggle worker --connect A    dial the manager at A and crawl leases; workers
+                               take no study flags — the whole study config
+                               arrives in the Welcome frame
+  --bind HOST:PORT         manager bind address (default 127.0.0.1:0, ephemeral)
+  --connect HOST:PORT      manager address a worker dials (required for workers)
+  --workers-expected N     how many workers the operator plans to run — sizes
+                           the /progress slots; late or extra workers still work
+  --lease-walks K          walk ids per lease (default 25; smaller = faster
+                           rebalance and recovery, larger = less frame overhead)
+  --lease-timeout-ms T     lease deadline, renewed by heartbeats (default 3000);
+                           a lease whose holder goes silent past T is re-issued
+  --gaggle N               crawl only: run the crawl as a gaggle by spawning N
+                           local worker processes — output bytes identical to
+                           the in-process crawl
+  --addr-file PATH         manager: write the bound address (real port) to PATH
 
 LOAD GENERATION:
   --target HOST:PORT      the serve instance to aim at (required for loadgen)
@@ -255,6 +306,13 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
     let mut duration_requests = None;
     let mut mix = None;
     let mut bench_out = None;
+    let mut gaggle_role: Option<GaggleRole> = None;
+    let mut bind = None;
+    let mut connect = None;
+    let mut workers_expected = None;
+    let mut lease_walks = None;
+    let mut lease_timeout_ms = None;
+    let mut gaggle = None;
 
     // Every flag sets exactly one thing; a repeated flag is always a
     // mistake (usually an edited command line), so reject it by name
@@ -270,7 +328,7 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
         }
         match arg.as_str() {
             "report" | "crawl" | "blocklist" | "defense" | "truth" | "serve" | "loadgen"
-            | "help" => {
+            | "gaggle" | "help" => {
                 if command.is_some() {
                     return Err(CcError::cli(format!("unexpected second command {arg:?}")));
                 }
@@ -282,7 +340,25 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
                     "truth" => Command::Truth,
                     "serve" => Command::Serve,
                     "loadgen" => Command::Loadgen,
+                    "gaggle" => Command::Gaggle,
                     _ => Command::Help,
+                });
+            }
+            // Gaggle roles are positional, right after the command:
+            // `gaggle manager [opts]` / `gaggle worker --connect A`.
+            "manager" | "worker" => {
+                if command != Some(Command::Gaggle) {
+                    return Err(CcError::cli(format!(
+                        "{arg:?} is a gaggle role (usage: gaggle {arg} [opts])"
+                    )));
+                }
+                if gaggle_role.is_some() {
+                    return Err(CcError::cli(format!("unexpected second gaggle role {arg:?}")));
+                }
+                gaggle_role = Some(if arg == "manager" {
+                    GaggleRole::Manager
+                } else {
+                    GaggleRole::Worker
                 });
             }
             "--seed" => {
@@ -375,6 +451,16 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
             }
             "--mix" => mix = Some(path_arg(&mut it, "--mix")?),
             "--bench-out" => bench_out = Some(path_arg(&mut it, "--bench-out")?),
+            "--bind" => bind = Some(path_arg(&mut it, "--bind")?),
+            "--connect" => connect = Some(path_arg(&mut it, "--connect")?),
+            "--workers-expected" => {
+                workers_expected = Some(numeric(&mut it, "--workers-expected")? as usize)
+            }
+            "--lease-walks" => lease_walks = Some(numeric(&mut it, "--lease-walks")? as usize),
+            "--lease-timeout-ms" => {
+                lease_timeout_ms = Some(numeric(&mut it, "--lease-timeout-ms")?)
+            }
+            "--gaggle" => gaggle = Some(numeric(&mut it, "--gaggle")? as usize),
             other => return Err(CcError::cli(format!("unknown argument {other:?}"))),
         }
     }
@@ -461,6 +547,90 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
             )));
         }
     }
+    if command == Command::Gaggle && gaggle_role.is_none() {
+        return Err(CcError::cli(
+            "gaggle requires a role: 'gaggle manager [opts]' or 'gaggle worker --connect A'",
+        ));
+    }
+    match gaggle_role {
+        Some(GaggleRole::Worker) => {
+            if connect.is_none() {
+                return Err(CcError::cli("gaggle worker requires --connect HOST:PORT"));
+            }
+            // A worker carries no study or artifact flags: the entire
+            // study arrives in the Welcome frame, and its telemetry ships
+            // to the manager over the wire.
+            for (flag, set) in [
+                ("--bind", bind.is_some()),
+                ("--workers-expected", workers_expected.is_some()),
+                ("--lease-walks", lease_walks.is_some()),
+                ("--lease-timeout-ms", lease_timeout_ms.is_some()),
+                ("--addr-file", addr_file.is_some()),
+                ("--out", out.is_some()),
+                ("--resume", resume.is_some()),
+                ("--checkpoint", study.checkpoint.is_some()),
+                ("--metrics-out", metrics_out.is_some()),
+                ("--trace", trace),
+                ("--trace-out", trace_out.is_some()),
+                ("--prom", prom),
+                ("--obs-addr", obs_addr.is_some()),
+                ("--dashboard-out", dashboard_out.is_some()),
+            ] {
+                if set {
+                    return Err(CcError::cli(format!(
+                        "{flag} applies to the gaggle manager, not a worker \
+                         (workers get everything from the manager's Welcome)"
+                    )));
+                }
+            }
+        }
+        Some(GaggleRole::Manager) => {
+            if connect.is_some() {
+                return Err(CcError::cli(
+                    "--connect applies to the gaggle worker; the manager binds (--bind)",
+                ));
+            }
+        }
+        None => {
+            for (flag, set) in [
+                ("--bind", bind.is_some()),
+                ("--connect", connect.is_some()),
+                ("--workers-expected", workers_expected.is_some()),
+            ] {
+                if set {
+                    return Err(CcError::cli(format!("{flag} applies to the gaggle command")));
+                }
+            }
+            if (lease_walks.is_some() || lease_timeout_ms.is_some()) && gaggle.is_none() {
+                return Err(CcError::cli(
+                    "--lease-walks/--lease-timeout-ms apply to a gaggle \
+                     (gaggle manager, or crawl --gaggle N)",
+                ));
+            }
+        }
+    }
+    if let Some(n) = gaggle {
+        if command != Command::Crawl {
+            return Err(CcError::cli(
+                "--gaggle N applies to the crawl command (spawn N local gaggle workers)",
+            ));
+        }
+        if n == 0 {
+            return Err(CcError::cli("--gaggle must spawn at least 1 worker"));
+        }
+        if serve_addr.is_some() {
+            return Err(CcError::cli(
+                "--serve-addr and --gaggle are incompatible: live serving follows \
+                 the in-process executor",
+            ));
+        }
+        if kill_after.is_some() {
+            return Err(CcError::cli(
+                "--kill-after drains the in-process crawl; to exercise gaggle \
+                 recovery, kill a worker process instead",
+            ));
+        }
+    }
     Ok(Cli {
         command,
         study,
@@ -487,6 +657,13 @@ pub fn parse(args: &[String]) -> Result<Cli, CcError> {
         duration_requests,
         mix,
         bench_out,
+        gaggle_role,
+        bind,
+        connect,
+        workers_expected,
+        lease_walks,
+        lease_timeout_ms,
+        gaggle,
     })
 }
 
@@ -570,6 +747,12 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
     }
     if cli.command == Command::Loadgen {
         return run_loadgen(cli);
+    }
+    // A gaggle run (distributed manager/worker) replaces the in-process
+    // executor below with cc-gaggle's lease loop; `crawl --gaggle N` is
+    // the single-machine convenience spelling of the same thing.
+    if cli.command == Command::Gaggle || cli.gaggle.is_some() {
+        return run_gaggle(cli);
     }
 
     // Telemetry is opt-in: a session only exists when a telemetry or
@@ -784,6 +967,221 @@ pub fn run(cli: &Cli) -> Result<String, CcError> {
     result
 }
 
+/// Run the `gaggle` subcommand — and `crawl --gaggle N`, which is the
+/// same manager plus N spawned local worker processes.
+///
+/// The worker role is deliberately bare: no telemetry session, no study
+/// flags — it dials, crawls what it is leased, ships shards back, and
+/// hands its counters to the manager over the wire. The manager side
+/// owns the study and the whole observability surface: `--obs-addr`'s
+/// `/progress` shows per-worker walk counts, and `--metrics-out` folds
+/// the `gaggle.*` counters plus every worker's shipped telemetry into
+/// one run report.
+fn run_gaggle(cli: &Cli) -> Result<String, CcError> {
+    if cli.gaggle_role == Some(GaggleRole::Worker) {
+        let cfg = cc_gaggle::WorkerConfig {
+            connect: cli.connect.clone().expect("validated in parse"),
+            label: format!("pid-{}", std::process::id()),
+        };
+        let summary = cc_gaggle::run_worker(&cfg)?;
+        return Ok(format!(
+            "worker {} crawled {} walks across {} leases\n",
+            summary.worker_id, summary.walks, summary.leases
+        ));
+    }
+
+    // Manager (or `crawl --gaggle N`): the same opt-in telemetry session
+    // and fail-fast writability checks as an in-process study run.
+    let wants_session = cli.metrics_out.is_some()
+        || cli.trace
+        || cli.trace_out.is_some()
+        || cli.prom
+        || cli.obs_addr.is_some()
+        || cli.dashboard_out.is_some();
+    let session = if cli.trace_out.is_some() {
+        Some(cc_telemetry::Session::start_with_trace())
+    } else if wants_session {
+        Some(cc_telemetry::Session::start())
+    } else {
+        None
+    };
+    for (flag, path) in [
+        ("--metrics-out", cli.metrics_out.as_deref()),
+        ("--trace-out", cli.trace_out.as_deref()),
+        ("--dashboard-out", cli.dashboard_out.as_deref()),
+        ("--out", cli.out.as_deref()),
+    ] {
+        if let Some(path) = path {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| CcError::cli(format!("{flag} {path}: not writable: {e}")))?;
+        }
+    }
+
+    let spawn_workers = cli.gaggle.unwrap_or(0);
+    let cfg = cc_gaggle::GaggleConfig {
+        bind: cli.bind.clone().unwrap_or_else(|| "127.0.0.1:0".into()),
+        workers_expected: cli.workers_expected.unwrap_or_else(|| spawn_workers.max(1)),
+        lease_walks: cli.lease_walks.unwrap_or(25),
+        lease_timeout_ms: cli.lease_timeout_ms.unwrap_or(3_000),
+    };
+
+    // The observability plane, aimed at the gaggle: progress slots are
+    // per remote worker (modulo workers_expected), not per thread.
+    let progress =
+        std::sync::Arc::new(cc_util::ProgressCounters::new(cfg.workers_expected.max(1)));
+    let ring = std::sync::Arc::new(cc_telemetry::SnapshotRing::new(2_400));
+    let collector = session.as_ref().map(|s| s.shared_collector());
+    let obs_started = std::time::Instant::now();
+    let observer = match cli.obs_addr.as_deref() {
+        Some(addr) => {
+            let sources = cc_obs::ObsSources {
+                collector: collector.clone(),
+                progress: Some(std::sync::Arc::clone(&progress)),
+                ring: Some(std::sync::Arc::clone(&ring)),
+                epoch: None,
+            };
+            let handle = cc_obs::Observer::start(addr, sources)?;
+            if let Some(path) = cli.obs_addr_file.as_deref() {
+                std::fs::write(path, handle.addr().to_string())
+                    .map_err(|e| CcError::io(path, e))?;
+            }
+            Some(handle)
+        }
+        None => None,
+    };
+    let sampler = if observer.is_some() || cli.dashboard_out.is_some() {
+        Some(cc_obs::Sampler::start(
+            cc_obs::SamplerConfig::default(),
+            std::sync::Arc::clone(&ring),
+            collector.clone(),
+            Some(std::sync::Arc::clone(&progress)),
+        ))
+    } else {
+        None
+    };
+
+    let mut opts = cc_gaggle::ManagerOptions {
+        resume: None,
+        progress: Some(std::sync::Arc::clone(&progress)),
+    };
+    if let Some(path) = cli.resume.as_deref() {
+        opts.resume = Some(CrawlCheckpoint::load(path)?);
+    }
+    let manager = cc_gaggle::Manager::start(&cli.study, cfg, opts)?;
+    let addr = manager.addr();
+    if let Some(path) = cli.addr_file.as_deref() {
+        std::fs::write(path, addr.to_string()).map_err(|e| CcError::io(path, e))?;
+    }
+    eprintln!(
+        "cc-gaggle manager listening on {addr} — workers join with: \
+         crumbcruncher gaggle worker --connect {addr}"
+    );
+
+    // `crawl --gaggle N`: the workers are child processes of this very
+    // binary, so the single-machine spelling exercises exactly the code
+    // path a multi-machine gaggle does.
+    let mut children = Vec::new();
+    if spawn_workers > 0 {
+        let exe = std::env::current_exe().map_err(|e| CcError::io("current_exe", e))?;
+        for _ in 0..spawn_workers {
+            let child = std::process::Command::new(&exe)
+                .args(["gaggle", "worker", "--connect", &addr.to_string()])
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .map_err(|e| CcError::io("spawn gaggle worker", e))?;
+            children.push(child);
+        }
+    }
+
+    let outcome = manager.join();
+    // Workers exit on their own once the manager is gone (clean Goodbye,
+    // or a Closed read if the manager errored out) — reap, don't kill.
+    for mut child in children {
+        let _ = child.wait();
+    }
+    let outcome = outcome?;
+
+    let mut artifact_note = String::new();
+    if let Some(path) = cli.out.as_deref() {
+        let json = outcome
+            .dataset
+            .to_json()
+            .map_err(|e| CcError::Serde(format!("serialize dataset: {e}")))?;
+        std::fs::write(path, &json).map_err(|e| CcError::io(path, e))?;
+        artifact_note = format!(" — wrote {} bytes to {path}", json.len());
+    }
+
+    // Wind the plane down: one final sample, then the dashboard.
+    if sampler.is_some() {
+        ring.push(cc_obs::take_sample(
+            obs_started.elapsed().as_secs_f64(),
+            collector.as_deref(),
+            Some(&progress),
+        ));
+    }
+    if let Some(s) = sampler {
+        s.shutdown();
+    }
+    if let Some(o) = observer {
+        o.shutdown();
+    }
+    if let Some(path) = cli.dashboard_out.as_deref() {
+        let title = format!("crumbcruncher gaggle — seed {:#x}", cli.study.seed);
+        let html = cc_obs::render_dashboard(&title, &ring.snapshot());
+        std::fs::write(path, &html).map_err(|e| CcError::io(path, e))?;
+    }
+
+    let mut prom_out = None;
+    if let Some(session) = &session {
+        if cli.trace {
+            eprint!("{}", session.render_trace());
+        }
+        if let Some(path) = cli.trace_out.as_deref() {
+            std::fs::write(path, session.chrome_trace()).map_err(|e| CcError::io(path, e))?;
+        }
+        if cli.metrics_out.is_some() || cli.prom {
+            // A gaggle is parallel by construction: the report always
+            // carries the per-(remote-)worker progress section.
+            let report = session.report_with_workers(
+                cc_telemetry::WorkerSection::from_progress(&progress.snapshot()),
+            );
+            if let Some(path) = cli.metrics_out.as_deref() {
+                let json = report
+                    .to_json()
+                    .map_err(|e| CcError::Serde(format!("serialize run report: {e}")))?;
+                std::fs::write(path, &json).map_err(|e| CcError::io(path, e))?;
+            }
+            if cli.prom {
+                prom_out = Some(cc_telemetry::render_prometheus(&report));
+            }
+        }
+    }
+    if let Some(p) = prom_out {
+        return Ok(p);
+    }
+
+    let s = &outcome.stats;
+    Ok(format!(
+        "assembled {} walks from {} workers{artifact_note}\n\
+         leases: {} issued, {} completed, {} expired, {} reissued, {} stale results dropped\n\
+         frames: {} sent / {} received ({} / {} bytes)\n",
+        outcome.dataset.walks.len(),
+        s.workers_connected,
+        s.leases_issued,
+        s.leases_completed,
+        s.leases_expired,
+        s.leases_reissued,
+        s.results_dropped_stale,
+        s.frames_sent,
+        s.frames_received,
+        s.bytes_sent,
+        s.bytes_received,
+    ))
+}
+
 /// Run the `serve` subcommand: resolve the [`cc_serve::IndexSource`]
 /// (a finished checkpoint, a followed growing checkpoint, or a fresh
 /// study), start the server, and block until it is shut down via
@@ -899,7 +1297,9 @@ fn run_loadgen(cli: &Cli) -> Result<String, CcError> {
 /// Run the subcommand against a finished study; returns the text to print.
 fn execute(cli: &Cli, study: &crate::Study) -> Result<String, CcError> {
     match cli.command {
-        Command::Help | Command::Serve | Command::Loadgen => unreachable!("handled above"),
+        Command::Help | Command::Serve | Command::Loadgen | Command::Gaggle => {
+            unreachable!("handled above")
+        }
         Command::Report if cli.json => serde_json::to_string(&study.report())
             .map_err(|e| CcError::Serde(format!("serialize report: {e}"))),
         Command::Report => Ok(study.report().render()),
@@ -1168,6 +1568,118 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("chaos"), "unhelpful mix error: {err}");
+    }
+
+    #[test]
+    fn parse_gaggle_flags() {
+        let cli = parse(&argv(
+            "gaggle manager --workers-expected 2 --bind 127.0.0.1:0 --lease-walks 5 \
+             --lease-timeout-ms 500 --out ds.json --addr-file a.txt",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Gaggle);
+        assert_eq!(cli.gaggle_role, Some(GaggleRole::Manager));
+        assert_eq!(cli.workers_expected, Some(2));
+        assert_eq!(cli.bind.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cli.lease_walks, Some(5));
+        assert_eq!(cli.lease_timeout_ms, Some(500));
+        assert_eq!(cli.out.as_deref(), Some("ds.json"));
+        assert_eq!(cli.addr_file.as_deref(), Some("a.txt"));
+
+        let cli = parse(&argv("gaggle worker --connect 127.0.0.1:9")).unwrap();
+        assert_eq!(cli.gaggle_role, Some(GaggleRole::Worker));
+        assert_eq!(cli.connect.as_deref(), Some("127.0.0.1:9"));
+
+        let cli = parse(&argv("crawl --out d.json --gaggle 2 --lease-walks 4")).unwrap();
+        assert_eq!(cli.gaggle, Some(2));
+        assert_eq!(cli.lease_walks, Some(4));
+
+        assert!(parse(&argv("gaggle")).is_err(), "gaggle requires a role");
+        assert!(parse(&argv("gaggle worker")).is_err(), "worker requires --connect");
+        assert!(parse(&argv("gaggle manager worker")).is_err(), "one role only");
+        assert!(parse(&argv("manager")).is_err(), "role without the gaggle command");
+        assert!(
+            parse(&argv("gaggle manager --connect 127.0.0.1:9")).is_err(),
+            "--connect is the worker's flag"
+        );
+        for bad in [
+            "gaggle worker --connect a --bind 127.0.0.1:0",
+            "gaggle worker --connect a --out d.json",
+            "gaggle worker --connect a --metrics-out m.json",
+            "gaggle worker --connect a --obs-addr 127.0.0.1:0",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "worker flags leak: {bad}");
+        }
+        assert!(parse(&argv("report --gaggle 2")).is_err(), "--gaggle is crawl-only");
+        assert!(parse(&argv("crawl --out d.json --gaggle 0")).is_err());
+        assert!(parse(&argv("report --lease-walks 4")).is_err());
+        assert!(parse(&argv("report --bind 127.0.0.1:0")).is_err());
+        assert!(
+            parse(&argv("crawl --out d.json --gaggle 2 --serve-addr 127.0.0.1:0")).is_err(),
+            "live serving follows the in-process executor"
+        );
+        assert!(
+            parse(&argv("crawl --out d.json --gaggle 2 --kill-after 4")).is_err(),
+            "--kill-after drains the in-process crawl"
+        );
+    }
+
+    #[test]
+    fn gaggle_through_the_cli_matches_a_single_process_crawl() {
+        let dir = std::env::temp_dir().join("ccrs-cli-gaggle-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let solo_out = dir.join("solo.json");
+        let gaggle_out = dir.join("gaggle.json");
+        let addr_file = dir.join("addr.txt");
+        std::fs::remove_file(&addr_file).ok();
+
+        let study = "--seed 5 --steps 3 --walks 12 --workers 2";
+        let mut solo =
+            parse(&argv(&format!("crawl {study} --out {}", solo_out.display()))).unwrap();
+        solo.study.web = cc_web::WebConfig::small();
+        run(&solo).unwrap();
+
+        // Manager in one thread, two CLI workers in others (threads, not
+        // child processes: under `cargo test` current_exe is the test
+        // harness, so the spawning path is covered by the integration
+        // tests that have CARGO_BIN_EXE instead).
+        let mut manager = parse(&argv(&format!(
+            "gaggle manager {study} --workers-expected 2 --lease-walks 4 \
+             --addr-file {} --out {}",
+            addr_file.display(),
+            gaggle_out.display()
+        )))
+        .unwrap();
+        manager.study.web = cc_web::WebConfig::small();
+        let manager = std::thread::spawn(move || run(&manager));
+        let addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "manager never bound");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        };
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let cli = parse(&argv(&format!("gaggle worker --connect {addr}"))).unwrap();
+                std::thread::spawn(move || run(&cli))
+            })
+            .collect();
+        let summary = manager.join().unwrap().unwrap();
+        for w in workers {
+            w.join().unwrap().unwrap();
+        }
+
+        assert!(summary.contains("assembled 12 walks"), "{summary}");
+        let solo_json = std::fs::read_to_string(&solo_out).unwrap();
+        let gaggle_json = std::fs::read_to_string(&gaggle_out).unwrap();
+        assert_eq!(solo_json, gaggle_json, "gaggle dataset bytes diverged");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

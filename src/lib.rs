@@ -142,8 +142,8 @@ impl Study {
     }
 
     /// A configured study run over a [`StudyConfig`] — the builder face
-    /// of the facade, replacing the old widening
-    /// `from_config_with_options` / `from_config_with_progress` family:
+    /// of the facade (the removed `from_config_with_*` constructor family
+    /// collapsed into chained options):
     ///
     /// ```ignore
     /// let study = Study::builder(&config)
@@ -157,28 +157,6 @@ impl Study {
             opts: StudyRunOptions::default(),
             progress: None,
         }
-    }
-
-    /// Deprecated shim over [`Study::builder`].
-    #[deprecated(since = "0.8.0", note = "use Study::builder(study).options(opts).run()")]
-    pub fn from_config_with_options(
-        study: &StudyConfig,
-        opts: StudyRunOptions,
-    ) -> Result<Self, CcError> {
-        Self::builder(study).options(opts).run()
-    }
-
-    /// Deprecated shim over [`Study::builder`].
-    #[deprecated(
-        since = "0.8.0",
-        note = "use Study::builder(study).options(opts).progress(progress).run()"
-    )]
-    pub fn from_config_with_progress<'a>(
-        study: &'a StudyConfig,
-        opts: StudyRunOptions,
-        progress: &'a ProgressCounters,
-    ) -> Result<Self, CcError> {
-        Self::builder(study).options(opts).progress(progress).run()
     }
 
     /// Resume a checkpointed crawl from `path` and finish the study. The
